@@ -1,0 +1,232 @@
+// Barnes-Hut hierarchical N-body solver.
+//
+// Mirrors the benchmark of the paper's §6.1: an octree is (re)built in a
+// serial section each step; the computationally intensive FORCES section
+// is a parallel loop in which each body walks the tree and accumulates
+// gravitational acceleration and potential.
+//
+// The force update is split into two adjacent-but-separate update groups
+// (phi, then ax/ay/az) so the default lock placement produces two critical
+// regions per interaction: the Bounded policy merges them (halving the
+// acquire count), while the Aggressive policy lifts the lock all the way
+// out of the (recursive, hence Bounded-forbidden) tree walk — one acquire
+// per body per FORCES execution.
+
+extern double sqrt(double);
+extern double urand();
+extern int iparam(int);
+extern double dparam(int);
+
+class body {
+    double x, y, z;
+    double vx, vy, vz;
+    double ax, ay, az;
+    double phi;
+    double mass;
+
+    void one_interaction(double px, double py, double pz, double m) {
+        double dx = px - this.x;
+        double dy = py - this.y;
+        double dz = pz - this.z;
+        double d2 = dx * dx + dy * dy + dz * dz + 0.0001;
+        double d = sqrt(d2);
+        double inv = 1.0 / d;
+        // First update group: the potential.
+        this.phi -= m * inv;
+        // Pure computation between the groups keeps them separate regions
+        // under the default placement.
+        double inv3 = inv * inv * inv * m;
+        double fx = dx * inv3;
+        double fy = dy * inv3;
+        double fz = dz * inv3;
+        // Second update group: the acceleration.
+        this.ax += fx;
+        this.ay += fy;
+        this.az += fz;
+    }
+
+    void walk(cell c, double theta) {
+        if (c == null) { return; }
+        if (c.has_kids) {
+            double dx = c.mx - this.x;
+            double dy = c.my - this.y;
+            double dz = c.mz - this.z;
+            double d2 = dx * dx + dy * dy + dz * dz + 0.0001;
+            double d = sqrt(d2);
+            if (c.size / d < theta) {
+                // Far enough: interact with the aggregated cell.
+                this.one_interaction(c.mx, c.my, c.mz, c.mass);
+            } else {
+                for (int k = 0; k < 8; k++) {
+                    this.walk(c.kids[k], theta);
+                }
+            }
+        } else {
+            if (c.occupant != null) {
+                if (c.occupant != this) {
+                    this.one_interaction(c.occupant.x, c.occupant.y,
+                                         c.occupant.z, c.occupant.mass);
+                }
+            }
+        }
+    }
+
+    void compute_force(cell root, double theta) {
+        this.walk(root, theta);
+    }
+}
+
+class cell {
+    double cx, cy, cz;
+    double size;
+    double mass;
+    double mx, my, mz;
+    cell[] kids;
+    body occupant;
+    bool has_kids;
+
+    int child_of(double x, double y, double z) {
+        int k = 0;
+        if (x >= this.cx) { k = k + 1; }
+        if (y >= this.cy) { k = k + 2; }
+        if (z >= this.cz) { k = k + 4; }
+        return k;
+    }
+
+    void split() {
+        this.kids = new cell[8];
+        for (int k = 0; k < 8; k++) {
+            cell ch = new cell();
+            ch.size = this.size * 0.5;
+            double off = this.size * 0.25;
+            double ox = 0.0 - off;
+            if (k % 2 == 1) { ox = off; }
+            double oy = 0.0 - off;
+            if ((k / 2) % 2 == 1) { oy = off; }
+            double oz = 0.0 - off;
+            if (k / 4 == 1) { oz = off; }
+            ch.cx = this.cx + ox;
+            ch.cy = this.cy + oy;
+            ch.cz = this.cz + oz;
+            this.kids[k] = ch;
+        }
+        this.has_kids = true;
+    }
+
+    void insert(body b) {
+        if (this.has_kids) {
+            int k = this.child_of(b.x, b.y, b.z);
+            this.kids[k].insert(b);
+        } else {
+            if (this.occupant == null) {
+                this.occupant = b;
+            } else {
+                body old = this.occupant;
+                this.occupant = null;
+                this.split();
+                int k1 = this.child_of(old.x, old.y, old.z);
+                this.kids[k1].insert(old);
+                int k2 = this.child_of(b.x, b.y, b.z);
+                this.kids[k2].insert(b);
+            }
+        }
+    }
+
+    void summarize() {
+        if (this.has_kids) {
+            double m = 0.0;
+            double sx = 0.0;
+            double sy = 0.0;
+            double sz = 0.0;
+            for (int k = 0; k < 8; k++) {
+                cell ch = this.kids[k];
+                ch.summarize();
+                m += ch.mass;
+                sx += ch.mx * ch.mass;
+                sy += ch.my * ch.mass;
+                sz += ch.mz * ch.mass;
+            }
+            this.mass = m;
+            if (m > 0.0) {
+                this.mx = sx / m;
+                this.my = sy / m;
+                this.mz = sz / m;
+            } else {
+                this.mx = this.cx;
+                this.my = this.cy;
+                this.mz = this.cz;
+            }
+        } else {
+            if (this.occupant != null) {
+                this.mass = this.occupant.mass;
+                this.mx = this.occupant.x;
+                this.my = this.occupant.y;
+                this.mz = this.occupant.z;
+            } else {
+                this.mass = 0.0;
+                this.mx = this.cx;
+                this.my = this.cy;
+                this.mz = this.cz;
+            }
+        }
+    }
+}
+
+body[] bodies;
+cell root;
+int nbodies;
+double theta;
+double dt;
+
+void init() {
+    nbodies = iparam(0);
+    theta = dparam(0);
+    dt = dparam(1);
+    bodies = new body[nbodies];
+    for (int i = 0; i < nbodies; i++) {
+        body b = new body();
+        b.x = urand();
+        b.y = urand();
+        b.z = urand();
+        b.mass = 0.5 + urand();
+        bodies[i] = b;
+    }
+}
+
+void build() {
+    root = new cell();
+    root.cx = 0.5;
+    root.cy = 0.5;
+    root.cz = 0.5;
+    root.size = 1.0;
+    for (int i = 0; i < nbodies; i++) {
+        root.insert(bodies[i]);
+    }
+    root.summarize();
+}
+
+void forces() {
+    for (int i = 0; i < nbodies; i++) {
+        bodies[i].compute_force(root, theta);
+    }
+}
+
+void advance() {
+    for (int i = 0; i < nbodies; i++) {
+        body b = bodies[i];
+        b.vx = b.vx + b.ax * dt;
+        b.vy = b.vy + b.ay * dt;
+        b.vz = b.vz + b.az * dt;
+        double nx = b.x + b.vx * dt;
+        double ny = b.y + b.vy * dt;
+        double nz = b.z + b.vz * dt;
+        // Keep bodies inside the unit box so the octree stays valid.
+        if (nx > 0.01) { if (nx < 0.99) { b.x = nx; } }
+        if (ny > 0.01) { if (ny < 0.99) { b.y = ny; } }
+        if (nz > 0.01) { if (nz < 0.99) { b.z = nz; } }
+        b.ax = 0.0;
+        b.ay = 0.0;
+        b.az = 0.0;
+        b.phi = 0.0;
+    }
+}

@@ -1,0 +1,123 @@
+// String: seismic inversion building a velocity model of the geology
+// between two oil wells (the paper's §6.3 benchmark; that section of the
+// paper is truncated, so this reconstruction follows the same structure as
+// the other two applications and is flagged as an analog in
+// EXPERIMENTS.md).
+//
+// Rays are traced from a source well (x = 0) to a receiver well (x = 1)
+// through a 2D grid; every traversed cell accumulates the ray's slowness
+// contribution, and the ray accumulates per-segment statistics. The
+// per-cell updates hit *shared* cells (rays cross), so there is real —
+// but fine-grained — lock contention under every policy. The ray-local
+// updates are two groups under default placement; Bounded and Aggressive
+// both merge and lift them (their code is identical here, so the compiler
+// shares one version), while Original pays two acquires per segment for
+// the ray plus one per cell deposit.
+
+extern double sqrt(double);
+extern double urand();
+extern int iparam(int);
+extern double travel(double);
+extern int ifloor(double);
+
+class gridcell {
+    double ssum;
+    int hits;
+    double velocity;
+
+    void deposit(double v) {
+        // First update group.
+        this.ssum += v;
+        // Pure separator.
+        double one = v * 0.0 + 1.0;
+        // Second update group.
+        this.hits += ifloor(one);
+    }
+}
+
+class ray {
+    double sx, sz;
+    double ex, ez;
+    double length;
+    int segments;
+
+    double bend(double t, int depth) {
+        if (depth == 0) {
+            return travel(t);
+        }
+        return travel(t) * 0.5 + this.bend(t * 0.9, depth - 1) * 0.5;
+    }
+
+    void note_segment(double v) {
+        this.length += v;
+        double unused = v * 0.25;
+        this.segments += ifloor(unused * 0.0 + 1.0);
+    }
+
+    void trace(gridcell[] grid, int nx, int nz, int steps) {
+        for (int s = 0; s < steps; s++) {
+            double t = (s + 0.5) / steps;
+            double px = this.sx + (this.ex - this.sx) * t;
+            double pz = this.sz + (this.ez - this.sz) * t;
+            int ix = ifloor(px * nx);
+            int iz = ifloor(pz * nz);
+            if (ix < 0) { ix = 0; }
+            if (ix >= nx) { ix = nx - 1; }
+            if (iz < 0) { iz = 0; }
+            if (iz >= nz) { iz = nz - 1; }
+            gridcell c = grid[iz * nx + ix];
+            double contribution = this.bend(t, 3);
+            c.deposit(contribution);
+            this.note_segment(contribution);
+        }
+    }
+}
+
+gridcell[] grid;
+ray[] rays;
+int nx;
+int nz;
+int nrays;
+int nsteps;
+
+void init() {
+    nx = iparam(0);
+    nz = iparam(1);
+    nrays = iparam(2);
+    nsteps = iparam(3);
+    grid = new gridcell[nx * nz];
+    for (int i = 0; i < nx * nz; i++) {
+        gridcell c = new gridcell();
+        c.velocity = 1.5;
+        grid[i] = c;
+    }
+    rays = new ray[nrays];
+    for (int r = 0; r < nrays; r++) {
+        ray y = new ray();
+        y.sx = 0.0;
+        y.sz = urand();
+        y.ex = 1.0;
+        y.ez = urand();
+        rays[r] = y;
+    }
+}
+
+void trace_rays() {
+    for (int r = 0; r < nrays; r++) {
+        rays[r].trace(grid, nx, nz, nsteps);
+    }
+}
+
+// Back-projection: fold the accumulated slowness into the velocity model
+// and reset the accumulators (serial section).
+void smooth() {
+    for (int i = 0; i < nx * nz; i++) {
+        gridcell c = grid[i];
+        if (c.hits > 0) {
+            double mean = c.ssum / c.hits;
+            c.velocity = c.velocity * 0.7 + mean * 0.3;
+        }
+        c.ssum = 0.0;
+        c.hits = 0;
+    }
+}

@@ -1,0 +1,141 @@
+// Water: liquid-state molecular dynamics (the paper's §6.2 benchmark).
+//
+// Two computationally intensive parallel sections:
+//
+// * INTERF — for every molecule, accumulate intermolecular forces from all
+//   other molecules. The updates touch only the receiving molecule, in two
+//   update groups (forces, then the virial), so: Original = two regions
+//   per pair interaction; Bounded and Aggressive both lift and hoist the
+//   receiver's lock out of the pairwise loop (the transformed code is
+//   *identical*, so the compiler emits one shared version — matching the
+//   paper's observation for this section).
+//
+// * POTENG — for every molecule, accumulate the potential energy into a
+//   single global accumulator object. The per-term computation uses a
+//   recursive series expansion, so the Bounded policy must refuse to hoist
+//   the accumulator's lock out of the pairwise loop (the region would
+//   contain a call-graph cycle) while the Aggressive policy hoists it —
+//   holding the *global* lock for a molecule's entire pairwise loop and
+//   serializing the section. This is the false exclusion that makes
+//   Aggressive catastrophic for Water in the paper.
+
+extern double sqrt(double);
+extern double urand();
+extern int iparam(int);
+extern double kernel(double);
+
+class accum {
+    double poteng;
+
+    void add_pot(double e) {
+        this.poteng += e;
+    }
+}
+
+class molecule {
+    double x, y, z;
+    double fx, fy, fz;
+    double vir;
+    double vx, vy, vz;
+
+    void interf_one(molecule[] mols, int n) {
+        for (int j = 0; j < n; j++) {
+            molecule m = mols[j];
+            double dx = m.x - this.x;
+            double dy = m.y - this.y;
+            double dz = m.z - this.z;
+            double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+            double r = sqrt(r2);
+            double f = kernel(r);
+            this.add_forces(dx * f, dy * f, dz * f, f * r);
+        }
+    }
+
+    void add_forces(double gx, double gy, double gz, double w) {
+        // First update group: the force components.
+        this.fx += gx;
+        this.fy += gy;
+        this.fz += gz;
+        // Pure computation separates the groups under default placement.
+        double vv = w * 0.5;
+        // Second update group: the virial.
+        this.vir += vv;
+    }
+
+    double eterm(double r, int depth) {
+        if (depth == 0) {
+            return kernel(r);
+        }
+        return kernel(r) * 0.6 + this.eterm(r * 0.8, depth - 1) * 0.4;
+    }
+
+    void poteng_one(molecule[] mols, int n, accum a) {
+        for (int j = 0; j < n; j++) {
+            molecule m = mols[j];
+            double dx = m.x - this.x;
+            double dy = m.y - this.y;
+            double dz = m.z - this.z;
+            double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+            double r = sqrt(r2);
+            double e = this.eterm(r, edepth);
+            a.add_pot(e);
+        }
+    }
+}
+
+molecule[] mols;
+accum sys;
+int nmols;
+int edepth;
+double dt;
+
+void init() {
+    nmols = iparam(0);
+    edepth = iparam(1);
+    dt = 0.001;
+    sys = new accum();
+    mols = new molecule[nmols];
+    for (int i = 0; i < nmols; i++) {
+        molecule m = new molecule();
+        m.x = urand() * 10.0;
+        m.y = urand() * 10.0;
+        m.z = urand() * 10.0;
+        mols[i] = m;
+    }
+}
+
+// PREDIC: serial predictor step.
+void predict() {
+    for (int i = 0; i < nmols; i++) {
+        molecule m = mols[i];
+        m.x = m.x + m.vx * dt;
+        m.y = m.y + m.vy * dt;
+        m.z = m.z + m.vz * dt;
+        m.fx = 0.0;
+        m.fy = 0.0;
+        m.fz = 0.0;
+        m.vir = 0.0;
+    }
+}
+
+void interf() {
+    for (int i = 0; i < nmols; i++) {
+        mols[i].interf_one(mols, nmols);
+    }
+}
+
+void poteng() {
+    for (int i = 0; i < nmols; i++) {
+        mols[i].poteng_one(mols, nmols, sys);
+    }
+}
+
+// CORREC: serial corrector step.
+void correct() {
+    for (int i = 0; i < nmols; i++) {
+        molecule m = mols[i];
+        m.vx = m.vx + m.fx * dt;
+        m.vy = m.vy + m.fy * dt;
+        m.vz = m.vz + m.fz * dt;
+    }
+}

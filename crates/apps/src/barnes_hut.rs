@@ -1,0 +1,167 @@
+//! Barnes-Hut: hierarchical N-body solver (paper §6.1).
+
+use crate::host::{standard_host, HostConfig};
+use dynfb_compiler::artifact::{compile, CompileOptions, CompiledApp};
+use dynfb_sim::PlanEntry;
+
+/// The Barnes-Hut source program.
+pub const SOURCE: &str = include_str!("../programs/barnes_hut.ol");
+
+/// Configuration of a Barnes-Hut instance.
+#[derive(Debug, Clone)]
+pub struct BarnesHutConfig {
+    /// Number of bodies (the paper used 16,384; scaled instances preserve
+    /// the policy trade-offs).
+    pub bodies: usize,
+    /// Number of simulation steps (each step = serial tree build +
+    /// parallel FORCES + serial advance; the paper's benchmark runs the
+    /// FORCES section twice).
+    pub steps: usize,
+    /// Opening angle θ of the multipole acceptance criterion.
+    pub theta: f64,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for BarnesHutConfig {
+    fn default() -> Self {
+        BarnesHutConfig { bodies: 512, steps: 2, theta: 0.6, seed: 42 }
+    }
+}
+
+impl BarnesHutConfig {
+    /// The execution plan: per step, a serial tree build, the parallel
+    /// FORCES section, and a serial integration.
+    #[must_use]
+    pub fn plan(&self) -> Vec<PlanEntry> {
+        let mut plan = vec![PlanEntry::serial("init")];
+        for _ in 0..self.steps {
+            plan.push(PlanEntry::serial("build"));
+            plan.push(PlanEntry::parallel("forces"));
+            plan.push(PlanEntry::serial("advance"));
+        }
+        plan
+    }
+}
+
+/// Compile a Barnes-Hut instance.
+///
+/// # Panics
+///
+/// Panics if the bundled program fails to compile (a bug, covered by
+/// tests).
+#[must_use]
+pub fn barnes_hut(config: &BarnesHutConfig) -> CompiledApp {
+    let hir = dynfb_lang::compile_source(SOURCE)
+        .unwrap_or_else(|e| panic!("barnes_hut.ol: {e}"));
+    let host = standard_host(&HostConfig {
+        seed: config.seed,
+        iparams: vec![config.bodies as i64],
+        dparams: vec![config.theta, 0.02],
+        ..HostConfig::default()
+    });
+    let mut options = CompileOptions::new("barnes-hut", config.plan());
+    // Bodies plus a fresh tree (≈ 2 cells per body) per step.
+    options.max_objects = config.bodies * (3 * config.steps + 2) + 64;
+    compile(hir, options, host).unwrap_or_else(|e| panic!("barnes_hut.ol: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfb_core::controller::ControllerConfig;
+    use crate::{run_dynamic, run_fixed};
+    use dynfb_sim::run_app;
+    use std::time::Duration;
+
+    fn small() -> BarnesHutConfig {
+        BarnesHutConfig { bodies: 96, steps: 2, ..BarnesHutConfig::default() }
+    }
+
+    #[test]
+    fn compiles_with_three_distinct_versions() {
+        let app = barnes_hut(&small());
+        let forces = &app.sections()["forces"];
+        let names: Vec<&str> = forces.versions.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["original", "bounded", "aggressive"], "{names:?}");
+    }
+
+    #[test]
+    fn policy_acquire_counts_are_ordered() {
+        // Original: 2 regions per interaction. Bounded merges → 1 per
+        // interaction. Aggressive lifts through the recursive walk → 1 per
+        // body per FORCES execution.
+        let orig = run_app(barnes_hut(&small()), &run_fixed(4, "original")).unwrap();
+        let bnd = run_app(barnes_hut(&small()), &run_fixed(4, "bounded")).unwrap();
+        let aggr = run_app(barnes_hut(&small()), &run_fixed(4, "aggressive")).unwrap();
+        let (o, b, a) = (
+            orig.stats.totals().acquires,
+            bnd.stats.totals().acquires,
+            aggr.stats.totals().acquires,
+        );
+        assert_eq!(a, 96 * 2, "aggressive: one acquire per body per step");
+        assert_eq!(o, 2 * b, "bounded merges the two regions: {o} vs {b}");
+        assert!(b > a * 4, "bounded still locks per interaction: {b} vs {a}");
+        // And execution times follow the same order.
+        assert!(aggr.elapsed() < bnd.elapsed());
+        assert!(bnd.elapsed() < orig.elapsed());
+    }
+
+    #[test]
+    fn speedup_scales_with_processors() {
+        let t1 = run_app(barnes_hut(&small()), &run_fixed(1, "aggressive"))
+            .unwrap()
+            .elapsed();
+        let t8 = run_app(barnes_hut(&small()), &run_fixed(8, "aggressive"))
+            .unwrap()
+            .elapsed();
+        let speedup = t1.as_secs_f64() / t8.as_secs_f64();
+        assert!(speedup > 3.0, "8-processor speedup was only {speedup:.2}");
+    }
+
+    #[test]
+    fn dynamic_feedback_is_close_to_best_policy() {
+        let cfg = BarnesHutConfig { bodies: 256, steps: 2, ..BarnesHutConfig::default() };
+        let best = run_app(barnes_hut(&cfg), &run_fixed(8, "aggressive"))
+            .unwrap()
+            .elapsed();
+        let worst = run_app(barnes_hut(&cfg), &run_fixed(8, "original"))
+            .unwrap()
+            .elapsed();
+        let ctl = ControllerConfig {
+            target_sampling: Duration::from_micros(200),
+            target_production: Duration::from_secs(10),
+            ..ControllerConfig::default()
+        };
+        let dynamic = run_app(barnes_hut(&cfg), &run_dynamic(8, ctl))
+            .unwrap()
+            .elapsed();
+        let ratio = dynamic.as_secs_f64() / best.as_secs_f64();
+        assert!(ratio < 1.35, "dynamic/best = {ratio:.3}");
+        assert!(dynamic < worst, "dynamic must beat the worst policy");
+    }
+
+    #[test]
+    fn results_identical_across_policies() {
+        // Gravity accumulators must agree bit-for-bit between serial and
+        // any parallel policy (operations commute and math is replayed in
+        // emission order).
+        let phis = |policy: &str| -> Vec<f64> {
+            let mut app = barnes_hut(&small());
+            dynfb_sim::run_app_ref(&mut app, &run_fixed(4, policy)).unwrap();
+            app.heap()
+                .objects
+                .iter()
+                .take(96) // bodies are allocated first
+                .map(|o| match o.fields[9] {
+                    dynfb_compiler::interp::Value::Double(v) => v,
+                    _ => f64::NAN,
+                })
+                .collect()
+        };
+        let serial = phis("serial");
+        for p in ["original", "bounded", "aggressive"] {
+            assert_eq!(serial, phis(p), "{p}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! String: seismic ray-tracing inversion between two oil wells (§6.3).
+//!
+//! The paper's String section is truncated in the available text, so this
+//! application reconstructs the benchmark *by analogy*: the computation
+//! (rays traced through a velocity grid, accumulating slowness into the
+//! traversed cells) is as described in the paper's introduction of the
+//! benchmark, and the experiments mirror the structure of the Barnes-Hut
+//! and Water experiments.
+
+use crate::host::{standard_host, HostConfig};
+use dynfb_compiler::artifact::{compile, CompileOptions, CompiledApp};
+use dynfb_sim::PlanEntry;
+
+/// The String source program.
+pub const SOURCE: &str = include_str!("../programs/string_app.ol");
+
+/// Configuration of a String instance.
+#[derive(Debug, Clone)]
+pub struct StringConfig {
+    /// Grid width (cells between the wells).
+    pub nx: usize,
+    /// Grid depth.
+    pub nz: usize,
+    /// Number of rays per inversion iteration.
+    pub rays: usize,
+    /// Sampling steps along each ray.
+    pub steps_per_ray: usize,
+    /// Inversion iterations (each: parallel trace + serial smooth).
+    pub iterations: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for StringConfig {
+    fn default() -> Self {
+        StringConfig { nx: 32, nz: 32, rays: 256, steps_per_ray: 48, iterations: 2, seed: 42 }
+    }
+}
+
+impl StringConfig {
+    /// The execution plan.
+    #[must_use]
+    pub fn plan(&self) -> Vec<PlanEntry> {
+        let mut plan = vec![PlanEntry::serial("init")];
+        for _ in 0..self.iterations {
+            plan.push(PlanEntry::parallel("trace_rays"));
+            plan.push(PlanEntry::serial("smooth"));
+        }
+        plan
+    }
+}
+
+/// Compile a String instance.
+///
+/// # Panics
+///
+/// Panics if the bundled program fails to compile (a bug, covered by
+/// tests).
+#[must_use]
+pub fn string_app(config: &StringConfig) -> CompiledApp {
+    let hir = dynfb_lang::compile_source(SOURCE)
+        .unwrap_or_else(|e| panic!("string_app.ol: {e}"));
+    let host = standard_host(&HostConfig {
+        seed: config.seed,
+        iparams: vec![
+            config.nx as i64,
+            config.nz as i64,
+            config.rays as i64,
+            config.steps_per_ray as i64,
+        ],
+        ..HostConfig::default()
+    });
+    let mut options = CompileOptions::new("string", config.plan());
+    options.max_objects = config.nx * config.nz + config.rays + 16;
+    compile(hir, options, host).unwrap_or_else(|e| panic!("string_app.ol: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_fixed;
+    use dynfb_sim::run_app;
+
+    fn small() -> StringConfig {
+        StringConfig { nx: 16, nz: 16, rays: 64, steps_per_ray: 24, iterations: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn optimized_policies_share_code() {
+        let app = string_app(&small());
+        let s = &app.sections()["trace_rays"];
+        let names: Vec<&str> = s.versions.iter().map(|v| v.name.as_str()).collect();
+        assert!(names[0].contains("original"), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.contains("bounded") && n.contains("aggressive")),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn optimized_beats_original() {
+        let orig = run_app(string_app(&small()), &run_fixed(8, "original")).unwrap();
+        let opt = run_app(string_app(&small()), &run_fixed(8, "aggressive")).unwrap();
+        assert!(opt.stats.totals().acquires < orig.stats.totals().acquires);
+        assert!(opt.elapsed() < orig.elapsed());
+    }
+
+    #[test]
+    fn rays_contend_on_shared_cells() {
+        // Rays cross: some waiting overhead exists under every policy.
+        let report = run_app(string_app(&small()), &run_fixed(8, "original")).unwrap();
+        assert!(report.stats.totals().failed_attempts > 0);
+    }
+
+    #[test]
+    fn model_identical_across_policies() {
+        let velocity_sum = |policy: &str| -> f64 {
+            let mut app = string_app(&small());
+            dynfb_sim::run_app_ref(&mut app, &run_fixed(4, policy)).unwrap();
+            app.heap()
+                .objects
+                .iter()
+                .take(16 * 16)
+                .map(|o| match o.fields[2] {
+                    dynfb_compiler::interp::Value::Double(v) => v,
+                    _ => f64::NAN,
+                })
+                .sum()
+        };
+        let serial = velocity_sum("serial");
+        assert!(serial.is_finite());
+        for p in ["original", "bounded", "aggressive"] {
+            assert_eq!(serial, velocity_sum(p), "{p}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Water: liquid-state molecular dynamics (paper §6.2).
+
+use crate::host::{standard_host, HostConfig};
+use dynfb_compiler::artifact::{compile, CompileOptions, CompiledApp};
+use dynfb_sim::PlanEntry;
+
+/// The Water source program.
+pub const SOURCE: &str = include_str!("../programs/water.ol");
+
+/// Configuration of a Water instance.
+#[derive(Debug, Clone)]
+pub struct WaterConfig {
+    /// Number of molecules (the paper used 512).
+    pub molecules: usize,
+    /// Number of time steps (each: serial PREDIC, parallel INTERF,
+    /// parallel POTENG, serial CORREC).
+    pub steps: usize,
+    /// Recursion depth of the potential-term series (controls how
+    /// expensive each POTENG term is relative to the accumulator lock).
+    pub edepth: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for WaterConfig {
+    fn default() -> Self {
+        WaterConfig { molecules: 128, steps: 2, edepth: 10, seed: 42 }
+    }
+}
+
+impl WaterConfig {
+    /// The execution plan.
+    #[must_use]
+    pub fn plan(&self) -> Vec<PlanEntry> {
+        let mut plan = vec![PlanEntry::serial("init")];
+        for _ in 0..self.steps {
+            plan.push(PlanEntry::serial("predict"));
+            plan.push(PlanEntry::parallel("interf"));
+            plan.push(PlanEntry::parallel("poteng"));
+            plan.push(PlanEntry::serial("correct"));
+        }
+        plan
+    }
+}
+
+/// Compile a Water instance.
+///
+/// # Panics
+///
+/// Panics if the bundled program fails to compile (a bug, covered by
+/// tests).
+#[must_use]
+pub fn water(config: &WaterConfig) -> CompiledApp {
+    let hir =
+        dynfb_lang::compile_source(SOURCE).unwrap_or_else(|e| panic!("water.ol: {e}"));
+    let host = standard_host(&HostConfig {
+        seed: config.seed,
+        iparams: vec![config.molecules as i64, config.edepth as i64],
+        kernel_cost: std::time::Duration::from_nanos(1200),
+        ..HostConfig::default()
+    });
+    let mut options = CompileOptions::new("water", config.plan());
+    options.max_objects = config.molecules + 16;
+    compile(hir, options, host).unwrap_or_else(|e| panic!("water.ol: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_fixed;
+    use dynfb_sim::run_app;
+
+    fn small() -> WaterConfig {
+        WaterConfig { molecules: 48, steps: 1, ..WaterConfig::default() }
+    }
+
+    #[test]
+    fn interf_shares_bounded_and_aggressive_code() {
+        // The paper observes that for the INTERF section the Bounded and
+        // Aggressive policies generate the same code; the compiler must
+        // detect this and emit a single shared version.
+        let app = water(&small());
+        let interf = &app.sections()["interf"];
+        let names: Vec<&str> = interf.versions.iter().map(|v| v.name.as_str()).collect();
+        assert!(
+            names.iter().any(|n| n.contains("bounded") && n.contains("aggressive")),
+            "{names:?}"
+        );
+        assert_eq!(interf.versions.len(), 2, "{names:?}");
+    }
+
+    #[test]
+    fn poteng_aggressive_serializes() {
+        // Aggressive hoists the global accumulator's lock around each
+        // molecule's pairwise loop: waiting overhead explodes relative to
+        // Bounded (false exclusion, the paper's Figure 7).
+        let bnd = run_app(water(&small()), &run_fixed(8, "bounded")).unwrap();
+        let aggr = run_app(water(&small()), &run_fixed(8, "aggressive")).unwrap();
+        let (wa, wb) = (aggr.stats.waiting_proportion(), bnd.stats.waiting_proportion());
+        assert!(wa > 0.5, "aggressive waiting proportion {wa}");
+        assert!(wa > 2.0 * wb.max(1e-6), "aggr {wa} vs bnd {wb}");
+        assert!(aggr.elapsed() > bnd.elapsed());
+    }
+
+    #[test]
+    fn aggressive_fails_to_scale() {
+        // The paper's Figure 6: Aggressive is competitive at 1 processor
+        // but fails to scale as processors are added.
+        let t1 = run_app(water(&small()), &run_fixed(1, "aggressive")).unwrap();
+        let t8 = run_app(water(&small()), &run_fixed(8, "aggressive")).unwrap();
+        let speedup = t1.elapsed().as_secs_f64() / t8.elapsed().as_secs_f64();
+        assert!(speedup < 4.0, "aggressive speedup at 8 procs was {speedup:.2}");
+        let b1 = run_app(water(&small()), &run_fixed(1, "bounded")).unwrap();
+        let b8 = run_app(water(&small()), &run_fixed(8, "bounded")).unwrap();
+        let bspeed = b1.elapsed().as_secs_f64() / b8.elapsed().as_secs_f64();
+        assert!(bspeed > speedup, "bounded {bspeed:.2} vs aggressive {speedup:.2}");
+    }
+
+    #[test]
+    fn energies_identical_across_policies() {
+        let poteng = |policy: &str| -> f64 {
+            let mut app = water(&small());
+            dynfb_sim::run_app_ref(&mut app, &run_fixed(4, policy)).unwrap();
+            // The accumulator is the first object allocated by init().
+            match app.heap().objects[0].fields[0] {
+                dynfb_compiler::interp::Value::Double(v) => v,
+                _ => f64::NAN,
+            }
+        };
+        let serial = poteng("serial");
+        assert!(serial.is_finite() && serial != 0.0);
+        for p in ["original", "bounded", "aggressive"] {
+            assert_eq!(serial, poteng(p), "{p}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests for the §4.4 spanning-intervals extension on the real
+//! compiled applications, and miscellaneous cross-version invariants.
+
+use dynfb_apps::{run_dynamic, run_fixed, water, WaterConfig};
+use dynfb_compiler::interp::Value;
+use dynfb_core::controller::ControllerConfig;
+use dynfb_sim::run_app_ref;
+use std::time::Duration;
+
+fn ctl() -> ControllerConfig {
+    ControllerConfig {
+        target_sampling: Duration::from_millis(1),
+        target_production: Duration::from_secs(100),
+        ..ControllerConfig::default()
+    }
+}
+
+fn poteng_of(app: &dynfb_compiler::CompiledApp) -> f64 {
+    match app.heap().objects[0].fields[0] {
+        Value::Double(v) => v,
+        other => panic!("poteng should be a double, got {other:?}"),
+    }
+}
+
+#[test]
+fn spanning_preserves_results() {
+    let cfg = WaterConfig { molecules: 64, steps: 2, ..Default::default() };
+    let mut plain = water(&cfg);
+    run_app_ref(&mut plain, &run_dynamic(8, ctl())).unwrap();
+    let mut span = water(&cfg);
+    let mut rc = run_dynamic(8, ctl());
+    rc.span_intervals = true;
+    run_app_ref(&mut span, &rc).unwrap();
+    let mut serial = water(&cfg);
+    run_app_ref(&mut serial, &run_fixed(1, "serial")).unwrap();
+    assert_eq!(poteng_of(&serial), poteng_of(&plain));
+    assert_eq!(poteng_of(&serial), poteng_of(&span));
+}
+
+#[test]
+fn spanning_reduces_high_processor_dynamic_penalty() {
+    let cfg = WaterConfig { molecules: 96, steps: 2, ..Default::default() };
+    let plain = dynfb_sim::run_app(water(&cfg), &run_dynamic(16, ctl())).unwrap();
+    let mut rc = run_dynamic(16, ctl());
+    rc.span_intervals = true;
+    let span = dynfb_sim::run_app(water(&cfg), &rc).unwrap();
+    assert!(
+        span.elapsed() <= plain.elapsed(),
+        "spanning {:?} must not be slower than per-execution restart {:?}",
+        span.elapsed(),
+        plain.elapsed()
+    );
+}
+
+#[test]
+fn spanning_resumes_rather_than_restarting_sampling() {
+    // With spanning, the second execution of a section must not begin with
+    // the first policy of a fresh sampling phase unless the phase genuinely
+    // wrapped around.
+    let cfg = WaterConfig { molecules: 64, steps: 2, ..Default::default() };
+    // Short production intervals so completed production records exist
+    // (in span mode an interval that outlives the run is never recorded).
+    let short = ControllerConfig {
+        target_production: Duration::from_millis(20),
+        ..ctl()
+    };
+    let mut rc = run_dynamic(8, short);
+    rc.span_intervals = true;
+    let report = dynfb_sim::run_app(water(&cfg), &rc).unwrap();
+    // No partial-interval records exist in span mode, for any section.
+    for section in ["interf", "poteng"] {
+        for exec in report.section(section) {
+            assert!(exec.records.iter().all(|r| !r.partial), "{:?}", exec.records);
+        }
+    }
+    // The proof of resumption: across BOTH executions of INTERF, each of
+    // its two versions completes exactly one sampling interval (per-
+    // execution restart would begin a fresh sampling phase each time and
+    // at these section lengths would never get past version 0 twice).
+    let sampled: Vec<usize> = report
+        .section("interf")
+        .flat_map(|e| e.records.iter())
+        .filter(|r| r.phase.is_sampling())
+        .map(|r| r.version)
+        .collect();
+    assert_eq!(sampled, vec![0, 1], "one sampling interval per version, in order");
+    // And compare against restart mode: it samples version 0 anew in every
+    // execution.
+    let restart = dynfb_sim::run_app(
+        water(&cfg),
+        &run_dynamic(
+            8,
+            ControllerConfig {
+                target_production: Duration::from_millis(20),
+                ..ctl()
+            },
+        ),
+    )
+    .unwrap();
+    let restart_first: Vec<usize> = restart
+        .section("interf")
+        .filter_map(|e| e.records.first().map(|r| r.version))
+        .collect();
+    assert_eq!(restart_first, vec![0, 0], "restart mode resamples from version 0");
+}

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the core building blocks: the
+//! discrete-event engine, the dynamic feedback controller, symbolic
+//! normalization, compilation, and a small end-to-end simulated run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynfb_core::controller::{Controller, ControllerConfig};
+use dynfb_core::overhead::OverheadSample;
+use dynfb_core::theory::Analysis;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_controller(c: &mut Criterion) {
+    c.bench_function("controller/sampling_cycle", |b| {
+        let cfg = ControllerConfig { num_policies: 3, ..ControllerConfig::default() };
+        b.iter(|| {
+            let mut ctl = Controller::new(cfg.clone());
+            ctl.begin_section();
+            for o in [0.4, 0.2, 0.1, 0.15] {
+                ctl.complete_interval(OverheadSample::from_fraction(o, Duration::from_millis(1)));
+            }
+            black_box(ctl.current_policy())
+        });
+    });
+}
+
+fn bench_theory(c: &mut Criterion) {
+    c.bench_function("theory/p_opt", |b| {
+        let a = Analysis::new(1.0, 2, 0.065).unwrap();
+        b.iter(|| black_box(a.optimal_production_interval()));
+    });
+    c.bench_function("theory/feasible_region", |b| {
+        let a = Analysis::new(1.0, 2, 0.065).unwrap();
+        b.iter(|| black_box(a.feasible_region(0.5).unwrap()));
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    use dynfb_sim::{Machine, MachineConfig, ProcCtx, Process, Step};
+    struct Spin {
+        remaining: u32,
+        lock: dynfb_sim::LockId,
+    }
+    impl Process for Spin {
+        fn step(&mut self, _ctx: &mut ProcCtx<'_>) -> Step {
+            if self.remaining == 0 {
+                return Step::Done;
+            }
+            self.remaining -= 1;
+            // Countdown phases per cycle: compute (2), acquire (1), release (0).
+            match self.remaining % 3 {
+                2 => Step::Compute(Duration::from_micros(1)),
+                1 => Step::Acquire(self.lock),
+                _ => Step::Release(self.lock),
+            }
+        }
+    }
+    c.bench_function("engine/100k_events_4_procs", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            let lock = m.add_lock();
+            let procs: Vec<Box<dyn Process>> = (0..4)
+                .map(|_| Box::new(Spin { remaining: 25_000 * 3, lock }) as Box<dyn Process>)
+                .collect();
+            black_box(m.run(procs).unwrap())
+        });
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compiler/compile_barnes_hut", |b| {
+        b.iter(|| {
+            black_box(dynfb_apps::barnes_hut(&dynfb_apps::BarnesHutConfig {
+                bodies: 64,
+                steps: 1,
+                ..Default::default()
+            }))
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("barnes_hut_128_bodies_8_procs_dynamic", |b| {
+        b.iter(|| {
+            let app = dynfb_apps::barnes_hut(&dynfb_apps::BarnesHutConfig {
+                bodies: 128,
+                steps: 1,
+                ..Default::default()
+            });
+            let ctl = ControllerConfig {
+                target_sampling: Duration::from_micros(200),
+                target_production: Duration::from_millis(50),
+                ..ControllerConfig::default()
+            };
+            black_box(dynfb_sim::run_app(app, &dynfb_apps::run_dynamic(8, ctl)).unwrap())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_controller,
+    bench_theory,
+    bench_engine,
+    bench_compile,
+    bench_end_to_end
+);
+criterion_main!(benches);

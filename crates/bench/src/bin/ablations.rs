@@ -1,0 +1,222 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Synchronous vs. asynchronous switching** (§4.1): without the
+//!    barrier rendezvous, overhead measurements mix versions and the
+//!    controller can pick the wrong policy.
+//! 2. **Early cut-off and policy ordering** (§4.5): sampling extremes
+//!    first and cutting off when no other policy can win shortens the
+//!    sampling phase.
+//! 3. **Periodic resampling**: under a drifting environment, long
+//!    production intervals (or none) lose to resampling — the λ trade-off
+//!    of the §5 analysis.
+//!
+//! Run with `cargo run --release -p dynfb-bench --bin ablations`.
+
+use dynfb_apps::{barnes_hut, machine_config, run_dynamic, water, BarnesHutConfig, WaterConfig};
+use dynfb_bench::report::{secs, Table};
+use dynfb_core::controller::{ControllerConfig, EarlyCutoff, PolicyOrdering};
+use dynfb_sim::{run_app, LockId, Machine, OpSink, PlanEntry, RunConfig, RunMode, SimApp};
+use std::time::Duration;
+
+fn base_controller() -> ControllerConfig {
+    ControllerConfig {
+        target_sampling: Duration::from_millis(1),
+        target_production: Duration::from_secs(100),
+        ..ControllerConfig::default()
+    }
+}
+
+fn switching_ablation() -> Table {
+    let mut t = Table::new(
+        "Ablation 1: synchronous vs. asynchronous policy switching (8 processors)",
+        &["Application", "Synchronous (s)", "Asynchronous (s)"],
+    );
+    let apps: [(&str, Box<dyn Fn() -> dynfb_compiler::CompiledApp>); 2] = [
+        (
+            "Barnes-Hut",
+            Box::new(|| {
+                barnes_hut(&BarnesHutConfig { bodies: 512, steps: 2, ..Default::default() })
+            }),
+        ),
+        (
+            "Water",
+            Box::new(|| water(&WaterConfig { molecules: 128, steps: 2, ..Default::default() })),
+        ),
+    ];
+    for (name, build) in apps {
+        let sync = run_app(build(), &run_dynamic(8, base_controller())).unwrap();
+        let mut cfg = run_dynamic(8, base_controller());
+        cfg.mode = RunMode::DynamicAsync(base_controller());
+        let asynchronous = run_app(build(), &cfg).unwrap();
+        t.row(vec![
+            name.to_string(),
+            secs(sync.elapsed()),
+            secs(asynchronous.elapsed()),
+        ]);
+    }
+    t.note("Asynchronous switching pollutes interval measurements with mixed-version execution; synchronous switching (the paper's choice) keeps them attributable.");
+    t
+}
+
+fn cutoff_ablation() -> Table {
+    let mut t = Table::new(
+        "Ablation 2: early cut-off and policy ordering (8 processors, dynamic feedback)",
+        &["Application", "InOrder, no cut-off (s)", "ExtremesFirst + cut-off (s)", "BestFirst + cut-off (s)"],
+    );
+    let variants: [(&str, PolicyOrdering, Option<EarlyCutoff>); 3] = [
+        ("plain", PolicyOrdering::InOrder, None),
+        (
+            "extremes",
+            PolicyOrdering::ExtremesFirst,
+            Some(EarlyCutoff { negligible: 0.02, accept_within: None }),
+        ),
+        (
+            "best-first",
+            PolicyOrdering::BestFirst,
+            Some(EarlyCutoff { negligible: 0.02, accept_within: Some(0.05) }),
+        ),
+    ];
+    let apps: [(&str, Box<dyn Fn() -> dynfb_compiler::CompiledApp>); 2] = [
+        (
+            "Barnes-Hut",
+            Box::new(|| {
+                barnes_hut(&BarnesHutConfig { bodies: 512, steps: 2, ..Default::default() })
+            }),
+        ),
+        (
+            "Water",
+            Box::new(|| water(&WaterConfig { molecules: 128, steps: 2, ..Default::default() })),
+        ),
+    ];
+    for (name, build) in apps {
+        let mut row = vec![name.to_string()];
+        for (_, ordering, cutoff) in &variants {
+            let ctl = ControllerConfig {
+                ordering: *ordering,
+                early_cutoff: *cutoff,
+                ..base_controller()
+            };
+            let r = run_app(build(), &run_dynamic(8, ctl)).unwrap();
+            row.push(secs(r.elapsed()));
+        }
+        t.row(row);
+    }
+    t.note("The cut-off rules exploit the monotonicity of locking/waiting overhead across the policy spectrum (§4.5): sampling the extremes first lets Barnes-Hut skip the expensive Original version, and best-first ordering lets later section executions skip sampling entirely.");
+    t
+}
+
+/// A drifting workload: private slots early, one shared slot late, so the
+/// best version flips mid-run (see also `examples/drifting_env.rs`).
+struct Drifting {
+    locks: Vec<LockId>,
+}
+
+const ITEMS: usize = 8_000;
+
+impl SimApp for Drifting {
+    fn name(&self) -> &str {
+        "drifting"
+    }
+    fn setup(&mut self, machine: &mut Machine) {
+        let first = machine.add_locks(64);
+        self.locks = (0..64).map(|i| first.offset(i)).collect();
+    }
+    fn plan(&self) -> Vec<PlanEntry> {
+        vec![PlanEntry::parallel("work")]
+    }
+    fn versions(&self, _s: &str) -> Vec<String> {
+        vec!["batched".to_string(), "fine".to_string()]
+    }
+    fn emit_serial(&mut self, _s: &str, _ops: &mut OpSink) {}
+    fn begin_parallel(&mut self, _s: &str) -> usize {
+        ITEMS
+    }
+    fn emit_iteration(&mut self, _s: &str, version: usize, iter: usize, ops: &mut OpSink) {
+        let slot = if iter < ITEMS / 2 { iter % 64 } else { 0 };
+        let lock = self.locks[slot];
+        if version == 0 {
+            ops.acquire(lock);
+            for _ in 0..16 {
+                ops.compute(Duration::from_micros(6));
+            }
+            ops.release(lock);
+        } else {
+            for _ in 0..16 {
+                ops.compute(Duration::from_micros(6));
+                ops.acquire(lock);
+                ops.compute(Duration::from_nanos(200));
+                ops.release(lock);
+            }
+        }
+    }
+}
+
+fn resampling_ablation() -> Table {
+    let mut t = Table::new(
+        "Ablation 3: periodic resampling under a drifting environment (8 processors)",
+        &["Target production interval", "Time (s)", "Policy switches"],
+    );
+    let machine = dynfb_sim::MachineConfig {
+        lock_acquire_cost: Duration::from_nanos(200),
+        lock_release_cost: Duration::from_nanos(200),
+        lock_attempt_cost: Duration::from_nanos(100),
+        ..machine_config()
+    };
+    for (label, production) in [
+        ("5 ms (frequent resampling)", Duration::from_millis(5)),
+        ("20 ms", Duration::from_millis(20)),
+        ("80 ms", Duration::from_millis(80)),
+        ("10 s (effectively sample-once)", Duration::from_secs(10)),
+    ] {
+        let ctl = ControllerConfig {
+            num_policies: 2,
+            target_sampling: Duration::from_micros(500),
+            target_production: production,
+            ..ControllerConfig::default()
+        };
+        let mut cfg = RunConfig::dynamic(8, ctl);
+        cfg.machine = machine;
+        let report = run_app(Drifting { locks: Vec::new() }, &cfg).unwrap();
+        let productions: Vec<usize> = report
+            .section("work")
+            .flat_map(|e| e.records.iter())
+            .filter(|r| r.phase.is_production())
+            .map(|r| r.version)
+            .collect();
+        let switches = productions.windows(2).filter(|w| w[0] != w[1]).count();
+        t.row(vec![label.to_string(), secs(report.elapsed()), switches.to_string()]);
+    }
+    t.note("Short production intervals adapt to the mid-run drift but pay more sampling; very long intervals never adapt (the trade-off that Equation 7 bounds via the decay rate).");
+    t
+}
+
+fn spanning_ablation() -> Table {
+    let mut t = Table::new(
+        "Ablation 4: intervals spanning section executions (the paper's §4.4 proposal)",
+        &["Application, processors", "Restart per execution (s)", "Spanning (s)", "Best static (s)"],
+    );
+    for procs in [8usize, 16] {
+        let build =
+            || water(&WaterConfig { molecules: 128, steps: 2, ..Default::default() });
+        let plain = run_app(build(), &run_dynamic(procs, base_controller())).unwrap();
+        let mut cfg = run_dynamic(procs, base_controller());
+        cfg.span_intervals = true;
+        let spanning = run_app(build(), &cfg).unwrap();
+        let best = run_app(build(), &dynfb_apps::run_fixed(procs, "bounded")).unwrap();
+        t.row(vec![
+            format!("Water, {procs}"),
+            secs(plain.elapsed()),
+            secs(spanning.elapsed()),
+            secs(best.elapsed()),
+        ]);
+    }
+    t.note("At high processor counts each POTENG execution is too short to amortize a sampling phase that includes the serializing Aggressive version; letting intervals span executions (§4.4) removes the per-execution resampling cost.");
+    t
+}
+
+fn main() {
+    println!("{}", switching_ablation().to_console());
+    println!("{}", cutoff_ablation().to_console());
+    println!("{}", resampling_ablation().to_console());
+    println!("{}", spanning_ablation().to_console());
+}

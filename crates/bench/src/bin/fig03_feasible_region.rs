@@ -1,0 +1,5 @@
+//! Regenerates Figure 3: the feasible region for the production interval
+//! and the optimal production interval P_opt (§5).
+fn main() {
+    println!("{}", dynfb_bench::experiments::figure3_feasible_region().to_console());
+}

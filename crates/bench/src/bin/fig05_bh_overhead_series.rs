@@ -1,0 +1,10 @@
+//! Regenerates Figure 5: sampled overhead for the Barnes-Hut FORCES
+//! section on eight processors.
+fn main() {
+    let t = dynfb_bench::experiments::overhead_series(
+        &dynfb_bench::experiments::bh_spec(),
+        "forces",
+        8,
+    );
+    println!("{}", t.to_console());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figures 8 and 9: sampled overhead for the Water INTERF and
+//! POTENG sections on eight processors.
+fn main() {
+    let spec = dynfb_bench::experiments::water_spec();
+    println!("{}", dynfb_bench::experiments::overhead_series(&spec, "interf", 8).to_console());
+    println!("{}", dynfb_bench::experiments::overhead_series(&spec, "poteng", 8).to_console());
+}

@@ -1,0 +1,6 @@
+//! The §4.3 instrumentation-overhead check for all three applications.
+fn main() {
+    for spec in dynfb_bench::experiments::all_specs() {
+        println!("{}", dynfb_bench::experiments::instrumentation_overhead(&spec).to_console());
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: executable code sizes.
+fn main() {
+    println!("{}", dynfb_bench::experiments::table_code_sizes().to_console());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3: Barnes-Hut locking overhead.
+fn main() {
+    let t = dynfb_bench::experiments::locking_overhead(&dynfb_bench::experiments::bh_spec());
+    println!("{}", t.to_console());
+}

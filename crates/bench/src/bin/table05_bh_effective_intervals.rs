@@ -1,0 +1,10 @@
+//! Regenerates Table 5: mean minimum effective sampling intervals for the
+//! Barnes-Hut FORCES section on eight processors.
+fn main() {
+    let t = dynfb_bench::experiments::effective_sampling_intervals(
+        &dynfb_bench::experiments::bh_spec(),
+        "forces",
+        8,
+    );
+    println!("{}", t.to_console());
+}

@@ -1,0 +1,441 @@
+//! The experiment implementations behind every table and figure.
+//!
+//! Each function regenerates one table or figure of the paper (at scaled
+//! problem sizes — the shapes, not the absolute numbers, are the claim
+//! being reproduced). The `experiments` binary runs everything and writes
+//! `EXPERIMENTS.md`; the per-table binaries print single tables.
+
+use crate::report::{millis, secs, Table};
+use dynfb_apps::{
+    barnes_hut, machine_config, run_dynamic, run_fixed, string_app, water, BarnesHutConfig,
+    StringConfig, WaterConfig,
+};
+use dynfb_compiler::CompiledApp;
+use dynfb_core::controller::ControllerConfig;
+use dynfb_core::theory::Analysis;
+use dynfb_sim::{run_app, run_app_ref, AppReport, RunConfig};
+use std::time::Duration;
+
+/// Processor counts swept by the execution-time experiments (the paper's
+/// Tables 2 and 7 use 1–16 processors on DASH).
+pub const PROCS: [usize; 6] = [1, 2, 4, 8, 12, 16];
+
+/// The static policies, in sampling order, plus display names.
+pub const POLICIES: [(&str, &str); 3] =
+    [("original", "Original"), ("bounded", "Bounded"), ("aggressive", "Aggressive")];
+
+/// One benchmark application: how to build it and which parallel section
+/// its detailed experiments target.
+pub struct AppSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Builder (each run needs a fresh app).
+    pub build: Box<dyn Fn() -> CompiledApp>,
+    /// The computationally intensive section (FORCES / INTERF / POTENG /
+    /// trace_rays) used for the per-section experiments.
+    pub main_section: &'static str,
+}
+
+impl std::fmt::Debug for AppSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AppSpec({})", self.name)
+    }
+}
+
+/// The benchmark-scale Barnes-Hut instance.
+#[must_use]
+pub fn bh_spec() -> AppSpec {
+    AppSpec {
+        name: "Barnes-Hut",
+        build: Box::new(|| {
+            barnes_hut(&BarnesHutConfig { bodies: 1024, steps: 2, ..BarnesHutConfig::default() })
+        }),
+        main_section: "forces",
+    }
+}
+
+/// The benchmark-scale Water instance.
+#[must_use]
+pub fn water_spec() -> AppSpec {
+    AppSpec {
+        name: "Water",
+        build: Box::new(|| {
+            water(&WaterConfig { molecules: 192, steps: 2, ..WaterConfig::default() })
+        }),
+        main_section: "poteng",
+    }
+}
+
+/// The benchmark-scale String instance.
+#[must_use]
+pub fn string_spec() -> AppSpec {
+    AppSpec {
+        name: "String",
+        build: Box::new(|| {
+            string_app(&StringConfig {
+                nx: 32,
+                nz: 32,
+                rays: 384,
+                steps_per_ray: 48,
+                iterations: 2,
+                ..StringConfig::default()
+            })
+        }),
+        main_section: "trace_rays",
+    }
+}
+
+/// All three applications.
+#[must_use]
+pub fn all_specs() -> Vec<AppSpec> {
+    vec![bh_spec(), water_spec(), string_spec()]
+}
+
+/// The dynamic-feedback controller used for benchmark runs: 1 ms target
+/// sampling intervals (small relative to our scaled section lengths, as
+/// the paper's 10 ms was to theirs) and a production interval long enough
+/// that each section execution is one sampling phase plus one production
+/// phase.
+#[must_use]
+pub fn bench_controller() -> ControllerConfig {
+    ControllerConfig {
+        num_policies: 3,
+        target_sampling: Duration::from_millis(1),
+        target_production: Duration::from_secs(100),
+        ..ControllerConfig::default()
+    }
+}
+
+fn run_static(spec: &AppSpec, procs: usize, policy: &str) -> AppReport {
+    run_app((spec.build)(), &run_fixed(procs, policy)).expect("simulation runs")
+}
+
+fn run_dyn(spec: &AppSpec, procs: usize, ctl: ControllerConfig) -> AppReport {
+    run_app((spec.build)(), &run_dynamic(procs, ctl)).expect("simulation runs")
+}
+
+fn run_dyn_span(spec: &AppSpec, procs: usize, ctl: ControllerConfig) -> AppReport {
+    let mut cfg = run_dynamic(procs, ctl);
+    cfg.span_intervals = true;
+    run_app((spec.build)(), &cfg).expect("simulation runs")
+}
+
+/// Table 1: executable code sizes (bytes) for each application.
+#[must_use]
+pub fn table_code_sizes() -> Table {
+    let mut t = Table::new(
+        "Table 1: Executable Code Sizes (bytes of generated IR)",
+        &["Application", "Serial", "Original", "Bounded", "Aggressive", "Dynamic"],
+    );
+    for spec in all_specs() {
+        let app = (spec.build)();
+        let s = app.code_sizes();
+        t.row(vec![
+            spec.name.to_string(),
+            s.serial.to_string(),
+            s.original.to_string(),
+            s.bounded.to_string(),
+            s.aggressive.to_string(),
+            s.dynamic.to_string(),
+        ]);
+    }
+    t.note("Dynamic shares functions that are identical across policy versions (closed-subgraph sharing), keeping multi-version code growth small — the paper's Table 1 observation.");
+    t
+}
+
+/// Figure 3: the feasible region for the production interval, and the
+/// optimal production interval, for the paper's example values
+/// (S = 1, N = 2, λ = 0.065, ε = 0.5).
+#[must_use]
+pub fn figure3_feasible_region() -> Table {
+    let a = Analysis::new(1.0, 2, 0.065).expect("valid");
+    let eps = 0.5;
+    let mut t = Table::new(
+        "Figure 3: Feasible Region for Production Interval P (S=1, N=2, lambda=0.065, eps=0.5)",
+        &["P (s)", "(1-eps)P + e^{-lP}/l", "constraint", "feasible"],
+    );
+    let rhs = a.constraint_rhs(eps);
+    for i in 0..=20 {
+        let p = 2.0 + i as f64 * 2.0;
+        let lhs = a.constraint_lhs(p, eps);
+        t.row(vec![
+            format!("{p:.1}"),
+            format!("{lhs:.4}"),
+            format!("{rhs:.4}"),
+            (lhs <= rhs).to_string(),
+        ]);
+    }
+    let region = a.feasible_region(eps).expect("eps ok").expect("region exists");
+    let p_opt = a.optimal_production_interval();
+    t.note(format!("feasible region: [{:.2}, {:.2}] s", region.0, region.1));
+    t.note(format!("optimal production interval P_opt = {p_opt:.2} s (paper: ~7.25)"));
+    t
+}
+
+/// Execution times and speedups (Tables 2/7 + Figures 4/6, and the String
+/// analog): all four versions across processor counts.
+#[must_use]
+pub fn execution_times(spec: &AppSpec) -> (Table, Table) {
+    let proc_header: Vec<String> = std::iter::once("Version".to_string())
+        .chain(PROCS.iter().map(|p| p.to_string()))
+        .collect();
+    let mut times = Table::new_owned(
+        &format!("Execution Times for {} (virtual seconds)", spec.name),
+        proc_header.clone(),
+    );
+    let serial_time = run_static(spec, 1, "serial").elapsed();
+    let mut serial_row = vec!["Serial".to_string(), secs(serial_time)];
+    serial_row.extend(PROCS.iter().skip(1).map(|_| String::new()));
+    times.row(serial_row);
+
+    let mut speedups = Table::new_owned(
+        &format!("Speedups for {} (vs. serial)", spec.name),
+        proc_header,
+    );
+
+    let run_row = |label: &str, f: &dyn Fn(usize) -> AppReport| {
+        let mut trow = vec![label.to_string()];
+        let mut srow = vec![label.to_string()];
+        for &p in &PROCS {
+            let elapsed = f(p).elapsed();
+            trow.push(secs(elapsed));
+            srow.push(format!("{:.2}", serial_time.as_secs_f64() / elapsed.as_secs_f64()));
+        }
+        (trow, srow)
+    };
+    for (policy, label) in POLICIES {
+        let (trow, srow) = run_row(label, &|p| run_static(spec, p, policy));
+        times.row(trow);
+        speedups.row(srow);
+    }
+    let (trow, srow) = run_row("Dynamic", &|p| run_dyn(spec, p, bench_controller()));
+    times.row(trow);
+    speedups.row(srow);
+    let (trow, srow) =
+        run_row("Dynamic (span)", &|p| run_dyn_span(spec, p, bench_controller()));
+    times.row(trow);
+    speedups.row(srow);
+    times.note("Static versions run uninstrumented; the Dynamic version carries instrumentation and timer polling, as in the paper. `Dynamic (span)` additionally lets intervals span section executions (the paper's own §4.4 proposal), which removes the per-execution resampling cost that dominates when sections are short relative to the sampling phase.");
+    (times, speedups)
+}
+
+/// Locking overhead (Tables 3/8 and the String analog): executed
+/// acquire/release pairs and the absolute locking overhead.
+#[must_use]
+pub fn locking_overhead(spec: &AppSpec) -> Table {
+    let mut t = Table::new(
+        &format!("Locking Overhead for {}", spec.name),
+        &["Version", "Acquire/Release Pairs", "Locking Overhead (s)"],
+    );
+    for (policy, label) in POLICIES {
+        let r = run_static(spec, 8, policy);
+        let tot = r.stats.totals();
+        t.row(vec![
+            label.to_string(),
+            tot.acquires.to_string(),
+            format!("{:.4}", tot.lock_time.as_secs_f64()),
+        ]);
+    }
+    let r = run_dyn(spec, 8, bench_controller());
+    let tot = r.stats.totals();
+    t.row(vec![
+        "Dynamic".to_string(),
+        tot.acquires.to_string(),
+        format!("{:.4}", tot.lock_time.as_secs_f64()),
+    ]);
+    t.note("Counts from 8-processor runs; static counts do not vary with processors.");
+    t
+}
+
+/// Waiting proportion (Figure 7): time spent waiting to acquire locks over
+/// total processor-time, per version and processor count.
+#[must_use]
+pub fn waiting_proportion(spec: &AppSpec) -> Table {
+    let header: Vec<String> = std::iter::once("Version".to_string())
+        .chain(PROCS.iter().map(|p| p.to_string()))
+        .collect();
+    let mut t = Table::new_owned(
+        &format!("Waiting Proportion for {} (Figure 7)", spec.name),
+        header,
+    );
+    for (policy, label) in POLICIES {
+        let mut row = vec![label.to_string()];
+        for &p in &PROCS {
+            let r = run_static(spec, p, policy);
+            row.push(format!("{:.3}", r.stats.waiting_proportion()));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Sampled-overhead time series (Figures 5/8/9): run with small target
+/// intervals and report the measured overhead of every completed interval
+/// of the main section.
+#[must_use]
+pub fn overhead_series(spec: &AppSpec, section: &str, procs: usize) -> Table {
+    let ctl = ControllerConfig {
+        target_sampling: Duration::from_millis(1),
+        target_production: Duration::from_millis(8),
+        ..ControllerConfig::default()
+    };
+    let mut app = (spec.build)();
+    let report = run_app_ref(&mut app, &run_dynamic(procs, ctl)).expect("runs");
+    let version_names: Vec<String> = app
+        .sections()
+        .get(section)
+        .map(|s| s.versions.iter().map(|v| v.name.clone()).collect())
+        .unwrap_or_default();
+    let mut t = Table::new(
+        &format!(
+            "Sampled Overhead for the {} {} Section on {} Processors",
+            spec.name, section, procs
+        ),
+        &["Time (s)", "Version", "Phase", "Overhead"],
+    );
+    for exec in report.section(section) {
+        for r in &exec.records {
+            let name = version_names
+                .get(r.version)
+                .cloned()
+                .unwrap_or_else(|| format!("v{}", r.version));
+            let phase = if r.phase.is_sampling() { "sampling" } else { "production" };
+            t.row(vec![
+                format!("{:.4}", r.at.as_secs_f64()),
+                name,
+                phase.to_string(),
+                format!("{:.3}", r.overhead),
+            ]);
+        }
+    }
+    t.note("Gaps between section executions correspond to other serial/parallel sections, as in the paper's time-series figures.");
+    t
+}
+
+/// Section statistics (Tables 4/9/10): mean section size, iteration count,
+/// mean iteration size, from a serial one-processor run.
+#[must_use]
+pub fn section_stats(spec: &AppSpec, sections: &[&str]) -> Table {
+    let report = run_static(spec, 1, "serial");
+    let mut t = Table::new(
+        &format!("Parallel Section Statistics for {}", spec.name),
+        &["Section", "Mean Section Size (s)", "Iterations", "Mean Iteration Size (ms)"],
+    );
+    for &name in sections {
+        let execs: Vec<_> = report.section(name).collect();
+        if execs.is_empty() {
+            continue;
+        }
+        let mean = execs.iter().map(|e| e.duration()).sum::<Duration>() / execs.len() as u32;
+        let iters = execs[0].iterations;
+        let iter_size = mean / iters.max(1) as u32;
+        t.row(vec![
+            name.to_string(),
+            secs(mean),
+            iters.to_string(),
+            millis(iter_size),
+        ]);
+    }
+    t
+}
+
+/// Mean minimum effective sampling intervals (Tables 5/11/12): with a tiny
+/// target sampling interval, the actual interval lengths are bounded below
+/// by loop-iteration granularity and synchronization latency (§4.1).
+#[must_use]
+pub fn effective_sampling_intervals(spec: &AppSpec, section: &str, procs: usize) -> Table {
+    let ctl = ControllerConfig {
+        target_sampling: Duration::from_nanos(1),
+        target_production: Duration::from_millis(5),
+        ..ControllerConfig::default()
+    };
+    let mut app = (spec.build)();
+    let report = run_app_ref(&mut app, &run_dynamic(procs, ctl)).expect("runs");
+    let version_names: Vec<String> = app
+        .sections()
+        .get(section)
+        .map(|s| s.versions.iter().map(|v| v.name.clone()).collect())
+        .unwrap_or_default();
+    let mut t = Table::new(
+        &format!(
+            "Mean Minimum Effective Sampling Intervals for the {} {} Section on {} Processors",
+            spec.name, section, procs
+        ),
+        &["Version", "Mean Minimum Effective Sampling Interval (ms)"],
+    );
+    for (v, d) in report.mean_effective_sampling_intervals(section).iter().enumerate() {
+        let name =
+            version_names.get(v).cloned().unwrap_or_else(|| format!("v{v}"));
+        t.row(vec![name, d.map_or_else(|| "-".to_string(), millis)]);
+    }
+    t
+}
+
+/// Interval sweep (Tables 6/13/14): mean execution time of the section for
+/// combinations of target sampling and production intervals.
+#[must_use]
+pub fn interval_sweep(
+    spec: &AppSpec,
+    section: &str,
+    procs: usize,
+    samplings: &[Duration],
+    productions: &[Duration],
+) -> Table {
+    let mut header = vec!["Target Sampling \\ Production".to_string()];
+    header.extend(productions.iter().map(|p| format!("{}ms", p.as_millis())));
+    let mut t = Table::new_owned(
+        &format!(
+            "Mean Execution Times for Varying Intervals, {} {} Section on {} Processors (ms)",
+            spec.name, section, procs
+        ),
+        header,
+    );
+    for &s in samplings {
+        let mut row = vec![format!("{:.1}ms", s.as_secs_f64() * 1e3)];
+        for &p in productions {
+            let ctl = ControllerConfig {
+                target_sampling: s,
+                target_production: p,
+                ..ControllerConfig::default()
+            };
+            let report = run_dyn(spec, procs, ctl);
+            let execs: Vec<_> = report.section(section).collect();
+            let mean =
+                execs.iter().map(|e| e.duration()).sum::<Duration>() / execs.len().max(1) as u32;
+            row.push(millis(mean));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// The instrumentation-overhead check of §4.3: instrumented vs.
+/// uninstrumented static versions.
+#[must_use]
+pub fn instrumentation_overhead(spec: &AppSpec) -> Table {
+    let mut t = Table::new(
+        &format!("Instrumentation Overhead for {} (8 processors)", spec.name),
+        &["Version", "Uninstrumented (s)", "Instrumented (s)", "Ratio"],
+    );
+    for (policy, label) in POLICIES {
+        let plain = run_static(spec, 8, policy).elapsed();
+        let mut cfg = run_fixed(8, policy);
+        cfg.mode = dynfb_sim::RunMode::Static { policy: policy.to_string(), instrumented: true };
+        cfg.machine = machine_config();
+        let instr = run_app((spec.build)(), &cfg).expect("runs").elapsed();
+        t.row(vec![
+            label.to_string(),
+            secs(plain),
+            secs(instr),
+            format!("{:.3}", instr.as_secs_f64() / plain.as_secs_f64()),
+        ]);
+    }
+    t.note("The paper reports that instrumentation overhead has little or no effect on performance (§4.3).");
+    t
+}
+
+/// Convenience used by `RunConfig`-hungry callers.
+#[must_use]
+pub fn fixed_cfg(procs: usize, policy: &str) -> RunConfig {
+    run_fixed(procs, policy)
+}

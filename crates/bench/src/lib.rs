@@ -1,0 +1,11 @@
+//! # dynfb-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation at scaled
+//! problem sizes. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` (written by the `experiments` binary) for
+//! paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,575 @@
+//! The compiled application artifact.
+//!
+//! [`compile`] drives the whole pipeline of the paper's compiler:
+//!
+//! 1. front end (done by `dynfb-lang`) — the input here is a typed [`Hir`];
+//! 2. call-graph and effect analysis;
+//! 3. commutativity analysis of every parallel-section candidate loop
+//!    (§2): the section is rejected if its operations do not provably
+//!    commute;
+//! 4. automatic insertion of per-object mutual-exclusion regions (default
+//!    lock placement);
+//! 5. synchronization optimization under each policy (*Original*,
+//!    *Bounded*, *Aggressive*, §3), producing one code version per policy;
+//! 6. multi-version packaging: versions of a section whose generated code
+//!    is identical are shared (the paper's closed-subgraph sharing keeps
+//!    the Table 1 code growth small), plus an unsynchronized *serial*
+//!    version of everything.
+//!
+//! The result, [`CompiledApp`], implements `dynfb_sim`'s [`SimApp`], so a
+//! compiled program runs directly on the simulated multiprocessor under
+//! any static policy or under dynamic feedback.
+
+use crate::callgraph::CallGraph;
+use crate::commutativity::{analyze_extent, CommutativityReport};
+use crate::effects::EffectsMap;
+use crate::interp::{CostModel, Heap, HostRegistry, Interp, ProgramEnv, Value};
+use crate::lockplace::insert_default_regions;
+use crate::syncopt::{optimize, FnSet, Policy};
+use dynfb_lang::hir::{body_size, Expr, Function, Hir, LocalId, Stmt, Ty};
+use dynfb_sim::{LockId, Machine, OpSink, PlanEntry, SectionKind, SimApp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Bytes per HIR node for the code-size metric (Table 1 analog).
+const NODE_BYTES: usize = 8;
+/// Fixed per-function overhead in the code-size metric (prologue etc.).
+const FUNC_BYTES: usize = 32;
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Application name.
+    pub name: String,
+    /// Execution plan: which section functions run, in what order.
+    pub plan: Vec<PlanEntry>,
+    /// Upper bound on live objects (sizes the per-object lock pool).
+    pub max_objects: usize,
+    /// Interpreter cost model.
+    pub cost: CostModel,
+    /// Evaluation fuel per serial section / loop iteration.
+    pub fuel: u64,
+}
+
+impl CompileOptions {
+    /// Sensible defaults for an app with the given name and plan.
+    #[must_use]
+    pub fn new(name: &str, plan: Vec<PlanEntry>) -> Self {
+        CompileOptions {
+            name: name.to_string(),
+            plan,
+            max_objects: 1 << 16,
+            cost: CostModel::default(),
+            fuel: 1 << 32,
+        }
+    }
+}
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// A plan entry references a function that does not exist (or has
+    /// parameters — section functions must be nullary).
+    BadSection(String),
+    /// A parallel section's body is not a single counted loop.
+    SectionShape(String),
+    /// The commutativity analysis rejected the section's loop.
+    NotParallelizable {
+        /// The section.
+        section: String,
+        /// Diagnostics from the analysis.
+        reasons: Vec<String>,
+    },
+    /// An `extern` has no registered host implementation.
+    MissingHostFn(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::BadSection(s) => {
+                write!(f, "section `{s}` is not a nullary free function")
+            }
+            CompileError::SectionShape(s) => write!(
+                f,
+                "parallel section `{s}` must consist of exactly one counted for-loop"
+            ),
+            CompileError::NotParallelizable { section, reasons } => {
+                write!(f, "section `{section}` is not parallelizable: {}", reasons.join("; "))
+            }
+            CompileError::MissingHostFn(name) => {
+                write!(f, "extern `{name}` has no host implementation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One generated code version of a parallel section.
+#[derive(Debug, Clone)]
+pub struct VersionCode {
+    /// Version name: the policies that share this code, joined with `+`
+    /// (e.g. `"bounded+aggressive"`).
+    pub name: String,
+    /// Complete function table for this version (originals + clones).
+    pub functions: Vec<Function>,
+    /// The parallel loop's induction variable slot (in the section fn).
+    pub var: LocalId,
+    /// Loop start expression.
+    pub start: Expr,
+    /// Loop bound expression.
+    pub bound: Expr,
+    /// Loop body (one iteration).
+    pub body: Vec<Stmt>,
+    /// Types of the section function's locals (iteration frame layout).
+    pub locals_ty: Vec<Ty>,
+}
+
+impl VersionCode {
+    /// Code size (bytes) of the loop body plus all reachable functions.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        let mut total = body_size(&self.body) * NODE_BYTES;
+        for (_, f) in self.reachable_functions() {
+            total += FUNC_BYTES + body_size(&f.body) * NODE_BYTES;
+        }
+        total
+    }
+
+    /// Functions reachable from the loop body, with indices.
+    #[must_use]
+    pub fn reachable_functions(&self) -> Vec<(usize, &Function)> {
+        let mut roots = Vec::new();
+        crate::callgraph::collect_calls_stmts(&self.body, &mut roots);
+        let mut seen = vec![false; self.functions.len()];
+        let mut stack: Vec<usize> = roots.iter().map(|f| f.0).collect();
+        let mut out = Vec::new();
+        while let Some(i) = stack.pop() {
+            if i >= seen.len() || seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            out.push(i);
+            let mut calls = Vec::new();
+            crate::callgraph::collect_calls_stmts(&self.functions[i].body, &mut calls);
+            stack.extend(calls.iter().map(|f| f.0));
+        }
+        out.sort_unstable();
+        out.into_iter().map(|i| (i, &self.functions[i])).collect()
+    }
+
+    /// A canonical structural fingerprint, stable across differing clone
+    /// indices, used to detect when two policies generate identical code.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut names: HashMap<usize, String> = HashMap::new();
+        for (i, f) in self.reachable_functions() {
+            names.insert(i, f.name.clone());
+        }
+        let render = |s: &dyn fmt::Debug| -> String {
+            let mut text = format!("{s:?}");
+            // Longest ids first so `FuncId(1)` never clobbers `FuncId(12)`.
+            let mut ids: Vec<&usize> = names.keys().collect();
+            ids.sort_by_key(|i| std::cmp::Reverse(i.to_string().len()));
+            for i in ids {
+                text = text.replace(&format!("FuncId({i})"), &format!("Fn<{}>", names[i]));
+            }
+            text
+        };
+        let mut out = render(&self.body);
+        let mut fns = self.reachable_functions();
+        fns.sort_by(|a, b| a.1.name.cmp(&b.1.name));
+        for (_, f) in fns {
+            out.push_str(&f.name);
+            out.push_str(&render(&f.body));
+        }
+        out
+    }
+}
+
+/// Code of one parallel section: all distinct versions plus the serial one.
+#[derive(Debug, Clone)]
+pub struct SectionCode {
+    /// Section (function) name.
+    pub name: String,
+    /// Distinct versions, ordered least → most aggressive.
+    pub versions: Vec<VersionCode>,
+    /// The unsynchronized serial version.
+    pub serial: VersionCode,
+    /// The commutativity analysis outcome that licensed parallelization.
+    pub report: CommutativityReport,
+}
+
+/// Code sizes of the different builds (the Table 1 reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeSizeReport {
+    /// The original serial program.
+    pub serial: usize,
+    /// Build with the Original policy only.
+    pub original: usize,
+    /// Build with the Bounded policy only.
+    pub bounded: usize,
+    /// Build with the Aggressive policy only.
+    pub aggressive: usize,
+    /// The dynamic-feedback build (all versions, shared code deduplicated).
+    pub dynamic: usize,
+}
+
+/// A compiled, multi-version application, runnable on the simulator.
+pub struct CompiledApp {
+    name: String,
+    plan: Vec<PlanEntry>,
+    /// Base (serial) function table, used by serial sections.
+    serial_funcs: Vec<Function>,
+    sections: HashMap<String, SectionCode>,
+    env: ProgramEnv,
+    cost: CostModel,
+    fuel: u64,
+    max_objects: usize,
+    lock_base: Option<LockId>,
+    /// Per-section (start, count) of the active parallel execution.
+    active: HashMap<String, (i64, usize)>,
+    hir: Hir,
+}
+
+impl fmt::Debug for CompiledApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledApp")
+            .field("name", &self.name)
+            .field("sections", &self.sections.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Compile a program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] when a section is missing or malformed, an
+/// extern lacks a host implementation, or — most importantly — when the
+/// commutativity analysis cannot prove a parallel section's operations
+/// commute.
+pub fn compile(
+    hir: Hir,
+    options: CompileOptions,
+    host: HostRegistry,
+) -> Result<CompiledApp, CompileError> {
+    // Externs must all be implemented.
+    for e in &hir.externs {
+        if !host.contains(&e.name) {
+            return Err(CompileError::MissingHostFn(e.name.clone()));
+        }
+    }
+    let callgraph = CallGraph::build(&hir);
+    let effects = EffectsMap::build(&hir, &callgraph);
+
+    // Locate and validate sections.
+    let mut parallel_sections: Vec<(String, usize)> = Vec::new();
+    for entry in &options.plan {
+        let func = hir
+            .function_named(&entry.name)
+            .ok_or_else(|| CompileError::BadSection(entry.name.clone()))?;
+        if hir.functions[func.0].num_params != 0 {
+            return Err(CompileError::BadSection(entry.name.clone()));
+        }
+        if entry.kind == SectionKind::Parallel
+            && !parallel_sections.iter().any(|(n, _)| n == &entry.name)
+        {
+            parallel_sections.push((entry.name.clone(), func.0));
+        }
+    }
+
+    // Commutativity analysis per parallel section.
+    let mut reports: HashMap<String, CommutativityReport> = HashMap::new();
+    for (name, func) in &parallel_sections {
+        let body = &hir.functions[*func].body;
+        let [Stmt::CountedFor { body: loop_body, .. }] = body.as_slice() else {
+            return Err(CompileError::SectionShape(name.clone()));
+        };
+        let report = analyze_extent(&hir, &callgraph, &effects, loop_body);
+        if !report.parallelizable {
+            return Err(CompileError::NotParallelizable {
+                section: name.clone(),
+                reasons: report.reasons.clone(),
+            });
+        }
+        reports.insert(name.clone(), report);
+    }
+
+    // Default lock placement: regions in every extent updater.
+    let mut locked = hir.functions.clone();
+    for report in reports.values() {
+        for &u in &report.updaters {
+            insert_default_regions(&mut locked[u.0]);
+        }
+    }
+
+    // Policy builds.
+    let section_fn_idxs: Vec<usize> = parallel_sections.iter().map(|(_, f)| *f).collect();
+    let mut policy_sets: Vec<(Policy, FnSet)> = Vec::new();
+    for policy in Policy::ALL {
+        let mut set = FnSet::new(locked.clone());
+        optimize(&mut set, policy, &section_fn_idxs);
+        policy_sets.push((policy, set));
+    }
+
+    // Assemble section codes with version deduplication.
+    let mut sections = HashMap::new();
+    for (name, func) in &parallel_sections {
+        let extract = |funcs: &[Function]| -> VersionCode {
+            let f = &funcs[*func];
+            let [Stmt::CountedFor { var, start, bound, body }] = f.body.as_slice() else {
+                unreachable!("validated above; policies preserve the loop shape");
+            };
+            VersionCode {
+                name: String::new(),
+                functions: funcs.to_vec(),
+                var: *var,
+                start: start.clone(),
+                bound: bound.clone(),
+                body: body.clone(),
+                locals_ty: f.locals.iter().map(|l| l.ty.clone()).collect(),
+            }
+        };
+        let mut versions: Vec<VersionCode> = Vec::new();
+        for (policy, set) in &policy_sets {
+            let mut vc = extract(&set.functions);
+            vc.name = policy.name().to_string();
+            let fp = vc.fingerprint();
+            if let Some(existing) = versions.iter_mut().find(|v| v.fingerprint() == fp) {
+                existing.name = format!("{}+{}", existing.name, policy.name());
+            } else {
+                versions.push(vc);
+            }
+        }
+        let mut serial = extract(&hir.functions);
+        serial.name = "serial".to_string();
+        sections.insert(
+            name.clone(),
+            SectionCode {
+                name: name.clone(),
+                versions,
+                serial,
+                report: reports.remove(name).expect("analyzed"),
+            },
+        );
+    }
+
+    let globals = hir.globals.iter().map(|g| Value::default_for(&g.ty)).collect();
+    Ok(CompiledApp {
+        name: options.name,
+        plan: options.plan,
+        serial_funcs: hir.functions.clone(),
+        sections,
+        env: ProgramEnv {
+            classes: hir.classes.clone(),
+            externs: hir.externs.clone(),
+            globals,
+            heap: Heap::default(),
+            host,
+        },
+        cost: options.cost,
+        fuel: options.fuel,
+        max_objects: options.max_objects,
+        lock_base: None,
+        active: HashMap::new(),
+        hir,
+    })
+}
+
+impl CompiledApp {
+    /// The compiled sections (inspection / reporting).
+    #[must_use]
+    pub fn sections(&self) -> &HashMap<String, SectionCode> {
+        &self.sections
+    }
+
+    /// The analyzed HIR.
+    #[must_use]
+    pub fn hir(&self) -> &Hir {
+        &self.hir
+    }
+
+    /// Current program heap (to inspect results after a run).
+    #[must_use]
+    pub fn heap(&self) -> &Heap {
+        &self.env.heap
+    }
+
+    /// Current global values.
+    #[must_use]
+    pub fn globals(&self) -> &[Value] {
+        &self.env.globals
+    }
+
+    /// Execute a nullary function outside the simulation (for test
+    /// harnesses that need to pre-build state; costs are discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is missing or fails at runtime.
+    pub fn run_function_unsimulated(&mut self, name: &str) {
+        let func = self.hir.function_named(name).expect("function exists");
+        let mut sink = OpSink::default();
+        let mut interp = Interp {
+            env: &mut self.env,
+            funcs: &self.serial_funcs,
+            cost: self.cost,
+            sink: &mut sink,
+            lock_base: self.lock_base.unwrap_or_else(|| {
+                // Outside a simulation there is no machine; use a dummy pool.
+                let mut m = Machine::new(dynfb_sim::MachineConfig::default());
+                m.add_locks(1)
+            }),
+            lock_capacity: self.max_objects,
+            fuel: self.fuel,
+        };
+        interp
+            .call(func.0, None, vec![])
+            .unwrap_or_else(|e| panic!("`{name}` failed: {e}"));
+    }
+
+    /// The Table 1 code-size report for this application.
+    #[must_use]
+    pub fn code_sizes(&self) -> CodeSizeReport {
+        let serial: usize = self
+            .serial_funcs
+            .iter()
+            .map(|f| FUNC_BYTES + body_size(&f.body) * NODE_BYTES)
+            .sum();
+        let policy_size = |policy: &str| -> usize {
+            let mut total = serial;
+            for s in self.sections.values() {
+                let v = s
+                    .versions
+                    .iter()
+                    .find(|v| v.name.split('+').any(|p| p == policy))
+                    .expect("every policy maps to a version");
+                total += v.size_bytes();
+            }
+            total
+        };
+        // Dynamic build: all distinct versions, with identical functions
+        // shared across versions of a section (closed-subgraph sharing).
+        let mut dynamic = serial;
+        for s in self.sections.values() {
+            let mut seen: Vec<String> = Vec::new();
+            for v in &s.versions {
+                dynamic += body_size(&v.body) * NODE_BYTES;
+                for (_, f) in v.reachable_functions() {
+                    let fp = format!("{}{:?}", f.name, f.body);
+                    if !seen.contains(&fp) {
+                        seen.push(fp);
+                        dynamic += FUNC_BYTES + body_size(&f.body) * NODE_BYTES;
+                    }
+                }
+            }
+        }
+        CodeSizeReport {
+            serial,
+            original: policy_size("original"),
+            bounded: policy_size("bounded"),
+            aggressive: policy_size("aggressive"),
+            dynamic,
+        }
+    }
+
+    fn interp<'a>(
+        env: &'a mut ProgramEnv,
+        funcs: &'a [Function],
+        cost: CostModel,
+        fuel: u64,
+        lock_base: LockId,
+        lock_capacity: usize,
+        sink: &'a mut OpSink,
+    ) -> Interp<'a> {
+        Interp { env, funcs, cost, sink, lock_base, lock_capacity, fuel }
+    }
+}
+
+impl SimApp for CompiledApp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn setup(&mut self, machine: &mut Machine) {
+        self.lock_base = Some(machine.add_locks(self.max_objects));
+    }
+
+    fn plan(&self) -> Vec<PlanEntry> {
+        self.plan.clone()
+    }
+
+    fn versions(&self, section: &str) -> Vec<String> {
+        self.sections[section].versions.iter().map(|v| v.name.clone()).collect()
+    }
+
+    fn version_for_policy(&self, section: &str, policy: &str) -> Option<usize> {
+        let s = &self.sections[section];
+        if policy == "serial" {
+            return Some(s.versions.len());
+        }
+        s.versions.iter().position(|v| v.name.split('+').any(|p| p == policy))
+    }
+
+    fn emit_serial(&mut self, section: &str, ops: &mut OpSink) {
+        let func = self.hir.function_named(section).expect("validated at compile time");
+        let lock_base = self.lock_base.expect("setup ran");
+        let CompiledApp { env, serial_funcs, cost, fuel, max_objects, .. } = self;
+        let mut interp =
+            Self::interp(env, serial_funcs, *cost, *fuel, lock_base, *max_objects, ops);
+        interp
+            .call(func.0, None, vec![])
+            .unwrap_or_else(|e| panic!("serial section `{section}` failed: {e}"));
+    }
+
+    fn begin_parallel(&mut self, section: &str) -> usize {
+        let lock_base = self.lock_base.expect("setup ran");
+        let (start, bound) = {
+            let CompiledApp { env, serial_funcs, sections, cost, fuel, max_objects, .. } = self;
+            let sc = &sections[section];
+            let mut sink = OpSink::default();
+            let mut interp =
+                Self::interp(env, serial_funcs, *cost, *fuel, lock_base, *max_objects, &mut sink);
+            // Loop bounds are evaluated once, at section entry, by storing
+            // each into a fresh one-slot frame.
+            let eval_expr = |interp: &mut Interp<'_>, e: &Expr| -> i64 {
+                let body = [Stmt::Assign {
+                    place: dynfb_lang::hir::Place::Local(LocalId(0)),
+                    value: e.clone(),
+                }];
+                let locals = interp
+                    .exec_body(&body, vec![Value::Int(0)], None)
+                    .unwrap_or_else(|err| panic!("loop bound evaluation failed: {err}"));
+                locals[0].as_int().expect("loop bounds are ints")
+            };
+            (eval_expr(&mut interp, &sc.serial.start), eval_expr(&mut interp, &sc.serial.bound))
+        };
+        let count = usize::try_from((bound - start).max(0)).unwrap_or(0);
+        self.active.insert(section.to_string(), (start, count));
+        count
+    }
+
+    fn emit_iteration(&mut self, section: &str, version: usize, iter: usize, ops: &mut OpSink) {
+        let (start, _count) = self.active[section];
+        let lock_base = self.lock_base.expect("setup ran");
+        let CompiledApp { env, sections, cost, fuel, max_objects, .. } = self;
+        let sc = &sections[section];
+        let vc = if version == sc.versions.len() { &sc.serial } else { &sc.versions[version] };
+        let mut locals: Vec<Value> = vc.locals_ty.iter().map(Value::default_for).collect();
+        locals[vc.var.0] = Value::Int(start + iter as i64);
+        let mut interp = Interp {
+            env,
+            funcs: &vc.functions,
+            cost: *cost,
+            sink: ops,
+            lock_base,
+            lock_capacity: *max_objects,
+            fuel: *fuel,
+        };
+        interp
+            .exec_body(&vc.body, locals, None)
+            .unwrap_or_else(|e| panic!("iteration {iter} of `{section}` failed: {e}"));
+    }
+}

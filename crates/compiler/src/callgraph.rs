@@ -1,0 +1,261 @@
+//! Call graph construction and cycle detection.
+//!
+//! The *Bounded* synchronization optimization policy applies a lock
+//! elimination transformation "only if the new critical region will contain
+//! no cycles in the call graph" (§3 of the paper). This module computes the
+//! static call graph of a program and, for every function, whether it can
+//! reach a call-graph cycle — the predicate the Bounded policy queries.
+
+use dynfb_lang::hir::{Expr, ExprKind, FuncId, Hir, Place, Stmt};
+
+/// The static call graph of a program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Direct callees of each function (deduplicated, in first-call order).
+    pub callees: Vec<Vec<FuncId>>,
+    /// `recursive[f]`: `f` participates in a call-graph cycle.
+    pub recursive: Vec<bool>,
+    /// `reaches_cycle[f]`: some function reachable from `f` (including `f`
+    /// itself) participates in a cycle.
+    pub reaches_cycle: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Build the call graph for a program.
+    #[must_use]
+    pub fn build(hir: &Hir) -> Self {
+        let n = hir.functions.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for (i, f) in hir.functions.iter().enumerate() {
+            let mut out = Vec::new();
+            collect_calls_stmts(&f.body, &mut out);
+            out.dedup();
+            let mut seen = Vec::new();
+            for c in out {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+            callees[i] = seen;
+        }
+
+        // Tarjan-style SCC via iterative Kosaraju is overkill at this size;
+        // use the simple coloring DFS to find functions on cycles.
+        let mut recursive = vec![false; n];
+        for start in 0..n {
+            // A function is recursive iff it can reach itself.
+            if reaches(&callees, FuncId(start), FuncId(start)) {
+                recursive[start] = true;
+            }
+        }
+        let mut reaches_cycle = vec![false; n];
+        for start in 0..n {
+            reaches_cycle[start] = recursive[start]
+                || any_reachable(&callees, FuncId(start), |f| recursive[f.0]);
+        }
+        CallGraph { callees, recursive, reaches_cycle }
+    }
+
+    /// All functions reachable from `roots` (including the roots).
+    #[must_use]
+    pub fn reachable(&self, roots: &[FuncId]) -> Vec<FuncId> {
+        let mut seen = vec![false; self.callees.len()];
+        let mut stack: Vec<FuncId> = roots.to_vec();
+        let mut out = Vec::new();
+        while let Some(f) = stack.pop() {
+            if seen[f.0] {
+                continue;
+            }
+            seen[f.0] = true;
+            out.push(f);
+            for &c in &self.callees[f.0] {
+                stack.push(c);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Can `from` reach `target` through one or more call edges?
+fn reaches(callees: &[Vec<FuncId>], from: FuncId, target: FuncId) -> bool {
+    let mut seen = vec![false; callees.len()];
+    let mut stack: Vec<FuncId> = callees[from.0].clone();
+    while let Some(f) = stack.pop() {
+        if f == target {
+            return true;
+        }
+        if seen[f.0] {
+            continue;
+        }
+        seen[f.0] = true;
+        stack.extend(callees[f.0].iter().copied());
+    }
+    false
+}
+
+fn any_reachable(callees: &[Vec<FuncId>], from: FuncId, pred: impl Fn(FuncId) -> bool) -> bool {
+    let mut seen = vec![false; callees.len()];
+    let mut stack = vec![from];
+    while let Some(f) = stack.pop() {
+        if seen[f.0] {
+            continue;
+        }
+        seen[f.0] = true;
+        if pred(f) {
+            return true;
+        }
+        stack.extend(callees[f.0].iter().copied());
+    }
+    false
+}
+
+/// Collect every `FuncId` called anywhere in a statement list.
+pub fn collect_calls_stmts(stmts: &[Stmt], out: &mut Vec<FuncId>) {
+    for s in stmts {
+        collect_calls_stmt(s, out);
+    }
+}
+
+fn collect_calls_stmt(s: &Stmt, out: &mut Vec<FuncId>) {
+    match s {
+        Stmt::Assign { place, value } => {
+            collect_calls_place(place, out);
+            collect_calls_expr(value, out);
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            collect_calls_expr(cond, out);
+            collect_calls_stmts(then_branch, out);
+            collect_calls_stmts(else_branch, out);
+        }
+        Stmt::While { cond, body } => {
+            collect_calls_expr(cond, out);
+            collect_calls_stmts(body, out);
+        }
+        Stmt::CountedFor { start, bound, body, .. } => {
+            collect_calls_expr(start, out);
+            collect_calls_expr(bound, out);
+            collect_calls_stmts(body, out);
+        }
+        Stmt::Return(e) => {
+            if let Some(e) = e {
+                collect_calls_expr(e, out);
+            }
+        }
+        Stmt::Expr(e) => collect_calls_expr(e, out),
+        Stmt::Critical { lock_obj, body } => {
+            collect_calls_expr(lock_obj, out);
+            collect_calls_stmts(body, out);
+        }
+    }
+}
+
+fn collect_calls_place(p: &Place, out: &mut Vec<FuncId>) {
+    match p {
+        Place::Local(_) | Place::Global(_) => {}
+        Place::Field { obj, .. } => collect_calls_expr(obj, out),
+        Place::Index { arr, idx } => {
+            collect_calls_expr(arr, out);
+            collect_calls_expr(idx, out);
+        }
+    }
+}
+
+/// Collect every `FuncId` called anywhere in an expression.
+pub fn collect_calls_expr(e: &Expr, out: &mut Vec<FuncId>) {
+    match &e.kind {
+        ExprKind::CallFn { func, args } => {
+            out.push(*func);
+            for a in args {
+                collect_calls_expr(a, out);
+            }
+        }
+        ExprKind::CallMethod { obj, func, args } => {
+            out.push(*func);
+            collect_calls_expr(obj, out);
+            for a in args {
+                collect_calls_expr(a, out);
+            }
+        }
+        ExprKind::CallExtern { args, .. } => {
+            for a in args {
+                collect_calls_expr(a, out);
+            }
+        }
+        ExprKind::FieldGet { obj, .. } => collect_calls_expr(obj, out),
+        ExprKind::Index { arr, idx } => {
+            collect_calls_expr(arr, out);
+            collect_calls_expr(idx, out);
+        }
+        ExprKind::ArrayLen(a) => collect_calls_expr(a, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_calls_expr(lhs, out);
+            collect_calls_expr(rhs, out);
+        }
+        ExprKind::Unary { expr, .. } | ExprKind::IntToDouble(expr) => {
+            collect_calls_expr(expr, out);
+        }
+        ExprKind::NewArray { len, .. } => collect_calls_expr(len, out),
+        ExprKind::Int(_)
+        | ExprKind::Double(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null
+        | ExprKind::This
+        | ExprKind::Local(_)
+        | ExprKind::Global(_)
+        | ExprKind::New { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfb_lang::compile_source;
+
+    #[test]
+    fn detects_direct_and_mutual_recursion() {
+        let hir = compile_source(
+            "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+             int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+             int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+             int plain(int n) { return n + 1; }
+             int caller(int n) { return fact(n) + plain(n); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&hir);
+        let id = |name: &str| hir.function_named(name).unwrap().0;
+        assert!(cg.recursive[id("fact")]);
+        assert!(cg.recursive[id("even")]);
+        assert!(cg.recursive[id("odd")]);
+        assert!(!cg.recursive[id("plain")]);
+        assert!(!cg.recursive[id("caller")]);
+        assert!(cg.reaches_cycle[id("caller")], "caller reaches fact's cycle");
+        assert!(!cg.reaches_cycle[id("plain")]);
+    }
+
+    #[test]
+    fn reachable_set_includes_transitive_callees() {
+        let hir = compile_source(
+            "int c(int n) { return n; }
+             int b(int n) { return c(n); }
+             int a(int n) { return b(n); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&hir);
+        let a = hir.function_named("a").unwrap();
+        let all = cg.reachable(&[a]);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn method_calls_are_edges() {
+        let hir = compile_source(
+            "class c { int x; void touch() { this.x += 1; } }
+             void f(c o) { o.touch(); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&hir);
+        let f = hir.function_named("f").unwrap();
+        assert_eq!(cg.callees[f.0].len(), 1);
+    }
+}

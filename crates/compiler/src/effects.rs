@@ -1,0 +1,400 @@
+//! Side-effect analysis: which state each function reads and writes.
+//!
+//! Operations in the paper's model update *their receiver object*; the
+//! commutativity analysis needs to know, for every function: the receiver
+//! fields it reads and writes, whether it writes globals, arrays, or other
+//! objects' fields (all of which disqualify it as a well-formed operation),
+//! and which functions it calls. Effects are computed per function and then
+//! closed transitively over the call graph.
+
+use crate::callgraph::CallGraph;
+use dynfb_lang::hir::{ClassId, Expr, ExprKind, FuncId, Hir, Place, Stmt};
+use std::collections::BTreeSet;
+
+/// A field of some class.
+pub type FieldRef = (ClassId, usize);
+
+/// Direct (non-transitive) effects of one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Receiver fields read via `this.f`.
+    pub this_reads: BTreeSet<FieldRef>,
+    /// Receiver fields written via `this.f = ...`.
+    pub this_writes: BTreeSet<FieldRef>,
+    /// Fields read through any non-`this` object expression.
+    pub other_reads: BTreeSet<FieldRef>,
+    /// Fields written through any non-`this` object expression
+    /// (disqualifies the function as a separable operation).
+    pub other_writes: BTreeSet<FieldRef>,
+    /// Globals read.
+    pub global_reads: BTreeSet<usize>,
+    /// Globals written.
+    pub global_writes: BTreeSet<usize>,
+    /// Whether any array element is written.
+    pub array_writes: bool,
+    /// Whether any array element is read.
+    pub array_reads: bool,
+    /// Whether the function allocates objects or arrays.
+    pub allocates: bool,
+}
+
+impl Effects {
+    /// Union another function's effects into this one (for transitive
+    /// closure). Callee `this_*` effects are *receiver-relative*; when a
+    /// callee is invoked on a different object they are still field effects
+    /// on that callee's receiver class, so for closure purposes they merge
+    /// into `other_*` unless the receiver is literally `this`.
+    fn absorb_call(&mut self, callee: &Effects, receiver_is_this: bool) {
+        if receiver_is_this {
+            self.this_reads.extend(callee.this_reads.iter().copied());
+            self.this_writes.extend(callee.this_writes.iter().copied());
+        } else {
+            self.other_reads.extend(callee.this_reads.iter().copied());
+            self.other_writes.extend(callee.this_writes.iter().copied());
+        }
+        self.other_reads.extend(callee.other_reads.iter().copied());
+        self.other_writes.extend(callee.other_writes.iter().copied());
+        self.global_reads.extend(callee.global_reads.iter().copied());
+        self.global_writes.extend(callee.global_writes.iter().copied());
+        self.array_writes |= callee.array_writes;
+        self.array_reads |= callee.array_reads;
+        self.allocates |= callee.allocates;
+    }
+
+    /// True if the function writes no state at all (a *pure* observer).
+    #[must_use]
+    pub fn is_pure(&self) -> bool {
+        self.this_writes.is_empty()
+            && self.other_writes.is_empty()
+            && self.global_writes.is_empty()
+            && !self.array_writes
+            && !self.allocates
+    }
+
+    /// Every field written, regardless of how it was reached.
+    #[must_use]
+    pub fn all_field_writes(&self) -> BTreeSet<FieldRef> {
+        self.this_writes.union(&self.other_writes).copied().collect()
+    }
+}
+
+/// Effects for every function: `direct[f]` is `f`'s own body only,
+/// `transitive[f]` includes everything reachable through calls.
+#[derive(Debug, Clone)]
+pub struct EffectsMap {
+    /// Per-function direct effects.
+    pub direct: Vec<Effects>,
+    /// Per-function transitive effects.
+    pub transitive: Vec<Effects>,
+}
+
+impl EffectsMap {
+    /// Compute effects for the whole program.
+    #[must_use]
+    pub fn build(hir: &Hir, callgraph: &CallGraph) -> Self {
+        let n = hir.functions.len();
+        let mut direct = Vec::with_capacity(n);
+        for f in &hir.functions {
+            let mut e = Effects::default();
+            scan_stmts(&f.body, &mut e);
+            direct.push(e);
+        }
+        // Fixpoint closure (graphs are tiny; iterate until stable).
+        let mut transitive = direct.clone();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                let mut acc = transitive[i].clone();
+                // Re-scan calls with receiver information.
+                let mut calls = Vec::new();
+                collect_calls_with_receiver(&hir.functions[i].body, &mut calls);
+                for (callee, recv_is_this) in calls {
+                    let snapshot = transitive[callee.0].clone();
+                    acc.absorb_call(&snapshot, recv_is_this);
+                }
+                if acc != transitive[i] {
+                    transitive[i] = acc;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let _ = callgraph;
+        EffectsMap { direct, transitive }
+    }
+
+    /// Transitive effects of a function.
+    #[must_use]
+    pub fn of(&self, f: FuncId) -> &Effects {
+        &self.transitive[f.0]
+    }
+}
+
+/// Calls in a body, with whether the receiver is syntactically `this`
+/// (free-function calls count as non-`this`).
+pub fn collect_calls_with_receiver(stmts: &[Stmt], out: &mut Vec<(FuncId, bool)>) {
+    visit_exprs_stmts(stmts, &mut |e| {
+        match &e.kind {
+            ExprKind::CallFn { func, .. } => out.push((*func, false)),
+            ExprKind::CallMethod { obj, func, .. } => {
+                out.push((*func, matches!(obj.kind, ExprKind::This)));
+            }
+            _ => {}
+        }
+    });
+}
+
+fn scan_stmts(stmts: &[Stmt], e: &mut Effects) {
+    for s in stmts {
+        scan_stmt(s, e);
+    }
+}
+
+fn scan_stmt(s: &Stmt, e: &mut Effects) {
+    match s {
+        Stmt::Assign { place, value } => {
+            scan_expr(value, e);
+            match place {
+                Place::Local(_) => {}
+                Place::Global(g) => {
+                    e.global_writes.insert(g.0);
+                }
+                Place::Field { obj, class, field } => {
+                    scan_expr(obj, e);
+                    if matches!(obj.kind, ExprKind::This) {
+                        e.this_writes.insert((*class, *field));
+                    } else {
+                        e.other_writes.insert((*class, *field));
+                    }
+                }
+                Place::Index { arr, idx } => {
+                    scan_expr(arr, e);
+                    scan_expr(idx, e);
+                    e.array_writes = true;
+                }
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch } => {
+            scan_expr(cond, e);
+            scan_stmts(then_branch, e);
+            scan_stmts(else_branch, e);
+        }
+        Stmt::While { cond, body } => {
+            scan_expr(cond, e);
+            scan_stmts(body, e);
+        }
+        Stmt::CountedFor { start, bound, body, .. } => {
+            scan_expr(start, e);
+            scan_expr(bound, e);
+            scan_stmts(body, e);
+        }
+        Stmt::Return(v) => {
+            if let Some(v) = v {
+                scan_expr(v, e);
+            }
+        }
+        Stmt::Expr(x) => scan_expr(x, e),
+        Stmt::Critical { lock_obj, body } => {
+            scan_expr(lock_obj, e);
+            scan_stmts(body, e);
+        }
+    }
+}
+
+fn scan_expr(x: &Expr, e: &mut Effects) {
+    match &x.kind {
+        ExprKind::FieldGet { obj, class, field } => {
+            scan_expr(obj, e);
+            if matches!(obj.kind, ExprKind::This) {
+                e.this_reads.insert((*class, *field));
+            } else {
+                e.other_reads.insert((*class, *field));
+            }
+        }
+        ExprKind::Index { arr, idx } => {
+            scan_expr(arr, e);
+            scan_expr(idx, e);
+            e.array_reads = true;
+        }
+        ExprKind::ArrayLen(a) => scan_expr(a, e),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            scan_expr(lhs, e);
+            scan_expr(rhs, e);
+        }
+        ExprKind::Unary { expr, .. } | ExprKind::IntToDouble(expr) => scan_expr(expr, e),
+        ExprKind::CallFn { args, .. } | ExprKind::CallExtern { args, .. } => {
+            for a in args {
+                scan_expr(a, e);
+            }
+        }
+        ExprKind::CallMethod { obj, args, .. } => {
+            scan_expr(obj, e);
+            for a in args {
+                scan_expr(a, e);
+            }
+        }
+        ExprKind::Global(g) => {
+            e.global_reads.insert(g.0);
+        }
+        ExprKind::New { .. } => e.allocates = true,
+        ExprKind::NewArray { len, .. } => {
+            scan_expr(len, e);
+            e.allocates = true;
+        }
+        ExprKind::Int(_)
+        | ExprKind::Double(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null
+        | ExprKind::This
+        | ExprKind::Local(_) => {}
+    }
+}
+
+/// Visit every expression in a statement list (pre-order).
+pub fn visit_exprs_stmts(stmts: &[Stmt], f: &mut impl FnMut(&Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { place, value } => {
+                match place {
+                    Place::Field { obj, .. } => visit_exprs(obj, f),
+                    Place::Index { arr, idx } => {
+                        visit_exprs(arr, f);
+                        visit_exprs(idx, f);
+                    }
+                    _ => {}
+                }
+                visit_exprs(value, f);
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                visit_exprs(cond, f);
+                visit_exprs_stmts(then_branch, f);
+                visit_exprs_stmts(else_branch, f);
+            }
+            Stmt::While { cond, body } => {
+                visit_exprs(cond, f);
+                visit_exprs_stmts(body, f);
+            }
+            Stmt::CountedFor { start, bound, body, .. } => {
+                visit_exprs(start, f);
+                visit_exprs(bound, f);
+                visit_exprs_stmts(body, f);
+            }
+            Stmt::Return(Some(v)) => visit_exprs(v, f),
+            Stmt::Return(None) => {}
+            Stmt::Expr(x) => visit_exprs(x, f),
+            Stmt::Critical { lock_obj, body } => {
+                visit_exprs(lock_obj, f);
+                visit_exprs_stmts(body, f);
+            }
+        }
+    }
+}
+
+/// Visit an expression and its children (pre-order).
+pub fn visit_exprs(x: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(x);
+    match &x.kind {
+        ExprKind::FieldGet { obj, .. } => visit_exprs(obj, f),
+        ExprKind::Index { arr, idx } => {
+            visit_exprs(arr, f);
+            visit_exprs(idx, f);
+        }
+        ExprKind::ArrayLen(a) => visit_exprs(a, f),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            visit_exprs(lhs, f);
+            visit_exprs(rhs, f);
+        }
+        ExprKind::Unary { expr, .. } | ExprKind::IntToDouble(expr) => visit_exprs(expr, f),
+        ExprKind::CallFn { args, .. } | ExprKind::CallExtern { args, .. } => {
+            for a in args {
+                visit_exprs(a, f);
+            }
+        }
+        ExprKind::CallMethod { obj, args, .. } => {
+            visit_exprs(obj, f);
+            for a in args {
+                visit_exprs(a, f);
+            }
+        }
+        ExprKind::NewArray { len, .. } => visit_exprs(len, f),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfb_lang::compile_source;
+
+    #[test]
+    fn direct_effects_classify_reads_and_writes() {
+        let hir = compile_source(
+            "class c { double x; double y; void m(c other) {
+                 this.x = this.x + other.y;
+             } }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&hir);
+        let eff = EffectsMap::build(&hir, &cg);
+        let m = hir.method_named(ClassId(0), "m").unwrap();
+        let e = &eff.direct[m.0];
+        assert!(e.this_writes.contains(&(ClassId(0), 0)));
+        assert!(e.this_reads.contains(&(ClassId(0), 0)));
+        assert!(e.other_reads.contains(&(ClassId(0), 1)));
+        assert!(e.other_writes.is_empty());
+    }
+
+    #[test]
+    fn transitive_effects_follow_this_calls() {
+        let hir = compile_source(
+            "class c { double x;
+                 void inner() { this.x += 1.0; }
+                 void outer() { this.inner(); }
+                 void cross(c o) { o.inner(); }
+             }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&hir);
+        let eff = EffectsMap::build(&hir, &cg);
+        let outer = hir.method_named(ClassId(0), "outer").unwrap();
+        // `outer` calls `inner` on `this`, so the write stays this-relative.
+        assert!(eff.of(outer).this_writes.contains(&(ClassId(0), 0)));
+        // `cross` calls `inner` on another object: write becomes other-write.
+        let cross = hir.method_named(ClassId(0), "cross").unwrap();
+        assert!(eff.of(cross).other_writes.contains(&(ClassId(0), 0)));
+        assert!(eff.of(cross).this_writes.is_empty());
+    }
+
+    #[test]
+    fn purity_detection() {
+        let hir = compile_source(
+            "class c { double x;
+                 double get() { return this.x; }
+                 void set(double v) { this.x = v; }
+             }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&hir);
+        let eff = EffectsMap::build(&hir, &cg);
+        assert!(eff.of(hir.method_named(ClassId(0), "get").unwrap()).is_pure());
+        assert!(!eff.of(hir.method_named(ClassId(0), "set").unwrap()).is_pure());
+    }
+
+    #[test]
+    fn globals_and_arrays_tracked() {
+        let hir = compile_source(
+            "int counter;
+             void f(double[] a) { counter = counter + 1; a[0] = a[1]; }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&hir);
+        let eff = EffectsMap::build(&hir, &cg);
+        let e = eff.of(hir.function_named("f").unwrap());
+        assert!(e.global_writes.contains(&0));
+        assert!(e.global_reads.contains(&0));
+        assert!(e.array_writes);
+        assert!(e.array_reads);
+    }
+}

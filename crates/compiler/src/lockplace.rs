@@ -1,0 +1,151 @@
+//! Default lock placement (§2 of the paper).
+//!
+//! "To ensure that operations execute atomically, the compiler augments
+//! each object with a mutual exclusion lock. It then automatically inserts
+//! synchronization constructs into operations that update objects." — the
+//! *default placement* wraps each maximal run of consecutive receiver-field
+//! updates in a critical region on the receiver's lock (compare Figure 1 of
+//! the paper, where the acquire/release pair encloses exactly the
+//! `sum = sum + val` update).
+
+use dynfb_lang::hir::{Expr, ExprKind, Function, Place, Stmt};
+
+/// Insert default critical regions into a function body: every maximal run
+/// of consecutive top-level `this.field = ...` assignments becomes one
+/// `Critical` region on `this`.
+///
+/// Returns true if any region was inserted.
+pub fn insert_default_regions(func: &mut Function) -> bool {
+    let Some(class) = func.class else { return false };
+    let body = std::mem::take(&mut func.body);
+    let mut inserted = false;
+    func.body = wrap_runs(body, &Expr::this(class), &mut inserted);
+    inserted
+}
+
+fn is_this_field_write(s: &Stmt) -> bool {
+    matches!(
+        s,
+        Stmt::Assign { place: Place::Field { obj, .. }, .. }
+            if matches!(obj.kind, ExprKind::This)
+    )
+}
+
+fn wrap_runs(stmts: Vec<Stmt>, lock: &Expr, inserted: &mut bool) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut run: Vec<Stmt> = Vec::new();
+    let flush = |run: &mut Vec<Stmt>, out: &mut Vec<Stmt>, inserted: &mut bool| {
+        if !run.is_empty() {
+            *inserted = true;
+            out.push(Stmt::Critical { lock_obj: lock.clone(), body: std::mem::take(run) });
+        }
+    };
+    for s in stmts {
+        if is_this_field_write(&s) {
+            run.push(s);
+            continue;
+        }
+        flush(&mut run, &mut out, inserted);
+        // Recurse into structured statements so updates nested in control
+        // flow are protected too (such operations are not *parallelized* —
+        // the commutativity analysis rejects them — but serial-section code
+        // shares method bodies and must stay well-formed).
+        let s = match s {
+            Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+                cond,
+                then_branch: wrap_runs(then_branch, lock, inserted),
+                else_branch: wrap_runs(else_branch, lock, inserted),
+            },
+            Stmt::While { cond, body } => {
+                Stmt::While { cond, body: wrap_runs(body, lock, inserted) }
+            }
+            Stmt::CountedFor { var, start, bound, body } => {
+                Stmt::CountedFor { var, start, bound, body: wrap_runs(body, lock, inserted) }
+            }
+            other => other,
+        };
+        out.push(s);
+    }
+    flush(&mut run, &mut out, inserted);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfb_lang::compile_source;
+    use dynfb_lang::hir::ClassId;
+
+    fn count_criticals(stmts: &[Stmt]) -> usize {
+        let mut n = 0;
+        for s in stmts {
+            match s {
+                Stmt::Critical { body, .. } => {
+                    n += 1 + count_criticals(body);
+                }
+                Stmt::If { then_branch, else_branch, .. } => {
+                    n += count_criticals(then_branch) + count_criticals(else_branch);
+                }
+                Stmt::While { body, .. } | Stmt::CountedFor { body, .. } => {
+                    n += count_criticals(body);
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn separate_runs_get_separate_regions() {
+        // Two update groups separated by a pure statement: two regions,
+        // exactly the shape the Bounded policy later merges.
+        let hir = compile_source(
+            "extern double f(double);
+             class c { double a; double b; double p;
+                 void m(double v) {
+                     this.a += v;
+                     double t = f(this.p);
+                     this.b += t;
+                 } }",
+        )
+        .unwrap();
+        let mut func = hir.functions[hir.method_named(ClassId(0), "m").unwrap().0].clone();
+        assert!(insert_default_regions(&mut func));
+        assert_eq!(count_criticals(&func.body), 2);
+    }
+
+    #[test]
+    fn consecutive_writes_share_one_region() {
+        let hir = compile_source(
+            "class c { double x; double y; double z;
+                 void m(double v) { this.x += v; this.y += v; this.z += v; } }",
+        )
+        .unwrap();
+        let mut func = hir.functions[hir.method_named(ClassId(0), "m").unwrap().0].clone();
+        insert_default_regions(&mut func);
+        assert_eq!(count_criticals(&func.body), 1);
+    }
+
+    #[test]
+    fn pure_methods_untouched() {
+        let hir = compile_source(
+            "class c { double x; double get() { return this.x; } }",
+        )
+        .unwrap();
+        let mut func = hir.functions[0].clone();
+        assert!(!insert_default_regions(&mut func));
+        assert_eq!(count_criticals(&func.body), 0);
+    }
+
+    #[test]
+    fn nested_updates_are_protected() {
+        let hir = compile_source(
+            "class c { double x;
+                 void m(int n) { for (int i = 0; i < n; i++) { this.x += 1.0; } } }",
+        )
+        .unwrap();
+        let mut func = hir.functions[0].clone();
+        insert_default_regions(&mut func);
+        assert_eq!(count_criticals(&func.body), 1);
+    }
+}

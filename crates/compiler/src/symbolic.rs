@@ -1,0 +1,343 @@
+//! Symbolic expressions with algebraic normalization.
+//!
+//! The commutativity analysis (§2 of the paper, following Rinard & Diniz's
+//! commutativity analysis work) decides whether two operations `A` and `B`
+//! on the same object *commute* by executing them symbolically in both
+//! orders and comparing the resulting object states as algebraic
+//! expressions. This module provides the expression language and the
+//! normal form used for that comparison: `+` and `*` are flattened,
+//! constants folded, and operands sorted, so two expressions that are equal
+//! modulo associativity and commutativity of `+`/`*` have identical normal
+//! forms. Everything else (division, externs, comparisons) is treated as
+//! uninterpreted.
+
+use std::fmt;
+
+/// An `f64` wrapped for total ordering and hashing by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bits(u64);
+
+impl Bits {
+    /// Wrap a float.
+    #[must_use]
+    pub fn from_f64(v: f64) -> Self {
+        Bits(v.to_bits())
+    }
+
+    /// Unwrap.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+/// A symbolic value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sym {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Double(Bits),
+    /// An input of operation instance `inst`: parameter or local slot `slot`.
+    Param {
+        /// Which operation instance (two instances get distinct inputs).
+        inst: usize,
+        /// Which input slot.
+        slot: usize,
+    },
+    /// The initial value of receiver field `field` (before the composed
+    /// operations run).
+    Init(usize),
+    /// A fresh unknown (e.g. a local assigned inside unanalyzed control
+    /// flow); two havocs are equal only if they have the same id.
+    Havoc(usize),
+    /// Flattened n-ary sum.
+    Add(Vec<Sym>),
+    /// Flattened n-ary product.
+    Mul(Vec<Sym>),
+    /// An uninterpreted operator (externs, division, comparisons...).
+    Opaque {
+        /// Operator tag (e.g. `"div"`, `"extern:interact"`).
+        tag: String,
+        /// Operands.
+        args: Vec<Sym>,
+    },
+}
+
+impl Sym {
+    /// Shorthand for an opaque application.
+    #[must_use]
+    pub fn opaque(tag: impl Into<String>, args: Vec<Sym>) -> Sym {
+        Sym::Opaque { tag: tag.into(), args }.normalized()
+    }
+
+    /// `a + b`.
+    #[must_use]
+    pub fn add(a: Sym, b: Sym) -> Sym {
+        Sym::Add(vec![a, b]).normalized()
+    }
+
+    /// `a * b`.
+    #[must_use]
+    pub fn mul(a: Sym, b: Sym) -> Sym {
+        Sym::Mul(vec![a, b]).normalized()
+    }
+
+    /// `-a`.
+    #[must_use]
+    pub fn neg(a: Sym) -> Sym {
+        Sym::Mul(vec![Sym::Int(-1), a]).normalized()
+    }
+
+    /// `a - b`.
+    #[must_use]
+    pub fn sub(a: Sym, b: Sym) -> Sym {
+        Sym::add(a, Sym::neg(b))
+    }
+
+    /// Rewrite into the canonical normal form.
+    #[must_use]
+    pub fn normalized(self) -> Sym {
+        match self {
+            Sym::Add(terms) => {
+                let mut flat: Vec<Sym> = Vec::new();
+                let mut int_acc: i64 = 0;
+                let mut dbl_acc: f64 = 0.0;
+                let mut has_dbl = false;
+                let mut stack: Vec<Sym> = terms.into_iter().map(Sym::normalized).collect();
+                stack.reverse();
+                while let Some(t) = stack.pop() {
+                    match t {
+                        Sym::Add(inner) => {
+                            for x in inner.into_iter().rev() {
+                                stack.push(x);
+                            }
+                        }
+                        Sym::Int(v) => int_acc = int_acc.wrapping_add(v),
+                        Sym::Double(b) => {
+                            has_dbl = true;
+                            dbl_acc += b.to_f64();
+                        }
+                        other => flat.push(other),
+                    }
+                }
+                if has_dbl {
+                    let c = dbl_acc + int_acc as f64;
+                    if c != 0.0 {
+                        flat.push(Sym::Double(Bits::from_f64(c)));
+                    }
+                } else if int_acc != 0 {
+                    flat.push(Sym::Int(int_acc));
+                }
+                flat.sort();
+                match flat.len() {
+                    0 => Sym::Int(0),
+                    1 => flat.pop().expect("len 1"),
+                    _ => Sym::Add(flat),
+                }
+            }
+            Sym::Mul(factors) => {
+                let mut flat: Vec<Sym> = Vec::new();
+                let mut int_acc: i64 = 1;
+                let mut dbl_acc: f64 = 1.0;
+                let mut has_dbl = false;
+                let mut stack: Vec<Sym> = factors.into_iter().map(Sym::normalized).collect();
+                stack.reverse();
+                while let Some(t) = stack.pop() {
+                    match t {
+                        Sym::Mul(inner) => {
+                            for x in inner.into_iter().rev() {
+                                stack.push(x);
+                            }
+                        }
+                        Sym::Int(v) => int_acc = int_acc.wrapping_mul(v),
+                        Sym::Double(b) => {
+                            has_dbl = true;
+                            dbl_acc *= b.to_f64();
+                        }
+                        other => flat.push(other),
+                    }
+                }
+                if int_acc == 0 && !has_dbl {
+                    return Sym::Int(0);
+                }
+                if has_dbl {
+                    let c = dbl_acc * int_acc as f64;
+                    if c == 0.0 {
+                        // Canonical zero regardless of how it was reached.
+                        return Sym::Int(0);
+                    }
+                    if c != 1.0 {
+                        flat.push(Sym::Double(Bits::from_f64(c)));
+                    }
+                } else if int_acc != 1 {
+                    flat.push(Sym::Int(int_acc));
+                }
+                flat.sort();
+                match flat.len() {
+                    // Canonical one regardless of how it was reached.
+                    0 => Sym::Int(1),
+                    1 => flat.pop().expect("len 1"),
+                    _ => Sym::Mul(flat),
+                }
+            }
+            Sym::Opaque { tag, args } => Sym::Opaque {
+                tag,
+                args: args.into_iter().map(Sym::normalized).collect(),
+            },
+            leaf => leaf,
+        }
+    }
+
+    /// Substitute every [`Sym::Init`] with the corresponding entry of
+    /// `state` (the symbolic object state an operation is applied to).
+    #[must_use]
+    pub fn substitute_init(&self, state: &[Sym]) -> Sym {
+        match self {
+            Sym::Init(f) => state.get(*f).cloned().unwrap_or_else(|| self.clone()),
+            Sym::Add(ts) => {
+                Sym::Add(ts.iter().map(|t| t.substitute_init(state)).collect()).normalized()
+            }
+            Sym::Mul(ts) => {
+                Sym::Mul(ts.iter().map(|t| t.substitute_init(state)).collect()).normalized()
+            }
+            Sym::Opaque { tag, args } => Sym::Opaque {
+                tag: tag.clone(),
+                args: args.iter().map(|t| t.substitute_init(state)).collect(),
+            },
+            leaf => leaf.clone(),
+        }
+    }
+
+    /// Does this expression mention `Init(field)`?
+    #[must_use]
+    pub fn mentions_init(&self, field: usize) -> bool {
+        match self {
+            Sym::Init(f) => *f == field,
+            Sym::Add(ts) | Sym::Mul(ts) => ts.iter().any(|t| t.mentions_init(field)),
+            Sym::Opaque { args, .. } => args.iter().any(|t| t.mentions_init(field)),
+            _ => false,
+        }
+    }
+
+    /// Does this expression mention any `Init` at all?
+    #[must_use]
+    pub fn mentions_any_init(&self) -> bool {
+        match self {
+            Sym::Init(_) => true,
+            Sym::Add(ts) | Sym::Mul(ts) => ts.iter().any(Sym::mentions_any_init),
+            Sym::Opaque { args, .. } => args.iter().any(Sym::mentions_any_init),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Int(v) => write!(f, "{v}"),
+            Sym::Double(b) => write!(f, "{}", b.to_f64()),
+            Sym::Param { inst, slot } => write!(f, "p{inst}_{slot}"),
+            Sym::Init(x) => write!(f, "init({x})"),
+            Sym::Havoc(n) => write!(f, "havoc({n})"),
+            Sym::Add(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Sym::Mul(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " * ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Sym::Opaque { tag, args } => {
+                write!(f, "{tag}(")?;
+                for (i, t) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> Sym {
+        Sym::Param { inst: 0, slot: i }
+    }
+
+    #[test]
+    fn addition_is_ac_normalized() {
+        let a = Sym::add(p(0), Sym::add(p(1), p(2)));
+        let b = Sym::add(Sym::add(p(2), p(0)), p(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let e = Sym::add(Sym::Int(2), Sym::add(p(0), Sym::Int(3)));
+        assert_eq!(e, Sym::Add(vec![p(0), Sym::Int(5)]).normalized());
+        let z = Sym::mul(Sym::Int(0), p(0));
+        assert_eq!(z, Sym::Int(0));
+        let one = Sym::mul(Sym::Int(1), p(0));
+        assert_eq!(one, p(0));
+    }
+
+    #[test]
+    fn subtraction_via_negation() {
+        // x - x normalizes to 0 only when terms are literally equal after
+        // normalization: p0 + (-1 * p0) stays symbolic (no like-term
+        // collection), which is fine — we only need equality of equal forms.
+        let e = Sym::sub(p(0), p(1));
+        let f = Sym::add(Sym::neg(p(1)), p(0));
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn mul_add_do_not_distribute() {
+        let a = Sym::mul(p(0), Sym::add(p(1), p(2)));
+        let b = Sym::add(Sym::mul(p(0), p(1)), Sym::mul(p(0), p(2)));
+        assert_ne!(a, b, "normalization must not distribute");
+    }
+
+    #[test]
+    fn substitution_composes_states() {
+        // state: field0 = init(0) + p0
+        let after_a = vec![Sym::add(Sym::Init(0), p(0))];
+        // apply B: field0 = init(0) + p1  on top of A's state
+        let b_update = Sym::add(Sym::Init(0), p(1));
+        let composed = b_update.substitute_init(&after_a);
+        assert_eq!(composed, Sym::Add(vec![p(0), p(1), Sym::Init(0)]).normalized());
+    }
+
+    #[test]
+    fn mentions_init_detection() {
+        let e = Sym::opaque("div", vec![Sym::Init(2), p(0)]);
+        assert!(e.mentions_init(2));
+        assert!(!e.mentions_init(1));
+        assert!(e.mentions_any_init());
+        assert!(!p(0).mentions_any_init());
+    }
+
+    #[test]
+    fn double_constants_fold_separately() {
+        let e = Sym::add(Sym::Double(Bits::from_f64(0.5)), Sym::Double(Bits::from_f64(0.25)));
+        assert_eq!(e, Sym::Double(Bits::from_f64(0.75)));
+    }
+}

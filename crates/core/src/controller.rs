@@ -1,0 +1,649 @@
+//! The dynamic feedback phase state machine (§4 of the paper).
+//!
+//! A [`Controller`] tracks which *phase* the computation is in (sampling or
+//! production), which policy version is currently executing, and how long
+//! the current interval should last. It is deliberately execution-agnostic:
+//! the surrounding runtime polls a timer at *potential switch points*
+//! (typically the end of each parallel-loop iteration), and when the target
+//! interval has expired it measures the overhead of the interval and calls
+//! [`Controller::complete_interval`]. The controller answers with the next
+//! policy to run.
+//!
+//! This inversion keeps the controller deterministic and testable, and lets
+//! the same logic drive both the discrete-event simulator (`dynfb-sim`) and
+//! the real-thread executor ([`crate::realtime`]).
+
+use crate::overhead::OverheadSample;
+use std::fmt;
+use std::time::Duration;
+
+/// Identifier of a policy version, in `0..num_policies`.
+///
+/// By convention (matching the synchronization optimization policies of §3),
+/// index `0` is the least aggressive policy (*Original*: never apply the
+/// transformation) and index `num_policies - 1` is the most aggressive
+/// (*Aggressive*: always apply it). The early cut-off optimization relies on
+/// this ordering; everything else is agnostic to it.
+pub type PolicyId = usize;
+
+/// How the sampling phase orders the policies it tries (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyOrdering {
+    /// Sample policies in index order `0, 1, ..., N-1`.
+    #[default]
+    InOrder,
+    /// Sample the extreme policies first (`N-1`, then `0`, then the rest).
+    ///
+    /// Combined with [`EarlyCutoff`], this maximizes the chance of skipping
+    /// the remaining policies: the most aggressive policy has the least
+    /// locking overhead, so if it also shows negligible waiting overhead no
+    /// other policy can do significantly better; symmetrically for the
+    /// original policy and locking overhead.
+    ExtremesFirst,
+    /// Sample first the policy that performed best in the previous sampling
+    /// phase (falling back to index order before any history exists).
+    BestFirst,
+}
+
+/// The early cut-off optimization (§4.5): stop sampling as soon as the
+/// measurements prove no other policy can do significantly better.
+///
+/// The rules exploit the monotonicity the paper observes across the policy
+/// spectrum: locking overhead never increases, and waiting overhead never
+/// decreases, as the policy moves from *Original* (index 0) towards
+/// *Aggressive* (index `N-1`). Therefore:
+///
+/// * if the **most aggressive** policy shows waiting overhead below
+///   [`negligible`](Self::negligible), it is optimal (it already has the
+///   least locking overhead);
+/// * if the **original** policy shows locking overhead below
+///   [`negligible`](Self::negligible), it is optimal (it already has the
+///   least waiting overhead);
+/// * with [`PolicyOrdering::BestFirst`], if the first sampled policy was the
+///   previous best and its overhead is still within
+///   [`accept_within`](Self::accept_within) of its previous measurement, go
+///   directly to production.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyCutoff {
+    /// Overhead fraction below which a component overhead is negligible.
+    pub negligible: f64,
+    /// Absolute tolerance for the "continues to be acceptable" rule used
+    /// with [`PolicyOrdering::BestFirst`]; `None` disables that rule.
+    pub accept_within: Option<f64>,
+}
+
+impl Default for EarlyCutoff {
+    fn default() -> Self {
+        EarlyCutoff { negligible: 0.01, accept_within: Some(0.05) }
+    }
+}
+
+/// Configuration for a [`Controller`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// Number of policy versions (distinct generated code versions).
+    ///
+    /// When the compiler detects that two policies generate identical code
+    /// for a section (as happens for the Water INTERF and POTENG sections in
+    /// the paper), the runtime creates the controller with the number of
+    /// *distinct* versions, so duplicates are never sampled.
+    pub num_policies: usize,
+    /// Target sampling interval (paper default: 10 ms). The *effective*
+    /// sampling interval may be longer: switch points only occur at loop
+    /// iteration boundaries (§4.1).
+    pub target_sampling: Duration,
+    /// Target production interval (paper default: 10–100 s).
+    pub target_production: Duration,
+    /// Optional early cut-off of the sampling phase (§4.5).
+    pub early_cutoff: Option<EarlyCutoff>,
+    /// Order in which the sampling phase tries policies (§4.5).
+    pub ordering: PolicyOrdering,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            num_policies: 3,
+            target_sampling: Duration::from_millis(10),
+            target_production: Duration::from_secs(10),
+            early_cutoff: None,
+            ordering: PolicyOrdering::InOrder,
+        }
+    }
+}
+
+/// Error returned by [`Controller::try_new`] for invalid configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_policies` was zero.
+    NoPolicies,
+    /// A target interval was zero.
+    ZeroInterval,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoPolicies => write!(f, "configuration has no policies"),
+            ConfigError::ZeroInterval => write!(f, "target intervals must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The current phase of the dynamic feedback state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// No parallel section is active; call [`Controller::begin_section`].
+    Idle,
+    /// Sampling phase: measuring `policy`, the `position + 1`-th of
+    /// `planned` policies this phase intends to sample.
+    Sampling {
+        /// Policy currently being measured.
+        policy: PolicyId,
+        /// Index into the sampling order.
+        position: usize,
+        /// Number of policies this sampling phase planned to sample.
+        planned: usize,
+    },
+    /// Production phase: running the best policy from the last sampling
+    /// phase.
+    Production {
+        /// Policy selected for production.
+        policy: PolicyId,
+        /// Whether the sampling phase ended early via [`EarlyCutoff`].
+        via_cutoff: bool,
+    },
+}
+
+impl Phase {
+    /// True if this is a sampling phase.
+    #[must_use]
+    pub fn is_sampling(&self) -> bool {
+        matches!(self, Phase::Sampling { .. })
+    }
+
+    /// True if this is a production phase.
+    #[must_use]
+    pub fn is_production(&self) -> bool {
+        matches!(self, Phase::Production { .. })
+    }
+}
+
+/// The controller's answer to a completed interval: what to run next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Continue the sampling phase with this policy.
+    Sample(PolicyId),
+    /// Enter a production phase with this policy. `via_cutoff` reports
+    /// whether the sampling phase was cut short by [`EarlyCutoff`].
+    Produce {
+        /// Policy chosen for the production phase.
+        policy: PolicyId,
+        /// Whether early cut-off shortened the sampling phase.
+        via_cutoff: bool,
+    },
+}
+
+impl Transition {
+    /// The policy the runtime should execute next.
+    #[must_use]
+    pub fn policy(&self) -> PolicyId {
+        match *self {
+            Transition::Sample(p) => p,
+            Transition::Produce { policy, .. } => policy,
+        }
+    }
+}
+
+/// The dynamic feedback phase state machine. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Controller {
+    config: ControllerConfig,
+    phase: Phase,
+    /// Sampling order for the current (or next) sampling phase.
+    order: Vec<PolicyId>,
+    /// Latest overhead measured for each policy in the current sampling
+    /// phase (`None` if not yet sampled this phase).
+    measurements: Vec<Option<f64>>,
+    /// Most recent overhead ever measured per policy (across phases).
+    history: Vec<Option<f64>>,
+    /// Number of completed sampling phases.
+    sampling_phases: u64,
+    /// Number of completed production phases.
+    production_phases: u64,
+}
+
+impl Controller {
+    /// Create a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use [`Controller::try_new`]
+    /// for a fallible constructor.
+    #[must_use]
+    pub fn new(config: ControllerConfig) -> Self {
+        Controller::try_new(config).expect("invalid controller configuration")
+    }
+
+    /// Create a controller, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoPolicies`] if `num_policies == 0` and
+    /// [`ConfigError::ZeroInterval`] if either target interval is zero.
+    pub fn try_new(config: ControllerConfig) -> Result<Self, ConfigError> {
+        if config.num_policies == 0 {
+            return Err(ConfigError::NoPolicies);
+        }
+        if config.target_sampling.is_zero() || config.target_production.is_zero() {
+            return Err(ConfigError::ZeroInterval);
+        }
+        let n = config.num_policies;
+        Ok(Controller {
+            config,
+            phase: Phase::Idle,
+            order: Vec::new(),
+            measurements: vec![None; n],
+            history: vec![None; n],
+            sampling_phases: 0,
+            production_phases: 0,
+        })
+    }
+
+    /// The configuration this controller was created with.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The current phase.
+    #[must_use]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The policy the runtime should currently be executing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section is active (phase is [`Phase::Idle`]).
+    #[must_use]
+    pub fn current_policy(&self) -> PolicyId {
+        match self.phase {
+            Phase::Idle => panic!("no active section: call begin_section first"),
+            Phase::Sampling { policy, .. } => policy,
+            Phase::Production { policy, .. } => policy,
+        }
+    }
+
+    /// Target duration of the current interval (sampling or production).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section is active.
+    #[must_use]
+    pub fn target_interval(&self) -> Duration {
+        match self.phase {
+            Phase::Idle => panic!("no active section: call begin_section first"),
+            Phase::Sampling { .. } => self.config.target_sampling,
+            Phase::Production { .. } => self.config.target_production,
+        }
+    }
+
+    /// Overheads measured in the current sampling phase, indexed by policy.
+    #[must_use]
+    pub fn measurements(&self) -> &[Option<f64>] {
+        &self.measurements
+    }
+
+    /// Most recent overhead ever measured per policy.
+    #[must_use]
+    pub fn history(&self) -> &[Option<f64>] {
+        &self.history
+    }
+
+    /// Number of completed sampling phases.
+    #[must_use]
+    pub fn sampling_phases(&self) -> u64 {
+        self.sampling_phases
+    }
+
+    /// Number of completed production phases.
+    #[must_use]
+    pub fn production_phases(&self) -> u64 {
+        self.production_phases
+    }
+
+    /// Begin a new parallel section: start a sampling phase (the paper's
+    /// generated code always begins each parallel section by sampling).
+    ///
+    /// Returns the first policy to sample.
+    pub fn begin_section(&mut self) -> PolicyId {
+        self.start_sampling_phase();
+        self.current_policy()
+    }
+
+    /// Report that the current interval has expired with the given measured
+    /// overhead, and advance the state machine.
+    ///
+    /// In a sampling phase this records the measurement, applies early
+    /// cut-off if enabled, and either moves to the next policy or selects
+    /// the best policy and enters production. In a production phase this
+    /// updates the policy's history and starts a fresh sampling phase
+    /// (periodic resampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section is active.
+    pub fn complete_interval(&mut self, sample: OverheadSample) -> Transition {
+        match self.phase {
+            Phase::Idle => panic!("no active section: call begin_section first"),
+            Phase::Sampling { policy, position, planned } => {
+                let overhead = sample.total_overhead();
+                let previous = self.history[policy];
+                self.measurements[policy] = Some(overhead);
+                self.history[policy] = Some(overhead);
+
+                if let Some(cut) = self.config.early_cutoff {
+                    if self.cutoff_applies(policy, position, previous, &sample, &cut) {
+                        return self.enter_production(policy, true);
+                    }
+                }
+
+                let next_position = position + 1;
+                if next_position < planned {
+                    let next = self.order[next_position];
+                    self.phase =
+                        Phase::Sampling { policy: next, position: next_position, planned };
+                    Transition::Sample(next)
+                } else {
+                    let best = self.best_measured();
+                    self.enter_production(best, false)
+                }
+            }
+            Phase::Production { policy, .. } => {
+                // Periodic resampling: production measurements also refresh
+                // the history (the paper keeps instrumentation enabled in
+                // production phases; see §6.1 footnote 2).
+                self.history[policy] = Some(sample.total_overhead());
+                self.production_phases += 1;
+                self.start_sampling_phase();
+                Transition::Sample(self.current_policy())
+            }
+        }
+    }
+
+    /// End the active section, returning to [`Phase::Idle`]. The policy
+    /// history is retained for [`PolicyOrdering::BestFirst`].
+    pub fn end_section(&mut self) {
+        self.phase = Phase::Idle;
+    }
+
+    fn start_sampling_phase(&mut self) {
+        self.order = self.sampling_order();
+        self.measurements = vec![None; self.config.num_policies];
+        let first = self.order[0];
+        self.phase = Phase::Sampling { policy: first, position: 0, planned: self.order.len() };
+    }
+
+    fn sampling_order(&self) -> Vec<PolicyId> {
+        let n = self.config.num_policies;
+        let mut order: Vec<PolicyId> = (0..n).collect();
+        match self.config.ordering {
+            PolicyOrdering::InOrder => {}
+            PolicyOrdering::ExtremesFirst => {
+                if n >= 2 {
+                    order.clear();
+                    order.push(n - 1);
+                    order.push(0);
+                    order.extend(1..n - 1);
+                }
+            }
+            PolicyOrdering::BestFirst => {
+                // Sort ascending by last known overhead; unknown policies keep
+                // their relative index order after all known ones.
+                order.sort_by(|&a, &b| {
+                    let ka = self.history[a];
+                    let kb = self.history[b];
+                    match (ka, kb) {
+                        (Some(x), Some(y)) => {
+                            x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                        }
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => a.cmp(&b),
+                    }
+                });
+            }
+        }
+        order
+    }
+
+    fn cutoff_applies(
+        &mut self,
+        policy: PolicyId,
+        position: usize,
+        previous: Option<f64>,
+        sample: &OverheadSample,
+        cut: &EarlyCutoff,
+    ) -> bool {
+        let n = self.config.num_policies;
+        // Most aggressive policy with negligible waiting overhead: nothing
+        // can beat it (it already has minimal locking overhead).
+        if policy == n - 1 && sample.waiting_fraction() < cut.negligible {
+            return true;
+        }
+        // Original policy with negligible locking overhead: symmetric case.
+        if policy == 0 && sample.locking_fraction() < cut.negligible {
+            return true;
+        }
+        // Best-first acceptance: the first sampled policy was the previous
+        // best and its overhead is still close to what it was.
+        if position == 0 && self.config.ordering == PolicyOrdering::BestFirst {
+            if let (Some(tolerance), Some(previous)) = (cut.accept_within, previous) {
+                if self.sampling_phases > 0
+                    && (sample.total_overhead() - previous).abs() <= tolerance
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn best_measured(&self) -> PolicyId {
+        let mut best = self.order[0];
+        let mut best_overhead = f64::INFINITY;
+        // Iterate in sampling order so ties resolve to the first sampled
+        // policy, matching the paper's "arbitrarily select one of the
+        // sampled policies with the lowest overhead".
+        for &p in &self.order {
+            if let Some(v) = self.measurements[p] {
+                if v < best_overhead {
+                    best_overhead = v;
+                    best = p;
+                }
+            }
+        }
+        best
+    }
+
+    fn enter_production(&mut self, policy: PolicyId, via_cutoff: bool) -> Transition {
+        self.sampling_phases += 1;
+        self.phase = Phase::Production { policy, via_cutoff };
+        Transition::Produce { policy, via_cutoff }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(overhead: f64) -> OverheadSample {
+        OverheadSample::from_fraction(overhead, Duration::from_millis(10))
+    }
+
+    fn cfg(n: usize) -> ControllerConfig {
+        ControllerConfig { num_policies: n, ..ControllerConfig::default() }
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert_eq!(Controller::try_new(cfg(0)).unwrap_err(), ConfigError::NoPolicies);
+        let bad = ControllerConfig { target_sampling: Duration::ZERO, ..cfg(2) };
+        assert_eq!(Controller::try_new(bad).unwrap_err(), ConfigError::ZeroInterval);
+    }
+
+    #[test]
+    fn samples_all_policies_then_produces_best() {
+        let mut ctl = Controller::new(cfg(3));
+        assert_eq!(ctl.begin_section(), 0);
+        assert_eq!(ctl.complete_interval(sample(0.4)), Transition::Sample(1));
+        assert_eq!(ctl.complete_interval(sample(0.1)), Transition::Sample(2));
+        let t = ctl.complete_interval(sample(0.3));
+        assert_eq!(t, Transition::Produce { policy: 1, via_cutoff: false });
+        assert_eq!(ctl.current_policy(), 1);
+        assert_eq!(ctl.target_interval(), ctl.config().target_production);
+    }
+
+    #[test]
+    fn production_resamples_periodically() {
+        let mut ctl = Controller::new(cfg(2));
+        ctl.begin_section();
+        ctl.complete_interval(sample(0.4));
+        ctl.complete_interval(sample(0.1));
+        assert!(ctl.phase().is_production());
+        let t = ctl.complete_interval(sample(0.15));
+        assert!(matches!(t, Transition::Sample(_)));
+        assert!(ctl.phase().is_sampling());
+        assert_eq!(ctl.production_phases(), 1);
+    }
+
+    #[test]
+    fn tie_breaks_to_first_sampled() {
+        let mut ctl = Controller::new(cfg(3));
+        ctl.begin_section();
+        ctl.complete_interval(sample(0.2));
+        ctl.complete_interval(sample(0.2));
+        let t = ctl.complete_interval(sample(0.2));
+        assert_eq!(t.policy(), 0);
+    }
+
+    #[test]
+    fn extremes_first_ordering() {
+        let config = ControllerConfig { ordering: PolicyOrdering::ExtremesFirst, ..cfg(4) };
+        let mut ctl = Controller::new(config);
+        assert_eq!(ctl.begin_section(), 3);
+        assert_eq!(ctl.complete_interval(sample(0.4)), Transition::Sample(0));
+        assert_eq!(ctl.complete_interval(sample(0.4)), Transition::Sample(1));
+        assert_eq!(ctl.complete_interval(sample(0.4)), Transition::Sample(2));
+    }
+
+    #[test]
+    fn aggressive_with_no_waiting_cuts_off() {
+        let config = ControllerConfig {
+            ordering: PolicyOrdering::ExtremesFirst,
+            early_cutoff: Some(EarlyCutoff { negligible: 0.01, accept_within: None }),
+            ..cfg(3)
+        };
+        let mut ctl = Controller::new(config);
+        assert_eq!(ctl.begin_section(), 2);
+        // Aggressive has some locking overhead but no waiting overhead.
+        let s = OverheadSample::new(
+            Duration::from_millis(1),
+            Duration::ZERO,
+            Duration::from_millis(10),
+        );
+        let t = ctl.complete_interval(s);
+        assert_eq!(t, Transition::Produce { policy: 2, via_cutoff: true });
+    }
+
+    #[test]
+    fn original_with_no_locking_cuts_off() {
+        let config = ControllerConfig {
+            early_cutoff: Some(EarlyCutoff { negligible: 0.01, accept_within: None }),
+            ..cfg(3)
+        };
+        let mut ctl = Controller::new(config);
+        assert_eq!(ctl.begin_section(), 0);
+        let s = OverheadSample::new(
+            Duration::ZERO,
+            Duration::from_micros(1),
+            Duration::from_millis(10),
+        );
+        let t = ctl.complete_interval(s);
+        assert_eq!(t, Transition::Produce { policy: 0, via_cutoff: true });
+    }
+
+    #[test]
+    fn cutoff_does_not_fire_with_significant_overheads() {
+        let config = ControllerConfig {
+            early_cutoff: Some(EarlyCutoff { negligible: 0.01, accept_within: None }),
+            ..cfg(2)
+        };
+        let mut ctl = Controller::new(config);
+        ctl.begin_section();
+        let s = OverheadSample::new(
+            Duration::from_millis(2),
+            Duration::from_millis(2),
+            Duration::from_millis(10),
+        );
+        assert_eq!(ctl.complete_interval(s), Transition::Sample(1));
+    }
+
+    #[test]
+    fn best_first_orders_by_history_and_accepts() {
+        let config = ControllerConfig {
+            ordering: PolicyOrdering::BestFirst,
+            early_cutoff: Some(EarlyCutoff { negligible: 0.0, accept_within: Some(0.05) }),
+            ..cfg(3)
+        };
+        let mut ctl = Controller::new(config);
+        // First section: no history, plain index order; policy 1 wins.
+        ctl.begin_section();
+        ctl.complete_interval(sample(0.5));
+        ctl.complete_interval(sample(0.1));
+        ctl.complete_interval(sample(0.3));
+        assert_eq!(ctl.current_policy(), 1);
+        ctl.end_section();
+        // Second section: policy 1 sampled first; overhead unchanged, so the
+        // acceptance rule fires and we skip the other policies.
+        assert_eq!(ctl.begin_section(), 1);
+        let t = ctl.complete_interval(sample(0.12));
+        assert_eq!(t, Transition::Produce { policy: 1, via_cutoff: true });
+    }
+
+    #[test]
+    fn best_first_resamples_all_when_overhead_changed() {
+        let config = ControllerConfig {
+            ordering: PolicyOrdering::BestFirst,
+            early_cutoff: Some(EarlyCutoff { negligible: 0.0, accept_within: Some(0.05) }),
+            ..cfg(2)
+        };
+        let mut ctl = Controller::new(config);
+        ctl.begin_section();
+        ctl.complete_interval(sample(0.1));
+        ctl.complete_interval(sample(0.5));
+        ctl.end_section();
+        assert_eq!(ctl.begin_section(), 0);
+        // Overhead jumped from 0.1 to 0.6: keep sampling.
+        assert_eq!(ctl.complete_interval(sample(0.6)), Transition::Sample(1));
+    }
+
+    #[test]
+    fn single_policy_still_cycles() {
+        let mut ctl = Controller::new(cfg(1));
+        ctl.begin_section();
+        let t = ctl.complete_interval(sample(0.2));
+        assert_eq!(t, Transition::Produce { policy: 0, via_cutoff: false });
+    }
+
+    #[test]
+    #[should_panic(expected = "no active section")]
+    fn current_policy_panics_when_idle() {
+        let ctl = Controller::new(cfg(2));
+        let _ = ctl.current_policy();
+    }
+}

@@ -1,0 +1,70 @@
+//! # dynfb-core — Dynamic Feedback for adaptive computing
+//!
+//! This crate implements *dynamic feedback*, the adaptive multi-versioning
+//! technique of Diniz & Rinard (PLDI 1997). A computation is available in
+//! several functionally equivalent *versions*, each implementing a different
+//! optimization *policy*. Execution alternates:
+//!
+//! * **sampling phases** — run every version for a short, fixed *sampling
+//!   interval* and measure its overhead in the current environment, and
+//! * **production phases** — run the version with the least measured
+//!   overhead for a much longer *production interval*, then resample so the
+//!   computation adapts when the environment changes.
+//!
+//! The crate is split into execution-agnostic and execution-specific parts:
+//!
+//! * [`overhead`] — the overhead model of §4.3 of the paper: locking
+//!   overhead, waiting overhead, and execution time, combined into a total
+//!   overhead in `[0, 1]`.
+//! * [`controller`] — the phase state machine of §4: interval bookkeeping,
+//!   policy selection, periodic resampling, and the early cut-off / policy
+//!   ordering optimizations of §4.5. The controller is *driven* by a runtime
+//!   (either the discrete-event simulator in `dynfb-sim` or the real-thread
+//!   executor in [`realtime`]) and never reads clocks itself, which makes it
+//!   deterministic and directly testable.
+//! * [`theory`] — the worst-case optimality analysis of §5: bounded-decay
+//!   overhead evolution, work integrals, the ε-optimality feasible region for
+//!   the production interval (Equation 7) and the optimal production interval
+//!   (Equation 9), solved numerically.
+//! * [`realtime`] — a reusable adaptive executor over OS threads for
+//!   workloads expressed as Rust closures, with instrumented locks that
+//!   count successful and failed acquires the way the paper's generated
+//!   code does.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dynfb_core::controller::{Controller, ControllerConfig};
+//! use dynfb_core::overhead::OverheadSample;
+//! use std::time::Duration;
+//!
+//! // Three policies; sample each for 10ms, produce for 100ms.
+//! let mut ctl = Controller::new(ControllerConfig {
+//!     num_policies: 3,
+//!     target_sampling: Duration::from_millis(10),
+//!     target_production: Duration::from_millis(100),
+//!     ..ControllerConfig::default()
+//! });
+//!
+//! ctl.begin_section();
+//! // The runtime measures each sampled policy and reports it:
+//! for over in [0.40, 0.25, 0.05] {
+//!     let policy = ctl.current_policy();
+//!     ctl.complete_interval(OverheadSample::from_fraction(over, Duration::from_millis(10)));
+//!     let _ = policy;
+//! }
+//! // After sampling all three, the controller enters production with the best.
+//! assert!(ctl.phase().is_production());
+//! assert_eq!(ctl.current_policy(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+pub mod overhead;
+pub mod realtime;
+pub mod theory;
+
+pub use controller::{Controller, ControllerConfig, Phase, PolicyId, Transition};
+pub use overhead::OverheadSample;

@@ -1,0 +1,222 @@
+//! The overhead model of §4.3.
+//!
+//! The generated code collects three measurements per interval:
+//!
+//! * **locking overhead** — time spent in constructs that *successfully*
+//!   acquire or release a lock (number of acquire/release pairs times the
+//!   cost of an acquire/release pair),
+//! * **waiting overhead** — time spent in *failed* attempts to acquire a
+//!   lock held by another processor (number of failed attempts times the
+//!   cost of one attempt), and
+//! * **execution time** — total time spent executing application code,
+//!   *including* the two overheads above.
+//!
+//! The total overhead of a policy is `(locking + waiting) / execution`, a
+//! proportion in `[0, 1]`: zero if the computation never executes a lock
+//! construct, one if it performs no useful work.
+
+use std::time::Duration;
+
+/// Raw instrumentation counters accumulated over one measurement interval.
+///
+/// These mirror the counters the paper's generated code maintains: one
+/// incremented on every successful lock acquire, one on every failed acquire
+/// attempt (§4.3). Counters are converted to time overheads by multiplying
+/// with per-event costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverheadCounters {
+    /// Number of successful acquire/release pairs executed.
+    pub acquires: u64,
+    /// Number of failed attempts to acquire a lock held elsewhere.
+    pub failed_attempts: u64,
+}
+
+impl OverheadCounters {
+    /// Difference between two counter snapshots (`self` taken after `earlier`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` has larger counts than `self`.
+    #[must_use]
+    pub fn since(&self, earlier: &OverheadCounters) -> OverheadCounters {
+        debug_assert!(self.acquires >= earlier.acquires);
+        debug_assert!(self.failed_attempts >= earlier.failed_attempts);
+        OverheadCounters {
+            acquires: self.acquires - earlier.acquires,
+            failed_attempts: self.failed_attempts - earlier.failed_attempts,
+        }
+    }
+
+    /// Convert counters to an [`OverheadSample`] given per-event costs and
+    /// the measured execution time of the interval.
+    #[must_use]
+    pub fn to_sample(
+        &self,
+        pair_cost: Duration,
+        attempt_cost: Duration,
+        execution: Duration,
+    ) -> OverheadSample {
+        OverheadSample {
+            locking: pair_cost.saturating_mul(u32::try_from(self.acquires).unwrap_or(u32::MAX)),
+            waiting: attempt_cost
+                .saturating_mul(u32::try_from(self.failed_attempts).unwrap_or(u32::MAX)),
+            execution,
+        }
+    }
+}
+
+/// One overhead measurement: the outcome of running a policy for one
+/// sampling (or production) interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverheadSample {
+    /// Time spent successfully acquiring and releasing locks.
+    pub locking: Duration,
+    /// Time spent in failed acquire attempts (spinning on a held lock).
+    pub waiting: Duration,
+    /// Total time spent executing application code, including both overheads.
+    pub execution: Duration,
+}
+
+impl OverheadSample {
+    /// Build a sample directly from component times.
+    #[must_use]
+    pub fn new(locking: Duration, waiting: Duration, execution: Duration) -> Self {
+        OverheadSample { locking, waiting, execution }
+    }
+
+    /// Build a sample with a given total-overhead fraction over `execution`
+    /// time, attributing all of it to locking. Useful in tests and examples.
+    #[must_use]
+    pub fn from_fraction(fraction: f64, execution: Duration) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        OverheadSample {
+            locking: execution.mul_f64(fraction),
+            waiting: Duration::ZERO,
+            execution,
+        }
+    }
+
+    /// Total overhead: `(locking + waiting) / execution`, clamped to `[0, 1]`.
+    ///
+    /// Returns `0.0` for a zero-length interval (no information).
+    #[must_use]
+    pub fn total_overhead(&self) -> f64 {
+        if self.execution.is_zero() {
+            return 0.0;
+        }
+        let over = self.locking.as_secs_f64() + self.waiting.as_secs_f64();
+        (over / self.execution.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Locking overhead as a fraction of execution time, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn locking_fraction(&self) -> f64 {
+        if self.execution.is_zero() {
+            return 0.0;
+        }
+        (self.locking.as_secs_f64() / self.execution.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Waiting overhead as a fraction of execution time, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn waiting_fraction(&self) -> f64 {
+        if self.execution.is_zero() {
+            return 0.0;
+        }
+        (self.waiting.as_secs_f64() / self.execution.as_secs_f64()).clamp(0.0, 1.0)
+    }
+
+    /// Time spent performing useful computation: execution time minus both
+    /// overheads (the paper notes the two sources can be subtracted out).
+    #[must_use]
+    pub fn useful_work(&self) -> Duration {
+        self.execution
+            .saturating_sub(self.locking)
+            .saturating_sub(self.waiting)
+    }
+
+    /// Merge two samples measured over disjoint stretches of the same
+    /// interval (e.g. per-processor samples summed across processors).
+    #[must_use]
+    pub fn merged(&self, other: &OverheadSample) -> OverheadSample {
+        OverheadSample {
+            locking: self.locking + other.locking,
+            waiting: self.waiting + other.waiting,
+            execution: self.execution + other.execution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_overhead_is_bounded() {
+        let s = OverheadSample::new(
+            Duration::from_millis(30),
+            Duration::from_millis(20),
+            Duration::from_millis(100),
+        );
+        assert!((s.total_overhead() - 0.5).abs() < 1e-12);
+        assert!((s.locking_fraction() - 0.3).abs() < 1e-12);
+        assert!((s.waiting_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_execution_yields_zero_overhead() {
+        let s = OverheadSample::new(Duration::from_millis(5), Duration::ZERO, Duration::ZERO);
+        assert_eq!(s.total_overhead(), 0.0);
+    }
+
+    #[test]
+    fn overhead_clamps_above_one() {
+        // Pathological measurement: overheads exceed execution time.
+        let s = OverheadSample::new(
+            Duration::from_millis(80),
+            Duration::from_millis(80),
+            Duration::from_millis(100),
+        );
+        assert_eq!(s.total_overhead(), 1.0);
+        assert_eq!(s.useful_work(), Duration::ZERO);
+    }
+
+    #[test]
+    fn counters_convert_to_times() {
+        let c = OverheadCounters { acquires: 1000, failed_attempts: 500 };
+        let s = c.to_sample(
+            Duration::from_micros(4),
+            Duration::from_micros(2),
+            Duration::from_millis(10),
+        );
+        assert_eq!(s.locking, Duration::from_millis(4));
+        assert_eq!(s.waiting, Duration::from_millis(1));
+        assert!((s.total_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_snapshots_diff() {
+        let a = OverheadCounters { acquires: 10, failed_attempts: 3 };
+        let b = OverheadCounters { acquires: 25, failed_attempts: 9 };
+        let d = b.since(&a);
+        assert_eq!(d, OverheadCounters { acquires: 15, failed_attempts: 6 });
+    }
+
+    #[test]
+    fn merged_sums_componentwise() {
+        let a = OverheadSample::from_fraction(0.5, Duration::from_secs(1));
+        let b = OverheadSample::from_fraction(0.0, Duration::from_secs(1));
+        let m = a.merged(&b);
+        assert!((m.total_overhead() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useful_work_subtracts_overheads() {
+        let s = OverheadSample::new(
+            Duration::from_millis(10),
+            Duration::from_millis(5),
+            Duration::from_millis(100),
+        );
+        assert_eq!(s.useful_work(), Duration::from_millis(85));
+    }
+}

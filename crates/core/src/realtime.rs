@@ -1,0 +1,667 @@
+//! A reusable adaptive executor over OS threads.
+//!
+//! This is the "library a downstream user adopts" face of dynamic feedback:
+//! a workload exposes several functionally equivalent *versions* of an
+//! item-processing routine (e.g. different synchronization strategies), and
+//! [`AdaptiveExecutor::run`] executes the items on a pool of workers,
+//! alternating sampling and production phases exactly as the paper's
+//! generated code does:
+//!
+//! * workers poll a timer at every item boundary (the *potential switch
+//!   points* of §4.1),
+//! * when the current interval expires, all workers rendezvous at a barrier
+//!   so policies switch *synchronously* and measurements are not polluted by
+//!   mixed-policy execution,
+//! * lock overheads are measured by counting successful acquires and failed
+//!   acquire attempts through [`ProfiledMutex`] (§4.3).
+//!
+//! ```
+//! use dynfb_core::realtime::{AdaptiveExecutor, ExecutorConfig, Instruments, AdaptiveWorkload};
+//! use dynfb_core::controller::ControllerConfig;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! struct Sum { total: AtomicU64 }
+//! impl AdaptiveWorkload for Sum {
+//!     fn num_versions(&self) -> usize { 2 }
+//!     fn run_item(&self, version: usize, item: usize, _ins: &Instruments) {
+//!         // Version 0 and 1 would normally differ in locking strategy.
+//!         let _ = version;
+//!         self.total.fetch_add(item as u64, Ordering::Relaxed);
+//!     }
+//! }
+//!
+//! let exec = AdaptiveExecutor::new(ExecutorConfig {
+//!     workers: 2,
+//!     controller: ControllerConfig {
+//!         num_policies: 2,
+//!         target_sampling: std::time::Duration::from_micros(500),
+//!         target_production: std::time::Duration::from_millis(5),
+//!         ..ControllerConfig::default()
+//!     },
+//!     ..ExecutorConfig::default()
+//! });
+//! let workload = Sum { total: AtomicU64::new(0) };
+//! let report = exec.run(&workload, 10_000);
+//! assert_eq!(workload.total.load(Ordering::Relaxed), (0..10_000u64).sum());
+//! assert!(report.items_processed == 10_000);
+//! ```
+
+use crate::controller::{Controller, ControllerConfig, Phase, PolicyId};
+use crate::overhead::OverheadCounters;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-event costs used to convert instrumentation counters into time
+/// overheads (§4.3). Defaults approximate a modern CPU; use
+/// [`InstrumentCosts::calibrate`] to measure the actual machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrumentCosts {
+    /// Cost of one successful acquire/release pair.
+    pub pair_cost: Duration,
+    /// Cost of one failed acquire attempt.
+    pub attempt_cost: Duration,
+}
+
+impl Default for InstrumentCosts {
+    fn default() -> Self {
+        InstrumentCosts {
+            pair_cost: Duration::from_nanos(40),
+            attempt_cost: Duration::from_nanos(15),
+        }
+    }
+}
+
+impl InstrumentCosts {
+    /// Measure the actual cost of lock operations on this machine by timing
+    /// a burst of uncontended acquire/release pairs and failed `try_lock`s.
+    #[must_use]
+    pub fn calibrate() -> Self {
+        const ROUNDS: u32 = 10_000;
+        let m: Mutex<u64> = Mutex::new(0);
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            *m.lock() += 1;
+        }
+        let pair_cost = start.elapsed() / ROUNDS;
+
+        let _held = m.lock();
+        let start = Instant::now();
+        let mut failures = 0u32;
+        for _ in 0..ROUNDS {
+            if m.try_lock().is_none() {
+                failures += 1;
+            }
+        }
+        let attempt_cost = start.elapsed() / failures.max(1);
+        InstrumentCosts {
+            pair_cost: pair_cost.max(Duration::from_nanos(1)),
+            attempt_cost: attempt_cost.max(Duration::from_nanos(1)),
+        }
+    }
+}
+
+/// Shared instrumentation counters, updated by [`ProfiledMutex`] and read by
+/// the executor at interval boundaries.
+#[derive(Debug, Default)]
+pub struct Instruments {
+    acquires: AtomicU64,
+    failed_attempts: AtomicU64,
+}
+
+impl Instruments {
+    /// Create zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Instruments::default()
+    }
+
+    /// Record one successful acquire/release pair.
+    pub fn record_acquire(&self) {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one failed acquire attempt.
+    pub fn record_failed_attempt(&self) {
+        self.failed_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> OverheadCounters {
+        OverheadCounters {
+            acquires: self.acquires.load(Ordering::Relaxed),
+            failed_attempts: self.failed_attempts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A mutex that counts successful acquires and failed acquire attempts, the
+/// way the paper's generated spin-lock code does.
+///
+/// The lock spins on `try_lock`, recording each failure in the supplied
+/// [`Instruments`]; the waiting overhead is then `failures × attempt_cost`.
+#[derive(Debug, Default)]
+pub struct ProfiledMutex<T> {
+    inner: Mutex<T>,
+}
+
+impl<T> ProfiledMutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        ProfiledMutex { inner: Mutex::new(value) }
+    }
+
+    /// Acquire the lock, recording instrumentation events.
+    pub fn lock<'a>(&'a self, instruments: &Instruments) -> MutexGuard<'a, T> {
+        loop {
+            if let Some(guard) = self.inner.try_lock() {
+                instruments.record_acquire();
+                return guard;
+            }
+            instruments.record_failed_attempt();
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+/// A multi-version workload executed by [`AdaptiveExecutor`].
+///
+/// All versions must compute the same result; they may differ arbitrarily in
+/// strategy (lock granularity, data layout, algorithm). `run_item` is called
+/// concurrently from several workers.
+pub trait AdaptiveWorkload: Sync {
+    /// Number of functionally equivalent versions (≥ 1).
+    fn num_versions(&self) -> usize;
+
+    /// Process one item under the given version. Lock operations should go
+    /// through [`ProfiledMutex::lock`] with the supplied instruments so the
+    /// executor can measure overheads.
+    fn run_item(&self, version: usize, item: usize, instruments: &Instruments);
+}
+
+/// Configuration for [`AdaptiveExecutor`].
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Dynamic feedback controller configuration. `num_policies` must match
+    /// the workload's `num_versions`.
+    pub controller: ControllerConfig,
+    /// Costs used to convert counters to time overheads.
+    pub costs: InstrumentCosts,
+    /// Check the timer every `poll_every` items (1 = every item).
+    pub poll_every: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 4,
+            controller: ControllerConfig::default(),
+            costs: InstrumentCosts::default(),
+            poll_every: 1,
+        }
+    }
+}
+
+/// One record in the phase trace of an execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRecord {
+    /// Offset from the start of the run when the interval completed.
+    pub at: Duration,
+    /// Phase that just completed.
+    pub phase: Phase,
+    /// Policy that was executing.
+    pub policy: PolicyId,
+    /// Measured total overhead of the interval.
+    pub overhead: f64,
+    /// Actual length of the interval (the *effective* interval; never
+    /// shorter than the minimum imposed by item granularity, §4.1).
+    pub actual: Duration,
+}
+
+/// Result of one adaptive execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Total items processed (equals the requested count).
+    pub items_processed: usize,
+    /// Completed intervals, in order.
+    pub trace: Vec<PhaseRecord>,
+    /// Final instrumentation counters.
+    pub counters: OverheadCounters,
+}
+
+impl ExecutionReport {
+    /// The policy that held the most recent production phase, if any.
+    #[must_use]
+    pub fn last_production_policy(&self) -> Option<PolicyId> {
+        self.trace
+            .iter()
+            .rev()
+            .find(|r| r.phase.is_production())
+            .map(|r| r.policy)
+    }
+}
+
+/// Shared rendezvous used for synchronous policy switching. Unlike
+/// `std::sync::Barrier`, workers may *deregister* when they run out of
+/// items, so a pending switch never deadlocks on an exited worker.
+#[derive(Debug)]
+struct SwitchGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct GateState {
+    active: usize,
+    arrived: usize,
+    generation: u64,
+    switch_pending: bool,
+}
+
+impl SwitchGate {
+    fn new(active: usize) -> Self {
+        SwitchGate {
+            state: Mutex::new(GateState {
+                active,
+                arrived: 0,
+                generation: 0,
+                switch_pending: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark a switch as pending. Returns false if one was already pending.
+    fn request_switch(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.switch_pending {
+            false
+        } else {
+            st.switch_pending = true;
+            true
+        }
+    }
+
+    /// Arrive at the gate; the last arriver runs `leader` (while holding the
+    /// gate lock) and releases everyone. Returns true for the leader.
+    fn arrive_and_wait(&self, leader: impl FnOnce()) -> bool {
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        if st.arrived == st.active {
+            leader();
+            st.arrived = 0;
+            st.switch_pending = false;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+
+    /// Try to leave the pool. Fails (returns false) if a switch is pending,
+    /// in which case the caller must participate in the rendezvous first.
+    fn try_exit(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.switch_pending {
+            false
+        } else {
+            st.active -= 1;
+            true
+        }
+    }
+}
+
+/// Shared executor state.
+#[derive(Debug)]
+struct Shared {
+    next_item: AtomicUsize,
+    num_items: usize,
+    policy: AtomicUsize,
+    switch_flag: AtomicBool,
+    gate: SwitchGate,
+    instruments: Instruments,
+    control: Mutex<ControlState>,
+    costs: InstrumentCosts,
+    workers: usize,
+}
+
+#[derive(Debug)]
+struct ControlState {
+    controller: Controller,
+    interval_start: Instant,
+    run_start: Instant,
+    snapshot: OverheadCounters,
+    trace: Vec<PhaseRecord>,
+}
+
+/// Executes [`AdaptiveWorkload`]s with dynamic feedback on a thread pool.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveExecutor {
+    config: ExecutorConfig,
+}
+
+impl AdaptiveExecutor {
+    /// Create an executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0`, `config.poll_every == 0`, or the
+    /// controller configuration is invalid.
+    #[must_use]
+    pub fn new(config: ExecutorConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.poll_every > 0, "poll_every must be non-zero");
+        // Validate the controller config eagerly.
+        let _ = Controller::new(config.controller.clone());
+        AdaptiveExecutor { config }
+    }
+
+    /// The configuration this executor was created with.
+    #[must_use]
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Run `num_items` items of the workload to completion, adapting the
+    /// executing version with dynamic feedback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload's `num_versions` disagrees with the
+    /// controller's `num_policies`.
+    pub fn run<W: AdaptiveWorkload>(&self, workload: &W, num_items: usize) -> ExecutionReport {
+        assert_eq!(
+            workload.num_versions(),
+            self.config.controller.num_policies,
+            "workload version count must match controller policy count"
+        );
+        let mut controller = Controller::new(self.config.controller.clone());
+        let first = controller.begin_section();
+        let now = Instant::now();
+        let shared = Shared {
+            next_item: AtomicUsize::new(0),
+            num_items,
+            policy: AtomicUsize::new(first),
+            switch_flag: AtomicBool::new(false),
+            gate: SwitchGate::new(self.config.workers),
+            instruments: Instruments::new(),
+            control: Mutex::new(ControlState {
+                controller,
+                interval_start: now,
+                run_start: now,
+                snapshot: OverheadCounters::default(),
+                trace: Vec::new(),
+            }),
+            costs: self.config.costs,
+            workers: self.config.workers,
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers {
+                scope.spawn(|| self.worker_loop(&shared, workload));
+            }
+        });
+
+        let control = shared.control.into_inner();
+        ExecutionReport {
+            elapsed: control.run_start.elapsed(),
+            items_processed: num_items,
+            trace: control.trace,
+            counters: shared.instruments.snapshot(),
+        }
+    }
+
+    fn worker_loop<W: AdaptiveWorkload>(&self, shared: &Shared, workload: &W) {
+        let mut since_poll = 0usize;
+        loop {
+            if shared.switch_flag.load(Ordering::Acquire) {
+                self.rendezvous(shared);
+                continue;
+            }
+            let item = shared.next_item.fetch_add(1, Ordering::Relaxed);
+            if item >= shared.num_items {
+                if shared.gate.try_exit() {
+                    return;
+                }
+                // A switch is pending: participate, then try again.
+                self.rendezvous(shared);
+                continue;
+            }
+            let policy = shared.policy.load(Ordering::Acquire);
+            workload.run_item(policy, item, &shared.instruments);
+
+            since_poll += 1;
+            if since_poll >= self.config.poll_every {
+                since_poll = 0;
+                // Potential switch point: poll the timer (§4.1).
+                let expired = {
+                    let control = shared.control.lock();
+                    control.interval_start.elapsed()
+                        >= control.controller.target_interval()
+                };
+                if expired && shared.gate.request_switch() {
+                    shared.switch_flag.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    fn rendezvous(&self, shared: &Shared) {
+        shared.gate.arrive_and_wait(|| {
+            let mut control = shared.control.lock();
+            let now = Instant::now();
+            let actual = now - control.interval_start;
+            let counters = shared.instruments.snapshot();
+            let delta = counters.since(&control.snapshot);
+            // Execution time across all processors ≈ wall time × workers.
+            let execution = actual.mul_f64(shared.workers as f64);
+            let sample =
+                delta.to_sample(shared.costs.pair_cost, shared.costs.attempt_cost, execution);
+            let phase = control.controller.phase();
+            let policy = control.controller.current_policy();
+            let at = now - control.run_start;
+            control.trace.push(PhaseRecord {
+                at,
+                phase,
+                policy,
+                overhead: sample.total_overhead(),
+                actual,
+            });
+            let transition = control.controller.complete_interval(sample);
+            shared.policy.store(transition.policy(), Ordering::Release);
+            control.interval_start = now;
+            control.snapshot = counters;
+            shared.switch_flag.store(false, Ordering::Release);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Workload whose version 0 performs many lock pairs per item and
+    /// version 1 performs a single one: version 1 always has lower locking
+    /// overhead, so dynamic feedback must converge on it.
+    struct LockHeavy {
+        counter: ProfiledMutex<u64>,
+        applied: AtomicU64,
+    }
+
+    impl AdaptiveWorkload for LockHeavy {
+        fn num_versions(&self) -> usize {
+            2
+        }
+        fn run_item(&self, version: usize, _item: usize, ins: &Instruments) {
+            match version {
+                0 => {
+                    for _ in 0..16 {
+                        *self.counter.lock(ins) += 1;
+                    }
+                }
+                _ => {
+                    *self.counter.lock(ins) += 16;
+                }
+            }
+            self.applied.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn exec(workers: usize) -> AdaptiveExecutor {
+        AdaptiveExecutor::new(ExecutorConfig {
+            workers,
+            controller: ControllerConfig {
+                num_policies: 2,
+                target_sampling: Duration::from_micros(200),
+                target_production: Duration::from_millis(2),
+                ..ControllerConfig::default()
+            },
+            costs: InstrumentCosts::default(),
+            poll_every: 1,
+        })
+    }
+
+    #[test]
+    fn processes_every_item_exactly_once() {
+        let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
+        let report = exec(3).run(&w, 5_000);
+        assert_eq!(report.items_processed, 5_000);
+        assert_eq!(w.applied.load(Ordering::Relaxed), 5_000);
+        assert_eq!(w.counter.into_inner(), 5_000 * 16);
+    }
+
+    #[test]
+    fn converges_to_low_overhead_version() {
+        let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
+        let report = exec(2).run(&w, 200_000);
+        // At least one production phase must have happened, and the last
+        // one must use version 1 (16x fewer lock pairs per item).
+        let last = report.last_production_policy();
+        assert_eq!(last, Some(1), "trace: {:?}", report.trace);
+    }
+
+    #[test]
+    fn single_worker_runs() {
+        let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
+        let report = exec(1).run(&w, 1_000);
+        assert_eq!(report.items_processed, 1_000);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
+        let report = exec(2).run(&w, 2_000);
+        // Every item acquires at least once.
+        assert!(report.counters.acquires >= 2_000);
+    }
+
+    #[test]
+    fn calibration_returns_positive_costs() {
+        let costs = InstrumentCosts::calibrate();
+        assert!(costs.pair_cost > Duration::ZERO);
+        assert!(costs.attempt_cost > Duration::ZERO);
+    }
+
+    #[test]
+    fn gate_handles_exit_during_pending_switch() {
+        // Two "workers" by hand: one requests a switch, the other tries to
+        // exit, must participate, and only then can exit.
+        let gate = SwitchGate::new(2);
+        assert!(gate.request_switch());
+        assert!(!gate.try_exit());
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                gate.arrive_and_wait(|| done.store(true, Ordering::SeqCst));
+            });
+            s.spawn(|| {
+                gate.arrive_and_wait(|| done.store(true, Ordering::SeqCst));
+            });
+        });
+        assert!(done.load(Ordering::SeqCst));
+        assert!(gate.try_exit());
+        assert!(gate.try_exit());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+
+    /// A trivially uniform workload: dynamic feedback must still terminate
+    /// and produce a well-formed alternating trace.
+    struct Uniform;
+    impl AdaptiveWorkload for Uniform {
+        fn num_versions(&self) -> usize {
+            2
+        }
+        fn run_item(&self, _version: usize, item: usize, _ins: &Instruments) {
+            std::hint::black_box(item.wrapping_mul(2654435761));
+        }
+    }
+
+    #[test]
+    fn trace_alternates_sampling_blocks_and_production() {
+        let exec = AdaptiveExecutor::new(ExecutorConfig {
+            workers: 2,
+            controller: ControllerConfig {
+                num_policies: 2,
+                target_sampling: Duration::from_micros(100),
+                target_production: Duration::from_micros(800),
+                ..ControllerConfig::default()
+            },
+            ..ExecutorConfig::default()
+        });
+        let report = exec.run(&Uniform, 300_000);
+        // After any production record, the next record (if any) must be a
+        // sampling record: production always resamples.
+        for w in report.trace.windows(2) {
+            if w[0].phase.is_production() {
+                assert!(w[1].phase.is_sampling(), "{:?}", report.trace);
+            }
+        }
+        // Intervals are positive and their timestamps increase.
+        for w in report.trace.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+    }
+
+    #[test]
+    fn zero_items_completes_immediately() {
+        let exec = AdaptiveExecutor::new(ExecutorConfig {
+            workers: 3,
+            controller: ControllerConfig { num_policies: 2, ..ControllerConfig::default() },
+            ..ExecutorConfig::default()
+        });
+        let report = exec.run(&Uniform, 0);
+        assert_eq!(report.items_processed, 0);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let exec = AdaptiveExecutor::new(ExecutorConfig {
+            workers: 8,
+            controller: ControllerConfig { num_policies: 2, ..ControllerConfig::default() },
+            ..ExecutorConfig::default()
+        });
+        let report = exec.run(&Uniform, 3);
+        assert_eq!(report.items_processed, 3);
+    }
+}

@@ -1,0 +1,413 @@
+//! The worst-case optimality analysis of §5 of the paper.
+//!
+//! Dynamic feedback is compared against a hypothetical, unrealizable optimal
+//! algorithm that always runs the best policy. With no constraint on how
+//! fast policy overheads may change, no sampling algorithm admits a bound,
+//! so the analysis assumes overhead changes are bounded by an exponential
+//! decay with rate `λ` ([`decay`](Analysis::decay)).
+//!
+//! Worst case: several policies tie for the lowest sampled overhead `v`.
+//! Dynamic feedback arbitrarily picks policy `p0`, whose overhead then
+//! *rises* at the fastest allowed rate, `o0(t) = 1 + (v-1)·e^{-λt}`
+//! (Equation 1), while some other policy `p1` *falls* at the fastest allowed
+//! rate, `o1(t) = v·e^{-λt}` (Equation 4). Useful work over an interval `T`
+//! is `∫₀ᵀ (1 − o(t)) dt` (Equation 2). Comparing the two algorithms over a
+//! full sampling-plus-production cycle of length `N·S + P` yields
+//!
+//! ```text
+//! Work₁ − Work₀ = N·S + P + (e^{-λP} − 1)/λ          (Equation 6)
+//! ```
+//!
+//! Policy `p_i` is *at most ε worse* than `p_j` over `T` when
+//! `Work_j − Work_i ≤ ε·T` (Definition 1), which gives the feasibility
+//! condition for the production interval `P` (Equation 7):
+//!
+//! ```text
+//! (1−ε)·P + e^{-λP}/λ  ≤  (ε−1)·S·N + 1/λ
+//! ```
+//!
+//! and minimizing the per-unit-time work deficit (Equation 8) gives the
+//! optimal production interval as the root of (Equation 9):
+//!
+//! ```text
+//! e^{-λP}·(λ·(P + S·N) + 1) = 1
+//! ```
+//!
+//! All durations here are plain `f64` seconds: the analysis is unit-agnostic
+//! and using floats keeps the numerics simple.
+
+use std::fmt;
+
+/// Error returned when analysis parameters are out of range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TheoryError {
+    /// A parameter that must be strictly positive was not.
+    NotPositive(&'static str),
+    /// The performance bound ε must lie in `(0, 1]`.
+    EpsilonOutOfRange(f64),
+}
+
+impl fmt::Display for TheoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TheoryError::NotPositive(name) => {
+                write!(f, "parameter `{name}` must be strictly positive")
+            }
+            TheoryError::EpsilonOutOfRange(e) => {
+                write!(f, "epsilon must be in (0, 1], got {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TheoryError {}
+
+/// Parameters of the worst-case analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Analysis {
+    /// Effective sampling interval `S` (seconds): time from the start of a
+    /// sampling interval until every processor has detected its expiration.
+    pub sampling: f64,
+    /// Number of policies `N`.
+    pub num_policies: usize,
+    /// Exponential decay rate `λ` bounding how fast overheads may change.
+    pub decay: f64,
+}
+
+impl Analysis {
+    /// Create an analysis instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::NotPositive`] if `sampling`, `num_policies` or
+    /// `decay` is not strictly positive.
+    pub fn new(sampling: f64, num_policies: usize, decay: f64) -> Result<Self, TheoryError> {
+        if !(sampling > 0.0) {
+            return Err(TheoryError::NotPositive("sampling"));
+        }
+        if num_policies == 0 {
+            return Err(TheoryError::NotPositive("num_policies"));
+        }
+        if !(decay > 0.0) {
+            return Err(TheoryError::NotPositive("decay"));
+        }
+        Ok(Analysis { sampling, num_policies, decay })
+    }
+
+    /// Total sampling time `S·N` for one sampling phase.
+    #[must_use]
+    pub fn sampling_total(&self) -> f64 {
+        self.sampling * self.num_policies as f64
+    }
+
+    /// Worst-case overhead of the selected policy at time `t` into the
+    /// production phase: `o0(t) = 1 + (v−1)·e^{−λt}` (Equation 1).
+    #[must_use]
+    pub fn selected_overhead(&self, v: f64, t: f64) -> f64 {
+        1.0 + (v - 1.0) * (-self.decay * t).exp()
+    }
+
+    /// Best-case overhead of a competing policy at time `t`:
+    /// `o1(t) = v·e^{−λt}` (Equation 4).
+    #[must_use]
+    pub fn competitor_overhead(&self, v: f64, t: f64) -> f64 {
+        v * (-self.decay * t).exp()
+    }
+
+    /// Useful work of the *selected* policy over a production interval `p`
+    /// when its sampled overhead was `v` (Equation 3):
+    /// `(1−v)/λ · (1 − e^{−λp})`.
+    #[must_use]
+    pub fn selected_work(&self, v: f64, p: f64) -> f64 {
+        (1.0 - v) / self.decay * (1.0 - (-self.decay * p).exp())
+    }
+
+    /// Useful work of the *optimal* algorithm over the same interval
+    /// (Equation 5): `p − v/λ · (1 − e^{−λp})`.
+    #[must_use]
+    pub fn optimal_work(&self, v: f64, p: f64) -> f64 {
+        p - v / self.decay * (1.0 - (-self.decay * p).exp())
+    }
+
+    /// Work difference `Work₁ − Work₀` over a full cycle `N·S + p`
+    /// (Equation 6). Notably independent of the tied overhead `v`.
+    #[must_use]
+    pub fn work_difference(&self, p: f64) -> f64 {
+        let lam = self.decay;
+        self.sampling_total() + p + ((-lam * p).exp() - 1.0) / lam
+    }
+
+    /// Per-unit-time work deficit of dynamic feedback relative to optimal
+    /// over one cycle (Equation 8): `work_difference(p) / (p + N·S)`.
+    #[must_use]
+    pub fn deficit_rate(&self, p: f64) -> f64 {
+        self.work_difference(p) / (p + self.sampling_total())
+    }
+
+    /// Whether production interval `p` guarantees dynamic feedback is at
+    /// most `epsilon` worse than optimal (Equation 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::EpsilonOutOfRange`] if `epsilon ∉ (0, 1]` and
+    /// [`TheoryError::NotPositive`] if `p ≤ 0`.
+    pub fn is_feasible(&self, p: f64, epsilon: f64) -> Result<bool, TheoryError> {
+        check_epsilon(epsilon)?;
+        if !(p > 0.0) {
+            return Err(TheoryError::NotPositive("p"));
+        }
+        Ok(self.constraint_lhs(p, epsilon) <= self.constraint_rhs(epsilon) + 1e-12)
+    }
+
+    /// Left-hand side of Equation 7: `(1−ε)·P + e^{−λP}/λ`. Exposed so the
+    /// Figure 3 reproduction can plot it against the constraint value.
+    #[must_use]
+    pub fn constraint_lhs(&self, p: f64, epsilon: f64) -> f64 {
+        (1.0 - epsilon) * p + (-self.decay * p).exp() / self.decay
+    }
+
+    /// Right-hand side (constraint value) of Equation 7:
+    /// `(ε−1)·S·N + 1/λ`.
+    #[must_use]
+    pub fn constraint_rhs(&self, epsilon: f64) -> f64 {
+        (epsilon - 1.0) * self.sampling_total() + 1.0 / self.decay
+    }
+
+    /// The range `[p_lo, p_hi]` of production intervals that satisfy the
+    /// ε-optimality guarantee, or `None` when no production interval can
+    /// (the decay rate is too large relative to the sampling cost).
+    ///
+    /// The left-hand side of Equation 7 is strictly convex in `p` with a
+    /// unique minimum at `p* = ln(1/(1−ε))/λ` (for ε < 1), so the feasible
+    /// set, when nonempty, is a single closed interval found by bisection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TheoryError::EpsilonOutOfRange`] if `epsilon ∉ (0, 1]`.
+    pub fn feasible_region(&self, epsilon: f64) -> Result<Option<(f64, f64)>, TheoryError> {
+        check_epsilon(epsilon)?;
+        let lam = self.decay;
+        let rhs = self.constraint_rhs(epsilon);
+        let g = |p: f64| self.constraint_lhs(p, epsilon) - rhs;
+
+        if (epsilon - 1.0).abs() < f64::EPSILON {
+            // ε = 1: lhs = e^{-λp}/λ is decreasing; feasible iff large p
+            // works, i.e. rhs > 0, with threshold where e^{-λp}/λ = rhs.
+            if rhs <= 0.0 {
+                return Ok(None);
+            }
+            let lo = if g(1e-12) <= 0.0 {
+                0.0
+            } else {
+                bisect(&g, 1e-12, upper_bracket(&g, 1.0), 1e-10)
+            };
+            return Ok(Some((lo, f64::INFINITY)));
+        }
+
+        // Minimum of the lhs at p* where d/dp = (1-ε) - e^{-λp} = 0.
+        let p_star = if 1.0 - epsilon < 1.0 {
+            (1.0 / (1.0 - epsilon)).ln() / lam
+        } else {
+            0.0
+        };
+        if g(p_star) > 0.0 {
+            return Ok(None);
+        }
+        // Left edge: g(0) = 1/λ - rhs = (1-ε)SN > 0, so a root exists in
+        // (0, p*]. Right edge: g → +∞ as p → ∞.
+        let lo = bisect(&g, 1e-12, p_star.max(1e-12), 1e-10);
+        let hi_bracket = upper_bracket(&g, p_star.max(1.0));
+        let hi = bisect(&g, p_star.max(1e-12), hi_bracket, 1e-10);
+        Ok(Some((lo, hi)))
+    }
+
+    /// The optimal production interval `P_opt`: the value minimizing the
+    /// per-unit-time work deficit, i.e. the unique positive root of
+    /// Equation 9, `e^{−λP}·(λ·(P + S·N) + 1) = 1`.
+    ///
+    /// For the example values in the paper (`S = 1`, `N = 2`, `λ = 0.065`)
+    /// this returns ≈ 7.25, matching Figure 3's discussion.
+    #[must_use]
+    pub fn optimal_production_interval(&self) -> f64 {
+        let lam = self.decay;
+        let sn = self.sampling_total();
+        // h(p) = e^{-λp}(λ(p+SN)+1) - 1; h(0) = λSN > 0 and h is strictly
+        // decreasing for p > 0 (h'(p) = -λ²(p+SN)e^{-λp} < 0), so the root
+        // is unique. Grow the bracket tightly upward from a small start so
+        // bisection keeps full precision even for roots below 1.
+        let h = |p: f64| (-lam * p).exp() * (lam * (p + sn) + 1.0) - 1.0;
+        let mut hi = 1e-3;
+        while h(hi) > 0.0 && hi < 1e12 {
+            hi *= 2.0;
+        }
+        bisect(&h, 0.0, hi, 1e-12)
+    }
+}
+
+fn check_epsilon(epsilon: f64) -> Result<(), TheoryError> {
+    if !(epsilon > 0.0 && epsilon <= 1.0) {
+        return Err(TheoryError::EpsilonOutOfRange(epsilon));
+    }
+    Ok(())
+}
+
+/// Double `hi` until `f(hi) >= 0` flips sign relative to expectation that a
+/// root exists above the start point (callers guarantee `f` eventually
+/// crosses zero from the sign at the start).
+fn upper_bracket(f: &dyn Fn(f64) -> f64, start: f64) -> f64 {
+    let sign = f(start) > 0.0;
+    let mut hi = start.max(1e-6);
+    for _ in 0..200 {
+        hi *= 2.0;
+        if (f(hi) > 0.0) != sign {
+            return hi;
+        }
+    }
+    hi
+}
+
+/// Bisection for a root of `f` in `[lo, hi]`; `f(lo)` and `f(hi)` must have
+/// opposite signs (or one of them may be zero).
+fn bisect(f: &dyn Fn(f64) -> f64, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+    let flo = f(lo);
+    if flo == 0.0 {
+        return lo;
+    }
+    let rising = flo < 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm.abs() <= tol || (hi - lo) <= tol {
+            return mid;
+        }
+        if (fm < 0.0) == rising {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example values used in Figure 3 of the paper.
+    fn figure3() -> Analysis {
+        Analysis::new(1.0, 2, 0.065).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Analysis::new(0.0, 2, 0.1).is_err());
+        assert!(Analysis::new(1.0, 0, 0.1).is_err());
+        assert!(Analysis::new(1.0, 2, 0.0).is_err());
+        assert!(matches!(
+            figure3().is_feasible(1.0, 1.5),
+            Err(TheoryError::EpsilonOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn work_integrals_match_closed_forms() {
+        let a = figure3();
+        // Numerically integrate 1 - o(t) and compare with the closed forms.
+        let v = 0.3;
+        let p = 5.0;
+        let steps = 200_000;
+        let dt = p / steps as f64;
+        let mut w0 = 0.0;
+        let mut w1 = 0.0;
+        for i in 0..steps {
+            let t = (i as f64 + 0.5) * dt;
+            w0 += (1.0 - a.selected_overhead(v, t)) * dt;
+            w1 += (1.0 - a.competitor_overhead(v, t)) * dt;
+        }
+        assert!((w0 - a.selected_work(v, p)).abs() < 1e-6);
+        assert!((w1 - a.optimal_work(v, p)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn work_difference_is_independent_of_v() {
+        let a = figure3();
+        let p = 7.0;
+        for v in [0.1, 0.4, 0.9] {
+            let diff = (a.optimal_work(v, p) + a.sampling_total())
+                - a.selected_work(v, p);
+            assert!((diff - a.work_difference(p)).abs() < 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn figure3_p_opt_matches_paper() {
+        // The paper reports P_opt ≈ 7.25 for S=1, N=2, λ=0.065.
+        let p_opt = figure3().optimal_production_interval();
+        assert!((p_opt - 7.25).abs() < 0.05, "P_opt = {p_opt}");
+    }
+
+    #[test]
+    fn p_opt_satisfies_equation_9() {
+        let a = figure3();
+        let p = a.optimal_production_interval();
+        let lhs = (-a.decay * p).exp() * (a.decay * (p + a.sampling_total()) + 1.0);
+        assert!((lhs - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_opt_minimizes_deficit_rate() {
+        let a = figure3();
+        let p = a.optimal_production_interval();
+        let at = a.deficit_rate(p);
+        for dp in [-1.0, -0.1, 0.1, 1.0] {
+            assert!(a.deficit_rate(p + dp) >= at - 1e-12, "dp={dp}");
+        }
+    }
+
+    #[test]
+    fn figure3_feasible_region_exists_and_brackets_p_opt() {
+        let a = figure3();
+        let (lo, hi) = a.feasible_region(0.5).unwrap().expect("region exists");
+        assert!(lo > 0.0 && hi > lo, "({lo}, {hi})");
+        let p_opt = a.optimal_production_interval();
+        assert!(lo < p_opt && p_opt < hi, "P_opt {p_opt} inside ({lo}, {hi})");
+        // Boundary points satisfy the constraint with equality.
+        assert!(a.is_feasible(lo + 1e-6, 0.5).unwrap());
+        assert!(a.is_feasible(hi - 1e-6, 0.5).unwrap());
+        assert!(!a.is_feasible(lo / 2.0, 0.5).unwrap());
+        assert!(!a.is_feasible(hi * 2.0, 0.5).unwrap());
+    }
+
+    #[test]
+    fn fast_decay_has_no_feasible_region() {
+        // When overheads can change very fast, no production interval is
+        // long enough to amortize sampling yet short enough to react.
+        let a = Analysis::new(1.0, 2, 5.0).unwrap();
+        assert_eq!(a.feasible_region(0.1).unwrap(), None);
+    }
+
+    #[test]
+    fn larger_epsilon_widens_region() {
+        let a = figure3();
+        let (lo1, hi1) = a.feasible_region(0.4).unwrap().unwrap();
+        let (lo2, hi2) = a.feasible_region(0.6).unwrap().unwrap();
+        assert!(lo2 <= lo1 && hi2 >= hi1);
+    }
+
+    #[test]
+    fn larger_sampling_narrows_region() {
+        let a1 = Analysis::new(1.0, 2, 0.065).unwrap();
+        let a2 = Analysis::new(2.0, 2, 0.065).unwrap();
+        let (lo1, hi1) = a1.feasible_region(0.5).unwrap().unwrap();
+        let (lo2, hi2) = a2.feasible_region(0.5).unwrap().unwrap();
+        assert!(lo2 >= lo1 && hi2 <= hi1);
+    }
+
+    #[test]
+    fn epsilon_one_is_always_feasible_for_small_decay() {
+        let a = figure3();
+        let region = a.feasible_region(1.0).unwrap().unwrap();
+        assert_eq!(region.1, f64::INFINITY);
+        assert!(a.is_feasible(1000.0, 1.0).unwrap());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the dynamic feedback controller: for any
+//! sequence of measured overheads, the state machine stays well-formed and
+//! production always runs an argmin of the sampling phase.
+
+use dynfb_core::controller::{
+    Controller, ControllerConfig, EarlyCutoff, Phase, PolicyOrdering, Transition,
+};
+use dynfb_core::overhead::OverheadSample;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn sample(overhead: f64) -> OverheadSample {
+    OverheadSample::from_fraction(overhead, Duration::from_millis(10))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Plain in-order sampling: after `n` measurements the controller is
+    /// in production with a policy whose measured overhead is minimal, and
+    /// ties break to the earliest-sampled policy.
+    #[test]
+    fn production_runs_the_argmin(
+        overheads in proptest::collection::vec(0.0f64..1.0, 1..6)
+    ) {
+        let n = overheads.len();
+        let mut ctl = Controller::new(ControllerConfig {
+            num_policies: n,
+            ..ControllerConfig::default()
+        });
+        ctl.begin_section();
+        let mut last = Transition::Sample(0);
+        for (i, &o) in overheads.iter().enumerate() {
+            prop_assert_eq!(ctl.current_policy(), i);
+            prop_assert!(ctl.phase().is_sampling());
+            last = ctl.complete_interval(sample(o));
+        }
+        let Transition::Produce { policy, via_cutoff } = last else {
+            panic!("must enter production after sampling all policies");
+        };
+        prop_assert!(!via_cutoff);
+        let quantize = |x: f64| sample(x).total_overhead();
+        let best = quantize(overheads[policy]);
+        for (i, &o) in overheads.iter().enumerate() {
+            let oi = quantize(o);
+            prop_assert!(oi >= best, "policy {policy} not argmin vs {i}");
+            if oi == best {
+                prop_assert!(policy <= i, "tie must break earliest");
+            }
+        }
+    }
+
+    /// The controller never panics and always alternates sampling blocks
+    /// with production phases, for arbitrary measurement streams and any
+    /// ordering/cutoff configuration.
+    #[test]
+    fn state_machine_stays_well_formed(
+        n in 1usize..5,
+        overheads in proptest::collection::vec(0.0f64..1.0, 1..40),
+        ordering in prop_oneof![
+            Just(PolicyOrdering::InOrder),
+            Just(PolicyOrdering::ExtremesFirst),
+            Just(PolicyOrdering::BestFirst),
+        ],
+        cutoff in proptest::option::of((0.0f64..0.2).prop_map(|neg| EarlyCutoff {
+            negligible: neg,
+            accept_within: Some(0.05),
+        })),
+    ) {
+        let mut ctl = Controller::new(ControllerConfig {
+            num_policies: n,
+            ordering,
+            early_cutoff: cutoff,
+            ..ControllerConfig::default()
+        });
+        ctl.begin_section();
+        let mut productions = 0u64;
+        for &o in &overheads {
+            let phase = ctl.phase();
+            let t = ctl.complete_interval(sample(o));
+            prop_assert!(ctl.current_policy() < n);
+            match (phase, t) {
+                // From production we always restart sampling.
+                (Phase::Production { .. }, Transition::Produce { .. }) => {
+                    prop_assert!(false, "production cannot chain to production");
+                }
+                (Phase::Production { .. }, Transition::Sample(_)) => productions += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(ctl.production_phases(), productions);
+        prop_assert!(ctl.sampling_phases() >= productions);
+    }
+
+    /// Early cut-off never selects a policy that was not sampled in the
+    /// current phase.
+    #[test]
+    fn cutoff_selects_a_sampled_policy(
+        overheads in proptest::collection::vec(0.0f64..1.0, 1..20),
+    ) {
+        let mut ctl = Controller::new(ControllerConfig {
+            num_policies: 3,
+            ordering: PolicyOrdering::ExtremesFirst,
+            early_cutoff: Some(EarlyCutoff { negligible: 0.1, accept_within: Some(0.1) }),
+            ..ControllerConfig::default()
+        });
+        ctl.begin_section();
+        for &o in &overheads {
+            let t = ctl.complete_interval(sample(o));
+            if let Transition::Produce { policy, .. } = t {
+                prop_assert!(
+                    ctl.measurements()[policy].is_some(),
+                    "production policy {policy} must have a measurement"
+                );
+            }
+        }
+    }
+
+    /// Section lifecycles: history survives `end_section`, measurements do
+    /// not.
+    #[test]
+    fn sections_reset_measurements_not_history(
+        overheads in proptest::collection::vec(0.01f64..0.99, 2..10),
+    ) {
+        let mut ctl = Controller::new(ControllerConfig {
+            num_policies: 2,
+            ..ControllerConfig::default()
+        });
+        ctl.begin_section();
+        for &o in &overheads {
+            ctl.complete_interval(sample(o));
+        }
+        ctl.end_section();
+        prop_assert!(ctl.history().iter().any(Option::is_some));
+        ctl.begin_section();
+        prop_assert!(ctl.measurements().iter().all(Option::is_none));
+    }
+}

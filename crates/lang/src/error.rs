@@ -1,0 +1,64 @@
+//! Diagnostics for the mini language.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Which compilation stage produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis (name resolution, type checking).
+    Sema,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Sema => "sema",
+        })
+    }
+}
+
+/// A front-end error with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Producing stage.
+    pub stage: Stage,
+    /// Source position.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// A lexer error.
+    #[must_use]
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        LangError { stage: Stage::Lex, span, message: message.into() }
+    }
+
+    /// A parser error.
+    #[must_use]
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        LangError { stage: Stage::Parse, span, message: message.into() }
+    }
+
+    /// A semantic error.
+    #[must_use]
+    pub fn sema(span: Span, message: impl Into<String>) -> Self {
+        LangError { stage: Stage::Sema, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.stage, self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}

@@ -1,0 +1,464 @@
+//! The typed, resolved intermediate representation.
+//!
+//! Semantic analysis lowers the [`crate::ast`] into this HIR: names are
+//! resolved to indices, every expression carries its type, locals are
+//! flattened into per-function slot tables, compound assignments are
+//! desugared, and canonical counted loops (`for (int i = s; i < b; i++)`)
+//! are recognized structurally — the form the parallelizing compiler in
+//! `dynfb-compiler` looks for.
+//!
+//! The HIR also contains one node the *front end never produces*:
+//! [`Stmt::Critical`], a structured critical region protected by an object's
+//! implicit lock. The parallelizing compiler inserts these (default lock
+//! placement) and its synchronization optimization policies transform them
+//! (merge, loop hoist, interprocedural lift).
+
+pub use crate::ast::{BinOp, UnOp};
+use std::fmt;
+
+/// Index of a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub usize);
+
+/// Index of a function (free functions and methods share one table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub usize);
+
+/// Index of an extern (host) function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ExternId(pub usize);
+
+/// Index of a global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub usize);
+
+/// Index of a local slot within a function (parameters come first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocalId(pub usize);
+
+/// A semantic type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Double,
+    /// Boolean.
+    Bool,
+    /// No value.
+    Void,
+    /// Reference to an object of the given class.
+    Object(ClassId),
+    /// Reference to a heap array.
+    Array(Box<Ty>),
+    /// The type of `null` (assignable to any reference type).
+    Null,
+}
+
+impl Ty {
+    /// True for `int` and `double`.
+    #[must_use]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Double)
+    }
+
+    /// True for object, array, and null types.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Ty::Object(_) | Ty::Array(_) | Ty::Null)
+    }
+
+    /// Whether a value of type `self` can be assigned from `from`
+    /// (identical, `int → double` widening, or `null` into a reference).
+    #[must_use]
+    pub fn accepts(&self, from: &Ty) -> bool {
+        self == from
+            || (*self == Ty::Double && *from == Ty::Int)
+            || (self.is_reference() && *from == Ty::Null)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Double => write!(f, "double"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Void => write!(f, "void"),
+            Ty::Object(c) => write!(f, "class#{}", c.0),
+            Ty::Array(t) => write!(f, "{t}[]"),
+            Ty::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A class: its fields (each object also carries an implicit lock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Class {
+    /// Class name.
+    pub name: String,
+    /// Fields, in declaration order.
+    pub fields: Vec<Field>,
+}
+
+/// A field of a class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Ty,
+}
+
+/// A host-implemented function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extern {
+    /// Name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+}
+
+/// A local slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Local {
+    /// Source name (synthetic locals get `$`-prefixed names).
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+}
+
+/// A function or method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// `Some` if this is a method of the class.
+    pub class: Option<ClassId>,
+    /// Number of parameters (the first `num_params` locals).
+    pub num_params: usize,
+    /// All local slots (parameters first).
+    pub locals: Vec<Local>,
+    /// Return type.
+    pub ret: Ty,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Qualified name for diagnostics (`class::method` or `function`).
+    #[must_use]
+    pub fn qualified_name(&self, classes: &[Class]) -> String {
+        match self.class {
+            Some(c) => format!("{}::{}", classes[c.0].name, self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The whole program, typed and resolved.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Hir {
+    /// Classes.
+    pub classes: Vec<Class>,
+    /// Functions and methods.
+    pub functions: Vec<Function>,
+    /// Extern functions.
+    pub externs: Vec<Extern>,
+    /// Globals.
+    pub globals: Vec<Global>,
+}
+
+impl Hir {
+    /// Look up a free function by name.
+    #[must_use]
+    pub fn function_named(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.class.is_none() && f.name == name)
+            .map(FuncId)
+    }
+
+    /// Look up a method by class and name.
+    #[must_use]
+    pub fn method_named(&self, class: ClassId, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.class == Some(class) && f.name == name)
+            .map(FuncId)
+    }
+
+    /// Look up a class by name.
+    #[must_use]
+    pub fn class_named(&self, name: &str) -> Option<ClassId> {
+        self.classes.iter().position(|c| c.name == name).map(ClassId)
+    }
+
+    /// Look up a global by name.
+    #[must_use]
+    pub fn global_named(&self, name: &str) -> Option<GlobalId> {
+        self.globals.iter().position(|g| g.name == name).map(GlobalId)
+    }
+}
+
+/// An l-value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Place {
+    /// A local slot.
+    Local(LocalId),
+    /// A global variable.
+    Global(GlobalId),
+    /// A field of an object.
+    Field {
+        /// Object expression.
+        obj: Box<Expr>,
+        /// The object's class.
+        class: ClassId,
+        /// Field index within the class.
+        field: usize,
+    },
+    /// An array element.
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        idx: Box<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `place = value`.
+    Assign {
+        /// Target.
+        place: Place,
+        /// Value.
+        value: Expr,
+    },
+    /// `if`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Canonical counted loop `for (var = start; var < bound; var++)`.
+    /// This is the loop shape the parallelizer considers.
+    CountedFor {
+        /// Induction variable slot.
+        var: LocalId,
+        /// Start value.
+        start: Expr,
+        /// Exclusive bound.
+        bound: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return`.
+    Return(Option<Expr>),
+    /// Expression statement (a call).
+    Expr(Expr),
+    /// A critical region on `lock_obj`'s implicit lock. Inserted by the
+    /// parallelizing compiler, never by the front end.
+    Critical {
+        /// Expression yielding the object whose lock protects the region.
+        lock_obj: Expr,
+        /// Protected statements.
+        body: Vec<Stmt>,
+    },
+}
+
+/// An expression together with its type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression.
+    pub kind: ExprKind,
+    /// Its type.
+    pub ty: Ty,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Double(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `this` (methods only).
+    This,
+    /// A local slot.
+    Local(LocalId),
+    /// A global.
+    Global(GlobalId),
+    /// Field read.
+    FieldGet {
+        /// Object expression.
+        obj: Box<Expr>,
+        /// The object's class.
+        class: ClassId,
+        /// Field index.
+        field: usize,
+    },
+    /// Array element read.
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        idx: Box<Expr>,
+    },
+    /// Array length (`a.length`).
+    ArrayLen(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Implicit `int → double` widening.
+    IntToDouble(Box<Expr>),
+    /// Free function call.
+    CallFn {
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Method call.
+    CallMethod {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Extern (host) call.
+    CallExtern {
+        /// Callee.
+        ext: ExternId,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Object allocation.
+    New {
+        /// Class.
+        class: ClassId,
+    },
+    /// Array allocation.
+    NewArray {
+        /// Element type.
+        elem: Ty,
+        /// Length.
+        len: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for an integer literal expression.
+    #[must_use]
+    pub fn int(v: i64) -> Expr {
+        Expr { kind: ExprKind::Int(v), ty: Ty::Int }
+    }
+
+    /// Shorthand for a local-slot read.
+    #[must_use]
+    pub fn local(id: LocalId, ty: Ty) -> Expr {
+        Expr { kind: ExprKind::Local(id), ty }
+    }
+
+    /// Shorthand for `this`.
+    #[must_use]
+    pub fn this(class: ClassId) -> Expr {
+        Expr { kind: ExprKind::This, ty: Ty::Object(class) }
+    }
+}
+
+/// Count the HIR nodes of a function body — the code-size metric used for
+/// the Table 1 reproduction (a node is roughly an emitted instruction).
+#[must_use]
+pub fn body_size(stmts: &[Stmt]) -> usize {
+    stmts.iter().map(stmt_size).sum()
+}
+
+fn stmt_size(s: &Stmt) -> usize {
+    match s {
+        Stmt::Assign { place, value } => 1 + place_size(place) + expr_size(value),
+        Stmt::If { cond, then_branch, else_branch } => {
+            1 + expr_size(cond) + body_size(then_branch) + body_size(else_branch)
+        }
+        Stmt::While { cond, body } => 1 + expr_size(cond) + body_size(body),
+        Stmt::CountedFor { start, bound, body, .. } => {
+            2 + expr_size(start) + expr_size(bound) + body_size(body)
+        }
+        Stmt::Return(e) => 1 + e.as_ref().map_or(0, expr_size),
+        Stmt::Expr(e) => expr_size(e),
+        Stmt::Critical { lock_obj, body } => 2 + expr_size(lock_obj) + body_size(body),
+    }
+}
+
+fn place_size(p: &Place) -> usize {
+    match p {
+        Place::Local(_) | Place::Global(_) => 1,
+        Place::Field { obj, .. } => 1 + expr_size(obj),
+        Place::Index { arr, idx } => 1 + expr_size(arr) + expr_size(idx),
+    }
+}
+
+fn expr_size(e: &Expr) -> usize {
+    match &e.kind {
+        ExprKind::Int(_)
+        | ExprKind::Double(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Null
+        | ExprKind::This
+        | ExprKind::Local(_)
+        | ExprKind::Global(_)
+        | ExprKind::New { .. } => 1,
+        ExprKind::FieldGet { obj, .. } => 1 + expr_size(obj),
+        ExprKind::Index { arr, idx } => 1 + expr_size(arr) + expr_size(idx),
+        ExprKind::ArrayLen(a) => 1 + expr_size(a),
+        ExprKind::Binary { lhs, rhs, .. } => 1 + expr_size(lhs) + expr_size(rhs),
+        ExprKind::Unary { expr, .. } | ExprKind::IntToDouble(expr) => 1 + expr_size(expr),
+        ExprKind::CallFn { args, .. } => 1 + args.iter().map(expr_size).sum::<usize>(),
+        ExprKind::CallMethod { obj, args, .. } => {
+            1 + expr_size(obj) + args.iter().map(expr_size).sum::<usize>()
+        }
+        ExprKind::CallExtern { args, .. } => 1 + args.iter().map(expr_size).sum::<usize>(),
+        ExprKind::NewArray { len, .. } => 1 + expr_size(len),
+    }
+}

@@ -1,0 +1,382 @@
+//! The lexer: source text → token stream.
+
+use crate::error::LangError;
+use crate::token::{Kw, Punct, Span, Tok, Token};
+
+/// Tokenize a complete source file.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unknown characters or malformed literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { chars: source.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, span });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_alphabetic() || c == '_' {
+                self.ident()
+            } else if c.is_ascii_digit() {
+                self.number(span)?
+            } else {
+                self.punct(span)?
+            };
+            out.push(Token { tok, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Possible comment: clone-free lookahead via a cheap copy
+                    // of the iterator state is not available, so peek after
+                    // consuming only when it is a comment starter.
+                    let mut it = self.chars.clone();
+                    it.next();
+                    match it.peek() {
+                        Some('/') => {
+                            while let Some(c) = self.bump() {
+                                if c == '\n' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some('*') => {
+                            let start = self.span();
+                            self.bump();
+                            self.bump();
+                            let mut closed = false;
+                            while let Some(c) = self.bump() {
+                                if c == '*' && self.eat('/') {
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                            if !closed {
+                                return Err(LangError::lex(start, "unterminated block comment"));
+                            }
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Kw::from_str(&s) {
+            Some(kw) => Tok::Kw(kw),
+            None => Tok::Ident(s),
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<Tok, LangError> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    s.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut is_double = false;
+        if self.peek() == Some('.') {
+            // Only a fractional part if a digit follows (else it's `.` punct,
+            // e.g. method call on an integer is not supported anyway).
+            let mut it = self.chars.clone();
+            it.next();
+            if it.peek().is_some_and(char::is_ascii_digit) {
+                is_double = true;
+                s.push('.');
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_double = true;
+            s.push('e');
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                s.push(self.bump().unwrap());
+            }
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if is_double {
+            s.parse::<f64>()
+                .map(Tok::Double)
+                .map_err(|_| LangError::lex(span, format!("invalid float literal `{s}`")))
+        } else {
+            s.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| LangError::lex(span, format!("invalid integer literal `{s}`")))
+        }
+    }
+
+    fn punct(&mut self, span: Span) -> Result<Tok, LangError> {
+        let c = self.bump().expect("peeked");
+        use Punct::*;
+        let p = match c {
+            '(' => LParen,
+            ')' => RParen,
+            '{' => LBrace,
+            '}' => RBrace,
+            '[' => LBracket,
+            ']' => RBracket,
+            ';' => Semi,
+            ',' => Comma,
+            '.' => Dot,
+            '+' => {
+                if self.eat('=') {
+                    PlusAssign
+                } else if self.eat('+') {
+                    PlusPlus
+                } else {
+                    Plus
+                }
+            }
+            '-' => {
+                if self.eat('=') {
+                    MinusAssign
+                } else if self.eat('-') {
+                    MinusMinus
+                } else if self.eat('>') {
+                    Arrow
+                } else {
+                    Minus
+                }
+            }
+            '*' => {
+                if self.eat('=') {
+                    StarAssign
+                } else {
+                    Star
+                }
+            }
+            '/' => {
+                if self.eat('=') {
+                    SlashAssign
+                } else {
+                    Slash
+                }
+            }
+            '%' => Percent,
+            '=' => {
+                if self.eat('=') {
+                    Eq
+                } else {
+                    Assign
+                }
+            }
+            '!' => {
+                if self.eat('=') {
+                    Ne
+                } else {
+                    Not
+                }
+            }
+            '<' => {
+                if self.eat('=') {
+                    Le
+                } else {
+                    Lt
+                }
+            }
+            '>' => {
+                if self.eat('=') {
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            '&' => {
+                if self.eat('&') {
+                    AndAnd
+                } else {
+                    Amp
+                }
+            }
+            '|' => {
+                if self.eat('|') {
+                    OrOr
+                } else {
+                    return Err(LangError::lex(span, "single `|` is not an operator"));
+                }
+            }
+            other => {
+                return Err(LangError::lex(span, format!("unexpected character `{other}`")));
+            }
+        };
+        Ok(Tok::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords() {
+        assert_eq!(
+            toks("class body_2 double"),
+            vec![
+                Tok::Kw(Kw::Class),
+                Tok::Ident("body_2".into()),
+                Tok::Kw(Kw::Double),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("42 3.5 1e3 2.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Double(3.5),
+                Tok::Double(1000.0),
+                Tok::Double(0.025),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            toks("+= -> ++ == <= && ||"),
+            vec![
+                Tok::Punct(Punct::PlusAssign),
+                Tok::Punct(Punct::Arrow),
+                Tok::Punct(Punct::PlusPlus),
+                Tok::Punct(Punct::Eq),
+                Tok::Punct(Punct::Le),
+                Tok::Punct(Punct::AndAnd),
+                Tok::Punct(Punct::OrOr),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("a // line\n b /* block\n still */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span, Span::new(1, 1));
+        assert_eq!(tokens[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn integer_then_dot_method_like() {
+        // `1.x` must lex as Int(1), Dot, Ident(x): the dot is only part of a
+        // number when followed by a digit.
+        assert_eq!(
+            toks("1.x"),
+            vec![
+                Tok::Int(1),
+                Tok::Punct(Punct::Dot),
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

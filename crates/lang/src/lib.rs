@@ -1,0 +1,38 @@
+//! # dynfb-lang — the object-based mini language
+//!
+//! The paper's compiler consumes serial, object-based C++ programs and
+//! parallelizes them with commutativity analysis. This crate is the front
+//! end of our from-scratch reimplementation of that pipeline: a small,
+//! C++-flavoured object language with classes, methods, loops, object
+//! references, heap arrays, and host-implemented `extern` functions.
+//!
+//! Pipeline: [`parser::parse`] → [`sema::analyze`] → [`hir::Hir`], or in
+//! one step, [`sema::compile_source`]. The back end — automatic
+//! parallelization, lock insertion, and the synchronization optimization
+//! policies — lives in the `dynfb-compiler` crate and operates on the HIR.
+//!
+//! ```
+//! let hir = dynfb_lang::compile_source(r#"
+//!     class counter {
+//!         int value;
+//!         void add(int n) { this.value += n; }
+//!     }
+//! "#)?;
+//! assert_eq!(hir.classes.len(), 1);
+//! # Ok::<(), dynfb_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod sema;
+pub mod token;
+
+pub use error::LangError;
+pub use parser::parse;
+pub use sema::{analyze, compile_source};

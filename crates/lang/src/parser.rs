@@ -1,0 +1,656 @@
+//! Recursive-descent parser: tokens → [`Program`].
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Kw, Punct, Span, Tok, Token};
+
+/// Parse a complete source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        let i = (self.pos + n).min(self.tokens.len() - 1);
+        &self.tokens[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if *self.peek() == Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), LangError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(LangError::parse(self.span(), format!("expected `{p}`, found {}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if *self.peek() == Tok::Kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(LangError::parse(self.span(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(program),
+                Tok::Kw(Kw::Extern) => program.externs.push(self.extern_decl()?),
+                Tok::Kw(Kw::Class) => program.classes.push(self.class_decl()?),
+                _ => {
+                    // `type ident (` → function; `type ident ;` → global.
+                    let span = self.span();
+                    let ty = self.type_expr()?;
+                    let name = self.ident()?;
+                    if *self.peek() == Tok::Punct(Punct::LParen) {
+                        program.functions.push(self.func_rest(name, ty, span)?);
+                    } else {
+                        self.expect_punct(Punct::Semi)?;
+                        program.globals.push(GlobalDecl { name, ty, span });
+                    }
+                }
+            }
+        }
+    }
+
+    fn extern_decl(&mut self) -> Result<ExternDecl, LangError> {
+        let span = self.span();
+        self.bump(); // extern
+        let ret = self.type_expr()?;
+        let name = self.ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                let ty = self.type_expr()?;
+                // Parameter names are optional in extern declarations.
+                if matches!(self.peek(), Tok::Ident(_)) {
+                    self.bump();
+                }
+                params.push(ty);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        }
+        self.expect_punct(Punct::Semi)?;
+        Ok(ExternDecl { name, params, ret, span })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, LangError> {
+        let span = self.span();
+        self.bump(); // class
+        let name = self.ident()?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            let mspan = self.span();
+            let ty = self.type_expr()?;
+            let mname = self.ident()?;
+            if *self.peek() == Tok::Punct(Punct::LParen) {
+                methods.push(self.func_rest(mname, ty, mspan)?);
+            } else {
+                fields.push(FieldDecl { name: mname, ty: ty.clone(), span: mspan });
+                while self.eat_punct(Punct::Comma) {
+                    let fname = self.ident()?;
+                    fields.push(FieldDecl { name: fname, ty: ty.clone(), span: mspan });
+                }
+                self.expect_punct(Punct::Semi)?;
+            }
+        }
+        // Optional trailing `;` after the class body, C++ style.
+        self.eat_punct(Punct::Semi);
+        Ok(ClassDecl { name, fields, methods, span })
+    }
+
+    fn func_rest(&mut self, name: String, ret: TypeExpr, span: Span) -> Result<FuncDecl, LangError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                let pspan = self.span();
+                let ty = self.type_expr()?;
+                let pname = self.ident()?;
+                params.push(ParamDecl { name: pname, ty, span: pspan });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, ret, body, span })
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, LangError> {
+        let base = match self.peek().clone() {
+            Tok::Kw(Kw::Int) => {
+                self.bump();
+                TypeExpr::Int
+            }
+            Tok::Kw(Kw::Double) => {
+                self.bump();
+                TypeExpr::Double
+            }
+            Tok::Kw(Kw::Bool) => {
+                self.bump();
+                TypeExpr::Bool
+            }
+            Tok::Kw(Kw::Void) => {
+                self.bump();
+                TypeExpr::Void
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                TypeExpr::Named(name)
+            }
+            other => {
+                return Err(LangError::parse(self.span(), format!("expected type, found {other}")))
+            }
+        };
+        let mut ty = base;
+        loop {
+            if self.eat_punct(Punct::Star) {
+                // `body*` — pointers are reference semantics anyway.
+                continue;
+            }
+            if *self.peek() == Tok::Punct(Punct::LBracket)
+                && *self.peek_at(1) == Tok::Punct(Punct::RBracket)
+            {
+                self.bump();
+                self.bump();
+                ty = TypeExpr::Array(Box::new(ty));
+                continue;
+            }
+            break;
+        }
+        Ok(ty)
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    /// A statement used as a branch body: either a block or a single
+    /// statement wrapped in one.
+    fn branch(&mut self) -> Result<Block, LangError> {
+        if *self.peek() == Tok::Punct(Punct::LBrace) {
+            self.block()
+        } else {
+            Ok(Block { stmts: vec![self.stmt()?] })
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Punct(Punct::LBrace) => {
+                let b = self.block()?;
+                Ok(Stmt { kind: StmtKind::Block(b), span })
+            }
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then_branch = self.branch()?;
+                let else_branch =
+                    if self.eat_kw(Kw::Else) { Some(self.branch()?) } else { None };
+                Ok(Stmt { kind: StmtKind::If { cond, then_branch, else_branch }, span })
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.branch()?;
+                Ok(Stmt { kind: StmtKind::While { cond, body }, span })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = if *self.peek() == Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect_punct(Punct::Semi)?;
+                let cond =
+                    if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+                self.expect_punct(Punct::Semi)?;
+                let step = if *self.peek() == Tok::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = self.branch()?;
+                Ok(Stmt { kind: StmtKind::For { init, cond, step, body }, span })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let value =
+                    if *self.peek() == Tok::Punct(Punct::Semi) { None } else { Some(self.expr()?) };
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Return(value), span })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// True if the upcoming tokens start a variable declaration.
+    fn at_var_decl(&self) -> bool {
+        match self.peek() {
+            Tok::Kw(Kw::Int | Kw::Double | Kw::Bool) => true,
+            Tok::Ident(_) => match self.peek_at(1) {
+                // `body b ...`
+                Tok::Ident(_) => true,
+                // `body* b ...`
+                Tok::Punct(Punct::Star) => matches!(self.peek_at(2), Tok::Ident(_)),
+                // `body[] b ...` (vs indexing `arr[i]`)
+                Tok::Punct(Punct::LBracket) => {
+                    *self.peek_at(2) == Tok::Punct(Punct::RBracket)
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// A declaration, assignment, increment, or expression — without the
+    /// trailing semicolon (shared by plain statements and `for` headers).
+    fn simple_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        if self.at_var_decl() {
+            let ty = self.type_expr()?;
+            let name = self.ident()?;
+            let init =
+                if self.eat_punct(Punct::Assign) { Some(self.expr()?) } else { None };
+            return Ok(Stmt { kind: StmtKind::VarDecl { name, ty, init }, span });
+        }
+        let target = self.expr()?;
+        let one = Expr { kind: ExprKind::Int(1), span };
+        let kind = match self.peek() {
+            Tok::Punct(Punct::Assign) => {
+                self.bump();
+                StmtKind::Assign { target, op: None, value: self.expr()? }
+            }
+            Tok::Punct(Punct::PlusAssign) => {
+                self.bump();
+                StmtKind::Assign { target, op: Some(BinOp::Add), value: self.expr()? }
+            }
+            Tok::Punct(Punct::MinusAssign) => {
+                self.bump();
+                StmtKind::Assign { target, op: Some(BinOp::Sub), value: self.expr()? }
+            }
+            Tok::Punct(Punct::StarAssign) => {
+                self.bump();
+                StmtKind::Assign { target, op: Some(BinOp::Mul), value: self.expr()? }
+            }
+            Tok::Punct(Punct::SlashAssign) => {
+                self.bump();
+                StmtKind::Assign { target, op: Some(BinOp::Div), value: self.expr()? }
+            }
+            Tok::Punct(Punct::PlusPlus) => {
+                self.bump();
+                StmtKind::Assign { target, op: Some(BinOp::Add), value: one }
+            }
+            Tok::Punct(Punct::MinusMinus) => {
+                self.bump();
+                StmtKind::Assign { target, op: Some(BinOp::Sub), value: one }
+            }
+            _ => StmtKind::Expr(target),
+        };
+        Ok(Stmt { kind, span })
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct(Punct::OrOr) => (BinOp::Or, 1),
+                Tok::Punct(Punct::AndAnd) => (BinOp::And, 2),
+                Tok::Punct(Punct::Eq) => (BinOp::Eq, 3),
+                Tok::Punct(Punct::Ne) => (BinOp::Ne, 3),
+                Tok::Punct(Punct::Lt) => (BinOp::Lt, 4),
+                Tok::Punct(Punct::Le) => (BinOp::Le, 4),
+                Tok::Punct(Punct::Gt) => (BinOp::Gt, 4),
+                Tok::Punct(Punct::Ge) => (BinOp::Ge, 4),
+                Tok::Punct(Punct::Plus) => (BinOp::Add, 5),
+                Tok::Punct(Punct::Minus) => (BinOp::Sub, 5),
+                Tok::Punct(Punct::Star) => (BinOp::Mul, 6),
+                Tok::Punct(Punct::Slash) => (BinOp::Div, 6),
+                Tok::Punct(Punct::Percent) => (BinOp::Rem, 6),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let span = self.span();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek() {
+            Tok::Punct(Punct::Minus) => {
+                self.bump();
+                let inner = self.unary()?;
+                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Neg, expr: Box::new(inner) }, span })
+            }
+            Tok::Punct(Punct::Not) => {
+                self.bump();
+                let inner = self.unary()?;
+                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Not, expr: Box::new(inner) }, span })
+            }
+            Tok::Punct(Punct::Amp) => {
+                // `&b[i]` — address-of is a no-op (reference semantics).
+                self.bump();
+                self.unary()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, LangError> {
+        let mut expr = self.primary()?;
+        loop {
+            let span = self.span();
+            if self.eat_punct(Punct::Dot) || self.eat_punct(Punct::Arrow) {
+                let name = self.ident()?;
+                if *self.peek() == Tok::Punct(Punct::LParen) {
+                    let args = self.args()?;
+                    expr = Expr {
+                        kind: ExprKind::MethodCall {
+                            object: Box::new(expr),
+                            method: name,
+                            args,
+                        },
+                        span,
+                    };
+                } else {
+                    expr = Expr {
+                        kind: ExprKind::Field { object: Box::new(expr), field: name },
+                        span,
+                    };
+                }
+            } else if self.eat_punct(Punct::LBracket) {
+                let index = self.expr()?;
+                self.expect_punct(Punct::RBracket)?;
+                expr = Expr {
+                    kind: ExprKind::Index { array: Box::new(expr), index: Box::new(index) },
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, LangError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut args = Vec::new();
+        if self.eat_punct(Punct::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        let kind = match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                ExprKind::Int(v)
+            }
+            Tok::Double(v) => {
+                self.bump();
+                ExprKind::Double(v)
+            }
+            Tok::Kw(Kw::True) => {
+                self.bump();
+                ExprKind::Bool(true)
+            }
+            Tok::Kw(Kw::False) => {
+                self.bump();
+                ExprKind::Bool(false)
+            }
+            Tok::Kw(Kw::Null) => {
+                self.bump();
+                ExprKind::Null
+            }
+            Tok::Kw(Kw::This) => {
+                self.bump();
+                ExprKind::This
+            }
+            Tok::Kw(Kw::New) => {
+                self.bump();
+                let ty = self.type_expr()?;
+                if self.eat_punct(Punct::LBracket) {
+                    let len = self.expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    ExprKind::NewArray { elem: ty, len: Box::new(len) }
+                } else {
+                    // `new C()` or `new C`.
+                    if *self.peek() == Tok::Punct(Punct::LParen) {
+                        self.bump();
+                        self.expect_punct(Punct::RParen)?;
+                    }
+                    match ty {
+                        TypeExpr::Named(class) => ExprKind::New { class },
+                        other => {
+                            return Err(LangError::parse(
+                                span,
+                                format!("`new` requires a class type, found {other:?}"),
+                            ))
+                        }
+                    }
+                }
+            }
+            Tok::Punct(Punct::LParen) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                return Ok(inner);
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::Punct(Punct::LParen) {
+                    let args = self.args()?;
+                    ExprKind::Call { name, args }
+                } else {
+                    ExprKind::Var(name)
+                }
+            }
+            other => {
+                return Err(LangError::parse(span, format!("expected expression, found {other}")))
+            }
+        };
+        Ok(Expr { kind, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure_1() {
+        let src = r#"
+            extern double interact(double, double);
+            class body {
+                double pos;
+                double sum;
+                void one_interaction(body* b) {
+                    double val = interact(this->pos, b->pos);
+                    this->sum += val;
+                }
+                void interactions(body[] b, int n) {
+                    for (int i = 0; i < n; i++) {
+                        this->one_interaction(&b[i]);
+                    }
+                }
+            };
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.externs.len(), 1);
+        assert_eq!(p.classes.len(), 1);
+        let c = &p.classes[0];
+        assert_eq!(c.fields.len(), 2);
+        assert_eq!(c.methods.len(), 2);
+        assert_eq!(c.methods[1].name, "interactions");
+    }
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let src = "body[] bodies; int n; void main() { n = 4; }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn parses_comma_separated_fields() {
+        let p = parse("class v { double x, y, z; }").unwrap();
+        assert_eq!(p.classes[0].fields.len(), 3);
+        assert!(p.classes[0].fields.iter().all(|f| f.ty == TypeExpr::Double));
+    }
+
+    #[test]
+    fn distinguishes_decl_from_index_assignment() {
+        let src = "void f(double[] a) { double[] b = a; a[0] = 1.0; }";
+        let p = parse(src).unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body.stmts[0].kind, StmtKind::VarDecl { .. }));
+        assert!(matches!(body.stmts[1].kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn parses_new_expressions() {
+        let src = "class c { int x; } void f() { c obj = new c(); double[] a = new double[10]; }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let p = parse("void f() { int x = 1 + 2 * 3; }").unwrap();
+        let StmtKind::VarDecl { init: Some(e), .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!("expected decl");
+        };
+        let ExprKind::Binary { op: BinOp::Add, rhs, .. } = &e.kind else {
+            panic!("expected + at top, got {:?}", e.kind);
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_if_else_and_while() {
+        let src = "void f(int n) { if (n > 0) { n = 1; } else n = 2; while (n < 10) n++; }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn increment_is_compound_assign_sugar() {
+        let p = parse("void f(int i) { i++; }").unwrap();
+        let StmtKind::Assign { op: Some(BinOp::Add), value, .. } =
+            &p.functions[0].body.stmts[0].kind
+        else {
+            panic!("expected assign");
+        };
+        assert!(matches!(value.kind, ExprKind::Int(1)));
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        let err = parse("void f() { int = 3; }").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert!(err.message.contains("expected identifier"));
+    }
+
+    #[test]
+    fn method_call_chains() {
+        let p = parse("void f(body b) { b.child().compute(1, 2); }").unwrap();
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else { panic!() };
+        assert!(matches!(e.kind, ExprKind::MethodCall { ref method, .. } if method == "compute"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Tokens and source positions.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    #[must_use]
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Double(v) => write!(f, "double `{v}`"),
+            Tok::Kw(k) => write!(f, "keyword `{k}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),* $(,)?) => {
+        /// Reserved words.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub enum Kw { $($variant),* }
+
+        impl Kw {
+            /// Look up a keyword by its spelling.
+            #[must_use]
+            pub fn from_str(s: &str) -> Option<Kw> {
+                match s {
+                    $($text => Some(Kw::$variant),)*
+                    _ => None,
+                }
+            }
+
+            /// The keyword's spelling.
+            #[must_use]
+            pub fn text(self) -> &'static str {
+                match self {
+                    $(Kw::$variant => $text),*
+                }
+            }
+        }
+
+        impl fmt::Display for Kw {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.text())
+            }
+        }
+    };
+}
+
+keywords! {
+    Class => "class",
+    Extern => "extern",
+    Int => "int",
+    Double => "double",
+    Bool => "bool",
+    Void => "void",
+    If => "if",
+    Else => "else",
+    While => "while",
+    For => "for",
+    Return => "return",
+    New => "new",
+    Null => "null",
+    This => "this",
+    True => "true",
+    False => "false",
+}
+
+macro_rules! puncts {
+    ($($variant:ident => $text:literal),* $(,)?) => {
+        /// Operators and punctuation.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub enum Punct { $($variant),* }
+
+        impl Punct {
+            /// The punctuation's spelling.
+            #[must_use]
+            pub fn text(self) -> &'static str {
+                match self {
+                    $(Punct::$variant => $text),*
+                }
+            }
+        }
+
+        impl fmt::Display for Punct {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.text())
+            }
+        }
+    };
+}
+
+puncts! {
+    LParen => "(",
+    RParen => ")",
+    LBrace => "{",
+    RBrace => "}",
+    LBracket => "[",
+    RBracket => "]",
+    Semi => ";",
+    Comma => ",",
+    Dot => ".",
+    Arrow => "->",
+    Plus => "+",
+    Minus => "-",
+    Star => "*",
+    Slash => "/",
+    Percent => "%",
+    Assign => "=",
+    PlusAssign => "+=",
+    MinusAssign => "-=",
+    StarAssign => "*=",
+    SlashAssign => "/=",
+    PlusPlus => "++",
+    MinusMinus => "--",
+    Eq => "==",
+    Ne => "!=",
+    Lt => "<",
+    Le => "<=",
+    Gt => ">",
+    Ge => ">=",
+    AndAnd => "&&",
+    OrOr => "||",
+    Not => "!",
+    Amp => "&",
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it begins.
+    pub span: Span,
+}

@@ -1,0 +1,81 @@
+//! Robustness properties of the front end: the lexer and parser must never
+//! panic, valid constructs round-trip through analysis, and diagnostics
+//! carry positions.
+
+use dynfb_lang::{compile_source, lexer::lex, parse};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer never panics, on any input.
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// The parser never panics, on any input (errors are returned).
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Full front end never panics on inputs built from language-ish
+    /// fragments (much denser in near-valid programs than raw strings).
+    #[test]
+    fn sema_never_panics_on_fragment_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("class c { int x; }"),
+                Just("void f() { }"),
+                Just("int g(int n) { return n + 1; }"),
+                Just("double h(double v) { return v * 2.0; }"),
+                Just("{ int y = 0; y++; }"),
+                Just("if (true) { } else { }"),
+                Just("for (int i = 0; i < 3; i++) { }"),
+                Just("x = y;"),
+                Just("}{"),
+                Just("this.q +="),
+            ],
+            0..8,
+        )
+    ) {
+        let source = parts.join("\n");
+        let _ = compile_source(&source);
+    }
+
+    /// Integer literals lex to their value.
+    #[test]
+    fn integers_lex_exactly(v in 0i64..i64::MAX / 2) {
+        let toks = lex(&v.to_string()).unwrap();
+        assert!(matches!(toks[0].tok, dynfb_lang::token::Tok::Int(x) if x == v));
+    }
+
+    /// Identifiers lex as identifiers (keywords excluded).
+    #[test]
+    fn identifiers_lex_exactly(name in "[a-z_][a-z0-9_]{0,10}") {
+        prop_assume!(dynfb_lang::token::Kw::from_str(&name).is_none());
+        let toks = lex(&name).unwrap();
+        assert!(
+            matches!(&toks[0].tok, dynfb_lang::token::Tok::Ident(s) if *s == name),
+            "{name}: {:?}",
+            toks[0]
+        );
+    }
+
+    /// Well-formed arithmetic over declared variables always compiles, and
+    /// the printer renders it without panicking.
+    #[test]
+    fn arithmetic_programs_compile(
+        ops in proptest::collection::vec(prop_oneof![Just("+"), Just("-"), Just("*")], 1..6)
+    ) {
+        let expr = ops
+            .iter()
+            .enumerate()
+            .fold("1".to_string(), |acc, (i, op)| format!("({acc} {op} {})", i + 2));
+        let src = format!("int f() {{ return {expr}; }}");
+        let hir = compile_source(&src).expect("valid arithmetic");
+        let text = dynfb_lang::printer::print_program(&hir);
+        prop_assert!(text.contains("return"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Cost model of the simulated machine.
+
+use std::time::Duration;
+
+/// Cost parameters of the simulated shared-memory multiprocessor.
+///
+/// Defaults approximate the Stanford DASH machine the paper measured on:
+/// spin locks with a few-microsecond acquire/release cost and a timer whose
+/// read costs about 9 µs (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Cost of a *successful* lock acquire.
+    pub lock_acquire_cost: Duration,
+    /// Cost of a lock release.
+    pub lock_release_cost: Duration,
+    /// Cost of one *failed* acquire attempt while spinning on a held lock.
+    /// Waiting overhead is `failed attempts × this cost` (§4.3).
+    pub lock_attempt_cost: Duration,
+    /// Cost of reading the timer (§4.1: ≈ 9 µs on DASH).
+    pub timer_read_cost: Duration,
+    /// Cost of passing a barrier once every participant has arrived.
+    pub barrier_cost: Duration,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            lock_acquire_cost: Duration::from_micros(2),
+            lock_release_cost: Duration::from_micros(2),
+            lock_attempt_cost: Duration::from_micros(1),
+            timer_read_cost: Duration::from_micros(9),
+            barrier_cost: Duration::from_micros(10),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Cost of one successful acquire/release pair (used to express locking
+    /// overhead as a time).
+    #[must_use]
+    pub fn lock_pair_cost(&self) -> Duration {
+        self.lock_acquire_cost + self.lock_release_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_cost_sums_acquire_and_release() {
+        let c = MachineConfig::default();
+        assert_eq!(c.lock_pair_cost(), c.lock_acquire_cost + c.lock_release_cost);
+    }
+}

@@ -1,0 +1,599 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Machine::run`] executes one [`Process`] per simulated processor,
+//! advancing a virtual clock through an event queue. Events at equal
+//! virtual times are ordered by insertion sequence, which makes every
+//! simulation fully deterministic: the same processes produce the same
+//! statistics on every run.
+
+use crate::config::MachineConfig;
+use crate::process::{BarrierId, LockId, ProcCtx, ProcId, Process, Step};
+use crate::stats::{MachineStats, ProcStats};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+/// Errors produced by a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// All remaining processes are blocked (on locks or barriers).
+    Deadlock {
+        /// Virtual time at which progress stopped.
+        at: SimTime,
+        /// Processors blocked when the queue drained.
+        blocked: Vec<ProcId>,
+    },
+    /// A process released a lock it does not hold.
+    BadRelease {
+        /// Offending processor.
+        proc: ProcId,
+        /// Lock it attempted to release.
+        lock: LockId,
+    },
+    /// A process acquired a lock it already holds (simulated spin locks are
+    /// not re-entrant; this would spin forever).
+    RecursiveAcquire {
+        /// Offending processor.
+        proc: ProcId,
+        /// Lock it attempted to re-acquire.
+        lock: LockId,
+    },
+    /// A step referenced a lock or barrier that was never created.
+    UnknownResource,
+    /// The configured event limit was exceeded (runaway process).
+    EventLimitExceeded,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                write!(f, "deadlock at {at}: processors {blocked:?} blocked")
+            }
+            SimError::BadRelease { proc, lock } => {
+                write!(f, "processor {proc:?} released lock {lock:?} it does not hold")
+            }
+            SimError::RecursiveAcquire { proc, lock } => {
+                write!(f, "processor {proc:?} re-acquired lock {lock:?} it already holds")
+            }
+            SimError::UnknownResource => write!(f, "step referenced an unknown lock or barrier"),
+            SimError::EventLimitExceeded => write!(f, "event limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<ProcId>,
+    waiters: VecDeque<(ProcId, SimTime)>,
+    acquires: u64,
+    contended_acquires: u64,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    participants: usize,
+    arrived: Vec<(ProcId, SimTime)>,
+}
+
+/// Per-lock usage statistics, available after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockUsage {
+    /// Total successful acquires of this lock.
+    pub acquires: u64,
+    /// Acquires that had to wait for another processor.
+    pub contended_acquires: u64,
+}
+
+/// A simulated shared-memory multiprocessor.
+///
+/// Create the machine, add the locks and barriers the workload needs, then
+/// [`run`](Machine::run) one process per processor.
+///
+/// ```
+/// use dynfb_sim::{Machine, MachineConfig, Step, ProcCtx};
+/// use std::time::Duration;
+///
+/// let mut machine = Machine::new(MachineConfig::default());
+/// let lock = machine.add_lock();
+/// let procs = (0..2).map(|_| {
+///     let mut steps = vec![
+///         Step::Compute(Duration::from_micros(50)),
+///         Step::Acquire(lock),
+///         Step::Compute(Duration::from_micros(10)),
+///         Step::Release(lock),
+///         Step::Done,
+///     ].into_iter();
+///     let f = move |_ctx: &mut ProcCtx<'_>| steps.next().unwrap();
+///     Box::new(f) as Box<dyn dynfb_sim::Process>
+/// }).collect();
+/// let stats = machine.run(procs)?;
+/// assert_eq!(stats.totals().acquires, 2);
+/// # Ok::<(), dynfb_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    locks: Vec<LockState>,
+    barriers: Vec<BarrierState>,
+    event_limit: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcStatus {
+    Ready,
+    Blocked,
+    Finished,
+}
+
+impl Machine {
+    /// Create a machine with the given cost model.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Self {
+        Machine { config, locks: Vec::new(), barriers: Vec::new(), event_limit: None }
+    }
+
+    /// The machine's cost model.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Create a new spin lock (e.g. one per application object).
+    pub fn add_lock(&mut self) -> LockId {
+        self.locks.push(LockState::default());
+        LockId(self.locks.len() - 1)
+    }
+
+    /// Create `n` locks at once, returning the id of the first; ids are
+    /// consecutive. Convenient for per-object locks over object arrays.
+    pub fn add_locks(&mut self, n: usize) -> LockId {
+        let first = LockId(self.locks.len());
+        for _ in 0..n {
+            self.locks.push(LockState::default());
+        }
+        first
+    }
+
+    /// Create a barrier for `participants` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`.
+    pub fn add_barrier(&mut self, participants: usize) -> BarrierId {
+        assert!(participants > 0, "barrier needs at least one participant");
+        self.barriers.push(BarrierState { participants, arrived: Vec::new() });
+        BarrierId(self.barriers.len() - 1)
+    }
+
+    /// Number of locks created so far.
+    #[must_use]
+    pub fn num_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Abort the simulation with [`SimError::EventLimitExceeded`] after this
+    /// many events (guards tests against runaway processes).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = Some(limit);
+    }
+
+    /// Per-lock usage counts from the last run.
+    #[must_use]
+    pub fn lock_usage(&self, lock: LockId) -> LockUsage {
+        let l = &self.locks[lock.0];
+        LockUsage { acquires: l.acquires, contended_acquires: l.contended_acquires }
+    }
+
+    /// Run one process per processor until all finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on deadlock, lock misuse, unknown resources,
+    /// or when the event limit is exceeded.
+    pub fn run<'a>(
+        &mut self,
+        mut processes: Vec<Box<dyn Process + 'a>>,
+    ) -> Result<MachineStats, SimError> {
+        let n = processes.len();
+        let mut stats = vec![ProcStats::default(); n];
+        let mut status = vec![ProcStatus::Ready; n];
+        let mut leader_flag = vec![false; n];
+        let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut events: u64 = 0;
+        let mut done = 0usize;
+
+        // Reset resource state so a machine can be reused across runs.
+        for l in &mut self.locks {
+            l.holder = None;
+            l.waiters.clear();
+            l.acquires = 0;
+            l.contended_acquires = 0;
+        }
+        for b in &mut self.barriers {
+            b.arrived.clear();
+        }
+
+        let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+                        seq: &mut u64,
+                        t: SimTime,
+                        p: usize| {
+            queue.push(Reverse((t.as_nanos(), *seq, p)));
+            *seq += 1;
+        };
+
+        for p in 0..n {
+            push(&mut queue, &mut seq, SimTime::ZERO, p);
+        }
+
+        while let Some(Reverse((t_ns, _, p))) = queue.pop() {
+            events += 1;
+            if let Some(limit) = self.event_limit {
+                if events > limit {
+                    return Err(SimError::EventLimitExceeded);
+                }
+            }
+            let now = SimTime::from_nanos(t_ns);
+            debug_assert_eq!(status[p], ProcStatus::Ready);
+
+            let mut ctx = ProcCtx {
+                now,
+                proc: ProcId(p),
+                barrier_leader: leader_flag[p],
+                timer_read_cost: self.config.timer_read_cost,
+                stats: &stats,
+                pending_compute: Duration::ZERO,
+                pending_timer: Duration::ZERO,
+                timer_reads: 0,
+            };
+            leader_flag[p] = false;
+            let step = processes[p].step(&mut ctx);
+            let ProcCtx { pending_compute, pending_timer, timer_reads, .. } = ctx;
+
+            stats[p].compute += pending_compute;
+            stats[p].timer_time += pending_timer;
+            stats[p].timer_reads += timer_reads;
+            let t_eff = now + pending_compute + pending_timer;
+
+            match step {
+                Step::Compute(d) => {
+                    stats[p].compute += d;
+                    push(&mut queue, &mut seq, t_eff + d, p);
+                }
+                Step::Yield => {
+                    push(&mut queue, &mut seq, t_eff, p);
+                }
+                Step::Acquire(lock) => {
+                    let l = self.locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
+                    if l.holder == Some(ProcId(p)) {
+                        return Err(SimError::RecursiveAcquire { proc: ProcId(p), lock });
+                    }
+                    if l.holder.is_none() {
+                        l.holder = Some(ProcId(p));
+                        l.acquires += 1;
+                        stats[p].acquires += 1;
+                        stats[p].lock_time += self.config.lock_acquire_cost;
+                        push(&mut queue, &mut seq, t_eff + self.config.lock_acquire_cost, p);
+                    } else {
+                        l.waiters.push_back((ProcId(p), t_eff));
+                        status[p] = ProcStatus::Blocked;
+                    }
+                }
+                Step::Release(lock) => {
+                    let l = self.locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
+                    if l.holder != Some(ProcId(p)) {
+                        return Err(SimError::BadRelease { proc: ProcId(p), lock });
+                    }
+                    stats[p].lock_time += self.config.lock_release_cost;
+                    let free_at = t_eff + self.config.lock_release_cost;
+                    l.holder = None;
+                    if let Some((w, since)) = l.waiters.pop_front() {
+                        // Grant to the first waiter: account its spinning as
+                        // waiting overhead (§4.3 — failed attempts × cost).
+                        let span = free_at - since;
+                        let attempt = self.config.lock_attempt_cost;
+                        let attempts = if attempt.is_zero() {
+                            1
+                        } else {
+                            let a = span.as_nanos() / attempt.as_nanos();
+                            u64::try_from(a).unwrap_or(u64::MAX).max(1)
+                        };
+                        let wi = w.0;
+                        stats[wi].wait_time += span;
+                        stats[wi].failed_attempts += attempts;
+                        stats[wi].acquires += 1;
+                        stats[wi].lock_time += self.config.lock_acquire_cost;
+                        l.holder = Some(w);
+                        l.acquires += 1;
+                        l.contended_acquires += 1;
+                        status[wi] = ProcStatus::Ready;
+                        push(&mut queue, &mut seq, free_at + self.config.lock_acquire_cost, wi);
+                    }
+                    push(&mut queue, &mut seq, free_at, p);
+                }
+                Step::Barrier(barrier) => {
+                    let b =
+                        self.barriers.get_mut(barrier.0).ok_or(SimError::UnknownResource)?;
+                    b.arrived.push((ProcId(p), t_eff));
+                    if b.arrived.len() == b.participants {
+                        let release = t_eff + self.config.barrier_cost;
+                        // The last arriver is the leader and is scheduled
+                        // first at the release instant, so it can perform
+                        // switch bookkeeping before the others resume.
+                        leader_flag[p] = true;
+                        for &(w, at) in b.arrived.iter().rev() {
+                            stats[w.0].barrier_wait += release - at;
+                            status[w.0] = ProcStatus::Ready;
+                            push(&mut queue, &mut seq, release, w.0);
+                        }
+                        b.arrived.clear();
+                    } else {
+                        status[p] = ProcStatus::Blocked;
+                    }
+                }
+                Step::Done => {
+                    stats[p].done_at = Some(t_eff);
+                    status[p] = ProcStatus::Finished;
+                    done += 1;
+                }
+            }
+        }
+
+        if done != n {
+            let blocked: Vec<ProcId> = (0..n)
+                .filter(|&i| status[i] != ProcStatus::Finished)
+                .map(ProcId)
+                .collect();
+            let at = stats
+                .iter()
+                .filter_map(|s| s.done_at)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            return Err(SimError::Deadlock { at, blocked });
+        }
+
+        let finished_at = stats
+            .iter()
+            .filter_map(|s| s.done_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Ok(MachineStats { procs: stats, finished_at })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process defined by a fixed list of steps.
+    struct Script(std::vec::IntoIter<Step>);
+
+    impl Script {
+        fn new(steps: Vec<Step>) -> Self {
+            Script(steps.into_iter())
+        }
+    }
+
+    impl Process for Script {
+        fn step(&mut self, _ctx: &mut ProcCtx<'_>) -> Step {
+            self.0.next().unwrap_or(Step::Done)
+        }
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn single_process_compute_accumulates() {
+        let mut m = Machine::new(MachineConfig::default());
+        let stats = m
+            .run(vec![Box::new(Script::new(vec![
+                Step::Compute(ms(5)),
+                Step::Compute(ms(7)),
+                Step::Done,
+            ]))])
+            .unwrap();
+        assert_eq!(stats.procs[0].compute, ms(12));
+        assert_eq!(stats.finished_at, SimTime::ZERO + ms(12));
+    }
+
+    #[test]
+    fn uncontended_lock_counts_no_waiting() {
+        let mut m = Machine::new(MachineConfig::default());
+        let l = m.add_lock();
+        let stats = m
+            .run(vec![Box::new(Script::new(vec![
+                Step::Acquire(l),
+                Step::Compute(ms(1)),
+                Step::Release(l),
+                Step::Done,
+            ]))])
+            .unwrap();
+        let p = &stats.procs[0];
+        assert_eq!(p.acquires, 1);
+        assert_eq!(p.failed_attempts, 0);
+        assert_eq!(p.wait_time, Duration::ZERO);
+        assert_eq!(p.lock_time, m.config().lock_pair_cost());
+    }
+
+    #[test]
+    fn contended_lock_accounts_waiting() {
+        let mut m = Machine::new(MachineConfig::default());
+        let l = m.add_lock();
+        // Proc 0 grabs the lock immediately and holds it for 10ms.
+        // Proc 1 tries at t=0 and must wait.
+        let p0 = Script::new(vec![
+            Step::Acquire(l),
+            Step::Compute(ms(10)),
+            Step::Release(l),
+            Step::Done,
+        ]);
+        let p1 = Script::new(vec![
+            Step::Acquire(l),
+            Step::Release(l),
+            Step::Done,
+        ]);
+        let stats = m.run(vec![Box::new(p0), Box::new(p1)]).unwrap();
+        let w = &stats.procs[1];
+        assert_eq!(w.acquires, 1);
+        assert!(w.failed_attempts > 0);
+        assert!(w.wait_time >= ms(10), "waited {:?}", w.wait_time);
+        assert_eq!(m.lock_usage(l).acquires, 2);
+        assert_eq!(m.lock_usage(l).contended_acquires, 1);
+    }
+
+    #[test]
+    fn lock_grants_are_fifo() {
+        let mut m = Machine::new(MachineConfig::default());
+        let l = m.add_lock();
+        // Proc 0 holds the lock; procs 1 and 2 queue at t=0 (1 first by
+        // deterministic tie-break). After proc 1 gets the lock it computes
+        // long enough that proc 2's total wait proves ordering.
+        let hold = Script::new(vec![Step::Acquire(l), Step::Compute(ms(5)), Step::Release(l), Step::Done]);
+        let w1 = Script::new(vec![Step::Acquire(l), Step::Compute(ms(3)), Step::Release(l), Step::Done]);
+        let w2 = Script::new(vec![Step::Acquire(l), Step::Release(l), Step::Done]);
+        let stats = m.run(vec![Box::new(hold), Box::new(w1), Box::new(w2)]).unwrap();
+        assert!(stats.procs[2].wait_time > stats.procs[1].wait_time);
+    }
+
+    #[test]
+    fn barrier_releases_everyone_together() {
+        let mut m = Machine::new(MachineConfig::default());
+        let b = m.add_barrier(3);
+        let mk = |work_ms: u64| {
+            Script::new(vec![Step::Compute(ms(work_ms)), Step::Barrier(b), Step::Done])
+        };
+        let stats = m.run(vec![Box::new(mk(1)), Box::new(mk(5)), Box::new(mk(3))]).unwrap();
+        let done: Vec<_> = stats.procs.iter().map(|p| p.done_at.unwrap()).collect();
+        assert_eq!(done[0], done[1]);
+        assert_eq!(done[1], done[2]);
+        // Fastest proc waited the longest.
+        assert!(stats.procs[0].barrier_wait > stats.procs[1].barrier_wait);
+    }
+
+    #[test]
+    fn barrier_leader_is_last_arriver() {
+        let mut m = Machine::new(MachineConfig::default());
+        let b = m.add_barrier(2);
+        struct P {
+            work: Duration,
+            barrier: BarrierId,
+            state: u32,
+            was_leader: std::rc::Rc<std::cell::Cell<bool>>,
+        }
+        impl Process for P {
+            fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+                self.state += 1;
+                match self.state {
+                    1 => Step::Compute(self.work),
+                    2 => Step::Barrier(self.barrier),
+                    _ => {
+                        self.was_leader.set(ctx.is_barrier_leader());
+                        Step::Done
+                    }
+                }
+            }
+        }
+        let l0 = std::rc::Rc::new(std::cell::Cell::new(false));
+        let l1 = std::rc::Rc::new(std::cell::Cell::new(false));
+        let p0 = P { work: ms(1), barrier: b, state: 0, was_leader: l0.clone() };
+        let p1 = P { work: ms(9), barrier: b, state: 0, was_leader: l1.clone() };
+        m.run(vec![Box::new(p0), Box::new(p1)]).unwrap();
+        assert!(!l0.get(), "early arriver must not lead");
+        assert!(l1.get(), "last arriver leads");
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut m = Machine::new(MachineConfig::default());
+        let b = m.add_barrier(2);
+        // Only one of two procs reaches the barrier.
+        let p0 = Script::new(vec![Step::Barrier(b), Step::Done]);
+        let p1 = Script::new(vec![Step::Done]);
+        let err = m.run(vec![Box::new(p0), Box::new(p1)]).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { ref blocked, .. } if blocked == &[ProcId(0)]));
+    }
+
+    #[test]
+    fn bad_release_is_reported() {
+        let mut m = Machine::new(MachineConfig::default());
+        let l = m.add_lock();
+        let p = Script::new(vec![Step::Release(l), Step::Done]);
+        assert!(matches!(
+            m.run(vec![Box::new(p)]).unwrap_err(),
+            SimError::BadRelease { .. }
+        ));
+    }
+
+    #[test]
+    fn recursive_acquire_is_reported() {
+        let mut m = Machine::new(MachineConfig::default());
+        let l = m.add_lock();
+        let p = Script::new(vec![Step::Acquire(l), Step::Acquire(l), Step::Done]);
+        assert!(matches!(
+            m.run(vec![Box::new(p)]).unwrap_err(),
+            SimError::RecursiveAcquire { .. }
+        ));
+    }
+
+    #[test]
+    fn timer_reads_cost_time() {
+        let mut m = Machine::new(MachineConfig::default());
+        struct P(u32);
+        impl Process for P {
+            fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+                self.0 += 1;
+                if self.0 == 1 {
+                    let t0 = ctx.read_timer();
+                    let t1 = ctx.read_timer();
+                    assert!(t1 > t0);
+                    Step::Compute(Duration::from_millis(1))
+                } else {
+                    Step::Done
+                }
+            }
+        }
+        let stats = m.run(vec![Box::new(P(0))]).unwrap();
+        assert_eq!(stats.procs[0].timer_reads, 2);
+        assert_eq!(
+            stats.procs[0].timer_time,
+            m.config().timer_read_cost * 2
+        );
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_event_limit(100);
+        let spin = |_: &mut ProcCtx<'_>| Step::Yield;
+        let err = m.run(vec![Box::new(spin) as Box<dyn Process>]).unwrap_err();
+        assert_eq!(err, SimError::EventLimitExceeded);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let build = || {
+            let mut m = Machine::new(MachineConfig::default());
+            let l = m.add_lock();
+            let procs: Vec<Box<dyn Process>> = (0..4)
+                .map(|i| {
+                    Box::new(Script::new(vec![
+                        Step::Compute(Duration::from_micros(10 * (i + 1))),
+                        Step::Acquire(l),
+                        Step::Compute(Duration::from_micros(100)),
+                        Step::Release(l),
+                        Step::Done,
+                    ])) as Box<dyn Process>
+                })
+                .collect();
+            m.run(procs).unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,1196 @@
+//! The dynamic feedback runtime for simulated applications.
+//!
+//! The paper's compiler generates code that executes an alternating
+//! sequence of serial and parallel sections; within each parallel section
+//! the generated code uses dynamic feedback to choose the best
+//! synchronization optimization policy (§4). This module is that generated
+//! runtime, targeting the simulated multiprocessor:
+//!
+//! * an application implements [`SimApp`]: a *plan* of serial and parallel
+//!   sections, and per-iteration code for each policy *version* of each
+//!   parallel section;
+//! * [`run_app`] executes the plan on `num_procs` simulated processors,
+//!   either with one statically chosen version ([`RunMode::Static`]) or with
+//!   dynamic feedback ([`RunMode::Dynamic`]);
+//! * in dynamic mode, every processor polls the timer at each loop
+//!   iteration (the potential switch points of §4.1); when the target
+//!   interval expires the processors rendezvous at a barrier and switch
+//!   policies *synchronously*, with the last arriver performing the
+//!   controller transition.
+//!
+//! Iteration bodies are emitted as [`Step`] sequences through an
+//! [`OpSink`]. Application state is updated when an iteration is *emitted*;
+//! the simulated timing of its lock operations is resolved later by the
+//! event engine. This is sound for the programs the paper targets: the
+//! parallelized operations commute, so their results are independent of the
+//! simulated interleaving, while their *costs* (which do depend on the
+//! interleaving) are fully modeled.
+
+use crate::config::MachineConfig;
+use crate::machine::{Machine, SimError};
+use crate::process::{BarrierId, LockId, ProcCtx, Process, Step};
+use crate::stats::{MachineStats, ProcStats};
+use crate::time::SimTime;
+use dynfb_core::controller::{Controller, ControllerConfig, Phase};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Collects the steps of one loop iteration (or serial section).
+///
+/// Consecutive compute charges are merged into a single [`Step::Compute`]
+/// so emission granularity does not affect event counts.
+#[derive(Debug, Default)]
+pub struct OpSink {
+    steps: Vec<Step>,
+    pending: Duration,
+}
+
+impl OpSink {
+    /// Append useful computation.
+    pub fn compute(&mut self, d: Duration) {
+        self.pending += d;
+    }
+
+    /// Append a lock acquire.
+    pub fn acquire(&mut self, lock: LockId) {
+        self.flush();
+        self.steps.push(Step::Acquire(lock));
+    }
+
+    /// Append a lock release.
+    pub fn release(&mut self, lock: LockId) {
+        self.flush();
+        self.steps.push(Step::Release(lock));
+    }
+
+    fn flush(&mut self) {
+        if !self.pending.is_zero() {
+            self.steps.push(Step::Compute(self.pending));
+            self.pending = Duration::ZERO;
+        }
+    }
+
+    fn into_steps(mut self) -> VecDeque<Step> {
+        self.flush();
+        self.steps.into()
+    }
+}
+
+/// Whether a plan entry is a serial or a parallel section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// Executed by processor 0 only; the others wait at the section barrier
+    /// (this idle time is what limits speedup, as in the paper's §6.1).
+    Serial,
+    /// A parallel loop executed by all processors.
+    Parallel,
+}
+
+/// One entry in an application's execution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// Section name; repeated entries with the same name are repeated
+    /// executions of the same section (and share version structure).
+    pub name: String,
+    /// Serial or parallel.
+    pub kind: SectionKind,
+}
+
+impl PlanEntry {
+    /// Convenience constructor for a serial section.
+    #[must_use]
+    pub fn serial(name: &str) -> Self {
+        PlanEntry { name: name.to_string(), kind: SectionKind::Serial }
+    }
+
+    /// Convenience constructor for a parallel section.
+    #[must_use]
+    pub fn parallel(name: &str) -> Self {
+        PlanEntry { name: name.to_string(), kind: SectionKind::Parallel }
+    }
+}
+
+/// A multi-version application that runs on the simulated machine.
+///
+/// Implementations are usually produced by the `dynfb-compiler` crate from
+/// mini-language sources, but can also be written by hand in Rust.
+pub trait SimApp {
+    /// Application name (for reports).
+    fn name(&self) -> &str;
+
+    /// Create the locks and other machine resources the app needs.
+    fn setup(&mut self, machine: &mut Machine);
+
+    /// The sequence of section executions.
+    fn plan(&self) -> Vec<PlanEntry>;
+
+    /// Names of the *distinct* code versions of a parallel section, ordered
+    /// from least to most aggressive. When two policies generate identical
+    /// code for a section the compiler emits a single shared version, so
+    /// this list can be shorter than the global policy list (§6.2: the
+    /// Water INTERF section has identical Bounded and Aggressive code).
+    fn versions(&self, section: &str) -> Vec<String>;
+
+    /// Map a global policy name (e.g. `"aggressive"`) to the version index
+    /// of this section implementing it, or `None` if unknown.
+    fn version_for_policy(&self, section: &str, policy: &str) -> Option<usize> {
+        self.versions(section).iter().position(|v| v.split('+').any(|p| p == policy))
+    }
+
+    /// Emit the body of a serial section.
+    fn emit_serial(&mut self, section: &str, ops: &mut OpSink);
+
+    /// Called once at the start of each execution of a parallel section;
+    /// returns the number of loop iterations.
+    fn begin_parallel(&mut self, section: &str) -> usize;
+
+    /// Emit the body of iteration `iter` of the given parallel section
+    /// under the given version.
+    fn emit_iteration(&mut self, section: &str, version: usize, iter: usize, ops: &mut OpSink);
+}
+
+impl<T: SimApp + ?Sized> SimApp for &mut T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn setup(&mut self, machine: &mut Machine) {
+        (**self).setup(machine);
+    }
+    fn plan(&self) -> Vec<PlanEntry> {
+        (**self).plan()
+    }
+    fn versions(&self, section: &str) -> Vec<String> {
+        (**self).versions(section)
+    }
+    fn version_for_policy(&self, section: &str, policy: &str) -> Option<usize> {
+        (**self).version_for_policy(section, policy)
+    }
+    fn emit_serial(&mut self, section: &str, ops: &mut OpSink) {
+        (**self).emit_serial(section, ops);
+    }
+    fn begin_parallel(&mut self, section: &str) -> usize {
+        (**self).begin_parallel(section)
+    }
+    fn emit_iteration(&mut self, section: &str, version: usize, iter: usize, ops: &mut OpSink) {
+        (**self).emit_iteration(section, version, iter, ops);
+    }
+}
+
+/// How the runtime chooses versions.
+#[derive(Debug, Clone)]
+pub enum RunMode {
+    /// Every parallel section runs the version implementing this policy
+    /// (e.g. `"original"`, `"bounded"`, `"aggressive"`, `"serial"`).
+    /// `instrumented` adds the per-iteration instrumentation and timer
+    /// polling that the dynamic version performs, to measure the
+    /// instrumentation cost (§4.3).
+    Static {
+        /// Global policy name.
+        policy: String,
+        /// Whether to charge instrumentation/polling costs anyway.
+        instrumented: bool,
+    },
+    /// Dynamic feedback with this controller configuration per section
+    /// (its `num_policies` is overridden by each section's version count).
+    Dynamic(ControllerConfig),
+    /// Dynamic feedback with *asynchronous* switching: when an interval
+    /// expires, the detecting processor performs the controller transition
+    /// immediately and the others pick the new version up at their next
+    /// iteration — no rendezvous. Overhead measurements are then polluted
+    /// by mixed-version execution; the paper chooses synchronous switching
+    /// precisely to avoid this (§4.1). Provided for the ablation study.
+    DynamicAsync(ControllerConfig),
+}
+
+impl RunMode {
+    /// Static, uninstrumented execution of `policy`.
+    #[must_use]
+    pub fn static_policy(policy: &str) -> Self {
+        RunMode::Static { policy: policy.to_string(), instrumented: false }
+    }
+}
+
+/// Configuration for [`run_app`].
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of simulated processors.
+    pub num_procs: usize,
+    /// Version selection mode.
+    pub mode: RunMode,
+    /// Machine cost model.
+    pub machine: MachineConfig,
+    /// Instrumentation cost charged per loop iteration when running
+    /// instrumented (counter updates; the timer read is charged separately).
+    pub instrument_cost: Duration,
+    /// Allow sampling and production intervals to span multiple executions
+    /// of the same parallel section (the improvement the paper proposes in
+    /// §4.4 for sections too short to amortize a full sampling phase).
+    /// When enabled, a section execution that ends mid-interval carries the
+    /// interval's elapsed time and accumulated measurements into the
+    /// section's next execution instead of restarting the sampling phase.
+    pub span_intervals: bool,
+}
+
+impl RunConfig {
+    /// A static run of `policy` on `num_procs` processors.
+    #[must_use]
+    pub fn fixed(num_procs: usize, policy: &str) -> Self {
+        RunConfig {
+            num_procs,
+            mode: RunMode::static_policy(policy),
+            machine: MachineConfig::default(),
+            instrument_cost: Duration::from_nanos(100),
+            span_intervals: false,
+        }
+    }
+
+    /// A dynamic feedback run on `num_procs` processors.
+    #[must_use]
+    pub fn dynamic(num_procs: usize, controller: ControllerConfig) -> Self {
+        RunConfig {
+            num_procs,
+            mode: RunMode::Dynamic(controller),
+            machine: MachineConfig::default(),
+            instrument_cost: Duration::from_nanos(100),
+            span_intervals: false,
+        }
+    }
+}
+
+/// One completed interval, as recorded at a switch barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleRecord {
+    /// Virtual time when the interval completed.
+    pub at: SimTime,
+    /// Phase the interval belonged to.
+    pub phase: Phase,
+    /// Version that was executing.
+    pub version: usize,
+    /// Measured total overhead over the interval.
+    pub overhead: f64,
+    /// Actual (effective) interval length.
+    pub actual: Duration,
+    /// True if the section ended before the interval reached its target
+    /// (the record is a partial interval).
+    pub partial: bool,
+}
+
+/// The record of one execution of one section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionExecution {
+    /// Index into the plan.
+    pub plan_idx: usize,
+    /// Section name.
+    pub name: String,
+    /// Serial or parallel.
+    pub kind: SectionKind,
+    /// Virtual time the section started.
+    pub start: SimTime,
+    /// Virtual time the section ended (all processors passed the final
+    /// barrier).
+    pub end: SimTime,
+    /// Number of loop iterations executed (parallel sections).
+    pub iterations: usize,
+    /// Completed intervals (dynamic mode only).
+    pub records: Vec<SampleRecord>,
+}
+
+impl SectionExecution {
+    /// Duration of this execution.
+    #[must_use]
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// Result of running an application.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// Application name.
+    pub app: String,
+    /// Full machine statistics.
+    pub stats: MachineStats,
+    /// Per-section execution records, in plan order.
+    pub sections: Vec<SectionExecution>,
+}
+
+impl AppReport {
+    /// Total virtual execution time.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.stats.elapsed()
+    }
+
+    /// Executions of the named section.
+    pub fn section<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a SectionExecution> + 'a {
+        self.sections.iter().filter(move |s| s.name == name)
+    }
+
+    /// Mean duration of the named section's executions.
+    #[must_use]
+    pub fn mean_section_duration(&self, name: &str) -> Option<Duration> {
+        let durs: Vec<Duration> = self.section(name).map(SectionExecution::duration).collect();
+        if durs.is_empty() {
+            return None;
+        }
+        Some(durs.iter().sum::<Duration>() / u32::try_from(durs.len()).unwrap_or(u32::MAX))
+    }
+
+    /// Mean *effective sampling interval* per version of the named section:
+    /// the mean actual length of completed sampling intervals (§4.1,
+    /// Tables 5/11/12 of the paper). Indexed by version.
+    #[must_use]
+    pub fn mean_effective_sampling_intervals(&self, name: &str) -> Vec<Option<Duration>> {
+        let mut sums: Vec<(Duration, u32)> = Vec::new();
+        for exec in self.section(name) {
+            for r in &exec.records {
+                if r.phase.is_sampling() && !r.partial {
+                    if sums.len() <= r.version {
+                        sums.resize(r.version + 1, (Duration::ZERO, 0));
+                    }
+                    sums[r.version].0 += r.actual;
+                    sums[r.version].1 += 1;
+                }
+            }
+        }
+        sums.into_iter()
+            .map(|(total, n)| if n == 0 { None } else { Some(total / n) })
+            .collect()
+    }
+}
+
+/// Shared per-run state (single-threaded simulation: `Rc<RefCell>`).
+struct Driver<'a> {
+    app: Box<dyn SimApp + 'a>,
+    plan: Vec<PlanEntry>,
+    mode: RunMode,
+    active: Option<Active>,
+    reports: Vec<SectionExecution>,
+    /// Controllers persisted per section name across executions, so the
+    /// policy history survives (enables the §4.5 best-first ordering and
+    /// acceptance cut-off on later executions of the same section).
+    controllers: std::collections::HashMap<String, SavedController>,
+    /// §4.4 extension: carry in-flight intervals across executions.
+    span_intervals: bool,
+}
+
+/// A controller saved between executions of one section, together with the
+/// in-flight interval it was carrying when the section ended (span mode).
+struct SavedController {
+    controller: Controller,
+    /// `(elapsed, accumulated stats)` of the interrupted interval.
+    carry: Option<(Duration, ProcStats)>,
+}
+
+/// State of the section currently executing.
+struct Active {
+    plan_idx: usize,
+    kind: SectionKind,
+    total_iters: usize,
+    issued_iters: usize,
+    version: usize,
+    controller: Option<Controller>,
+    interval_start: SimTime,
+    snapshot: ProcStats,
+    switch_requested: bool,
+    finishing: bool,
+    section_over: bool,
+    start: SimTime,
+    records: Vec<SampleRecord>,
+}
+
+impl<'a> Driver<'a> {
+    /// Initialize section `plan_idx` if not already active. `totals` are
+    /// machine-wide stats at `now` (the baseline for the first interval's
+    /// overhead measurement).
+    fn ensure_active(&mut self, plan_idx: usize, now: SimTime, totals: ProcStats) {
+        let stale = match &self.active {
+            Some(a) => a.plan_idx != plan_idx || a.section_over,
+            None => true,
+        };
+        if !stale {
+            return;
+        }
+        debug_assert!(
+            self.active.as_ref().map_or(true, |a| a.section_over),
+            "previous section must be finalized"
+        );
+        let entry = self.plan[plan_idx].clone();
+        let init = match entry.kind {
+            SectionKind::Serial => (0, 0, None, now, totals.clone()),
+            SectionKind::Parallel => {
+                let iters = self.app.begin_parallel(&entry.name);
+                let versions = self.app.versions(&entry.name);
+                assert!(!versions.is_empty(), "parallel section must have versions");
+                match &self.mode {
+                    RunMode::Static { policy, .. } => {
+                        let v = self
+                            .app
+                            .version_for_policy(&entry.name, policy)
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "section `{}` has no version for policy `{policy}` \
+                                     (available: {versions:?})",
+                                    entry.name
+                                )
+                            });
+                        (iters, v, None, now, totals.clone())
+                    }
+                    RunMode::Dynamic(cfg) | RunMode::DynamicAsync(cfg) => {
+                        let saved = self.controllers.remove(&entry.name);
+                        let (mut ctl, carry) = match saved {
+                            Some(s) => (s.controller, s.carry),
+                            None => {
+                                let mut cfg = cfg.clone();
+                                cfg.num_policies = versions.len();
+                                (Controller::new(cfg), None)
+                            }
+                        };
+                        match (self.span_intervals, carry) {
+                            (true, Some((elapsed, carried))) => {
+                                // §4.4 extension: resume the interrupted
+                                // interval. Backdate its start by the time
+                                // already consumed, and re-base the stats
+                                // snapshot so the work between executions
+                                // (other sections) is excluded from the
+                                // interval's measurement.
+                                let version = ctl.current_policy();
+                                let backdated = SimTime::from_nanos(
+                                    now.as_nanos()
+                                        .saturating_sub(elapsed.as_nanos() as u64),
+                                );
+                                let rebased = totals.since(&carried);
+                                (iters, version, Some(ctl), backdated, rebased)
+                            }
+                            _ => {
+                                let first = ctl.begin_section();
+                                (iters, first, Some(ctl), now, totals)
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        let (total_iters, version, controller, interval_start, snapshot) = init;
+        self.active = Some(Active {
+            plan_idx,
+            kind: entry.kind,
+            total_iters,
+            issued_iters: 0,
+            version,
+            controller,
+            interval_start,
+            snapshot,
+            switch_requested: false,
+            finishing: entry.kind == SectionKind::Serial,
+            section_over: false,
+            start: now,
+            records: Vec::new(),
+        });
+    }
+
+    /// Complete the current interval: measure, record, and ask the
+    /// controller for the next policy. Shared by the synchronous (barrier
+    /// leader) and asynchronous (detecting processor) switch paths.
+    fn apply_transition(&mut self, now: SimTime, totals: ProcStats) {
+        let Some(active) = self.active.as_mut() else { return };
+        if let Some(ctl) = active.controller.as_mut() {
+            let actual = now - active.interval_start;
+            let sample = totals.since(&active.snapshot).overhead_sample();
+            active.records.push(SampleRecord {
+                at: now,
+                phase: ctl.phase(),
+                version: ctl.current_policy(),
+                overhead: sample.total_overhead(),
+                actual,
+                partial: false,
+            });
+            let transition = ctl.complete_interval(sample);
+            active.version = transition.policy();
+            active.interval_start = now;
+            active.snapshot = totals;
+        }
+    }
+
+    /// Leader maintenance at a barrier: apply a pending switch and/or
+    /// finalize the section. `totals` are machine-wide stats at `now`.
+    fn leader_maintenance(&mut self, now: SimTime, totals: ProcStats) {
+        let over = self.active.as_ref().map_or(true, |a| a.section_over);
+        if over {
+            return;
+        }
+        if self.active.as_ref().is_some_and(|a| a.switch_requested) {
+            self.apply_transition(now, totals);
+            if let Some(active) = self.active.as_mut() {
+                active.switch_requested = false;
+            }
+        }
+        let span = self.span_intervals;
+        let Some(active) = self.active.as_mut() else { return };
+        if active.finishing && active.issued_iters >= active.total_iters {
+            let mut carry = None;
+            if let Some(ctl) = active.controller.as_mut() {
+                let actual = now - active.interval_start;
+                if span {
+                    // §4.4 extension: the in-flight interval continues in
+                    // the section's next execution.
+                    carry = Some((actual, totals.since(&active.snapshot)));
+                } else {
+                    // Record the final, partial interval of the section.
+                    if !actual.is_zero() {
+                        let sample = totals.since(&active.snapshot).overhead_sample();
+                        active.records.push(SampleRecord {
+                            at: now,
+                            phase: ctl.phase(),
+                            version: ctl.current_policy(),
+                            overhead: sample.total_overhead(),
+                            actual,
+                            partial: true,
+                        });
+                    }
+                    ctl.end_section();
+                }
+            }
+            active.section_over = true;
+            let entry = &self.plan[active.plan_idx];
+            let name = entry.name.clone();
+            self.reports.push(SectionExecution {
+                plan_idx: active.plan_idx,
+                name: name.clone(),
+                kind: active.kind,
+                start: active.start,
+                end: now,
+                iterations: active.total_iters,
+                records: std::mem::take(&mut active.records),
+            });
+            // Persist the controller (and its policy history) for the next
+            // execution of this section.
+            if let Some(controller) = active.controller.take() {
+                self.controllers.insert(name, SavedController { controller, carry });
+            }
+        }
+    }
+}
+
+/// Per-processor process state.
+enum PState {
+    /// About to begin plan entry `pos` (or finish if out of entries).
+    NextEntry,
+    /// Draining the op queue; then go to `after`.
+    Drain(AfterDrain),
+    /// Poll the timer and check interval expiration (dynamic mode).
+    PollTimer,
+    /// Just returned from a barrier.
+    AfterBarrier,
+    /// Finished.
+    Finished,
+}
+
+#[derive(Clone, Copy)]
+enum AfterDrain {
+    /// After a serial body: go to the section barrier.
+    ToBarrier,
+    /// After an iteration body: poll the timer (dynamic/instrumented) or
+    /// fetch the next iteration directly.
+    NextIteration { poll: bool },
+}
+
+struct AppProcess<'a> {
+    driver: Rc<RefCell<Driver<'a>>>,
+    proc_index: usize,
+    pos: usize,
+    state: PState,
+    queue: VecDeque<Step>,
+    barrier: BarrierId,
+    instrument_cost: Duration,
+    instrumented_static: bool,
+}
+
+impl<'a> AppProcess<'a> {
+    /// Take the next loop iteration (or initiate the section-ending
+    /// rendezvous), returning the next step.
+    fn parallel_step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        let totals = ctx.total_stats();
+        let mut driver = self.driver.borrow_mut();
+        driver.ensure_active(self.pos, ctx.now(), totals);
+        let dynamic = matches!(driver.mode, RunMode::Dynamic(_) | RunMode::DynamicAsync(_));
+        let active = driver.active.as_mut().expect("active section");
+
+        if active.switch_requested || active.finishing {
+            self.state = PState::AfterBarrier;
+            return Step::Barrier(self.barrier);
+        }
+        if active.issued_iters >= active.total_iters {
+            active.finishing = true;
+            self.state = PState::AfterBarrier;
+            return Step::Barrier(self.barrier);
+        }
+        let iter = active.issued_iters;
+        active.issued_iters += 1;
+        let version = active.version;
+        let section = driver.plan[self.pos].name.clone();
+        let mut sink = OpSink::default();
+        driver.app.emit_iteration(&section, version, iter, &mut sink);
+        self.queue = sink.into_steps();
+        let poll = dynamic || self.instrumented_static;
+        if poll {
+            ctx.charge(self.instrument_cost);
+        }
+        self.state = PState::Drain(AfterDrain::NextIteration { poll });
+        drop(driver);
+        self.drain(ctx)
+    }
+
+    /// Return the next queued step, or transition to the continuation.
+    fn drain(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if let Some(step) = self.queue.pop_front() {
+            return step;
+        }
+        let after = match self.state {
+            PState::Drain(a) => a,
+            _ => unreachable!("drain called outside Drain state"),
+        };
+        match after {
+            AfterDrain::ToBarrier => {
+                self.state = PState::AfterBarrier;
+                Step::Barrier(self.barrier)
+            }
+            AfterDrain::NextIteration { poll } => {
+                if poll {
+                    self.state = PState::PollTimer;
+                    self.poll_timer(ctx)
+                } else {
+                    self.state = PState::NextEntry; // re-enters parallel_step
+                    self.parallel_step(ctx)
+                }
+            }
+        }
+    }
+
+    /// Potential switch point (§4.1): read the timer; request a switch if
+    /// the current interval has expired.
+    fn poll_timer(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        let t = ctx.read_timer();
+        let totals = ctx.total_stats();
+        let mut driver = self.driver.borrow_mut();
+        let asynchronous = matches!(driver.mode, RunMode::DynamicAsync(_));
+        let expired = driver.active.as_ref().is_some_and(|active| {
+            active
+                .controller
+                .as_ref()
+                .is_some_and(|ctl| t - active.interval_start >= ctl.target_interval())
+        });
+        if expired {
+            if asynchronous {
+                // Asynchronous switching: transition immediately, no
+                // rendezvous; the other processors observe the new version
+                // at their next iteration.
+                driver.apply_transition(t, totals);
+            } else if let Some(active) = driver.active.as_mut() {
+                if !active.switch_requested {
+                    active.switch_requested = true;
+                }
+            }
+        }
+        drop(driver);
+        self.state = PState::NextEntry;
+        Step::Yield
+    }
+}
+
+impl<'a> Process for AppProcess<'a> {
+    fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        match self.state {
+            PState::Finished => Step::Done,
+            PState::Drain(_) => self.drain(ctx),
+            PState::PollTimer => unreachable!("poll handled inline"),
+            PState::AfterBarrier => {
+                if ctx.is_barrier_leader() {
+                    let totals = ctx.total_stats();
+                    self.driver.borrow_mut().leader_maintenance(ctx.now(), totals);
+                }
+                // Decide whether the section continues or is over.
+                let driver = self.driver.borrow();
+                let over = match &driver.active {
+                    Some(a) => a.plan_idx != self.pos || a.section_over,
+                    None => true,
+                };
+                drop(driver);
+                if over {
+                    self.pos += 1;
+                }
+                self.state = PState::NextEntry;
+                Step::Yield
+            }
+            PState::NextEntry => {
+                let plan_len = self.driver.borrow().plan.len();
+                if self.pos >= plan_len {
+                    self.state = PState::Finished;
+                    return Step::Done;
+                }
+                let kind = self.driver.borrow().plan[self.pos].kind;
+                match kind {
+                    SectionKind::Serial => {
+                        let totals = ctx.total_stats();
+                        let mut driver = self.driver.borrow_mut();
+                        driver.ensure_active(self.pos, ctx.now(), totals);
+                        if self.proc_index == 0 {
+                            let section = driver.plan[self.pos].name.clone();
+                            let mut sink = OpSink::default();
+                            driver.app.emit_serial(&section, &mut sink);
+                            self.queue = sink.into_steps();
+                            drop(driver);
+                            self.state = PState::Drain(AfterDrain::ToBarrier);
+                            self.drain(ctx)
+                        } else {
+                            drop(driver);
+                            self.state = PState::AfterBarrier;
+                            Step::Barrier(self.barrier)
+                        }
+                    }
+                    SectionKind::Parallel => self.parallel_step(ctx),
+                }
+            }
+        }
+    }
+}
+
+/// Run an application on the simulated machine.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the engine (an application whose lock
+/// usage deadlocks, for instance).
+///
+/// # Panics
+///
+/// Panics if `config.num_procs == 0`, or in static mode if some parallel
+/// section has no version implementing the requested policy.
+pub fn run_app<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppReport, SimError> {
+    run_app_impl(app, config)
+}
+
+/// Like [`run_app`], but borrows the application so the caller can inspect
+/// its state (e.g. the program heap) after the run.
+///
+/// # Errors
+///
+/// Same as [`run_app`].
+pub fn run_app_ref<A: SimApp>(app: &mut A, config: &RunConfig) -> Result<AppReport, SimError> {
+    run_app_impl(app, config)
+}
+
+fn run_app_impl<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppReport, SimError> {
+    assert!(config.num_procs > 0, "need at least one processor");
+    let mut machine = Machine::new(config.machine);
+    let mut app = app;
+    app.setup(&mut machine);
+    let barrier = machine.add_barrier(config.num_procs);
+    let name = app.name().to_string();
+    let plan = app.plan();
+    let instrumented_static = match &config.mode {
+        RunMode::Static { instrumented, .. } => *instrumented,
+        RunMode::Dynamic(_) | RunMode::DynamicAsync(_) => false,
+    };
+    let driver = Rc::new(RefCell::new(Driver {
+        app: Box::new(app),
+        plan,
+        mode: config.mode.clone(),
+        active: None,
+        reports: Vec::new(),
+        controllers: std::collections::HashMap::new(),
+        span_intervals: config.span_intervals,
+    }));
+    let processes: Vec<Box<dyn Process + '_>> = (0..config.num_procs)
+        .map(|p| {
+            Box::new(AppProcess {
+                driver: Rc::clone(&driver),
+                proc_index: p,
+                pos: 0,
+                state: PState::NextEntry,
+                queue: VecDeque::new(),
+                barrier,
+                instrument_cost: config.instrument_cost,
+                instrumented_static,
+            }) as Box<dyn Process + '_>
+        })
+        .collect();
+    let stats = machine.run(processes)?;
+    let driver = Rc::try_unwrap(driver)
+        .unwrap_or_else(|_| unreachable!("all processes dropped"))
+        .into_inner();
+    Ok(AppReport { app: name, stats, sections: driver.reports })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy app: one serial section and one parallel section with two
+    /// versions. Version "original" locks per iteration 8 times; version
+    /// "aggressive" locks once. Each processor updates a disjoint
+    /// accumulator, so the aggressive version is strictly better.
+    struct Toy {
+        iterations: usize,
+        locks: Vec<LockId>,
+        sum: u64,
+    }
+
+    impl Toy {
+        fn new(iterations: usize) -> Self {
+            Toy { iterations, locks: Vec::new(), sum: 0 }
+        }
+    }
+
+    impl SimApp for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn setup(&mut self, machine: &mut Machine) {
+            let first = machine.add_locks(64);
+            self.locks = (0..64).map(|i| LockId(first.index() + i)).collect();
+        }
+        fn plan(&self) -> Vec<PlanEntry> {
+            vec![PlanEntry::serial("init"), PlanEntry::parallel("work")]
+        }
+        fn versions(&self, _section: &str) -> Vec<String> {
+            vec!["original".to_string(), "aggressive".to_string()]
+        }
+        fn emit_serial(&mut self, _section: &str, ops: &mut OpSink) {
+            ops.compute(Duration::from_millis(1));
+        }
+        fn begin_parallel(&mut self, _section: &str) -> usize {
+            self.iterations
+        }
+        fn emit_iteration(&mut self, _s: &str, version: usize, iter: usize, ops: &mut OpSink) {
+            let lock = self.locks[iter % self.locks.len()];
+            self.sum += iter as u64;
+            match version {
+                0 => {
+                    for _ in 0..8 {
+                        ops.acquire(lock);
+                        ops.compute(Duration::from_micros(5));
+                        ops.release(lock);
+                    }
+                }
+                _ => {
+                    ops.acquire(lock);
+                    ops.compute(Duration::from_micros(40));
+                    ops.release(lock);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_runs_complete_and_apply_all_iterations() {
+        let report = run_app(Toy::new(100), &RunConfig::fixed(4, "original")).unwrap();
+        assert_eq!(report.sections.len(), 2);
+        assert_eq!(report.sections[1].iterations, 100);
+        // 8 acquires per iteration.
+        assert_eq!(report.stats.totals().acquires, 800);
+    }
+
+    #[test]
+    fn aggressive_static_is_faster_here() {
+        let orig = run_app(Toy::new(400), &RunConfig::fixed(4, "original")).unwrap();
+        let aggr = run_app(Toy::new(400), &RunConfig::fixed(4, "aggressive")).unwrap();
+        assert!(aggr.elapsed() < orig.elapsed());
+        assert_eq!(aggr.stats.totals().acquires, 400);
+    }
+
+    #[test]
+    fn dynamic_feedback_converges_to_aggressive() {
+        let ctl = ControllerConfig {
+            target_sampling: Duration::from_micros(500),
+            target_production: Duration::from_millis(5),
+            ..ControllerConfig::default()
+        };
+        let report = run_app(Toy::new(4_000), &RunConfig::dynamic(4, ctl)).unwrap();
+        let work = report.section("work").next().unwrap();
+        assert!(!work.records.is_empty(), "must have sampled");
+        // Find the first production record: it must use version 1.
+        let prod = work
+            .records
+            .iter()
+            .find(|r| r.phase.is_production())
+            .expect("reached production");
+        assert_eq!(prod.version, 1, "records: {:?}", work.records);
+        // Sampling must have measured both versions.
+        let sampled: std::collections::BTreeSet<usize> = work
+            .records
+            .iter()
+            .filter(|r| r.phase.is_sampling() && !r.partial)
+            .map(|r| r.version)
+            .collect();
+        assert!(sampled.contains(&0) && sampled.contains(&1));
+    }
+
+    #[test]
+    fn dynamic_close_to_best_static() {
+        let ctl = ControllerConfig {
+            target_sampling: Duration::from_micros(500),
+            target_production: Duration::from_millis(50),
+            ..ControllerConfig::default()
+        };
+        let best = run_app(Toy::new(4_000), &RunConfig::fixed(4, "aggressive")).unwrap();
+        let dynamic = run_app(Toy::new(4_000), &RunConfig::dynamic(4, ctl)).unwrap();
+        let ratio = dynamic.elapsed().as_secs_f64() / best.elapsed().as_secs_f64();
+        assert!(ratio < 1.5, "dynamic {:?} vs best {:?}", dynamic.elapsed(), best.elapsed());
+        // And it must beat the worst static version.
+        let worst = run_app(Toy::new(4_000), &RunConfig::fixed(4, "original")).unwrap();
+        assert!(dynamic.elapsed() < worst.elapsed());
+    }
+
+    #[test]
+    fn single_processor_dynamic_works() {
+        let ctl = ControllerConfig {
+            target_sampling: Duration::from_micros(500),
+            target_production: Duration::from_millis(5),
+            ..ControllerConfig::default()
+        };
+        let report = run_app(Toy::new(500), &RunConfig::dynamic(1, ctl)).unwrap();
+        assert_eq!(report.sections.len(), 2);
+        assert_eq!(report.sections[1].iterations, 500);
+    }
+
+    #[test]
+    fn serial_section_runs_on_proc_zero_only() {
+        let report = run_app(Toy::new(10), &RunConfig::fixed(4, "aggressive")).unwrap();
+        // Serial section compute (1ms) lands on proc 0.
+        assert!(report.stats.procs[0].compute >= Duration::from_millis(1));
+        // Other procs idled at the barrier during the serial section.
+        assert!(report.stats.procs[1].barrier_wait >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn effective_sampling_intervals_are_reported() {
+        let ctl = ControllerConfig {
+            // Tiny target: effective interval is bounded below by iteration size.
+            target_sampling: Duration::from_nanos(1),
+            target_production: Duration::from_millis(5),
+            ..ControllerConfig::default()
+        };
+        let report = run_app(Toy::new(2_000), &RunConfig::dynamic(2, ctl)).unwrap();
+        let eff = report.mean_effective_sampling_intervals("work");
+        assert!(eff.len() >= 2);
+        for (v, d) in eff.iter().enumerate() {
+            let d = d.unwrap_or_else(|| panic!("version {v} never sampled"));
+            assert!(d > Duration::from_micros(30), "effective interval {d:?}");
+        }
+    }
+
+    #[test]
+    fn determinism_of_full_runs() {
+        let ctl = ControllerConfig {
+            target_sampling: Duration::from_micros(300),
+            target_production: Duration::from_millis(2),
+            ..ControllerConfig::default()
+        };
+        let a = run_app(Toy::new(1_000), &RunConfig::dynamic(3, ctl.clone())).unwrap();
+        let b = run_app(Toy::new(1_000), &RunConfig::dynamic(3, ctl)).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.sections, b.sections);
+    }
+
+    #[test]
+    fn instrumented_static_charges_polling() {
+        let mut cfg = RunConfig::fixed(2, "aggressive");
+        let plain = run_app(Toy::new(500), &cfg).unwrap();
+        cfg.mode = RunMode::Static { policy: "aggressive".into(), instrumented: true };
+        let instr = run_app(Toy::new(500), &cfg).unwrap();
+        assert!(instr.stats.totals().timer_reads > 0);
+        assert!(instr.elapsed() >= plain.elapsed());
+        // The paper's observation: instrumentation overhead is small.
+        let ratio = instr.elapsed().as_secs_f64() / plain.elapsed().as_secs_f64();
+        assert!(ratio < 1.6, "instrumentation ratio {ratio}");
+    }
+}
+
+#[cfg(test)]
+mod span_tests {
+    use super::*;
+
+    /// A two-execution section whose per-execution work is smaller than a
+    /// sampling phase: without spanning, each execution restarts sampling;
+    /// with spanning, the second execution resumes mid-phase.
+    struct TinySections {
+        lock: Option<LockId>,
+    }
+
+    impl SimApp for TinySections {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn setup(&mut self, machine: &mut Machine) {
+            self.lock = Some(machine.add_lock());
+        }
+        fn plan(&self) -> Vec<PlanEntry> {
+            vec![
+                PlanEntry::parallel("work"),
+                PlanEntry::serial("between"),
+                PlanEntry::parallel("work"),
+                PlanEntry::serial("between"),
+                PlanEntry::parallel("work"),
+            ]
+        }
+        fn versions(&self, _s: &str) -> Vec<String> {
+            vec!["a".into(), "b".into()]
+        }
+        fn emit_serial(&mut self, _s: &str, ops: &mut OpSink) {
+            ops.compute(Duration::from_micros(200));
+        }
+        fn begin_parallel(&mut self, _s: &str) -> usize {
+            40
+        }
+        fn emit_iteration(&mut self, _s: &str, version: usize, _iter: usize, ops: &mut OpSink) {
+            let lock = self.lock.expect("setup ran");
+            // Version a locks 4 times per iteration, version b once.
+            let n = if version == 0 { 4 } else { 1 };
+            for _ in 0..n {
+                ops.acquire(lock);
+                ops.compute(Duration::from_micros(2));
+                ops.release(lock);
+            }
+            ops.compute(Duration::from_micros(10));
+        }
+    }
+
+    fn ctl() -> ControllerConfig {
+        ControllerConfig {
+            num_policies: 2,
+            // Each sampling interval spans roughly one whole execution.
+            target_sampling: Duration::from_micros(400),
+            target_production: Duration::from_millis(50),
+            ..ControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn spanning_continues_phases_across_executions() {
+        let mut cfg = RunConfig::dynamic(2, ctl());
+        cfg.span_intervals = true;
+        let report = run_app(TinySections { lock: None }, &cfg).unwrap();
+        // With spanning, no partial intervals are recorded and sampling
+        // continues across executions: the distinct versions both get
+        // sampled even though one execution fits only one interval.
+        let records: Vec<&SampleRecord> = report
+            .section("work")
+            .flat_map(|e| e.records.iter())
+            .collect();
+        assert!(records.iter().all(|r| !r.partial), "{records:?}");
+        let sampled: std::collections::BTreeSet<usize> = records
+            .iter()
+            .filter(|r| r.phase.is_sampling())
+            .map(|r| r.version)
+            .collect();
+        assert!(sampled.len() >= 2, "both versions sampled across executions: {records:?}");
+    }
+
+    #[test]
+    fn without_spanning_each_execution_resamples() {
+        let cfg = RunConfig::dynamic(2, ctl());
+        let report = run_app(TinySections { lock: None }, &cfg).unwrap();
+        // Every execution begins its own sampling phase with version 0.
+        for exec in report.section("work") {
+            let first = exec.records.first().expect("records");
+            assert!(first.phase.is_sampling());
+            assert_eq!(first.version, 0);
+        }
+    }
+
+    #[test]
+    fn spanning_excludes_inter_section_work_from_intervals() {
+        let mut cfg = RunConfig::dynamic(2, ctl());
+        cfg.span_intervals = true;
+        let report = run_app(TinySections { lock: None }, &cfg).unwrap();
+        // Every completed sampling interval's measured execution time must
+        // be of the order of the interval itself — if the serial sections
+        // in between leaked into the measurement, overheads would be
+        // diluted below any plausible value for version 0 (4 lock pairs
+        // per ~18us iteration).
+        let v0_sampling: Vec<f64> = report
+            .section("work")
+            .flat_map(|e| e.records.iter())
+            .filter(|r| r.phase.is_sampling() && r.version == 0)
+            .map(|r| r.overhead)
+            .collect();
+        assert!(!v0_sampling.is_empty());
+        for o in v0_sampling {
+            assert!(o > 0.05, "overhead diluted: {o}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    struct Tiny {
+        iters: usize,
+    }
+    impl SimApp for Tiny {
+        fn name(&self) -> &str {
+            "tiny-edge"
+        }
+        fn setup(&mut self, _machine: &mut Machine) {}
+        fn plan(&self) -> Vec<PlanEntry> {
+            vec![PlanEntry::parallel("work"), PlanEntry::serial("tail")]
+        }
+        fn versions(&self, _s: &str) -> Vec<String> {
+            vec!["only".to_string()]
+        }
+        fn emit_serial(&mut self, _s: &str, ops: &mut OpSink) {
+            ops.compute(Duration::from_micros(5));
+        }
+        fn begin_parallel(&mut self, _s: &str) -> usize {
+            self.iters
+        }
+        fn emit_iteration(&mut self, _s: &str, _v: usize, _i: usize, ops: &mut OpSink) {
+            ops.compute(Duration::from_micros(10));
+        }
+    }
+
+    #[test]
+    fn zero_iteration_parallel_section_completes() {
+        for mode in [RunMode::static_policy("only"), RunMode::Dynamic(ControllerConfig {
+            num_policies: 1,
+            ..ControllerConfig::default()
+        })] {
+            let cfg = RunConfig {
+                num_procs: 4,
+                mode,
+                machine: MachineConfig::default(),
+                instrument_cost: Duration::ZERO,
+                span_intervals: false,
+            };
+            let report = run_app(Tiny { iters: 0 }, &cfg).expect("runs");
+            assert_eq!(report.sections.len(), 2);
+            assert_eq!(report.sections[0].iterations, 0);
+        }
+    }
+
+    #[test]
+    fn more_processors_than_iterations() {
+        let report =
+            run_app(Tiny { iters: 3 }, &RunConfig::fixed(8, "only")).expect("runs");
+        assert_eq!(report.sections[0].iterations, 3);
+        // Three processors did the work; all eight finished.
+        assert_eq!(report.stats.procs.len(), 8);
+    }
+
+    #[test]
+    fn single_iteration_dynamic_section() {
+        let cfg = RunConfig::dynamic(
+            4,
+            ControllerConfig { num_policies: 1, ..ControllerConfig::default() },
+        );
+        let report = run_app(Tiny { iters: 1 }, &cfg).expect("runs");
+        assert_eq!(report.sections[0].iterations, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Accounting: per-processor and machine-wide statistics.
+
+use crate::time::SimTime;
+use dynfb_core::overhead::{OverheadCounters, OverheadSample};
+use std::time::Duration;
+
+/// Time and event accounting for one simulated processor.
+///
+/// The paper's notion of *execution time* (time spent executing application
+/// code, §4.3) corresponds to [`busy`](ProcStats::busy): useful computation
+/// plus locking, waiting, and timer-polling time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Time spent in useful computation.
+    pub compute: Duration,
+    /// Time spent successfully acquiring and releasing locks.
+    pub lock_time: Duration,
+    /// Time spent spinning on locks held by other processors.
+    pub wait_time: Duration,
+    /// Time spent waiting at barriers for other processors.
+    pub barrier_wait: Duration,
+    /// Time spent reading the timer.
+    pub timer_time: Duration,
+    /// Successful lock acquires.
+    pub acquires: u64,
+    /// Failed lock acquire attempts.
+    pub failed_attempts: u64,
+    /// Timer reads.
+    pub timer_reads: u64,
+    /// Virtual time when the processor's process finished (if it did).
+    pub done_at: Option<SimTime>,
+}
+
+impl ProcStats {
+    /// Execution time: all time the processor spent executing application
+    /// code, including overheads (but not barrier waits, which the paper
+    /// attributes to the parallelization rather than synchronization).
+    #[must_use]
+    pub fn busy(&self) -> Duration {
+        self.compute + self.lock_time + self.wait_time + self.timer_time
+    }
+
+    /// Add another processor's stats (for machine-wide aggregation).
+    pub fn accumulate(&mut self, other: &ProcStats) {
+        self.compute += other.compute;
+        self.lock_time += other.lock_time;
+        self.wait_time += other.wait_time;
+        self.barrier_wait += other.barrier_wait;
+        self.timer_time += other.timer_time;
+        self.acquires += other.acquires;
+        self.failed_attempts += other.failed_attempts;
+        self.timer_reads += other.timer_reads;
+    }
+
+    /// Componentwise difference (`self` is a later snapshot than `earlier`).
+    #[must_use]
+    pub fn since(&self, earlier: &ProcStats) -> ProcStats {
+        ProcStats {
+            compute: self.compute - earlier.compute,
+            lock_time: self.lock_time - earlier.lock_time,
+            wait_time: self.wait_time - earlier.wait_time,
+            barrier_wait: self.barrier_wait - earlier.barrier_wait,
+            timer_time: self.timer_time - earlier.timer_time,
+            acquires: self.acquires - earlier.acquires,
+            failed_attempts: self.failed_attempts - earlier.failed_attempts,
+            timer_reads: self.timer_reads - earlier.timer_reads,
+            done_at: self.done_at,
+        }
+    }
+
+    /// The instrumentation counters of this snapshot.
+    #[must_use]
+    pub fn counters(&self) -> OverheadCounters {
+        OverheadCounters { acquires: self.acquires, failed_attempts: self.failed_attempts }
+    }
+
+    /// Overhead sample over this snapshot: locking and waiting time against
+    /// execution time (§4.3).
+    #[must_use]
+    pub fn overhead_sample(&self) -> OverheadSample {
+        OverheadSample { locking: self.lock_time, waiting: self.wait_time, execution: self.busy() }
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineStats {
+    /// Per-processor statistics.
+    pub procs: Vec<ProcStats>,
+    /// Virtual time when the last processor finished.
+    pub finished_at: SimTime,
+}
+
+impl MachineStats {
+    /// Machine-wide totals, summed across processors.
+    #[must_use]
+    pub fn totals(&self) -> ProcStats {
+        let mut total = ProcStats::default();
+        for p in &self.procs {
+            total.accumulate(p);
+        }
+        total
+    }
+
+    /// Wall-clock (virtual) execution time of the whole run.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.finished_at - SimTime::ZERO
+    }
+
+    /// Waiting proportion as defined for Figure 7 of the paper: total time
+    /// spent waiting to acquire locks, divided by `elapsed × processors`.
+    #[must_use]
+    pub fn waiting_proportion(&self) -> f64 {
+        let denom = self.elapsed().as_secs_f64() * self.procs.len() as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.totals().wait_time.as_secs_f64() / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_sums_components() {
+        let s = ProcStats {
+            compute: Duration::from_millis(10),
+            lock_time: Duration::from_millis(2),
+            wait_time: Duration::from_millis(3),
+            timer_time: Duration::from_millis(1),
+            ..ProcStats::default()
+        };
+        assert_eq!(s.busy(), Duration::from_millis(16));
+        let o = s.overhead_sample();
+        assert!((o.total_overhead() - 5.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let a = ProcStats { acquires: 5, compute: Duration::from_millis(1), ..Default::default() };
+        let b = ProcStats { acquires: 9, compute: Duration::from_millis(4), ..Default::default() };
+        let d = b.since(&a);
+        assert_eq!(d.acquires, 4);
+        assert_eq!(d.compute, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn waiting_proportion_bounds() {
+        let stats = MachineStats {
+            procs: vec![
+                ProcStats { wait_time: Duration::from_secs(1), ..Default::default() },
+                ProcStats::default(),
+            ],
+            finished_at: SimTime::ZERO + Duration::from_secs(2),
+        };
+        assert!((stats.waiting_proportion() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Virtual time for the simulated multiprocessor.
+//!
+//! Simulation time is a nanosecond counter starting at zero. Durations are
+//! plain [`std::time::Duration`] so the rest of the workspace (notably the
+//! execution-agnostic controller in `dynfb-core`) needs no custom types.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant of virtual time: nanoseconds since the start of simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw nanoseconds.
+    #[must_use]
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Raw nanoseconds since the start of simulation.
+    #[must_use]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed as a [`Duration`] since simulation start.
+    #[must_use]
+    pub fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Seconds since simulation start, as a float (for reports).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.as_duration().as_secs_f64()
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> Duration {
+        debug_assert!(earlier <= self, "time went backwards: {earlier} > {self}");
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + u64::try_from(rhs.as_nanos()).expect("duration overflow"))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::ZERO + Duration::from_micros(9);
+        assert_eq!(t.as_nanos(), 9_000);
+        assert_eq!(t - SimTime::ZERO, Duration::from_micros(9));
+        assert_eq!(t.since(SimTime::from_nanos(4_000)), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn display_in_seconds() {
+        let t = SimTime::from_nanos(1_500_000_000);
+        assert_eq!(t.to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the discrete-event engine: invariants that
+//! must hold for arbitrary (well-formed) workloads.
+
+use dynfb_sim::{Machine, MachineConfig, ProcCtx, Process, Step};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One critical region: optional pre-compute, then lock `lock % n_locks`
+/// held for `hold` microseconds.
+#[derive(Debug, Clone)]
+struct Region {
+    pre_us: u64,
+    lock: usize,
+    hold_us: u64,
+}
+
+/// A process executing a fixed list of regions.
+struct RegionProc {
+    regions: Vec<Region>,
+    locks: Vec<dynfb_sim::LockId>,
+    pos: usize,
+    stage: u8,
+}
+
+impl Process for RegionProc {
+    fn step(&mut self, _ctx: &mut ProcCtx<'_>) -> Step {
+        let Some(r) = self.regions.get(self.pos) else {
+            return Step::Done;
+        };
+        let lock = self.locks[r.lock % self.locks.len()];
+        let step = match self.stage {
+            0 => Step::Compute(Duration::from_micros(r.pre_us + 1)),
+            1 => Step::Acquire(lock),
+            2 => Step::Compute(Duration::from_micros(r.hold_us + 1)),
+            _ => Step::Release(lock),
+        };
+        if self.stage == 3 {
+            self.stage = 0;
+            self.pos += 1;
+        } else {
+            self.stage += 1;
+        }
+        step
+    }
+}
+
+fn region_strategy() -> impl Strategy<Value = Region> {
+    (0u64..50, 0usize..4, 0u64..50)
+        .prop_map(|(pre_us, lock, hold_us)| Region { pre_us, lock, hold_us })
+}
+
+fn workload_strategy() -> impl Strategy<Value = Vec<Vec<Region>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(region_strategy(), 1..20),
+        1..6,
+    )
+}
+
+fn run(workload: &[Vec<Region>]) -> dynfb_sim::MachineStats {
+    let mut machine = Machine::new(MachineConfig::default());
+    let first = machine.add_locks(4);
+    let locks: Vec<_> = (0..4).map(|i| first.offset(i)).collect();
+    machine.set_event_limit(10_000_000);
+    let procs: Vec<Box<dyn Process>> = workload
+        .iter()
+        .map(|regions| {
+            Box::new(RegionProc {
+                regions: regions.clone(),
+                locks: locks.clone(),
+                pos: 0,
+                stage: 0,
+            }) as Box<dyn Process>
+        })
+        .collect();
+    machine.run(procs).expect("well-formed workload must not deadlock")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Balanced acquire/release workloads always terminate, and the engine
+    /// is deterministic: two runs produce identical statistics.
+    #[test]
+    fn deterministic_and_terminating(workload in workload_strategy()) {
+        let a = run(&workload);
+        let b = run(&workload);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Compute time is conserved: each processor's accounted compute equals
+    /// exactly what its process requested, regardless of contention.
+    #[test]
+    fn compute_time_is_conserved(workload in workload_strategy()) {
+        let stats = run(&workload);
+        for (p, regions) in workload.iter().enumerate() {
+            let expected: u64 = regions.iter().map(|r| r.pre_us + r.hold_us + 2).sum();
+            prop_assert_eq!(
+                stats.procs[p].compute,
+                Duration::from_micros(expected),
+                "proc {}", p
+            );
+        }
+    }
+
+    /// Lock accounting is consistent: every processor's acquires equal its
+    /// regions, and failed attempts imply waiting time (and vice versa).
+    #[test]
+    fn lock_accounting_is_consistent(workload in workload_strategy()) {
+        let stats = run(&workload);
+        for (p, regions) in workload.iter().enumerate() {
+            let s = &stats.procs[p];
+            prop_assert_eq!(s.acquires, regions.len() as u64);
+            prop_assert_eq!(s.failed_attempts > 0, s.wait_time > Duration::ZERO);
+        }
+    }
+
+    /// A single processor never waits.
+    #[test]
+    fn single_processor_never_waits(regions in proptest::collection::vec(region_strategy(), 1..30)) {
+        let stats = run(std::slice::from_ref(&regions));
+        prop_assert_eq!(stats.procs[0].wait_time, Duration::ZERO);
+        prop_assert_eq!(stats.procs[0].failed_attempts, 0);
+    }
+
+    /// Makespan bounds: the run takes at least as long as the busiest
+    /// processor's own work, and no longer than everyone's work serialized
+    /// (plus lock overheads).
+    #[test]
+    fn makespan_is_bounded(workload in workload_strategy()) {
+        let stats = run(&workload);
+        let cfg = MachineConfig::default();
+        let per_proc: Vec<Duration> = workload
+            .iter()
+            .map(|regions| {
+                let us: u64 = regions.iter().map(|r| r.pre_us + r.hold_us + 2).sum();
+                Duration::from_micros(us) + cfg.lock_pair_cost() * regions.len() as u32
+            })
+            .collect();
+        let lower = per_proc.iter().copied().max().unwrap_or_default();
+        let upper: Duration = per_proc.iter().sum();
+        prop_assert!(stats.elapsed() >= lower, "{:?} < {:?}", stats.elapsed(), lower);
+        prop_assert!(
+            stats.elapsed() <= upper + Duration::from_millis(1),
+            "{:?} > {:?}",
+            stats.elapsed(),
+            upper
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Exploring the §5 worst-case optimality theory.
+//!
+//! For a given bound `ε` on how much worse dynamic feedback may be than
+//! the (unrealizable) optimal algorithm, the analysis yields a *feasible
+//! region* of production intervals — long enough to amortize sampling,
+//! short enough to react to drifting overheads — and an optimal production
+//! interval `P_opt`. This example sweeps the decay rate λ and the
+//! effective sampling interval S to show how the region moves, reproducing
+//! the relationships the paper discusses around Figure 3.
+//!
+//! Run with `cargo run --release --example optimality_theory`.
+
+use dynfb::core::theory::Analysis;
+
+fn main() {
+    println!("paper example: S = 1 s, N = 2 policies, lambda = 0.065, eps = 0.5");
+    let a = Analysis::new(1.0, 2, 0.065).expect("valid parameters");
+    let region = a.feasible_region(0.5).expect("eps ok").expect("region exists");
+    println!(
+        "  feasible region [{:.2}, {:.2}] s, P_opt = {:.2} s (paper: ~7.25)\n",
+        region.0,
+        region.1,
+        a.optimal_production_interval()
+    );
+
+    println!("as the decay rate lambda grows, the environment changes faster and the");
+    println!("feasible region shrinks until no production interval works:");
+    println!("  {:>8} {:>12} {:>12} {:>8}", "lambda", "P_lo (s)", "P_hi (s)", "P_opt");
+    for lambda in [0.01, 0.03, 0.065, 0.1, 0.2, 0.4, 0.8] {
+        let a = Analysis::new(1.0, 2, lambda).expect("valid");
+        match a.feasible_region(0.5).expect("eps ok") {
+            Some((lo, hi)) => println!(
+                "  {lambda:>8.3} {lo:>12.2} {hi:>12.2} {:>8.2}",
+                a.optimal_production_interval()
+            ),
+            None => println!("  {lambda:>8.3} {:>12} {:>12}", "-- infeasible --", ""),
+        }
+    }
+
+    println!("\nas the effective sampling interval S grows (slower switch points, more");
+    println!("policies to try), sampling costs more and the region narrows:");
+    println!("  {:>8} {:>12} {:>12} {:>8}", "S (s)", "P_lo (s)", "P_hi (s)", "P_opt");
+    for s in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let a = Analysis::new(s, 2, 0.065).expect("valid");
+        match a.feasible_region(0.5).expect("eps ok") {
+            Some((lo, hi)) => println!(
+                "  {s:>8.2} {lo:>12.2} {hi:>12.2} {:>8.2}",
+                a.optimal_production_interval()
+            ),
+            None => println!("  {s:>8.2} {:>12} {:>12}", "-- infeasible --", ""),
+        }
+    }
+
+    println!("\nthe guarantee also weakens gracefully: larger eps (weaker bound) widens");
+    println!("the region:");
+    let a = Analysis::new(1.0, 2, 0.065).expect("valid");
+    println!("  {:>8} {:>12} {:>12}", "eps", "P_lo (s)", "P_hi (s)");
+    for eps in [0.3, 0.4, 0.5, 0.7, 0.9] {
+        match a.feasible_region(eps).expect("eps ok") {
+            Some((lo, hi)) => println!("  {eps:>8.2} {lo:>12.2} {hi:>12.2}"),
+            None => println!("  {eps:>8.2} {:>12} {:>12}", "-- infeasible --", ""),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # dynfb — Dynamic Feedback: an effective technique for adaptive computing
+//!
+//! A full, from-scratch Rust reproduction of Diniz & Rinard's PLDI 1997
+//! paper. This facade crate re-exports the workspace:
+//!
+//! * [`core`] (`dynfb-core`) — the dynamic feedback controller, the
+//!   overhead model, the §5 optimality theory, and a real-thread adaptive
+//!   executor for Rust workloads.
+//! * [`sim`] (`dynfb-sim`) — a deterministic discrete-event shared-memory
+//!   multiprocessor (spin locks, barriers, timers) standing in for the
+//!   paper's 16-processor Stanford DASH machine, plus the generated-code
+//!   runtime (serial/parallel sections, multi-version loops, synchronous
+//!   policy switching).
+//! * [`lang`] (`dynfb-lang`) — the object-based mini language the
+//!   parallelizing compiler consumes.
+//! * [`compiler`] (`dynfb-compiler`) — commutativity analysis, automatic
+//!   lock insertion, the Original/Bounded/Aggressive synchronization
+//!   optimization policies, and multi-version code generation.
+//! * [`apps`] (`dynfb-apps`) — Barnes-Hut, Water, and String, written in
+//!   the mini language and compiled end-to-end.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//!
+//! ## Example: dynamic feedback on the simulated machine
+//!
+//! ```
+//! use dynfb::apps::{barnes_hut, BarnesHutConfig};
+//! use dynfb::core::controller::ControllerConfig;
+//! use std::time::Duration;
+//!
+//! let app = barnes_hut(&BarnesHutConfig { bodies: 64, steps: 1, ..Default::default() });
+//! let ctl = ControllerConfig {
+//!     target_sampling: Duration::from_micros(200),
+//!     target_production: Duration::from_millis(50),
+//!     ..ControllerConfig::default()
+//! };
+//! let report = dynfb::sim::run_app(app, &dynfb::apps::run_dynamic(8, ctl))?;
+//! assert!(report.elapsed() > Duration::ZERO);
+//! # Ok::<(), dynfb::sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dynfb_apps as apps;
+pub use dynfb_compiler as compiler;
+pub use dynfb_core as core;
+pub use dynfb_lang as lang;
+pub use dynfb_sim as sim;

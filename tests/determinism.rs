@@ -1,0 +1,62 @@
+//! Reproducibility: the entire stack — input generation, compilation,
+//! simulation, dynamic feedback — is deterministic. Identical
+//! configurations must produce bit-identical reports; different seeds must
+//! produce different computations.
+
+use dynfb::apps::{barnes_hut, run_dynamic, run_fixed, water, BarnesHutConfig, WaterConfig};
+use dynfb::core::controller::ControllerConfig;
+use dynfb::sim::run_app;
+use std::time::Duration;
+
+fn ctl() -> ControllerConfig {
+    ControllerConfig {
+        target_sampling: Duration::from_micros(300),
+        target_production: Duration::from_millis(5),
+        ..ControllerConfig::default()
+    }
+}
+
+#[test]
+fn barnes_hut_static_runs_are_bit_identical() {
+    let cfg = BarnesHutConfig { bodies: 96, steps: 1, ..Default::default() };
+    let a = run_app(barnes_hut(&cfg), &run_fixed(4, "bounded")).unwrap();
+    let b = run_app(barnes_hut(&cfg), &run_fixed(4, "bounded")).unwrap();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.sections, b.sections);
+}
+
+#[test]
+fn dynamic_feedback_runs_are_bit_identical() {
+    let cfg = WaterConfig { molecules: 32, steps: 1, ..Default::default() };
+    let a = run_app(water(&cfg), &run_dynamic(8, ctl())).unwrap();
+    let b = run_app(water(&cfg), &run_dynamic(8, ctl())).unwrap();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.sections, b.sections);
+}
+
+#[test]
+fn different_seeds_change_the_computation() {
+    let t1 = run_app(
+        barnes_hut(&BarnesHutConfig { bodies: 96, steps: 1, seed: 1, ..Default::default() }),
+        &run_fixed(4, "bounded"),
+    )
+    .unwrap();
+    let t2 = run_app(
+        barnes_hut(&BarnesHutConfig { bodies: 96, steps: 1, seed: 2, ..Default::default() }),
+        &run_fixed(4, "bounded"),
+    )
+    .unwrap();
+    assert_ne!(t1.stats, t2.stats, "different inputs must differ somewhere");
+}
+
+#[test]
+fn processor_count_does_not_change_results_only_timing() {
+    // The commuting operations guarantee: same acquires, same computation,
+    // different wall-clock and waiting.
+    let cfg = BarnesHutConfig { bodies: 96, steps: 1, ..Default::default() };
+    let a = run_app(barnes_hut(&cfg), &run_fixed(2, "original")).unwrap();
+    let b = run_app(barnes_hut(&cfg), &run_fixed(8, "original")).unwrap();
+    assert_eq!(a.stats.totals().acquires, b.stats.totals().acquires);
+    assert_eq!(a.stats.totals().compute, b.stats.totals().compute);
+    assert!(b.elapsed() < a.elapsed());
+}

@@ -1,0 +1,102 @@
+//! Cross-crate integration: language front end → compiler → simulator →
+//! dynamic feedback, through the `dynfb` facade.
+
+use dynfb::apps::{
+    barnes_hut, run_dynamic, run_fixed, string_app, water, BarnesHutConfig, StringConfig,
+    WaterConfig,
+};
+use dynfb::core::controller::ControllerConfig;
+use dynfb::sim::run_app;
+use std::time::Duration;
+
+fn small_controller() -> ControllerConfig {
+    ControllerConfig {
+        target_sampling: Duration::from_micros(500),
+        target_production: Duration::from_secs(10),
+        ..ControllerConfig::default()
+    }
+}
+
+#[test]
+fn barnes_hut_dynamic_matches_best_policy_ranking() {
+    let cfg = BarnesHutConfig { bodies: 128, steps: 1, ..Default::default() };
+    let orig = run_app(barnes_hut(&cfg), &run_fixed(8, "original")).unwrap().elapsed();
+    let aggr = run_app(barnes_hut(&cfg), &run_fixed(8, "aggressive")).unwrap().elapsed();
+    let dynamic =
+        run_app(barnes_hut(&cfg), &run_dynamic(8, small_controller())).unwrap().elapsed();
+    assert!(aggr < orig);
+    assert!(dynamic < orig, "dynamic {dynamic:?} must beat the worst policy {orig:?}");
+}
+
+#[test]
+fn water_dynamic_avoids_aggressive_collapse() {
+    let cfg = WaterConfig { molecules: 64, steps: 1, ..Default::default() };
+    let aggr = run_app(water(&cfg), &run_fixed(8, "aggressive")).unwrap().elapsed();
+    let bnd = run_app(water(&cfg), &run_fixed(8, "bounded")).unwrap().elapsed();
+    let dynamic = run_app(water(&cfg), &run_dynamic(8, small_controller())).unwrap().elapsed();
+    assert!(bnd < aggr, "bounded must beat aggressive on Water");
+    assert!(dynamic < aggr, "dynamic {dynamic:?} must avoid the aggressive collapse {aggr:?}");
+}
+
+#[test]
+fn string_all_versions_agree_and_dynamic_runs() {
+    let cfg = StringConfig { nx: 12, nz: 12, rays: 48, steps_per_ray: 16, iterations: 1, ..Default::default() };
+    let orig = run_app(string_app(&cfg), &run_fixed(4, "original")).unwrap();
+    let dynamic = run_app(string_app(&cfg), &run_dynamic(4, small_controller())).unwrap();
+    assert!(dynamic.elapsed() > Duration::ZERO);
+    assert!(orig.stats.totals().acquires > 0);
+}
+
+#[test]
+fn every_section_reports_executions() {
+    let cfg = BarnesHutConfig { bodies: 64, steps: 2, ..Default::default() };
+    let report = run_app(barnes_hut(&cfg), &run_fixed(2, "bounded")).unwrap();
+    // init + 2 × (build, forces, advance) = 7 section executions.
+    assert_eq!(report.sections.len(), 7);
+    assert_eq!(report.section("forces").count(), 2);
+    for s in &report.sections {
+        assert!(s.end >= s.start);
+    }
+}
+
+#[test]
+fn processor_scaling_is_monotone_for_scalable_policies() {
+    let cfg = BarnesHutConfig { bodies: 128, steps: 1, ..Default::default() };
+    let mut last = Duration::MAX;
+    for procs in [1, 2, 4, 8] {
+        let t = run_app(barnes_hut(&cfg), &run_fixed(procs, "aggressive")).unwrap().elapsed();
+        assert!(t < last, "time must fall as processors grow ({procs} procs: {t:?})");
+        last = t;
+    }
+}
+
+#[test]
+fn paper_figure_1_compiles_and_transforms() {
+    // The exact program of the paper's Figure 1 (modulo the C++ punctuation
+    // our front end shares) parses, analyzes, and transforms into Figure 2.
+    let src = r#"
+        extern double interact(double, double);
+        class body {
+            double pos, sum;
+            void one_interaction(body* b) {
+                double val = interact(this->pos, b->pos);
+                this->sum = this->sum + val;
+            }
+            void interactions(body[] b, int n) {
+                for (int i = 0; i < n; i++) {
+                    this->one_interaction(&b[i]);
+                }
+            }
+        };
+    "#;
+    let hir = dynfb::lang::compile_source(src).expect("figure 1 compiles");
+    assert_eq!(hir.classes.len(), 1);
+    let cg = dynfb::compiler::callgraph::CallGraph::build(&hir);
+    let eff = dynfb::compiler::effects::EffectsMap::build(&hir, &cg);
+    let class = hir.class_named("body").unwrap();
+    let one = hir.method_named(class, "one_interaction").unwrap();
+    let mut memo = dynfb::compiler::commutativity::SummaryMemo::new();
+    let summary =
+        dynfb::compiler::commutativity::summarize(&hir, &eff, one, &mut memo).expect("separable");
+    assert!(dynfb::compiler::commutativity::commute(&summary, &summary, 2));
+}
