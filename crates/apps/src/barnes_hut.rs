@@ -52,8 +52,7 @@ impl BarnesHutConfig {
 /// tests).
 #[must_use]
 pub fn barnes_hut(config: &BarnesHutConfig) -> CompiledApp {
-    let hir = dynfb_lang::compile_source(SOURCE)
-        .unwrap_or_else(|e| panic!("barnes_hut.ol: {e}"));
+    let hir = dynfb_lang::compile_source(SOURCE).unwrap_or_else(|e| panic!("barnes_hut.ol: {e}"));
     let host = standard_host(&HostConfig {
         seed: config.seed,
         iparams: vec![config.bodies as i64],
@@ -69,8 +68,8 @@ pub fn barnes_hut(config: &BarnesHutConfig) -> CompiledApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dynfb_core::controller::ControllerConfig;
     use crate::{run_dynamic, run_fixed};
+    use dynfb_core::controller::ControllerConfig;
     use dynfb_sim::run_app;
     use std::time::Duration;
 
@@ -109,12 +108,8 @@ mod tests {
 
     #[test]
     fn speedup_scales_with_processors() {
-        let t1 = run_app(barnes_hut(&small()), &run_fixed(1, "aggressive"))
-            .unwrap()
-            .elapsed();
-        let t8 = run_app(barnes_hut(&small()), &run_fixed(8, "aggressive"))
-            .unwrap()
-            .elapsed();
+        let t1 = run_app(barnes_hut(&small()), &run_fixed(1, "aggressive")).unwrap().elapsed();
+        let t8 = run_app(barnes_hut(&small()), &run_fixed(8, "aggressive")).unwrap().elapsed();
         let speedup = t1.as_secs_f64() / t8.as_secs_f64();
         assert!(speedup > 3.0, "8-processor speedup was only {speedup:.2}");
     }
@@ -122,20 +117,14 @@ mod tests {
     #[test]
     fn dynamic_feedback_is_close_to_best_policy() {
         let cfg = BarnesHutConfig { bodies: 256, steps: 2, ..BarnesHutConfig::default() };
-        let best = run_app(barnes_hut(&cfg), &run_fixed(8, "aggressive"))
-            .unwrap()
-            .elapsed();
-        let worst = run_app(barnes_hut(&cfg), &run_fixed(8, "original"))
-            .unwrap()
-            .elapsed();
+        let best = run_app(barnes_hut(&cfg), &run_fixed(8, "aggressive")).unwrap().elapsed();
+        let worst = run_app(barnes_hut(&cfg), &run_fixed(8, "original")).unwrap().elapsed();
         let ctl = ControllerConfig {
             target_sampling: Duration::from_micros(200),
             target_production: Duration::from_secs(10),
             ..ControllerConfig::default()
         };
-        let dynamic = run_app(barnes_hut(&cfg), &run_dynamic(8, ctl))
-            .unwrap()
-            .elapsed();
+        let dynamic = run_app(barnes_hut(&cfg), &run_dynamic(8, ctl)).unwrap().elapsed();
         let ratio = dynamic.as_secs_f64() / best.as_secs_f64();
         assert!(ratio < 1.35, "dynamic/best = {ratio:.3}");
         assert!(dynamic < worst, "dynamic must beat the worst policy");

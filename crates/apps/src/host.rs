@@ -7,8 +7,7 @@
 //! `interact` whose real execution time dominates the loop bodies).
 
 use dynfb_compiler::interp::{HostRegistry, Value};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dynfb_core::rng::SplitMix64;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
@@ -43,7 +42,7 @@ impl Default for HostConfig {
 #[must_use]
 pub fn standard_host(config: &HostConfig) -> HostRegistry {
     let mut host = HostRegistry::new();
-    let rng = Rc::new(RefCell::new(StdRng::seed_from_u64(config.seed)));
+    let rng = Rc::new(RefCell::new(SplitMix64::new(config.seed)));
 
     host.register("sqrt", Duration::from_nanos(120), |args| {
         Value::Double(args[0].as_double().unwrap_or(0.0).max(0.0).sqrt())
@@ -51,7 +50,7 @@ pub fn standard_host(config: &HostConfig) -> HostRegistry {
 
     let r = Rc::clone(&rng);
     host.register("urand", Duration::from_nanos(60), move |_args| {
-        Value::Double({ let mut g = r.borrow_mut(); let v: f64 = g.random(); v })
+        Value::Double(r.borrow_mut().next_f64())
     });
 
     let iparams = config.iparams.clone();
@@ -76,7 +75,7 @@ pub fn standard_host(config: &HostConfig) -> HostRegistry {
 
     host.register("travel", config.kernel_cost, |args| {
         let t = args[0].as_double().unwrap_or(0.0);
-        Value::Double(0.6 + 0.4 * (6.28318 * t).sin().abs())
+        Value::Double(0.6 + 0.4 * (std::f64::consts::TAU * t).sin().abs())
     });
 
     host.register("ifloor", Duration::from_nanos(10), |args| {
@@ -101,8 +100,8 @@ mod tests {
         let draw = |seed: u64| -> Vec<f64> {
             let host = standard_host(&HostConfig { seed, ..HostConfig::default() });
             let _ = host;
-            let mut rng = StdRng::seed_from_u64(seed);
-            (0..4).map(|_| rng.random::<f64>()).collect()
+            let mut rng = SplitMix64::new(seed);
+            (0..4).map(|_| rng.next_f64()).collect()
         };
         assert_eq!(draw(7), draw(7));
         assert_ne!(draw(7), draw(8));

@@ -58,8 +58,7 @@ impl StringConfig {
 /// tests).
 #[must_use]
 pub fn string_app(config: &StringConfig) -> CompiledApp {
-    let hir = dynfb_lang::compile_source(SOURCE)
-        .unwrap_or_else(|e| panic!("string_app.ol: {e}"));
+    let hir = dynfb_lang::compile_source(SOURCE).unwrap_or_else(|e| panic!("string_app.ol: {e}"));
     let host = standard_host(&HostConfig {
         seed: config.seed,
         iparams: vec![
@@ -82,7 +81,14 @@ mod tests {
     use dynfb_sim::run_app;
 
     fn small() -> StringConfig {
-        StringConfig { nx: 16, nz: 16, rays: 64, steps_per_ray: 24, iterations: 1, ..Default::default() }
+        StringConfig {
+            nx: 16,
+            nz: 16,
+            rays: 64,
+            steps_per_ray: 24,
+            iterations: 1,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -51,8 +51,7 @@ impl WaterConfig {
 /// tests).
 #[must_use]
 pub fn water(config: &WaterConfig) -> CompiledApp {
-    let hir =
-        dynfb_lang::compile_source(SOURCE).unwrap_or_else(|e| panic!("water.ol: {e}"));
+    let hir = dynfb_lang::compile_source(SOURCE).unwrap_or_else(|e| panic!("water.ol: {e}"));
     let host = standard_host(&HostConfig {
         seed: config.seed,
         iparams: vec![config.molecules as i64, config.edepth as i64],

@@ -60,10 +60,7 @@ fn spanning_resumes_rather_than_restarting_sampling() {
     let cfg = WaterConfig { molecules: 64, steps: 2, ..Default::default() };
     // Short production intervals so completed production records exist
     // (in span mode an interval that outlives the run is never recorded).
-    let short = ControllerConfig {
-        target_production: Duration::from_millis(20),
-        ..ctl()
-    };
+    let short = ControllerConfig { target_production: Duration::from_millis(20), ..ctl() };
     let mut rc = run_dynamic(8, short);
     rc.span_intervals = true;
     let report = dynfb_sim::run_app(water(&cfg), &rc).unwrap();
@@ -88,18 +85,10 @@ fn spanning_resumes_rather_than_restarting_sampling() {
     // execution.
     let restart = dynfb_sim::run_app(
         water(&cfg),
-        &run_dynamic(
-            8,
-            ControllerConfig {
-                target_production: Duration::from_millis(20),
-                ..ctl()
-            },
-        ),
+        &run_dynamic(8, ControllerConfig { target_production: Duration::from_millis(20), ..ctl() }),
     )
     .unwrap();
-    let restart_first: Vec<usize> = restart
-        .section("interf")
-        .filter_map(|e| e.records.first().map(|r| r.version))
-        .collect();
+    let restart_first: Vec<usize> =
+        restart.section("interf").filter_map(|e| e.records.first().map(|r| r.version)).collect();
     assert_eq!(restart_first, vec![0, 0], "restart mode resamples from version 0");
 }

@@ -1,40 +1,67 @@
-//! Criterion micro-benchmarks for the core building blocks: the
-//! discrete-event engine, the dynamic feedback controller, symbolic
-//! normalization, compilation, and a small end-to-end simulated run.
+//! Micro-benchmarks for the core building blocks: the discrete-event
+//! engine, the dynamic feedback controller, symbolic normalization,
+//! compilation, and a small end-to-end simulated run.
+//!
+//! Self-contained harness (no external bench framework): each benchmark is
+//! warmed up, then timed over enough iterations to smooth scheduler noise,
+//! reporting mean time per iteration. Run with
+//! `cargo bench -p dynfb-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynfb_core::controller::{Controller, ControllerConfig};
 use dynfb_core::overhead::OverheadSample;
 use dynfb_core::theory::Analysis;
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-fn bench_controller(c: &mut Criterion) {
-    c.bench_function("controller/sampling_cycle", |b| {
-        let cfg = ControllerConfig { num_policies: 3, ..ControllerConfig::default() };
-        b.iter(|| {
-            let mut ctl = Controller::new(cfg.clone());
-            ctl.begin_section();
-            for o in [0.4, 0.2, 0.1, 0.15] {
-                ctl.complete_interval(OverheadSample::from_fraction(o, Duration::from_millis(1)));
-            }
-            black_box(ctl.current_policy())
-        });
+/// Time `f` over adaptively chosen iteration counts and print the mean.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm-up and calibration: find an iteration count that runs ≥ 50 ms.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(50) || iters >= 1 << 20 {
+            break elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+        }
+        iters *= 4;
+    };
+    // Measurement pass at the calibrated count.
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean = start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+    let _ = per_iter;
+    println!("{name:<45} {mean:>12.3?}/iter  ({iters} iters)");
+}
+
+fn bench_controller() {
+    let cfg = ControllerConfig { num_policies: 3, ..ControllerConfig::default() };
+    bench("controller/sampling_cycle", || {
+        let mut ctl = Controller::new(cfg.clone());
+        ctl.begin_section();
+        for o in [0.4, 0.2, 0.1, 0.15] {
+            ctl.complete_interval(OverheadSample::from_fraction(o, Duration::from_millis(1)));
+        }
+        black_box(ctl.current_policy());
     });
 }
 
-fn bench_theory(c: &mut Criterion) {
-    c.bench_function("theory/p_opt", |b| {
-        let a = Analysis::new(1.0, 2, 0.065).unwrap();
-        b.iter(|| black_box(a.optimal_production_interval()));
+fn bench_theory() {
+    let a = Analysis::new(1.0, 2, 0.065).unwrap();
+    bench("theory/p_opt", || {
+        black_box(a.optimal_production_interval());
     });
-    c.bench_function("theory/feasible_region", |b| {
-        let a = Analysis::new(1.0, 2, 0.065).unwrap();
-        b.iter(|| black_box(a.feasible_region(0.5).unwrap()));
+    let a = Analysis::new(1.0, 2, 0.065).unwrap();
+    bench("theory/feasible_region", || {
+        black_box(a.feasible_region(0.5).unwrap());
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     use dynfb_sim::{Machine, MachineConfig, ProcCtx, Process, Step};
     struct Spin {
         remaining: u32,
@@ -54,57 +81,46 @@ fn bench_engine(c: &mut Criterion) {
             }
         }
     }
-    c.bench_function("engine/100k_events_4_procs", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(MachineConfig::default());
-            let lock = m.add_lock();
-            let procs: Vec<Box<dyn Process>> = (0..4)
-                .map(|_| Box::new(Spin { remaining: 25_000 * 3, lock }) as Box<dyn Process>)
-                .collect();
-            black_box(m.run(procs).unwrap())
-        });
+    bench("engine/100k_events_4_procs", || {
+        let mut m = Machine::new(MachineConfig::default());
+        let lock = m.add_lock();
+        let procs: Vec<Box<dyn Process>> = (0..4)
+            .map(|_| Box::new(Spin { remaining: 25_000 * 3, lock }) as Box<dyn Process>)
+            .collect();
+        black_box(m.run(procs).unwrap());
     });
 }
 
-fn bench_compile(c: &mut Criterion) {
-    c.bench_function("compiler/compile_barnes_hut", |b| {
-        b.iter(|| {
-            black_box(dynfb_apps::barnes_hut(&dynfb_apps::BarnesHutConfig {
-                bodies: 64,
-                steps: 1,
-                ..Default::default()
-            }))
-        });
+fn bench_compile() {
+    bench("compiler/compile_barnes_hut", || {
+        black_box(dynfb_apps::barnes_hut(&dynfb_apps::BarnesHutConfig {
+            bodies: 64,
+            steps: 1,
+            ..Default::default()
+        }));
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("barnes_hut_128_bodies_8_procs_dynamic", |b| {
-        b.iter(|| {
-            let app = dynfb_apps::barnes_hut(&dynfb_apps::BarnesHutConfig {
-                bodies: 128,
-                steps: 1,
-                ..Default::default()
-            });
-            let ctl = ControllerConfig {
-                target_sampling: Duration::from_micros(200),
-                target_production: Duration::from_millis(50),
-                ..ControllerConfig::default()
-            };
-            black_box(dynfb_sim::run_app(app, &dynfb_apps::run_dynamic(8, ctl)).unwrap())
+fn bench_end_to_end() {
+    bench("end_to_end/barnes_hut_128_bodies_8_procs_dynamic", || {
+        let app = dynfb_apps::barnes_hut(&dynfb_apps::BarnesHutConfig {
+            bodies: 128,
+            steps: 1,
+            ..Default::default()
         });
+        let ctl = ControllerConfig {
+            target_sampling: Duration::from_micros(200),
+            target_production: Duration::from_millis(50),
+            ..ControllerConfig::default()
+        };
+        black_box(dynfb_sim::run_app(app, &dynfb_apps::run_dynamic(8, ctl)).unwrap());
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_controller,
-    bench_theory,
-    bench_engine,
-    bench_compile,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_controller();
+    bench_theory();
+    bench_engine();
+    bench_compile();
+    bench_end_to_end();
+}

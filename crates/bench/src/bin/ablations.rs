@@ -18,6 +18,9 @@ use dynfb_core::controller::{ControllerConfig, EarlyCutoff, PolicyOrdering};
 use dynfb_sim::{run_app, LockId, Machine, OpSink, PlanEntry, RunConfig, RunMode, SimApp};
 use std::time::Duration;
 
+/// Named builder for a fresh compiled app (each run needs its own).
+type AppBuilder = Box<dyn Fn() -> dynfb_compiler::CompiledApp>;
+
 fn base_controller() -> ControllerConfig {
     ControllerConfig {
         target_sampling: Duration::from_millis(1),
@@ -31,7 +34,7 @@ fn switching_ablation() -> Table {
         "Ablation 1: synchronous vs. asynchronous policy switching (8 processors)",
         &["Application", "Synchronous (s)", "Asynchronous (s)"],
     );
-    let apps: [(&str, Box<dyn Fn() -> dynfb_compiler::CompiledApp>); 2] = [
+    let apps: [(&str, AppBuilder); 2] = [
         (
             "Barnes-Hut",
             Box::new(|| {
@@ -48,11 +51,7 @@ fn switching_ablation() -> Table {
         let mut cfg = run_dynamic(8, base_controller());
         cfg.mode = RunMode::DynamicAsync(base_controller());
         let asynchronous = run_app(build(), &cfg).unwrap();
-        t.row(vec![
-            name.to_string(),
-            secs(sync.elapsed()),
-            secs(asynchronous.elapsed()),
-        ]);
+        t.row(vec![name.to_string(), secs(sync.elapsed()), secs(asynchronous.elapsed())]);
     }
     t.note("Asynchronous switching pollutes interval measurements with mixed-version execution; synchronous switching (the paper's choice) keeps them attributable.");
     t
@@ -61,7 +60,12 @@ fn switching_ablation() -> Table {
 fn cutoff_ablation() -> Table {
     let mut t = Table::new(
         "Ablation 2: early cut-off and policy ordering (8 processors, dynamic feedback)",
-        &["Application", "InOrder, no cut-off (s)", "ExtremesFirst + cut-off (s)", "BestFirst + cut-off (s)"],
+        &[
+            "Application",
+            "InOrder, no cut-off (s)",
+            "ExtremesFirst + cut-off (s)",
+            "BestFirst + cut-off (s)",
+        ],
     );
     let variants: [(&str, PolicyOrdering, Option<EarlyCutoff>); 3] = [
         ("plain", PolicyOrdering::InOrder, None),
@@ -76,7 +80,7 @@ fn cutoff_ablation() -> Table {
             Some(EarlyCutoff { negligible: 0.02, accept_within: Some(0.05) }),
         ),
     ];
-    let apps: [(&str, Box<dyn Fn() -> dynfb_compiler::CompiledApp>); 2] = [
+    let apps: [(&str, AppBuilder); 2] = [
         (
             "Barnes-Hut",
             Box::new(|| {
@@ -193,11 +197,15 @@ fn resampling_ablation() -> Table {
 fn spanning_ablation() -> Table {
     let mut t = Table::new(
         "Ablation 4: intervals spanning section executions (the paper's §4.4 proposal)",
-        &["Application, processors", "Restart per execution (s)", "Spanning (s)", "Best static (s)"],
+        &[
+            "Application, processors",
+            "Restart per execution (s)",
+            "Spanning (s)",
+            "Best static (s)",
+        ],
     );
     for procs in [8usize, 16] {
-        let build =
-            || water(&WaterConfig { molecules: 128, steps: 2, ..Default::default() });
+        let build = || water(&WaterConfig { molecules: 128, steps: 2, ..Default::default() });
         let plain = run_app(build(), &run_dynamic(procs, base_controller())).unwrap();
         let mut cfg = run_dynamic(procs, base_controller());
         cfg.span_intervals = true;

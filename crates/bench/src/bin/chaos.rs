@@ -1,0 +1,16 @@
+//! Chaos harness: fault scenarios × {original, bounded, aggressive,
+//! dynamic}, reporting elapsed/waiting time, regret vs the per-scenario
+//! oracle, and dynamic feedback's adaptation latency.
+//!
+//! Usage: `cargo run --release -p dynfb-bench --bin chaos [seed]`
+
+use dynfb_bench::chaos::{chaos_report, ChaosConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be an unsigned integer"))
+        .unwrap_or(42);
+    let cfg = ChaosConfig { seed, ..ChaosConfig::default() };
+    print!("{}", chaos_report(&cfg));
+}

@@ -1,7 +1,6 @@
 //! Regenerates Figure 7: the waiting proportion for Water (the false
 //! exclusion of the Aggressive policy).
 fn main() {
-    let t =
-        dynfb_bench::experiments::waiting_proportion(&dynfb_bench::experiments::water_spec());
+    let t = dynfb_bench::experiments::waiting_proportion(&dynfb_bench::experiments::water_spec());
     println!("{}", t.to_console());
 }

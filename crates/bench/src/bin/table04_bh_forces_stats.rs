@@ -1,8 +1,6 @@
 //! Regenerates Table 4: statistics for the Barnes-Hut FORCES section.
 fn main() {
-    let t = dynfb_bench::experiments::section_stats(
-        &dynfb_bench::experiments::bh_spec(),
-        &["forces"],
-    );
+    let t =
+        dynfb_bench::experiments::section_stats(&dynfb_bench::experiments::bh_spec(), &["forces"]);
     println!("{}", t.to_console());
 }

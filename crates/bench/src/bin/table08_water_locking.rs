@@ -1,6 +1,5 @@
 //! Regenerates Table 8: Water locking overhead.
 fn main() {
-    let t =
-        dynfb_bench::experiments::locking_overhead(&dynfb_bench::experiments::water_spec());
+    let t = dynfb_bench::experiments::locking_overhead(&dynfb_bench::experiments::water_spec());
     println!("{}", t.to_console());
 }

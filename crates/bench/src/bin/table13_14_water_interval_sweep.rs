@@ -12,9 +12,8 @@ fn main() {
         Duration::from_secs(1),
     ];
     for section in ["interf", "poteng"] {
-        let t = dynfb_bench::experiments::interval_sweep(
-            &spec, section, 8, &samplings, &productions,
-        );
+        let t =
+            dynfb_bench::experiments::interval_sweep(&spec, section, 8, &samplings, &productions);
         println!("{}", t.to_console());
     }
 }

@@ -1,0 +1,453 @@
+//! Chaos harness: fault scenarios × execution modes.
+//!
+//! Sweeps a matrix of fault-injection scenarios (lock-contention storms,
+//! processor slowdowns, timer jitter, a frozen clock, barrier stragglers,
+//! plus one seeded random plan) against the three static policies and
+//! dynamic feedback, and reports for each scenario:
+//!
+//! * elapsed and waiting time per mode,
+//! * each mode's **regret vs the oracle** (the best static policy for that
+//!   scenario — negative regret means the mode beat every static), and
+//! * for dynamic feedback, the **adaptation latency**: how long after
+//!   fault onset the production policy changed.
+//!
+//! The workload is a shared-counter reduction with three lock-granularity
+//! versions mirroring the paper's policy spectrum. Without faults the
+//! fine-grained `original` version wins (updates execute outside the
+//! critical section). A mid-run contention storm makes every lock
+//! operation expensive, flipping the best policy to the coarse
+//! `aggressive` version — the environment change §4.4 argues periodic
+//! resampling exists to catch.
+//!
+//! Everything is deterministic: the same seed produces a byte-identical
+//! report (`tests/determinism.rs` enforces this).
+
+use crate::report::Table;
+use dynfb_core::controller::ControllerConfig;
+use dynfb_sim::{
+    run_app, AppReport, ChaosProfile, FaultKind, FaultPlan, LockId, Machine, MachineConfig, OpSink,
+    PlanEntry, RunConfig, SampleRecord, SimApp, Target, Window,
+};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Updates per loop iteration (the batch the coarse version locks across).
+const UPDATES: usize = 16;
+/// Shared slots: every iteration lands on one of these locks.
+const SLOTS: usize = 4;
+/// Cost of one update's computation.
+const UPDATE_COST: Duration = Duration::from_micros(6);
+
+/// The three lock-granularity versions, coarsest last — names match the
+/// paper's policy spectrum used throughout this repository.
+pub const VERSIONS: [&str; 3] = ["original", "bounded", "aggressive"];
+
+/// Chaos sweep parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for the random scenario (and report banner).
+    pub seed: u64,
+    /// Loop iterations per run (each performs [`UPDATES`] updates).
+    pub iters: usize,
+    /// Simulated processors.
+    pub procs: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig { seed: 42, iters: 6_000, procs: 8 }
+    }
+}
+
+impl ChaosConfig {
+    /// Virtual time at which mid-run faults switch on: roughly half the
+    /// ideal (fully parallel, uncontended) duration of the workload, so
+    /// the fault splits every run into a before and an after.
+    #[must_use]
+    pub fn onset(&self) -> Duration {
+        let ideal = UPDATE_COST * (UPDATES * self.iters / self.procs.max(1)) as u32;
+        ideal / 2
+    }
+}
+
+/// The chaos workload: a shared-counter reduction over [`SLOTS`] slots.
+///
+/// * `original` computes each update outside the critical section and
+///   locks only for the store — 16 cheap lock pairs per iteration.
+/// * `bounded` locks across batches of 4 updates — 4 pairs.
+/// * `aggressive` locks once across the whole iteration — 1 pair, but the
+///   lock is held for the entire computation.
+pub struct ChaosApp {
+    iters: usize,
+    locks: Vec<LockId>,
+}
+
+impl ChaosApp {
+    /// A fresh instance performing `iters` iterations.
+    #[must_use]
+    pub fn new(iters: usize) -> Self {
+        ChaosApp { iters, locks: Vec::new() }
+    }
+}
+
+impl SimApp for ChaosApp {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+    fn setup(&mut self, machine: &mut Machine) {
+        let first = machine.add_locks(SLOTS);
+        self.locks = (0..SLOTS).map(|i| first.offset(i)).collect();
+    }
+    fn plan(&self) -> Vec<PlanEntry> {
+        vec![PlanEntry::parallel("work")]
+    }
+    fn versions(&self, _section: &str) -> Vec<String> {
+        VERSIONS.iter().map(ToString::to_string).collect()
+    }
+    fn emit_serial(&mut self, _section: &str, _ops: &mut OpSink) {}
+    fn begin_parallel(&mut self, _section: &str) -> usize {
+        self.iters
+    }
+    fn emit_iteration(&mut self, _s: &str, version: usize, iter: usize, ops: &mut OpSink) {
+        let lock = self.locks[iter % SLOTS];
+        match version {
+            0 => {
+                // original: compute outside, lock per store.
+                for _ in 0..UPDATES {
+                    ops.compute(UPDATE_COST);
+                    ops.acquire(lock);
+                    ops.compute(Duration::from_nanos(200));
+                    ops.release(lock);
+                }
+            }
+            1 => {
+                // bounded: lock across batches of 4 updates.
+                for _ in 0..UPDATES / 4 {
+                    ops.acquire(lock);
+                    for _ in 0..4 {
+                        ops.compute(UPDATE_COST);
+                    }
+                    ops.release(lock);
+                }
+            }
+            _ => {
+                // aggressive: one lock across the whole iteration.
+                ops.acquire(lock);
+                for _ in 0..UPDATES {
+                    ops.compute(UPDATE_COST);
+                }
+                ops.release(lock);
+            }
+        }
+    }
+}
+
+/// Machine with cheap spin locks (as the drifting-environment example), so
+/// the *fault plans* — not the baseline cost model — decide the winner.
+#[must_use]
+pub fn chaos_machine() -> MachineConfig {
+    MachineConfig {
+        lock_acquire_cost: Duration::from_nanos(200),
+        lock_release_cost: Duration::from_nanos(200),
+        lock_attempt_cost: Duration::from_nanos(100),
+        ..MachineConfig::default()
+    }
+}
+
+/// Controller for dynamic runs: sample all three policies quickly, then
+/// produce in 20 ms intervals — short enough to re-detect a mid-run flip
+/// within a few intervals, long enough to amortize sampling (§4.4).
+#[must_use]
+pub fn chaos_controller() -> ControllerConfig {
+    ControllerConfig {
+        num_policies: VERSIONS.len(),
+        target_sampling: Duration::from_micros(500),
+        target_production: Duration::from_millis(20),
+        ..ControllerConfig::default()
+    }
+}
+
+/// One named fault scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (report row key).
+    pub name: &'static str,
+    /// The fault plan applied to every mode's run.
+    pub plan: FaultPlan,
+    /// Virtual time the scenario's faults begin (zero for always-on
+    /// scenarios); adaptation latency is measured from here.
+    pub onset: Duration,
+}
+
+/// A window from `start` to far beyond any run in this harness.
+fn from_onset(start: Duration) -> Window {
+    Window::new(start, Duration::from_secs(3_600))
+}
+
+/// The fault scenarios swept by the harness, in report order.
+#[must_use]
+pub fn scenarios(cfg: &ChaosConfig) -> Vec<Scenario> {
+    let onset = cfg.onset();
+    let half: Vec<usize> = (0..cfg.procs / 2).collect();
+    vec![
+        Scenario { name: "baseline", plan: FaultPlan::new(cfg.seed), onset: Duration::ZERO },
+        Scenario {
+            name: "lock-storm",
+            plan: FaultPlan::new(cfg.seed).with_event(
+                from_onset(onset),
+                FaultKind::ContentionStorm {
+                    locks: Target::All,
+                    cost_factor: 20.0,
+                    extra_hold: Duration::from_micros(10),
+                },
+            ),
+            onset,
+        },
+        Scenario {
+            name: "slowdown",
+            plan: FaultPlan::new(cfg.seed).with_event(
+                from_onset(onset),
+                FaultKind::Slowdown { procs: Target::Only(half), factor: 8.0 },
+            ),
+            onset,
+        },
+        Scenario {
+            name: "timer-jitter",
+            plan: FaultPlan::new(cfg.seed).with_event(
+                Window::always(),
+                FaultKind::TimerJitter { max: Duration::from_micros(50) },
+            ),
+            onset: Duration::ZERO,
+        },
+        Scenario {
+            name: "frozen-clock",
+            plan: FaultPlan::new(cfg.seed)
+                .with_event(Window::always(), FaultKind::TimerDrift { ppm: -1_000_000 }),
+            onset: Duration::ZERO,
+        },
+        Scenario {
+            name: "barrier-straggler",
+            plan: FaultPlan::new(cfg.seed).with_event(
+                Window::always(),
+                FaultKind::BarrierStraggler {
+                    procs: Target::Only(vec![0]),
+                    delay: Duration::from_micros(200),
+                },
+            ),
+            onset: Duration::ZERO,
+        },
+        Scenario {
+            name: "random",
+            plan: FaultPlan::random(
+                cfg.seed,
+                &ChaosProfile {
+                    horizon: cfg.onset() * 4,
+                    procs: cfg.procs,
+                    locks: SLOTS,
+                    events: 4,
+                },
+            ),
+            onset: Duration::ZERO,
+        },
+    ]
+}
+
+/// Result of one mode's run under one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeOutcome {
+    /// Mode name (a static policy name, or `"dynamic"`).
+    pub mode: String,
+    /// Total virtual execution time.
+    pub elapsed: Duration,
+    /// Machine-wide waiting (spinning) time.
+    pub waiting: Duration,
+}
+
+/// How dynamic feedback adapted during one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adaptation {
+    /// Production-policy changes over the run.
+    pub switches: usize,
+    /// Version name of the last production interval.
+    pub settled: String,
+    /// Time from scenario onset to the end of the first production
+    /// interval running a *different* policy than before onset; `None` if
+    /// production never switched after onset.
+    pub latency: Option<Duration>,
+}
+
+/// All measurements for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// One outcome per static policy, in [`VERSIONS`] order.
+    pub statics: Vec<ModeOutcome>,
+    /// The dynamic-feedback outcome.
+    pub dynamic: ModeOutcome,
+    /// How the dynamic run adapted.
+    pub adaptation: Adaptation,
+}
+
+impl ScenarioOutcome {
+    /// The oracle: the best static policy for this scenario.
+    #[must_use]
+    pub fn oracle(&self) -> &ModeOutcome {
+        self.statics.iter().min_by_key(|m| m.elapsed).expect("static modes ran")
+    }
+
+    /// `mode`'s regret vs the oracle in microseconds (negative: beat it).
+    #[must_use]
+    pub fn regret_micros(&self, mode: &ModeOutcome) -> i128 {
+        mode.elapsed.as_micros() as i128 - self.oracle().elapsed.as_micros() as i128
+    }
+}
+
+fn outcome(mode: &str, report: &AppReport) -> ModeOutcome {
+    ModeOutcome {
+        mode: mode.to_string(),
+        elapsed: report.elapsed(),
+        waiting: report.stats.totals().wait_time,
+    }
+}
+
+fn analyze_adaptation(report: &AppReport, onset: Duration) -> Adaptation {
+    let production: Vec<&SampleRecord> = report
+        .section("work")
+        .flat_map(|exec| exec.records.iter())
+        .filter(|r| r.phase.is_production())
+        .collect();
+    let switches = production.windows(2).filter(|w| w[0].version != w[1].version).count();
+    let settled =
+        production.last().map_or_else(|| "(none)".to_string(), |r| VERSIONS[r.version].to_string());
+    let onset_t = dynfb_sim::SimTime::ZERO + onset;
+    let before = production
+        .iter()
+        .take_while(|r| r.at < onset_t)
+        .last()
+        .or(production.first())
+        .map(|r| r.version);
+    let latency = before.and_then(|v0| {
+        production
+            .iter()
+            .find(|r| r.at >= onset_t && r.version != v0)
+            .map(|r| r.at.saturating_since(onset_t))
+    });
+    Adaptation { switches, settled, latency }
+}
+
+/// Run all four modes under one scenario.
+///
+/// # Panics
+///
+/// Panics if a simulation fails — the harness only builds valid configs,
+/// so a failure here is a bug worth a loud stop.
+#[must_use]
+pub fn run_scenario(cfg: &ChaosConfig, scenario: &Scenario) -> ScenarioOutcome {
+    let statics = VERSIONS
+        .iter()
+        .map(|policy| {
+            let mut run = RunConfig::fixed(cfg.procs, policy).with_faults(scenario.plan.clone());
+            run.machine = chaos_machine();
+            let report = run_app(ChaosApp::new(cfg.iters), &run).expect("static chaos run");
+            outcome(policy, &report)
+        })
+        .collect();
+    let mut run = RunConfig::dynamic(cfg.procs, chaos_controller())
+        .with_faults(scenario.plan.clone())
+        .with_watchdog(8);
+    run.machine = chaos_machine();
+    let report = run_app(ChaosApp::new(cfg.iters), &run).expect("dynamic chaos run");
+    ScenarioOutcome {
+        scenario: scenario.clone(),
+        statics,
+        dynamic: outcome("dynamic", &report),
+        adaptation: analyze_adaptation(&report, scenario.onset),
+    }
+}
+
+fn micros(d: Duration) -> String {
+    format!("{}", d.as_micros())
+}
+
+fn render(cfg: &ChaosConfig, out: &ScenarioOutcome) -> String {
+    let mut t = Table::new(
+        &format!(
+            "Chaos scenario `{}` ({} iterations, {} procs)",
+            out.scenario.name, cfg.iters, cfg.procs
+        ),
+        &["mode", "elapsed (us)", "waiting (us)", "regret vs oracle (us)"],
+    );
+    for m in out.statics.iter().chain(std::iter::once(&out.dynamic)) {
+        t.row(vec![
+            m.mode.clone(),
+            micros(m.elapsed),
+            micros(m.waiting),
+            format!("{:+}", out.regret_micros(m)),
+        ]);
+    }
+    let oracle = out.oracle();
+    t.note(format!("oracle (best static): {} at {} us", oracle.mode, micros(oracle.elapsed)));
+    let a = &out.adaptation;
+    let latency = match (a.latency, out.scenario.onset) {
+        (Some(l), _) => format!(
+            "adapted {} us after onset (t={} us)",
+            micros(l),
+            out.scenario.onset.as_micros()
+        ),
+        (None, o) if o > Duration::ZERO => "did not switch after onset".to_string(),
+        _ => "no onset; latency n/a".to_string(),
+    };
+    t.note(format!(
+        "dynamic: {} production switch(es), settled on {}; {}",
+        a.switches, a.settled, latency
+    ));
+    t.to_console()
+}
+
+/// Run the full scenario × mode sweep and render the deterministic report.
+/// The same `cfg` always yields a byte-identical string.
+#[must_use]
+pub fn chaos_report(cfg: &ChaosConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos harness: {} scenarios x {{{}, dynamic}} (seed {})\n",
+        scenarios(cfg).len(),
+        VERSIONS.join(", "),
+        cfg.seed
+    );
+    for scenario in scenarios(cfg) {
+        let result = run_scenario(cfg, &scenario);
+        out.push_str(&render(cfg, &result));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChaosConfig {
+        ChaosConfig { seed: 5, iters: 1_200, procs: 8 }
+    }
+
+    #[test]
+    fn baseline_oracle_is_the_fine_grained_version() {
+        let cfg = small();
+        let out = run_scenario(&cfg, &scenarios(&cfg)[0]);
+        assert_eq!(out.scenario.name, "baseline");
+        assert_eq!(out.oracle().mode, "original");
+    }
+
+    #[test]
+    fn every_scenario_completes_in_every_mode() {
+        let cfg = ChaosConfig { seed: 9, iters: 400, procs: 4 };
+        for scenario in scenarios(&cfg) {
+            let out = run_scenario(&cfg, &scenario);
+            assert_eq!(out.statics.len(), VERSIONS.len(), "{}", scenario.name);
+            assert!(out.dynamic.elapsed > Duration::ZERO, "{}", scenario.name);
+        }
+    }
+}

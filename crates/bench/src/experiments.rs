@@ -176,9 +176,8 @@ pub fn figure3_feasible_region() -> Table {
 /// analog): all four versions across processor counts.
 #[must_use]
 pub fn execution_times(spec: &AppSpec) -> (Table, Table) {
-    let proc_header: Vec<String> = std::iter::once("Version".to_string())
-        .chain(PROCS.iter().map(|p| p.to_string()))
-        .collect();
+    let proc_header: Vec<String> =
+        std::iter::once("Version".to_string()).chain(PROCS.iter().map(|p| p.to_string())).collect();
     let mut times = Table::new_owned(
         &format!("Execution Times for {} (virtual seconds)", spec.name),
         proc_header.clone(),
@@ -188,10 +187,8 @@ pub fn execution_times(spec: &AppSpec) -> (Table, Table) {
     serial_row.extend(PROCS.iter().skip(1).map(|_| String::new()));
     times.row(serial_row);
 
-    let mut speedups = Table::new_owned(
-        &format!("Speedups for {} (vs. serial)", spec.name),
-        proc_header,
-    );
+    let mut speedups =
+        Table::new_owned(&format!("Speedups for {} (vs. serial)", spec.name), proc_header);
 
     let run_row = |label: &str, f: &dyn Fn(usize) -> AppReport| {
         let mut trow = vec![label.to_string()];
@@ -211,8 +208,7 @@ pub fn execution_times(spec: &AppSpec) -> (Table, Table) {
     let (trow, srow) = run_row("Dynamic", &|p| run_dyn(spec, p, bench_controller()));
     times.row(trow);
     speedups.row(srow);
-    let (trow, srow) =
-        run_row("Dynamic (span)", &|p| run_dyn_span(spec, p, bench_controller()));
+    let (trow, srow) = run_row("Dynamic (span)", &|p| run_dyn_span(spec, p, bench_controller()));
     times.row(trow);
     speedups.row(srow);
     times.note("Static versions run uninstrumented; the Dynamic version carries instrumentation and timer polling, as in the paper. `Dynamic (span)` additionally lets intervals span section executions (the paper's own §4.4 proposal), which removes the per-execution resampling cost that dominates when sections are short relative to the sampling phase.");
@@ -251,13 +247,10 @@ pub fn locking_overhead(spec: &AppSpec) -> Table {
 /// total processor-time, per version and processor count.
 #[must_use]
 pub fn waiting_proportion(spec: &AppSpec) -> Table {
-    let header: Vec<String> = std::iter::once("Version".to_string())
-        .chain(PROCS.iter().map(|p| p.to_string()))
-        .collect();
-    let mut t = Table::new_owned(
-        &format!("Waiting Proportion for {} (Figure 7)", spec.name),
-        header,
-    );
+    let header: Vec<String> =
+        std::iter::once("Version".to_string()).chain(PROCS.iter().map(|p| p.to_string())).collect();
+    let mut t =
+        Table::new_owned(&format!("Waiting Proportion for {} (Figure 7)", spec.name), header);
     for (policy, label) in POLICIES {
         let mut row = vec![label.to_string()];
         for &p in &PROCS {
@@ -295,10 +288,8 @@ pub fn overhead_series(spec: &AppSpec, section: &str, procs: usize) -> Table {
     );
     for exec in report.section(section) {
         for r in &exec.records {
-            let name = version_names
-                .get(r.version)
-                .cloned()
-                .unwrap_or_else(|| format!("v{}", r.version));
+            let name =
+                version_names.get(r.version).cloned().unwrap_or_else(|| format!("v{}", r.version));
             let phase = if r.phase.is_sampling() { "sampling" } else { "production" };
             t.row(vec![
                 format!("{:.4}", r.at.as_secs_f64()),
@@ -329,12 +320,7 @@ pub fn section_stats(spec: &AppSpec, sections: &[&str]) -> Table {
         let mean = execs.iter().map(|e| e.duration()).sum::<Duration>() / execs.len() as u32;
         let iters = execs[0].iterations;
         let iter_size = mean / iters.max(1) as u32;
-        t.row(vec![
-            name.to_string(),
-            secs(mean),
-            iters.to_string(),
-            millis(iter_size),
-        ]);
+        t.row(vec![name.to_string(), secs(mean), iters.to_string(), millis(iter_size)]);
     }
     t
 }
@@ -364,8 +350,7 @@ pub fn effective_sampling_intervals(spec: &AppSpec, section: &str, procs: usize)
         &["Version", "Mean Minimum Effective Sampling Interval (ms)"],
     );
     for (v, d) in report.mean_effective_sampling_intervals(section).iter().enumerate() {
-        let name =
-            version_names.get(v).cloned().unwrap_or_else(|| format!("v{v}"));
+        let name = version_names.get(v).cloned().unwrap_or_else(|| format!("v{v}"));
         t.row(vec![name, d.map_or_else(|| "-".to_string(), millis)]);
     }
     t

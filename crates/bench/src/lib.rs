@@ -7,5 +7,6 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;

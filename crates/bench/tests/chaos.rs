@@ -1,0 +1,60 @@
+//! Acceptance tests for the chaos harness: a mid-run fault flips the best
+//! policy, and dynamic feedback re-converges within a bounded number of
+//! production intervals and beats every static version.
+
+use dynfb_bench::chaos::{chaos_controller, run_scenario, scenarios, ChaosConfig};
+use std::time::Duration;
+
+fn scenario_outcome(cfg: &ChaosConfig, name: &str) -> dynfb_bench::chaos::ScenarioOutcome {
+    let s = scenarios(cfg).into_iter().find(|s| s.name == name).expect("scenario exists");
+    run_scenario(cfg, &s)
+}
+
+#[test]
+fn mid_run_storm_flips_the_best_policy_and_dynamic_beats_every_static() {
+    let cfg = ChaosConfig::default();
+    let baseline = scenario_outcome(&cfg, "baseline");
+    let storm = scenario_outcome(&cfg, "lock-storm");
+
+    // The mid-run contention storm flips the best static policy: fine
+    // locking wins clean, coarse locking wins once lock ops are expensive.
+    assert_eq!(baseline.oracle().mode, "original");
+    assert_eq!(storm.oracle().mode, "aggressive");
+
+    // Dynamic feedback re-converges onto the post-onset winner...
+    assert_eq!(storm.adaptation.settled, "aggressive");
+    assert!(storm.adaptation.switches >= 1);
+
+    // ...within a bounded number of production intervals of the onset...
+    let latency = storm.adaptation.latency.expect("production policy switched after onset");
+    assert!(latency <= chaos_controller().target_production * 3, "latency {latency:?}");
+
+    // ...and beats every static version over the whole faulted run.
+    for s in &storm.statics {
+        assert!(
+            storm.dynamic.elapsed < s.elapsed,
+            "dynamic {:?} not faster than static {} {:?}",
+            storm.dynamic.elapsed,
+            s.mode,
+            s.elapsed
+        );
+    }
+}
+
+#[test]
+fn frozen_clock_degrades_gracefully() {
+    // With the observed clock frozen, sampling can never measure an
+    // interval; the watchdog aborts into production and the run stays
+    // close to the oracle instead of wedging or panicking.
+    let cfg = ChaosConfig::default();
+    let frozen = scenario_outcome(&cfg, "frozen-clock");
+    assert!(frozen.dynamic.elapsed > Duration::ZERO);
+    // Regret stays under 15% of the oracle's time.
+    let slack = frozen.oracle().elapsed * 15 / 100;
+    assert!(
+        frozen.dynamic.elapsed <= frozen.oracle().elapsed + slack,
+        "dynamic {:?} vs oracle {:?}",
+        frozen.dynamic.elapsed,
+        frozen.oracle().elapsed
+    );
+}

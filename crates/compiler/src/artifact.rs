@@ -90,10 +90,9 @@ impl fmt::Display for CompileError {
             CompileError::BadSection(s) => {
                 write!(f, "section `{s}` is not a nullary free function")
             }
-            CompileError::SectionShape(s) => write!(
-                f,
-                "parallel section `{s}` must consist of exactly one counted for-loop"
-            ),
+            CompileError::SectionShape(s) => {
+                write!(f, "parallel section `{s}` must consist of exactly one counted for-loop")
+            }
             CompileError::NotParallelizable { section, reasons } => {
                 write!(f, "section `{section}` is not parallelizable: {}", reasons.join("; "))
             }
@@ -425,19 +424,14 @@ impl CompiledApp {
             lock_capacity: self.max_objects,
             fuel: self.fuel,
         };
-        interp
-            .call(func.0, None, vec![])
-            .unwrap_or_else(|e| panic!("`{name}` failed: {e}"));
+        interp.call(func.0, None, vec![]).unwrap_or_else(|e| panic!("`{name}` failed: {e}"));
     }
 
     /// The Table 1 code-size report for this application.
     #[must_use]
     pub fn code_sizes(&self) -> CodeSizeReport {
-        let serial: usize = self
-            .serial_funcs
-            .iter()
-            .map(|f| FUNC_BYTES + body_size(&f.body) * NODE_BYTES)
-            .sum();
+        let serial: usize =
+            self.serial_funcs.iter().map(|f| FUNC_BYTES + body_size(&f.body) * NODE_BYTES).sum();
         let policy_size = |policy: &str| -> usize {
             let mut total = serial;
             for s in self.sections.values() {

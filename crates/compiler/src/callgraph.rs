@@ -41,17 +41,13 @@ impl CallGraph {
 
         // Tarjan-style SCC via iterative Kosaraju is overkill at this size;
         // use the simple coloring DFS to find functions on cycles.
-        let mut recursive = vec![false; n];
-        for start in 0..n {
-            // A function is recursive iff it can reach itself.
-            if reaches(&callees, FuncId(start), FuncId(start)) {
-                recursive[start] = true;
-            }
-        }
+        // A function is recursive iff it can reach itself.
+        let recursive: Vec<bool> =
+            (0..n).map(|start| reaches(&callees, FuncId(start), FuncId(start))).collect();
         let mut reaches_cycle = vec![false; n];
         for start in 0..n {
-            reaches_cycle[start] = recursive[start]
-                || any_reachable(&callees, FuncId(start), |f| recursive[f.0]);
+            reaches_cycle[start] =
+                recursive[start] || any_reachable(&callees, FuncId(start), |f| recursive[f.0]);
         }
         CallGraph { callees, recursive, reaches_cycle }
     }

@@ -22,9 +22,7 @@
 use crate::callgraph::CallGraph;
 use crate::effects::{visit_exprs_stmts, EffectsMap, FieldRef};
 use crate::symbolic::Sym;
-use dynfb_lang::hir::{
-    BinOp, ClassId, Expr, ExprKind, FuncId, Hir, Place, Stmt, Ty, UnOp,
-};
+use dynfb_lang::hir::{BinOp, ClassId, Expr, ExprKind, FuncId, Hir, Place, Stmt, Ty, UnOp};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The symbolic effect of one update operation on its receiver.
@@ -156,13 +154,7 @@ fn summarize_inner(
         effects,
         memo,
         env: (0..f.locals.len())
-            .map(|i| {
-                if i < f.num_params {
-                    Some(Sym::Param { inst: 0, slot: i })
-                } else {
-                    None
-                }
-            })
+            .map(|i| if i < f.num_params { Some(Sym::Param { inst: 0, slot: i }) } else { None })
             .collect(),
         state: BTreeMap::new(),
         cond_reads: BTreeSet::new(),
@@ -223,12 +215,8 @@ impl<'a> SymExec<'a> {
                             Err(format!("`{}` writes a field of another object", self.name))
                         }
                     }
-                    Place::Global(_) => {
-                        Err(format!("`{}` writes a global variable", self.name))
-                    }
-                    Place::Index { .. } => {
-                        Err(format!("`{}` writes an array element", self.name))
-                    }
+                    Place::Global(_) => Err(format!("`{}` writes a global variable", self.name)),
+                    Place::Index { .. } => Err(format!("`{}` writes an array element", self.name)),
                 }
             }
             Stmt::If { cond, then_branch, else_branch } => {
@@ -353,41 +341,30 @@ impl<'a> SymExec<'a> {
                             continue; // a separate operation in the extent
                         }
                         let sub = summarize(self.hir, self.effects, *func, self.memo)?;
-                        let own: BTreeSet<usize> =
-                            sub.updates.iter().map(|(f, _)| *f).collect();
+                        let own: BTreeSet<usize> = sub.updates.iter().map(|(f, _)| *f).collect();
                         self.cond_reads.extend(sub.cond_reads.iter().copied());
                         self.foreign_reads.extend(sub.foreign_reads.iter().copied());
                         for (f, expr) in &sub.updates {
                             match check_update_form(*f, expr, &own)? {
                                 UpdateOp::Identity => {}
                                 UpdateOp::Add => {
-                                    let cur = self
-                                        .state
-                                        .get(f)
-                                        .cloned()
-                                        .unwrap_or(Sym::Init(*f));
+                                    let cur = self.state.get(f).cloned().unwrap_or(Sym::Init(*f));
                                     let h = self.fresh();
                                     self.state.insert(*f, Sym::add(cur, h));
                                 }
                                 UpdateOp::Mul => {
-                                    let cur = self
-                                        .state
-                                        .get(f)
-                                        .cloned()
-                                        .unwrap_or(Sym::Init(*f));
+                                    let cur = self.state.get(f).cloned().unwrap_or(Sym::Init(*f));
                                     let h = self.fresh();
                                     self.state.insert(*f, Sym::mul(cur, h));
                                 }
                             }
                         }
                     }
-                    ExprKind::CallFn { func, .. } => {
-                        if !self.effects.of(*func).is_pure() {
-                            return Err(format!(
-                                "`{}` conditionally calls impure free function `{}`",
-                                self.name, self.hir.functions[func.0].name
-                            ));
-                        }
+                    ExprKind::CallFn { func, .. } if !self.effects.of(*func).is_pure() => {
+                        return Err(format!(
+                            "`{}` conditionally calls impure free function `{}`",
+                            self.name, self.hir.functions[func.0].name
+                        ));
                     }
                     _ => {}
                 },
@@ -457,11 +434,7 @@ impl<'a> SymExec<'a> {
             .map(|(f, expr)| {
                 let with_args = substitute_params(expr, &actuals);
                 // Substitute current state for Init references.
-                let max_field = self
-                    .hir
-                    .classes
-                    .get(sub.class.0)
-                    .map_or(0, |c| c.fields.len());
+                let max_field = self.hir.classes.get(sub.class.0).map_or(0, |c| c.fields.len());
                 let state_vec: Vec<Sym> = (0..max_field)
                     .map(|i| self.state.get(&i).cloned().unwrap_or(Sym::Init(i)))
                     .collect();
@@ -584,9 +557,7 @@ pub fn rename_instance(sym: &Sym, inst: usize) -> Sym {
 
 fn substitute_params(sym: &Sym, actuals: &[Sym]) -> Sym {
     match sym {
-        Sym::Param { inst: 0, slot } =>
-
-            actuals.get(*slot).cloned().unwrap_or_else(|| sym.clone()),
+        Sym::Param { inst: 0, slot } => actuals.get(*slot).cloned().unwrap_or_else(|| sym.clone()),
         Sym::Add(ts) => {
             Sym::Add(ts.iter().map(|t| substitute_params(t, actuals)).collect()).normalized()
         }
@@ -679,9 +650,9 @@ pub fn check_update_form(
             check_rest(terms)?;
             Ok(UpdateOp::Mul)
         }
-        other => Err(format!(
-            "field {field} update is not a commutative update expression: {other}"
-        )),
+        other => {
+            Err(format!("field {field} update is not a commutative update expression: {other}"))
+        }
     }
 }
 
@@ -767,11 +738,8 @@ pub fn analyze_extent(
     // 5. Update forms and read checks.
     for s in &summaries {
         let name = hir.functions[s.func.0].qualified_name(&hir.classes);
-        let class_written: BTreeSet<usize> = written
-            .iter()
-            .filter(|(c, _)| *c == s.class)
-            .map(|(_, f)| *f)
-            .collect();
+        let class_written: BTreeSet<usize> =
+            written.iter().filter(|(c, _)| *c == s.class).map(|(_, f)| *f).collect();
         for (f, e) in &s.updates {
             if let Err(r) = check_update_form(*f, e, &class_written) {
                 reasons.push(format!("`{name}`: {r}"));
@@ -844,13 +812,7 @@ pub fn analyze_extent(
         }
     }
 
-    CommutativityReport {
-        parallelizable: reasons.is_empty(),
-        reasons,
-        extent,
-        updaters,
-        written,
-    }
+    CommutativityReport { parallelizable: reasons.is_empty(), reasons, extent, updaters, written }
 }
 
 /// Write-effects of a bare statement list (reads are checked separately).
@@ -890,7 +852,9 @@ fn scan_body(body: &[Stmt]) -> crate::effects::Effects {
 
 fn writes_this_fields(stmts: &[Stmt]) -> bool {
     let e = scan_body(stmts);
-    !e.this_writes.is_empty() || !e.other_writes.is_empty() || !e.global_writes.is_empty()
+    !e.this_writes.is_empty()
+        || !e.other_writes.is_empty()
+        || !e.global_writes.is_empty()
         || e.array_writes
 }
 

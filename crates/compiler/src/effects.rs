@@ -135,14 +135,12 @@ impl EffectsMap {
 /// Calls in a body, with whether the receiver is syntactically `this`
 /// (free-function calls count as non-`this`).
 pub fn collect_calls_with_receiver(stmts: &[Stmt], out: &mut Vec<(FuncId, bool)>) {
-    visit_exprs_stmts(stmts, &mut |e| {
-        match &e.kind {
-            ExprKind::CallFn { func, .. } => out.push((*func, false)),
-            ExprKind::CallMethod { obj, func, .. } => {
-                out.push((*func, matches!(obj.kind, ExprKind::This)));
-            }
-            _ => {}
+    visit_exprs_stmts(stmts, &mut |e| match &e.kind {
+        ExprKind::CallFn { func, .. } => out.push((*func, false)),
+        ExprKind::CallMethod { obj, func, .. } => {
+            out.push((*func, matches!(obj.kind, ExprKind::This)));
         }
+        _ => {}
     });
 }
 

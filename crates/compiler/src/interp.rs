@@ -91,11 +91,7 @@ pub struct Heap {
 impl Heap {
     /// Allocate an object of a class (fields zeroed).
     pub fn alloc_object(&mut self, class_idx: usize, classes: &[Class]) -> usize {
-        let fields = classes[class_idx]
-            .fields
-            .iter()
-            .map(|f| Value::default_for(&f.ty))
-            .collect();
+        let fields = classes[class_idx].fields.iter().map(|f| Value::default_for(&f.ty)).collect();
         self.objects.push(Object { class: class_idx, fields });
         self.objects.len() - 1
     }
@@ -130,12 +126,15 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Implementation of a host-provided `extern` function.
+pub type HostImpl = Box<dyn FnMut(&[Value]) -> Value>;
+
 /// A host-implemented `extern` function.
 pub struct HostFn {
     /// Cost charged per call (models the kernel's real execution time).
     pub cost: Duration,
     /// The implementation.
-    pub call: Box<dyn FnMut(&[Value]) -> Value>,
+    pub call: HostImpl,
 }
 
 impl fmt::Debug for HostFn {
@@ -261,8 +260,7 @@ impl<'a> Interp<'a> {
         self.charge()?;
         let f = &self.funcs[func];
         debug_assert_eq!(args.len(), f.num_params, "arity of `{}`", f.name);
-        let mut locals: Vec<Value> =
-            f.locals.iter().map(|l| Value::default_for(&l.ty)).collect();
+        let mut locals: Vec<Value> = f.locals.iter().map(|l| Value::default_for(&l.ty)).collect();
         locals[..args.len()].copy_from_slice(&args);
         let mut frame = Frame { locals, this };
         // Reborrow the function table independently of `self` so the body
@@ -339,18 +337,16 @@ impl<'a> Interp<'a> {
                     self.stmts(else_branch, frame)
                 }
             }
-            Stmt::While { cond, body } => {
-                loop {
-                    self.charge()?;
-                    let c = self.eval(cond, frame)?;
-                    if !matches!(c, Value::Bool(true)) {
-                        return Ok(Flow::Normal);
-                    }
-                    if let Flow::Return(v) = self.stmts(body, frame)? {
-                        return Ok(Flow::Return(v));
-                    }
+            Stmt::While { cond, body } => loop {
+                self.charge()?;
+                let c = self.eval(cond, frame)?;
+                if !matches!(c, Value::Bool(true)) {
+                    return Ok(Flow::Normal);
                 }
-            }
+                if let Flow::Return(v) = self.stmts(body, frame)? {
+                    return Ok(Flow::Return(v));
+                }
+            },
             Stmt::CountedFor { var, start, bound, body } => {
                 let start = self.eval(start, frame)?.as_int()?;
                 let bound = self.eval(bound, frame)?.as_int()?;
@@ -398,9 +394,9 @@ impl<'a> Interp<'a> {
             ExprKind::Double(v) => Value::Double(*v),
             ExprKind::Bool(v) => Value::Bool(*v),
             ExprKind::Null => Value::Null,
-            ExprKind::This => frame
-                .this
-                .ok_or_else(|| RuntimeError::new("`this` outside method"))?,
+            ExprKind::This => {
+                frame.this.ok_or_else(|| RuntimeError::new("`this` outside method"))?
+            }
             ExprKind::Local(l) => frame.locals[l.0],
             ExprKind::Global(g) => self.env.globals[g.0],
             ExprKind::FieldGet { obj, field, .. } => {

@@ -16,7 +16,9 @@ use dynfb_lang::hir::{Expr, ExprKind, Function, Place, Stmt};
 ///
 /// Returns true if any region was inserted.
 pub fn insert_default_regions(func: &mut Function) -> bool {
-    let Some(class) = func.class else { return false };
+    let Some(class) = func.class else {
+        return false;
+    };
     let body = std::mem::take(&mut func.body);
     let mut inserted = false;
     func.body = wrap_runs(body, &Expr::this(class), &mut inserted);
@@ -128,10 +130,7 @@ mod tests {
 
     #[test]
     fn pure_methods_untouched() {
-        let hir = compile_source(
-            "class c { double x; double get() { return this.x; } }",
-        )
-        .unwrap();
+        let hir = compile_source("class c { double x; double get() { return this.x; } }").unwrap();
         let mut func = hir.functions[0].clone();
         assert!(!insert_default_regions(&mut func));
         assert_eq!(count_criticals(&func.body), 0);

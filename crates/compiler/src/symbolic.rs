@@ -64,6 +64,10 @@ pub enum Sym {
     },
 }
 
+// `add`/`mul`/`neg`/`sub` are by-value constructors feeding normalization,
+// not operator impls; the std operator traits would force reference
+// semantics the canonicalizer doesn't want.
+#[allow(clippy::should_implement_trait)]
 impl Sym {
     /// Shorthand for an opaque application.
     #[must_use]
@@ -181,10 +185,9 @@ impl Sym {
                     _ => Sym::Mul(flat),
                 }
             }
-            Sym::Opaque { tag, args } => Sym::Opaque {
-                tag,
-                args: args.into_iter().map(Sym::normalized).collect(),
-            },
+            Sym::Opaque { tag, args } => {
+                Sym::Opaque { tag, args: args.into_iter().map(Sym::normalized).collect() }
+            }
             leaf => leaf,
         }
     }

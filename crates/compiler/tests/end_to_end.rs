@@ -5,7 +5,7 @@
 use dynfb_compiler::artifact::{compile, CompileError, CompileOptions, CompiledApp};
 use dynfb_compiler::interp::{HostRegistry, Value};
 use dynfb_core::controller::ControllerConfig;
-use dynfb_sim::{run_app, PlanEntry, RunConfig};
+use dynfb_sim::{PlanEntry, RunConfig};
 use std::time::Duration;
 
 /// A miniature Barnes-Hut-flavoured program: an init serial section builds
@@ -137,8 +137,7 @@ fn aggressive_reduces_lock_acquires() {
     let orig_report = dynfb_sim::run_app(orig, &RunConfig::fixed(4, "original")).unwrap();
     let aggr = build();
     let aggr_report = dynfb_sim::run_app(aggr, &RunConfig::fixed(4, "aggressive")).unwrap();
-    let (o, a) =
-        (orig_report.stats.totals().acquires, aggr_report.stats.totals().acquires);
+    let (o, a) = (orig_report.stats.totals().acquires, aggr_report.stats.totals().acquires);
     // Original: two regions per interaction (phi, then acc) = 2·24·24.
     assert_eq!(o, 2 * 24 * 24, "original acquires");
     // Aggressive lifts to one region per body per section execution.

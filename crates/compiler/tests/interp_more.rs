@@ -5,7 +5,6 @@
 use dynfb_compiler::interp::{CostModel, Heap, HostRegistry, Interp, ProgramEnv, Value};
 use dynfb_lang::compile_source;
 use dynfb_sim::{Machine, MachineConfig, OpSink};
-use std::time::Duration;
 
 fn run(src: &str, func: &str, args: Vec<Value>) -> (Value, ProgramEnv) {
     let hir = compile_source(src).unwrap_or_else(|e| panic!("{e}"));

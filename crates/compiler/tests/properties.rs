@@ -1,111 +1,127 @@
 //! Property-based tests for the symbolic engine behind the commutativity
 //! analysis, and structural invariants of the synchronization
 //! optimization policies.
+//!
+//! Expressions are generated with the repository's own deterministic PRNG
+//! (`dynfb_core::rng::SplitMix64`), so every failure reproduces from the
+//! fixed seeds below.
 
 use dynfb_compiler::symbolic::{Bits, Sym};
-use proptest::prelude::*;
+use dynfb_core::rng::SplitMix64;
 
-/// A random symbolic expression over a few parameters and Init slots,
-/// without float constants (exact integer algebra).
-fn int_sym_strategy() -> impl Strategy<Value = Sym> {
-    let leaf = prop_oneof![
-        (-8i64..8).prop_map(Sym::Int),
-        (0usize..4).prop_map(|s| Sym::Param { inst: 0, slot: s }),
-        (0usize..3).prop_map(Sym::Init),
-    ];
-    leaf.prop_recursive(3, 32, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Sym::Add),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Sym::Mul),
-            proptest::collection::vec(inner, 1..3)
-                .prop_map(|args| Sym::Opaque { tag: "f".to_string(), args }),
-        ]
-    })
+const CASES: u64 = 128;
+
+/// A random symbolic leaf over a few parameters and Init slots. With
+/// `floats`, float constants are included; without, the algebra stays exact.
+fn gen_leaf(g: &mut SplitMix64, floats: bool) -> Sym {
+    match g.gen_index(if floats { 4 } else { 3 }) {
+        0 => Sym::Int(g.gen_range_i64(-8, 8)),
+        1 => Sym::Param { inst: 0, slot: g.gen_index(4) },
+        2 => Sym::Init(g.gen_index(3)),
+        _ => Sym::Double(Bits::from_f64(g.gen_f64(-2.0, 2.0))),
+    }
 }
 
-/// A random symbolic expression over a few parameters and Init slots.
-fn sym_strategy() -> impl Strategy<Value = Sym> {
-    let leaf = prop_oneof![
-        (-8i64..8).prop_map(Sym::Int),
-        (0usize..4).prop_map(|s| Sym::Param { inst: 0, slot: s }),
-        (0usize..3).prop_map(Sym::Init),
-        (-2.0f64..2.0).prop_map(|v| Sym::Double(Bits::from_f64(v))),
-    ];
-    leaf.prop_recursive(3, 32, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Sym::Add),
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Sym::Mul),
-            proptest::collection::vec(inner, 1..3)
-                .prop_map(|args| Sym::Opaque { tag: "f".to_string(), args }),
-        ]
-    })
+/// A random symbolic expression of bounded depth (mirrors the recursive
+/// strategy the analysis is exercised with: Add/Mul/Opaque over leaves).
+fn gen_sym(g: &mut SplitMix64, depth: usize, floats: bool) -> Sym {
+    if depth == 0 || g.chance(0.3) {
+        return gen_leaf(g, floats);
+    }
+    let arity = g.gen_index(2) + 2;
+    let args: Vec<Sym> = (0..arity).map(|_| gen_sym(g, depth - 1, floats)).collect();
+    match g.gen_index(3) {
+        0 => Sym::Add(args),
+        1 => Sym::Mul(args),
+        _ => Sym::Opaque { tag: "f".to_string(), args: args.into_iter().take(2).collect() },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn int_sym(g: &mut SplitMix64) -> Sym {
+    gen_sym(g, 3, false)
+}
 
-    /// Normalization is idempotent.
-    #[test]
-    fn normalization_is_idempotent(e in sym_strategy()) {
+fn any_sym(g: &mut SplitMix64) -> Sym {
+    gen_sym(g, 3, true)
+}
+
+/// Normalization is idempotent.
+#[test]
+fn normalization_is_idempotent() {
+    let mut g = SplitMix64::new(0xC0_3001);
+    for _ in 0..CASES {
+        let e = any_sym(&mut g);
         let once = e.clone().normalized();
         let twice = once.clone().normalized();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    /// Addition and multiplication are commutative and associative after
-    /// normalization: any permutation/regrouping of operands yields the
-    /// same normal form. (Exact integer algebra — float constant folding
-    /// is grouping-dependent by an ulp, which the analysis treats
-    /// conservatively.)
-    #[test]
-    fn ac_rewriting_is_canonical(
-        a in int_sym_strategy(),
-        b in int_sym_strategy(),
-        c in int_sym_strategy(),
-    ) {
+/// Addition and multiplication are commutative and associative after
+/// normalization: any permutation/regrouping of operands yields the same
+/// normal form. (Exact integer algebra — float constant folding is
+/// grouping-dependent by an ulp, which the analysis treats conservatively.)
+#[test]
+fn ac_rewriting_is_canonical() {
+    let mut g = SplitMix64::new(0xC0_3002);
+    for _ in 0..CASES {
+        let a = int_sym(&mut g);
+        let b = int_sym(&mut g);
+        let c = int_sym(&mut g);
         let left = Sym::add(a.clone(), Sym::add(b.clone(), c.clone()));
         let right = Sym::add(Sym::add(c.clone(), a.clone()), b.clone());
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right);
         let left = Sym::mul(a.clone(), Sym::mul(b.clone(), c.clone()));
         let right = Sym::mul(Sym::mul(c, a), b);
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right);
     }
+}
 
-    /// Substituting a state into `Init`s commutes with normalization.
-    /// (Stated over exact integer algebra: float constant folding is
-    /// order-dependent, which is precisely why the commutativity checker
-    /// compares exact normal forms and stays conservative about floats.)
-    #[test]
-    fn substitution_preserves_normal_forms(
-        e in int_sym_strategy(),
-        s0 in int_sym_strategy(),
-        s1 in int_sym_strategy(),
-        s2 in int_sym_strategy(),
-    ) {
-        let state = [s0.normalized(), s1.normalized(), s2.normalized()];
+/// Substituting a state into `Init`s commutes with normalization.
+/// (Stated over exact integer algebra: float constant folding is
+/// order-dependent, which is precisely why the commutativity checker
+/// compares exact normal forms and stays conservative about floats.)
+#[test]
+fn substitution_preserves_normal_forms() {
+    let mut g = SplitMix64::new(0xC0_3003);
+    for _ in 0..CASES {
+        let e = int_sym(&mut g);
+        let state = [
+            int_sym(&mut g).normalized(),
+            int_sym(&mut g).normalized(),
+            int_sym(&mut g).normalized(),
+        ];
         let sub_then_norm = e.clone().substitute_init(&state).normalized();
         let norm_then_sub = e.normalized().substitute_init(&state).normalized();
-        prop_assert_eq!(sub_then_norm, norm_then_sub);
+        assert_eq!(sub_then_norm, norm_then_sub);
     }
+}
 
-    /// Identity elements vanish; annihilators win.
-    #[test]
-    fn identities_and_annihilators(e in sym_strategy()) {
+/// Identity elements vanish; annihilators win.
+#[test]
+fn identities_and_annihilators() {
+    let mut g = SplitMix64::new(0xC0_3004);
+    for _ in 0..CASES {
+        let e = any_sym(&mut g);
         let en = e.clone().normalized();
-        prop_assert_eq!(Sym::add(e.clone(), Sym::Int(0)), en.clone());
-        prop_assert_eq!(Sym::mul(e.clone(), Sym::Int(1)), en);
-        prop_assert_eq!(Sym::mul(e, Sym::Int(0)), Sym::Int(0));
+        assert_eq!(Sym::add(e.clone(), Sym::Int(0)), en.clone());
+        assert_eq!(Sym::mul(e.clone(), Sym::Int(1)), en);
+        assert_eq!(Sym::mul(e, Sym::Int(0)), Sym::Int(0));
     }
+}
 
-    /// `mentions_init` is exact with respect to substitution: substituting
-    /// an unmentioned slot changes nothing.
-    #[test]
-    fn unmentioned_init_substitution_is_noop(e in sym_strategy()) {
+/// `mentions_init` is exact with respect to substitution: substituting an
+/// unmentioned slot changes nothing.
+#[test]
+fn unmentioned_init_substitution_is_noop() {
+    let mut g = SplitMix64::new(0xC0_3005);
+    for _ in 0..CASES {
+        let e = any_sym(&mut g);
         let en = e.clone().normalized();
         if !en.mentions_init(2) {
             // Substitute only slot 2; slots 0/1 map to themselves.
             let state = [Sym::Init(0), Sym::Init(1), Sym::Param { inst: 7, slot: 9 }];
-            prop_assert_eq!(en.clone().substitute_init(&state), en);
+            assert_eq!(en.clone().substitute_init(&state), en);
         }
     }
 }
@@ -113,7 +129,9 @@ proptest! {
 mod policy_structure {
     use dynfb_compiler::lockplace::insert_default_regions;
     use dynfb_compiler::syncopt::{count_regions, optimize, FnSet, Policy};
-    use proptest::prelude::*;
+    use dynfb_core::rng::SplitMix64;
+
+    const CASES: u64 = 24;
 
     /// Generate a small update method body: a list of field updates and
     /// pure statements, in random order.
@@ -137,6 +155,17 @@ mod policy_structure {
         )
     }
 
+    /// A random update pattern with at least one real update.
+    fn gen_updates(g: &mut SplitMix64) -> Vec<bool> {
+        loop {
+            let len = g.gen_index(7) + 1;
+            let updates: Vec<bool> = (0..len).map(|_| g.chance(0.5)).collect();
+            if updates.iter().any(|u| *u) {
+                return updates;
+            }
+        }
+    }
+
     /// Count regions in `driver` and everything reachable from it (the
     /// lift transformation legitimately leaves uncalled originals behind).
     fn reachable_regions(funcs: &[dynfb_lang::hir::Function], driver: usize) -> usize {
@@ -158,10 +187,7 @@ mod policy_structure {
 
     fn regions_after(policy: Policy, updates: &[bool]) -> (usize, usize) {
         let hir = dynfb_lang::compile_source(&source(updates)).expect("valid");
-        let driver = hir
-            .method_named(hir.class_named("c").unwrap(), "driver")
-            .unwrap()
-            .0;
+        let driver = hir.method_named(hir.class_named("c").unwrap(), "driver").unwrap().0;
         let mut funcs = hir.functions.clone();
         for f in &mut funcs {
             insert_default_regions(f);
@@ -173,34 +199,31 @@ mod policy_structure {
         (before, after)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// The policies never *add* critical regions relative to the
-        /// default placement, and more aggressive policies never keep more
-        /// static regions than less aggressive ones (in straight-line
-        /// bodies).
-        #[test]
-        fn policies_are_monotone_in_region_count(
-            updates in proptest::collection::vec(any::<bool>(), 1..8)
-        ) {
-            prop_assume!(updates.iter().any(|u| *u));
+    /// The policies never *add* critical regions relative to the default
+    /// placement, and more aggressive policies never keep more static
+    /// regions than less aggressive ones (in straight-line bodies).
+    #[test]
+    fn policies_are_monotone_in_region_count() {
+        let mut g = SplitMix64::new(0xC0_3006);
+        for _ in 0..CASES {
+            let updates = gen_updates(&mut g);
             let (before, orig) = regions_after(Policy::Original, &updates);
             let (_, bounded) = regions_after(Policy::Bounded, &updates);
             let (_, aggressive) = regions_after(Policy::Aggressive, &updates);
-            prop_assert_eq!(before, orig, "Original never transforms");
-            prop_assert!(bounded <= orig);
-            prop_assert!(aggressive <= bounded);
-            prop_assert!(aggressive >= 1, "sync cannot vanish entirely");
+            assert_eq!(before, orig, "Original never transforms");
+            assert!(bounded <= orig);
+            assert!(aggressive <= bounded);
+            assert!(aggressive >= 1, "sync cannot vanish entirely");
         }
+    }
 
-        /// Optimization is idempotent: re-running a policy on its own
-        /// output changes nothing.
-        #[test]
-        fn optimization_is_idempotent(
-            updates in proptest::collection::vec(any::<bool>(), 1..8)
-        ) {
-            prop_assume!(updates.iter().any(|u| *u));
+    /// Optimization is idempotent: re-running a policy on its own output
+    /// changes nothing.
+    #[test]
+    fn optimization_is_idempotent() {
+        let mut g = SplitMix64::new(0xC0_3007);
+        for _ in 0..CASES {
+            let updates = gen_updates(&mut g);
             let hir = dynfb_lang::compile_source(&source(&updates)).expect("valid");
             let mut funcs = hir.functions.clone();
             for f in &mut funcs {
@@ -210,7 +233,7 @@ mod policy_structure {
             optimize(&mut set, Policy::Aggressive, &[]);
             let once = set.clone();
             optimize(&mut set, Policy::Aggressive, &[]);
-            prop_assert_eq!(set, once);
+            assert_eq!(set, once);
         }
     }
 }

@@ -209,6 +209,10 @@ pub struct Controller {
     measurements: Vec<Option<f64>>,
     /// Most recent overhead ever measured per policy (across phases).
     history: Vec<Option<f64>>,
+    /// Policies removed from rotation after a fault (panicking version,
+    /// sampling interval that never completes). Quarantined policies are
+    /// never sampled or selected again for the lifetime of the controller.
+    quarantined: Vec<bool>,
     /// Number of completed sampling phases.
     sampling_phases: u64,
     /// Number of completed production phases.
@@ -247,6 +251,7 @@ impl Controller {
             order: Vec::new(),
             measurements: vec![None; n],
             history: vec![None; n],
+            quarantined: vec![false; n],
             sampling_phases: 0,
             production_phases: 0,
         })
@@ -341,33 +346,44 @@ impl Controller {
         match self.phase {
             Phase::Idle => panic!("no active section: call begin_section first"),
             Phase::Sampling { policy, position, planned } => {
-                let overhead = sample.total_overhead();
-                let previous = self.history[policy];
-                self.measurements[policy] = Some(overhead);
-                self.history[policy] = Some(overhead);
+                // An unusable sample (zero-length interval, or a sanitized
+                // non-finite measurement) records nothing: treating it as a
+                // zero-overhead measurement would make a broken version look
+                // perfect. The policy simply goes unmeasured this phase.
+                if sample.is_usable() {
+                    let overhead = sample.total_overhead();
+                    let previous = self.history[policy];
+                    self.measurements[policy] = Some(overhead);
+                    self.history[policy] = Some(overhead);
 
-                if let Some(cut) = self.config.early_cutoff {
-                    if self.cutoff_applies(policy, position, previous, &sample, &cut) {
-                        return self.enter_production(policy, true);
+                    if let Some(cut) = self.config.early_cutoff {
+                        if self.cutoff_applies(policy, position, previous, &sample, &cut) {
+                            return self.enter_production(policy, true);
+                        }
                     }
                 }
 
-                let next_position = position + 1;
-                if next_position < planned {
+                // Advance to the next plannable (non-quarantined) policy.
+                let mut next_position = position + 1;
+                while next_position < planned {
                     let next = self.order[next_position];
-                    self.phase =
-                        Phase::Sampling { policy: next, position: next_position, planned };
-                    Transition::Sample(next)
-                } else {
-                    let best = self.best_measured();
-                    self.enter_production(best, false)
+                    if !self.is_quarantined(next) {
+                        self.phase =
+                            Phase::Sampling { policy: next, position: next_position, planned };
+                        return Transition::Sample(next);
+                    }
+                    next_position += 1;
                 }
+                let best = self.best_measured();
+                self.enter_production(best, false)
             }
             Phase::Production { policy, .. } => {
                 // Periodic resampling: production measurements also refresh
                 // the history (the paper keeps instrumentation enabled in
                 // production phases; see §6.1 footnote 2).
-                self.history[policy] = Some(sample.total_overhead());
+                if sample.is_usable() {
+                    self.history[policy] = Some(sample.total_overhead());
+                }
                 self.production_phases += 1;
                 self.start_sampling_phase();
                 Transition::Sample(self.current_policy())
@@ -384,21 +400,29 @@ impl Controller {
     fn start_sampling_phase(&mut self) {
         self.order = self.sampling_order();
         self.measurements = vec![None; self.config.num_policies];
-        let first = self.order[0];
-        self.phase = Phase::Sampling { policy: first, position: 0, planned: self.order.len() };
+        // With every policy quarantined there is nothing left to measure;
+        // degrade to the safest policy so the runtime still has something
+        // runnable (callers that care check `runnable_policies`).
+        let first = self.order.first().copied().unwrap_or_else(|| self.safest_policy());
+        self.phase =
+            Phase::Sampling { policy: first, position: 0, planned: self.order.len().max(1) };
     }
 
     fn sampling_order(&self) -> Vec<PolicyId> {
         let n = self.config.num_policies;
-        let mut order: Vec<PolicyId> = (0..n).collect();
+        let mut order: Vec<PolicyId> = (0..n).filter(|&p| !self.is_quarantined(p)).collect();
         match self.config.ordering {
             PolicyOrdering::InOrder => {}
             PolicyOrdering::ExtremesFirst => {
-                if n >= 2 {
-                    order.clear();
-                    order.push(n - 1);
-                    order.push(0);
-                    order.extend(1..n - 1);
+                // Most aggressive surviving policy first, then the least
+                // aggressive survivor, then the rest in index order.
+                if order.len() >= 2 {
+                    let most = order.pop().expect("len >= 2");
+                    let least = order.remove(0);
+                    let rest = std::mem::take(&mut order);
+                    order.push(most);
+                    order.push(least);
+                    order.extend(rest);
                 }
             }
             PolicyOrdering::BestFirst => {
@@ -454,20 +478,99 @@ impl Controller {
     }
 
     fn best_measured(&self) -> PolicyId {
-        let mut best = self.order[0];
+        let mut best: Option<PolicyId> = None;
         let mut best_overhead = f64::INFINITY;
         // Iterate in sampling order so ties resolve to the first sampled
         // policy, matching the paper's "arbitrarily select one of the
         // sampled policies with the lowest overhead".
         for &p in &self.order {
+            if self.is_quarantined(p) {
+                continue;
+            }
             if let Some(v) = self.measurements[p] {
-                if v < best_overhead {
+                if v.is_finite() && v < best_overhead {
                     best_overhead = v;
-                    best = p;
+                    best = Some(p);
                 }
             }
         }
-        best
+        // No usable measurement at all this phase: degrade to the safest
+        // surviving policy (Original by the §3 policy ordering convention)
+        // rather than trusting garbage.
+        best.unwrap_or_else(|| self.safest_policy())
+    }
+
+    /// The least aggressive (lowest-index) policy that is not quarantined;
+    /// by the §3 convention this is *Original*, the policy that never applies
+    /// the transformation and is therefore the safest default. Falls back to
+    /// policy 0 if everything is quarantined.
+    #[must_use]
+    pub fn safest_policy(&self) -> PolicyId {
+        self.quarantined.iter().position(|&q| !q).unwrap_or(0)
+    }
+
+    /// Whether a policy has been [quarantined](Controller::quarantine).
+    /// Out-of-range ids are reported as quarantined (never runnable).
+    #[must_use]
+    pub fn is_quarantined(&self, policy: PolicyId) -> bool {
+        self.quarantined.get(policy).copied().unwrap_or(true)
+    }
+
+    /// Number of policies still in rotation (not quarantined).
+    #[must_use]
+    pub fn runnable_policies(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| !q).count()
+    }
+
+    /// Remove a policy from rotation permanently — used when a version
+    /// panics, or when its sampling interval never completes. Its
+    /// measurements and history are discarded (they may be poisoned by
+    /// whatever broke it).
+    ///
+    /// Returns the policy the runtime should execute next: if the
+    /// quarantined policy was the one executing, the controller restarts a
+    /// sampling phase over the survivors (re-sampling, since the environment
+    /// evidently changed); otherwise the current policy is unaffected.
+    /// Returns `None` when no runnable policy remains — the caller must
+    /// abort the computation, there is nothing left to degrade to.
+    pub fn quarantine(&mut self, policy: PolicyId) -> Option<PolicyId> {
+        if let Some(slot) = self.quarantined.get_mut(policy) {
+            *slot = true;
+            self.measurements[policy] = None;
+            self.history[policy] = None;
+        }
+        if self.runnable_policies() == 0 {
+            return None;
+        }
+        match self.phase {
+            Phase::Idle => Some(self.safest_policy()),
+            Phase::Sampling { policy: current, .. } | Phase::Production { policy: current, .. } => {
+                if current == policy {
+                    self.start_sampling_phase();
+                }
+                Some(self.current_policy())
+            }
+        }
+    }
+
+    /// Abort an over-long sampling phase and enter production immediately
+    /// with the best measurement so far (the stuck-sampling watchdog's
+    /// escape hatch). If nothing usable was measured, production runs the
+    /// safest surviving policy. In a production phase this is a no-op
+    /// returning the current transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section is active.
+    pub fn abort_to_production(&mut self) -> Transition {
+        match self.phase {
+            Phase::Idle => panic!("no active section: call begin_section first"),
+            Phase::Sampling { .. } => {
+                let best = self.best_measured();
+                self.enter_production(best, false)
+            }
+            Phase::Production { policy, via_cutoff } => Transition::Produce { policy, via_cutoff },
+        }
     }
 
     fn enter_production(&mut self, policy: PolicyId, via_cutoff: bool) -> Transition {
@@ -645,5 +748,106 @@ mod tests {
     fn current_policy_panics_when_idle() {
         let ctl = Controller::new(cfg(2));
         let _ = ctl.current_policy();
+    }
+
+    #[test]
+    fn unusable_samples_record_nothing_and_fall_back_to_safest() {
+        let mut ctl = Controller::new(cfg(3));
+        ctl.begin_section();
+        // Every sampling interval yields an unusable (zero-length) sample.
+        let dead = OverheadSample::default();
+        assert!(!dead.is_usable());
+        ctl.complete_interval(dead);
+        ctl.complete_interval(dead);
+        let t = ctl.complete_interval(dead);
+        // Nothing measured: production must degrade to Original (policy 0).
+        assert_eq!(t, Transition::Produce { policy: 0, via_cutoff: false });
+        assert!(ctl.measurements().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn unusable_sample_does_not_beat_a_real_measurement() {
+        let mut ctl = Controller::new(cfg(2));
+        ctl.begin_section();
+        ctl.complete_interval(sample(0.3));
+        // Policy 1's interval never really ran; it must not win with a
+        // phantom 0.0 overhead.
+        let t = ctl.complete_interval(OverheadSample::default());
+        assert_eq!(t.policy(), 0);
+    }
+
+    #[test]
+    fn quarantined_policy_is_never_sampled_again() {
+        let mut ctl = Controller::new(cfg(3));
+        ctl.begin_section();
+        let next = ctl.quarantine(1);
+        assert_eq!(next, Some(0), "policy 0 was executing and survives");
+        ctl.complete_interval(sample(0.4));
+        // Sampling skips 1 entirely and goes to 2.
+        assert_eq!(ctl.current_policy(), 2);
+        let t = ctl.complete_interval(sample(0.2));
+        assert_eq!(t, Transition::Produce { policy: 2, via_cutoff: false });
+        // Resampling phases exclude it too.
+        let t = ctl.complete_interval(sample(0.2));
+        assert!(matches!(t, Transition::Sample(p) if p != 1));
+    }
+
+    #[test]
+    fn quarantining_the_running_policy_restarts_sampling() {
+        let mut ctl = Controller::new(cfg(3));
+        ctl.begin_section();
+        ctl.complete_interval(sample(0.9));
+        ctl.complete_interval(sample(0.1));
+        ctl.complete_interval(sample(0.5));
+        assert_eq!(ctl.current_policy(), 1);
+        assert!(ctl.phase().is_production());
+        // The production winner dies: re-sample among survivors.
+        let next = ctl.quarantine(1);
+        assert_eq!(next, Some(ctl.current_policy()));
+        assert!(ctl.phase().is_sampling());
+        assert!(!ctl.is_quarantined(0) && !ctl.is_quarantined(2));
+    }
+
+    #[test]
+    fn quarantining_everything_reports_no_survivor() {
+        let mut ctl = Controller::new(cfg(2));
+        ctl.begin_section();
+        assert_eq!(ctl.quarantine(0), Some(1));
+        assert_eq!(ctl.quarantine(1), None);
+        assert_eq!(ctl.runnable_policies(), 0);
+    }
+
+    #[test]
+    fn abort_to_production_uses_best_so_far() {
+        let mut ctl = Controller::new(cfg(3));
+        ctl.begin_section();
+        ctl.complete_interval(sample(0.4));
+        // Mid-phase (policy 1 executing, 2 unmeasured): abort.
+        let t = ctl.abort_to_production();
+        assert_eq!(t, Transition::Produce { policy: 0, via_cutoff: false });
+        assert!(ctl.phase().is_production());
+        // Aborting during production is a no-op.
+        assert_eq!(ctl.abort_to_production(), t);
+    }
+
+    #[test]
+    fn abort_with_no_measurements_degrades_to_safest() {
+        let mut ctl = Controller::new(cfg(3));
+        ctl.begin_section();
+        let t = ctl.abort_to_production();
+        assert_eq!(t.policy(), 0);
+    }
+
+    #[test]
+    fn extremes_first_respects_quarantine() {
+        let config = ControllerConfig { ordering: PolicyOrdering::ExtremesFirst, ..cfg(4) };
+        let mut ctl = Controller::new(config);
+        ctl.begin_section();
+        ctl.quarantine(3);
+        ctl.end_section();
+        // Most aggressive *survivor* (2) first, then least aggressive (0).
+        assert_eq!(ctl.begin_section(), 2);
+        assert_eq!(ctl.complete_interval(sample(0.4)), Transition::Sample(0));
+        assert_eq!(ctl.complete_interval(sample(0.4)), Transition::Sample(1));
     }
 }

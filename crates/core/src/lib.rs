@@ -64,6 +64,7 @@
 pub mod controller;
 pub mod overhead;
 pub mod realtime;
+pub mod rng;
 pub mod theory;
 
 pub use controller::{Controller, ControllerConfig, Phase, PolicyId, Transition};

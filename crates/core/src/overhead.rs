@@ -86,14 +86,26 @@ impl OverheadSample {
 
     /// Build a sample with a given total-overhead fraction over `execution`
     /// time, attributing all of it to locking. Useful in tests and examples.
+    ///
+    /// A non-finite `fraction` (NaN or ±∞ from a broken measurement source)
+    /// yields the [unusable](Self::is_usable) zero sample rather than
+    /// propagating the poison: `NaN.clamp` stays NaN and
+    /// `Duration::mul_f64(NaN)` would panic.
     #[must_use]
     pub fn from_fraction(fraction: f64, execution: Duration) -> Self {
-        let fraction = fraction.clamp(0.0, 1.0);
-        OverheadSample {
-            locking: execution.mul_f64(fraction),
-            waiting: Duration::ZERO,
-            execution,
+        if !fraction.is_finite() {
+            return OverheadSample::default();
         }
+        let fraction = fraction.clamp(0.0, 1.0);
+        OverheadSample { locking: execution.mul_f64(fraction), waiting: Duration::ZERO, execution }
+    }
+
+    /// Whether this sample carries any information. A zero-length interval
+    /// (or a sanitized non-finite measurement) has no execution time and
+    /// must not be mistaken for a perfect zero-overhead measurement.
+    #[must_use]
+    pub fn is_usable(&self) -> bool {
+        !self.execution.is_zero()
     }
 
     /// Total overhead: `(locking + waiting) / execution`, clamped to `[0, 1]`.
@@ -130,9 +142,7 @@ impl OverheadSample {
     /// overheads (the paper notes the two sources can be subtracted out).
     #[must_use]
     pub fn useful_work(&self) -> Duration {
-        self.execution
-            .saturating_sub(self.locking)
-            .saturating_sub(self.waiting)
+        self.execution.saturating_sub(self.locking).saturating_sub(self.waiting)
     }
 
     /// Merge two samples measured over disjoint stretches of the same
@@ -166,6 +176,23 @@ mod tests {
     #[test]
     fn zero_execution_yields_zero_overhead() {
         let s = OverheadSample::new(Duration::from_millis(5), Duration::ZERO, Duration::ZERO);
+        assert_eq!(s.total_overhead(), 0.0);
+        assert!(!s.is_usable());
+    }
+
+    #[test]
+    fn non_finite_fractions_become_unusable_not_panics() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = OverheadSample::from_fraction(bad, Duration::from_millis(10));
+            assert!(!s.is_usable(), "{bad} must yield an unusable sample");
+            assert_eq!(s.total_overhead(), 0.0);
+        }
+        // Finite out-of-range fractions clamp instead.
+        let s = OverheadSample::from_fraction(42.0, Duration::from_millis(10));
+        assert!(s.is_usable());
+        assert_eq!(s.total_overhead(), 1.0);
+        let s = OverheadSample::from_fraction(-3.0, Duration::from_millis(10));
+        assert!(s.is_usable());
         assert_eq!(s.total_overhead(), 0.0);
     }
 

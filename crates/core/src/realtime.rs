@@ -15,6 +15,14 @@
 //! * lock overheads are measured by counting successful acquires and failed
 //!   acquire attempts through [`ProfiledMutex`] (§4.3).
 //!
+//! The executor degrades gracefully under faults: a version closure that
+//! panics is caught ([`std::panic::catch_unwind`]), the version is
+//! [quarantined](crate::controller::Controller::quarantine), the interrupted
+//! item is retried under a surviving version, and sampling restarts among
+//! the survivors. Only when *every* version has panicked does [`run`]
+//! (AdaptiveExecutor::run) give up, returning
+//! [`ExecError::AllVersionsFailed`] instead of propagating the panic.
+//!
 //! ```
 //! use dynfb_core::realtime::{AdaptiveExecutor, ExecutorConfig, Instruments, AdaptiveWorkload};
 //! use dynfb_core::controller::ControllerConfig;
@@ -41,16 +49,25 @@
 //!     ..ExecutorConfig::default()
 //! });
 //! let workload = Sum { total: AtomicU64::new(0) };
-//! let report = exec.run(&workload, 10_000);
+//! let report = exec.run(&workload, 10_000).expect("no version panics");
 //! assert_eq!(workload.total.load(Ordering::Relaxed), (0..10_000u64).sum());
 //! assert!(report.items_processed == 10_000);
 //! ```
 
-use crate::controller::{Controller, ControllerConfig, Phase, PolicyId};
+use crate::controller::{ConfigError, Controller, ControllerConfig, Phase, PolicyId};
 use crate::overhead::OverheadCounters;
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, TryLockError};
 use std::time::{Duration, Instant};
+
+/// Lock a mutex, tolerating poison: a worker that panicked inside a version
+/// closure is caught and quarantined, so shared state protected by the lock
+/// is still consistent — the poison flag alone must not wedge the executor.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Per-event costs used to convert instrumentation counters into time
 /// overheads (§4.3). Defaults approximate a modern CPU; use
@@ -81,15 +98,15 @@ impl InstrumentCosts {
         let m: Mutex<u64> = Mutex::new(0);
         let start = Instant::now();
         for _ in 0..ROUNDS {
-            *m.lock() += 1;
+            *lock(&m) += 1;
         }
         let pair_cost = start.elapsed() / ROUNDS;
 
-        let _held = m.lock();
+        let _held = lock(&m);
         let start = Instant::now();
         let mut failures = 0u32;
         for _ in 0..ROUNDS {
-            if m.try_lock().is_none() {
+            if m.try_lock().is_err() {
                 failures += 1;
             }
         }
@@ -155,18 +172,26 @@ impl<T> ProfiledMutex<T> {
     /// Acquire the lock, recording instrumentation events.
     pub fn lock<'a>(&'a self, instruments: &Instruments) -> MutexGuard<'a, T> {
         loop {
-            if let Some(guard) = self.inner.try_lock() {
-                instruments.record_acquire();
-                return guard;
+            match self.inner.try_lock() {
+                Ok(guard) => {
+                    instruments.record_acquire();
+                    return guard;
+                }
+                Err(TryLockError::Poisoned(poisoned)) => {
+                    instruments.record_acquire();
+                    return poisoned.into_inner();
+                }
+                Err(TryLockError::WouldBlock) => {
+                    instruments.record_failed_attempt();
+                    std::hint::spin_loop();
+                }
             }
-            instruments.record_failed_attempt();
-            std::hint::spin_loop();
         }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner()
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -182,6 +207,11 @@ pub trait AdaptiveWorkload: Sync {
     /// Process one item under the given version. Lock operations should go
     /// through [`ProfiledMutex::lock`] with the supplied instruments so the
     /// executor can measure overheads.
+    ///
+    /// A panic here does not take down the run: the executor catches it,
+    /// quarantines the version, and retries the item under a survivor. The
+    /// workload is responsible for leaving its own shared state usable when
+    /// a version can panic midway through an item.
     fn run_item(&self, version: usize, item: usize, instruments: &Instruments);
 }
 
@@ -210,6 +240,53 @@ impl Default for ExecutorConfig {
     }
 }
 
+/// Error returned by [`AdaptiveExecutor::try_new`] and
+/// [`AdaptiveExecutor::run`]. Malformed configurations and totally failed
+/// workloads surface here as values, never as panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `workers` was zero.
+    NoWorkers,
+    /// `poll_every` was zero.
+    ZeroPollEvery,
+    /// The embedded controller configuration is invalid.
+    Controller(ConfigError),
+    /// The workload's version count disagrees with the controller's policy
+    /// count.
+    VersionMismatch {
+        /// `AdaptiveWorkload::num_versions`.
+        workload: usize,
+        /// `ControllerConfig::num_policies`.
+        controller: usize,
+    },
+    /// Every version panicked and was quarantined; no runnable version
+    /// remains.
+    AllVersionsFailed {
+        /// Items that completed successfully before the run gave up.
+        completed: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoWorkers => write!(f, "executor needs at least one worker"),
+            ExecError::ZeroPollEvery => write!(f, "poll_every must be non-zero"),
+            ExecError::Controller(e) => write!(f, "invalid controller configuration: {e}"),
+            ExecError::VersionMismatch { workload, controller } => write!(
+                f,
+                "workload has {workload} versions but the controller expects {controller}"
+            ),
+            ExecError::AllVersionsFailed { completed } => write!(
+                f,
+                "every version panicked and was quarantined ({completed} items completed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// One record in the phase trace of an execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhaseRecord {
@@ -231,29 +308,32 @@ pub struct PhaseRecord {
 pub struct ExecutionReport {
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
-    /// Total items processed (equals the requested count).
+    /// Items that completed successfully. Equals the requested count: an
+    /// item interrupted by a version panic is retried under a surviving
+    /// version (a run with no survivors returns an error instead).
     pub items_processed: usize,
     /// Completed intervals, in order.
     pub trace: Vec<PhaseRecord>,
     /// Final instrumentation counters.
     pub counters: OverheadCounters,
+    /// Versions quarantined after panicking, in quarantine order.
+    pub quarantined: Vec<PolicyId>,
+    /// Number of panics caught in version closures.
+    pub panics: u64,
 }
 
 impl ExecutionReport {
     /// The policy that held the most recent production phase, if any.
     #[must_use]
     pub fn last_production_policy(&self) -> Option<PolicyId> {
-        self.trace
-            .iter()
-            .rev()
-            .find(|r| r.phase.is_production())
-            .map(|r| r.policy)
+        self.trace.iter().rev().find(|r| r.phase.is_production()).map(|r| r.policy)
     }
 }
 
 /// Shared rendezvous used for synchronous policy switching. Unlike
 /// `std::sync::Barrier`, workers may *deregister* when they run out of
-/// items, so a pending switch never deadlocks on an exited worker.
+/// items, so a pending switch never deadlocks on an exited worker, and the
+/// whole gate can be aborted when no runnable version remains.
 #[derive(Debug)]
 struct SwitchGate {
     state: Mutex<GateState>,
@@ -266,6 +346,7 @@ struct GateState {
     arrived: usize,
     generation: u64,
     switch_pending: bool,
+    aborted: bool,
 }
 
 impl SwitchGate {
@@ -276,15 +357,17 @@ impl SwitchGate {
                 arrived: 0,
                 generation: 0,
                 switch_pending: false,
+                aborted: false,
             }),
             cv: Condvar::new(),
         }
     }
 
-    /// Mark a switch as pending. Returns false if one was already pending.
+    /// Mark a switch as pending. Returns false if one was already pending
+    /// or the gate is aborted.
     fn request_switch(&self) -> bool {
-        let mut st = self.state.lock();
-        if st.switch_pending {
+        let mut st = lock(&self.state);
+        if st.switch_pending || st.aborted {
             false
         } else {
             st.switch_pending = true;
@@ -293,9 +376,13 @@ impl SwitchGate {
     }
 
     /// Arrive at the gate; the last arriver runs `leader` (while holding the
-    /// gate lock) and releases everyone. Returns true for the leader.
+    /// gate lock) and releases everyone. Returns true for the leader. On an
+    /// aborted gate, returns false immediately without waiting.
     fn arrive_and_wait(&self, leader: impl FnOnce()) -> bool {
-        let mut st = self.state.lock();
+        let mut st = lock(&self.state);
+        if st.aborted {
+            return false;
+        }
         st.arrived += 1;
         if st.arrived == st.active {
             leader();
@@ -306,8 +393,11 @@ impl SwitchGate {
             true
         } else {
             let gen = st.generation;
-            while st.generation == gen {
-                self.cv.wait(&mut st);
+            while st.generation == gen && !st.aborted {
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.aborted {
+                st.arrived = st.arrived.saturating_sub(1);
             }
             false
         }
@@ -315,14 +405,27 @@ impl SwitchGate {
 
     /// Try to leave the pool. Fails (returns false) if a switch is pending,
     /// in which case the caller must participate in the rendezvous first.
+    /// Always succeeds on an aborted gate.
     fn try_exit(&self) -> bool {
-        let mut st = self.state.lock();
+        let mut st = lock(&self.state);
+        if st.aborted {
+            return true;
+        }
         if st.switch_pending {
             false
         } else {
             st.active -= 1;
             true
         }
+    }
+
+    /// Permanently release the gate: wake all waiters, refuse future
+    /// switches. Used when no runnable version remains.
+    fn abort(&self) {
+        let mut st = lock(&self.state);
+        st.aborted = true;
+        st.switch_pending = false;
+        self.cv.notify_all();
     }
 }
 
@@ -333,6 +436,9 @@ struct Shared {
     num_items: usize,
     policy: AtomicUsize,
     switch_flag: AtomicBool,
+    aborted: AtomicBool,
+    completed: AtomicUsize,
+    panics: AtomicU64,
     gate: SwitchGate,
     instruments: Instruments,
     control: Mutex<ControlState>,
@@ -347,6 +453,7 @@ struct ControlState {
     run_start: Instant,
     snapshot: OverheadCounters,
     trace: Vec<PhaseRecord>,
+    quarantine_log: Vec<PolicyId>,
 }
 
 /// Executes [`AdaptiveWorkload`]s with dynamic feedback on a thread pool.
@@ -360,15 +467,28 @@ impl AdaptiveExecutor {
     ///
     /// # Panics
     ///
-    /// Panics if `config.workers == 0`, `config.poll_every == 0`, or the
-    /// controller configuration is invalid.
+    /// Panics if the configuration is invalid; use
+    /// [`AdaptiveExecutor::try_new`] for a fallible constructor.
     #[must_use]
     pub fn new(config: ExecutorConfig) -> Self {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.poll_every > 0, "poll_every must be non-zero");
-        // Validate the controller config eagerly.
-        let _ = Controller::new(config.controller.clone());
-        AdaptiveExecutor { config }
+        AdaptiveExecutor::try_new(config).expect("invalid executor configuration")
+    }
+
+    /// Create an executor, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::NoWorkers`], [`ExecError::ZeroPollEvery`], or
+    /// [`ExecError::Controller`] for a malformed configuration.
+    pub fn try_new(config: ExecutorConfig) -> Result<Self, ExecError> {
+        if config.workers == 0 {
+            return Err(ExecError::NoWorkers);
+        }
+        if config.poll_every == 0 {
+            return Err(ExecError::ZeroPollEvery);
+        }
+        Controller::try_new(config.controller.clone()).map_err(ExecError::Controller)?;
+        Ok(AdaptiveExecutor { config })
     }
 
     /// The configuration this executor was created with.
@@ -380,17 +500,26 @@ impl AdaptiveExecutor {
     /// Run `num_items` items of the workload to completion, adapting the
     /// executing version with dynamic feedback.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload's `num_versions` disagrees with the
-    /// controller's `num_policies`.
-    pub fn run<W: AdaptiveWorkload>(&self, workload: &W, num_items: usize) -> ExecutionReport {
-        assert_eq!(
-            workload.num_versions(),
-            self.config.controller.num_policies,
-            "workload version count must match controller policy count"
-        );
-        let mut controller = Controller::new(self.config.controller.clone());
+    /// Returns [`ExecError::VersionMismatch`] if the workload's
+    /// `num_versions` disagrees with the controller's `num_policies`, and
+    /// [`ExecError::AllVersionsFailed`] if every version panicked (panics in
+    /// version closures are caught and the version quarantined; the run only
+    /// fails once no runnable version remains).
+    pub fn run<W: AdaptiveWorkload>(
+        &self,
+        workload: &W,
+        num_items: usize,
+    ) -> Result<ExecutionReport, ExecError> {
+        if workload.num_versions() != self.config.controller.num_policies {
+            return Err(ExecError::VersionMismatch {
+                workload: workload.num_versions(),
+                controller: self.config.controller.num_policies,
+            });
+        }
+        let mut controller =
+            Controller::try_new(self.config.controller.clone()).map_err(ExecError::Controller)?;
         let first = controller.begin_section();
         let now = Instant::now();
         let shared = Shared {
@@ -398,6 +527,9 @@ impl AdaptiveExecutor {
             num_items,
             policy: AtomicUsize::new(first),
             switch_flag: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
             gate: SwitchGate::new(self.config.workers),
             instruments: Instruments::new(),
             control: Mutex::new(ControlState {
@@ -406,6 +538,7 @@ impl AdaptiveExecutor {
                 run_start: now,
                 snapshot: OverheadCounters::default(),
                 trace: Vec::new(),
+                quarantine_log: Vec::new(),
             }),
             costs: self.config.costs,
             workers: self.config.workers,
@@ -417,18 +550,27 @@ impl AdaptiveExecutor {
             }
         });
 
-        let control = shared.control.into_inner();
-        ExecutionReport {
-            elapsed: control.run_start.elapsed(),
-            items_processed: num_items,
-            trace: control.trace,
-            counters: shared.instruments.snapshot(),
+        let completed = shared.completed.load(Ordering::Relaxed);
+        if shared.aborted.load(Ordering::Acquire) {
+            return Err(ExecError::AllVersionsFailed { completed });
         }
+        let control = lock(&shared.control);
+        Ok(ExecutionReport {
+            elapsed: control.run_start.elapsed(),
+            items_processed: completed,
+            trace: control.trace.clone(),
+            counters: shared.instruments.snapshot(),
+            quarantined: control.quarantine_log.clone(),
+            panics: shared.panics.load(Ordering::Relaxed),
+        })
     }
 
     fn worker_loop<W: AdaptiveWorkload>(&self, shared: &Shared, workload: &W) {
         let mut since_poll = 0usize;
         loop {
+            if shared.aborted.load(Ordering::Acquire) {
+                return;
+            }
             if shared.switch_flag.load(Ordering::Acquire) {
                 self.rendezvous(shared);
                 continue;
@@ -442,17 +584,35 @@ impl AdaptiveExecutor {
                 self.rendezvous(shared);
                 continue;
             }
-            let policy = shared.policy.load(Ordering::Acquire);
-            workload.run_item(policy, item, &shared.instruments);
+            // Run the item, retrying under a surviving version if the
+            // current version's closure panics.
+            loop {
+                if shared.aborted.load(Ordering::Acquire) {
+                    return;
+                }
+                let policy = shared.policy.load(Ordering::Acquire);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    workload.run_item(policy, item, &shared.instruments);
+                }));
+                match outcome {
+                    Ok(()) => {
+                        shared.completed.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    Err(_) => {
+                        shared.panics.fetch_add(1, Ordering::Relaxed);
+                        self.quarantine_version(shared, policy);
+                    }
+                }
+            }
 
             since_poll += 1;
             if since_poll >= self.config.poll_every {
                 since_poll = 0;
                 // Potential switch point: poll the timer (§4.1).
                 let expired = {
-                    let control = shared.control.lock();
-                    control.interval_start.elapsed()
-                        >= control.controller.target_interval()
+                    let control = lock(&shared.control);
+                    control.interval_start.elapsed() >= control.controller.target_interval()
                 };
                 if expired && shared.gate.request_switch() {
                     shared.switch_flag.store(true, Ordering::Release);
@@ -461,9 +621,41 @@ impl AdaptiveExecutor {
         }
     }
 
+    /// A version closure panicked: quarantine it, restart the measurement
+    /// interval among the survivors, or abort the run when none remain.
+    fn quarantine_version(&self, shared: &Shared, policy: PolicyId) {
+        let survivor = {
+            let mut control = lock(&shared.control);
+            if control.controller.is_quarantined(policy) {
+                // Another worker already handled this version; retry under
+                // whatever policy is now current.
+                return;
+            }
+            control.quarantine_log.push(policy);
+            let survivor = control.controller.quarantine(policy);
+            if survivor.is_some() {
+                // The interrupted interval's measurements are poisoned;
+                // restart interval bookkeeping from here.
+                control.interval_start = Instant::now();
+                control.snapshot = shared.instruments.snapshot();
+            }
+            survivor
+        };
+        match survivor {
+            Some(next) => shared.policy.store(next, Ordering::Release),
+            None => {
+                shared.aborted.store(true, Ordering::Release);
+                // Release any workers parked at the gate; lock order matters:
+                // the gate leader takes gate-state before control, so the
+                // control lock is dropped before touching the gate here.
+                shared.gate.abort();
+            }
+        }
+    }
+
     fn rendezvous(&self, shared: &Shared) {
         shared.gate.arrive_and_wait(|| {
-            let mut control = shared.control.lock();
+            let mut control = lock(&shared.control);
             let now = Instant::now();
             let actual = now - control.interval_start;
             let counters = shared.instruments.snapshot();
@@ -540,7 +732,7 @@ mod tests {
     #[test]
     fn processes_every_item_exactly_once() {
         let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
-        let report = exec(3).run(&w, 5_000);
+        let report = exec(3).run(&w, 5_000).expect("no panics");
         assert_eq!(report.items_processed, 5_000);
         assert_eq!(w.applied.load(Ordering::Relaxed), 5_000);
         assert_eq!(w.counter.into_inner(), 5_000 * 16);
@@ -549,7 +741,7 @@ mod tests {
     #[test]
     fn converges_to_low_overhead_version() {
         let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
-        let report = exec(2).run(&w, 200_000);
+        let report = exec(2).run(&w, 200_000).expect("no panics");
         // At least one production phase must have happened, and the last
         // one must use version 1 (16x fewer lock pairs per item).
         let last = report.last_production_policy();
@@ -559,14 +751,14 @@ mod tests {
     #[test]
     fn single_worker_runs() {
         let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
-        let report = exec(1).run(&w, 1_000);
+        let report = exec(1).run(&w, 1_000).expect("no panics");
         assert_eq!(report.items_processed, 1_000);
     }
 
     #[test]
     fn counters_accumulate() {
         let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
-        let report = exec(2).run(&w, 2_000);
+        let report = exec(2).run(&w, 2_000).expect("no panics");
         // Every item acquires at least once.
         assert!(report.counters.acquires >= 2_000);
     }
@@ -597,6 +789,24 @@ mod tests {
         assert!(done.load(Ordering::SeqCst));
         assert!(gate.try_exit());
         assert!(gate.try_exit());
+    }
+
+    #[test]
+    fn aborted_gate_releases_waiters_and_exits() {
+        let gate = SwitchGate::new(2);
+        assert!(gate.request_switch());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Parks until the abort arrives; must not lead.
+                assert!(!gate.arrive_and_wait(|| panic!("no leader on abort")));
+            });
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                gate.abort();
+            });
+        });
+        assert!(gate.try_exit());
+        assert!(!gate.request_switch());
     }
 }
 
@@ -629,7 +839,7 @@ mod more_tests {
             },
             ..ExecutorConfig::default()
         });
-        let report = exec.run(&Uniform, 300_000);
+        let report = exec.run(&Uniform, 300_000).expect("no panics");
         // After any production record, the next record (if any) must be a
         // sampling record: production always resamples.
         for w in report.trace.windows(2) {
@@ -650,7 +860,7 @@ mod more_tests {
             controller: ControllerConfig { num_policies: 2, ..ControllerConfig::default() },
             ..ExecutorConfig::default()
         });
-        let report = exec.run(&Uniform, 0);
+        let report = exec.run(&Uniform, 0).expect("no panics");
         assert_eq!(report.items_processed, 0);
     }
 
@@ -661,7 +871,107 @@ mod more_tests {
             controller: ControllerConfig { num_policies: 2, ..ControllerConfig::default() },
             ..ExecutorConfig::default()
         });
-        let report = exec.run(&Uniform, 3);
+        let report = exec.run(&Uniform, 3).expect("no panics");
         assert_eq!(report.items_processed, 3);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use std::sync::atomic::AtomicUsize;
+
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        // Keep expected panics out of the test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    fn exec(workers: usize, policies: usize) -> AdaptiveExecutor {
+        AdaptiveExecutor::new(ExecutorConfig {
+            workers,
+            controller: ControllerConfig {
+                num_policies: policies,
+                target_sampling: Duration::from_micros(200),
+                target_production: Duration::from_millis(2),
+                ..ControllerConfig::default()
+            },
+            ..ExecutorConfig::default()
+        })
+    }
+
+    /// Version 0 always panics; version 1 works.
+    struct HalfBroken {
+        ok_items: AtomicUsize,
+    }
+    impl AdaptiveWorkload for HalfBroken {
+        fn num_versions(&self) -> usize {
+            2
+        }
+        fn run_item(&self, version: usize, _item: usize, _ins: &Instruments) {
+            assert_ne!(version, 0, "version 0 is broken");
+            self.ok_items.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Every version panics on every item.
+    struct FullyBroken;
+    impl AdaptiveWorkload for FullyBroken {
+        fn num_versions(&self) -> usize {
+            2
+        }
+        fn run_item(&self, _version: usize, _item: usize, _ins: &Instruments) {
+            panic!("all versions are broken");
+        }
+    }
+
+    #[test]
+    fn panicking_version_is_quarantined_and_items_still_complete() {
+        quiet_panics(|| {
+            let w = HalfBroken { ok_items: AtomicUsize::new(0) };
+            let report = exec(3, 2).run(&w, 4_000).expect("version 1 survives");
+            assert_eq!(report.items_processed, 4_000);
+            assert_eq!(w.ok_items.load(Ordering::Relaxed), 4_000);
+            assert_eq!(report.quarantined, vec![0]);
+            assert!(report.panics >= 1);
+            // Any production phase after the quarantine must use version 1.
+            if let Some(last) = report.last_production_policy() {
+                assert_eq!(last, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn all_versions_failing_is_an_error_not_a_panic() {
+        quiet_panics(|| {
+            let err = exec(2, 2).run(&FullyBroken, 100).unwrap_err();
+            assert_eq!(err, ExecError::AllVersionsFailed { completed: 0 });
+        });
+    }
+
+    #[test]
+    fn version_mismatch_is_an_error_not_a_panic() {
+        let err = exec(2, 3).run(&FullyBroken, 10).unwrap_err();
+        assert_eq!(err, ExecError::VersionMismatch { workload: 2, controller: 3 });
+    }
+
+    #[test]
+    fn invalid_configs_are_errors_not_panics() {
+        let bad = ExecutorConfig { workers: 0, ..ExecutorConfig::default() };
+        assert_eq!(AdaptiveExecutor::try_new(bad).unwrap_err(), ExecError::NoWorkers);
+        let bad = ExecutorConfig { poll_every: 0, ..ExecutorConfig::default() };
+        assert_eq!(AdaptiveExecutor::try_new(bad).unwrap_err(), ExecError::ZeroPollEvery);
+        let bad = ExecutorConfig {
+            controller: ControllerConfig { num_policies: 0, ..ControllerConfig::default() },
+            ..ExecutorConfig::default()
+        };
+        assert_eq!(
+            AdaptiveExecutor::try_new(bad).unwrap_err(),
+            ExecError::Controller(ConfigError::NoPolicies)
+        );
     }
 }

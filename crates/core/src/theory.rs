@@ -82,13 +82,13 @@ impl Analysis {
     /// Returns [`TheoryError::NotPositive`] if `sampling`, `num_policies` or
     /// `decay` is not strictly positive.
     pub fn new(sampling: f64, num_policies: usize, decay: f64) -> Result<Self, TheoryError> {
-        if !(sampling > 0.0) {
+        if !positive(sampling) {
             return Err(TheoryError::NotPositive("sampling"));
         }
         if num_policies == 0 {
             return Err(TheoryError::NotPositive("num_policies"));
         }
-        if !(decay > 0.0) {
+        if !positive(decay) {
             return Err(TheoryError::NotPositive("decay"));
         }
         Ok(Analysis { sampling, num_policies, decay })
@@ -153,7 +153,7 @@ impl Analysis {
     /// [`TheoryError::NotPositive`] if `p ≤ 0`.
     pub fn is_feasible(&self, p: f64, epsilon: f64) -> Result<bool, TheoryError> {
         check_epsilon(epsilon)?;
-        if !(p > 0.0) {
+        if !positive(p) {
             return Err(TheoryError::NotPositive("p"));
         }
         Ok(self.constraint_lhs(p, epsilon) <= self.constraint_rhs(epsilon) + 1e-12)
@@ -205,11 +205,7 @@ impl Analysis {
         }
 
         // Minimum of the lhs at p* where d/dp = (1-ε) - e^{-λp} = 0.
-        let p_star = if 1.0 - epsilon < 1.0 {
-            (1.0 / (1.0 - epsilon)).ln() / lam
-        } else {
-            0.0
-        };
+        let p_star = if 1.0 - epsilon < 1.0 { (1.0 / (1.0 - epsilon)).ln() / lam } else { 0.0 };
         if g(p_star) > 0.0 {
             return Ok(None);
         }
@@ -242,6 +238,11 @@ impl Analysis {
         }
         bisect(&h, 0.0, hi, 1e-12)
     }
+}
+
+/// Strictly-positive check; NaN is not positive.
+fn positive(x: f64) -> bool {
+    x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater)
 }
 
 fn check_epsilon(epsilon: f64) -> Result<(), TheoryError> {
@@ -303,10 +304,7 @@ mod tests {
         assert!(Analysis::new(0.0, 2, 0.1).is_err());
         assert!(Analysis::new(1.0, 0, 0.1).is_err());
         assert!(Analysis::new(1.0, 2, 0.0).is_err());
-        assert!(matches!(
-            figure3().is_feasible(1.0, 1.5),
-            Err(TheoryError::EpsilonOutOfRange(_))
-        ));
+        assert!(matches!(figure3().is_feasible(1.0, 1.5), Err(TheoryError::EpsilonOutOfRange(_))));
     }
 
     #[test]
@@ -333,8 +331,7 @@ mod tests {
         let a = figure3();
         let p = 7.0;
         for v in [0.1, 0.4, 0.9] {
-            let diff = (a.optimal_work(v, p) + a.sampling_total())
-                - a.selected_work(v, p);
+            let diff = (a.optimal_work(v, p) + a.sampling_total()) - a.selected_work(v, p);
             assert!((diff - a.work_difference(p)).abs() < 1e-9, "v={v}");
         }
     }

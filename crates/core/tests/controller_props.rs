@@ -1,72 +1,78 @@
 //! Property-based tests for the dynamic feedback controller: for any
 //! sequence of measured overheads, the state machine stays well-formed and
 //! production always runs an argmin of the sampling phase.
+//!
+//! Inputs are generated with the repository's own deterministic PRNG
+//! (`dynfb_core::rng::SplitMix64`), so every failure reproduces from the
+//! fixed seeds below.
 
 use dynfb_core::controller::{
     Controller, ControllerConfig, EarlyCutoff, Phase, PolicyOrdering, Transition,
 };
 use dynfb_core::overhead::OverheadSample;
-use proptest::prelude::*;
+use dynfb_core::rng::SplitMix64;
 use std::time::Duration;
+
+const CASES: u64 = 128;
 
 fn sample(overhead: f64) -> OverheadSample {
     OverheadSample::from_fraction(overhead, Duration::from_millis(10))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn overhead_vec(g: &mut SplitMix64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| g.next_f64()).collect()
+}
 
-    /// Plain in-order sampling: after `n` measurements the controller is
-    /// in production with a policy whose measured overhead is minimal, and
-    /// ties break to the earliest-sampled policy.
-    #[test]
-    fn production_runs_the_argmin(
-        overheads in proptest::collection::vec(0.0f64..1.0, 1..6)
-    ) {
-        let n = overheads.len();
-        let mut ctl = Controller::new(ControllerConfig {
-            num_policies: n,
-            ..ControllerConfig::default()
-        });
+/// Plain in-order sampling: after `n` measurements the controller is in
+/// production with a policy whose measured overhead is minimal, and ties
+/// break to the earliest-sampled policy.
+#[test]
+fn production_runs_the_argmin() {
+    let mut g = SplitMix64::new(0xC0_11_7A_01);
+    for _ in 0..CASES {
+        let n = g.gen_index(5) + 1;
+        let overheads = overhead_vec(&mut g, n);
+        let mut ctl =
+            Controller::new(ControllerConfig { num_policies: n, ..ControllerConfig::default() });
         ctl.begin_section();
         let mut last = Transition::Sample(0);
         for (i, &o) in overheads.iter().enumerate() {
-            prop_assert_eq!(ctl.current_policy(), i);
-            prop_assert!(ctl.phase().is_sampling());
+            assert_eq!(ctl.current_policy(), i);
+            assert!(ctl.phase().is_sampling());
             last = ctl.complete_interval(sample(o));
         }
         let Transition::Produce { policy, via_cutoff } = last else {
             panic!("must enter production after sampling all policies");
         };
-        prop_assert!(!via_cutoff);
+        assert!(!via_cutoff);
         let quantize = |x: f64| sample(x).total_overhead();
         let best = quantize(overheads[policy]);
         for (i, &o) in overheads.iter().enumerate() {
             let oi = quantize(o);
-            prop_assert!(oi >= best, "policy {policy} not argmin vs {i}");
+            assert!(oi >= best, "policy {policy} not argmin vs {i}");
             if oi == best {
-                prop_assert!(policy <= i, "tie must break earliest");
+                assert!(policy <= i, "tie must break earliest");
             }
         }
     }
+}
 
-    /// The controller never panics and always alternates sampling blocks
-    /// with production phases, for arbitrary measurement streams and any
-    /// ordering/cutoff configuration.
-    #[test]
-    fn state_machine_stays_well_formed(
-        n in 1usize..5,
-        overheads in proptest::collection::vec(0.0f64..1.0, 1..40),
-        ordering in prop_oneof![
-            Just(PolicyOrdering::InOrder),
-            Just(PolicyOrdering::ExtremesFirst),
-            Just(PolicyOrdering::BestFirst),
-        ],
-        cutoff in proptest::option::of((0.0f64..0.2).prop_map(|neg| EarlyCutoff {
-            negligible: neg,
-            accept_within: Some(0.05),
-        })),
-    ) {
+/// The controller never panics and always alternates sampling blocks with
+/// production phases, for arbitrary measurement streams and any
+/// ordering/cutoff configuration.
+#[test]
+fn state_machine_stays_well_formed() {
+    let mut g = SplitMix64::new(0xC0_11_7A_02);
+    let orderings =
+        [PolicyOrdering::InOrder, PolicyOrdering::ExtremesFirst, PolicyOrdering::BestFirst];
+    for _ in 0..CASES {
+        let n = g.gen_index(4) + 1;
+        let len = g.gen_index(39) + 1;
+        let overheads = overhead_vec(&mut g, len);
+        let ordering = orderings[g.gen_index(orderings.len())];
+        let cutoff = g
+            .chance(0.5)
+            .then(|| EarlyCutoff { negligible: g.gen_f64(0.0, 0.2), accept_within: Some(0.05) });
         let mut ctl = Controller::new(ControllerConfig {
             num_policies: n,
             ordering,
@@ -78,26 +84,29 @@ proptest! {
         for &o in &overheads {
             let phase = ctl.phase();
             let t = ctl.complete_interval(sample(o));
-            prop_assert!(ctl.current_policy() < n);
+            assert!(ctl.current_policy() < n);
             match (phase, t) {
                 // From production we always restart sampling.
                 (Phase::Production { .. }, Transition::Produce { .. }) => {
-                    prop_assert!(false, "production cannot chain to production");
+                    panic!("production cannot chain to production");
                 }
                 (Phase::Production { .. }, Transition::Sample(_)) => productions += 1,
                 _ => {}
             }
         }
-        prop_assert_eq!(ctl.production_phases(), productions);
-        prop_assert!(ctl.sampling_phases() >= productions);
+        assert_eq!(ctl.production_phases(), productions);
+        assert!(ctl.sampling_phases() >= productions);
     }
+}
 
-    /// Early cut-off never selects a policy that was not sampled in the
-    /// current phase.
-    #[test]
-    fn cutoff_selects_a_sampled_policy(
-        overheads in proptest::collection::vec(0.0f64..1.0, 1..20),
-    ) {
+/// Early cut-off never selects a policy that was not sampled in the
+/// current phase.
+#[test]
+fn cutoff_selects_a_sampled_policy() {
+    let mut g = SplitMix64::new(0xC0_11_7A_03);
+    for _ in 0..CASES {
+        let len = g.gen_index(19) + 1;
+        let overheads = overhead_vec(&mut g, len);
         let mut ctl = Controller::new(ControllerConfig {
             num_policies: 3,
             ordering: PolicyOrdering::ExtremesFirst,
@@ -108,31 +117,89 @@ proptest! {
         for &o in &overheads {
             let t = ctl.complete_interval(sample(o));
             if let Transition::Produce { policy, .. } = t {
-                prop_assert!(
+                assert!(
                     ctl.measurements()[policy].is_some(),
                     "production policy {policy} must have a measurement"
                 );
             }
         }
     }
+}
 
-    /// Section lifecycles: history survives `end_section`, measurements do
-    /// not.
-    #[test]
-    fn sections_reset_measurements_not_history(
-        overheads in proptest::collection::vec(0.01f64..0.99, 2..10),
-    ) {
-        let mut ctl = Controller::new(ControllerConfig {
-            num_policies: 2,
-            ..ControllerConfig::default()
-        });
+/// Section lifecycles: history survives `end_section`, measurements do not.
+#[test]
+fn sections_reset_measurements_not_history() {
+    let mut g = SplitMix64::new(0xC0_11_7A_04);
+    for _ in 0..CASES {
+        let len = g.gen_index(8) + 2;
+        let overheads: Vec<f64> = (0..len).map(|_| g.gen_f64(0.01, 0.99)).collect();
+        let mut ctl =
+            Controller::new(ControllerConfig { num_policies: 2, ..ControllerConfig::default() });
         ctl.begin_section();
         for &o in &overheads {
             ctl.complete_interval(sample(o));
         }
         ctl.end_section();
-        prop_assert!(ctl.history().iter().any(Option::is_some));
+        assert!(ctl.history().iter().any(Option::is_some));
         ctl.begin_section();
-        prop_assert!(ctl.measurements().iter().all(Option::is_none));
+        assert!(ctl.measurements().iter().all(Option::is_none));
+    }
+}
+
+/// Robustness: arbitrary sample sequences — including NaN, ±∞, negative and
+/// out-of-range fractions, zero-length intervals, and mid-stream
+/// quarantines — keep every reported overhead in [0, 1], never wedge the
+/// controller outside the sampling/production cycle, and always leave a
+/// runnable, non-quarantined current policy.
+#[test]
+fn hostile_sample_streams_never_wedge_the_controller() {
+    let mut g = SplitMix64::new(0xC0_11_7A_05);
+    let orderings =
+        [PolicyOrdering::InOrder, PolicyOrdering::ExtremesFirst, PolicyOrdering::BestFirst];
+    for _ in 0..CASES {
+        let n = g.gen_index(4) + 1;
+        let steps = g.gen_index(39) + 1;
+        let ordering = orderings[g.gen_index(orderings.len())];
+        let cutoff = g.chance(0.5).then(|| EarlyCutoff {
+            negligible: g.gen_f64(0.0, 0.2),
+            accept_within: g.chance(0.5).then_some(0.05),
+        });
+        let mut ctl = Controller::new(ControllerConfig {
+            num_policies: n,
+            ordering,
+            early_cutoff: cutoff,
+            ..ControllerConfig::default()
+        });
+        ctl.begin_section();
+        for _ in 0..steps {
+            // Occasionally quarantine a random policy, but never the last
+            // survivor (a fully quarantined controller is the executor's
+            // abort case, tested separately).
+            if ctl.runnable_policies() > 1 && g.chance(0.1) {
+                let victim = g.gen_index(n);
+                let next = ctl.quarantine(victim);
+                assert!(next.is_some(), "survivors remain");
+            }
+            let s = match g.gen_index(6) {
+                0 => sample(f64::NAN),
+                1 => sample(f64::INFINITY),
+                2 => sample(f64::NEG_INFINITY),
+                3 => sample(g.gen_f64(-10.0, 10.0)),
+                4 => OverheadSample::default(), // zero-length interval
+                _ => sample(g.next_f64()),
+            };
+            ctl.complete_interval(s);
+
+            // Never wedged: always sampling or production, never Idle.
+            assert!(ctl.phase().is_sampling() || ctl.phase().is_production());
+            // Always a runnable, in-range, non-quarantined current policy.
+            let current = ctl.current_policy();
+            assert!(current < n);
+            assert!(!ctl.is_quarantined(current), "current policy {current} is quarantined");
+            // All recorded overheads are proportions.
+            for v in ctl.measurements().iter().chain(ctl.history()).flatten() {
+                assert!((0.0..=1.0).contains(v), "overhead {v} out of range");
+            }
+        }
     }
 }

@@ -184,19 +184,13 @@ impl Hir {
     /// Look up a free function by name.
     #[must_use]
     pub fn function_named(&self, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .position(|f| f.class.is_none() && f.name == name)
-            .map(FuncId)
+        self.functions.iter().position(|f| f.class.is_none() && f.name == name).map(FuncId)
     }
 
     /// Look up a method by class and name.
     #[must_use]
     pub fn method_named(&self, class: ClassId, name: &str) -> Option<FuncId> {
-        self.functions
-            .iter()
-            .position(|f| f.class == Some(class) && f.name == name)
-            .map(FuncId)
+        self.functions.iter().position(|f| f.class == Some(class) && f.name == name).map(FuncId)
     }
 
     /// Look up a class by name.

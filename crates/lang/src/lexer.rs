@@ -124,7 +124,7 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        match Kw::from_str(&s) {
+        match Kw::lookup(&s) {
             Some(kw) => Tok::Kw(kw),
             None => Tok::Ident(s),
         }
@@ -299,12 +299,7 @@ mod tests {
     fn lexes_identifiers_and_keywords() {
         assert_eq!(
             toks("class body_2 double"),
-            vec![
-                Tok::Kw(Kw::Class),
-                Tok::Ident("body_2".into()),
-                Tok::Kw(Kw::Double),
-                Tok::Eof
-            ]
+            vec![Tok::Kw(Kw::Class), Tok::Ident("body_2".into()), Tok::Kw(Kw::Double), Tok::Eof]
         );
     }
 
@@ -312,13 +307,7 @@ mod tests {
     fn lexes_numbers() {
         assert_eq!(
             toks("42 3.5 1e3 2.5e-2"),
-            vec![
-                Tok::Int(42),
-                Tok::Double(3.5),
-                Tok::Double(1000.0),
-                Tok::Double(0.025),
-                Tok::Eof
-            ]
+            vec![Tok::Int(42), Tok::Double(3.5), Tok::Double(1000.0), Tok::Double(0.025), Tok::Eof]
         );
     }
 
@@ -343,12 +332,7 @@ mod tests {
     fn skips_comments() {
         assert_eq!(
             toks("a // line\n b /* block\n still */ c"),
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Ident("b".into()),
-                Tok::Ident("c".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
         );
     }
 
@@ -371,12 +355,7 @@ mod tests {
         // number when followed by a digit.
         assert_eq!(
             toks("1.x"),
-            vec![
-                Tok::Int(1),
-                Tok::Punct(Punct::Dot),
-                Tok::Ident("x".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Int(1), Tok::Punct(Punct::Dot), Tok::Ident("x".into()), Tok::Eof]
         );
     }
 }

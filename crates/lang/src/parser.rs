@@ -74,7 +74,9 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(LangError::parse(self.span(), format!("expected identifier, found {other}"))),
+            other => {
+                Err(LangError::parse(self.span(), format!("expected identifier, found {other}")))
+            }
         }
     }
 
@@ -153,7 +155,12 @@ impl Parser {
         Ok(ClassDecl { name, fields, methods, span })
     }
 
-    fn func_rest(&mut self, name: String, ret: TypeExpr, span: Span) -> Result<FuncDecl, LangError> {
+    fn func_rest(
+        &mut self,
+        name: String,
+        ret: TypeExpr,
+        span: Span,
+    ) -> Result<FuncDecl, LangError> {
         self.expect_punct(Punct::LParen)?;
         let mut params = Vec::new();
         if !self.eat_punct(Punct::RParen) {
@@ -249,8 +256,7 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect_punct(Punct::RParen)?;
                 let then_branch = self.branch()?;
-                let else_branch =
-                    if self.eat_kw(Kw::Else) { Some(self.branch()?) } else { None };
+                let else_branch = if self.eat_kw(Kw::Else) { Some(self.branch()?) } else { None };
                 Ok(Stmt { kind: StmtKind::If { cond, then_branch, else_branch }, span })
             }
             Tok::Kw(Kw::While) => {
@@ -307,9 +313,7 @@ impl Parser {
                 // `body* b ...`
                 Tok::Punct(Punct::Star) => matches!(self.peek_at(2), Tok::Ident(_)),
                 // `body[] b ...` (vs indexing `arr[i]`)
-                Tok::Punct(Punct::LBracket) => {
-                    *self.peek_at(2) == Tok::Punct(Punct::RBracket)
-                }
+                Tok::Punct(Punct::LBracket) => *self.peek_at(2) == Tok::Punct(Punct::RBracket),
                 _ => false,
             },
             _ => false,
@@ -323,8 +327,7 @@ impl Parser {
         if self.at_var_decl() {
             let ty = self.type_expr()?;
             let name = self.ident()?;
-            let init =
-                if self.eat_punct(Punct::Assign) { Some(self.expr()?) } else { None };
+            let init = if self.eat_punct(Punct::Assign) { Some(self.expr()?) } else { None };
             return Ok(Stmt { kind: StmtKind::VarDecl { name, ty, init }, span });
         }
         let target = self.expr()?;
@@ -431,11 +434,7 @@ impl Parser {
                 if *self.peek() == Tok::Punct(Punct::LParen) {
                     let args = self.args()?;
                     expr = Expr {
-                        kind: ExprKind::MethodCall {
-                            object: Box::new(expr),
-                            method: name,
-                            args,
-                        },
+                        kind: ExprKind::MethodCall { object: Box::new(expr), method: name, args },
                         span,
                     };
                 } else {

@@ -188,12 +188,9 @@ impl<'a> Printer<'a> {
             ExprKind::CallFn { func, args } => {
                 format!("{}({})", self.callee_name(*func), self.args(args))
             }
-            ExprKind::CallMethod { obj, func, args } => format!(
-                "{}.{}({})",
-                self.expr(obj),
-                self.callee_name(*func),
-                self.args(args)
-            ),
+            ExprKind::CallMethod { obj, func, args } => {
+                format!("{}.{}({})", self.expr(obj), self.callee_name(*func), self.args(args))
+            }
             ExprKind::CallExtern { ext, args } => {
                 format!("{}({})", self.hir.externs[ext.0].name, self.args(args))
             }
@@ -205,9 +202,7 @@ impl<'a> Printer<'a> {
     }
 
     fn callee_name(&self, f: crate::hir::FuncId) -> String {
-        self.table
-            .get(f.0)
-            .map_or_else(|| format!("fn#{}", f.0), |func| func.name.clone())
+        self.table.get(f.0).map_or_else(|| format!("fn#{}", f.0), |func| func.name.clone())
     }
 
     fn args(&self, args: &[Expr]) -> String {
@@ -277,10 +272,8 @@ mod tests {
 
     #[test]
     fn printing_is_stable() {
-        let hir = compile_source(
-            "class c { double x; void m(double v) { this.x += v * 2.0; } }",
-        )
-        .unwrap();
+        let hir = compile_source("class c { double x; void m(double v) { this.x += v * 2.0; } }")
+            .unwrap();
         assert_eq!(print_program(&hir), print_program(&hir));
     }
 }

@@ -177,12 +177,7 @@ impl Sema {
         let bodies = std::mem::take(&mut self.bodies);
         for (idx, (class, body)) in bodies.into_iter().enumerate() {
             let func = FuncId(idx);
-            let mut ctx = FuncCtx {
-                sema: self,
-                func,
-                class,
-                scopes: vec![HashMap::new()],
-            };
+            let mut ctx = FuncCtx { sema: self, func, class, scopes: vec![HashMap::new()] };
             // Parameters are the outermost scope.
             for (i, l) in ctx.sema.hir.functions[func.0].locals.iter().enumerate() {
                 ctx.scopes[0].insert(l.name.clone(), LocalId(i));
@@ -301,7 +296,10 @@ impl<'a> FuncCtx<'a> {
                     }
                     None => {
                         if ret_ty != Ty::Void {
-                            return Err(LangError::sema(span, "non-void function must return a value"));
+                            return Err(LangError::sema(
+                                span,
+                                "non-void function must return a value",
+                            ));
                         }
                         None
                     }
@@ -338,7 +336,9 @@ impl<'a> FuncCtx<'a> {
             let ast::ExprKind::Binary { op: ast::BinOp::Lt, lhs, rhs } = &cond?.kind else {
                 return None;
             };
-            let ast::ExprKind::Var(cv) = &lhs.kind else { return None };
+            let ast::ExprKind::Var(cv) = &lhs.kind else {
+                return None;
+            };
             if cv != name {
                 return None;
             }
@@ -346,8 +346,12 @@ impl<'a> FuncCtx<'a> {
             else {
                 return None;
             };
-            let ast::ExprKind::Var(sv) = &target.kind else { return None };
-            let ast::ExprKind::Int(1) = value.kind else { return None };
+            let ast::ExprKind::Var(sv) = &target.kind else {
+                return None;
+            };
+            let ast::ExprKind::Int(1) = value.kind else {
+                return None;
+            };
             if sv != name {
                 return None;
             }
@@ -439,11 +443,8 @@ impl<'a> FuncCtx<'a> {
     }
 
     fn field_index(&self, class: ClassId, field: &str, span: Span) -> Result<usize, LangError> {
-        self.sema.hir.classes[class.0]
-            .fields
-            .iter()
-            .position(|f| f.name == field)
-            .ok_or_else(|| {
+        self.sema.hir.classes[class.0].fields.iter().position(|f| f.name == field).ok_or_else(
+            || {
                 LangError::sema(
                     span,
                     format!(
@@ -451,16 +452,12 @@ impl<'a> FuncCtx<'a> {
                         self.sema.hir.classes[class.0].name
                     ),
                 )
-            })
+            },
+        )
     }
 
     /// Lower an AST expression and coerce it to `want` in one step.
-    fn lower_coerce(
-        &mut self,
-        e: &ast::Expr,
-        want: &Ty,
-        span: Span,
-    ) -> Result<Expr, LangError> {
+    fn lower_coerce(&mut self, e: &ast::Expr, want: &Ty, span: Span) -> Result<Expr, LangError> {
         let lowered = self.lower_expr_owned(e)?;
         self.coerce(lowered, want, span)
     }
@@ -478,13 +475,7 @@ impl<'a> FuncCtx<'a> {
         Err(LangError::sema(span, format!("expected `{want}`, found `{}`", e.ty)))
     }
 
-    fn binary(
-        &self,
-        op: ast::BinOp,
-        lhs: Expr,
-        rhs: Expr,
-        span: Span,
-    ) -> Result<Expr, LangError> {
+    fn binary(&self, op: ast::BinOp, lhs: Expr, rhs: Expr, span: Span) -> Result<Expr, LangError> {
         use ast::BinOp::*;
         match op {
             Add | Sub | Mul | Div => {
@@ -500,7 +491,10 @@ impl<'a> FuncCtx<'a> {
                 } else {
                     (lhs, rhs, Ty::Int)
                 };
-                Ok(Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, ty })
+                Ok(Expr {
+                    kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    ty,
+                })
             }
             Rem => {
                 if lhs.ty != Ty::Int || rhs.ty != Ty::Int {
@@ -586,7 +580,10 @@ impl<'a> FuncCtx<'a> {
                     }
                 }
                 let Ty::Object(class) = obj.ty.clone() else {
-                    return Err(LangError::sema(span, format!("field `{field}` on non-object `{}`", obj.ty)));
+                    return Err(LangError::sema(
+                        span,
+                        format!("field `{field}` on non-object `{}`", obj.ty),
+                    ));
                 };
                 let idx = self.field_index(class, field, span)?;
                 let ty = self.sema.hir.classes[class.0].fields[idx].ty.clone();
@@ -634,12 +631,8 @@ impl<'a> FuncCtx<'a> {
                 let Ty::Object(class) = obj.ty.clone() else {
                     return Err(LangError::sema(span, "method call on non-object"));
                 };
-                let func = self
-                    .sema
-                    .method_ids
-                    .get(&(class, method.clone()))
-                    .copied()
-                    .ok_or_else(|| {
+                let func = self.sema.method_ids.get(&(class, method.clone())).copied().ok_or_else(
+                    || {
                         LangError::sema(
                             span,
                             format!(
@@ -647,13 +640,11 @@ impl<'a> FuncCtx<'a> {
                                 self.sema.hir.classes[class.0].name
                             ),
                         )
-                    })?;
+                    },
+                )?;
                 let args = self.check_args(func, args, span)?;
                 let ret = self.sema.hir.functions[func.0].ret.clone();
-                Ok(Expr {
-                    kind: ExprKind::CallMethod { obj: Box::new(obj), func, args },
-                    ty: ret,
-                })
+                Ok(Expr { kind: ExprKind::CallMethod { obj: Box::new(obj), func, args }, ty: ret })
             }
             ast::ExprKind::Call { name, args } => {
                 if let Some(func) = self.sema.free_fn_ids.get(name).copied() {
@@ -758,10 +749,7 @@ mod tests {
         "#);
         assert_eq!(hir.classes.len(), 1);
         assert_eq!(hir.functions.len(), 2);
-        let interactions = &hir.functions[hir
-            .method_named(ClassId(0), "interactions")
-            .unwrap()
-            .0];
+        let interactions = &hir.functions[hir.method_named(ClassId(0), "interactions").unwrap().0];
         assert!(matches!(interactions.body[0], Stmt::CountedFor { .. }));
         // Compound assignment desugars to `sum = sum + val`.
         let one = &hir.functions[hir.method_named(ClassId(0), "one_interaction").unwrap().0];

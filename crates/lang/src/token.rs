@@ -65,7 +65,7 @@ macro_rules! keywords {
         impl Kw {
             /// Look up a keyword by its spelling.
             #[must_use]
-            pub fn from_str(s: &str) -> Option<Kw> {
+            pub fn lookup(s: &str) -> Option<Kw> {
                 match s {
                     $($text => Some(Kw::$variant),)*
                     _ => None,

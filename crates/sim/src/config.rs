@@ -1,5 +1,6 @@
 //! Cost model of the simulated machine.
 
+use std::fmt;
 use std::time::Duration;
 
 /// Cost parameters of the simulated shared-memory multiprocessor.
@@ -34,12 +35,66 @@ impl Default for MachineConfig {
     }
 }
 
+/// Why a [`MachineConfig`] was rejected by [`MachineConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfigError {
+    /// Name of the offending cost parameter.
+    pub what: &'static str,
+    /// Its rejected value.
+    pub value: Duration,
+    /// The bound it violated.
+    pub limit: Duration,
+}
+
+impl fmt::Display for MachineConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "machine config: {} is {:?}, above the {:?} sanity bound",
+            self.what, self.value, self.limit
+        )
+    }
+}
+
+impl std::error::Error for MachineConfigError {}
+
+/// Largest plausible value for any single hardware primitive cost. Costs
+/// above this are almost certainly unit mistakes (seconds where
+/// microseconds were meant) and would also let event arithmetic overflow
+/// over long runs.
+const MAX_COST: Duration = Duration::from_secs(10);
+
 impl MachineConfig {
     /// Cost of one successful acquire/release pair (used to express locking
     /// overhead as a time).
     #[must_use]
     pub fn lock_pair_cost(&self) -> Duration {
         self.lock_acquire_cost + self.lock_release_cost
+    }
+
+    /// Check every cost against sanity bounds. Called from machine
+    /// construction ([`Machine::try_new`]); zero costs are fine (the engine
+    /// handles them), absurdly large ones are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first out-of-range parameter.
+    ///
+    /// [`Machine::try_new`]: crate::machine::Machine::try_new
+    pub fn validate(&self) -> Result<(), MachineConfigError> {
+        let costs = [
+            ("lock_acquire_cost", self.lock_acquire_cost),
+            ("lock_release_cost", self.lock_release_cost),
+            ("lock_attempt_cost", self.lock_attempt_cost),
+            ("timer_read_cost", self.timer_read_cost),
+            ("barrier_cost", self.barrier_cost),
+        ];
+        for (what, value) in costs {
+            if value > MAX_COST {
+                return Err(MachineConfigError { what, value, limit: MAX_COST });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -51,5 +106,30 @@ mod tests {
     fn pair_cost_sums_acquire_and_release() {
         let c = MachineConfig::default();
         assert_eq!(c.lock_pair_cost(), c.lock_acquire_cost + c.lock_release_cost);
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        MachineConfig::default().validate().unwrap();
+        let zeroed = MachineConfig {
+            lock_acquire_cost: Duration::ZERO,
+            lock_release_cost: Duration::ZERO,
+            lock_attempt_cost: Duration::ZERO,
+            timer_read_cost: Duration::ZERO,
+            barrier_cost: Duration::ZERO,
+        };
+        zeroed.validate().unwrap();
+    }
+
+    #[test]
+    fn absurd_costs_are_rejected_with_the_offender_named() {
+        let cfg = MachineConfig {
+            timer_read_cost: Duration::from_secs(3600),
+            ..MachineConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.what, "timer_read_cost");
+        assert_eq!(err.value, Duration::from_secs(3600));
+        assert!(err.to_string().contains("timer_read_cost"));
     }
 }

@@ -26,19 +26,20 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod faults;
 pub mod machine;
 pub mod process;
 pub mod runtime;
 pub mod stats;
 pub mod time;
 
-pub use config::MachineConfig;
+pub use config::{MachineConfig, MachineConfigError};
+pub use faults::{ChaosProfile, FaultEvent, FaultKind, FaultPlan, FaultPlanError, Target, Window};
 pub use machine::{LockUsage, Machine, SimError};
 pub use process::{BarrierId, LockId, ProcCtx, ProcId, Process, Step};
 pub use runtime::{
-    run_app_ref,
-    run_app, AppReport, OpSink, PlanEntry, RunConfig, RunMode, SampleRecord, SectionExecution,
-    SectionKind, SimApp,
+    run_app, run_app_ref, AppReport, OpSink, PlanEntry, RunConfig, RunMode, SampleRecord,
+    SectionExecution, SectionKind, SimApp,
 };
 pub use stats::{MachineStats, ProcStats};
 pub use time::SimTime;

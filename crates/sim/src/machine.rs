@@ -6,7 +6,8 @@
 //! simulation fully deterministic: the same processes produce the same
 //! statistics on every run.
 
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, MachineConfigError};
+use crate::faults::{FaultPlan, FaultPlanError};
 use crate::process::{BarrierId, LockId, ProcCtx, ProcId, Process, Step};
 use crate::stats::{MachineStats, ProcStats};
 use crate::time::SimTime;
@@ -44,6 +45,29 @@ pub enum SimError {
     UnknownResource,
     /// The configured event limit was exceeded (runaway process).
     EventLimitExceeded,
+    /// A run was requested on zero processors.
+    NoProcessors,
+    /// The machine cost model failed validation.
+    Config(MachineConfigError),
+    /// The fault-injection plan failed validation.
+    FaultPlan(FaultPlanError),
+    /// A static run requested a policy no version of a section implements.
+    UnknownPolicy {
+        /// The parallel section.
+        section: String,
+        /// The requested policy.
+        policy: String,
+        /// The versions the section does provide.
+        available: Vec<String>,
+    },
+    /// A parallel section declared no code versions at all.
+    NoVersions {
+        /// The offending section.
+        section: String,
+    },
+    /// An internal runtime invariant was violated (a bug in this crate,
+    /// reported as an error instead of a panic so callers degrade cleanly).
+    Internal(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -60,11 +84,54 @@ impl fmt::Display for SimError {
             }
             SimError::UnknownResource => write!(f, "step referenced an unknown lock or barrier"),
             SimError::EventLimitExceeded => write!(f, "event limit exceeded"),
+            SimError::NoProcessors => write!(f, "need at least one processor"),
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::FaultPlan(e) => write!(f, "{e}"),
+            SimError::UnknownPolicy { section, policy, available } => write!(
+                f,
+                "section `{section}` has no version for policy `{policy}` \
+                 (available: {available:?})"
+            ),
+            SimError::NoVersions { section } => {
+                write!(f, "parallel section `{section}` declares no code versions")
+            }
+            SimError::Internal(what) => write!(f, "internal runtime invariant violated: {what}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::FaultPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineConfigError> for SimError {
+    fn from(e: MachineConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<FaultPlanError> for SimError {
+    fn from(e: FaultPlanError) -> Self {
+        SimError::FaultPlan(e)
+    }
+}
+
+/// Scale a duration by a fault factor, saturating instead of panicking on
+/// extreme products. Exact identity for the common factor of 1.
+fn scale(d: Duration, factor: f64) -> Duration {
+    if factor <= 1.0 {
+        return d;
+    }
+    let ns = d.as_nanos() as f64 * factor;
+    // `as` saturates at the type bounds, so absurd products clamp.
+    Duration::from_nanos(ns as u64)
+}
 
 #[derive(Debug, Default)]
 struct LockState {
@@ -118,6 +185,7 @@ pub struct LockUsage {
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
+    faults: FaultPlan,
     locks: Vec<LockState>,
     barriers: Vec<BarrierState>,
     event_limit: Option<u64>,
@@ -132,15 +200,55 @@ enum ProcStatus {
 
 impl Machine {
     /// Create a machine with the given cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`MachineConfig::validate`]; use
+    /// [`try_new`](Machine::try_new) to handle invalid configs gracefully.
     #[must_use]
     pub fn new(config: MachineConfig) -> Self {
-        Machine { config, locks: Vec::new(), barriers: Vec::new(), event_limit: None }
+        Machine::try_new(config).expect("invalid machine config")
+    }
+
+    /// Create a machine with the given cost model, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure for out-of-range costs.
+    pub fn try_new(config: MachineConfig) -> Result<Self, MachineConfigError> {
+        config.validate()?;
+        Ok(Machine {
+            config,
+            faults: FaultPlan::default(),
+            locks: Vec::new(),
+            barriers: Vec::new(),
+            event_limit: None,
+        })
     }
 
     /// The machine's cost model.
     #[must_use]
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// Attach a fault-injection plan. All subsequent runs execute under it;
+    /// the empty default plan perturbs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Rejects plans that fail [`FaultPlan::validate`], leaving the current
+    /// plan in place.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        plan.validate()?;
+        self.faults = plan;
+        Ok(())
+    }
+
+    /// The active fault-injection plan.
+    #[must_use]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Create a new spin lock (e.g. one per application object).
@@ -220,9 +328,9 @@ impl Machine {
         }
 
         let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                        seq: &mut u64,
-                        t: SimTime,
-                        p: usize| {
+                    seq: &mut u64,
+                    t: SimTime,
+                    p: usize| {
             queue.push(Reverse((t.as_nanos(), *seq, p)));
             *seq += 1;
         };
@@ -246,6 +354,8 @@ impl Machine {
                 proc: ProcId(p),
                 barrier_leader: leader_flag[p],
                 timer_read_cost: self.config.timer_read_cost,
+                faults: &self.faults,
+                prior_timer_reads: stats[p].timer_reads,
                 stats: &stats,
                 pending_compute: Duration::ZERO,
                 pending_timer: Duration::ZERO,
@@ -262,6 +372,10 @@ impl Machine {
 
             match step {
                 Step::Compute(d) => {
+                    // Slowdown faults stretch computation. The factor is
+                    // evaluated once at the step's start (a step is the
+                    // granularity of the event engine).
+                    let d = scale(d, self.faults.compute_factor(p, t_eff));
                     stats[p].compute += d;
                     push(&mut queue, &mut seq, t_eff + d, p);
                 }
@@ -269,6 +383,10 @@ impl Machine {
                     push(&mut queue, &mut seq, t_eff, p);
                 }
                 Step::Acquire(lock) => {
+                    let cost = scale(
+                        self.config.lock_acquire_cost,
+                        self.faults.lock_cost_factor(lock.0, t_eff),
+                    );
                     let l = self.locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
                     if l.holder == Some(ProcId(p)) {
                         return Err(SimError::RecursiveAcquire { proc: ProcId(p), lock });
@@ -277,20 +395,30 @@ impl Machine {
                         l.holder = Some(ProcId(p));
                         l.acquires += 1;
                         stats[p].acquires += 1;
-                        stats[p].lock_time += self.config.lock_acquire_cost;
-                        push(&mut queue, &mut seq, t_eff + self.config.lock_acquire_cost, p);
+                        stats[p].lock_time += cost;
+                        push(&mut queue, &mut seq, t_eff + cost, p);
                     } else {
                         l.waiters.push_back((ProcId(p), t_eff));
                         status[p] = ProcStatus::Blocked;
                     }
                 }
                 Step::Release(lock) => {
+                    let cost = scale(
+                        self.config.lock_release_cost,
+                        self.faults.lock_cost_factor(lock.0, t_eff),
+                    );
+                    // Contention storms leave the lock dead for a while
+                    // after each release (the holder was preempted at the
+                    // worst moment). The releaser itself proceeds once its
+                    // release completes; only waiters see the dead time.
+                    let extra = self.faults.extra_hold(lock.0, t_eff);
                     let l = self.locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
                     if l.holder != Some(ProcId(p)) {
                         return Err(SimError::BadRelease { proc: ProcId(p), lock });
                     }
-                    stats[p].lock_time += self.config.lock_release_cost;
-                    let free_at = t_eff + self.config.lock_release_cost;
+                    stats[p].lock_time += cost;
+                    let released_at = t_eff + cost;
+                    let free_at = released_at + extra;
                     l.holder = None;
                     if let Some((w, since)) = l.waiters.pop_front() {
                         // Grant to the first waiter: account its spinning as
@@ -303,25 +431,35 @@ impl Machine {
                             let a = span.as_nanos() / attempt.as_nanos();
                             u64::try_from(a).unwrap_or(u64::MAX).max(1)
                         };
+                        let acq_cost = scale(
+                            self.config.lock_acquire_cost,
+                            self.faults.lock_cost_factor(lock.0, free_at),
+                        );
                         let wi = w.0;
                         stats[wi].wait_time += span;
                         stats[wi].failed_attempts += attempts;
                         stats[wi].acquires += 1;
-                        stats[wi].lock_time += self.config.lock_acquire_cost;
+                        stats[wi].lock_time += acq_cost;
+                        let l = self.locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
                         l.holder = Some(w);
                         l.acquires += 1;
                         l.contended_acquires += 1;
                         status[wi] = ProcStatus::Ready;
-                        push(&mut queue, &mut seq, free_at + self.config.lock_acquire_cost, wi);
+                        push(&mut queue, &mut seq, free_at + acq_cost, wi);
                     }
-                    push(&mut queue, &mut seq, free_at, p);
+                    push(&mut queue, &mut seq, released_at, p);
                 }
                 Step::Barrier(barrier) => {
-                    let b =
-                        self.barriers.get_mut(barrier.0).ok_or(SimError::UnknownResource)?;
-                    b.arrived.push((ProcId(p), t_eff));
+                    // Straggler faults delay this processor's arrival.
+                    let arrival = t_eff + self.faults.barrier_delay(p, t_eff);
+                    let b = self.barriers.get_mut(barrier.0).ok_or(SimError::UnknownResource)?;
+                    b.arrived.push((ProcId(p), arrival));
                     if b.arrived.len() == b.participants {
-                        let release = t_eff + self.config.barrier_cost;
+                        // Release after the *latest* arrival (a delayed
+                        // straggler can arrive later than the last
+                        // processor to reach the barrier).
+                        let latest = b.arrived.iter().map(|&(_, at)| at).max().unwrap_or(arrival);
+                        let release = latest + self.config.barrier_cost;
                         // The last arriver is the leader and is scheduled
                         // first at the release instant, so it can perform
                         // switch bookkeeping before the others resume.
@@ -345,23 +483,13 @@ impl Machine {
         }
 
         if done != n {
-            let blocked: Vec<ProcId> = (0..n)
-                .filter(|&i| status[i] != ProcStatus::Finished)
-                .map(ProcId)
-                .collect();
-            let at = stats
-                .iter()
-                .filter_map(|s| s.done_at)
-                .max()
-                .unwrap_or(SimTime::ZERO);
+            let blocked: Vec<ProcId> =
+                (0..n).filter(|&i| status[i] != ProcStatus::Finished).map(ProcId).collect();
+            let at = stats.iter().filter_map(|s| s.done_at).max().unwrap_or(SimTime::ZERO);
             return Err(SimError::Deadlock { at, blocked });
         }
 
-        let finished_at = stats
-            .iter()
-            .filter_map(|s| s.done_at)
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let finished_at = stats.iter().filter_map(|s| s.done_at).max().unwrap_or(SimTime::ZERO);
         Ok(MachineStats { procs: stats, finished_at })
     }
 }
@@ -434,11 +562,7 @@ mod tests {
             Step::Release(l),
             Step::Done,
         ]);
-        let p1 = Script::new(vec![
-            Step::Acquire(l),
-            Step::Release(l),
-            Step::Done,
-        ]);
+        let p1 = Script::new(vec![Step::Acquire(l), Step::Release(l), Step::Done]);
         let stats = m.run(vec![Box::new(p0), Box::new(p1)]).unwrap();
         let w = &stats.procs[1];
         assert_eq!(w.acquires, 1);
@@ -455,8 +579,10 @@ mod tests {
         // Proc 0 holds the lock; procs 1 and 2 queue at t=0 (1 first by
         // deterministic tie-break). After proc 1 gets the lock it computes
         // long enough that proc 2's total wait proves ordering.
-        let hold = Script::new(vec![Step::Acquire(l), Step::Compute(ms(5)), Step::Release(l), Step::Done]);
-        let w1 = Script::new(vec![Step::Acquire(l), Step::Compute(ms(3)), Step::Release(l), Step::Done]);
+        let hold =
+            Script::new(vec![Step::Acquire(l), Step::Compute(ms(5)), Step::Release(l), Step::Done]);
+        let w1 =
+            Script::new(vec![Step::Acquire(l), Step::Compute(ms(3)), Step::Release(l), Step::Done]);
         let w2 = Script::new(vec![Step::Acquire(l), Step::Release(l), Step::Done]);
         let stats = m.run(vec![Box::new(hold), Box::new(w1), Box::new(w2)]).unwrap();
         assert!(stats.procs[2].wait_time > stats.procs[1].wait_time);
@@ -525,10 +651,7 @@ mod tests {
         let mut m = Machine::new(MachineConfig::default());
         let l = m.add_lock();
         let p = Script::new(vec![Step::Release(l), Step::Done]);
-        assert!(matches!(
-            m.run(vec![Box::new(p)]).unwrap_err(),
-            SimError::BadRelease { .. }
-        ));
+        assert!(matches!(m.run(vec![Box::new(p)]).unwrap_err(), SimError::BadRelease { .. }));
     }
 
     #[test]
@@ -536,10 +659,7 @@ mod tests {
         let mut m = Machine::new(MachineConfig::default());
         let l = m.add_lock();
         let p = Script::new(vec![Step::Acquire(l), Step::Acquire(l), Step::Done]);
-        assert!(matches!(
-            m.run(vec![Box::new(p)]).unwrap_err(),
-            SimError::RecursiveAcquire { .. }
-        ));
+        assert!(matches!(m.run(vec![Box::new(p)]).unwrap_err(), SimError::RecursiveAcquire { .. }));
     }
 
     #[test]
@@ -561,10 +681,7 @@ mod tests {
         }
         let stats = m.run(vec![Box::new(P(0))]).unwrap();
         assert_eq!(stats.procs[0].timer_reads, 2);
-        assert_eq!(
-            stats.procs[0].timer_time,
-            m.config().timer_read_cost * 2
-        );
+        assert_eq!(stats.procs[0].timer_time, m.config().timer_read_cost * 2);
     }
 
     #[test]

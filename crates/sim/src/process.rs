@@ -8,6 +8,7 @@
 //! processor time (e.g. the cost of reading the timer) that is accounted
 //! before the returned step executes.
 
+use crate::faults::FaultPlan;
 use crate::stats::ProcStats;
 use crate::time::SimTime;
 use std::time::Duration;
@@ -65,6 +66,8 @@ pub struct ProcCtx<'a> {
     pub(crate) proc: ProcId,
     pub(crate) barrier_leader: bool,
     pub(crate) timer_read_cost: Duration,
+    pub(crate) faults: &'a FaultPlan,
+    pub(crate) prior_timer_reads: u64,
     pub(crate) stats: &'a [ProcStats],
     pub(crate) pending_compute: Duration,
     pub(crate) pending_timer: Duration,
@@ -88,10 +91,18 @@ impl<'a> ProcCtx<'a> {
 
     /// Read the machine timer: charges the configured timer-read cost to
     /// this processor and returns the virtual time the read observes.
+    ///
+    /// Under an active fault plan the observation may be distorted by
+    /// drift or jitter, and may even be *non-monotone* across consecutive
+    /// reads — callers comparing observed timestamps must use
+    /// [`SimTime::saturating_since`]. Use [`now`](Self::now) for
+    /// fault-immune simulation-infrastructure time.
     pub fn read_timer(&mut self) -> SimTime {
         self.pending_timer += self.timer_read_cost;
         self.timer_reads += 1;
-        self.now + self.pending_compute + self.pending_timer
+        let real = self.now + self.pending_compute + self.pending_timer;
+        let read_no = self.prior_timer_reads + self.timer_reads;
+        self.faults.observed_time(self.proc.0, read_no, real)
     }
 
     /// Charge additional computation time that occurs before the step this

@@ -27,6 +27,7 @@
 //! interleaving) are fully modeled.
 
 use crate::config::MachineConfig;
+use crate::faults::FaultPlan;
 use crate::machine::{Machine, SimError};
 use crate::process::{BarrierId, LockId, ProcCtx, Process, Step};
 use crate::stats::{MachineStats, ProcStats};
@@ -231,6 +232,17 @@ pub struct RunConfig {
     /// interval's elapsed time and accumulated measurements into the
     /// section's next execution instead of restarting the sampling phase.
     pub span_intervals: bool,
+    /// Fault-injection plan applied to the machine for the whole run. The
+    /// empty default plan perturbs nothing.
+    pub faults: FaultPlan,
+    /// Stuck-sampling watchdog. With `Some(k)`, a *sampling* interval that
+    /// has run `k×` longer (in fault-immune simulation time) than its
+    /// target without being detected as complete — e.g. because a timer
+    /// fault froze the observed clock — aborts the sampling phase and
+    /// enters production with the best measurement so far. `None` (the
+    /// default) disables the watchdog; effective intervals legitimately
+    /// exceed tiny targets by orders of magnitude, so it is opt-in.
+    pub sampling_watchdog: Option<u32>,
 }
 
 impl RunConfig {
@@ -243,6 +255,8 @@ impl RunConfig {
             machine: MachineConfig::default(),
             instrument_cost: Duration::from_nanos(100),
             span_intervals: false,
+            faults: FaultPlan::default(),
+            sampling_watchdog: None,
         }
     }
 
@@ -255,7 +269,23 @@ impl RunConfig {
             machine: MachineConfig::default(),
             instrument_cost: Duration::from_nanos(100),
             span_intervals: false,
+            faults: FaultPlan::default(),
+            sampling_watchdog: None,
         }
+    }
+
+    /// Builder-style: attach a fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style: enable the stuck-sampling watchdog at `k×` budget.
+    #[must_use]
+    pub fn with_watchdog(mut self, k: u32) -> Self {
+        self.sampling_watchdog = Some(k);
+        self
     }
 }
 
@@ -324,10 +354,7 @@ impl AppReport {
     }
 
     /// Executions of the named section.
-    pub fn section<'a>(
-        &'a self,
-        name: &'a str,
-    ) -> impl Iterator<Item = &'a SectionExecution> + 'a {
+    pub fn section<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SectionExecution> + 'a {
         self.sections.iter().filter(move |s| s.name == name)
     }
 
@@ -358,9 +385,7 @@ impl AppReport {
                 }
             }
         }
-        sums.into_iter()
-            .map(|(total, n)| if n == 0 { None } else { Some(total / n) })
-            .collect()
+        sums.into_iter().map(|(total, n)| if n == 0 { None } else { Some(total / n) }).collect()
     }
 }
 
@@ -377,6 +402,11 @@ struct Driver<'a> {
     controllers: std::collections::HashMap<String, SavedController>,
     /// §4.4 extension: carry in-flight intervals across executions.
     span_intervals: bool,
+    /// Stuck-sampling watchdog factor ([`RunConfig::sampling_watchdog`]).
+    sampling_watchdog: Option<u32>,
+    /// First unrecoverable runtime error. Once set, every processor winds
+    /// down at its next step and [`run_app`] returns this error.
+    error: Option<SimError>,
 }
 
 /// A controller saved between executions of one section, together with the
@@ -398,6 +428,8 @@ struct Active {
     interval_start: SimTime,
     snapshot: ProcStats,
     switch_requested: bool,
+    /// The pending switch is a watchdog abort, not a normal transition.
+    abort_requested: bool,
     finishing: bool,
     section_over: bool,
     start: SimTime,
@@ -408,38 +440,48 @@ impl<'a> Driver<'a> {
     /// Initialize section `plan_idx` if not already active. `totals` are
     /// machine-wide stats at `now` (the baseline for the first interval's
     /// overhead measurement).
-    fn ensure_active(&mut self, plan_idx: usize, now: SimTime, totals: ProcStats) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SimError`] for an application whose section has no
+    /// versions, or (in static mode) no version implementing the requested
+    /// policy. The caller records the error on the driver and winds down.
+    fn ensure_active(
+        &mut self,
+        plan_idx: usize,
+        now: SimTime,
+        totals: ProcStats,
+    ) -> Result<(), SimError> {
         let stale = match &self.active {
             Some(a) => a.plan_idx != plan_idx || a.section_over,
             None => true,
         };
         if !stale {
-            return;
+            return Ok(());
         }
         debug_assert!(
-            self.active.as_ref().map_or(true, |a| a.section_over),
+            self.active.as_ref().is_none_or(|a| a.section_over),
             "previous section must be finalized"
         );
         let entry = self.plan[plan_idx].clone();
         let init = match entry.kind {
-            SectionKind::Serial => (0, 0, None, now, totals.clone()),
+            SectionKind::Serial => (0, 0, None, now, totals),
             SectionKind::Parallel => {
                 let iters = self.app.begin_parallel(&entry.name);
                 let versions = self.app.versions(&entry.name);
-                assert!(!versions.is_empty(), "parallel section must have versions");
+                if versions.is_empty() {
+                    return Err(SimError::NoVersions { section: entry.name });
+                }
                 match &self.mode {
                     RunMode::Static { policy, .. } => {
-                        let v = self
-                            .app
-                            .version_for_policy(&entry.name, policy)
-                            .unwrap_or_else(|| {
-                                panic!(
-                                    "section `{}` has no version for policy `{policy}` \
-                                     (available: {versions:?})",
-                                    entry.name
-                                )
+                        let Some(v) = self.app.version_for_policy(&entry.name, policy) else {
+                            return Err(SimError::UnknownPolicy {
+                                section: entry.name,
+                                policy: policy.clone(),
+                                available: versions,
                             });
-                        (iters, v, None, now, totals.clone())
+                        };
+                        (iters, v, None, now, totals)
                     }
                     RunMode::Dynamic(cfg) | RunMode::DynamicAsync(cfg) => {
                         let saved = self.controllers.remove(&entry.name);
@@ -461,8 +503,7 @@ impl<'a> Driver<'a> {
                                 // interval's measurement.
                                 let version = ctl.current_policy();
                                 let backdated = SimTime::from_nanos(
-                                    now.as_nanos()
-                                        .saturating_sub(elapsed.as_nanos() as u64),
+                                    now.as_nanos().saturating_sub(elapsed.as_nanos() as u64),
                                 );
                                 let rebased = totals.since(&carried);
                                 (iters, version, Some(ctl), backdated, rebased)
@@ -487,20 +528,26 @@ impl<'a> Driver<'a> {
             interval_start,
             snapshot,
             switch_requested: false,
+            abort_requested: false,
             finishing: entry.kind == SectionKind::Serial,
             section_over: false,
             start: now,
             records: Vec::new(),
         });
+        Ok(())
     }
 
     /// Complete the current interval: measure, record, and ask the
     /// controller for the next policy. Shared by the synchronous (barrier
     /// leader) and asynchronous (detecting processor) switch paths.
     fn apply_transition(&mut self, now: SimTime, totals: ProcStats) {
-        let Some(active) = self.active.as_mut() else { return };
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
         if let Some(ctl) = active.controller.as_mut() {
-            let actual = now - active.interval_start;
+            // Saturating: async-mode timestamps are observed times, which
+            // fault injection can make non-monotone.
+            let actual = now.saturating_since(active.interval_start);
             let sample = totals.since(&active.snapshot).overhead_sample();
             active.records.push(SampleRecord {
                 at: now,
@@ -517,25 +564,60 @@ impl<'a> Driver<'a> {
         }
     }
 
+    /// Watchdog escape hatch: the current sampling interval never
+    /// completed (a timer fault starved expiry detection). Record it as
+    /// partial and force the controller into production with the best
+    /// measurement so far.
+    fn apply_abort(&mut self, now: SimTime, totals: ProcStats) {
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
+        if let Some(ctl) = active.controller.as_mut() {
+            if ctl.phase().is_sampling() {
+                let actual = now.saturating_since(active.interval_start);
+                let sample = totals.since(&active.snapshot).overhead_sample();
+                active.records.push(SampleRecord {
+                    at: now,
+                    phase: ctl.phase(),
+                    version: ctl.current_policy(),
+                    overhead: sample.total_overhead(),
+                    actual,
+                    partial: true,
+                });
+                let transition = ctl.abort_to_production();
+                active.version = transition.policy();
+            }
+            active.interval_start = now;
+            active.snapshot = totals;
+        }
+    }
+
     /// Leader maintenance at a barrier: apply a pending switch and/or
     /// finalize the section. `totals` are machine-wide stats at `now`.
     fn leader_maintenance(&mut self, now: SimTime, totals: ProcStats) {
-        let over = self.active.as_ref().map_or(true, |a| a.section_over);
+        let over = self.active.as_ref().is_none_or(|a| a.section_over);
         if over {
             return;
         }
         if self.active.as_ref().is_some_and(|a| a.switch_requested) {
-            self.apply_transition(now, totals);
+            if self.active.as_ref().is_some_and(|a| a.abort_requested) {
+                self.apply_abort(now, totals);
+            } else {
+                self.apply_transition(now, totals);
+            }
             if let Some(active) = self.active.as_mut() {
                 active.switch_requested = false;
+                active.abort_requested = false;
             }
         }
         let span = self.span_intervals;
-        let Some(active) = self.active.as_mut() else { return };
+        let Some(active) = self.active.as_mut() else {
+            return;
+        };
         if active.finishing && active.issued_iters >= active.total_iters {
             let mut carry = None;
             if let Some(ctl) = active.controller.as_mut() {
-                let actual = now - active.interval_start;
+                let actual = now.saturating_since(active.interval_start);
                 if span {
                     // §4.4 extension: the in-flight interval continues in
                     // the section's next execution.
@@ -617,9 +699,17 @@ impl<'a> AppProcess<'a> {
     fn parallel_step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
         let totals = ctx.total_stats();
         let mut driver = self.driver.borrow_mut();
-        driver.ensure_active(self.pos, ctx.now(), totals);
+        if let Err(e) = driver.ensure_active(self.pos, ctx.now(), totals) {
+            driver.error.get_or_insert(e);
+            self.state = PState::Finished;
+            return Step::Done;
+        }
         let dynamic = matches!(driver.mode, RunMode::Dynamic(_) | RunMode::DynamicAsync(_));
-        let active = driver.active.as_mut().expect("active section");
+        let Some(active) = driver.active.as_mut() else {
+            driver.error.get_or_insert(SimError::Internal("no active section after init"));
+            self.state = PState::Finished;
+            return Step::Done;
+        };
 
         if active.switch_requested || active.finishing {
             self.state = PState::AfterBarrier;
@@ -673,28 +763,46 @@ impl<'a> AppProcess<'a> {
     }
 
     /// Potential switch point (§4.1): read the timer; request a switch if
-    /// the current interval has expired.
+    /// the current interval has expired. The expiry comparison uses the
+    /// *observed* (possibly fault-distorted, non-monotone) timer, exactly
+    /// as the generated code would; the stuck-sampling watchdog compares
+    /// against fault-immune simulation time to catch observed clocks that
+    /// have stalled.
     fn poll_timer(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
         let t = ctx.read_timer();
+        let now = ctx.now();
         let totals = ctx.total_stats();
         let mut driver = self.driver.borrow_mut();
         let asynchronous = matches!(driver.mode, RunMode::DynamicAsync(_));
-        let expired = driver.active.as_ref().is_some_and(|active| {
-            active
-                .controller
-                .as_ref()
-                .is_some_and(|ctl| t - active.interval_start >= ctl.target_interval())
-        });
+        let watchdog = driver.sampling_watchdog;
+        let mut expired = false;
+        let mut stuck = false;
+        if let Some(active) = driver.active.as_ref() {
+            if let Some(ctl) = active.controller.as_ref() {
+                let target = ctl.target_interval();
+                expired = t.saturating_since(active.interval_start) >= target;
+                stuck = !expired
+                    && ctl.phase().is_sampling()
+                    && watchdog
+                        .is_some_and(|k| now.saturating_since(active.interval_start) > target * k);
+            }
+        }
         if expired {
             if asynchronous {
                 // Asynchronous switching: transition immediately, no
                 // rendezvous; the other processors observe the new version
-                // at their next iteration.
+                // at their next iteration. Timestamped with the observed
+                // time, as the generated code would.
                 driver.apply_transition(t, totals);
             } else if let Some(active) = driver.active.as_mut() {
-                if !active.switch_requested {
-                    active.switch_requested = true;
-                }
+                active.switch_requested = true;
+            }
+        } else if stuck {
+            if asynchronous {
+                driver.apply_abort(now, totals);
+            } else if let Some(active) = driver.active.as_mut() {
+                active.switch_requested = true;
+                active.abort_requested = true;
             }
         }
         drop(driver);
@@ -705,6 +813,12 @@ impl<'a> AppProcess<'a> {
 
 impl<'a> Process for AppProcess<'a> {
     fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        // Once any processor hit an unrecoverable error, everyone winds
+        // down; run_app reports the recorded error instead of statistics.
+        if !matches!(self.state, PState::Finished) && self.driver.borrow().error.is_some() {
+            self.state = PState::Finished;
+            return Step::Done;
+        }
         match self.state {
             PState::Finished => Step::Done,
             PState::Drain(_) => self.drain(ctx),
@@ -738,7 +852,11 @@ impl<'a> Process for AppProcess<'a> {
                     SectionKind::Serial => {
                         let totals = ctx.total_stats();
                         let mut driver = self.driver.borrow_mut();
-                        driver.ensure_active(self.pos, ctx.now(), totals);
+                        if let Err(e) = driver.ensure_active(self.pos, ctx.now(), totals) {
+                            driver.error.get_or_insert(e);
+                            self.state = PState::Finished;
+                            return Step::Done;
+                        }
                         if self.proc_index == 0 {
                             let section = driver.plan[self.pos].name.clone();
                             let mut sink = OpSink::default();
@@ -764,13 +882,10 @@ impl<'a> Process for AppProcess<'a> {
 ///
 /// # Errors
 ///
-/// Propagates any [`SimError`] from the engine (an application whose lock
-/// usage deadlocks, for instance).
-///
-/// # Panics
-///
-/// Panics if `config.num_procs == 0`, or in static mode if some parallel
-/// section has no version implementing the requested policy.
+/// Every failure is a typed [`SimError`], never a panic: zero processors,
+/// an invalid machine config or fault plan, a section with no versions (or
+/// none implementing a statically requested policy), and any engine error
+/// (deadlock, lock misuse, event-limit overrun).
 pub fn run_app<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppReport, SimError> {
     run_app_impl(app, config)
 }
@@ -786,8 +901,11 @@ pub fn run_app_ref<A: SimApp>(app: &mut A, config: &RunConfig) -> Result<AppRepo
 }
 
 fn run_app_impl<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppReport, SimError> {
-    assert!(config.num_procs > 0, "need at least one processor");
-    let mut machine = Machine::new(config.machine);
+    if config.num_procs == 0 {
+        return Err(SimError::NoProcessors);
+    }
+    let mut machine = Machine::try_new(config.machine)?;
+    machine.set_fault_plan(config.faults.clone())?;
     let mut app = app;
     app.setup(&mut machine);
     let barrier = machine.add_barrier(config.num_procs);
@@ -805,6 +923,8 @@ fn run_app_impl<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppRep
         reports: Vec::new(),
         controllers: std::collections::HashMap::new(),
         span_intervals: config.span_intervals,
+        sampling_watchdog: config.sampling_watchdog,
+        error: None,
     }));
     let processes: Vec<Box<dyn Process + '_>> = (0..config.num_procs)
         .map(|p| {
@@ -820,10 +940,17 @@ fn run_app_impl<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppRep
             }) as Box<dyn Process + '_>
         })
         .collect();
-    let stats = machine.run(processes)?;
+    let result = machine.run(processes);
     let driver = Rc::try_unwrap(driver)
         .unwrap_or_else(|_| unreachable!("all processes dropped"))
         .into_inner();
+    // A runtime error recorded by a winding-down processor is the root
+    // cause; report it before any secondary engine error (the survivors
+    // blocked at a barrier read as a deadlock otherwise).
+    if let Some(err) = driver.error {
+        return Err(err);
+    }
+    let stats = result?;
     Ok(AppReport { app: name, stats, sections: driver.reports })
 }
 
@@ -915,11 +1042,8 @@ mod tests {
         let work = report.section("work").next().unwrap();
         assert!(!work.records.is_empty(), "must have sampled");
         // Find the first production record: it must use version 1.
-        let prod = work
-            .records
-            .iter()
-            .find(|r| r.phase.is_production())
-            .expect("reached production");
+        let prod =
+            work.records.iter().find(|r| r.phase.is_production()).expect("reached production");
         assert_eq!(prod.version, 1, "records: {:?}", work.records);
         // Sampling must have measured both versions.
         let sampled: std::collections::BTreeSet<usize> = work
@@ -1079,16 +1203,11 @@ mod span_tests {
         // With spanning, no partial intervals are recorded and sampling
         // continues across executions: the distinct versions both get
         // sampled even though one execution fits only one interval.
-        let records: Vec<&SampleRecord> = report
-            .section("work")
-            .flat_map(|e| e.records.iter())
-            .collect();
+        let records: Vec<&SampleRecord> =
+            report.section("work").flat_map(|e| e.records.iter()).collect();
         assert!(records.iter().all(|r| !r.partial), "{records:?}");
-        let sampled: std::collections::BTreeSet<usize> = records
-            .iter()
-            .filter(|r| r.phase.is_sampling())
-            .map(|r| r.version)
-            .collect();
+        let sampled: std::collections::BTreeSet<usize> =
+            records.iter().filter(|r| r.phase.is_sampling()).map(|r| r.version).collect();
         assert!(sampled.len() >= 2, "both versions sampled across executions: {records:?}");
     }
 
@@ -1158,16 +1277,18 @@ mod edge_tests {
 
     #[test]
     fn zero_iteration_parallel_section_completes() {
-        for mode in [RunMode::static_policy("only"), RunMode::Dynamic(ControllerConfig {
-            num_policies: 1,
-            ..ControllerConfig::default()
-        })] {
+        for mode in [
+            RunMode::static_policy("only"),
+            RunMode::Dynamic(ControllerConfig { num_policies: 1, ..ControllerConfig::default() }),
+        ] {
             let cfg = RunConfig {
                 num_procs: 4,
                 mode,
                 machine: MachineConfig::default(),
                 instrument_cost: Duration::ZERO,
                 span_intervals: false,
+                faults: FaultPlan::default(),
+                sampling_watchdog: None,
             };
             let report = run_app(Tiny { iters: 0 }, &cfg).expect("runs");
             assert_eq!(report.sections.len(), 2);
@@ -1177,8 +1298,7 @@ mod edge_tests {
 
     #[test]
     fn more_processors_than_iterations() {
-        let report =
-            run_app(Tiny { iters: 3 }, &RunConfig::fixed(8, "only")).expect("runs");
+        let report = run_app(Tiny { iters: 3 }, &RunConfig::fixed(8, "only")).expect("runs");
         assert_eq!(report.sections[0].iterations, 3);
         // Three processors did the work; all eight finished.
         assert_eq!(report.stats.procs.len(), 8);
@@ -1192,5 +1312,238 @@ mod edge_tests {
         );
         let report = run_app(Tiny { iters: 1 }, &cfg).expect("runs");
         assert_eq!(report.sections[0].iterations, 1);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::{FaultKind, FaultPlan, Target, Window};
+
+    /// One parallel section, two versions with different locking grain.
+    struct Mini;
+    impl SimApp for Mini {
+        fn name(&self) -> &str {
+            "mini"
+        }
+        fn setup(&mut self, machine: &mut Machine) {
+            machine.add_locks(16);
+        }
+        fn plan(&self) -> Vec<PlanEntry> {
+            vec![PlanEntry::parallel("work")]
+        }
+        fn versions(&self, _s: &str) -> Vec<String> {
+            vec!["fine".to_string(), "coarse".to_string()]
+        }
+        fn emit_serial(&mut self, _s: &str, _ops: &mut OpSink) {}
+        fn begin_parallel(&mut self, _s: &str) -> usize {
+            600
+        }
+        fn emit_iteration(&mut self, _s: &str, version: usize, iter: usize, ops: &mut OpSink) {
+            let lock = LockId(iter % 16);
+            let n = if version == 0 { 4 } else { 1 };
+            for _ in 0..n {
+                ops.acquire(lock);
+                ops.compute(Duration::from_micros(10 / n as u64));
+                ops.release(lock);
+            }
+        }
+    }
+
+    fn ctl() -> ControllerConfig {
+        ControllerConfig {
+            target_sampling: Duration::from_micros(200),
+            target_production: Duration::from_millis(2),
+            ..ControllerConfig::default()
+        }
+    }
+
+    fn frozen_clock() -> FaultPlan {
+        FaultPlan::new(7).with_event(Window::always(), FaultKind::TimerDrift { ppm: -1_000_000 })
+    }
+
+    #[test]
+    fn frozen_timer_starves_sampling_but_the_run_still_completes() {
+        let cfg = RunConfig::dynamic(4, ctl()).with_faults(frozen_clock());
+        let report = run_app(Mini, &cfg).expect("completes despite frozen clock");
+        let work = report.section("work").next().unwrap();
+        assert_eq!(work.iterations, 600);
+        // The observed clock never advances, so no interval ever expires:
+        // without a watchdog the section ends still inside its first
+        // sampling interval (one partial record at most).
+        assert!(
+            work.records.iter().all(|r| r.partial && r.phase.is_sampling()),
+            "{:?}",
+            work.records
+        );
+    }
+
+    #[test]
+    fn watchdog_aborts_stuck_sampling_into_production() {
+        let cfg = RunConfig::dynamic(4, ctl()).with_faults(frozen_clock()).with_watchdog(3);
+        let report = run_app(Mini, &cfg).expect("runs");
+        let work = report.section("work").next().unwrap();
+        assert_eq!(work.iterations, 600);
+        // The watchdog gave up on the stuck interval (recorded partial)...
+        let aborted = work
+            .records
+            .iter()
+            .find(|r| r.partial && r.phase.is_sampling())
+            .expect("aborted sampling interval recorded");
+        // ...after letting it run about `k×` its target in real time.
+        assert!(aborted.actual >= ctl().target_sampling * 3, "{aborted:?}");
+        // ...and the section then ran in production (best-so-far policy).
+        let tail = work.records.last().expect("records");
+        assert!(tail.phase.is_production(), "{:?}", work.records);
+    }
+
+    #[test]
+    fn watchdog_is_inert_on_a_healthy_clock() {
+        let base = run_app(Mini, &RunConfig::dynamic(4, ctl())).unwrap();
+        let dogged = run_app(Mini, &RunConfig::dynamic(4, ctl()).with_watchdog(50)).unwrap();
+        assert_eq!(base.stats, dogged.stats);
+        assert_eq!(base.sections, dogged.sections);
+    }
+
+    #[test]
+    fn faulted_dynamic_runs_are_deterministic() {
+        let plan = FaultPlan::new(3)
+            .with_event(
+                Window::new(Duration::from_micros(500), Duration::from_millis(4)),
+                FaultKind::Slowdown { procs: Target::Only(vec![0, 2]), factor: 5.0 },
+            )
+            .with_event(Window::always(), FaultKind::TimerJitter { max: Duration::from_micros(30) })
+            .with_event(
+                Window::new(Duration::ZERO, Duration::from_millis(2)),
+                FaultKind::ContentionStorm {
+                    locks: Target::All,
+                    cost_factor: 3.0,
+                    extra_hold: Duration::from_micros(5),
+                },
+            );
+        let cfg = RunConfig::dynamic(4, ctl()).with_faults(plan).with_watchdog(10);
+        let a = run_app(Mini, &cfg).expect("runs");
+        let b = run_app(Mini, &cfg).expect("runs");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.sections, b.sections);
+    }
+
+    #[test]
+    fn slowdown_fault_stretches_the_run() {
+        let slow = FaultPlan::new(1)
+            .with_event(Window::always(), FaultKind::Slowdown { procs: Target::All, factor: 4.0 });
+        let base = run_app(Mini, &RunConfig::fixed(4, "coarse")).unwrap();
+        let perturbed = run_app(Mini, &RunConfig::fixed(4, "coarse").with_faults(slow)).unwrap();
+        assert!(perturbed.elapsed() > base.elapsed() * 3, "{:?}", perturbed.elapsed());
+        // Same work was done either way.
+        assert_eq!(base.stats.totals().acquires, perturbed.stats.totals().acquires);
+    }
+}
+
+/// The acceptance criterion for the hardened runtime: no panic is
+/// reachable through the public `run_app` API — misconfiguration and
+/// malformed applications surface as typed [`SimError`]s.
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use crate::faults::{FaultKind, FaultPlanError, Target, Window};
+
+    struct Bare {
+        versions: Vec<String>,
+    }
+    impl SimApp for Bare {
+        fn name(&self) -> &str {
+            "bare"
+        }
+        fn setup(&mut self, _machine: &mut Machine) {}
+        fn plan(&self) -> Vec<PlanEntry> {
+            vec![PlanEntry::parallel("work")]
+        }
+        fn versions(&self, _s: &str) -> Vec<String> {
+            self.versions.clone()
+        }
+        fn emit_serial(&mut self, _s: &str, _ops: &mut OpSink) {}
+        fn begin_parallel(&mut self, _s: &str) -> usize {
+            4
+        }
+        fn emit_iteration(&mut self, _s: &str, _v: usize, _i: usize, ops: &mut OpSink) {
+            ops.compute(Duration::from_micros(1));
+        }
+    }
+
+    fn one_version() -> Bare {
+        Bare { versions: vec!["only".to_string()] }
+    }
+
+    #[test]
+    fn zero_processors_is_an_error() {
+        let err = run_app(one_version(), &RunConfig::fixed(0, "only")).unwrap_err();
+        assert_eq!(err, SimError::NoProcessors);
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error_not_a_panic() {
+        let err = run_app(one_version(), &RunConfig::fixed(4, "nonexistent")).unwrap_err();
+        let SimError::UnknownPolicy { section, policy, available } = err else {
+            panic!("wrong error: {err}");
+        };
+        assert_eq!(section, "work");
+        assert_eq!(policy, "nonexistent");
+        assert_eq!(available, vec!["only".to_string()]);
+    }
+
+    #[test]
+    fn versionless_section_is_an_error_not_a_panic() {
+        let err = run_app(Bare { versions: Vec::new() }, &RunConfig::fixed(4, "only")).unwrap_err();
+        assert_eq!(err, SimError::NoVersions { section: "work".to_string() });
+    }
+
+    #[test]
+    fn invalid_machine_config_is_an_error_not_a_panic() {
+        let mut cfg = RunConfig::fixed(2, "only");
+        cfg.machine.barrier_cost = Duration::from_secs(9999);
+        let err = run_app(one_version(), &cfg).unwrap_err();
+        assert!(matches!(err, SimError::Config(e) if e.what == "barrier_cost"), "{err}");
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_an_error_not_a_panic() {
+        let cfg = RunConfig::fixed(2, "only").with_faults(FaultPlan::new(0).with_event(
+            Window::always(),
+            FaultKind::Slowdown { procs: Target::All, factor: f64::NAN },
+        ));
+        let err = run_app(one_version(), &cfg).unwrap_err();
+        assert!(matches!(err, SimError::FaultPlan(FaultPlanError { event: 0, .. })), "{err}");
+    }
+
+    #[test]
+    fn unknown_policy_surfaces_even_from_later_plan_entries() {
+        // The failing section is not the first one: earlier sections run
+        // normally, then every processor winds down cleanly (no deadlock
+        // masking the root cause).
+        struct Late;
+        impl SimApp for Late {
+            fn name(&self) -> &str {
+                "late"
+            }
+            fn setup(&mut self, _machine: &mut Machine) {}
+            fn plan(&self) -> Vec<PlanEntry> {
+                vec![PlanEntry::serial("init"), PlanEntry::parallel("work")]
+            }
+            fn versions(&self, _s: &str) -> Vec<String> {
+                vec!["a".to_string()]
+            }
+            fn emit_serial(&mut self, _s: &str, ops: &mut OpSink) {
+                ops.compute(Duration::from_micros(50));
+            }
+            fn begin_parallel(&mut self, _s: &str) -> usize {
+                8
+            }
+            fn emit_iteration(&mut self, _s: &str, _v: usize, _i: usize, ops: &mut OpSink) {
+                ops.compute(Duration::from_micros(1));
+            }
+        }
+        let err = run_app(Late, &RunConfig::fixed(4, "zzz")).unwrap_err();
+        assert!(matches!(err, SimError::UnknownPolicy { .. }), "{err}");
     }
 }

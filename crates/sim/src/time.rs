@@ -50,6 +50,14 @@ impl SimTime {
         debug_assert!(earlier <= self, "time went backwards: {earlier} > {self}");
         Duration::from_nanos(self.0.saturating_sub(earlier.0))
     }
+
+    /// Time elapsed since `earlier`, or zero if `earlier` is later — for
+    /// *observed* timestamps, which fault injection (timer jitter, negative
+    /// drift) can legitimately make non-monotone.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
 }
 
 impl Add<Duration> for SimTime {
@@ -88,6 +96,14 @@ mod tests {
         assert_eq!(t.as_nanos(), 9_000);
         assert_eq!(t - SimTime::ZERO, Duration::from_micros(9));
         assert_eq!(t.since(SimTime::from_nanos(4_000)), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn saturating_since_tolerates_backwards_time() {
+        let early = SimTime::from_nanos(100);
+        let late = SimTime::from_nanos(400);
+        assert_eq!(late.saturating_since(early), Duration::from_nanos(300));
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! Property-based tests for the discrete-event engine: invariants that
 //! must hold for arbitrary (well-formed) workloads.
+//!
+//! Workloads are generated with the repository's own deterministic PRNG
+//! (`dynfb_core::rng::SplitMix64`), so every failure reproduces from the
+//! fixed seeds below.
 
+use dynfb_core::rng::SplitMix64;
 use dynfb_sim::{Machine, MachineConfig, ProcCtx, Process, Step};
-use proptest::prelude::*;
 use std::time::Duration;
+
+const CASES: u64 = 64;
 
 /// One critical region: optional pre-compute, then lock `lock % n_locks`
 /// held for `hold` microseconds.
@@ -44,16 +50,19 @@ impl Process for RegionProc {
     }
 }
 
-fn region_strategy() -> impl Strategy<Value = Region> {
-    (0u64..50, 0usize..4, 0u64..50)
-        .prop_map(|(pre_us, lock, hold_us)| Region { pre_us, lock, hold_us })
+fn gen_region(g: &mut SplitMix64) -> Region {
+    Region { pre_us: g.gen_range(0, 50), lock: g.gen_index(4), hold_us: g.gen_range(0, 50) }
 }
 
-fn workload_strategy() -> impl Strategy<Value = Vec<Vec<Region>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(region_strategy(), 1..20),
-        1..6,
-    )
+fn gen_regions(g: &mut SplitMix64, max_len: usize) -> Vec<Region> {
+    let len = g.gen_index(max_len - 1) + 1;
+    (0..len).map(|_| gen_region(g)).collect()
+}
+
+/// 1..=5 processes, each with 1..=19 regions.
+fn gen_workload(g: &mut SplitMix64) -> Vec<Vec<Region>> {
+    let procs = g.gen_index(5) + 1;
+    (0..procs).map(|_| gen_regions(g, 20)).collect()
 }
 
 fn run(workload: &[Vec<Region>]) -> dynfb_sim::MachineStats {
@@ -75,58 +84,70 @@ fn run(workload: &[Vec<Region>]) -> dynfb_sim::MachineStats {
     machine.run(procs).expect("well-formed workload must not deadlock")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Balanced acquire/release workloads always terminate, and the engine
-    /// is deterministic: two runs produce identical statistics.
-    #[test]
-    fn deterministic_and_terminating(workload in workload_strategy()) {
+/// Balanced acquire/release workloads always terminate, and the engine is
+/// deterministic: two runs produce identical statistics.
+#[test]
+fn deterministic_and_terminating() {
+    let mut g = SplitMix64::new(0x51_0001);
+    for _ in 0..CASES {
+        let workload = gen_workload(&mut g);
         let a = run(&workload);
         let b = run(&workload);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Compute time is conserved: each processor's accounted compute equals
-    /// exactly what its process requested, regardless of contention.
-    #[test]
-    fn compute_time_is_conserved(workload in workload_strategy()) {
+/// Compute time is conserved: each processor's accounted compute equals
+/// exactly what its process requested, regardless of contention.
+#[test]
+fn compute_time_is_conserved() {
+    let mut g = SplitMix64::new(0x51_0002);
+    for _ in 0..CASES {
+        let workload = gen_workload(&mut g);
         let stats = run(&workload);
         for (p, regions) in workload.iter().enumerate() {
             let expected: u64 = regions.iter().map(|r| r.pre_us + r.hold_us + 2).sum();
-            prop_assert_eq!(
-                stats.procs[p].compute,
-                Duration::from_micros(expected),
-                "proc {}", p
-            );
+            assert_eq!(stats.procs[p].compute, Duration::from_micros(expected), "proc {p}");
         }
     }
+}
 
-    /// Lock accounting is consistent: every processor's acquires equal its
-    /// regions, and failed attempts imply waiting time (and vice versa).
-    #[test]
-    fn lock_accounting_is_consistent(workload in workload_strategy()) {
+/// Lock accounting is consistent: every processor's acquires equal its
+/// regions, and failed attempts imply waiting time (and vice versa).
+#[test]
+fn lock_accounting_is_consistent() {
+    let mut g = SplitMix64::new(0x51_0003);
+    for _ in 0..CASES {
+        let workload = gen_workload(&mut g);
         let stats = run(&workload);
         for (p, regions) in workload.iter().enumerate() {
             let s = &stats.procs[p];
-            prop_assert_eq!(s.acquires, regions.len() as u64);
-            prop_assert_eq!(s.failed_attempts > 0, s.wait_time > Duration::ZERO);
+            assert_eq!(s.acquires, regions.len() as u64);
+            assert_eq!(s.failed_attempts > 0, s.wait_time > Duration::ZERO);
         }
     }
+}
 
-    /// A single processor never waits.
-    #[test]
-    fn single_processor_never_waits(regions in proptest::collection::vec(region_strategy(), 1..30)) {
+/// A single processor never waits.
+#[test]
+fn single_processor_never_waits() {
+    let mut g = SplitMix64::new(0x51_0004);
+    for _ in 0..CASES {
+        let regions = gen_regions(&mut g, 30);
         let stats = run(std::slice::from_ref(&regions));
-        prop_assert_eq!(stats.procs[0].wait_time, Duration::ZERO);
-        prop_assert_eq!(stats.procs[0].failed_attempts, 0);
+        assert_eq!(stats.procs[0].wait_time, Duration::ZERO);
+        assert_eq!(stats.procs[0].failed_attempts, 0);
     }
+}
 
-    /// Makespan bounds: the run takes at least as long as the busiest
-    /// processor's own work, and no longer than everyone's work serialized
-    /// (plus lock overheads).
-    #[test]
-    fn makespan_is_bounded(workload in workload_strategy()) {
+/// Makespan bounds: the run takes at least as long as the busiest
+/// processor's own work, and no longer than everyone's work serialized
+/// (plus lock overheads).
+#[test]
+fn makespan_is_bounded() {
+    let mut g = SplitMix64::new(0x51_0005);
+    for _ in 0..CASES {
+        let workload = gen_workload(&mut g);
         let stats = run(&workload);
         let cfg = MachineConfig::default();
         let per_proc: Vec<Duration> = workload
@@ -138,8 +159,8 @@ proptest! {
             .collect();
         let lower = per_proc.iter().copied().max().unwrap_or_default();
         let upper: Duration = per_proc.iter().sum();
-        prop_assert!(stats.elapsed() >= lower, "{:?} < {:?}", stats.elapsed(), lower);
-        prop_assert!(
+        assert!(stats.elapsed() >= lower, "{:?} < {:?}", stats.elapsed(), lower);
+        assert!(
             stats.elapsed() <= upper + Duration::from_millis(1),
             "{:?} > {:?}",
             stats.elapsed(),

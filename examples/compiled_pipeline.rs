@@ -98,7 +98,8 @@ fn main() {
 
     // Show the Figure 1 -> Figure 2 transformation: `interactions` under
     // the original vs. the aggressive policy.
-    let interactions = app.hir().method_named(app.hir().class_named("body").unwrap(), "interactions").unwrap();
+    let interactions =
+        app.hir().method_named(app.hir().class_named("body").unwrap(), "interactions").unwrap();
     for v in &section.versions {
         println!("\n-- `interactions` under the {} version --", v.name);
         print!(

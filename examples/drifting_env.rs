@@ -11,9 +11,7 @@
 //! Run with `cargo run --release --example drifting_env`.
 
 use dynfb::core::controller::ControllerConfig;
-use dynfb::sim::{
-    run_app, LockId, Machine, MachineConfig, OpSink, PlanEntry, RunConfig, SimApp,
-};
+use dynfb::sim::{run_app, LockId, Machine, MachineConfig, OpSink, PlanEntry, RunConfig, SimApp};
 use std::time::Duration;
 
 const ITEMS: usize = 6_000;

@@ -85,7 +85,7 @@ fn main() {
     });
 
     let workload = Histogram::new();
-    let report = executor.run(&workload, 400_000);
+    let report = executor.run(&workload, 400_000).expect("no version panics");
 
     println!("processed {} items in {:?}", report.items_processed, report.elapsed);
     println!("phase trace:");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-9b7e58cd73889969.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-9b7e58cd73889969: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

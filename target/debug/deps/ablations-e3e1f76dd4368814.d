@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e3e1f76dd4368814.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e3e1f76dd4368814: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

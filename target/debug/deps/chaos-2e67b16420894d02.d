@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-2e67b16420894d02.d: crates/bench/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-2e67b16420894d02: crates/bench/tests/chaos.rs
+
+crates/bench/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-7e123fcec4ac113b.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-7e123fcec4ac113b: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

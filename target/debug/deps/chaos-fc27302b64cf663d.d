@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-fc27302b64cf663d.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-fc27302b64cf663d: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controller_props-f1ab1a8184f99a0b.d: crates/core/tests/controller_props.rs
+
+/root/repo/target/debug/deps/controller_props-f1ab1a8184f99a0b: crates/core/tests/controller_props.rs
+
+crates/core/tests/controller_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-85fb972ae0b68ca1.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-85fb972ae0b68ca1: tests/determinism.rs
+
+tests/determinism.rs:

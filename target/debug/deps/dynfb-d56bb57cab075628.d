@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynfb-d56bb57cab075628.d: src/lib.rs
+
+/root/repo/target/debug/deps/dynfb-d56bb57cab075628: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dynfb-e88cdabceb72e7c5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdynfb-e88cdabceb72e7c5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdynfb-e88cdabceb72e7c5.rmeta: src/lib.rs
+
+src/lib.rs:

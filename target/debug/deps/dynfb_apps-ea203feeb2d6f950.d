@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dynfb_apps-ea203feeb2d6f950.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol
+
+/root/repo/target/debug/deps/libdynfb_apps-ea203feeb2d6f950.rlib: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol
+
+/root/repo/target/debug/deps/libdynfb_apps-ea203feeb2d6f950.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/host.rs:
+crates/apps/src/string_app.rs:
+crates/apps/src/water.rs:
+crates/apps/src/../programs/barnes_hut.ol:
+crates/apps/src/../programs/string_app.ol:
+crates/apps/src/../programs/water.ol:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dynfb_bench-999062d1ce9d52ac.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/dynfb_bench-999062d1ce9d52ac: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

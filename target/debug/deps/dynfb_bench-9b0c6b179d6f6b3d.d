@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynfb_bench-9b0c6b179d6f6b3d.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdynfb_bench-9b0c6b179d6f6b3d.rlib: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdynfb_bench-9b0c6b179d6f6b3d.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

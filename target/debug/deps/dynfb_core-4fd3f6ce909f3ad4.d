@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynfb_core-4fd3f6ce909f3ad4.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libdynfb_core-4fd3f6ce909f3ad4.rlib: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libdynfb_core-4fd3f6ce909f3ad4.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/overhead.rs:
+crates/core/src/realtime.rs:
+crates/core/src/rng.rs:
+crates/core/src/theory.rs:

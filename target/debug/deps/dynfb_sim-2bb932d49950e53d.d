@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dynfb_sim-2bb932d49950e53d.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdynfb_sim-2bb932d49950e53d.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdynfb_sim-2bb932d49950e53d.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/process.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-51fee7b879495082.d: crates/compiler/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-51fee7b879495082: crates/compiler/tests/end_to_end.rs
+
+crates/compiler/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-af102b012daba5cc.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-af102b012daba5cc: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-d525556944099f12.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-d525556944099f12: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

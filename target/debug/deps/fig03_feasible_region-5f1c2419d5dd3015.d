@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_feasible_region-5f1c2419d5dd3015.d: crates/bench/src/bin/fig03_feasible_region.rs
+
+/root/repo/target/debug/deps/fig03_feasible_region-5f1c2419d5dd3015: crates/bench/src/bin/fig03_feasible_region.rs
+
+crates/bench/src/bin/fig03_feasible_region.rs:

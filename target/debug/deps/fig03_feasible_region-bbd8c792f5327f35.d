@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_feasible_region-bbd8c792f5327f35.d: crates/bench/src/bin/fig03_feasible_region.rs
+
+/root/repo/target/debug/deps/fig03_feasible_region-bbd8c792f5327f35: crates/bench/src/bin/fig03_feasible_region.rs
+
+crates/bench/src/bin/fig03_feasible_region.rs:

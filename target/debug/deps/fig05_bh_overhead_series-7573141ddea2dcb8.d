@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_bh_overhead_series-7573141ddea2dcb8.d: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+/root/repo/target/debug/deps/fig05_bh_overhead_series-7573141ddea2dcb8: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+crates/bench/src/bin/fig05_bh_overhead_series.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_bh_overhead_series-e500fba190a55fb5.d: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+/root/repo/target/debug/deps/fig05_bh_overhead_series-e500fba190a55fb5: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+crates/bench/src/bin/fig05_bh_overhead_series.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_water_waiting-c6dd4c1240d9d6ca.d: crates/bench/src/bin/fig07_water_waiting.rs
+
+/root/repo/target/debug/deps/fig07_water_waiting-c6dd4c1240d9d6ca: crates/bench/src/bin/fig07_water_waiting.rs
+
+crates/bench/src/bin/fig07_water_waiting.rs:

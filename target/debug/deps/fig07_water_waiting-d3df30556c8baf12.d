@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_water_waiting-d3df30556c8baf12.d: crates/bench/src/bin/fig07_water_waiting.rs
+
+/root/repo/target/debug/deps/fig07_water_waiting-d3df30556c8baf12: crates/bench/src/bin/fig07_water_waiting.rs
+
+crates/bench/src/bin/fig07_water_waiting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_09_water_series-206f5a77b86fd65c.d: crates/bench/src/bin/fig08_09_water_series.rs
+
+/root/repo/target/debug/deps/fig08_09_water_series-206f5a77b86fd65c: crates/bench/src/bin/fig08_09_water_series.rs
+
+crates/bench/src/bin/fig08_09_water_series.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_09_water_series-6aea341e8caf5dab.d: crates/bench/src/bin/fig08_09_water_series.rs
+
+/root/repo/target/debug/deps/fig08_09_water_series-6aea341e8caf5dab: crates/bench/src/bin/fig08_09_water_series.rs
+
+crates/bench/src/bin/fig08_09_water_series.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrumentation-49671eaf9daeb75f.d: crates/bench/src/bin/instrumentation.rs
+
+/root/repo/target/debug/deps/instrumentation-49671eaf9daeb75f: crates/bench/src/bin/instrumentation.rs
+
+crates/bench/src/bin/instrumentation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrumentation-ffe8a7222c4d80a6.d: crates/bench/src/bin/instrumentation.rs
+
+/root/repo/target/debug/deps/instrumentation-ffe8a7222c4d80a6: crates/bench/src/bin/instrumentation.rs
+
+crates/bench/src/bin/instrumentation.rs:

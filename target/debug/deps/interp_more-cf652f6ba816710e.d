@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_more-cf652f6ba816710e.d: crates/compiler/tests/interp_more.rs
+
+/root/repo/target/debug/deps/interp_more-cf652f6ba816710e: crates/compiler/tests/interp_more.rs
+
+crates/compiler/tests/interp_more.rs:

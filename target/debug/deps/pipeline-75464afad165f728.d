@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-75464afad165f728.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-75464afad165f728: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-66cb100e3a231d65.d: crates/compiler/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-66cb100e3a231d65: crates/compiler/tests/properties.rs
+
+crates/compiler/tests/properties.rs:

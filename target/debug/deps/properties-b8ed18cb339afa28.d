@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b8ed18cb339afa28.d: crates/lang/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b8ed18cb339afa28: crates/lang/tests/properties.rs
+
+crates/lang/tests/properties.rs:

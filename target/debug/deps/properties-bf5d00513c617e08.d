@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bf5d00513c617e08.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bf5d00513c617e08: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spanning-ff3da6ba4045195a.d: crates/apps/tests/spanning.rs
+
+/root/repo/target/debug/deps/spanning-ff3da6ba4045195a: crates/apps/tests/spanning.rs
+
+crates/apps/tests/spanning.rs:

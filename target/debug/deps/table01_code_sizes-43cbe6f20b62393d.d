@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_code_sizes-43cbe6f20b62393d.d: crates/bench/src/bin/table01_code_sizes.rs
+
+/root/repo/target/debug/deps/table01_code_sizes-43cbe6f20b62393d: crates/bench/src/bin/table01_code_sizes.rs
+
+crates/bench/src/bin/table01_code_sizes.rs:

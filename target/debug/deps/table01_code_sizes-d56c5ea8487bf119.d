@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_code_sizes-d56c5ea8487bf119.d: crates/bench/src/bin/table01_code_sizes.rs
+
+/root/repo/target/debug/deps/table01_code_sizes-d56c5ea8487bf119: crates/bench/src/bin/table01_code_sizes.rs
+
+crates/bench/src/bin/table01_code_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_barnes_hut-309d83df506e49a2.d: crates/bench/src/bin/table02_barnes_hut.rs
+
+/root/repo/target/debug/deps/table02_barnes_hut-309d83df506e49a2: crates/bench/src/bin/table02_barnes_hut.rs
+
+crates/bench/src/bin/table02_barnes_hut.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_barnes_hut-5e12af099c4abdbb.d: crates/bench/src/bin/table02_barnes_hut.rs
+
+/root/repo/target/debug/deps/table02_barnes_hut-5e12af099c4abdbb: crates/bench/src/bin/table02_barnes_hut.rs
+
+crates/bench/src/bin/table02_barnes_hut.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_bh_locking-157cef6c4b81031b.d: crates/bench/src/bin/table03_bh_locking.rs
+
+/root/repo/target/debug/deps/table03_bh_locking-157cef6c4b81031b: crates/bench/src/bin/table03_bh_locking.rs
+
+crates/bench/src/bin/table03_bh_locking.rs:

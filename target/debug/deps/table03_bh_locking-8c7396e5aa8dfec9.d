@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_bh_locking-8c7396e5aa8dfec9.d: crates/bench/src/bin/table03_bh_locking.rs
+
+/root/repo/target/debug/deps/table03_bh_locking-8c7396e5aa8dfec9: crates/bench/src/bin/table03_bh_locking.rs
+
+crates/bench/src/bin/table03_bh_locking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table04_bh_forces_stats-36e3e584c1564b1a.d: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+/root/repo/target/debug/deps/table04_bh_forces_stats-36e3e584c1564b1a: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+crates/bench/src/bin/table04_bh_forces_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table04_bh_forces_stats-d30f95c988772bae.d: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+/root/repo/target/debug/deps/table04_bh_forces_stats-d30f95c988772bae: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+crates/bench/src/bin/table04_bh_forces_stats.rs:

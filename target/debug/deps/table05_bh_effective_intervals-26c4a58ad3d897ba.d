@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table05_bh_effective_intervals-26c4a58ad3d897ba.d: crates/bench/src/bin/table05_bh_effective_intervals.rs
+
+/root/repo/target/debug/deps/table05_bh_effective_intervals-26c4a58ad3d897ba: crates/bench/src/bin/table05_bh_effective_intervals.rs
+
+crates/bench/src/bin/table05_bh_effective_intervals.rs:

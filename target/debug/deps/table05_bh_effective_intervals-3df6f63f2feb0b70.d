@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table05_bh_effective_intervals-3df6f63f2feb0b70.d: crates/bench/src/bin/table05_bh_effective_intervals.rs
+
+/root/repo/target/debug/deps/table05_bh_effective_intervals-3df6f63f2feb0b70: crates/bench/src/bin/table05_bh_effective_intervals.rs
+
+crates/bench/src/bin/table05_bh_effective_intervals.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table06_bh_interval_sweep-7ee5b3832fb14c6a.d: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+/root/repo/target/debug/deps/table06_bh_interval_sweep-7ee5b3832fb14c6a: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+crates/bench/src/bin/table06_bh_interval_sweep.rs:

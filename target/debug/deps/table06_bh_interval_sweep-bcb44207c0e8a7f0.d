@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table06_bh_interval_sweep-bcb44207c0e8a7f0.d: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+/root/repo/target/debug/deps/table06_bh_interval_sweep-bcb44207c0e8a7f0: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+crates/bench/src/bin/table06_bh_interval_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table07_water-67351ab50fb86687.d: crates/bench/src/bin/table07_water.rs
+
+/root/repo/target/debug/deps/table07_water-67351ab50fb86687: crates/bench/src/bin/table07_water.rs
+
+crates/bench/src/bin/table07_water.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table07_water-dc01fc8c5566f532.d: crates/bench/src/bin/table07_water.rs
+
+/root/repo/target/debug/deps/table07_water-dc01fc8c5566f532: crates/bench/src/bin/table07_water.rs
+
+crates/bench/src/bin/table07_water.rs:

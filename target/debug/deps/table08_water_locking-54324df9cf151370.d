@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table08_water_locking-54324df9cf151370.d: crates/bench/src/bin/table08_water_locking.rs
+
+/root/repo/target/debug/deps/table08_water_locking-54324df9cf151370: crates/bench/src/bin/table08_water_locking.rs
+
+crates/bench/src/bin/table08_water_locking.rs:

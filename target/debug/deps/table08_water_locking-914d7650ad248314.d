@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table08_water_locking-914d7650ad248314.d: crates/bench/src/bin/table08_water_locking.rs
+
+/root/repo/target/debug/deps/table08_water_locking-914d7650ad248314: crates/bench/src/bin/table08_water_locking.rs
+
+crates/bench/src/bin/table08_water_locking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table09_12_water_stats-327814745be2ba20.d: crates/bench/src/bin/table09_12_water_stats.rs
+
+/root/repo/target/debug/deps/table09_12_water_stats-327814745be2ba20: crates/bench/src/bin/table09_12_water_stats.rs
+
+crates/bench/src/bin/table09_12_water_stats.rs:

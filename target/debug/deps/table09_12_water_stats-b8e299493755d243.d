@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table09_12_water_stats-b8e299493755d243.d: crates/bench/src/bin/table09_12_water_stats.rs
+
+/root/repo/target/debug/deps/table09_12_water_stats-b8e299493755d243: crates/bench/src/bin/table09_12_water_stats.rs
+
+crates/bench/src/bin/table09_12_water_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13_14_water_interval_sweep-6d5c0df617fbea53.d: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+/root/repo/target/debug/deps/table13_14_water_interval_sweep-6d5c0df617fbea53: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+crates/bench/src/bin/table13_14_water_interval_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13_14_water_interval_sweep-b617430195584f21.d: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+/root/repo/target/debug/deps/table13_14_water_interval_sweep-b617430195584f21: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+crates/bench/src/bin/table13_14_water_interval_sweep.rs:

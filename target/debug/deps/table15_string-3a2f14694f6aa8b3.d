@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15_string-3a2f14694f6aa8b3.d: crates/bench/src/bin/table15_string.rs
+
+/root/repo/target/debug/deps/table15_string-3a2f14694f6aa8b3: crates/bench/src/bin/table15_string.rs
+
+crates/bench/src/bin/table15_string.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15_string-9d2079136221696a.d: crates/bench/src/bin/table15_string.rs
+
+/root/repo/target/debug/deps/table15_string-9d2079136221696a: crates/bench/src/bin/table15_string.rs
+
+crates/bench/src/bin/table15_string.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_props-68c366fb454f0c5e.d: tests/theory_props.rs
+
+/root/repo/target/debug/deps/theory_props-68c366fb454f0c5e: tests/theory_props.rs
+
+tests/theory_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiled_pipeline-b7f199b394de114f.d: examples/compiled_pipeline.rs
+
+/root/repo/target/debug/examples/compiled_pipeline-b7f199b394de114f: examples/compiled_pipeline.rs
+
+examples/compiled_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drifting_env-cd4780576423f440.d: examples/drifting_env.rs
+
+/root/repo/target/debug/examples/drifting_env-cd4780576423f440: examples/drifting_env.rs
+
+examples/drifting_env.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimality_theory-1dc4820e1bc95637.d: examples/optimality_theory.rs
+
+/root/repo/target/debug/examples/optimality_theory-1dc4820e1bc95637: examples/optimality_theory.rs
+
+examples/optimality_theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-693df4ddb7210cc0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-693df4ddb7210cc0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-4f5534f1c4358efe.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-4f5534f1c4358efe: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-548067d9bf2b714f.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-548067d9bf2b714f.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-91c6b88e1b11609a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-91c6b88e1b11609a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chaos-441d237eec5ef03e.d: crates/bench/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/release/deps/libchaos-441d237eec5ef03e.rmeta: crates/bench/src/bin/chaos.rs Cargo.toml
+
+crates/bench/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chaos-6bf4ecf4c3a4294f.d: crates/bench/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/release/deps/libchaos-6bf4ecf4c3a4294f.rmeta: crates/bench/src/bin/chaos.rs Cargo.toml
+
+crates/bench/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-9e584a1ddf0d27a2.d: crates/bench/tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-9e584a1ddf0d27a2: crates/bench/tests/chaos.rs
+
+crates/bench/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-9faa36c06341d50c.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-9faa36c06341d50c: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/chaos-bd52f44431dad9b9.d: crates/bench/tests/chaos.rs Cargo.toml
+
+/root/repo/target/release/deps/libchaos-bd52f44431dad9b9.rmeta: crates/bench/tests/chaos.rs Cargo.toml
+
+crates/bench/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-db04351e360b469d.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-db04351e360b469d: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/controller_props-701fb8d3a9cbd71c.d: crates/core/tests/controller_props.rs
+
+/root/repo/target/release/deps/controller_props-701fb8d3a9cbd71c: crates/core/tests/controller_props.rs
+
+crates/core/tests/controller_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/controller_props-bd6f9c4de789ecb8.d: crates/core/tests/controller_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libcontroller_props-bd6f9c4de789ecb8.rmeta: crates/core/tests/controller_props.rs Cargo.toml
+
+crates/core/tests/controller_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-922a78ba89c27fa1.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-922a78ba89c27fa1: tests/determinism.rs
+
+tests/determinism.rs:

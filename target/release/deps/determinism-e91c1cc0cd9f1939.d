@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-e91c1cc0cd9f1939.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-e91c1cc0cd9f1939.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

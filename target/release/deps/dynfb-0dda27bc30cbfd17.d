@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dynfb-0dda27bc30cbfd17.d: src/lib.rs
+
+/root/repo/target/release/deps/dynfb-0dda27bc30cbfd17: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dynfb-1609a16d85b35d5d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynfb-1609a16d85b35d5d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

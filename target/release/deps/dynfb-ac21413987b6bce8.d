@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dynfb-ac21413987b6bce8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynfb-ac21413987b6bce8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dynfb-e811850ea4eb6dbe.d: src/lib.rs
+
+/root/repo/target/release/deps/libdynfb-e811850ea4eb6dbe.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdynfb-e811850ea4eb6dbe.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dynfb_apps-ab563d178996fdd8.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol
+
+/root/repo/target/release/deps/libdynfb_apps-ab563d178996fdd8.rlib: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol
+
+/root/repo/target/release/deps/libdynfb_apps-ab563d178996fdd8.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/host.rs:
+crates/apps/src/string_app.rs:
+crates/apps/src/water.rs:
+crates/apps/src/../programs/barnes_hut.ol:
+crates/apps/src/../programs/string_app.ol:
+crates/apps/src/../programs/water.ol:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dynfb_apps-b65a3d83df7b6abe.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol Cargo.toml
+
+/root/repo/target/release/deps/libdynfb_apps-b65a3d83df7b6abe.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/host.rs:
+crates/apps/src/string_app.rs:
+crates/apps/src/water.rs:
+crates/apps/src/../programs/barnes_hut.ol:
+crates/apps/src/../programs/string_app.ol:
+crates/apps/src/../programs/water.ol:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

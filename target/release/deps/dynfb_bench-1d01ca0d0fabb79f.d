@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dynfb_bench-1d01ca0d0fabb79f.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynfb_bench-1d01ca0d0fabb79f.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

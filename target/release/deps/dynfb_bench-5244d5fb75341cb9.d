@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dynfb_bench-5244d5fb75341cb9.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/dynfb_bench-5244d5fb75341cb9: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

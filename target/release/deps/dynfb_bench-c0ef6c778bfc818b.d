@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dynfb_bench-c0ef6c778bfc818b.d: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdynfb_bench-c0ef6c778bfc818b.rlib: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdynfb_bench-c0ef6c778bfc818b.rmeta: crates/bench/src/lib.rs crates/bench/src/chaos.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaos.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

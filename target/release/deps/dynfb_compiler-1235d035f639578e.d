@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dynfb_compiler-1235d035f639578e.d: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs
+
+/root/repo/target/release/deps/libdynfb_compiler-1235d035f639578e.rlib: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs
+
+/root/repo/target/release/deps/libdynfb_compiler-1235d035f639578e.rmeta: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/artifact.rs:
+crates/compiler/src/callgraph.rs:
+crates/compiler/src/commutativity.rs:
+crates/compiler/src/effects.rs:
+crates/compiler/src/interp.rs:
+crates/compiler/src/lockplace.rs:
+crates/compiler/src/symbolic.rs:
+crates/compiler/src/syncopt.rs:

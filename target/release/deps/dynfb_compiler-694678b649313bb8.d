@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dynfb_compiler-694678b649313bb8.d: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynfb_compiler-694678b649313bb8.rmeta: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/artifact.rs:
+crates/compiler/src/callgraph.rs:
+crates/compiler/src/commutativity.rs:
+crates/compiler/src/effects.rs:
+crates/compiler/src/interp.rs:
+crates/compiler/src/lockplace.rs:
+crates/compiler/src/symbolic.rs:
+crates/compiler/src/syncopt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

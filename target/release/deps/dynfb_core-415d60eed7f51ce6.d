@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dynfb_core-415d60eed7f51ce6.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+/root/repo/target/release/deps/libdynfb_core-415d60eed7f51ce6.rlib: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+/root/repo/target/release/deps/libdynfb_core-415d60eed7f51ce6.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/overhead.rs:
+crates/core/src/realtime.rs:
+crates/core/src/rng.rs:
+crates/core/src/theory.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dynfb_core-4907ddc645f111e0.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynfb_core-4907ddc645f111e0.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/overhead.rs:
+crates/core/src/realtime.rs:
+crates/core/src/rng.rs:
+crates/core/src/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dynfb_core-a65fe160ae5ece38.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+/root/repo/target/release/deps/dynfb_core-a65fe160ae5ece38: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/overhead.rs:
+crates/core/src/realtime.rs:
+crates/core/src/rng.rs:
+crates/core/src/theory.rs:

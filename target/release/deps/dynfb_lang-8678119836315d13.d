@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dynfb_lang-8678119836315d13.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/hir.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynfb_lang-8678119836315d13.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/error.rs crates/lang/src/hir.rs crates/lang/src/lexer.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/sema.rs crates/lang/src/token.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/error.rs:
+crates/lang/src/hir.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/sema.rs:
+crates/lang/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dynfb_sim-4c38ef24414805f0.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libdynfb_sim-4c38ef24414805f0.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libdynfb_sim-4c38ef24414805f0.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/process.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

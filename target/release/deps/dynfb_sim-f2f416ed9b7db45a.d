@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dynfb_sim-f2f416ed9b7db45a.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/release/deps/libdynfb_sim-f2f416ed9b7db45a.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/process.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-94927d3260401203.d: crates/compiler/tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-94927d3260401203: crates/compiler/tests/end_to_end.rs
+
+crates/compiler/tests/end_to_end.rs:

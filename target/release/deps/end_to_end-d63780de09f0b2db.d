@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end-d63780de09f0b2db.d: crates/compiler/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end-d63780de09f0b2db.rmeta: crates/compiler/tests/end_to_end.rs Cargo.toml
+
+crates/compiler/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-0ef477071113814c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-0ef477071113814c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-98ece6c9d4375447.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-98ece6c9d4375447.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

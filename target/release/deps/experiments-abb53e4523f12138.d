@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiments-abb53e4523f12138.d: crates/bench/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-abb53e4523f12138.rmeta: crates/bench/src/bin/experiments.rs Cargo.toml
+
+crates/bench/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-ead3ed02ad532155.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-ead3ed02ad532155: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

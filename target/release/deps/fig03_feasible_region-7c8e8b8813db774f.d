@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_feasible_region-7c8e8b8813db774f.d: crates/bench/src/bin/fig03_feasible_region.rs
+
+/root/repo/target/release/deps/fig03_feasible_region-7c8e8b8813db774f: crates/bench/src/bin/fig03_feasible_region.rs
+
+crates/bench/src/bin/fig03_feasible_region.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_feasible_region-f5777d147c2f2d2c.d: crates/bench/src/bin/fig03_feasible_region.rs
+
+/root/repo/target/release/deps/fig03_feasible_region-f5777d147c2f2d2c: crates/bench/src/bin/fig03_feasible_region.rs
+
+crates/bench/src/bin/fig03_feasible_region.rs:

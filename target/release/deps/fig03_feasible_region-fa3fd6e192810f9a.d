@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig03_feasible_region-fa3fd6e192810f9a.d: crates/bench/src/bin/fig03_feasible_region.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig03_feasible_region-fa3fd6e192810f9a.rmeta: crates/bench/src/bin/fig03_feasible_region.rs Cargo.toml
+
+crates/bench/src/bin/fig03_feasible_region.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig05_bh_overhead_series-19d6b7b4f18fb5e5.d: crates/bench/src/bin/fig05_bh_overhead_series.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig05_bh_overhead_series-19d6b7b4f18fb5e5.rmeta: crates/bench/src/bin/fig05_bh_overhead_series.rs Cargo.toml
+
+crates/bench/src/bin/fig05_bh_overhead_series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

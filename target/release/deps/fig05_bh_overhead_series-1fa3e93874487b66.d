@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_bh_overhead_series-1fa3e93874487b66.d: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+/root/repo/target/release/deps/fig05_bh_overhead_series-1fa3e93874487b66: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+crates/bench/src/bin/fig05_bh_overhead_series.rs:

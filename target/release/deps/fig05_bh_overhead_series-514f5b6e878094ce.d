@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_bh_overhead_series-514f5b6e878094ce.d: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+/root/repo/target/release/deps/fig05_bh_overhead_series-514f5b6e878094ce: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+crates/bench/src/bin/fig05_bh_overhead_series.rs:

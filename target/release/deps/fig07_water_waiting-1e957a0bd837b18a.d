@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07_water_waiting-1e957a0bd837b18a.d: crates/bench/src/bin/fig07_water_waiting.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07_water_waiting-1e957a0bd837b18a.rmeta: crates/bench/src/bin/fig07_water_waiting.rs Cargo.toml
+
+crates/bench/src/bin/fig07_water_waiting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07_water_waiting-84b95c39b52c17a9.d: crates/bench/src/bin/fig07_water_waiting.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07_water_waiting-84b95c39b52c17a9.rmeta: crates/bench/src/bin/fig07_water_waiting.rs Cargo.toml
+
+crates/bench/src/bin/fig07_water_waiting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_water_waiting-960606c3a582ecfb.d: crates/bench/src/bin/fig07_water_waiting.rs
+
+/root/repo/target/release/deps/fig07_water_waiting-960606c3a582ecfb: crates/bench/src/bin/fig07_water_waiting.rs
+
+crates/bench/src/bin/fig07_water_waiting.rs:

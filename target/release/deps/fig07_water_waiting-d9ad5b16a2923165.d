@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_water_waiting-d9ad5b16a2923165.d: crates/bench/src/bin/fig07_water_waiting.rs
+
+/root/repo/target/release/deps/fig07_water_waiting-d9ad5b16a2923165: crates/bench/src/bin/fig07_water_waiting.rs
+
+crates/bench/src/bin/fig07_water_waiting.rs:

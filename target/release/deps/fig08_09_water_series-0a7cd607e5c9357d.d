@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08_09_water_series-0a7cd607e5c9357d.d: crates/bench/src/bin/fig08_09_water_series.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08_09_water_series-0a7cd607e5c9357d.rmeta: crates/bench/src/bin/fig08_09_water_series.rs Cargo.toml
+
+crates/bench/src/bin/fig08_09_water_series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

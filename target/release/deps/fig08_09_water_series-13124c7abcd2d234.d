@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_09_water_series-13124c7abcd2d234.d: crates/bench/src/bin/fig08_09_water_series.rs
+
+/root/repo/target/release/deps/fig08_09_water_series-13124c7abcd2d234: crates/bench/src/bin/fig08_09_water_series.rs
+
+crates/bench/src/bin/fig08_09_water_series.rs:

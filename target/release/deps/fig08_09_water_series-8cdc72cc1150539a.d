@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_09_water_series-8cdc72cc1150539a.d: crates/bench/src/bin/fig08_09_water_series.rs
+
+/root/repo/target/release/deps/fig08_09_water_series-8cdc72cc1150539a: crates/bench/src/bin/fig08_09_water_series.rs
+
+crates/bench/src/bin/fig08_09_water_series.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/instrumentation-132832c1e5ef4625.d: crates/bench/src/bin/instrumentation.rs Cargo.toml
+
+/root/repo/target/release/deps/libinstrumentation-132832c1e5ef4625.rmeta: crates/bench/src/bin/instrumentation.rs Cargo.toml
+
+crates/bench/src/bin/instrumentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

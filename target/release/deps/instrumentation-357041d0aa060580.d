@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/instrumentation-357041d0aa060580.d: crates/bench/src/bin/instrumentation.rs
+
+/root/repo/target/release/deps/instrumentation-357041d0aa060580: crates/bench/src/bin/instrumentation.rs
+
+crates/bench/src/bin/instrumentation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/instrumentation-da438e1d56afd312.d: crates/bench/src/bin/instrumentation.rs
+
+/root/repo/target/release/deps/instrumentation-da438e1d56afd312: crates/bench/src/bin/instrumentation.rs
+
+crates/bench/src/bin/instrumentation.rs:

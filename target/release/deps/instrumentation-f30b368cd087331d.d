@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/instrumentation-f30b368cd087331d.d: crates/bench/src/bin/instrumentation.rs Cargo.toml
+
+/root/repo/target/release/deps/libinstrumentation-f30b368cd087331d.rmeta: crates/bench/src/bin/instrumentation.rs Cargo.toml
+
+crates/bench/src/bin/instrumentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/interp_more-3ab12595d41823b9.d: crates/compiler/tests/interp_more.rs Cargo.toml
+
+/root/repo/target/release/deps/libinterp_more-3ab12595d41823b9.rmeta: crates/compiler/tests/interp_more.rs Cargo.toml
+
+crates/compiler/tests/interp_more.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interp_more-b123812c3bddca25.d: crates/compiler/tests/interp_more.rs
+
+/root/repo/target/release/deps/interp_more-b123812c3bddca25: crates/compiler/tests/interp_more.rs
+
+crates/compiler/tests/interp_more.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micro-2057867e5bfe9dd1.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicro-2057867e5bfe9dd1.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-70891197448c6116.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-70891197448c6116: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-e047638c8187fde0.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-e047638c8187fde0: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-4feeae60e885e6bc.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-4feeae60e885e6bc.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-b27db4c5b2a26d95.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-b27db4c5b2a26d95: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-1f19a8ff50f8c207.d: crates/compiler/tests/properties.rs
+
+/root/repo/target/release/deps/properties-1f19a8ff50f8c207: crates/compiler/tests/properties.rs
+
+crates/compiler/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-4a109f7d9c91cd59.d: crates/lang/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-4a109f7d9c91cd59.rmeta: crates/lang/tests/properties.rs Cargo.toml
+
+crates/lang/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-55d118119bf56aa2.d: crates/sim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-55d118119bf56aa2: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

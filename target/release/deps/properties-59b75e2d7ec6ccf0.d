@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-59b75e2d7ec6ccf0.d: crates/compiler/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-59b75e2d7ec6ccf0.rmeta: crates/compiler/tests/properties.rs Cargo.toml
+
+crates/compiler/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

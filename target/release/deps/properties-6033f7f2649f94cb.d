@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-6033f7f2649f94cb.d: crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-6033f7f2649f94cb.rmeta: crates/sim/tests/properties.rs Cargo.toml
+
+crates/sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

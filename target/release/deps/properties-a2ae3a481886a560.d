@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a2ae3a481886a560.d: crates/lang/tests/properties.rs
+
+/root/repo/target/release/deps/properties-a2ae3a481886a560: crates/lang/tests/properties.rs
+
+crates/lang/tests/properties.rs:

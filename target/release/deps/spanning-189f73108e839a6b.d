@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spanning-189f73108e839a6b.d: crates/apps/tests/spanning.rs
+
+/root/repo/target/release/deps/spanning-189f73108e839a6b: crates/apps/tests/spanning.rs
+
+crates/apps/tests/spanning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/spanning-525c94566805f9fa.d: crates/apps/tests/spanning.rs Cargo.toml
+
+/root/repo/target/release/deps/libspanning-525c94566805f9fa.rmeta: crates/apps/tests/spanning.rs Cargo.toml
+
+crates/apps/tests/spanning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

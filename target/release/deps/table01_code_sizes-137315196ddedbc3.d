@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table01_code_sizes-137315196ddedbc3.d: crates/bench/src/bin/table01_code_sizes.rs
+
+/root/repo/target/release/deps/table01_code_sizes-137315196ddedbc3: crates/bench/src/bin/table01_code_sizes.rs
+
+crates/bench/src/bin/table01_code_sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table01_code_sizes-55117b95c5c0891f.d: crates/bench/src/bin/table01_code_sizes.rs
+
+/root/repo/target/release/deps/table01_code_sizes-55117b95c5c0891f: crates/bench/src/bin/table01_code_sizes.rs
+
+crates/bench/src/bin/table01_code_sizes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table01_code_sizes-9cc59e9ab3cfb7f9.d: crates/bench/src/bin/table01_code_sizes.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable01_code_sizes-9cc59e9ab3cfb7f9.rmeta: crates/bench/src/bin/table01_code_sizes.rs Cargo.toml
+
+crates/bench/src/bin/table01_code_sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table01_code_sizes-d7aad41015e919c4.d: crates/bench/src/bin/table01_code_sizes.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable01_code_sizes-d7aad41015e919c4.rmeta: crates/bench/src/bin/table01_code_sizes.rs Cargo.toml
+
+crates/bench/src/bin/table01_code_sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

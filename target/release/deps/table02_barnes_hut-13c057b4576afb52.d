@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02_barnes_hut-13c057b4576afb52.d: crates/bench/src/bin/table02_barnes_hut.rs
+
+/root/repo/target/release/deps/table02_barnes_hut-13c057b4576afb52: crates/bench/src/bin/table02_barnes_hut.rs
+
+crates/bench/src/bin/table02_barnes_hut.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table02_barnes_hut-4664b19bbcd7a04e.d: crates/bench/src/bin/table02_barnes_hut.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable02_barnes_hut-4664b19bbcd7a04e.rmeta: crates/bench/src/bin/table02_barnes_hut.rs Cargo.toml
+
+crates/bench/src/bin/table02_barnes_hut.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02_barnes_hut-8a86800464a82d1d.d: crates/bench/src/bin/table02_barnes_hut.rs
+
+/root/repo/target/release/deps/table02_barnes_hut-8a86800464a82d1d: crates/bench/src/bin/table02_barnes_hut.rs
+
+crates/bench/src/bin/table02_barnes_hut.rs:

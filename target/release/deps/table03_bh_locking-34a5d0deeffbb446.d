@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table03_bh_locking-34a5d0deeffbb446.d: crates/bench/src/bin/table03_bh_locking.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable03_bh_locking-34a5d0deeffbb446.rmeta: crates/bench/src/bin/table03_bh_locking.rs Cargo.toml
+
+crates/bench/src/bin/table03_bh_locking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table03_bh_locking-61ccd6203d4798da.d: crates/bench/src/bin/table03_bh_locking.rs
+
+/root/repo/target/release/deps/table03_bh_locking-61ccd6203d4798da: crates/bench/src/bin/table03_bh_locking.rs
+
+crates/bench/src/bin/table03_bh_locking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table03_bh_locking-eefea225e84e20de.d: crates/bench/src/bin/table03_bh_locking.rs
+
+/root/repo/target/release/deps/table03_bh_locking-eefea225e84e20de: crates/bench/src/bin/table03_bh_locking.rs
+
+crates/bench/src/bin/table03_bh_locking.rs:

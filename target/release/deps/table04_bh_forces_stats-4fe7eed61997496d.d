@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table04_bh_forces_stats-4fe7eed61997496d.d: crates/bench/src/bin/table04_bh_forces_stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable04_bh_forces_stats-4fe7eed61997496d.rmeta: crates/bench/src/bin/table04_bh_forces_stats.rs Cargo.toml
+
+crates/bench/src/bin/table04_bh_forces_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table04_bh_forces_stats-66d05ad7fac8a58f.d: crates/bench/src/bin/table04_bh_forces_stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable04_bh_forces_stats-66d05ad7fac8a58f.rmeta: crates/bench/src/bin/table04_bh_forces_stats.rs Cargo.toml
+
+crates/bench/src/bin/table04_bh_forces_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

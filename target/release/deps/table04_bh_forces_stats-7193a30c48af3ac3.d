@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table04_bh_forces_stats-7193a30c48af3ac3.d: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+/root/repo/target/release/deps/table04_bh_forces_stats-7193a30c48af3ac3: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+crates/bench/src/bin/table04_bh_forces_stats.rs:

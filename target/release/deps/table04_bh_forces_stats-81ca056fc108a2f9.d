@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table04_bh_forces_stats-81ca056fc108a2f9.d: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+/root/repo/target/release/deps/table04_bh_forces_stats-81ca056fc108a2f9: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+crates/bench/src/bin/table04_bh_forces_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table05_bh_effective_intervals-037ea7b246c28f28.d: crates/bench/src/bin/table05_bh_effective_intervals.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable05_bh_effective_intervals-037ea7b246c28f28.rmeta: crates/bench/src/bin/table05_bh_effective_intervals.rs Cargo.toml
+
+crates/bench/src/bin/table05_bh_effective_intervals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

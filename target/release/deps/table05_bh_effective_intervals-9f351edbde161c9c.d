@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table05_bh_effective_intervals-9f351edbde161c9c.d: crates/bench/src/bin/table05_bh_effective_intervals.rs
+
+/root/repo/target/release/deps/table05_bh_effective_intervals-9f351edbde161c9c: crates/bench/src/bin/table05_bh_effective_intervals.rs
+
+crates/bench/src/bin/table05_bh_effective_intervals.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table06_bh_interval_sweep-15da038ee6d2584f.d: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+/root/repo/target/release/deps/table06_bh_interval_sweep-15da038ee6d2584f: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+crates/bench/src/bin/table06_bh_interval_sweep.rs:

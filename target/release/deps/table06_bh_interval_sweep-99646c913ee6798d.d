@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table06_bh_interval_sweep-99646c913ee6798d.d: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+/root/repo/target/release/deps/table06_bh_interval_sweep-99646c913ee6798d: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+crates/bench/src/bin/table06_bh_interval_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table06_bh_interval_sweep-df221a114198a79e.d: crates/bench/src/bin/table06_bh_interval_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable06_bh_interval_sweep-df221a114198a79e.rmeta: crates/bench/src/bin/table06_bh_interval_sweep.rs Cargo.toml
+
+crates/bench/src/bin/table06_bh_interval_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table07_water-3b2708aa7fa9538a.d: crates/bench/src/bin/table07_water.rs
+
+/root/repo/target/release/deps/table07_water-3b2708aa7fa9538a: crates/bench/src/bin/table07_water.rs
+
+crates/bench/src/bin/table07_water.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table07_water-dfea708c834418c9.d: crates/bench/src/bin/table07_water.rs
+
+/root/repo/target/release/deps/table07_water-dfea708c834418c9: crates/bench/src/bin/table07_water.rs
+
+crates/bench/src/bin/table07_water.rs:

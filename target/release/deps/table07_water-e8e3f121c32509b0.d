@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table07_water-e8e3f121c32509b0.d: crates/bench/src/bin/table07_water.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable07_water-e8e3f121c32509b0.rmeta: crates/bench/src/bin/table07_water.rs Cargo.toml
+
+crates/bench/src/bin/table07_water.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table08_water_locking-6a916311cd3c3e25.d: crates/bench/src/bin/table08_water_locking.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable08_water_locking-6a916311cd3c3e25.rmeta: crates/bench/src/bin/table08_water_locking.rs Cargo.toml
+
+crates/bench/src/bin/table08_water_locking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table08_water_locking-c56cab605facd63e.d: crates/bench/src/bin/table08_water_locking.rs
+
+/root/repo/target/release/deps/table08_water_locking-c56cab605facd63e: crates/bench/src/bin/table08_water_locking.rs
+
+crates/bench/src/bin/table08_water_locking.rs:

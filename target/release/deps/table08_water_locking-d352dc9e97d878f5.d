@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table08_water_locking-d352dc9e97d878f5.d: crates/bench/src/bin/table08_water_locking.rs
+
+/root/repo/target/release/deps/table08_water_locking-d352dc9e97d878f5: crates/bench/src/bin/table08_water_locking.rs
+
+crates/bench/src/bin/table08_water_locking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table09_12_water_stats-12fa114279c0d723.d: crates/bench/src/bin/table09_12_water_stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable09_12_water_stats-12fa114279c0d723.rmeta: crates/bench/src/bin/table09_12_water_stats.rs Cargo.toml
+
+crates/bench/src/bin/table09_12_water_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

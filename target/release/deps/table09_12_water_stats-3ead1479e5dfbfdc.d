@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table09_12_water_stats-3ead1479e5dfbfdc.d: crates/bench/src/bin/table09_12_water_stats.rs
+
+/root/repo/target/release/deps/table09_12_water_stats-3ead1479e5dfbfdc: crates/bench/src/bin/table09_12_water_stats.rs
+
+crates/bench/src/bin/table09_12_water_stats.rs:

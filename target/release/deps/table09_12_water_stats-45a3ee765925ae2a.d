@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table09_12_water_stats-45a3ee765925ae2a.d: crates/bench/src/bin/table09_12_water_stats.rs
+
+/root/repo/target/release/deps/table09_12_water_stats-45a3ee765925ae2a: crates/bench/src/bin/table09_12_water_stats.rs
+
+crates/bench/src/bin/table09_12_water_stats.rs:

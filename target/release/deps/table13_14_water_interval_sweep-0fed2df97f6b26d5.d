@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table13_14_water_interval_sweep-0fed2df97f6b26d5.d: crates/bench/src/bin/table13_14_water_interval_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable13_14_water_interval_sweep-0fed2df97f6b26d5.rmeta: crates/bench/src/bin/table13_14_water_interval_sweep.rs Cargo.toml
+
+crates/bench/src/bin/table13_14_water_interval_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table13_14_water_interval_sweep-22add90aeded3487.d: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+/root/repo/target/release/deps/table13_14_water_interval_sweep-22add90aeded3487: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+crates/bench/src/bin/table13_14_water_interval_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table13_14_water_interval_sweep-9490d2aff52f4c73.d: crates/bench/src/bin/table13_14_water_interval_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable13_14_water_interval_sweep-9490d2aff52f4c73.rmeta: crates/bench/src/bin/table13_14_water_interval_sweep.rs Cargo.toml
+
+crates/bench/src/bin/table13_14_water_interval_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table13_14_water_interval_sweep-cc16019bd77e31c8.d: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+/root/repo/target/release/deps/table13_14_water_interval_sweep-cc16019bd77e31c8: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+crates/bench/src/bin/table13_14_water_interval_sweep.rs:

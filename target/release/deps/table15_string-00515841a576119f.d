@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table15_string-00515841a576119f.d: crates/bench/src/bin/table15_string.rs
+
+/root/repo/target/release/deps/table15_string-00515841a576119f: crates/bench/src/bin/table15_string.rs
+
+crates/bench/src/bin/table15_string.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table15_string-b5666b425669fa32.d: crates/bench/src/bin/table15_string.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable15_string-b5666b425669fa32.rmeta: crates/bench/src/bin/table15_string.rs Cargo.toml
+
+crates/bench/src/bin/table15_string.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table15_string-b73cf36c5dadc24f.d: crates/bench/src/bin/table15_string.rs
+
+/root/repo/target/release/deps/table15_string-b73cf36c5dadc24f: crates/bench/src/bin/table15_string.rs
+
+crates/bench/src/bin/table15_string.rs:

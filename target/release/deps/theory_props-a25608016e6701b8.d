@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/theory_props-a25608016e6701b8.d: tests/theory_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libtheory_props-a25608016e6701b8.rmeta: tests/theory_props.rs Cargo.toml
+
+tests/theory_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

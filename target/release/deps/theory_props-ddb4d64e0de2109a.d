@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theory_props-ddb4d64e0de2109a.d: tests/theory_props.rs
+
+/root/repo/target/release/deps/theory_props-ddb4d64e0de2109a: tests/theory_props.rs
+
+tests/theory_props.rs:

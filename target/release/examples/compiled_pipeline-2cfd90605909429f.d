@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compiled_pipeline-2cfd90605909429f.d: examples/compiled_pipeline.rs
+
+/root/repo/target/release/examples/compiled_pipeline-2cfd90605909429f: examples/compiled_pipeline.rs
+
+examples/compiled_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/compiled_pipeline-68e454ee3c968ec0.d: examples/compiled_pipeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libcompiled_pipeline-68e454ee3c968ec0.rmeta: examples/compiled_pipeline.rs Cargo.toml
+
+examples/compiled_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

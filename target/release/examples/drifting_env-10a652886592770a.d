@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/drifting_env-10a652886592770a.d: examples/drifting_env.rs
+
+/root/repo/target/release/examples/drifting_env-10a652886592770a: examples/drifting_env.rs
+
+examples/drifting_env.rs:

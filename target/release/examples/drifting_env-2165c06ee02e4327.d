@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/drifting_env-2165c06ee02e4327.d: examples/drifting_env.rs Cargo.toml
+
+/root/repo/target/release/examples/libdrifting_env-2165c06ee02e4327.rmeta: examples/drifting_env.rs Cargo.toml
+
+examples/drifting_env.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/optimality_theory-1e5aaf6fc54d3576.d: examples/optimality_theory.rs
+
+/root/repo/target/release/examples/optimality_theory-1e5aaf6fc54d3576: examples/optimality_theory.rs
+
+examples/optimality_theory.rs:

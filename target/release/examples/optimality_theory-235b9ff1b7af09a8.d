@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/optimality_theory-235b9ff1b7af09a8.d: examples/optimality_theory.rs Cargo.toml
+
+/root/repo/target/release/examples/liboptimality_theory-235b9ff1b7af09a8.rmeta: examples/optimality_theory.rs Cargo.toml
+
+examples/optimality_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

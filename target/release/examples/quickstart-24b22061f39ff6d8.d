@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-24b22061f39ff6d8.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-24b22061f39ff6d8.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

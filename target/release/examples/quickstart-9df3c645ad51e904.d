@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9df3c645ad51e904.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9df3c645ad51e904: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -50,6 +50,17 @@ fn different_seeds_change_the_computation() {
 }
 
 #[test]
+fn chaos_reports_are_byte_identical_for_the_same_seed() {
+    use dynfb_bench::chaos::{chaos_report, ChaosConfig};
+    let cfg = ChaosConfig { seed: 7, iters: 1_200, procs: 8 };
+    // The whole chaos sweep — fault injection, watchdog aborts, random
+    // scenario generation — is a pure function of its seed.
+    assert_eq!(chaos_report(&cfg), chaos_report(&cfg));
+    let other = chaos_report(&ChaosConfig { seed: 8, ..cfg });
+    assert_ne!(chaos_report(&cfg), other, "the seed must matter");
+}
+
+#[test]
 fn processor_count_does_not_change_results_only_timing() {
     // The commuting operations guarantee: same acquires, same computation,
     // different wall-clock and waiting.

@@ -22,8 +22,7 @@ fn barnes_hut_dynamic_matches_best_policy_ranking() {
     let cfg = BarnesHutConfig { bodies: 128, steps: 1, ..Default::default() };
     let orig = run_app(barnes_hut(&cfg), &run_fixed(8, "original")).unwrap().elapsed();
     let aggr = run_app(barnes_hut(&cfg), &run_fixed(8, "aggressive")).unwrap().elapsed();
-    let dynamic =
-        run_app(barnes_hut(&cfg), &run_dynamic(8, small_controller())).unwrap().elapsed();
+    let dynamic = run_app(barnes_hut(&cfg), &run_dynamic(8, small_controller())).unwrap().elapsed();
     assert!(aggr < orig);
     assert!(dynamic < orig, "dynamic {dynamic:?} must beat the worst policy {orig:?}");
 }
@@ -40,7 +39,14 @@ fn water_dynamic_avoids_aggressive_collapse() {
 
 #[test]
 fn string_all_versions_agree_and_dynamic_runs() {
-    let cfg = StringConfig { nx: 12, nz: 12, rays: 48, steps_per_ray: 16, iterations: 1, ..Default::default() };
+    let cfg = StringConfig {
+        nx: 12,
+        nz: 12,
+        rays: 48,
+        steps_per_ray: 16,
+        iterations: 1,
+        ..Default::default()
+    };
     let orig = run_app(string_app(&cfg), &run_fixed(4, "original")).unwrap();
     let dynamic = run_app(string_app(&cfg), &run_dynamic(4, small_controller())).unwrap();
     assert!(dynamic.elapsed() > Duration::ZERO);

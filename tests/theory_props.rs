@@ -1,110 +1,119 @@
 //! Property-based tests for the §5 optimality theory and the overhead
 //! model: invariants that must hold across the whole parameter space.
+//!
+//! Parameter points are generated with the repository's own deterministic
+//! PRNG (`dynfb_core::rng::SplitMix64`), so every failure reproduces from
+//! the fixed seeds below.
 
 use dynfb::core::overhead::OverheadSample;
+use dynfb::core::rng::SplitMix64;
 use dynfb::core::theory::Analysis;
-use proptest::prelude::*;
 use std::time::Duration;
 
-proptest! {
-    /// The work difference of Equation 6 is independent of the tied
-    /// sampled overhead v (the paper derives it by cancellation).
-    #[test]
-    fn work_difference_independent_of_v(
-        s in 0.05f64..5.0,
-        n in 1usize..6,
-        lambda in 0.005f64..1.0,
-        p in 0.1f64..100.0,
-        v1 in 0.0f64..1.0,
-        v2 in 0.0f64..1.0,
-    ) {
+const CASES: u64 = 256;
+
+/// The work difference of Equation 6 is independent of the tied sampled
+/// overhead v (the paper derives it by cancellation).
+#[test]
+fn work_difference_independent_of_v() {
+    let mut g = SplitMix64::new(0x0007_E001);
+    for _ in 0..CASES {
+        let s = g.gen_f64(0.05, 5.0);
+        let n = g.gen_index(5) + 1;
+        let lambda = g.gen_f64(0.005, 1.0);
+        let p = g.gen_f64(0.1, 100.0);
+        let v1 = g.next_f64();
+        let v2 = g.next_f64();
         let a = Analysis::new(s, n, lambda).unwrap();
         let d1 = a.optimal_work(v1, p) + a.sampling_total() - a.selected_work(v1, p);
         let d2 = a.optimal_work(v2, p) + a.sampling_total() - a.selected_work(v2, p);
-        prop_assert!((d1 - d2).abs() < 1e-9);
-        prop_assert!((d1 - a.work_difference(p)).abs() < 1e-9);
+        assert!((d1 - d2).abs() < 1e-9);
+        assert!((d1 - a.work_difference(p)).abs() < 1e-9);
     }
+}
 
-    /// Overheads stay within [0, 1]: the selected policy's bound decays
-    /// from 1 toward v, the competitor's from v toward 0.
-    #[test]
-    fn overhead_bounds_are_well_formed(
-        lambda in 0.005f64..1.0,
-        v in 0.0f64..1.0,
-        t in 0.0f64..200.0,
-    ) {
+/// Overheads stay within [0, 1]: the selected policy's bound decays from 1
+/// toward v, the competitor's from v toward 0.
+#[test]
+fn overhead_bounds_are_well_formed() {
+    let mut g = SplitMix64::new(0x0007_E002);
+    for _ in 0..CASES {
+        let lambda = g.gen_f64(0.005, 1.0);
+        let v = g.next_f64();
+        let t = g.gen_f64(0.0, 200.0);
         let a = Analysis::new(1.0, 2, lambda).unwrap();
         let sel = a.selected_overhead(v, t);
         let comp = a.competitor_overhead(v, t);
-        prop_assert!((v - 1e-9..=1.0 + 1e-9).contains(&sel));
-        prop_assert!((-1e-9..=v + 1e-9).contains(&comp));
-        prop_assert!(sel >= comp - 1e-9);
+        assert!((v - 1e-9..=1.0 + 1e-9).contains(&sel));
+        assert!((-1e-9..=v + 1e-9).contains(&comp));
+        assert!(sel >= comp - 1e-9);
     }
+}
 
-    /// Any P inside a computed feasible region satisfies the guarantee,
-    /// and P_opt solves Equation 9.
-    #[test]
-    fn feasible_region_is_sound(
-        s in 0.05f64..3.0,
-        n in 1usize..5,
-        lambda in 0.005f64..0.5,
-        eps in 0.05f64..0.95,
-        frac in 0.01f64..0.99,
-    ) {
+/// Any P inside a computed feasible region satisfies the guarantee, and
+/// P_opt solves Equation 9.
+#[test]
+fn feasible_region_is_sound() {
+    let mut g = SplitMix64::new(0x0007_E003);
+    for _ in 0..CASES {
+        let s = g.gen_f64(0.05, 3.0);
+        let n = g.gen_index(4) + 1;
+        let lambda = g.gen_f64(0.005, 0.5);
+        let eps = g.gen_f64(0.05, 0.95);
+        let frac = g.gen_f64(0.01, 0.99);
         let a = Analysis::new(s, n, lambda).unwrap();
         if let Some((lo, hi)) = a.feasible_region(eps).unwrap() {
             let hi = if hi.is_finite() { hi } else { lo + 1000.0 };
             let p = lo + (hi - lo) * frac;
             if p > 0.0 && p > lo + 1e-6 && p < hi - 1e-6 {
-                prop_assert!(a.is_feasible(p, eps).unwrap(), "p={p} in [{lo},{hi}]");
+                assert!(a.is_feasible(p, eps).unwrap(), "p={p} in [{lo},{hi}]");
             }
         }
         let p_opt = a.optimal_production_interval();
         let eq9 = (-lambda * p_opt).exp() * (lambda * (p_opt + a.sampling_total()) + 1.0);
-        prop_assert!((eq9 - 1.0).abs() < 1e-6);
+        assert!((eq9 - 1.0).abs() < 1e-6);
     }
+}
 
-    /// The deficit rate is minimized at P_opt (local optimality over a
-    /// sampled neighbourhood).
-    #[test]
-    fn p_opt_is_locally_optimal(
-        s in 0.05f64..3.0,
-        n in 1usize..5,
-        lambda in 0.005f64..0.5,
-        delta in 0.01f64..2.0,
-    ) {
+/// The deficit rate is minimized at P_opt (local optimality over a sampled
+/// neighbourhood).
+#[test]
+fn p_opt_is_locally_optimal() {
+    let mut g = SplitMix64::new(0x0007_E004);
+    for _ in 0..CASES {
+        let s = g.gen_f64(0.05, 3.0);
+        let n = g.gen_index(4) + 1;
+        let lambda = g.gen_f64(0.005, 0.5);
+        let delta = g.gen_f64(0.01, 2.0);
         let a = Analysis::new(s, n, lambda).unwrap();
         let p = a.optimal_production_interval();
         let at = a.deficit_rate(p);
-        prop_assert!(a.deficit_rate(p + delta) >= at - 1e-9);
+        assert!(a.deficit_rate(p + delta) >= at - 1e-9);
         if p - delta > 1e-6 {
-            prop_assert!(a.deficit_rate(p - delta) >= at - 1e-9);
+            assert!(a.deficit_rate(p - delta) >= at - 1e-9);
         }
     }
+}
 
-    /// Total overhead of any sample is a proportion in [0, 1], and merging
-    /// samples never leaves that range.
-    #[test]
-    fn sample_overheads_are_proportions(
-        lock_us in 0u64..2_000_000,
-        wait_us in 0u64..2_000_000,
-        exec_us in 1u64..2_000_000,
-        lock2_us in 0u64..2_000_000,
-        exec2_us in 1u64..2_000_000,
-    ) {
+/// Total overhead of any sample is a proportion in [0, 1], and merging
+/// samples never leaves that range.
+#[test]
+fn sample_overheads_are_proportions() {
+    let mut g = SplitMix64::new(0x0007_E005);
+    for _ in 0..CASES {
         let a = OverheadSample::new(
-            Duration::from_micros(lock_us),
-            Duration::from_micros(wait_us),
-            Duration::from_micros(exec_us),
+            Duration::from_micros(g.gen_range(0, 2_000_000)),
+            Duration::from_micros(g.gen_range(0, 2_000_000)),
+            Duration::from_micros(g.gen_range(1, 2_000_000)),
         );
-        prop_assert!((0.0..=1.0).contains(&a.total_overhead()));
+        assert!((0.0..=1.0).contains(&a.total_overhead()));
         let b = OverheadSample::new(
-            Duration::from_micros(lock2_us),
+            Duration::from_micros(g.gen_range(0, 2_000_000)),
             Duration::ZERO,
-            Duration::from_micros(exec2_us),
+            Duration::from_micros(g.gen_range(1, 2_000_000)),
         );
         let m = a.merged(&b);
-        prop_assert!((0.0..=1.0).contains(&m.total_overhead()));
-        prop_assert!(m.execution == a.execution + b.execution);
+        assert!((0.0..=1.0).contains(&m.total_overhead()));
+        assert!(m.execution == a.execution + b.execution);
     }
 }
