@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-3dda1f76a98a2914.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-3dda1f76a98a2914.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-844bea9ebe9ab7e7.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-844bea9ebe9ab7e7.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-074633060a9c31c8.d: crates/bench/tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-074633060a9c31c8.rmeta: crates/bench/tests/chaos.rs
+
+crates/bench/tests/chaos.rs:

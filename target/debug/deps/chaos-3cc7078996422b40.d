@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-3cc7078996422b40.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-3cc7078996422b40.rmeta: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

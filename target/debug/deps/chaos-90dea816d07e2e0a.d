@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-90dea816d07e2e0a.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-90dea816d07e2e0a.rmeta: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

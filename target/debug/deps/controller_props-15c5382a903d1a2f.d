@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/controller_props-15c5382a903d1a2f.d: crates/core/tests/controller_props.rs
+
+/root/repo/target/debug/deps/libcontroller_props-15c5382a903d1a2f.rmeta: crates/core/tests/controller_props.rs
+
+crates/core/tests/controller_props.rs:

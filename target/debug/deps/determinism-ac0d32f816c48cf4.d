@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ac0d32f816c48cf4.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-ac0d32f816c48cf4.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

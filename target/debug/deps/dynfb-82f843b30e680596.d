@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynfb-82f843b30e680596.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdynfb-82f843b30e680596.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynfb-c6ed3fbbe282e85e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdynfb-c6ed3fbbe282e85e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynfb_apps-1664a31dad36555a.d: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol
+
+/root/repo/target/debug/deps/libdynfb_apps-1664a31dad36555a.rmeta: crates/apps/src/lib.rs crates/apps/src/barnes_hut.rs crates/apps/src/host.rs crates/apps/src/string_app.rs crates/apps/src/water.rs crates/apps/src/../programs/barnes_hut.ol crates/apps/src/../programs/string_app.ol crates/apps/src/../programs/water.ol
+
+crates/apps/src/lib.rs:
+crates/apps/src/barnes_hut.rs:
+crates/apps/src/host.rs:
+crates/apps/src/string_app.rs:
+crates/apps/src/water.rs:
+crates/apps/src/../programs/barnes_hut.ol:
+crates/apps/src/../programs/string_app.ol:
+crates/apps/src/../programs/water.ol:

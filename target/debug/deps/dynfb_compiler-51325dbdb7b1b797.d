@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynfb_compiler-51325dbdb7b1b797.d: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs
+
+/root/repo/target/debug/deps/libdynfb_compiler-51325dbdb7b1b797.rmeta: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/artifact.rs:
+crates/compiler/src/callgraph.rs:
+crates/compiler/src/commutativity.rs:
+crates/compiler/src/effects.rs:
+crates/compiler/src/interp.rs:
+crates/compiler/src/lockplace.rs:
+crates/compiler/src/symbolic.rs:
+crates/compiler/src/syncopt.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dynfb_compiler-acbb7e554d051e76.d: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs
+
+/root/repo/target/debug/deps/libdynfb_compiler-acbb7e554d051e76.rmeta: crates/compiler/src/lib.rs crates/compiler/src/artifact.rs crates/compiler/src/callgraph.rs crates/compiler/src/commutativity.rs crates/compiler/src/effects.rs crates/compiler/src/interp.rs crates/compiler/src/lockplace.rs crates/compiler/src/symbolic.rs crates/compiler/src/syncopt.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/artifact.rs:
+crates/compiler/src/callgraph.rs:
+crates/compiler/src/commutativity.rs:
+crates/compiler/src/effects.rs:
+crates/compiler/src/interp.rs:
+crates/compiler/src/lockplace.rs:
+crates/compiler/src/symbolic.rs:
+crates/compiler/src/syncopt.rs:

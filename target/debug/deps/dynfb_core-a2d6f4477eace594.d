@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dynfb_core-a2d6f4477eace594.d: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+/root/repo/target/debug/deps/libdynfb_core-a2d6f4477eace594.rmeta: crates/core/src/lib.rs crates/core/src/controller.rs crates/core/src/overhead.rs crates/core/src/realtime.rs crates/core/src/rng.rs crates/core/src/theory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/controller.rs:
+crates/core/src/overhead.rs:
+crates/core/src/realtime.rs:
+crates/core/src/rng.rs:
+crates/core/src/theory.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dynfb_sim-d6b4da4fe0b6e14e.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdynfb_sim-d6b4da4fe0b6e14e.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/faults.rs crates/sim/src/machine.rs crates/sim/src/process.rs crates/sim/src/runtime.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/faults.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/process.rs:
+crates/sim/src/runtime.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

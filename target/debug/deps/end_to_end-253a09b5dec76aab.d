@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-253a09b5dec76aab.d: crates/compiler/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-253a09b5dec76aab.rmeta: crates/compiler/tests/end_to_end.rs
+
+crates/compiler/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-0b41e490a68862d5.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-0b41e490a68862d5.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

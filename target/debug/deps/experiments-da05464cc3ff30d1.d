@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-da05464cc3ff30d1.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-da05464cc3ff30d1.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_feasible_region-a14e4c81ee3d3d30.d: crates/bench/src/bin/fig03_feasible_region.rs
+
+/root/repo/target/debug/deps/libfig03_feasible_region-a14e4c81ee3d3d30.rmeta: crates/bench/src/bin/fig03_feasible_region.rs
+
+crates/bench/src/bin/fig03_feasible_region.rs:

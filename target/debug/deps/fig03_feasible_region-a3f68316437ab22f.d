@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_feasible_region-a3f68316437ab22f.d: crates/bench/src/bin/fig03_feasible_region.rs
+
+/root/repo/target/debug/deps/libfig03_feasible_region-a3f68316437ab22f.rmeta: crates/bench/src/bin/fig03_feasible_region.rs
+
+crates/bench/src/bin/fig03_feasible_region.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_bh_overhead_series-c61f9c7b304e8805.d: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+/root/repo/target/debug/deps/libfig05_bh_overhead_series-c61f9c7b304e8805.rmeta: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+crates/bench/src/bin/fig05_bh_overhead_series.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_bh_overhead_series-c77fb156a45c96a5.d: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+/root/repo/target/debug/deps/libfig05_bh_overhead_series-c77fb156a45c96a5.rmeta: crates/bench/src/bin/fig05_bh_overhead_series.rs
+
+crates/bench/src/bin/fig05_bh_overhead_series.rs:

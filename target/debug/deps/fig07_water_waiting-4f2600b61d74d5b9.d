@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_water_waiting-4f2600b61d74d5b9.d: crates/bench/src/bin/fig07_water_waiting.rs
+
+/root/repo/target/debug/deps/libfig07_water_waiting-4f2600b61d74d5b9.rmeta: crates/bench/src/bin/fig07_water_waiting.rs
+
+crates/bench/src/bin/fig07_water_waiting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_water_waiting-5d14823ea80c666f.d: crates/bench/src/bin/fig07_water_waiting.rs
+
+/root/repo/target/debug/deps/libfig07_water_waiting-5d14823ea80c666f.rmeta: crates/bench/src/bin/fig07_water_waiting.rs
+
+crates/bench/src/bin/fig07_water_waiting.rs:

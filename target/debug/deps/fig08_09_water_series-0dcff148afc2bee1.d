@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_09_water_series-0dcff148afc2bee1.d: crates/bench/src/bin/fig08_09_water_series.rs
+
+/root/repo/target/debug/deps/libfig08_09_water_series-0dcff148afc2bee1.rmeta: crates/bench/src/bin/fig08_09_water_series.rs
+
+crates/bench/src/bin/fig08_09_water_series.rs:

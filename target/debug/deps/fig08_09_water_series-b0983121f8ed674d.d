@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_09_water_series-b0983121f8ed674d.d: crates/bench/src/bin/fig08_09_water_series.rs
+
+/root/repo/target/debug/deps/libfig08_09_water_series-b0983121f8ed674d.rmeta: crates/bench/src/bin/fig08_09_water_series.rs
+
+crates/bench/src/bin/fig08_09_water_series.rs:

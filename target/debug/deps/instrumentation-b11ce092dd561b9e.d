@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrumentation-b11ce092dd561b9e.d: crates/bench/src/bin/instrumentation.rs
+
+/root/repo/target/debug/deps/libinstrumentation-b11ce092dd561b9e.rmeta: crates/bench/src/bin/instrumentation.rs
+
+crates/bench/src/bin/instrumentation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrumentation-ce680a81cbafc52f.d: crates/bench/src/bin/instrumentation.rs
+
+/root/repo/target/debug/deps/libinstrumentation-ce680a81cbafc52f.rmeta: crates/bench/src/bin/instrumentation.rs
+
+crates/bench/src/bin/instrumentation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp_more-a2ccea2540a927d9.d: crates/compiler/tests/interp_more.rs
+
+/root/repo/target/debug/deps/libinterp_more-a2ccea2540a927d9.rmeta: crates/compiler/tests/interp_more.rs
+
+crates/compiler/tests/interp_more.rs:

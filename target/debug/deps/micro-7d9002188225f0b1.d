@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-7d9002188225f0b1.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-7d9002188225f0b1.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-044ccc54e2b8f904.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-044ccc54e2b8f904.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-360c209d88e34136.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-360c209d88e34136.rmeta: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

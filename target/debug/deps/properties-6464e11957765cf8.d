@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6464e11957765cf8.d: crates/lang/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6464e11957765cf8.rmeta: crates/lang/tests/properties.rs
+
+crates/lang/tests/properties.rs:

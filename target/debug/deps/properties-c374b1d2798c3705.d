@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c374b1d2798c3705.d: crates/compiler/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-c374b1d2798c3705.rmeta: crates/compiler/tests/properties.rs
+
+crates/compiler/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spanning-e210ed925987326e.d: crates/apps/tests/spanning.rs
+
+/root/repo/target/debug/deps/libspanning-e210ed925987326e.rmeta: crates/apps/tests/spanning.rs
+
+crates/apps/tests/spanning.rs:

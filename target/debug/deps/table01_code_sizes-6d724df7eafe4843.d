@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_code_sizes-6d724df7eafe4843.d: crates/bench/src/bin/table01_code_sizes.rs
+
+/root/repo/target/debug/deps/libtable01_code_sizes-6d724df7eafe4843.rmeta: crates/bench/src/bin/table01_code_sizes.rs
+
+crates/bench/src/bin/table01_code_sizes.rs:

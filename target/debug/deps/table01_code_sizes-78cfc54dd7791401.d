@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table01_code_sizes-78cfc54dd7791401.d: crates/bench/src/bin/table01_code_sizes.rs
+
+/root/repo/target/debug/deps/libtable01_code_sizes-78cfc54dd7791401.rmeta: crates/bench/src/bin/table01_code_sizes.rs
+
+crates/bench/src/bin/table01_code_sizes.rs:

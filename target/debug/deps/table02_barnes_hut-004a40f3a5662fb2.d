@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_barnes_hut-004a40f3a5662fb2.d: crates/bench/src/bin/table02_barnes_hut.rs
+
+/root/repo/target/debug/deps/libtable02_barnes_hut-004a40f3a5662fb2.rmeta: crates/bench/src/bin/table02_barnes_hut.rs
+
+crates/bench/src/bin/table02_barnes_hut.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_barnes_hut-f65c08db839df659.d: crates/bench/src/bin/table02_barnes_hut.rs
+
+/root/repo/target/debug/deps/libtable02_barnes_hut-f65c08db839df659.rmeta: crates/bench/src/bin/table02_barnes_hut.rs
+
+crates/bench/src/bin/table02_barnes_hut.rs:

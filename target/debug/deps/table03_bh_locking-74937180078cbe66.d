@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_bh_locking-74937180078cbe66.d: crates/bench/src/bin/table03_bh_locking.rs
+
+/root/repo/target/debug/deps/libtable03_bh_locking-74937180078cbe66.rmeta: crates/bench/src/bin/table03_bh_locking.rs
+
+crates/bench/src/bin/table03_bh_locking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table03_bh_locking-f4e182aedd0d3c7b.d: crates/bench/src/bin/table03_bh_locking.rs
+
+/root/repo/target/debug/deps/libtable03_bh_locking-f4e182aedd0d3c7b.rmeta: crates/bench/src/bin/table03_bh_locking.rs
+
+crates/bench/src/bin/table03_bh_locking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table04_bh_forces_stats-eaa774d40dc7303e.d: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+/root/repo/target/debug/deps/libtable04_bh_forces_stats-eaa774d40dc7303e.rmeta: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+crates/bench/src/bin/table04_bh_forces_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table04_bh_forces_stats-fd52aa8c71944fce.d: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+/root/repo/target/debug/deps/libtable04_bh_forces_stats-fd52aa8c71944fce.rmeta: crates/bench/src/bin/table04_bh_forces_stats.rs
+
+crates/bench/src/bin/table04_bh_forces_stats.rs:

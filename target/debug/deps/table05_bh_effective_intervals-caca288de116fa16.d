@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table05_bh_effective_intervals-caca288de116fa16.d: crates/bench/src/bin/table05_bh_effective_intervals.rs
+
+/root/repo/target/debug/deps/libtable05_bh_effective_intervals-caca288de116fa16.rmeta: crates/bench/src/bin/table05_bh_effective_intervals.rs
+
+crates/bench/src/bin/table05_bh_effective_intervals.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table06_bh_interval_sweep-43a28ce33ce8ca2a.d: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+/root/repo/target/debug/deps/libtable06_bh_interval_sweep-43a28ce33ce8ca2a.rmeta: crates/bench/src/bin/table06_bh_interval_sweep.rs
+
+crates/bench/src/bin/table06_bh_interval_sweep.rs:

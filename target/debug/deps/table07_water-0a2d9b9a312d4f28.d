@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table07_water-0a2d9b9a312d4f28.d: crates/bench/src/bin/table07_water.rs
+
+/root/repo/target/debug/deps/libtable07_water-0a2d9b9a312d4f28.rmeta: crates/bench/src/bin/table07_water.rs
+
+crates/bench/src/bin/table07_water.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table07_water-be17cdc7e9620748.d: crates/bench/src/bin/table07_water.rs
+
+/root/repo/target/debug/deps/libtable07_water-be17cdc7e9620748.rmeta: crates/bench/src/bin/table07_water.rs
+
+crates/bench/src/bin/table07_water.rs:

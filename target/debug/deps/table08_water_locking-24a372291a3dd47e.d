@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table08_water_locking-24a372291a3dd47e.d: crates/bench/src/bin/table08_water_locking.rs
+
+/root/repo/target/debug/deps/libtable08_water_locking-24a372291a3dd47e.rmeta: crates/bench/src/bin/table08_water_locking.rs
+
+crates/bench/src/bin/table08_water_locking.rs:

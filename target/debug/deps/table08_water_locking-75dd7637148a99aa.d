@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table08_water_locking-75dd7637148a99aa.d: crates/bench/src/bin/table08_water_locking.rs
+
+/root/repo/target/debug/deps/libtable08_water_locking-75dd7637148a99aa.rmeta: crates/bench/src/bin/table08_water_locking.rs
+
+crates/bench/src/bin/table08_water_locking.rs:

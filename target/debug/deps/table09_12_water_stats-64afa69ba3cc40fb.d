@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table09_12_water_stats-64afa69ba3cc40fb.d: crates/bench/src/bin/table09_12_water_stats.rs
+
+/root/repo/target/debug/deps/libtable09_12_water_stats-64afa69ba3cc40fb.rmeta: crates/bench/src/bin/table09_12_water_stats.rs
+
+crates/bench/src/bin/table09_12_water_stats.rs:

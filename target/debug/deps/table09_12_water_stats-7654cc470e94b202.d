@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table09_12_water_stats-7654cc470e94b202.d: crates/bench/src/bin/table09_12_water_stats.rs
+
+/root/repo/target/debug/deps/libtable09_12_water_stats-7654cc470e94b202.rmeta: crates/bench/src/bin/table09_12_water_stats.rs
+
+crates/bench/src/bin/table09_12_water_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13_14_water_interval_sweep-94f17f1234d15527.d: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+/root/repo/target/debug/deps/libtable13_14_water_interval_sweep-94f17f1234d15527.rmeta: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+crates/bench/src/bin/table13_14_water_interval_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table13_14_water_interval_sweep-eafa375a92e120db.d: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+/root/repo/target/debug/deps/libtable13_14_water_interval_sweep-eafa375a92e120db.rmeta: crates/bench/src/bin/table13_14_water_interval_sweep.rs
+
+crates/bench/src/bin/table13_14_water_interval_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table15_string-1024bd695f843fd7.d: crates/bench/src/bin/table15_string.rs
+
+/root/repo/target/debug/deps/libtable15_string-1024bd695f843fd7.rmeta: crates/bench/src/bin/table15_string.rs
+
+crates/bench/src/bin/table15_string.rs:

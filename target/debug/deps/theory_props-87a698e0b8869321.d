@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory_props-87a698e0b8869321.d: tests/theory_props.rs
+
+/root/repo/target/debug/deps/libtheory_props-87a698e0b8869321.rmeta: tests/theory_props.rs
+
+tests/theory_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compiled_pipeline-3d7b9424a05b3c59.d: examples/compiled_pipeline.rs
+
+/root/repo/target/debug/examples/libcompiled_pipeline-3d7b9424a05b3c59.rmeta: examples/compiled_pipeline.rs
+
+examples/compiled_pipeline.rs:

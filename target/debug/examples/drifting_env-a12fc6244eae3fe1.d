@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drifting_env-a12fc6244eae3fe1.d: examples/drifting_env.rs
+
+/root/repo/target/debug/examples/libdrifting_env-a12fc6244eae3fe1.rmeta: examples/drifting_env.rs
+
+examples/drifting_env.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimality_theory-746e01f4d41006c4.d: examples/optimality_theory.rs
+
+/root/repo/target/debug/examples/liboptimality_theory-746e01f4d41006c4.rmeta: examples/optimality_theory.rs
+
+examples/optimality_theory.rs:

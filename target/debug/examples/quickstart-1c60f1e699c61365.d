@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1c60f1e699c61365.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-1c60f1e699c61365.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:
