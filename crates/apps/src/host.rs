@@ -8,8 +8,6 @@
 
 use dynfb_compiler::interp::{HostRegistry, Value};
 use dynfb_core::rng::SplitMix64;
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::time::Duration;
 
 /// Builder for the application host registries.
@@ -42,16 +40,15 @@ impl Default for HostConfig {
 #[must_use]
 pub fn standard_host(config: &HostConfig) -> HostRegistry {
     let mut host = HostRegistry::new();
-    let rng = Rc::new(RefCell::new(SplitMix64::new(config.seed)));
 
     host.register("sqrt", Duration::from_nanos(120), |args| {
         Value::Double(args[0].as_double().unwrap_or(0.0).max(0.0).sqrt())
     });
 
-    let r = Rc::clone(&rng);
-    host.register("urand", Duration::from_nanos(60), move |_args| {
-        Value::Double(r.borrow_mut().next_f64())
-    });
+    // `urand` is the only stateful extern; it owns its generator outright so
+    // the registry (and any `CompiledApp` holding it) stays `Send`.
+    let mut rng = SplitMix64::new(config.seed);
+    host.register("urand", Duration::from_nanos(60), move |_args| Value::Double(rng.next_f64()));
 
     let iparams = config.iparams.clone();
     host.register("iparam", Duration::from_nanos(10), move |args| {

@@ -10,9 +10,12 @@
 //!    production intervals (or none) lose to resampling — the λ trade-off
 //!    of the §5 analysis.
 //!
-//! Run with `cargo run --release -p dynfb-bench --bin ablations`.
+//! Run with `cargo run --release -p dynfb-bench --bin ablations --
+//! [--jobs N] [--filter PAT]`. Each study is one engine job; output order
+//! is fixed regardless of `--jobs`.
 
 use dynfb_apps::{barnes_hut, machine_config, run_dynamic, water, BarnesHutConfig, WaterConfig};
+use dynfb_bench::engine::{parse_cli, Engine};
 use dynfb_bench::report::{secs, Table};
 use dynfb_core::controller::{ControllerConfig, EarlyCutoff, PolicyOrdering};
 use dynfb_sim::{run_app, LockId, Machine, OpSink, PlanEntry, RunConfig, RunMode, SimApp};
@@ -222,9 +225,29 @@ fn spanning_ablation() -> Table {
     t
 }
 
+const USAGE: &str = "usage: ablations [--jobs N] [--filter PAT[,PAT...]]
+
+  studies: switching, cutoff, resampling, spanning";
+
+type Study = fn() -> Table;
+
 fn main() {
-    println!("{}", switching_ablation().to_console());
-    println!("{}", cutoff_ablation().to_console());
-    println!("{}", resampling_ablation().to_console());
-    println!("{}", spanning_ablation().to_console());
+    let opts = parse_cli(std::env::args().skip(1), USAGE);
+    let studies: [(&str, Study); 4] = [
+        ("switching", switching_ablation),
+        ("cutoff", cutoff_ablation),
+        ("resampling", resampling_ablation),
+        ("spanning", spanning_ablation),
+    ];
+    let tasks: Vec<Box<dyn FnOnce() -> Table + Send>> = studies
+        .into_iter()
+        .filter(|(name, _)| opts.filter.as_ref().is_none_or(|f| f.matches(name)))
+        .map(|(_, study)| {
+            let task: Box<dyn FnOnce() -> Table + Send> = Box::new(study);
+            task
+        })
+        .collect();
+    for timed in Engine::new(opts.jobs).run(tasks) {
+        println!("{}", timed.value.to_console());
+    }
 }

@@ -2,15 +2,24 @@
 //! dynamic}, reporting elapsed/waiting time, regret vs the per-scenario
 //! oracle, and dynamic feedback's adaptation latency.
 //!
-//! Usage: `cargo run --release -p dynfb-bench --bin chaos [seed]`
+//! Usage: `cargo run --release -p dynfb-bench --bin chaos -- \
+//!     [--seed N | N] [--jobs N] [--filter PAT[,PAT...]]`
+//!
+//! Each (scenario, mode) cell runs as one engine job; the report is
+//! byte-identical for every `--jobs` value.
 
-use dynfb_bench::chaos::{chaos_report, ChaosConfig};
+use dynfb_bench::chaos::{chaos_report_with, ChaosConfig};
+use dynfb_bench::engine::{parse_cli, Engine};
+
+const USAGE: &str = "usage: chaos [--seed N | N] [--jobs N] [--filter PAT[,PAT...]]
+
+  --seed N    scenario seed (default 42; a bare integer also works)
+  --jobs N    worker threads (default: all host threads)
+  --filter P  only scenarios whose name matches (substring or * wildcard)";
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be an unsigned integer"))
-        .unwrap_or(42);
-    let cfg = ChaosConfig { seed, ..ChaosConfig::default() };
-    print!("{}", chaos_report(&cfg));
+    let opts = parse_cli(std::env::args().skip(1), USAGE);
+    let cfg = ChaosConfig { seed: opts.seed.unwrap_or(42), ..ChaosConfig::default() };
+    let engine = Engine::new(opts.jobs);
+    print!("{}", chaos_report_with(&cfg, &engine, opts.filter.as_ref()));
 }

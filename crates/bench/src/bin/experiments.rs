@@ -1,278 +1,85 @@
-//! Master experiment runner: regenerates every table and figure and writes
-//! `EXPERIMENTS.md` with paper-vs-measured commentary.
+//! Master experiment runner: executes the full job matrix on the parallel
+//! engine, prints every table, and writes the canonical artifacts.
 //!
-//! Run with `cargo run --release -p dynfb-bench --bin experiments`.
+//! Usage: `cargo run --release -p dynfb-bench --bin experiments -- \
+//!     [--jobs N] [--filter PAT[,PAT...]] [--quick]`
+//!
+//! * `--jobs N` — worker threads (default: all host threads). The written
+//!   `EXPERIMENTS.md` / `BENCH_RESULTS.json` are byte-identical for every
+//!   `N`; only `BENCH_TIMINGS.json` (host wall clock) varies.
+//! * `--filter` — run only experiments whose slug matches (substring, or
+//!   `*` wildcards). Filtered runs print to the console without touching
+//!   the committed artifacts.
+//! * `--quick` — the reduced matrix; writes `*.quick.*` artifacts, which
+//!   CI diffs across `--jobs 1` and `--jobs 4`.
 
-use dynfb_bench::experiments as exp;
-use dynfb_bench::report::Table;
-use std::fmt::Write as _;
-use std::time::Duration;
+use dynfb_bench::engine::{parse_cli, Engine};
+use dynfb_bench::experiments::{
+    render_document, results_json, run_matrix, select, suite, timings_json, Scale,
+};
+use std::time::Instant;
 
-struct Doc {
-    md: String,
-}
+const USAGE: &str = "usage: experiments [--jobs N] [--filter PAT[,PAT...]] [--quick]
 
-impl Doc {
-    fn heading(&mut self, text: &str) {
-        let _ = writeln!(self.md, "\n## {text}\n");
-        println!("\n==== {text} ====\n");
-    }
-
-    fn para(&mut self, text: &str) {
-        let _ = writeln!(self.md, "{text}\n");
-    }
-
-    fn table(&mut self, t: &Table) {
-        println!("{}", t.to_console());
-        self.md.push_str(&t.to_markdown());
-    }
-}
+  --jobs N    worker threads (default: all host threads)
+  --filter P  only experiments whose slug matches (substring or * wildcard)
+  --quick     reduced matrix; writes EXPERIMENTS.quick.md etc.";
 
 fn main() {
-    let started = std::time::Instant::now();
-    let mut doc = Doc { md: String::new() };
-    let _ = writeln!(
-        doc.md,
-        "# EXPERIMENTS — paper vs. measured\n\n\
-         Reproduction of every table and figure in *Dynamic Feedback: An\n\
-         Effective Technique for Adaptive Computing* (Diniz & Rinard, PLDI\n\
-         1997). The substrate is the deterministic simulated multiprocessor\n\
-         of `dynfb-sim` (see DESIGN.md for the substitution argument), and\n\
-         problem sizes are scaled so the full suite runs in minutes; the\n\
-         claims reproduced are therefore *shapes* — which policy wins, by\n\
-         roughly what factor, and where the crossovers fall — not absolute\n\
-         DASH-era numbers. Regenerate with\n\
-         `cargo run --release -p dynfb-bench --bin experiments`.\n"
+    let opts = parse_cli(std::env::args().skip(1), USAGE);
+    let scale = if opts.quick { Scale::quick() } else { Scale::full() };
+    let engine = Engine::new(opts.jobs);
+    let exps = suite(&scale);
+    let selected = select(&exps, opts.filter.as_ref());
+    if selected.is_empty() {
+        eprintln!("filter matched no experiments; slugs are:");
+        for e in &exps {
+            eprintln!("  {}", e.slug);
+        }
+        std::process::exit(2);
+    }
+
+    let job_count: std::collections::BTreeSet<_> =
+        selected.iter().flat_map(|e| e.keys.iter()).collect();
+    println!(
+        "running {} experiments ({} deduplicated jobs) on {} worker thread(s), {} scale",
+        selected.len(),
+        job_count.len(),
+        engine.jobs(),
+        scale.name
     );
 
-    // ---------------------------------------------------------------- T1
-    doc.heading("Table 1: executable code sizes");
-    doc.para(
-        "Paper: multi-version (Dynamic) executables grow only modestly over \
-         single-policy builds because closed subgraphs of the call graph that \
-         are identical across policies are shared (Barnes-Hut 31,152 → 33,648 \
-         bytes; Water 46,096 → 50,784; String 43,616 → 45,664). Measured: the \
-         same ordering — Serial < single policy < Dynamic — with Dynamic within \
-         a small factor of the Aggressive build.",
-    );
-    doc.table(&exp::table_code_sizes());
+    let started = Instant::now();
+    let (store, timings) = run_matrix(&scale, &selected, &engine);
+    let total_wall = started.elapsed();
 
-    // ---------------------------------------------------------------- F3
-    doc.heading("Figure 3 and Section 5: the optimality theory");
-    doc.para(
-        "Paper: for S = 1, N = 2, λ = 0.065, ε = 0.5 there is a bounded feasible \
-         region of production intervals satisfying the ε-optimality guarantee, \
-         and the optimal production interval is P_opt ≈ 7.25 s. Measured: the \
-         feasible region and root of Equation 9 computed numerically.",
-    );
-    doc.table(&exp::figure3_feasible_region());
+    for e in &selected {
+        println!("\n==== {} ====\n", e.title);
+        for t in e.render(&store) {
+            println!("{}", t.to_console());
+        }
+    }
+    println!("{} jobs in {:.1} s of host time.", timings.len(), total_wall.as_secs_f64());
 
-    // ------------------------------------------------------------- T2/F4
-    let bh = exp::bh_spec();
-    doc.heading("Table 2 / Figure 4: Barnes-Hut execution times and speedups");
-    doc.para(
-        "Paper: Aggressive clearly best (149.9 s vs 217.2 s Original at 1 \
-         processor; 12.87 s vs 15.64 s at 16), Dynamic within ~6% of Aggressive \
-         everywhere, all versions scale at the same rate (no false exclusion), \
-         speedup limited by an unparallelized serial section. Measured below: \
-         same ordering Original > Bounded > Aggressive ≈ Dynamic, and speedups \
-         flatten identically because the serial tree build is not parallelized.",
+    if opts.filter.is_some() {
+        println!("(filtered run: no artifacts written)");
+        return;
+    }
+    let (md_path, json_path, timings_path) = if opts.quick {
+        ("EXPERIMENTS.quick.md", "BENCH_RESULTS.quick.json", "BENCH_TIMINGS.quick.json")
+    } else {
+        ("EXPERIMENTS.md", "BENCH_RESULTS.json", "BENCH_TIMINGS.json")
+    };
+    let md = render_document(&selected, &store);
+    std::fs::write(md_path, &md).expect("write experiments markdown");
+    let json = results_json(&scale, &store);
+    std::fs::write(json_path, &json).expect("write results json");
+    let tj = timings_json(engine.jobs(), total_wall, &timings);
+    std::fs::write(timings_path, &tj).expect("write timings json");
+    println!(
+        "Wrote {md_path} ({} bytes), {json_path} ({} bytes), {timings_path} ({} bytes)",
+        md.len(),
+        json.len(),
+        tj.len()
     );
-    let (t2, f4) = exp::execution_times(&bh);
-    doc.table(&t2);
-    doc.table(&f4);
-
-    // ---------------------------------------------------------------- T3
-    doc.heading("Table 3: Barnes-Hut locking overhead");
-    doc.para(
-        "Paper: 15,471,682 pairs (Original), 7,744,033 (Bounded — exactly half: \
-         the two per-interaction regions merge into one), 49,152 (Aggressive — \
-         order bodies×steps), 72,050 (Dynamic, slightly above Aggressive because \
-         sampling phases run the other versions briefly). Measured: the same \
-         2:1:tiny pattern.",
-    );
-    doc.table(&exp::locking_overhead(&bh));
-
-    // ---------------------------------------------------------------- T4
-    doc.heading("Table 4: Barnes-Hut FORCES section statistics");
-    doc.para(
-        "Paper: mean section size 18.8 s, 16,384 iterations, mean iteration \
-         1.15 ms. Measured (scaled instance): same structure; iteration size \
-         bounds the minimum effective sampling interval.",
-    );
-    doc.table(&exp::section_stats(&bh, &["forces"]));
-
-    // ---------------------------------------------------------------- F5
-    doc.heading("Figure 5: sampled overhead time series, Barnes-Hut FORCES");
-    doc.para(
-        "Paper: overheads of the three policies stay well-separated and stable \
-         over time (Original highest, Aggressive near zero), with gaps between \
-         the two FORCES executions. Measured: the series below shows the same \
-         separation and stability.",
-    );
-    doc.table(&exp::overhead_series(&bh, "forces", 8));
-
-    // ---------------------------------------------------------------- T5
-    doc.heading("Table 5: Barnes-Hut minimum effective sampling intervals");
-    doc.para(
-        "Paper: 10 ms (Original), 4.99 ms (Bounded), 1.17 ms (Aggressive) — \
-         larger than but comparable to the mean iteration size, and ordered by \
-         locking overhead. Measured: sampling with a near-zero target interval \
-         shows the same ordering (higher-overhead versions take longer per \
-         iteration, so their effective intervals are longer).",
-    );
-    doc.table(&exp::effective_sampling_intervals(&bh, "forces", 8));
-
-    // ---------------------------------------------------------------- T6
-    doc.heading("Table 6: Barnes-Hut interval sensitivity");
-    doc.para(
-        "Paper: performance is relatively insensitive to the target sampling \
-         and production intervals — even sampling as long as production costs \
-         only ~20%. Measured sweep below (sampling × production).",
-    );
-    doc.table(&exp::interval_sweep(
-        &bh,
-        "forces",
-        8,
-        &[Duration::from_micros(100), Duration::from_millis(1), Duration::from_millis(10)],
-        &[
-            Duration::from_millis(10),
-            Duration::from_millis(50),
-            Duration::from_millis(100),
-            Duration::from_secs(1),
-        ],
-    ));
-
-    // ------------------------------------------------------------- T7/F6
-    let water = exp::water_spec();
-    doc.heading("Table 7 / Figure 6: Water execution times and speedups");
-    doc.para(
-        "Paper: Aggressive is best at 1 processor (165.3 s) but *fails to \
-         scale* (73.5 s at 16 vs Bounded's 19.5 s); Bounded is the best policy, \
-         Dynamic tracks Bounded closely. Measured: same crossover — Aggressive \
-         wins at 1 processor and collapses beyond 2. At this scaled size the \
-         POTENG sections at ≥12 processors are short relative to the (serialized) \
-         Aggressive sampling interval, so Dynamic pays a visible sampling cost — \
-         the small-section effect the paper discusses in §4.4; the early cut-off \
-         and policy-ordering optimizations of §4.5 (see the ablation below) \
-         recover most of it.",
-    );
-    let (t7, f6) = exp::execution_times(&water);
-    doc.table(&t7);
-    doc.table(&f6);
-
-    // ---------------------------------------------------------------- T8
-    doc.heading("Table 8: Water locking overhead");
-    doc.para(
-        "Paper: 4.2M pairs (Original), 2.99M (Bounded), 1.58M (Aggressive), \
-         Dynamic ≈ Bounded (2.12M) since Bounded wins production. Measured: \
-         same ordering, Dynamic close to Bounded.",
-    );
-    doc.table(&exp::locking_overhead(&water));
-
-    // ---------------------------------------------------------------- F7
-    doc.heading("Figure 7: Water waiting proportion");
-    doc.para(
-        "Paper: waiting overhead is the primary cause of Water's performance \
-         loss, with the Aggressive policy generating enough false exclusion to \
-         severely degrade performance (waiting proportion rising steeply with \
-         processors). Measured: identical shape — Original/Bounded near zero, \
-         Aggressive climbing toward (P-1)/P as the global accumulator lock \
-         serializes the POTENG section.",
-    );
-    doc.table(&exp::waiting_proportion(&water));
-
-    // ------------------------------------------------------------- F8/F9
-    doc.heading("Figures 8/9: sampled overhead time series, Water INTERF and POTENG");
-    doc.para(
-        "Paper: INTERF samples only two versions (Bounded and Aggressive \
-         generate identical code there — our compiler detects the same sharing); \
-         POTENG shows the Aggressive version's overhead far above the others. \
-         Measured series below. (Deviation: in our compiler the Bounded POTENG \
-         code differs structurally from Original — the interprocedural lift \
-         applies even where the later hoist is forbidden — so POTENG samples \
-         three versions, not two; the Original and Bounded versions behave \
-         identically, as their measured overheads show.)",
-    );
-    doc.table(&exp::overhead_series(&water, "interf", 8));
-    doc.table(&exp::overhead_series(&water, "poteng", 8));
-
-    // ------------------------------------------------------------ T9-T12
-    doc.heading("Tables 9-12: Water section statistics and effective sampling intervals");
-    doc.para(
-        "Paper: INTERF 2.8 s / 512 iterations / 5.5 ms; POTENG 3.9 s / 512 / \
-         12.3 ms; minimum effective sampling intervals comparable to iteration \
-         sizes except the Aggressive POTENG version, whose serialization pushes \
-         its effective interval far above the others (1.586 s vs 0.092 s). \
-         Measured: same pattern, including the Aggressive POTENG blow-up.",
-    );
-    doc.table(&exp::section_stats(&water, &["interf", "poteng"]));
-    doc.table(&exp::effective_sampling_intervals(&water, "interf", 8));
-    doc.table(&exp::effective_sampling_intervals(&water, "poteng", 8));
-
-    // ----------------------------------------------------------- T13/T14
-    doc.heading("Tables 13/14: Water interval sensitivity");
-    doc.para(
-        "Paper: INTERF is insensitive to the interval choices (its two versions \
-         perform similarly); POTENG is sensitive at small production intervals \
-         because the Aggressive version is so much worse. Measured sweeps below.",
-    );
-    doc.table(&exp::interval_sweep(
-        &water,
-        "interf",
-        8,
-        &[Duration::from_micros(100), Duration::from_millis(1), Duration::from_millis(10)],
-        &[
-            Duration::from_millis(10),
-            Duration::from_millis(50),
-            Duration::from_millis(100),
-            Duration::from_secs(1),
-        ],
-    ));
-    doc.table(&exp::interval_sweep(
-        &water,
-        "poteng",
-        8,
-        &[Duration::from_micros(100), Duration::from_millis(1), Duration::from_millis(10)],
-        &[
-            Duration::from_millis(10),
-            Duration::from_millis(50),
-            Duration::from_millis(100),
-            Duration::from_secs(1),
-        ],
-    ));
-
-    // --------------------------------------------------------------- T15
-    let string = exp::string_spec();
-    doc.heading("String results (Section 6.3 analog)");
-    doc.para(
-        "The paper text available to us truncates before the String results, \
-         so these tables are a *reconstruction by analogy*: same experiment \
-         structure as Barnes-Hut/Water, with the computation the paper \
-         describes (rays traced through a velocity model between two oil \
-         wells). In our String the Bounded and Aggressive policies generate \
-         identical code; both beat Original; rays contend briefly on shared \
-         grid cells.",
-    );
-    let (t15, f15) = exp::execution_times(&string);
-    doc.table(&t15);
-    doc.table(&f15);
-    doc.table(&exp::locking_overhead(&string));
-
-    // ----------------------------------------------------- instrumentation
-    doc.heading("Section 4.3: instrumentation overhead");
-    doc.para(
-        "Paper: differences between instrumented and uninstrumented versions \
-         are very small. Measured ratios below (instrumented adds per-iteration \
-         counter updates and a 9 µs timer poll).",
-    );
-    doc.table(&exp::instrumentation_overhead(&exp::bh_spec()));
-
-    let _ = writeln!(
-        doc.md,
-        "\n---\nGenerated in {:.1} s of host time.\n",
-        started.elapsed().as_secs_f64()
-    );
-    std::fs::write("EXPERIMENTS.md", &doc.md).expect("write EXPERIMENTS.md");
-    println!("\nWrote EXPERIMENTS.md ({} bytes)", doc.md.len());
 }

@@ -1,5 +1,5 @@
-//! Regenerates Figure 3: the feasible region for the production interval
-//! and the optimal production interval P_opt (§5).
+//! Regenerates Figure 3: the feasible region and optimal production
+//! interval for the paper's example values.
 fn main() {
-    println!("{}", dynfb_bench::experiments::figure3_feasible_region().to_console());
+    dynfb_bench::experiments::print_experiments(&["figure03-feasible-region"]);
 }

@@ -1,10 +1,5 @@
-//! Regenerates Figure 5: sampled overhead for the Barnes-Hut FORCES
-//! section on eight processors.
+//! Regenerates Figure 5: sampled overhead time series for the Barnes-Hut
+//! FORCES section.
 fn main() {
-    let t = dynfb_bench::experiments::overhead_series(
-        &dynfb_bench::experiments::bh_spec(),
-        "forces",
-        8,
-    );
-    println!("{}", t.to_console());
+    dynfb_bench::experiments::print_experiments(&["figure05-bh-series"]);
 }

@@ -1,6 +1,5 @@
-//! Regenerates Figure 7: the waiting proportion for Water (the false
-//! exclusion of the Aggressive policy).
+//! Regenerates Figure 7: Water waiting proportion per version and
+//! processor count.
 fn main() {
-    let t = dynfb_bench::experiments::waiting_proportion(&dynfb_bench::experiments::water_spec());
-    println!("{}", t.to_console());
+    dynfb_bench::experiments::print_experiments(&["figure07-water-waiting"]);
 }

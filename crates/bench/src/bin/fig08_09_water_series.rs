@@ -1,7 +1,5 @@
 //! Regenerates Figures 8 and 9: sampled overhead for the Water INTERF and
-//! POTENG sections on eight processors.
+//! POTENG sections.
 fn main() {
-    let spec = dynfb_bench::experiments::water_spec();
-    println!("{}", dynfb_bench::experiments::overhead_series(&spec, "interf", 8).to_console());
-    println!("{}", dynfb_bench::experiments::overhead_series(&spec, "poteng", 8).to_console());
+    dynfb_bench::experiments::print_experiments(&["figures08-09-water-series"]);
 }

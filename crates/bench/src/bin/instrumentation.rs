@@ -1,6 +1,32 @@
-//! The §4.3 instrumentation-overhead check for all three applications.
+//! The §4.3 instrumentation-overhead check for all three applications,
+//! run as ad-hoc engine jobs (the document suite only includes the
+//! Barnes-Hut instance).
+use dynfb_bench::engine::Engine;
+use dynfb_bench::experiments::{
+    instrumentation_from, instrumentation_keys, run_matrix, Experiment, Scale, APPS,
+};
+
 fn main() {
-    for spec in dynfb_bench::experiments::all_specs() {
-        println!("{}", dynfb_bench::experiments::instrumentation_overhead(&spec).to_console());
+    let scale = Scale::full();
+    let exps: Vec<Experiment> = APPS
+        .iter()
+        .map(|&app| {
+            let sc = scale.clone();
+            Experiment::new(
+                "instrumentation",
+                "Section 4.3: instrumentation overhead",
+                "",
+                instrumentation_keys(app, &scale),
+                move |store| vec![instrumentation_from(store, app, &sc)],
+            )
+        })
+        .collect();
+    let selected: Vec<&Experiment> = exps.iter().collect();
+    let engine = Engine::new(Engine::host_parallelism());
+    let (store, _) = run_matrix(&scale, &selected, &engine);
+    for e in &selected {
+        for t in e.render(&store) {
+            println!("{}", t.to_console());
+        }
     }
 }

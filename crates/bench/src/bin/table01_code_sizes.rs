@@ -1,4 +1,4 @@
-//! Regenerates Table 1: executable code sizes.
+//! Regenerates Table 1: executable code sizes for all three applications.
 fn main() {
-    println!("{}", dynfb_bench::experiments::table_code_sizes().to_console());
+    dynfb_bench::experiments::print_experiments(&["table01-code-sizes"]);
 }

@@ -1,7 +1,4 @@
 //! Regenerates Table 2 and Figure 4: Barnes-Hut execution times and speedups.
 fn main() {
-    let (times, speedups) =
-        dynfb_bench::experiments::execution_times(&dynfb_bench::experiments::bh_spec());
-    println!("{}", times.to_console());
-    println!("{}", speedups.to_console());
+    dynfb_bench::experiments::print_experiments(&["table02-bh-times"]);
 }

@@ -1,5 +1,4 @@
 //! Regenerates Table 3: Barnes-Hut locking overhead.
 fn main() {
-    let t = dynfb_bench::experiments::locking_overhead(&dynfb_bench::experiments::bh_spec());
-    println!("{}", t.to_console());
+    dynfb_bench::experiments::print_experiments(&["table03-bh-locking"]);
 }

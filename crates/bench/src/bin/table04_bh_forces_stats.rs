@@ -1,6 +1,4 @@
-//! Regenerates Table 4: statistics for the Barnes-Hut FORCES section.
+//! Regenerates Table 4: Barnes-Hut FORCES section statistics.
 fn main() {
-    let t =
-        dynfb_bench::experiments::section_stats(&dynfb_bench::experiments::bh_spec(), &["forces"]);
-    println!("{}", t.to_console());
+    dynfb_bench::experiments::print_experiments(&["table04-bh-sections"]);
 }

@@ -1,10 +1,5 @@
-//! Regenerates Table 5: mean minimum effective sampling intervals for the
-//! Barnes-Hut FORCES section on eight processors.
+//! Regenerates Table 5: Barnes-Hut mean minimum effective sampling
+//! intervals.
 fn main() {
-    let t = dynfb_bench::experiments::effective_sampling_intervals(
-        &dynfb_bench::experiments::bh_spec(),
-        "forces",
-        8,
-    );
-    println!("{}", t.to_console());
+    dynfb_bench::experiments::print_experiments(&["table05-bh-intervals"]);
 }

@@ -1,18 +1,4 @@
-//! Regenerates Table 6: Barnes-Hut FORCES execution times for varying
-//! target sampling and production intervals (eight processors).
-use std::time::Duration;
+//! Regenerates Table 6: Barnes-Hut interval sensitivity sweep.
 fn main() {
-    let t = dynfb_bench::experiments::interval_sweep(
-        &dynfb_bench::experiments::bh_spec(),
-        "forces",
-        8,
-        &[Duration::from_micros(100), Duration::from_millis(1), Duration::from_millis(10)],
-        &[
-            Duration::from_millis(10),
-            Duration::from_millis(50),
-            Duration::from_millis(100),
-            Duration::from_secs(1),
-        ],
-    );
-    println!("{}", t.to_console());
+    dynfb_bench::experiments::print_experiments(&["table06-bh-sweep"]);
 }

@@ -1,7 +1,4 @@
 //! Regenerates Table 7 and Figure 6: Water execution times and speedups.
 fn main() {
-    let (times, speedups) =
-        dynfb_bench::experiments::execution_times(&dynfb_bench::experiments::water_spec());
-    println!("{}", times.to_console());
-    println!("{}", speedups.to_console());
+    dynfb_bench::experiments::print_experiments(&["table07-water-times"]);
 }

@@ -1,5 +1,4 @@
 //! Regenerates Table 8: Water locking overhead.
 fn main() {
-    let t = dynfb_bench::experiments::locking_overhead(&dynfb_bench::experiments::water_spec());
-    println!("{}", t.to_console());
+    dynfb_bench::experiments::print_experiments(&["table08-water-locking"]);
 }

@@ -1,17 +1,5 @@
 //! Regenerates Tables 9-12: Water section statistics and mean minimum
 //! effective sampling intervals.
 fn main() {
-    let spec = dynfb_bench::experiments::water_spec();
-    println!(
-        "{}",
-        dynfb_bench::experiments::section_stats(&spec, &["interf", "poteng"]).to_console()
-    );
-    println!(
-        "{}",
-        dynfb_bench::experiments::effective_sampling_intervals(&spec, "interf", 8).to_console()
-    );
-    println!(
-        "{}",
-        dynfb_bench::experiments::effective_sampling_intervals(&spec, "poteng", 8).to_console()
-    );
+    dynfb_bench::experiments::print_experiments(&["tables09-12-water-stats"]);
 }

@@ -1,19 +1,4 @@
-//! Regenerates Tables 13 and 14: Water INTERF and POTENG execution times
-//! for varying target sampling and production intervals.
-use std::time::Duration;
+//! Regenerates Tables 13/14: Water interval sensitivity sweeps.
 fn main() {
-    let spec = dynfb_bench::experiments::water_spec();
-    let samplings =
-        [Duration::from_micros(100), Duration::from_millis(1), Duration::from_millis(10)];
-    let productions = [
-        Duration::from_millis(10),
-        Duration::from_millis(50),
-        Duration::from_millis(100),
-        Duration::from_secs(1),
-    ];
-    for section in ["interf", "poteng"] {
-        let t =
-            dynfb_bench::experiments::interval_sweep(&spec, section, 8, &samplings, &productions);
-        println!("{}", t.to_console());
-    }
+    dynfb_bench::experiments::print_experiments(&["tables13-14-water-sweep"]);
 }

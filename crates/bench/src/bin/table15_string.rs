@@ -1,9 +1,5 @@
-//! Regenerates the String results (§6.3 analog; the paper text is
-//! truncated there): execution times, speedups, and locking overhead.
+//! Regenerates the String analog tables (Section 6.3): execution times,
+//! speedups, and locking overhead.
 fn main() {
-    let spec = dynfb_bench::experiments::string_spec();
-    let (times, speedups) = dynfb_bench::experiments::execution_times(&spec);
-    println!("{}", times.to_console());
-    println!("{}", speedups.to_console());
-    println!("{}", dynfb_bench::experiments::locking_overhead(&spec).to_console());
+    dynfb_bench::experiments::print_experiments(&["table15-string"]);
 }

@@ -22,6 +22,7 @@
 //! Everything is deterministic: the same seed produces a byte-identical
 //! report (`tests/determinism.rs` enforces this).
 
+use crate::engine::{Engine, Filter};
 use crate::report::Table;
 use dynfb_core::controller::ControllerConfig;
 use dynfb_sim::{
@@ -336,34 +337,101 @@ fn analyze_adaptation(report: &AppReport, onset: Duration) -> Adaptation {
     Adaptation { switches, settled, latency }
 }
 
-/// Run all four modes under one scenario.
+/// One execution mode of the chaos matrix: a static policy (index into
+/// [`VERSIONS`]) or dynamic feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Fixed policy `VERSIONS[i]`.
+    Static(usize),
+    /// Dynamic feedback with the chaos controller and watchdog.
+    Dynamic,
+}
+
+impl ChaosMode {
+    /// All modes, in report order.
+    #[must_use]
+    pub fn all() -> Vec<ChaosMode> {
+        (0..VERSIONS.len())
+            .map(ChaosMode::Static)
+            .chain(std::iter::once(ChaosMode::Dynamic))
+            .collect()
+    }
+
+    /// Mode name as it appears in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosMode::Static(i) => VERSIONS[*i],
+            ChaosMode::Dynamic => "dynamic",
+        }
+    }
+}
+
+/// Result of one (scenario, mode) job.
+#[derive(Debug, Clone)]
+pub struct ChaosJobResult {
+    /// Elapsed/waiting measurements.
+    pub outcome: ModeOutcome,
+    /// Adaptation analysis (dynamic mode only).
+    pub adaptation: Option<Adaptation>,
+}
+
+/// Run one (scenario, mode) cell of the chaos matrix — the unit of work
+/// the parallel engine schedules. Pure function of its arguments.
 ///
 /// # Panics
 ///
-/// Panics if a simulation fails — the harness only builds valid configs,
+/// Panics if the simulation fails — the harness only builds valid configs,
 /// so a failure here is a bug worth a loud stop.
 #[must_use]
-pub fn run_scenario(cfg: &ChaosConfig, scenario: &Scenario) -> ScenarioOutcome {
-    let statics = VERSIONS
-        .iter()
-        .map(|policy| {
-            let mut run = RunConfig::fixed(cfg.procs, policy).with_faults(scenario.plan.clone());
-            run.machine = chaos_machine();
-            let report = run_app(ChaosApp::new(cfg.iters), &run).expect("static chaos run");
-            outcome(policy, &report)
-        })
-        .collect();
-    let mut run = RunConfig::dynamic(cfg.procs, chaos_controller())
-        .with_faults(scenario.plan.clone())
-        .with_watchdog(8);
+pub fn run_mode(cfg: &ChaosConfig, scenario: &Scenario, mode: ChaosMode) -> ChaosJobResult {
+    let mut run = match mode {
+        ChaosMode::Static(i) => {
+            RunConfig::fixed(cfg.procs, VERSIONS[i]).with_faults(scenario.plan.clone())
+        }
+        ChaosMode::Dynamic => RunConfig::dynamic(cfg.procs, chaos_controller())
+            .with_faults(scenario.plan.clone())
+            .with_watchdog(8),
+    };
     run.machine = chaos_machine();
-    let report = run_app(ChaosApp::new(cfg.iters), &run).expect("dynamic chaos run");
+    let report = run_app(ChaosApp::new(cfg.iters), &run).expect("chaos run");
+    let adaptation = match mode {
+        ChaosMode::Static(_) => None,
+        ChaosMode::Dynamic => Some(analyze_adaptation(&report, scenario.onset)),
+    };
+    ChaosJobResult { outcome: outcome(mode.name(), &report), adaptation }
+}
+
+fn assemble(scenario: &Scenario, results: Vec<ChaosJobResult>) -> ScenarioOutcome {
+    let mut statics = Vec::new();
+    let mut dynamic = None;
+    let mut adaptation = None;
+    for (mode, r) in ChaosMode::all().into_iter().zip(results) {
+        match mode {
+            ChaosMode::Static(_) => statics.push(r.outcome),
+            ChaosMode::Dynamic => {
+                dynamic = Some(r.outcome);
+                adaptation = r.adaptation;
+            }
+        }
+    }
     ScenarioOutcome {
         scenario: scenario.clone(),
         statics,
-        dynamic: outcome("dynamic", &report),
-        adaptation: analyze_adaptation(&report, scenario.onset),
+        dynamic: dynamic.expect("dynamic mode ran"),
+        adaptation: adaptation.expect("dynamic mode analyzed"),
     }
+}
+
+/// Run all four modes under one scenario (serially, on this thread).
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+#[must_use]
+pub fn run_scenario(cfg: &ChaosConfig, scenario: &Scenario) -> ScenarioOutcome {
+    let results = ChaosMode::all().into_iter().map(|m| run_mode(cfg, scenario, m)).collect();
+    assemble(scenario, results)
 }
 
 fn micros(d: Duration) -> String {
@@ -409,16 +477,42 @@ fn render(cfg: &ChaosConfig, out: &ScenarioOutcome) -> String {
 /// The same `cfg` always yields a byte-identical string.
 #[must_use]
 pub fn chaos_report(cfg: &ChaosConfig) -> String {
+    chaos_report_with(cfg, &Engine::new(1), None)
+}
+
+/// Run the (optionally filtered) scenario × mode matrix on `engine` and
+/// render the report. Each (scenario, mode) cell is one engine job;
+/// results are reassembled in scenario/mode order, so the report is
+/// byte-identical for every worker count — [`chaos_report`] is this with
+/// one worker and no filter.
+#[must_use]
+pub fn chaos_report_with(cfg: &ChaosConfig, engine: &Engine, filter: Option<&Filter>) -> String {
+    let selected: Vec<Scenario> =
+        scenarios(cfg).into_iter().filter(|s| filter.is_none_or(|f| f.matches(s.name))).collect();
+    let modes = ChaosMode::all();
+    let tasks: Vec<Box<dyn FnOnce() -> ChaosJobResult + Send + '_>> = selected
+        .iter()
+        .flat_map(|scenario| {
+            modes.iter().map(move |&mode| {
+                let task: Box<dyn FnOnce() -> ChaosJobResult + Send + '_> =
+                    Box::new(move || run_mode(cfg, scenario, mode));
+                task
+            })
+        })
+        .collect();
+    let mut results = engine.run(tasks).into_iter().map(|t| t.value);
+
     let mut out = String::new();
     let _ = writeln!(
         out,
         "chaos harness: {} scenarios x {{{}, dynamic}} (seed {})\n",
-        scenarios(cfg).len(),
+        selected.len(),
         VERSIONS.join(", "),
         cfg.seed
     );
-    for scenario in scenarios(cfg) {
-        let result = run_scenario(cfg, &scenario);
+    for scenario in &selected {
+        let cells: Vec<ChaosJobResult> = results.by_ref().take(modes.len()).collect();
+        let result = assemble(scenario, cells);
         out.push_str(&render(cfg, &result));
         out.push('\n');
     }

@@ -1,0 +1,355 @@
+//! Parallel experiment engine with deterministic aggregation.
+//!
+//! The full reproduction (every table and figure, the ablations, the chaos
+//! matrix) decomposes into independent jobs — one simulated run each. The
+//! engine executes a job list across host threads and returns results **in
+//! the order the jobs were submitted**, so any aggregation built on top is
+//! byte-identical regardless of thread count or scheduling.
+//!
+//! Determinism contract:
+//!
+//! * every job is a pure function of its inputs (the simulator is
+//!   deterministic, and jobs share no mutable state);
+//! * results are slotted by submission index, never by completion order;
+//! * host wall-clock time is measured per job but kept out of canonical
+//!   artifacts (`EXPERIMENTS.md`, `BENCH_RESULTS.json`); it is reported
+//!   separately where run-to-run variation is expected.
+//!
+//! The scheduler is a self-balancing shared counter: each worker claims the
+//! next unclaimed job when it goes idle, which gives the same dynamic load
+//! balancing as work stealing for this workload shape (a flat list of
+//! independent jobs of uneven size) without any external dependency.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A job result plus the host wall-clock time the job took.
+#[derive(Debug)]
+pub struct Timed<T> {
+    /// What the job returned.
+    pub value: T,
+    /// Host wall-clock duration of the job body.
+    pub wall: Duration,
+}
+
+/// The parallel job runner. `jobs` worker threads, deterministic output
+/// order.
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    jobs: usize,
+}
+
+/// A boxed unit of work submitted to [`Engine::run`]; may borrow from the
+/// caller's stack for the `'env` lifetime.
+pub type Job<'env, T> = Box<dyn FnOnce() -> T + Send + 'env>;
+
+impl Engine {
+    /// An engine with `jobs` workers (clamped to at least one).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Engine { jobs: jobs.max(1) }
+    }
+
+    /// Number of hardware threads on this host (at least one).
+    #[must_use]
+    pub fn host_parallelism() -> usize {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run every task and return results in submission order.
+    ///
+    /// With one worker (or at most one task) everything runs inline on the
+    /// calling thread; otherwise scoped worker threads claim tasks off a
+    /// shared counter. Tasks may borrow from the caller's stack (`'env`).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panicking task (via scope join).
+    pub fn run<'env, T: Send>(&self, tasks: Vec<Job<'env, T>>) -> Vec<Timed<T>> {
+        if self.jobs == 1 || tasks.len() <= 1 {
+            return tasks
+                .into_iter()
+                .map(|task| {
+                    let started = Instant::now();
+                    let value = task();
+                    Timed { value, wall: started.elapsed() }
+                })
+                .collect();
+        }
+        let n = tasks.len();
+        let queue: Vec<Mutex<Option<Job<'env, T>>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<Timed<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let task =
+                        queue[i].lock().expect("job queue").take().expect("job claimed once");
+                    let started = Instant::now();
+                    let value = task();
+                    *slots[i].lock().expect("result slot") =
+                        Some(Timed { value, wall: started.elapsed() });
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("result slot").expect("every job ran"))
+            .collect()
+    }
+}
+
+/// A name filter for experiments and chaos scenarios: comma-separated
+/// patterns, each either a plain substring or (when it contains `*`) a
+/// whole-string wildcard match.
+#[derive(Debug, Clone)]
+pub struct Filter {
+    patterns: Vec<String>,
+}
+
+impl Filter {
+    /// Parse a comma-separated pattern list. Empty segments are ignored;
+    /// an entirely empty spec matches everything.
+    #[must_use]
+    pub fn new(spec: &str) -> Self {
+        Filter {
+            patterns: spec
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(ToString::to_string)
+                .collect(),
+        }
+    }
+
+    /// Whether `name` matches any pattern.
+    #[must_use]
+    pub fn matches(&self, name: &str) -> bool {
+        self.patterns.is_empty()
+            || self.patterns.iter().any(|p| {
+                if p.contains('*') {
+                    wildcard(p, name)
+                } else {
+                    name.contains(p.as_str())
+                }
+            })
+    }
+}
+
+/// Whole-string wildcard match where `*` matches any (possibly empty)
+/// substring. No external regex engine is available in this build, and
+/// globs cover every matrix-slicing use case the harness has.
+fn wildcard(pattern: &str, text: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    let (first, rest) = parts.split_first().expect("split yields at least one part");
+    let Some(mut remaining) = text.strip_prefix(first) else {
+        return false;
+    };
+    let Some((last, middles)) = rest.split_last() else {
+        return text == *first;
+    };
+    for part in middles {
+        match remaining.find(part) {
+            Some(at) => remaining = &remaining[at + part.len()..],
+            None => return false,
+        }
+    }
+    remaining.ends_with(last)
+}
+
+/// Parsed command-line options shared by the `experiments` and `chaos`
+/// binaries.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Worker thread count (`--jobs N`; default: all host threads).
+    pub jobs: usize,
+    /// Optional experiment/scenario filter (`--filter PAT[,PAT...]`).
+    pub filter: Option<Filter>,
+    /// Run the reduced matrix (`--quick`).
+    pub quick: bool,
+    /// Optional seed (`--seed N`, or a bare integer argument).
+    pub seed: Option<u64>,
+}
+
+/// Parse CLI arguments. On `--help` prints `usage` and exits 0; on a
+/// malformed argument prints the error plus `usage` and exits 2.
+#[must_use]
+pub fn parse_cli(args: impl Iterator<Item = String>, usage: &str) -> CliOptions {
+    match try_parse_cli(args) {
+        Ok(None) => {
+            println!("{usage}");
+            std::process::exit(0);
+        }
+        Ok(Some(opts)) => opts,
+        Err(err) => {
+            eprintln!("error: {err}\n{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Fallible CLI parsing; `Ok(None)` means `--help` was requested.
+///
+/// # Errors
+///
+/// Returns a message for unknown flags or unparsable values.
+pub fn try_parse_cli(args: impl Iterator<Item = String>) -> Result<Option<CliOptions>, String> {
+    let mut opts =
+        CliOptions { jobs: Engine::host_parallelism(), filter: None, quick: false, seed: None };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--quick" => opts.quick = true,
+            "--jobs" | "-j" => {
+                let v = take_value(&flag, inline, &mut args)?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--filter" | "-f" => {
+                let v = take_value(&flag, inline, &mut args)?;
+                opts.filter = Some(Filter::new(&v));
+            }
+            "--seed" => {
+                let v = take_value(&flag, inline, &mut args)?;
+                opts.seed = Some(
+                    v.parse::<u64>().map_err(|_| format!("--seed expects a number, got {v:?}"))?,
+                );
+            }
+            other => {
+                // Back-compat: `chaos 42` took the seed positionally.
+                if let Ok(seed) = other.parse::<u64>() {
+                    opts.seed = Some(seed);
+                } else {
+                    return Err(format!("unknown argument {other:?}"));
+                }
+            }
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn take_value(
+    flag: &str,
+    inline: Option<String>,
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+) -> Result<String, String> {
+    inline.or_else(|| args.next()).ok_or_else(|| format!("{flag} needs a value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for jobs in [1, 2, 4, 7] {
+            let engine = Engine::new(jobs);
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32)
+                .map(|i| {
+                    let f: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                        // Uneven job sizes exercise out-of-order completion.
+                        std::thread::sleep(Duration::from_micros(((i as u64 * 7) % 5) * 50));
+                        i * i
+                    });
+                    f
+                })
+                .collect();
+            let out = engine.run(tasks);
+            let values: Vec<usize> = out.iter().map(|t| t.value).collect();
+            let expect: Vec<usize> = (0..32).map(|i| i * i).collect();
+            assert_eq!(values, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn tasks_may_borrow_the_callers_stack() {
+        let data: Vec<u64> = (0..100).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = (0..4)
+            .map(|c| {
+                let data = &data;
+                let f: Box<dyn FnOnce() -> u64 + Send + '_> =
+                    Box::new(move || data.iter().filter(|v| *v % 4 == c).sum());
+                f
+            })
+            .collect();
+        let out = Engine::new(3).run(tasks);
+        let total: u64 = out.iter().map(|t| t.value).sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn filter_substring_and_wildcards() {
+        let f = Filter::new("table02");
+        assert!(f.matches("table02-bh-times"));
+        assert!(!f.matches("table03-bh-locking"));
+
+        let f = Filter::new("table0*-bh-*");
+        assert!(f.matches("table02-bh-times"));
+        assert!(f.matches("table03-bh-locking"));
+        assert!(!f.matches("table13-water-sweep"));
+        assert!(!f.matches("xtable02-bh-times"));
+
+        let f = Filter::new("water,string");
+        assert!(f.matches("table07-water-times"));
+        assert!(f.matches("string-results"));
+        assert!(!f.matches("table02-bh-times"));
+
+        assert!(Filter::new("").matches("anything"));
+        assert!(Filter::new("*").matches("anything"));
+    }
+
+    #[test]
+    fn wildcard_edge_cases() {
+        assert!(wildcard("abc", "abc"));
+        assert!(!wildcard("abc", "abcd"));
+        assert!(wildcard("a*c", "abbbc"));
+        assert!(wildcard("a*b*c", "aXbYc"));
+        assert!(!wildcard("a*b*c", "acb"));
+        assert!(wildcard("*", ""));
+        // The suffix must not reuse characters consumed by the prefix.
+        assert!(!wildcard("ab*ba", "aba"));
+    }
+
+    #[test]
+    fn cli_parses_flags_and_positional_seed() {
+        let parse =
+            |args: &[&str]| try_parse_cli(args.iter().map(ToString::to_string)).unwrap().unwrap();
+        let o = parse(&["--jobs", "3", "--filter", "water*", "--quick"]);
+        assert_eq!(o.jobs, 3);
+        assert!(o.quick);
+        assert!(o.filter.unwrap().matches("water-x"));
+
+        let o = parse(&["--jobs=2", "--seed=9"]);
+        assert_eq!((o.jobs, o.seed), (2, Some(9)));
+
+        let o = parse(&["17"]);
+        assert_eq!(o.seed, Some(17));
+
+        assert!(try_parse_cli(["--jobs", "zero"].iter().map(ToString::to_string)).is_err());
+        assert!(try_parse_cli(["--bogus"].iter().map(ToString::to_string)).is_err());
+        assert!(try_parse_cli(["--jobs", "0"].iter().map(ToString::to_string)).is_err());
+        assert!(try_parse_cli(["-h"].iter().map(ToString::to_string)).unwrap().is_none());
+    }
+}

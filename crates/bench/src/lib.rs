@@ -8,5 +8,6 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod engine;
 pub mod experiments;
 pub mod report;

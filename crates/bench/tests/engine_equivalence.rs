@@ -1,0 +1,76 @@
+//! The engine's determinism contract: running the experiment matrix with
+//! one worker and with many workers must produce byte-identical artifacts
+//! (`EXPERIMENTS*.md`, `BENCH_RESULTS*.json`, chaos reports). This is the
+//! acceptance gate for the parallel engine — scheduling must never leak
+//! into canonical output.
+
+use dynfb_bench::chaos::{chaos_report, chaos_report_with, ChaosConfig};
+use dynfb_bench::engine::{Engine, Filter};
+use dynfb_bench::experiments::{render_document, results_json, run_matrix, select, suite, Scale};
+
+#[test]
+fn quick_matrix_is_byte_identical_for_1_and_4_workers() {
+    let scale = Scale::quick();
+    let exps = suite(&scale);
+    let selected = select(&exps, None);
+
+    let (serial_store, serial_timings) = run_matrix(&scale, &selected, &Engine::new(1));
+    let (parallel_store, parallel_timings) = run_matrix(&scale, &selected, &Engine::new(4));
+
+    assert_eq!(serial_timings.len(), parallel_timings.len());
+    // Job identity and order are canonical regardless of worker count.
+    let ids = |t: &[dynfb_bench::experiments::JobTiming]| -> Vec<String> {
+        t.iter().map(|j| j.id.clone()).collect()
+    };
+    assert_eq!(ids(&serial_timings), ids(&parallel_timings));
+
+    assert_eq!(
+        render_document(&selected, &serial_store),
+        render_document(&selected, &parallel_store),
+        "EXPERIMENTS markdown must not depend on --jobs"
+    );
+    assert_eq!(
+        results_json(&scale, &serial_store),
+        results_json(&scale, &parallel_store),
+        "BENCH_RESULTS.json must not depend on --jobs"
+    );
+}
+
+#[test]
+fn filtered_matrix_is_a_prefix_consistent_subset() {
+    let scale = Scale::quick();
+    let exps = suite(&scale);
+    let all = select(&exps, None);
+    let filter = Filter::new("table0*-bh-*");
+    let some = select(&exps, Some(&filter));
+    assert!(!some.is_empty() && some.len() < all.len());
+
+    // A filtered run renders exactly the same tables for the experiments it
+    // keeps — filtering changes which experiments run, never their content.
+    let (all_store, _) = run_matrix(&scale, &all, &Engine::new(2));
+    let (some_store, _) = run_matrix(&scale, &some, &Engine::new(2));
+    for e in &some {
+        let from_all: Vec<String> = e.render(&all_store).iter().map(|t| t.to_markdown()).collect();
+        let from_some: Vec<String> =
+            e.render(&some_store).iter().map(|t| t.to_markdown()).collect();
+        assert_eq!(from_all, from_some, "{}", e.slug);
+    }
+}
+
+#[test]
+fn chaos_report_is_byte_identical_for_parallel_workers() {
+    let cfg = ChaosConfig { seed: 11, iters: 800, procs: 4 };
+    let serial = chaos_report(&cfg);
+    let parallel = chaos_report_with(&cfg, &Engine::new(4), None);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn chaos_filter_selects_scenarios() {
+    let cfg = ChaosConfig { seed: 11, iters: 400, procs: 4 };
+    let filter = Filter::new("baseline");
+    let report = chaos_report_with(&cfg, &Engine::new(2), Some(&filter));
+    assert!(report.contains("chaos harness: 1 scenarios"));
+    assert!(report.contains("`baseline`"));
+    assert!(!report.contains("lock-storm"));
+}

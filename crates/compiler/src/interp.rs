@@ -127,7 +127,12 @@ impl fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {}
 
 /// Implementation of a host-provided `extern` function.
-pub type HostImpl = Box<dyn FnMut(&[Value]) -> Value>;
+///
+/// Host functions must be `Send` so a [`CompiledApp`](crate::artifact::CompiledApp)
+/// can be built on one thread and run on another (the bench engine farms
+/// whole runs out to worker threads). Stateful hosts should own their state
+/// (capture by value) rather than share `Rc` handles.
+pub type HostImpl = Box<dyn FnMut(&[Value]) -> Value + Send>;
 
 /// A host-implemented `extern` function.
 pub struct HostFn {
@@ -161,7 +166,7 @@ impl HostRegistry {
         &mut self,
         name: &str,
         cost: Duration,
-        call: impl FnMut(&[Value]) -> Value + 'static,
+        call: impl FnMut(&[Value]) -> Value + Send + 'static,
     ) {
         self.fns.insert(name.to_string(), HostFn { cost, call: Box::new(call) });
     }

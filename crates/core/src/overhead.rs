@@ -147,12 +147,15 @@ impl OverheadSample {
 
     /// Merge two samples measured over disjoint stretches of the same
     /// interval (e.g. per-processor samples summed across processors).
+    /// Saturates instead of panicking when components overflow — merged
+    /// samples feed overhead *fractions*, where `Duration::MAX` simply
+    /// clamps the proportion rather than corrupting it.
     #[must_use]
     pub fn merged(&self, other: &OverheadSample) -> OverheadSample {
         OverheadSample {
-            locking: self.locking + other.locking,
-            waiting: self.waiting + other.waiting,
-            execution: self.execution + other.execution,
+            locking: self.locking.saturating_add(other.locking),
+            waiting: self.waiting.saturating_add(other.waiting),
+            execution: self.execution.saturating_add(other.execution),
         }
     }
 }
@@ -235,6 +238,64 @@ mod tests {
         let b = OverheadSample::from_fraction(0.0, Duration::from_secs(1));
         let m = a.merged(&b);
         assert!((m.total_overhead() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iteration_section_yields_unusable_sample() {
+        // A parallel section that runs zero iterations reports empty
+        // counters over a zero-length interval: no information, and it must
+        // not masquerade as a perfect zero-overhead measurement.
+        let c = OverheadCounters::default();
+        let s = c.to_sample(Duration::from_micros(4), Duration::from_micros(2), Duration::ZERO);
+        assert!(!s.is_usable());
+        assert_eq!(s.total_overhead(), 0.0);
+        assert_eq!(s.useful_work(), Duration::ZERO);
+        // The same counters over a nonzero interval ARE a usable
+        // measurement of genuinely overhead-free execution.
+        let s = c.to_sample(
+            Duration::from_micros(4),
+            Duration::from_micros(2),
+            Duration::from_millis(1),
+        );
+        assert!(s.is_usable());
+        assert_eq!(s.total_overhead(), 0.0);
+    }
+
+    #[test]
+    fn timer_dominated_sample_clamps_to_full_overhead() {
+        // Timer faults can shrink the observed execution time below the
+        // counter-derived overheads; fractions clamp to 1 and useful work
+        // to zero instead of going negative or above 1.
+        let c = OverheadCounters { acquires: 1_000_000, failed_attempts: 1_000_000 };
+        let s = c.to_sample(
+            Duration::from_micros(4),
+            Duration::from_micros(2),
+            Duration::from_nanos(50),
+        );
+        assert_eq!(s.total_overhead(), 1.0);
+        assert_eq!(s.locking_fraction(), 1.0);
+        assert_eq!(s.waiting_fraction(), 1.0);
+        assert_eq!(s.useful_work(), Duration::ZERO);
+    }
+
+    #[test]
+    fn to_sample_saturates_on_huge_counters() {
+        let c = OverheadCounters { acquires: u64::MAX, failed_attempts: u64::MAX };
+        let s = c.to_sample(Duration::from_secs(1), Duration::from_secs(1), Duration::MAX);
+        assert_eq!(s.locking, Duration::from_secs(1).saturating_mul(u32::MAX));
+        assert!(s.is_usable());
+        assert!(s.total_overhead() <= 1.0);
+    }
+
+    #[test]
+    fn merged_saturates_instead_of_panicking() {
+        let huge = OverheadSample::new(Duration::MAX, Duration::MAX, Duration::MAX);
+        let m = huge.merged(&huge);
+        assert_eq!(m.locking, Duration::MAX);
+        assert_eq!(m.waiting, Duration::MAX);
+        assert_eq!(m.execution, Duration::MAX);
+        assert!(m.total_overhead() <= 1.0);
+        assert_eq!(m.useful_work(), Duration::ZERO);
     }
 
     #[test]

@@ -30,6 +30,17 @@ pub fn print_function_in(hir: &Hir, table: &[Function], func: &Function) -> Stri
         params.join(", ")
     );
     p.indent = 1;
+    // The HIR flattens lexical scopes into a slot table, erasing declaration
+    // sites. Re-introduce them by declaring every non-parameter local up
+    // front — except counted-loop induction variables, which the `for`
+    // header declares — so the printed text is itself a valid program.
+    let mut loop_vars = Vec::new();
+    collect_loop_vars(&func.body, &mut loop_vars);
+    for (i, local) in func.locals.iter().enumerate().skip(func.num_params) {
+        if !loop_vars.contains(&i) {
+            p.line(&format!("{} {};", ty(hir, &local.ty), local.name));
+        }
+    }
     p.stmts(&func.body);
     p.out.push_str("}\n");
     p.out
@@ -44,6 +55,26 @@ pub fn print_program(hir: &Hir) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Slot indices of every `CountedFor` induction variable in `stmts`.
+fn collect_loop_vars(stmts: &[Stmt], out: &mut Vec<usize>) {
+    for s in stmts {
+        match s {
+            Stmt::CountedFor { var, body, .. } => {
+                out.push(var.0);
+                collect_loop_vars(body, out);
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_loop_vars(then_branch, out);
+                collect_loop_vars(else_branch, out);
+            }
+            Stmt::While { body, .. } | Stmt::Critical { body, .. } => {
+                collect_loop_vars(body, out);
+            }
+            Stmt::Assign { .. } | Stmt::Return(_) | Stmt::Expr(_) => {}
+        }
+    }
 }
 
 fn ty(hir: &Hir, t: &Ty) -> String {

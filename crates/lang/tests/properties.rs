@@ -128,3 +128,103 @@ fn arithmetic_programs_compile() {
         assert!(text.contains("return"));
     }
 }
+
+/// Generate a random valid program: free functions over `int` with
+/// locals, arithmetic, conditionals, and loops — the constructs the
+/// printer has to render back into parseable surface syntax.
+fn gen_program(g: &mut SplitMix64) -> String {
+    fn expr(g: &mut SplitMix64, vars: &[String], depth: usize) -> String {
+        if depth == 0 || g.chance(0.4) {
+            if !vars.is_empty() && g.chance(0.5) {
+                vars[g.gen_index(vars.len())].clone()
+            } else {
+                g.gen_index(100).to_string()
+            }
+        } else {
+            let op = ["+", "-", "*"][g.gen_index(3)];
+            format!("({} {op} {})", expr(g, vars, depth - 1), expr(g, vars, depth - 1))
+        }
+    }
+    fn stmts(g: &mut SplitMix64, vars: &mut Vec<String>, depth: usize, out: &mut String) {
+        for _ in 0..g.gen_index(4) {
+            match g.gen_index(4) {
+                0 => {
+                    let name = format!("x{}", vars.len());
+                    let init = expr(g, vars, 2);
+                    out.push_str(&format!("int {name} = {init};\n"));
+                    vars.push(name);
+                }
+                1 if !vars.is_empty() => {
+                    let v = vars[g.gen_index(vars.len())].clone();
+                    let rhs = expr(g, vars, 2);
+                    out.push_str(&format!("{v} = {rhs};\n"));
+                }
+                2 if depth > 0 => {
+                    let (a, b) = (expr(g, vars, 1), expr(g, vars, 1));
+                    out.push_str(&format!("if ({a} < {b}) {{\n"));
+                    let mut inner = vars.clone();
+                    stmts(g, &mut inner, depth - 1, out);
+                    if g.chance(0.5) {
+                        out.push_str("} else {\n");
+                        let mut inner = vars.clone();
+                        stmts(g, &mut inner, depth - 1, out);
+                    }
+                    out.push_str("}\n");
+                }
+                3 if depth > 0 => {
+                    let n = format!("k{}", vars.len());
+                    out.push_str(&format!("for (int {n} = 0; {n} < 3; {n} = {n} + 1) {{\n"));
+                    let mut inner = vars.clone();
+                    inner.push(n);
+                    stmts(g, &mut inner, depth - 1, out);
+                    out.push_str("}\n");
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut src = String::new();
+    for f in 0..1 + g.gen_index(3) {
+        let params = ["", "int a", "int a, int b"][g.gen_index(3)];
+        let mut vars: Vec<String> =
+            params.split(", ").filter(|p| !p.is_empty()).map(|p| p[4..].to_string()).collect();
+        src.push_str(&format!("int f{f}({params}) {{\n"));
+        stmts(&mut *g, &mut vars, 2, &mut src);
+        src.push_str(&format!("return {};\n}}\n", expr(g, &vars, 2)));
+    }
+    src
+}
+
+/// Pretty-printed programs re-parse, and printing the re-parsed program
+/// reproduces the text exactly (the printer is a fixpoint of
+/// print ∘ compile). Guards both directions: the printer emits valid
+/// surface syntax, and the front end preserves what it read.
+#[test]
+fn printer_roundtrip_reaches_fixpoint() {
+    let mut g = SplitMix64::new(0x1A_0007);
+    for case in 0..CASES {
+        let src = gen_program(&mut g);
+        let hir = compile_source(&src)
+            .unwrap_or_else(|e| panic!("case {case}: generated program rejected: {e}\n{src}"));
+        let printed = dynfb_lang::printer::print_program(&hir);
+        let rehir = compile_source(&printed).unwrap_or_else(|e| {
+            panic!("case {case}: printer output rejected: {e}\n--- printed ---\n{printed}")
+        });
+        let reprinted = dynfb_lang::printer::print_program(&rehir);
+        assert_eq!(printed, reprinted, "case {case}: printer not a fixpoint\n{src}");
+    }
+}
+
+/// The lexer never panics on arbitrary *byte* strings — including invalid
+/// UTF-8 sequences, which reach it via lossy decoding.
+#[test]
+fn lexer_never_panics_on_arbitrary_bytes() {
+    let mut g = SplitMix64::new(0x1A_0008);
+    for _ in 0..CASES {
+        let len = g.gen_index(256);
+        let bytes: Vec<u8> = (0..len).map(|_| g.gen_index(256) as u8).collect();
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = lex(&input);
+        let _ = parse(&input);
+    }
+}

@@ -37,19 +37,26 @@ impl ProcStats {
     /// attributes to the parallelization rather than synchronization).
     #[must_use]
     pub fn busy(&self) -> Duration {
-        self.compute + self.lock_time + self.wait_time + self.timer_time
+        self.compute
+            .saturating_add(self.lock_time)
+            .saturating_add(self.wait_time)
+            .saturating_add(self.timer_time)
     }
 
     /// Add another processor's stats (for machine-wide aggregation).
+    /// Saturates instead of panicking near `Duration::MAX`/`u64::MAX`, so a
+    /// pathological accumulation (e.g. a fault-frozen clock spinning a
+    /// processor forever) degrades to clamped totals rather than aborting
+    /// the whole report.
     pub fn accumulate(&mut self, other: &ProcStats) {
-        self.compute += other.compute;
-        self.lock_time += other.lock_time;
-        self.wait_time += other.wait_time;
-        self.barrier_wait += other.barrier_wait;
-        self.timer_time += other.timer_time;
-        self.acquires += other.acquires;
-        self.failed_attempts += other.failed_attempts;
-        self.timer_reads += other.timer_reads;
+        self.compute = self.compute.saturating_add(other.compute);
+        self.lock_time = self.lock_time.saturating_add(other.lock_time);
+        self.wait_time = self.wait_time.saturating_add(other.wait_time);
+        self.barrier_wait = self.barrier_wait.saturating_add(other.barrier_wait);
+        self.timer_time = self.timer_time.saturating_add(other.timer_time);
+        self.acquires = self.acquires.saturating_add(other.acquires);
+        self.failed_attempts = self.failed_attempts.saturating_add(other.failed_attempts);
+        self.timer_reads = self.timer_reads.saturating_add(other.timer_reads);
     }
 
     /// Componentwise difference (`self` is a later snapshot than `earlier`).
@@ -157,5 +164,32 @@ mod tests {
             finished_at: SimTime::ZERO + Duration::from_secs(2),
         };
         assert!((stats.waiting_proportion() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_saturates_at_the_limits() {
+        let mut a = ProcStats {
+            compute: Duration::MAX,
+            wait_time: Duration::MAX,
+            acquires: u64::MAX,
+            ..Default::default()
+        };
+        let b = ProcStats {
+            compute: Duration::from_secs(1),
+            wait_time: Duration::from_secs(1),
+            lock_time: Duration::from_secs(2),
+            acquires: 7,
+            failed_attempts: 3,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.compute, Duration::MAX);
+        assert_eq!(a.wait_time, Duration::MAX);
+        assert_eq!(a.acquires, u64::MAX);
+        // Unsaturated fields still add normally.
+        assert_eq!(a.lock_time, Duration::from_secs(2));
+        assert_eq!(a.failed_attempts, 3);
+        // Derived quantities clamp rather than overflow.
+        assert_eq!(a.busy(), Duration::MAX);
     }
 }

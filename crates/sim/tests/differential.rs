@@ -1,0 +1,141 @@
+//! Differential test: `run_app` (consuming) and `run_app_ref` (borrowing)
+//! must produce identical `AppReport`s for identical apps and configs —
+//! overheads, policy decisions, section records, final times. A divergence
+//! means the two entry points stopped sharing the same execution path.
+
+use dynfb_core::controller::ControllerConfig;
+use dynfb_core::rng::SplitMix64;
+use dynfb_sim::{
+    run_app, run_app_ref, ChaosProfile, FaultPlan, LockId, Machine, OpSink, PlanEntry, RunConfig,
+    RunMode, SimApp,
+};
+use std::time::Duration;
+
+const SLOTS: usize = 4;
+
+/// A deterministic lock-granularity workload in the style of the paper's
+/// policy spectrum: the version index controls how coarsely iterations
+/// lock the shared slots.
+struct GrainApp {
+    iters: usize,
+    work: Duration,
+    locks: Vec<LockId>,
+}
+
+impl GrainApp {
+    fn new(iters: usize, work: Duration) -> Self {
+        GrainApp { iters, work, locks: Vec::new() }
+    }
+}
+
+impl SimApp for GrainApp {
+    fn name(&self) -> &str {
+        "grain"
+    }
+    fn setup(&mut self, machine: &mut Machine) {
+        let first = machine.add_locks(SLOTS);
+        self.locks = (0..SLOTS).map(|i| first.offset(i)).collect();
+    }
+    fn plan(&self) -> Vec<PlanEntry> {
+        vec![PlanEntry::serial("init"), PlanEntry::parallel("work")]
+    }
+    fn versions(&self, _section: &str) -> Vec<String> {
+        ["original", "bounded", "aggressive"].iter().map(ToString::to_string).collect()
+    }
+    fn emit_serial(&mut self, _section: &str, ops: &mut OpSink) {
+        ops.compute(self.work * 8);
+    }
+    fn begin_parallel(&mut self, _section: &str) -> usize {
+        self.iters
+    }
+    fn emit_iteration(&mut self, _s: &str, version: usize, iter: usize, ops: &mut OpSink) {
+        let lock = self.locks[iter % SLOTS];
+        let batch = match version {
+            0 => 1,
+            1 => 4,
+            _ => 8,
+        };
+        for chunk in 0..(8 / batch) {
+            ops.acquire(lock);
+            for _ in 0..batch {
+                ops.compute(self.work + Duration::from_nanos((iter as u64 % 7) * (chunk as u64)));
+            }
+            ops.release(lock);
+        }
+    }
+}
+
+/// Draw a random but valid `RunConfig` (and the iteration count for the
+/// twin apps) from the given stream.
+fn random_config(rng: &mut SplitMix64) -> (RunConfig, usize) {
+    let procs = 1 + rng.gen_index(8);
+    let iters = 120 + rng.gen_index(240);
+    let mut cfg = match rng.gen_index(4) {
+        0 => {
+            let policy = ["original", "bounded", "aggressive"][rng.gen_index(3)];
+            let mut cfg = RunConfig::fixed(procs, policy);
+            if rng.chance(0.5) {
+                cfg.mode = RunMode::Static { policy: policy.to_string(), instrumented: true };
+            }
+            cfg
+        }
+        mode => {
+            let ctl = ControllerConfig {
+                num_policies: 3,
+                target_sampling: Duration::from_micros(100 + rng.gen_range_i64(0, 900) as u64),
+                target_production: Duration::from_millis(2 + rng.gen_range_i64(0, 30) as u64),
+                ..ControllerConfig::default()
+            };
+            let mut cfg = if mode == 3 {
+                let mut c = RunConfig::dynamic(procs, ctl.clone());
+                c.mode = RunMode::DynamicAsync(ctl);
+                c
+            } else {
+                RunConfig::dynamic(procs, ctl)
+            };
+            cfg.span_intervals = rng.chance(0.3);
+            if rng.chance(0.3) {
+                cfg = cfg.with_watchdog(4 + rng.gen_index(8) as u32);
+            }
+            cfg
+        }
+    };
+    if rng.chance(0.4) {
+        let profile = ChaosProfile {
+            horizon: Duration::from_millis(5 + rng.gen_range_i64(0, 40) as u64),
+            procs,
+            locks: SLOTS,
+            events: 1 + rng.gen_index(3),
+        };
+        cfg = cfg.with_faults(FaultPlan::random(rng.next_u64(), &profile));
+    }
+    (cfg, iters)
+}
+
+#[test]
+fn run_app_and_run_app_ref_agree_on_seeded_random_configs() {
+    let mut rng = SplitMix64::new(0xD1FF_0001);
+    for case in 0..24 {
+        let (cfg, iters) = random_config(&mut rng);
+        let work = Duration::from_micros(3);
+        let consumed = run_app(GrainApp::new(iters, work), &cfg)
+            .unwrap_or_else(|e| panic!("case {case}: run_app failed: {e}"));
+        let mut twin = GrainApp::new(iters, work);
+        let borrowed = run_app_ref(&mut twin, &cfg)
+            .unwrap_or_else(|e| panic!("case {case}: run_app_ref failed: {e}"));
+        assert_eq!(consumed.app, borrowed.app, "case {case}: app name");
+        assert_eq!(consumed.stats, borrowed.stats, "case {case}: machine stats ({cfg:?})");
+        assert_eq!(consumed.sections, borrowed.sections, "case {case}: section records ({cfg:?})");
+    }
+}
+
+#[test]
+fn repeated_run_app_ref_on_a_fresh_twin_matches_itself() {
+    // Guards the subtle failure mode where `run_app_ref` leaves residue in
+    // the app that changes a second run through the same entry point.
+    let cfg = RunConfig::fixed(4, "bounded");
+    let a = run_app_ref(&mut GrainApp::new(200, Duration::from_micros(3)), &cfg).unwrap();
+    let b = run_app_ref(&mut GrainApp::new(200, Duration::from_micros(3)), &cfg).unwrap();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.sections, b.sections);
+}

@@ -117,3 +117,104 @@ fn sample_overheads_are_proportions() {
         assert!(m.execution == a.execution + b.execution);
     }
 }
+
+/// `work_difference` (Equation 6, the optimal algorithm's lead over dynamic
+/// feedback per cycle) is strictly increasing in the production interval:
+/// its derivative `1 − e^{−λp}` is positive for all `p > 0`.
+#[test]
+fn work_difference_is_monotone_in_production_interval() {
+    let mut g = SplitMix64::new(0x0007_E006);
+    for _ in 0..CASES {
+        let s = g.gen_f64(0.05, 3.0);
+        let n = g.gen_index(4) + 1;
+        let lambda = g.gen_f64(0.005, 0.5);
+        let a = Analysis::new(s, n, lambda).unwrap();
+        let p = g.gen_f64(0.01, 100.0);
+        let step = g.gen_f64(0.01, 50.0);
+        assert!(
+            a.work_difference(p + step) > a.work_difference(p),
+            "work difference must grow with p (s={s}, n={n}, λ={lambda}, p={p}, step={step})"
+        );
+        // And it is never below the fixed sampling cost S·N of the cycle.
+        assert!(a.work_difference(p) >= a.sampling_total() - 1e-9);
+    }
+}
+
+/// Loosening the performance bound widens the feasible region: anything
+/// feasible at ε is feasible at any larger ε, and the computed region
+/// nests accordingly.
+#[test]
+fn feasible_region_widens_with_epsilon() {
+    let mut g = SplitMix64::new(0x0007_E007);
+    for _ in 0..CASES {
+        let s = g.gen_f64(0.05, 3.0);
+        let n = g.gen_index(4) + 1;
+        let lambda = g.gen_f64(0.005, 0.5);
+        let a = Analysis::new(s, n, lambda).unwrap();
+        let e1 = g.gen_f64(0.05, 0.9);
+        let e2 = e1 + g.gen_f64(0.01, 0.95 - e1 * 0.9).min(0.99 - e1);
+        let (e1, e2) = (e1.min(e2), e1.max(e2));
+        match (a.feasible_region(e1).unwrap(), a.feasible_region(e2).unwrap()) {
+            (Some((lo1, hi1)), Some((lo2, hi2))) => {
+                assert!(lo2 <= lo1 + 1e-6, "lower edge must not shrink: {lo2} > {lo1}");
+                assert!(hi2 >= hi1 - 1e-6, "upper edge must not shrink: {hi2} < {hi1}");
+            }
+            (Some((lo1, hi1)), None) => {
+                panic!("region vanished as ε grew: ε={e1} gave [{lo1},{hi1}], ε={e2} gave none")
+            }
+            // Empty at the tight bound is fine, and trivially nested.
+            (None, _) => {}
+        }
+    }
+}
+
+/// P_opt shrinks as the decay rate λ grows: in a faster-changing
+/// environment, stale policy choices go bad sooner and resampling must
+/// happen more often.
+#[test]
+fn optimal_interval_shrinks_as_decay_grows() {
+    let mut g = SplitMix64::new(0x0007_E008);
+    for _ in 0..CASES {
+        let s = g.gen_f64(0.05, 3.0);
+        let n = g.gen_index(4) + 1;
+        let l1 = g.gen_f64(0.005, 0.3);
+        let l2 = l1 + g.gen_f64(0.01, 0.3);
+        let p1 = Analysis::new(s, n, l1).unwrap().optimal_production_interval();
+        let p2 = Analysis::new(s, n, l2).unwrap().optimal_production_interval();
+        assert!(p2 < p1 + 1e-9, "P_opt must shrink: λ={l1}→{p1}, λ={l2}→{p2}");
+    }
+}
+
+/// The overhead bound functions respect their defining inequalities: the
+/// selected policy's worst case decays toward 1 from above, the
+/// competitor's best case decays toward 0, and both are monotone in `t`.
+#[test]
+fn overhead_bounds_are_monotone_in_time() {
+    let mut g = SplitMix64::new(0x0007_E009);
+    for _ in 0..CASES {
+        let a =
+            Analysis::new(g.gen_f64(0.05, 3.0), g.gen_index(4) + 1, g.gen_f64(0.005, 0.5)).unwrap();
+        let v = g.gen_f64(1.0, 5.0);
+        let t = g.gen_f64(0.0, 50.0);
+        let dt = g.gen_f64(0.01, 20.0);
+        assert!(a.selected_overhead(v, t + dt) <= a.selected_overhead(v, t) + 1e-12);
+        assert!(a.selected_overhead(v, t) >= 1.0 - 1e-12);
+        assert!(a.competitor_overhead(v, t + dt) <= a.competitor_overhead(v, t) + 1e-12);
+        assert!(a.competitor_overhead(v, t) >= 0.0);
+    }
+}
+
+/// The public result-bearing types are `Send` (the bench engine moves them
+/// across worker threads) — a compile-time contract, checked here so a
+/// regression fails loudly in this suite rather than deep inside the
+/// engine's trait bounds.
+#[test]
+fn result_types_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<dynfb::sim::RunConfig>();
+    assert_send::<dynfb::sim::AppReport>();
+    assert_send::<dynfb::sim::MachineConfig>();
+    assert_send::<dynfb::sim::FaultPlan>();
+    assert_send::<dynfb::sim::MachineStats>();
+    assert_send::<dynfb::core::controller::ControllerConfig>();
+}
