@@ -1,0 +1,182 @@
+//! VM-tier throughput microbenchmark and perf gate.
+//!
+//! Runs barnes-hut under both execution tiers — the register-based
+//! bytecode VM and the tree-walking oracle — on identical `RunConfig`s,
+//! measures host wall time (best of N repeats), and reports simulated
+//! operations per host second. Because both tiers emit bit-identical step
+//! sequences (asserted here on every run), the simulated work is the same
+//! numerator for both, so the throughput ratio is exactly the host-time
+//! ratio.
+//!
+//! Usage: `cargo run --release -p dynfb-bench --bin vm_throughput -- \
+//!     [--procs N] [--bodies N] [--steps N] [--repeats N] [--min-ratio R]`
+//!
+//! Exits nonzero when the VM's throughput is below `--min-ratio` (default
+//! 2.0) times the tree-walker's — the CI perf smoke gate. Host timings are
+//! scratch, never canonical: they go to the git-ignored
+//! `BENCH_TIMINGS.json` (overwriting it, like the experiments runner
+//! does), keeping `BENCH_RESULTS.json` byte-stable by construction.
+
+use dynfb_apps::barnes_hut::{barnes_hut, BarnesHutConfig};
+use dynfb_compiler::ExecTier;
+use dynfb_sim::{run_app_ref, AppReport, RunConfig};
+use std::time::{Duration, Instant};
+
+const USAGE: &str =
+    "usage: vm_throughput [--procs N] [--bodies N] [--steps N] [--repeats N] [--min-ratio R]
+
+  --procs N      simulated processors (default: 8)
+  --bodies N     barnes-hut bodies (default: 256)
+  --steps N      barnes-hut time steps (default: 2)
+  --repeats N    host-timing repeats, best-of (default: 3)
+  --min-ratio R  fail unless vm/tree throughput >= R (default: 2.0)";
+
+struct Opts {
+    procs: usize,
+    bodies: usize,
+    steps: usize,
+    repeats: usize,
+    min_ratio: f64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts { procs: 8, bodies: 256, steps: 2, repeats: 3, min_ratio: 2.0 };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        let bad = |v: &str| -> ! {
+            eprintln!("invalid value `{v}` for {flag}\n{USAGE}");
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--procs" => {
+                let v = value("a count");
+                opts.procs = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--bodies" => {
+                let v = value("a count");
+                opts.bodies = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--steps" => {
+                let v = value("a count");
+                opts.steps = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--repeats" => {
+                let v = value("a count");
+                opts.repeats = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--min-ratio" => {
+                let v = value("a ratio");
+                opts.min_ratio = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts.repeats = opts.repeats.max(1);
+    opts
+}
+
+/// Best-of-N host time for one tier, plus the (tier-independent) report
+/// of the last run for cross-checking.
+fn measure(opts: &Opts, tier: ExecTier, cfg: &RunConfig) -> (Duration, AppReport) {
+    let bh =
+        BarnesHutConfig { bodies: opts.bodies, steps: opts.steps, ..BarnesHutConfig::default() };
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..opts.repeats {
+        // A fresh app per repeat: runs mutate the heap, and identical
+        // inputs keep the simulated work identical across tiers.
+        let mut app = barnes_hut(&bh);
+        app.set_exec_tier(tier);
+        let started = Instant::now();
+        let report = run_app_ref(&mut app, cfg).expect("barnes-hut runs");
+        best = best.min(started.elapsed());
+        last = Some(report);
+    }
+    (best, last.expect("at least one repeat"))
+}
+
+fn main() {
+    let opts = parse_opts();
+    let cfg = RunConfig::fixed(opts.procs, "original");
+
+    let (vm_time, vm_report) = measure(&opts, ExecTier::Vm, &cfg);
+    let (tree_time, tree_report) = measure(&opts, ExecTier::TreeWalker, &cfg);
+
+    // The determinism contract, enforced on the real workload: both tiers
+    // must have produced the same simulation.
+    assert_eq!(vm_report.stats, tree_report.stats, "tier reports diverged (stats)");
+    assert_eq!(vm_report.sections, tree_report.sections, "tier reports diverged (sections)");
+
+    // Simulated work ≈ charged node costs; identical for both tiers, so
+    // any ops proxy cancels in the ratio. Use charged compute nanos.
+    let sim_ns = vm_report.stats.totals().compute.as_nanos();
+    let ops_per_sec = |host: Duration| sim_ns as f64 / 1e3 / host.as_secs_f64();
+    let vm_tp = ops_per_sec(vm_time);
+    let tree_tp = ops_per_sec(tree_time);
+    let ratio = tree_time.as_secs_f64() / vm_time.as_secs_f64();
+
+    println!(
+        "barnes-hut: {} bodies, {} steps, {} procs, policy original, best of {}",
+        opts.bodies, opts.steps, opts.procs, opts.repeats
+    );
+    println!("  simulated compute: {:.3} ms", sim_ns as f64 / 1e6);
+    println!("  vm:          {:>9.1} ms host, {vm_tp:>12.0} sim-ops/s", ms(vm_time));
+    println!("  tree-walker: {:>9.1} ms host, {tree_tp:>12.0} sim-ops/s", ms(tree_time));
+    println!("  speedup: {ratio:.2}x (gate: >= {:.2}x)", opts.min_ratio);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"vm_throughput\",\n",
+            "  \"app\": \"barnes-hut\",\n",
+            "  \"bodies\": {},\n",
+            "  \"steps\": {},\n",
+            "  \"procs\": {},\n",
+            "  \"policy\": \"original\",\n",
+            "  \"repeats\": {},\n",
+            "  \"simulated_compute_ns\": {},\n",
+            "  \"vm_host_seconds\": {:.6},\n",
+            "  \"vm_sim_ops_per_host_second\": {:.0},\n",
+            "  \"tree_host_seconds\": {:.6},\n",
+            "  \"tree_sim_ops_per_host_second\": {:.0},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"min_ratio\": {:.3}\n",
+            "}}\n"
+        ),
+        opts.bodies,
+        opts.steps,
+        opts.procs,
+        opts.repeats,
+        sim_ns,
+        vm_time.as_secs_f64(),
+        vm_tp,
+        tree_time.as_secs_f64(),
+        tree_tp,
+        ratio,
+        opts.min_ratio,
+    );
+    std::fs::write("BENCH_TIMINGS.json", &json).expect("write timings json");
+    println!("Wrote BENCH_TIMINGS.json ({} bytes)", json.len());
+
+    if ratio < opts.min_ratio {
+        eprintln!("FAIL: vm speedup {ratio:.2}x is below the {:.2}x gate", opts.min_ratio);
+        std::process::exit(1);
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

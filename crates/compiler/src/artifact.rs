@@ -26,6 +26,7 @@ use crate::effects::EffectsMap;
 use crate::interp::{CostModel, Heap, HostRegistry, Interp, ProgramEnv, Value};
 use crate::lockplace::insert_default_regions;
 use crate::syncopt::{optimize, FnSet, Policy};
+use crate::vm::{lower_body, lower_functions, ExecTier, Vm, VmModule};
 use dynfb_lang::hir::{body_size, Expr, Function, Hir, LocalId, Stmt, Ty};
 use dynfb_sim::{LockId, Machine, OpSink, PlanEntry, SectionKind, SimApp};
 use std::collections::HashMap;
@@ -105,6 +106,17 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// Lowered bytecode of one section version.
+#[derive(Debug, Clone)]
+pub struct VmCode {
+    /// Module with one lowered function per [`VersionCode::functions`]
+    /// entry (same indices), plus the iteration body appended as a
+    /// pseudo-function.
+    pub module: VmModule,
+    /// Index of the iteration-body pseudo-function in `module`.
+    pub body_fn: usize,
+}
+
 /// One generated code version of a parallel section.
 #[derive(Debug, Clone)]
 pub struct VersionCode {
@@ -123,6 +135,8 @@ pub struct VersionCode {
     pub body: Vec<Stmt>,
     /// Types of the section function's locals (iteration frame layout).
     pub locals_ty: Vec<Ty>,
+    /// Bytecode for the fast execution tier.
+    pub vm: VmCode,
 }
 
 impl VersionCode {
@@ -221,6 +235,8 @@ pub struct CompiledApp {
     plan: Vec<PlanEntry>,
     /// Base (serial) function table, used by serial sections.
     serial_funcs: Vec<Function>,
+    /// `serial_funcs` lowered to bytecode (the VM tier of serial sections).
+    vm_serial: VmModule,
     sections: HashMap<String, SectionCode>,
     env: ProgramEnv,
     cost: CostModel,
@@ -230,6 +246,10 @@ pub struct CompiledApp {
     /// Per-section (start, count) of the active parallel execution.
     active: HashMap<String, (i64, usize)>,
     hir: Hir,
+    /// Which tier executes compiled code (the bytecode VM by default).
+    tier: ExecTier,
+    /// Register-stack scratch reused by the VM across runs and iterations.
+    vm_regs: Vec<Value>,
 }
 
 impl fmt::Debug for CompiledApp {
@@ -252,14 +272,16 @@ impl fmt::Debug for CompiledApp {
 pub fn compile(
     hir: Hir,
     options: CompileOptions,
-    host: HostRegistry,
+    mut host: HostRegistry,
 ) -> Result<CompiledApp, CompileError> {
-    // Externs must all be implemented.
+    // Externs must all be implemented; resolve them to dense indices now
+    // so no run pays the name lookup.
     for e in &hir.externs {
         if !host.contains(&e.name) {
             return Err(CompileError::MissingHostFn(e.name.clone()));
         }
     }
+    host.link(&hir.externs);
     let callgraph = CallGraph::build(&hir);
     let effects = EffectsMap::build(&hir, &callgraph);
 
@@ -321,6 +343,10 @@ pub fn compile(
             let [Stmt::CountedFor { var, start, bound, body }] = f.body.as_slice() else {
                 unreachable!("validated above; policies preserve the loop shape");
             };
+            let locals_ty: Vec<Ty> = f.locals.iter().map(|l| l.ty.clone()).collect();
+            let mut module = lower_functions(funcs);
+            let body_fn = module.funcs.len();
+            module.funcs.push(lower_body("$body", body, &locals_ty));
             VersionCode {
                 name: String::new(),
                 functions: funcs.to_vec(),
@@ -328,7 +354,8 @@ pub fn compile(
                 start: start.clone(),
                 bound: bound.clone(),
                 body: body.clone(),
-                locals_ty: f.locals.iter().map(|l| l.ty.clone()).collect(),
+                locals_ty,
+                vm: VmCode { module, body_fn },
             }
         };
         let mut versions: Vec<VersionCode> = Vec::new();
@@ -359,6 +386,7 @@ pub fn compile(
     Ok(CompiledApp {
         name: options.name,
         plan: options.plan,
+        vm_serial: lower_functions(&hir.functions),
         serial_funcs: hir.functions.clone(),
         sections,
         env: ProgramEnv {
@@ -374,6 +402,8 @@ pub fn compile(
         lock_base: None,
         active: HashMap::new(),
         hir,
+        tier: ExecTier::default(),
+        vm_regs: Vec::new(),
     })
 }
 
@@ -382,6 +412,20 @@ impl CompiledApp {
     #[must_use]
     pub fn sections(&self) -> &HashMap<String, SectionCode> {
         &self.sections
+    }
+
+    /// The active execution tier.
+    #[must_use]
+    pub fn exec_tier(&self) -> ExecTier {
+        self.tier
+    }
+
+    /// Select the execution tier: the bytecode VM (default) or the
+    /// tree-walking oracle. Both emit bit-identical step sequences, so
+    /// switching tiers never changes simulation results — only how fast
+    /// the host produces them.
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.tier = tier;
     }
 
     /// The analyzed HIR.
@@ -510,12 +554,36 @@ impl SimApp for CompiledApp {
     fn emit_serial(&mut self, section: &str, ops: &mut OpSink) {
         let func = self.hir.function_named(section).expect("validated at compile time");
         let lock_base = self.lock_base.expect("setup ran");
-        let CompiledApp { env, serial_funcs, cost, fuel, max_objects, .. } = self;
-        let mut interp =
-            Self::interp(env, serial_funcs, *cost, *fuel, lock_base, *max_objects, ops);
-        interp
-            .call(func.0, None, vec![])
-            .unwrap_or_else(|e| panic!("serial section `{section}` failed: {e}"));
+        let CompiledApp {
+            env,
+            serial_funcs,
+            vm_serial,
+            vm_regs,
+            cost,
+            fuel,
+            max_objects,
+            tier,
+            ..
+        } = self;
+        let result =
+            match tier {
+                ExecTier::Vm => Vm {
+                    env,
+                    module: vm_serial,
+                    cost: *cost,
+                    sink: ops,
+                    lock_base,
+                    lock_capacity: *max_objects,
+                    fuel: *fuel,
+                    regs: vm_regs,
+                }
+                .call(func.0, None, &[]),
+                ExecTier::TreeWalker => {
+                    Self::interp(env, serial_funcs, *cost, *fuel, lock_base, *max_objects, ops)
+                        .call(func.0, None, vec![])
+                }
+            };
+        result.map(|_| ()).unwrap_or_else(|e| panic!("serial section `{section}` failed: {e}"));
     }
 
     fn begin_parallel(&mut self, section: &str) -> usize {
@@ -548,22 +616,37 @@ impl SimApp for CompiledApp {
     fn emit_iteration(&mut self, section: &str, version: usize, iter: usize, ops: &mut OpSink) {
         let (start, _count) = self.active[section];
         let lock_base = self.lock_base.expect("setup ran");
-        let CompiledApp { env, sections, cost, fuel, max_objects, .. } = self;
+        let CompiledApp { env, sections, vm_regs, cost, fuel, max_objects, tier, .. } = self;
         let sc = &sections[section];
         let vc = if version == sc.versions.len() { &sc.serial } else { &sc.versions[version] };
-        let mut locals: Vec<Value> = vc.locals_ty.iter().map(Value::default_for).collect();
-        locals[vc.var.0] = Value::Int(start + iter as i64);
-        let mut interp = Interp {
-            env,
-            funcs: &vc.functions,
-            cost: *cost,
-            sink: ops,
-            lock_base,
-            lock_capacity: *max_objects,
-            fuel: *fuel,
+        let value = start + iter as i64;
+        let result = match tier {
+            ExecTier::Vm => Vm {
+                env,
+                module: &vc.vm.module,
+                cost: *cost,
+                sink: ops,
+                lock_base,
+                lock_capacity: *max_objects,
+                fuel: *fuel,
+                regs: vm_regs,
+            }
+            .exec_iteration(vc.vm.body_fn, vc.var.0, value),
+            ExecTier::TreeWalker => {
+                let mut locals: Vec<Value> = vc.locals_ty.iter().map(Value::default_for).collect();
+                locals[vc.var.0] = Value::Int(value);
+                let mut interp = Interp {
+                    env,
+                    funcs: &vc.functions,
+                    cost: *cost,
+                    sink: ops,
+                    lock_base,
+                    lock_capacity: *max_objects,
+                    fuel: *fuel,
+                };
+                interp.exec_body(&vc.body, locals, None).map(|_| ())
+            }
         };
-        interp
-            .exec_body(&vc.body, locals, None)
-            .unwrap_or_else(|e| panic!("iteration {iter} of `{section}` failed: {e}"));
+        result.unwrap_or_else(|e| panic!("iteration {iter} of `{section}` failed: {e}"));
     }
 }

@@ -149,10 +149,22 @@ impl fmt::Debug for HostFn {
 }
 
 /// Registry of host functions, keyed by extern name.
+///
+/// Host functions are stored densely; the name map is consulted only at
+/// registration and link time. [`link`](HostRegistry::link) resolves every
+/// program extern to its dense index once, so the per-call hot path is a
+/// single slice access instead of a `String` clone plus hash lookup.
 #[derive(Debug, Default)]
 pub struct HostRegistry {
-    fns: HashMap<String, HostFn>,
+    fns: Vec<HostFn>,
+    by_name: HashMap<String, usize>,
+    /// Extern id → index into `fns`; `usize::MAX` marks an unimplemented
+    /// extern. Rebuilt lazily whenever the registry changes.
+    resolved: Vec<usize>,
 }
+
+/// Sentinel in [`HostRegistry::resolved`] for externs with no host.
+const UNRESOLVED: usize = usize::MAX;
 
 impl HostRegistry {
     /// Empty registry.
@@ -161,20 +173,63 @@ impl HostRegistry {
         HostRegistry::default()
     }
 
-    /// Register a host function.
+    /// Register a host function. Re-registering a name replaces the
+    /// previous implementation.
     pub fn register(
         &mut self,
         name: &str,
         cost: Duration,
         call: impl FnMut(&[Value]) -> Value + Send + 'static,
     ) {
-        self.fns.insert(name.to_string(), HostFn { cost, call: Box::new(call) });
+        let f = HostFn { cost, call: Box::new(call) };
+        match self.by_name.get(name) {
+            Some(&i) => self.fns[i] = f,
+            None => {
+                self.by_name.insert(name.to_string(), self.fns.len());
+                self.fns.push(f);
+            }
+        }
+        // Any change invalidates the link table; it is rebuilt on demand.
+        self.resolved.clear();
     }
 
     /// Whether `name` is registered.
     #[must_use]
     pub fn contains(&self, name: &str) -> bool {
-        self.fns.contains_key(name)
+        self.by_name.contains_key(name)
+    }
+
+    /// Resolve every extern of a program to its dense host-fn index. Called
+    /// once at compile/link time; extern calls afterwards are index lookups.
+    pub fn link(&mut self, externs: &[Extern]) {
+        self.resolved = externs
+            .iter()
+            .map(|e| self.by_name.get(&e.name).copied().unwrap_or(UNRESOLVED))
+            .collect();
+    }
+
+    /// Fetch the host function for extern `ext`, linking lazily if the
+    /// registry changed (or was never linked) since the last call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error when the extern has no host implementation.
+    pub fn dispatch(
+        &mut self,
+        ext: usize,
+        externs: &[Extern],
+    ) -> Result<&mut HostFn, RuntimeError> {
+        if self.resolved.len() != externs.len() {
+            self.link(externs);
+        }
+        let idx = self.resolved[ext];
+        if idx == UNRESOLVED {
+            return Err(RuntimeError::new(format!(
+                "extern `{}` has no host implementation",
+                externs[ext].name
+            )));
+        }
+        Ok(&mut self.fns[idx])
     }
 }
 
@@ -432,7 +487,7 @@ impl<'a> Interp<'a> {
             ExprKind::Binary { op, lhs, rhs } => {
                 let l = self.eval(lhs, frame)?;
                 let r = self.eval(rhs, frame)?;
-                self.binary(*op, l, r)?
+                binary_op(*op, l, r)?
             }
             ExprKind::Unary { op, expr } => {
                 let v = self.eval(expr, frame)?;
@@ -469,13 +524,12 @@ impl<'a> Interp<'a> {
             }
             ExprKind::CallExtern { ext, args } => {
                 let argv = self.eval_args(args, frame)?;
-                let name = self.env.externs[ext.0].name.clone();
-                let host = self.env.host.fns.get_mut(&name).ok_or_else(|| {
-                    RuntimeError::new(format!("extern `{name}` has no host implementation"))
-                })?;
-                let cost = if host.cost.is_zero() { self.cost.extern_default } else { host.cost };
+                let ProgramEnv { host, externs, .. } = &mut *self.env;
+                let host_fn = host.dispatch(ext.0, externs)?;
+                let cost =
+                    if host_fn.cost.is_zero() { self.cost.extern_default } else { host_fn.cost };
                 self.sink.compute(cost);
-                (host.call)(&argv)
+                (host_fn.call)(&argv)
             }
             ExprKind::New { class } => {
                 let id = self.env.heap.alloc_object(class.0, &self.env.classes);
@@ -499,48 +553,51 @@ impl<'a> Interp<'a> {
         }
         Ok(out)
     }
+}
 
-    fn binary(&self, op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
-        use Value::{Bool, Double, Int};
-        Ok(match (op, l, r) {
-            (BinOp::Add, Int(a), Int(b)) => Int(a.wrapping_add(b)),
-            (BinOp::Sub, Int(a), Int(b)) => Int(a.wrapping_sub(b)),
-            (BinOp::Mul, Int(a), Int(b)) => Int(a.wrapping_mul(b)),
-            (BinOp::Div, Int(a), Int(b)) => {
-                if b == 0 {
-                    return Err(RuntimeError::new("integer division by zero"));
-                }
-                Int(a.wrapping_div(b))
+/// Apply a binary operator to two values. Shared by the tree-walker and
+/// the bytecode VM so both tiers have identical numeric semantics and
+/// error messages.
+pub(crate) fn binary_op(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+    use Value::{Bool, Double, Int};
+    Ok(match (op, l, r) {
+        (BinOp::Add, Int(a), Int(b)) => Int(a.wrapping_add(b)),
+        (BinOp::Sub, Int(a), Int(b)) => Int(a.wrapping_sub(b)),
+        (BinOp::Mul, Int(a), Int(b)) => Int(a.wrapping_mul(b)),
+        (BinOp::Div, Int(a), Int(b)) => {
+            if b == 0 {
+                return Err(RuntimeError::new("integer division by zero"));
             }
-            (BinOp::Rem, Int(a), Int(b)) => {
-                if b == 0 {
-                    return Err(RuntimeError::new("integer remainder by zero"));
-                }
-                Int(a.wrapping_rem(b))
+            Int(a.wrapping_div(b))
+        }
+        (BinOp::Rem, Int(a), Int(b)) => {
+            if b == 0 {
+                return Err(RuntimeError::new("integer remainder by zero"));
             }
-            (BinOp::Add, Double(a), Double(b)) => Double(a + b),
-            (BinOp::Sub, Double(a), Double(b)) => Double(a - b),
-            (BinOp::Mul, Double(a), Double(b)) => Double(a * b),
-            (BinOp::Div, Double(a), Double(b)) => Double(a / b),
-            (BinOp::Lt, Int(a), Int(b)) => Bool(a < b),
-            (BinOp::Le, Int(a), Int(b)) => Bool(a <= b),
-            (BinOp::Gt, Int(a), Int(b)) => Bool(a > b),
-            (BinOp::Ge, Int(a), Int(b)) => Bool(a >= b),
-            (BinOp::Lt, Double(a), Double(b)) => Bool(a < b),
-            (BinOp::Le, Double(a), Double(b)) => Bool(a <= b),
-            (BinOp::Gt, Double(a), Double(b)) => Bool(a > b),
-            (BinOp::Ge, Double(a), Double(b)) => Bool(a >= b),
-            (BinOp::Eq, a, b) => Bool(a == b),
-            (BinOp::Ne, a, b) => Bool(a != b),
-            (BinOp::And, Bool(a), Bool(b)) => Bool(a && b),
-            (BinOp::Or, Bool(a), Bool(b)) => Bool(a || b),
-            (op, l, r) => {
-                return Err(RuntimeError::new(format!(
-                    "type error in binary op {op:?} on {l:?}, {r:?}"
-                )))
-            }
-        })
-    }
+            Int(a.wrapping_rem(b))
+        }
+        (BinOp::Add, Double(a), Double(b)) => Double(a + b),
+        (BinOp::Sub, Double(a), Double(b)) => Double(a - b),
+        (BinOp::Mul, Double(a), Double(b)) => Double(a * b),
+        (BinOp::Div, Double(a), Double(b)) => Double(a / b),
+        (BinOp::Lt, Int(a), Int(b)) => Bool(a < b),
+        (BinOp::Le, Int(a), Int(b)) => Bool(a <= b),
+        (BinOp::Gt, Int(a), Int(b)) => Bool(a > b),
+        (BinOp::Ge, Int(a), Int(b)) => Bool(a >= b),
+        (BinOp::Lt, Double(a), Double(b)) => Bool(a < b),
+        (BinOp::Le, Double(a), Double(b)) => Bool(a <= b),
+        (BinOp::Gt, Double(a), Double(b)) => Bool(a > b),
+        (BinOp::Ge, Double(a), Double(b)) => Bool(a >= b),
+        (BinOp::Eq, a, b) => Bool(a == b),
+        (BinOp::Ne, a, b) => Bool(a != b),
+        (BinOp::And, Bool(a), Bool(b)) => Bool(a && b),
+        (BinOp::Or, Bool(a), Bool(b)) => Bool(a || b),
+        (op, l, r) => {
+            return Err(RuntimeError::new(format!(
+                "type error in binary op {op:?} on {l:?}, {r:?}"
+            )))
+        }
+    })
 }
 
 struct Frame {

@@ -21,7 +21,12 @@
 //!    Aggressive policies.
 //! 6. [`artifact`] — multi-version packaging with shared-code
 //!    deduplication; the result implements `dynfb_sim::SimApp` and runs on
-//!    the simulated multiprocessor via [`interp`].
+//!    the simulated multiprocessor.
+//!
+//! Compiled code executes on one of two tiers: the register-based
+//! bytecode VM ([`vm`], the default) or the tree-walking interpreter
+//! ([`interp`], the reference oracle). Both emit bit-identical simulation
+//! step sequences; see `DESIGN.md` for the determinism contract.
 
 #![warn(missing_docs)]
 
@@ -33,7 +38,9 @@ pub mod interp;
 pub mod lockplace;
 pub mod symbolic;
 pub mod syncopt;
+pub mod vm;
 
 pub use artifact::{compile, CompileError, CompileOptions, CompiledApp};
 pub use interp::{CostModel, HostRegistry, Value};
 pub use syncopt::Policy;
+pub use vm::ExecTier;

@@ -1,0 +1,408 @@
+//! Differential fuzz: the bytecode VM versus the tree-walking oracle.
+//!
+//! Two layers:
+//!
+//! 1. **Function level** — seeded random programs (loops, conditionals,
+//!    heap traffic, method and extern calls, occasional runtime errors)
+//!    executed by both tiers, with and without compiler-inserted critical
+//!    regions. Return value, final heap, globals, error messages, and the
+//!    exact `OpSink` step sequence must match.
+//! 2. **Application level** — the end-to-end n-body app executed under
+//!    seeded random `RunConfig`s (static/instrumented/dynamic/async modes,
+//!    watchdogs, fault plans) once per tier. Machine statistics, overhead
+//!    samples, policy-switch traces, section records, final heap, and
+//!    globals must match.
+
+use dynfb_compiler::artifact::{compile, CompileOptions, CompiledApp};
+use dynfb_compiler::interp::{
+    CostModel, Heap, HostRegistry, Interp, ProgramEnv, RuntimeError, Value,
+};
+use dynfb_compiler::lockplace::insert_default_regions;
+use dynfb_compiler::vm::{lower_functions, ExecTier, Vm};
+use dynfb_core::controller::ControllerConfig;
+use dynfb_core::rng::SplitMix64;
+use dynfb_lang::hir::Function;
+use dynfb_sim::{
+    run_app_ref, ChaosProfile, FaultPlan, LockId, Machine, OpSink, PlanEntry, RunConfig, RunMode,
+    Step,
+};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Function-level fuzz
+// ---------------------------------------------------------------------------
+
+/// Shared scaffolding every generated program starts from: globals, a
+/// lockable class with update methods, an extern, and a `test` driver with
+/// a pool of pre-declared locals the random statements reference.
+const PRELUDE: &str = "
+    extern double mix2(double, double);
+    int gi;
+    double gd;
+    class cell {
+        int a;
+        double b;
+        void bump(int n) { this.a += n; gi = gi + 1; }
+        void scale(double f) { this.b = this.b * f + 1.0; gd += f; }
+        int get() { return this.a; }
+    }
+    int test(int n) {
+        int acc = n;
+        int j = 0;
+        double x = 1.5;
+        cell c = new cell();
+        cell nullc = null;
+        cell[] cells = new cell[4];
+        for (int i = 0; i < 4; i++) { cells[i] = new cell(); }
+";
+
+/// Append 3–8 random statements drawn from templates that exercise every
+/// instruction class, including low-probability error paths (division by
+/// a value that may be zero, a method call on a possibly-null receiver).
+fn gen_program(rng: &mut SplitMix64) -> String {
+    let mut src = String::from(PRELUDE);
+    let n_stmts = 3 + rng.gen_index(6);
+    for _ in 0..n_stmts {
+        let k = 1 + rng.gen_range_i64(0, 9);
+        let m = 2 + rng.gen_range_i64(0, 12);
+        let stmt = match rng.gen_index(10) {
+            0 => format!("acc = acc + {k};\n"),
+            1 => format!(
+                "for (int i = 0; i < {m}; i++) {{ acc += i * {k}; cells[i % 4].bump(i); }}\n"
+            ),
+            2 => format!(
+                "if (acc % 2 == 0) {{ x = x * 1.25; }} else {{ acc -= {k}; gd = gd + x; }}\n"
+            ),
+            3 => format!("j = {m}; while (j > 0) {{ j = j - 1; c.scale(0.5); }}\n"),
+            4 => "x = mix2(x, acc * 0.25);\n".to_string(),
+            5 => format!("acc = acc + c.get() + cells[{}].get();\n", rng.gen_index(4)),
+            6 => format!("gi = gi + acc % {k}; c.bump(gi);\n"),
+            7 => format!("x = -x + {k} * 0.5; acc = acc + cells.length;\n"),
+            // Errors iff `acc % {m}` happens to be zero here.
+            8 => format!("acc = {k} + acc / (acc % {m});\n"),
+            // Errors iff the guard happens to hold.
+            _ => format!("if (acc > {}) {{ acc = nullc.get(); }}\n", 40 + k * 7),
+        };
+        src.push_str(&stmt);
+    }
+    src.push_str("return acc + c.get();\n}\n");
+    src
+}
+
+fn host() -> HostRegistry {
+    let mut host = HostRegistry::new();
+    host.register("mix2", Duration::from_nanos(120), |args| {
+        Value::Double(args[0].as_double().unwrap() * 0.5 + args[1].as_double().unwrap())
+    });
+    host
+}
+
+fn fresh_env(hir: &dynfb_lang::hir::Hir) -> ProgramEnv {
+    ProgramEnv {
+        classes: hir.classes.clone(),
+        externs: hir.externs.clone(),
+        globals: hir.globals.iter().map(|g| Value::default_for(&g.ty)).collect(),
+        heap: Heap::default(),
+        host: host(),
+    }
+}
+
+fn lock_base(n: usize) -> LockId {
+    let mut m = Machine::new(dynfb_sim::MachineConfig::default());
+    m.add_locks(n)
+}
+
+struct TierOutcome {
+    result: Result<Value, RuntimeError>,
+    steps: Vec<Step>,
+    globals: Vec<Value>,
+    heap: Heap,
+}
+
+fn run_tree(
+    hir: &dynfb_lang::hir::Hir,
+    funcs: &[Function],
+    func: usize,
+    base: LockId,
+    arg: i64,
+) -> TierOutcome {
+    let mut env = fresh_env(hir);
+    let mut sink = OpSink::default();
+    let result = Interp {
+        env: &mut env,
+        funcs,
+        cost: CostModel::default(),
+        sink: &mut sink,
+        lock_base: base,
+        lock_capacity: 1024,
+        fuel: 10_000_000,
+    }
+    .call(func, None, vec![Value::Int(arg)]);
+    TierOutcome {
+        result,
+        steps: sink.into_steps().into_iter().collect(),
+        globals: env.globals,
+        heap: env.heap,
+    }
+}
+
+fn run_vm(
+    hir: &dynfb_lang::hir::Hir,
+    funcs: &[Function],
+    func: usize,
+    base: LockId,
+    arg: i64,
+) -> TierOutcome {
+    let module = lower_functions(funcs);
+    let mut env = fresh_env(hir);
+    let mut sink = OpSink::default();
+    let mut regs = Vec::new();
+    let result = Vm {
+        env: &mut env,
+        module: &module,
+        cost: CostModel::default(),
+        sink: &mut sink,
+        lock_base: base,
+        lock_capacity: 1024,
+        fuel: 10_000_000,
+        regs: &mut regs,
+    }
+    .call(func, None, &[Value::Int(arg)]);
+    TierOutcome {
+        result,
+        steps: sink.into_steps().into_iter().collect(),
+        globals: env.globals,
+        heap: env.heap,
+    }
+}
+
+fn assert_tiers_agree(tree: &TierOutcome, vm: &TierOutcome, label: &str) -> bool {
+    match (&tree.result, &vm.result) {
+        (Ok(tv), Ok(vv)) => {
+            assert_eq!(tv, vv, "{label}: return value");
+            assert_eq!(tree.steps, vm.steps, "{label}: step sequence");
+            assert_eq!(tree.globals, vm.globals, "{label}: globals");
+            assert_eq!(tree.heap.arrays, vm.heap.arrays, "{label}: arrays");
+            assert_eq!(tree.heap.objects.len(), vm.heap.objects.len(), "{label}: object count");
+            for (a, b) in tree.heap.objects.iter().zip(&vm.heap.objects) {
+                assert_eq!(a.class, b.class, "{label}: object class");
+                assert_eq!(a.fields, b.fields, "{label}: object fields");
+            }
+            true
+        }
+        (Err(te), Err(ve)) => {
+            // On an error path the tiers agree on the diagnosis; partial
+            // sink contents legitimately differ (batched vs per-node
+            // charging) and the runtime discards them.
+            assert_eq!(te.message, ve.message, "{label}: error message");
+            false
+        }
+        (t, v) => panic!("{label}: tier disagreement — tree: {t:?}, vm: {v:?}"),
+    }
+}
+
+#[test]
+fn random_programs_agree_across_tiers() {
+    let mut rng = SplitMix64::new(0x5EED_0B1E);
+    let base = lock_base(1024);
+    let mut oks = 0usize;
+    let mut errs = 0usize;
+    let mut locked_steps = 0usize;
+    for case in 0..60 {
+        let src = gen_program(&mut rng);
+        let hir = dynfb_lang::compile_source(&src).unwrap_or_else(|e| {
+            panic!("case {case}: generator emitted invalid source: {e}\n{src}")
+        });
+        let func = hir.function_named("test").expect("driver").0;
+        let arg = rng.gen_range_i64(0, 48);
+
+        // Plain program, as the front end produced it.
+        let tree = run_tree(&hir, &hir.functions, func, base, arg);
+        let vm = run_vm(&hir, &hir.functions, func, base, arg);
+        let ok = assert_tiers_agree(&tree, &vm, &format!("case {case} (plain)"));
+        if ok {
+            oks += 1;
+        } else {
+            errs += 1;
+        }
+
+        // Same program after default lock placement in every method, so
+        // the fuzz also covers critical-region (acquire/release) parity —
+        // including early `return` out of a region.
+        let mut locked: Vec<Function> = hir.functions.clone();
+        for f in &mut locked {
+            if f.class.is_some() {
+                insert_default_regions(f);
+            }
+        }
+        let tree = run_tree(&hir, &locked, func, base, arg);
+        let vm = run_vm(&hir, &locked, func, base, arg);
+        assert_tiers_agree(&tree, &vm, &format!("case {case} (locked)"));
+        locked_steps +=
+            tree.steps.iter().filter(|s| matches!(s, Step::Acquire(_) | Step::Release(_))).count();
+    }
+    // The generator must actually exercise both outcomes and lock traffic,
+    // otherwise the suite silently degenerates.
+    assert!(oks >= 20, "too few successful cases ({oks})");
+    assert!(errs >= 3, "too few error cases ({errs})");
+    assert!(locked_steps > 100, "lock placement produced too little lock traffic");
+}
+
+// ---------------------------------------------------------------------------
+// Application-level fuzz
+// ---------------------------------------------------------------------------
+
+const NBODY_SRC: &str = r#"
+    extern double interact(double, double);
+
+    class body {
+        double pos;
+        double phi;
+        double acc;
+
+        void one_interaction(body b) {
+            double val = interact(this.pos, b.pos);
+            this.phi += val;
+            double scaled = val * 0.5;
+            this.acc += scaled;
+        }
+
+        void all_interactions(body[] all, int n) {
+            for (int j = 0; j < n; j++) {
+                this.one_interaction(all[j]);
+            }
+        }
+    }
+
+    body[] bodies;
+    int nbodies;
+
+    void init() {
+        nbodies = 24;
+        bodies = new body[nbodies];
+        for (int i = 0; i < nbodies; i++) {
+            body b = new body();
+            b.pos = i * 1.5;
+            bodies[i] = b;
+        }
+    }
+
+    void forces() {
+        for (int i = 0; i < nbodies; i++) {
+            bodies[i].all_interactions(bodies, nbodies);
+        }
+    }
+"#;
+
+fn build_nbody(tier: ExecTier) -> CompiledApp {
+    let hir = dynfb_lang::compile_source(NBODY_SRC).expect("front end");
+    let plan = vec![PlanEntry::serial("init"), PlanEntry::parallel("forces")];
+    let mut options = CompileOptions::new("nbody", plan);
+    options.max_objects = 64;
+    let mut host = HostRegistry::new();
+    host.register("interact", Duration::from_nanos(400), |args| {
+        let a = args[0].as_double().unwrap();
+        let b = args[1].as_double().unwrap();
+        Value::Double(1.0 / (1.0 + (a - b).abs()))
+    });
+    let mut app = compile(hir, options, host).expect("compiles");
+    app.set_exec_tier(tier);
+    app
+}
+
+/// Draw a random but valid `RunConfig` from the stream (static, static
+/// instrumented, dynamic, or async-dynamic; optional watchdog and faults).
+fn random_config(rng: &mut SplitMix64) -> RunConfig {
+    let procs = 1 + rng.gen_index(8);
+    let mut cfg = match rng.gen_index(4) {
+        0 => {
+            let policy = ["original", "bounded", "aggressive", "serial"][rng.gen_index(4)];
+            let mut cfg = RunConfig::fixed(procs, policy);
+            if rng.chance(0.5) {
+                cfg.mode = RunMode::Static { policy: policy.to_string(), instrumented: true };
+            }
+            cfg
+        }
+        mode => {
+            let ctl = ControllerConfig {
+                num_policies: 3,
+                target_sampling: Duration::from_micros(100 + rng.gen_range_i64(0, 900) as u64),
+                target_production: Duration::from_millis(2 + rng.gen_range_i64(0, 30) as u64),
+                ..ControllerConfig::default()
+            };
+            let mut cfg = if mode == 3 {
+                let mut c = RunConfig::dynamic(procs, ctl.clone());
+                c.mode = RunMode::DynamicAsync(ctl);
+                c
+            } else {
+                RunConfig::dynamic(procs, ctl)
+            };
+            cfg.span_intervals = rng.chance(0.3);
+            if rng.chance(0.3) {
+                cfg = cfg.with_watchdog(4 + rng.gen_index(8) as u32);
+            }
+            cfg
+        }
+    };
+    if rng.chance(0.4) {
+        let profile = ChaosProfile {
+            horizon: Duration::from_millis(5 + rng.gen_range_i64(0, 40) as u64),
+            procs,
+            locks: 64,
+            events: 1 + rng.gen_index(3),
+        };
+        cfg = cfg.with_faults(FaultPlan::random(rng.next_u64(), &profile));
+    }
+    cfg
+}
+
+#[test]
+fn compiled_app_agrees_across_tiers_on_seeded_random_configs() {
+    let mut rng = SplitMix64::new(0xB17E_C0DE);
+    for case in 0..16 {
+        let cfg = random_config(&mut rng);
+        let mut fast = build_nbody(ExecTier::Vm);
+        let fast_report = run_app_ref(&mut fast, &cfg)
+            .unwrap_or_else(|e| panic!("case {case}: vm tier failed: {e} ({cfg:?})"));
+        let mut oracle = build_nbody(ExecTier::TreeWalker);
+        let oracle_report = run_app_ref(&mut oracle, &cfg)
+            .unwrap_or_else(|e| panic!("case {case}: oracle tier failed: {e} ({cfg:?})"));
+
+        // Identical machine statistics imply identical overhead samples
+        // and timings; section records carry the policy-switch traces.
+        assert_eq!(fast_report.stats, oracle_report.stats, "case {case}: stats ({cfg:?})");
+        assert_eq!(
+            fast_report.sections, oracle_report.sections,
+            "case {case}: section records ({cfg:?})"
+        );
+
+        // The program state the two tiers computed must be identical too.
+        assert_eq!(fast.globals(), oracle.globals(), "case {case}: globals");
+        assert_eq!(fast.heap().arrays, oracle.heap().arrays, "case {case}: arrays");
+        assert_eq!(
+            fast.heap().objects.len(),
+            oracle.heap().objects.len(),
+            "case {case}: object count"
+        );
+        for (a, b) in fast.heap().objects.iter().zip(&oracle.heap().objects) {
+            assert_eq!(a.fields, b.fields, "case {case}: object fields");
+        }
+    }
+}
+
+#[test]
+fn tier_switch_round_trips() {
+    let mut app = build_nbody(ExecTier::Vm);
+    assert_eq!(app.exec_tier(), ExecTier::Vm);
+    app.set_exec_tier(ExecTier::TreeWalker);
+    assert_eq!(app.exec_tier(), ExecTier::TreeWalker);
+    let cfg = RunConfig::fixed(4, "original");
+    let a = run_app_ref(&mut app, &cfg).unwrap();
+    app.set_exec_tier(ExecTier::Vm);
+    let b = run_app_ref(&mut app, &cfg).unwrap();
+    // Switching tiers between runs of the *same* app instance does not
+    // change simulation results (state carries over identically: the
+    // second run re-runs init on the already-populated heap either way).
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.sections, b.sections);
+}

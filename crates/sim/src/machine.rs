@@ -139,6 +139,10 @@ struct LockState {
     waiters: VecDeque<(ProcId, SimTime)>,
     acquires: u64,
     contended_acquires: u64,
+    /// Touched since the last reset. Lock pools are sized for the worst
+    /// case (one lock per possible object), so per-run reset walks only
+    /// the dirty list instead of the whole pool.
+    dirty: bool,
 }
 
 #[derive(Debug)]
@@ -189,6 +193,12 @@ pub struct Machine {
     locks: Vec<LockState>,
     barriers: Vec<BarrierState>,
     event_limit: Option<u64>,
+    /// Indices of locks touched by the current run, reset lazily at the
+    /// start of the next one (usage counters stay readable in between).
+    dirty_locks: Vec<usize>,
+    /// Scheduler event queue, kept across runs so its allocation is
+    /// paid once per machine instead of once per run.
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +233,8 @@ impl Machine {
             locks: Vec::new(),
             barriers: Vec::new(),
             event_limit: None,
+            dirty_locks: Vec::new(),
+            queue: BinaryHeap::new(),
         })
     }
 
@@ -307,25 +319,33 @@ impl Machine {
         &mut self,
         mut processes: Vec<Box<dyn Process + 'a>>,
     ) -> Result<MachineStats, SimError> {
+        // Split the borrow once so the event loop can address resources,
+        // the persistent queue, and the fault plan independently.
+        let Machine { config, faults, locks, barriers, event_limit, dirty_locks, queue } = self;
         let n = processes.len();
         let mut stats = vec![ProcStats::default(); n];
         let mut status = vec![ProcStatus::Ready; n];
         let mut leader_flag = vec![false; n];
-        let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut seq: u64 = 0;
         let mut events: u64 = 0;
         let mut done = 0usize;
 
         // Reset resource state so a machine can be reused across runs.
-        for l in &mut self.locks {
+        // Only locks the previous run touched need resetting; the rest of
+        // the (worst-case-sized) pool is still pristine.
+        for &i in dirty_locks.iter() {
+            let l = &mut locks[i];
             l.holder = None;
             l.waiters.clear();
             l.acquires = 0;
             l.contended_acquires = 0;
+            l.dirty = false;
         }
-        for b in &mut self.barriers {
+        dirty_locks.clear();
+        for b in barriers.iter_mut() {
             b.arrived.clear();
         }
+        queue.clear();
 
         let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
                     seq: &mut u64,
@@ -336,12 +356,12 @@ impl Machine {
         };
 
         for p in 0..n {
-            push(&mut queue, &mut seq, SimTime::ZERO, p);
+            push(queue, &mut seq, SimTime::ZERO, p);
         }
 
         while let Some(Reverse((t_ns, _, p))) = queue.pop() {
             events += 1;
-            if let Some(limit) = self.event_limit {
+            if let Some(limit) = *event_limit {
                 if events > limit {
                     return Err(SimError::EventLimitExceeded);
                 }
@@ -353,8 +373,8 @@ impl Machine {
                 now,
                 proc: ProcId(p),
                 barrier_leader: leader_flag[p],
-                timer_read_cost: self.config.timer_read_cost,
-                faults: &self.faults,
+                timer_read_cost: config.timer_read_cost,
+                faults,
                 prior_timer_reads: stats[p].timer_reads,
                 stats: &stats,
                 pending_compute: Duration::ZERO,
@@ -375,44 +395,44 @@ impl Machine {
                     // Slowdown faults stretch computation. The factor is
                     // evaluated once at the step's start (a step is the
                     // granularity of the event engine).
-                    let d = scale(d, self.faults.compute_factor(p, t_eff));
+                    let d = scale(d, faults.compute_factor(p, t_eff));
                     stats[p].compute += d;
-                    push(&mut queue, &mut seq, t_eff + d, p);
+                    push(queue, &mut seq, t_eff + d, p);
                 }
                 Step::Yield => {
-                    push(&mut queue, &mut seq, t_eff, p);
+                    push(queue, &mut seq, t_eff, p);
                 }
                 Step::Acquire(lock) => {
-                    let cost = scale(
-                        self.config.lock_acquire_cost,
-                        self.faults.lock_cost_factor(lock.0, t_eff),
-                    );
-                    let l = self.locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
+                    let cost =
+                        scale(config.lock_acquire_cost, faults.lock_cost_factor(lock.0, t_eff));
+                    let l = locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
                     if l.holder == Some(ProcId(p)) {
                         return Err(SimError::RecursiveAcquire { proc: ProcId(p), lock });
+                    }
+                    if !l.dirty {
+                        l.dirty = true;
+                        dirty_locks.push(lock.0);
                     }
                     if l.holder.is_none() {
                         l.holder = Some(ProcId(p));
                         l.acquires += 1;
                         stats[p].acquires += 1;
                         stats[p].lock_time += cost;
-                        push(&mut queue, &mut seq, t_eff + cost, p);
+                        push(queue, &mut seq, t_eff + cost, p);
                     } else {
                         l.waiters.push_back((ProcId(p), t_eff));
                         status[p] = ProcStatus::Blocked;
                     }
                 }
                 Step::Release(lock) => {
-                    let cost = scale(
-                        self.config.lock_release_cost,
-                        self.faults.lock_cost_factor(lock.0, t_eff),
-                    );
+                    let cost =
+                        scale(config.lock_release_cost, faults.lock_cost_factor(lock.0, t_eff));
                     // Contention storms leave the lock dead for a while
                     // after each release (the holder was preempted at the
                     // worst moment). The releaser itself proceeds once its
                     // release completes; only waiters see the dead time.
-                    let extra = self.faults.extra_hold(lock.0, t_eff);
-                    let l = self.locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
+                    let extra = faults.extra_hold(lock.0, t_eff);
+                    let l = locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
                     if l.holder != Some(ProcId(p)) {
                         return Err(SimError::BadRelease { proc: ProcId(p), lock });
                     }
@@ -424,7 +444,7 @@ impl Machine {
                         // Grant to the first waiter: account its spinning as
                         // waiting overhead (§4.3 — failed attempts × cost).
                         let span = free_at - since;
-                        let attempt = self.config.lock_attempt_cost;
+                        let attempt = config.lock_attempt_cost;
                         let attempts = if attempt.is_zero() {
                             1
                         } else {
@@ -432,34 +452,34 @@ impl Machine {
                             u64::try_from(a).unwrap_or(u64::MAX).max(1)
                         };
                         let acq_cost = scale(
-                            self.config.lock_acquire_cost,
-                            self.faults.lock_cost_factor(lock.0, free_at),
+                            config.lock_acquire_cost,
+                            faults.lock_cost_factor(lock.0, free_at),
                         );
                         let wi = w.0;
                         stats[wi].wait_time += span;
                         stats[wi].failed_attempts += attempts;
                         stats[wi].acquires += 1;
                         stats[wi].lock_time += acq_cost;
-                        let l = self.locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
+                        let l = locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
                         l.holder = Some(w);
                         l.acquires += 1;
                         l.contended_acquires += 1;
                         status[wi] = ProcStatus::Ready;
-                        push(&mut queue, &mut seq, free_at + acq_cost, wi);
+                        push(queue, &mut seq, free_at + acq_cost, wi);
                     }
-                    push(&mut queue, &mut seq, released_at, p);
+                    push(queue, &mut seq, released_at, p);
                 }
                 Step::Barrier(barrier) => {
                     // Straggler faults delay this processor's arrival.
-                    let arrival = t_eff + self.faults.barrier_delay(p, t_eff);
-                    let b = self.barriers.get_mut(barrier.0).ok_or(SimError::UnknownResource)?;
+                    let arrival = t_eff + faults.barrier_delay(p, t_eff);
+                    let b = barriers.get_mut(barrier.0).ok_or(SimError::UnknownResource)?;
                     b.arrived.push((ProcId(p), arrival));
                     if b.arrived.len() == b.participants {
                         // Release after the *latest* arrival (a delayed
                         // straggler can arrive later than the last
                         // processor to reach the barrier).
                         let latest = b.arrived.iter().map(|&(_, at)| at).max().unwrap_or(arrival);
-                        let release = latest + self.config.barrier_cost;
+                        let release = latest + config.barrier_cost;
                         // The last arriver is the leader and is scheduled
                         // first at the release instant, so it can perform
                         // switch bookkeeping before the others resume.
@@ -467,7 +487,7 @@ impl Machine {
                         for &(w, at) in b.arrived.iter().rev() {
                             stats[w.0].barrier_wait += release - at;
                             status[w.0] = ProcStatus::Ready;
-                            push(&mut queue, &mut seq, release, w.0);
+                            push(queue, &mut seq, release, w.0);
                         }
                         b.arrived.clear();
                     } else {

@@ -54,6 +54,14 @@ impl OpSink {
         self.pending += d;
     }
 
+    /// Append `n` equal compute charges in one accumulation. Exactly
+    /// equivalent to calling [`compute`](OpSink::compute) `n` times
+    /// (duration arithmetic is exact in nanoseconds), but lets a batched
+    /// executor charge a whole basic block with one call.
+    pub fn compute_batch(&mut self, d: Duration, n: u32) {
+        self.pending += d * n;
+    }
+
     /// Append a lock acquire.
     pub fn acquire(&mut self, lock: LockId) {
         self.flush();
@@ -73,7 +81,11 @@ impl OpSink {
         }
     }
 
-    fn into_steps(mut self) -> VecDeque<Step> {
+    /// Finalize into the step sequence the machine will execute. Public so
+    /// differential tests can compare the exact steps two execution tiers
+    /// emit; the runtime itself also drains sinks through this.
+    #[must_use]
+    pub fn into_steps(mut self) -> VecDeque<Step> {
         self.flush();
         self.steps.into()
     }
