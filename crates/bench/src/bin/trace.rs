@@ -1,0 +1,55 @@
+//! Trace analysis binary: reconstructs the adaptation timeline from trace
+//! events and cross-checks the chaos harness's adaptation-latency and
+//! regret numbers against it (the end-to-end consistency oracle). Also
+//! exports one Chrome-trace JSON per scenario for Perfetto
+//! (<https://ui.perfetto.dev>).
+//!
+//! Usage: `cargo run --release -p dynfb-bench --bin trace -- \
+//!     [--seed N | N] [--jobs N] [--filter PAT[,PAT...]] [--quick]`
+//!
+//! Exits non-zero if any scenario's trace disagrees with the harness.
+//! Stdout and the exported JSON are byte-identical for every `--jobs`
+//! value (CI enforces this).
+
+use dynfb_bench::chaos::ChaosConfig;
+use dynfb_bench::engine::{parse_cli, Engine};
+use dynfb_bench::trace::trace_report_with;
+use std::path::Path;
+
+const USAGE: &str = "usage: trace [--seed N | N] [--jobs N] [--filter PAT[,PAT...]] [--quick]
+
+  --seed N    scenario seed (default 42; a bare integer also works)
+  --jobs N    worker threads (default: all host threads)
+  --filter P  only scenarios whose name matches (substring or * wildcard)
+  --quick     reduced iteration count (CI-sized run)";
+
+fn main() {
+    let opts = parse_cli(std::env::args().skip(1), USAGE);
+    let mut cfg = ChaosConfig { seed: opts.seed.unwrap_or(42), ..ChaosConfig::default() };
+    if opts.quick {
+        cfg.iters = 1_500;
+    }
+    let engine = Engine::new(opts.jobs);
+    let report = trace_report_with(&cfg, &engine, opts.filter.as_ref());
+    print!("{}", report.text);
+
+    let dir = Path::new("target/trace");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("trace: cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    for (name, json) in &report.traces {
+        let path = dir.join(format!("{name}.json"));
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("trace: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if !report.consistent {
+        eprintln!("trace: MISMATCH between trace reconstruction and chaos harness");
+        std::process::exit(1);
+    }
+}

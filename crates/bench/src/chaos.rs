@@ -304,7 +304,9 @@ impl ScenarioOutcome {
     }
 }
 
-fn outcome(mode: &str, report: &AppReport) -> ModeOutcome {
+/// Elapsed/waiting measurements of one report, labelled `mode`.
+#[must_use]
+pub fn mode_outcome(mode: &str, report: &AppReport) -> ModeOutcome {
     ModeOutcome {
         mode: mode.to_string(),
         elapsed: report.elapsed(),
@@ -312,7 +314,11 @@ fn outcome(mode: &str, report: &AppReport) -> ModeOutcome {
     }
 }
 
-fn analyze_adaptation(report: &AppReport, onset: Duration) -> Adaptation {
+/// Reconstruct how the dynamic run adapted from its production records.
+/// The trace oracle (`dynfb_bench::trace`) recomputes the same quantities
+/// independently from trace events and cross-checks them against this.
+#[must_use]
+pub fn analyze_adaptation(report: &AppReport, onset: Duration) -> Adaptation {
     let production: Vec<&SampleRecord> = report
         .section("work")
         .flat_map(|exec| exec.records.iter())
@@ -385,6 +391,20 @@ pub struct ChaosJobResult {
 /// so a failure here is a bug worth a loud stop.
 #[must_use]
 pub fn run_mode(cfg: &ChaosConfig, scenario: &Scenario, mode: ChaosMode) -> ChaosJobResult {
+    let run = mode_run_config(cfg, scenario, mode);
+    let report = run_app(ChaosApp::new(cfg.iters), &run).expect("chaos run");
+    let adaptation = match mode {
+        ChaosMode::Static(_) => None,
+        ChaosMode::Dynamic => Some(analyze_adaptation(&report, scenario.onset)),
+    };
+    ChaosJobResult { outcome: mode_outcome(mode.name(), &report), adaptation }
+}
+
+/// The exact [`RunConfig`] that [`run_mode`] simulates for `mode` under
+/// `scenario` — exposed so the trace oracle can replay the identical run
+/// with a trace sink attached.
+#[must_use]
+pub fn mode_run_config(cfg: &ChaosConfig, scenario: &Scenario, mode: ChaosMode) -> RunConfig {
     let mut run = match mode {
         ChaosMode::Static(i) => {
             RunConfig::fixed(cfg.procs, VERSIONS[i]).with_faults(scenario.plan.clone())
@@ -394,15 +414,17 @@ pub fn run_mode(cfg: &ChaosConfig, scenario: &Scenario, mode: ChaosMode) -> Chao
             .with_watchdog(8),
     };
     run.machine = chaos_machine();
-    let report = run_app(ChaosApp::new(cfg.iters), &run).expect("chaos run");
-    let adaptation = match mode {
-        ChaosMode::Static(_) => None,
-        ChaosMode::Dynamic => Some(analyze_adaptation(&report, scenario.onset)),
-    };
-    ChaosJobResult { outcome: outcome(mode.name(), &report), adaptation }
+    run
 }
 
-fn assemble(scenario: &Scenario, results: Vec<ChaosJobResult>) -> ScenarioOutcome {
+/// Assemble one scenario's per-mode cell results (in [`ChaosMode::all`]
+/// order) into a [`ScenarioOutcome`].
+///
+/// # Panics
+///
+/// Panics if `results` does not contain one entry per mode.
+#[must_use]
+pub fn assemble(scenario: &Scenario, results: Vec<ChaosJobResult>) -> ScenarioOutcome {
     let mut statics = Vec::new();
     let mut dynamic = None;
     let mut adaptation = None;

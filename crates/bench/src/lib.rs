@@ -11,3 +11,4 @@ pub mod chaos;
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod trace;

@@ -1,0 +1,44 @@
+//! End-to-end consistency oracle: the adaptation timeline reconstructed
+//! from trace events must agree with the chaos harness's numbers on every
+//! fault scenario, and the whole report must be byte-identical for every
+//! engine worker count.
+
+use dynfb_bench::chaos::{scenarios, ChaosConfig};
+use dynfb_bench::engine::Engine;
+use dynfb_bench::trace::{run_dynamic_traced, trace_report_with};
+
+fn cfg() -> ChaosConfig {
+    ChaosConfig { seed: 11, iters: 900, procs: 4 }
+}
+
+#[test]
+fn trace_agrees_with_the_harness_on_every_scenario() {
+    let cfg = cfg();
+    let report = trace_report_with(&cfg, &Engine::new(1), None);
+    assert!(report.consistent, "{}", report.text);
+    assert_eq!(report.traces.len(), scenarios(&cfg).len());
+    for (name, json) in &report.traces {
+        assert!(json.starts_with('{') && json.ends_with("]}\n"), "{name}: {json}");
+        assert!(json.contains("\"traceEvents\""), "{name}");
+    }
+}
+
+#[test]
+fn report_and_traces_are_byte_identical_across_worker_counts() {
+    let cfg = cfg();
+    let serial = trace_report_with(&cfg, &Engine::new(1), None);
+    let parallel = trace_report_with(&cfg, &Engine::new(4), None);
+    assert_eq!(serial.text, parallel.text);
+    assert_eq!(serial.traces, parallel.traces);
+    assert_eq!(serial.consistent, parallel.consistent);
+}
+
+#[test]
+fn traced_replay_captures_a_nonempty_trace_without_drops() {
+    let cfg = cfg();
+    for scenario in scenarios(&cfg) {
+        let traced = run_dynamic_traced(&cfg, &scenario);
+        assert_eq!(traced.dropped, 0, "{}", scenario.name);
+        assert!(!traced.events.is_empty(), "{}", scenario.name);
+    }
+}

@@ -30,6 +30,10 @@
 //!   workloads expressed as Rust closures, with instrumented locks that
 //!   count successful and failed acquires the way the paper's generated
 //!   code does.
+//! * [`trace`] — structured tracing of the adaptation timeline: a
+//!   [`trace::TraceSink`] event API emitted by both drivers, a zero-cost
+//!   [`trace::NullSink`], a bounded [`trace::RingBuffer`] collector, and a
+//!   Chrome trace-event / Perfetto JSON exporter.
 //!
 //! ## Quick start
 //!
@@ -66,6 +70,8 @@ pub mod overhead;
 pub mod realtime;
 pub mod rng;
 pub mod theory;
+pub mod trace;
 
 pub use controller::{Controller, ControllerConfig, Phase, PolicyId, Transition};
 pub use overhead::OverheadSample;
+pub use trace::{NullSink, RingBuffer, TraceEvent, TraceSink, TracedEvent};

@@ -55,7 +55,8 @@
 //! ```
 
 use crate::controller::{ConfigError, Controller, ControllerConfig, Phase, PolicyId};
-use crate::overhead::OverheadCounters;
+use crate::overhead::{OverheadCounters, OverheadSample};
+use crate::trace::{self, NullSink, SwitchReason, TraceEvent, TraceSink};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -89,11 +90,47 @@ impl Default for InstrumentCosts {
     }
 }
 
+/// Error from [`InstrumentCosts::calibrate`]: the measurement burst did not
+/// observe the events it was supposed to time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// The contended `try_lock` burst recorded zero failed attempts, so the
+    /// per-attempt cost has no denominator. A silent fallback here would
+    /// report the whole burst's elapsed time as the cost of a single
+    /// attempt, poisoning every waiting-overhead figure derived from it.
+    NoContention,
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::NoContention => {
+                write!(f, "calibration burst observed no failed lock attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Mean cost of one failed acquire attempt over a calibration burst.
+fn attempt_cost_over(elapsed: Duration, failures: u32) -> Result<Duration, CalibrationError> {
+    if failures == 0 {
+        return Err(CalibrationError::NoContention);
+    }
+    Ok(elapsed / failures)
+}
+
 impl InstrumentCosts {
     /// Measure the actual cost of lock operations on this machine by timing
     /// a burst of uncontended acquire/release pairs and failed `try_lock`s.
-    #[must_use]
-    pub fn calibrate() -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalibrationError::NoContention`] if the contended burst
+    /// somehow recorded zero failed attempts (the attempt cost cannot be
+    /// measured from nothing; dividing anyway would yield garbage).
+    pub fn calibrate() -> Result<Self, CalibrationError> {
         const ROUNDS: u32 = 10_000;
         let m: Mutex<u64> = Mutex::new(0);
         let start = Instant::now();
@@ -102,7 +139,9 @@ impl InstrumentCosts {
         }
         let pair_cost = start.elapsed() / ROUNDS;
 
-        let _held = lock(&m);
+        // Holding the guard across the burst forces contention: std's mutex
+        // is not reentrant, so every try_lock below must fail.
+        let held = lock(&m);
         let start = Instant::now();
         let mut failures = 0u32;
         for _ in 0..ROUNDS {
@@ -110,11 +149,32 @@ impl InstrumentCosts {
                 failures += 1;
             }
         }
-        let attempt_cost = start.elapsed() / failures.max(1);
-        InstrumentCosts {
+        let attempt_cost = attempt_cost_over(start.elapsed(), failures)?;
+        drop(held);
+        Ok(InstrumentCosts {
             pair_cost: pair_cost.max(Duration::from_nanos(1)),
             attempt_cost: attempt_cost.max(Duration::from_nanos(1)),
-        }
+        })
+    }
+
+    /// Convert an interval's counter delta into an overhead sample.
+    ///
+    /// The execution-time denominator is the *measured* elapsed interval —
+    /// never the configured target, which the actual interval can overshoot
+    /// arbitrarily under load or clock disturbance — multiplied by the
+    /// number of workers that actually executed it. The multiply saturates,
+    /// matching the saturating accumulation semantics of
+    /// [`crate::overhead`].
+    #[must_use]
+    pub fn interval_sample(
+        &self,
+        delta: OverheadCounters,
+        actual: Duration,
+        active_workers: usize,
+    ) -> OverheadSample {
+        let nanos = actual.as_nanos().saturating_mul(active_workers.max(1) as u128);
+        let execution = Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX));
+        delta.to_sample(self.pair_cost, self.attempt_cost, execution)
     }
 }
 
@@ -376,16 +436,18 @@ impl SwitchGate {
     }
 
     /// Arrive at the gate; the last arriver runs `leader` (while holding the
-    /// gate lock) and releases everyone. Returns true for the leader. On an
-    /// aborted gate, returns false immediately without waiting.
-    fn arrive_and_wait(&self, leader: impl FnOnce()) -> bool {
+    /// gate lock, passing the number of workers still registered — i.e. how
+    /// many actually executed the ending interval) and releases everyone.
+    /// Returns true for the leader. On an aborted gate, returns false
+    /// immediately without waiting.
+    fn arrive_and_wait(&self, leader: impl FnOnce(usize)) -> bool {
         let mut st = lock(&self.state);
         if st.aborted {
             return false;
         }
         st.arrived += 1;
         if st.arrived == st.active {
-            leader();
+            leader(st.active);
             st.arrived = 0;
             st.switch_pending = false;
             st.generation = st.generation.wrapping_add(1);
@@ -430,8 +492,7 @@ impl SwitchGate {
 }
 
 /// Shared executor state.
-#[derive(Debug)]
-struct Shared {
+struct Shared<S: TraceSink> {
     next_item: AtomicUsize,
     num_items: usize,
     policy: AtomicUsize,
@@ -441,19 +502,20 @@ struct Shared {
     panics: AtomicU64,
     gate: SwitchGate,
     instruments: Instruments,
-    control: Mutex<ControlState>,
+    control: Mutex<ControlState<S>>,
     costs: InstrumentCosts,
-    workers: usize,
 }
 
-#[derive(Debug)]
-struct ControlState {
+struct ControlState<S: TraceSink> {
     controller: Controller,
     interval_start: Instant,
     run_start: Instant,
     snapshot: OverheadCounters,
     trace: Vec<PhaseRecord>,
     quarantine_log: Vec<PolicyId>,
+    /// Trace collector, guarded by the control lock so events are recorded
+    /// in a single total order with monotone wall-clock offsets.
+    sink: S,
 }
 
 /// Executes [`AdaptiveWorkload`]s with dynamic feedback on a thread pool.
@@ -512,6 +574,33 @@ impl AdaptiveExecutor {
         workload: &W,
         num_items: usize,
     ) -> Result<ExecutionReport, ExecError> {
+        self.run_impl(workload, num_items, NullSink)
+    }
+
+    /// Like [`run`](AdaptiveExecutor::run), but records the adaptation
+    /// timeline into `sink`, stamped with wall-clock offsets from the start
+    /// of the run. Pass a [`crate::trace::RingBuffer`] to collect the
+    /// events; [`run`](AdaptiveExecutor::run) itself uses a [`NullSink`],
+    /// which monomorphizes all tracing away.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](AdaptiveExecutor::run).
+    pub fn run_traced<W: AdaptiveWorkload, S: TraceSink + Send>(
+        &self,
+        workload: &W,
+        num_items: usize,
+        sink: &mut S,
+    ) -> Result<ExecutionReport, ExecError> {
+        self.run_impl(workload, num_items, sink)
+    }
+
+    fn run_impl<W: AdaptiveWorkload, S: TraceSink + Send>(
+        &self,
+        workload: &W,
+        num_items: usize,
+        mut sink: S,
+    ) -> Result<ExecutionReport, ExecError> {
         if workload.num_versions() != self.config.controller.num_policies {
             return Err(ExecError::VersionMismatch {
                 workload: workload.num_versions(),
@@ -521,6 +610,16 @@ impl AdaptiveExecutor {
         let mut controller =
             Controller::try_new(self.config.controller.clone()).map_err(ExecError::Controller)?;
         let first = controller.begin_section();
+        if S::ENABLED {
+            sink.record(
+                Duration::ZERO,
+                TraceEvent::RunStart {
+                    policies: self.config.controller.num_policies,
+                    workers: self.config.workers,
+                },
+            );
+            trace::record_phase_start(&mut sink, Duration::ZERO, controller.phase());
+        }
         let now = Instant::now();
         let shared = Shared {
             next_item: AtomicUsize::new(0),
@@ -539,9 +638,9 @@ impl AdaptiveExecutor {
                 snapshot: OverheadCounters::default(),
                 trace: Vec::new(),
                 quarantine_log: Vec::new(),
+                sink,
             }),
             costs: self.config.costs,
-            workers: self.config.workers,
         };
 
         std::thread::scope(|scope| {
@@ -554,9 +653,13 @@ impl AdaptiveExecutor {
         if shared.aborted.load(Ordering::Acquire) {
             return Err(ExecError::AllVersionsFailed { completed });
         }
-        let control = lock(&shared.control);
+        let mut control = lock(&shared.control);
+        let elapsed = control.run_start.elapsed();
+        if S::ENABLED {
+            control.sink.record(elapsed, TraceEvent::RunEnd);
+        }
         Ok(ExecutionReport {
-            elapsed: control.run_start.elapsed(),
+            elapsed,
             items_processed: completed,
             trace: control.trace.clone(),
             counters: shared.instruments.snapshot(),
@@ -565,7 +668,7 @@ impl AdaptiveExecutor {
         })
     }
 
-    fn worker_loop<W: AdaptiveWorkload>(&self, shared: &Shared, workload: &W) {
+    fn worker_loop<W: AdaptiveWorkload, S: TraceSink>(&self, shared: &Shared<S>, workload: &W) {
         let mut since_poll = 0usize;
         loop {
             if shared.aborted.load(Ordering::Acquire) {
@@ -623,7 +726,7 @@ impl AdaptiveExecutor {
 
     /// A version closure panicked: quarantine it, restart the measurement
     /// interval among the survivors, or abort the run when none remain.
-    fn quarantine_version(&self, shared: &Shared, policy: PolicyId) {
+    fn quarantine_version<S: TraceSink>(&self, shared: &Shared<S>, policy: PolicyId) {
         let survivor = {
             let mut control = lock(&shared.control);
             if control.controller.is_quarantined(policy) {
@@ -639,6 +742,19 @@ impl AdaptiveExecutor {
                 control.interval_start = Instant::now();
                 control.snapshot = shared.instruments.snapshot();
             }
+            if S::ENABLED {
+                if let Some(next) = survivor {
+                    let at = control.run_start.elapsed();
+                    control.sink.record(
+                        at,
+                        TraceEvent::PolicySwitch {
+                            from: policy,
+                            to: next,
+                            reason: SwitchReason::Quarantine,
+                        },
+                    );
+                }
+            }
             survivor
         };
         match survivor {
@@ -653,32 +769,42 @@ impl AdaptiveExecutor {
         }
     }
 
-    fn rendezvous(&self, shared: &Shared) {
-        shared.gate.arrive_and_wait(|| {
+    fn rendezvous<S: TraceSink>(&self, shared: &Shared<S>) {
+        shared.gate.arrive_and_wait(|active| {
             let mut control = lock(&shared.control);
             let now = Instant::now();
             let actual = now - control.interval_start;
             let counters = shared.instruments.snapshot();
             let delta = counters.since(&control.snapshot);
-            // Execution time across all processors ≈ wall time × workers.
-            let execution = actual.mul_f64(shared.workers as f64);
-            let sample =
-                delta.to_sample(shared.costs.pair_cost, shared.costs.attempt_cost, execution);
+            // Execution time across all processors: the *measured* elapsed
+            // interval times the workers still registered at the gate (late
+            // in a run some have exited; normalizing by the configured pool
+            // size would dilute the overhead of the survivors).
+            let sample = shared.costs.interval_sample(delta, actual, active);
             let phase = control.controller.phase();
             let policy = control.controller.current_policy();
             let at = now - control.run_start;
-            control.trace.push(PhaseRecord {
-                at,
-                phase,
-                policy,
-                overhead: sample.total_overhead(),
-                actual,
-            });
+            let overhead = sample.total_overhead();
+            control.trace.push(PhaseRecord { at, phase, policy, overhead, actual });
             let transition = control.controller.complete_interval(sample);
             shared.policy.store(transition.policy(), Ordering::Release);
             control.interval_start = now;
             control.snapshot = counters;
             shared.switch_flag.store(false, Ordering::Release);
+            if S::ENABLED {
+                control.sink.record(at, TraceEvent::BarrierSync { arrived: active });
+                let after = control.controller.phase();
+                trace::record_transition(
+                    &mut control.sink,
+                    at,
+                    phase,
+                    overhead,
+                    actual,
+                    false,
+                    after,
+                    false,
+                );
+            }
         });
     }
 }
@@ -765,9 +891,48 @@ mod tests {
 
     #[test]
     fn calibration_returns_positive_costs() {
-        let costs = InstrumentCosts::calibrate();
+        // The guard held across the burst guarantees contention, so
+        // calibration must succeed on any machine.
+        let costs = InstrumentCosts::calibrate().expect("forced contention");
         assert!(costs.pair_cost > Duration::ZERO);
         assert!(costs.attempt_cost > Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_failures_is_a_calibration_error_not_a_bogus_cost() {
+        // Regression: this used to divide by failures.max(1), silently
+        // reporting the whole burst's elapsed time as one attempt's cost.
+        assert_eq!(
+            attempt_cost_over(Duration::from_millis(5), 0),
+            Err(CalibrationError::NoContention)
+        );
+        assert_eq!(attempt_cost_over(Duration::from_millis(5), 1000), Ok(Duration::from_micros(5)));
+    }
+
+    #[test]
+    fn interval_sample_normalizes_by_measured_elapsed_and_active_workers() {
+        let costs = InstrumentCosts {
+            pair_cost: Duration::from_nanos(100),
+            attempt_cost: Duration::from_nanos(50),
+        };
+        let delta = OverheadCounters { acquires: 1_000, failed_attempts: 400 };
+        // 2 active workers over a measured 1ms interval: execution = 2ms.
+        let sample = costs.interval_sample(delta, Duration::from_millis(1), 2);
+        assert_eq!(sample.locking, Duration::from_micros(100));
+        assert_eq!(sample.waiting, Duration::from_micros(20));
+        assert_eq!(sample.execution, Duration::from_millis(2));
+        // An interval that overshot its target is normalized by what was
+        // *measured*, so the overhead fraction is unchanged by the
+        // overshoot-proportional counter growth.
+        let tripled = OverheadCounters { acquires: 3_000, failed_attempts: 1_200 };
+        let long = costs.interval_sample(tripled, Duration::from_millis(3), 2);
+        assert!((long.total_overhead() - sample.total_overhead()).abs() < 1e-12);
+        // Zero workers is clamped, not a division hazard.
+        let clamped = costs.interval_sample(delta, Duration::from_millis(1), 0);
+        assert_eq!(clamped.execution, Duration::from_millis(1));
+        // Saturates instead of overflowing on absurd inputs.
+        let huge = costs.interval_sample(delta, Duration::from_secs(u64::MAX / 2), usize::MAX);
+        assert_eq!(huge.execution, Duration::from_nanos(u64::MAX));
     }
 
     #[test]
@@ -780,10 +945,10 @@ mod tests {
         let done = AtomicBool::new(false);
         std::thread::scope(|s| {
             s.spawn(|| {
-                gate.arrive_and_wait(|| done.store(true, Ordering::SeqCst));
+                gate.arrive_and_wait(|_| done.store(true, Ordering::SeqCst));
             });
             s.spawn(|| {
-                gate.arrive_and_wait(|| done.store(true, Ordering::SeqCst));
+                gate.arrive_and_wait(|_| done.store(true, Ordering::SeqCst));
             });
         });
         assert!(done.load(Ordering::SeqCst));
@@ -798,7 +963,7 @@ mod tests {
         std::thread::scope(|s| {
             s.spawn(|| {
                 // Parks until the abort arrives; must not lead.
-                assert!(!gate.arrive_and_wait(|| panic!("no leader on abort")));
+                assert!(!gate.arrive_and_wait(|_| panic!("no leader on abort")));
             });
             s.spawn(|| {
                 std::thread::sleep(Duration::from_millis(10));

@@ -1,0 +1,562 @@
+//! Structured tracing of the adaptive runtime (the observability layer).
+//!
+//! The paper's argument rests on *when* the dynamic feedback controller
+//! switches policies and *what* each phase measured. This module makes that
+//! timeline a first-class artifact: the drivers (the discrete-event
+//! simulator runtime in `dynfb-sim` and the real-thread executor in
+//! [`crate::realtime`]) emit [`TraceEvent`]s into a [`TraceSink`] at every
+//! controller transition.
+//!
+//! * **Timestamps** are [`Duration`]s from the start of the run. The
+//!   simulator stamps events with *virtual* time, so its traces are
+//!   byte-deterministic (identical for every worker count of the bench
+//!   engine); the realtime executor stamps wall-clock offsets, which are
+//!   inherently noisy.
+//! * **Zero cost when disabled**: the drivers are generic over the sink, so
+//!   the default [`NullSink`] monomorphizes every `record` call away — the
+//!   untraced hot path is the same machine code as before the trace layer
+//!   existed (the perf-smoke CI gate runs through it).
+//! * **Collection** is a bounded [`RingBuffer`] (oldest events drop first,
+//!   with a drop counter so consumers can detect truncation).
+//! * **Export**: [`chrome_trace_json`] renders events in the Chrome
+//!   trace-event JSON format, loadable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev). The rendering is deterministic:
+//!   the same events always produce the same bytes.
+
+use crate::controller::Phase;
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+/// Why the controller switched policies (or entered a new phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// Sampling completed; production runs the measured-best policy.
+    MeasuredBest,
+    /// Sampling was cut short by the early cut-off optimization (§4.5).
+    EarlyCutoff,
+    /// The stuck-sampling watchdog aborted the sampling phase.
+    WatchdogAbort,
+    /// Sampling advanced to the next policy in the sampling order.
+    NextSample,
+    /// A production interval expired; periodic resampling begins.
+    Resample,
+    /// The running version was quarantined (e.g. it panicked) and a
+    /// survivor took over.
+    Quarantine,
+}
+
+impl SwitchReason {
+    /// Stable lowercase name used in exports and reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SwitchReason::MeasuredBest => "measured-best",
+            SwitchReason::EarlyCutoff => "early-cutoff",
+            SwitchReason::WatchdogAbort => "watchdog-abort",
+            SwitchReason::NextSample => "next-sample",
+            SwitchReason::Resample => "resample",
+            SwitchReason::Quarantine => "quarantine",
+        }
+    }
+}
+
+impl fmt::Display for SwitchReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured event in the adaptation timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A run (or executor invocation) began.
+    RunStart {
+        /// Number of policy versions in rotation.
+        policies: usize,
+        /// Number of workers/processors executing.
+        workers: usize,
+    },
+    /// The run completed.
+    RunEnd,
+    /// A fault-injection plan is active for this run (simulator only).
+    FaultPlanActivated {
+        /// Seed of the fault plan.
+        seed: u64,
+        /// Number of fault events in the plan.
+        events: usize,
+    },
+    /// A sampling interval began measuring `policy`.
+    SamplingStart {
+        /// Policy being measured.
+        policy: usize,
+        /// Index into the sampling order.
+        position: usize,
+        /// Number of policies the phase planned to sample.
+        planned: usize,
+    },
+    /// A sampling interval completed with its per-version overhead.
+    SamplingEnd {
+        /// Policy that was measured.
+        policy: usize,
+        /// Measured total overhead in `[0, 1]`.
+        overhead: f64,
+        /// Actual (effective) interval length.
+        actual: Duration,
+        /// True if the interval was interrupted (section end or watchdog
+        /// abort) before reaching its target.
+        partial: bool,
+    },
+    /// A production interval began running `policy`.
+    ProductionStart {
+        /// Policy selected for production.
+        policy: usize,
+        /// Whether the preceding sampling phase ended via early cut-off.
+        via_cutoff: bool,
+    },
+    /// A production interval completed.
+    ProductionEnd {
+        /// Policy that was producing.
+        policy: usize,
+        /// Measured total overhead in `[0, 1]`.
+        overhead: f64,
+        /// Actual interval length.
+        actual: Duration,
+        /// True if the section ended before the interval reached its
+        /// target.
+        partial: bool,
+    },
+    /// The controller switched the executing policy.
+    PolicySwitch {
+        /// Policy before the switch.
+        from: usize,
+        /// Policy after the switch.
+        to: usize,
+        /// Why the switch happened.
+        reason: SwitchReason,
+    },
+    /// All workers rendezvoused at a barrier to apply a policy switch
+    /// synchronously (§4.1).
+    BarrierSync {
+        /// Number of workers that arrived at the barrier.
+        arrived: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Short display name of the event kind.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run-start",
+            TraceEvent::RunEnd => "run-end",
+            TraceEvent::FaultPlanActivated { .. } => "fault-plan",
+            TraceEvent::SamplingStart { .. } => "sampling-start",
+            TraceEvent::SamplingEnd { .. } => "sampling-end",
+            TraceEvent::ProductionStart { .. } => "production-start",
+            TraceEvent::ProductionEnd { .. } => "production-end",
+            TraceEvent::PolicySwitch { .. } => "policy-switch",
+            TraceEvent::BarrierSync { .. } => "barrier-sync",
+        }
+    }
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Offset from the start of the run (virtual time in the simulator,
+    /// wall clock in the realtime executor).
+    pub at: Duration,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Receives trace events from a driver.
+///
+/// Drivers are generic over the sink, so a [`NullSink`] compiles every
+/// `record` call away (`ENABLED` is a `const`, letting emission sites skip
+/// even the construction of the event).
+pub trait TraceSink {
+    /// Statically false for sinks that discard everything; emission sites
+    /// guard event construction behind this.
+    const ENABLED: bool = true;
+
+    /// Record one event at offset `at` from the start of the run.
+    fn record(&mut self, at: Duration, event: TraceEvent);
+}
+
+/// The disabled sink: discards everything at zero cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _at: Duration, _event: TraceEvent) {}
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn record(&mut self, at: Duration, event: TraceEvent) {
+        (**self).record(at, event);
+    }
+}
+
+/// A bounded collector: keeps the most recent `capacity` events, counting
+/// (not silently discarding) anything older that had to be dropped.
+#[derive(Debug, Clone, Default)]
+pub struct RingBuffer {
+    capacity: usize,
+    events: VecDeque<TracedEvent>,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// A ring buffer holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer { capacity, events: VecDeque::with_capacity(capacity.min(1024)), dropped: 0 }
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate over the buffered events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TracedEvent> {
+        self.events.iter()
+    }
+
+    /// Consume the buffer, returning the events oldest first.
+    #[must_use]
+    pub fn into_events(self) -> Vec<TracedEvent> {
+        self.events.into()
+    }
+}
+
+impl TraceSink for RingBuffer {
+    fn record(&mut self, at: Duration, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TracedEvent { at, event });
+    }
+}
+
+/// The interval-end event for a phase that just completed (`None` when
+/// idle).
+#[must_use]
+pub fn interval_end_event(
+    phase: Phase,
+    overhead: f64,
+    actual: Duration,
+    partial: bool,
+) -> Option<TraceEvent> {
+    match phase {
+        Phase::Idle => None,
+        Phase::Sampling { policy, .. } => {
+            Some(TraceEvent::SamplingEnd { policy, overhead, actual, partial })
+        }
+        Phase::Production { policy, .. } => {
+            Some(TraceEvent::ProductionEnd { policy, overhead, actual, partial })
+        }
+    }
+}
+
+/// The interval-start event for a phase the controller just entered
+/// (`None` when idle).
+#[must_use]
+pub fn phase_start_event(phase: Phase) -> Option<TraceEvent> {
+    match phase {
+        Phase::Idle => None,
+        Phase::Sampling { policy, position, planned } => {
+            Some(TraceEvent::SamplingStart { policy, position, planned })
+        }
+        Phase::Production { policy, via_cutoff } => {
+            Some(TraceEvent::ProductionStart { policy, via_cutoff })
+        }
+    }
+}
+
+/// Why the transition `before → after` switched policies, or `None` when
+/// it is not a switch (e.g. a production-phase watchdog no-op).
+#[must_use]
+pub fn switch_reason(before: Phase, after: Phase, watchdog_abort: bool) -> Option<SwitchReason> {
+    match (before, after) {
+        (Phase::Sampling { .. }, Phase::Production { via_cutoff, .. }) => Some(if watchdog_abort {
+            SwitchReason::WatchdogAbort
+        } else if via_cutoff {
+            SwitchReason::EarlyCutoff
+        } else {
+            SwitchReason::MeasuredBest
+        }),
+        (Phase::Production { .. }, Phase::Sampling { .. }) => Some(SwitchReason::Resample),
+        (Phase::Sampling { .. }, Phase::Sampling { .. }) => Some(SwitchReason::NextSample),
+        _ => None,
+    }
+}
+
+/// Record the end of an interval without a following transition (used for
+/// the partial interval cut off by the end of a section).
+pub fn record_interval_end<S: TraceSink>(
+    sink: &mut S,
+    at: Duration,
+    phase: Phase,
+    overhead: f64,
+    actual: Duration,
+    partial: bool,
+) {
+    if !S::ENABLED {
+        return;
+    }
+    if let Some(ev) = interval_end_event(phase, overhead, actual, partial) {
+        sink.record(at, ev);
+    }
+}
+
+/// Record the start of a phase (section begin, or post-quarantine restart).
+pub fn record_phase_start<S: TraceSink>(sink: &mut S, at: Duration, phase: Phase) {
+    if !S::ENABLED {
+        return;
+    }
+    if let Some(ev) = phase_start_event(phase) {
+        sink.record(at, ev);
+    }
+}
+
+/// Record a full controller transition: the completed interval, the policy
+/// switch (with its reason), and the start of the next interval. `before`
+/// and `after` are the controller phases around `complete_interval` (or
+/// `abort_to_production` when `watchdog_abort` is set).
+#[allow(clippy::too_many_arguments)]
+pub fn record_transition<S: TraceSink>(
+    sink: &mut S,
+    at: Duration,
+    before: Phase,
+    overhead: f64,
+    actual: Duration,
+    partial: bool,
+    after: Phase,
+    watchdog_abort: bool,
+) {
+    if !S::ENABLED {
+        return;
+    }
+    record_interval_end(sink, at, before, overhead, actual, partial);
+    if let Some(reason) = switch_reason(before, after, watchdog_abort) {
+        let (from, to) = (policy_of(before), policy_of(after));
+        sink.record(at, TraceEvent::PolicySwitch { from, to, reason });
+    }
+    record_phase_start(sink, at, after);
+}
+
+fn policy_of(phase: Phase) -> usize {
+    match phase {
+        Phase::Idle => 0,
+        Phase::Sampling { policy, .. } | Phase::Production { policy, .. } => policy,
+    }
+}
+
+/// Microseconds with nanosecond precision, as Chrome trace `ts` expects.
+fn ts_us(d: Duration) -> String {
+    let ns = d.as_nanos();
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render events as Chrome trace-event JSON (the format `chrome://tracing`
+/// and [Perfetto](https://ui.perfetto.dev) load directly).
+///
+/// Completed intervals become complete (`"ph": "X"`) events spanning
+/// `[at - actual, at]`; policy switches, barrier rendezvous and fault-plan
+/// activations become instant (`"ph": "i"`) events. The output is
+/// deterministic: identical events always render to identical bytes, which
+/// is what lets CI diff simulator traces across worker counts.
+#[must_use]
+pub fn chrome_trace_json<'e>(
+    process_name: &str,
+    events: impl IntoIterator<Item = &'e TracedEvent>,
+) -> String {
+    let mut rows: Vec<String> = vec![format!(
+        r#"{{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{{"name":"{}"}}}}"#,
+        json_escape(process_name)
+    )];
+    for te in events {
+        let at = te.at;
+        match &te.event {
+            TraceEvent::SamplingEnd { policy, overhead, actual, partial }
+            | TraceEvent::ProductionEnd { policy, overhead, actual, partial } => {
+                let kind = match te.event {
+                    TraceEvent::SamplingEnd { .. } => "sampling",
+                    _ => "production",
+                };
+                let start = at.saturating_sub(*actual);
+                rows.push(format!(
+                    r#"{{"ph":"X","pid":0,"tid":0,"cat":"interval","name":"{kind} p{policy}","ts":{},"dur":{},"args":{{"policy":{policy},"overhead":{overhead:.6},"partial":{partial}}}}}"#,
+                    ts_us(start),
+                    ts_us(*actual),
+                ));
+            }
+            TraceEvent::PolicySwitch { from, to, reason } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"cat":"switch","name":"switch {reason} p{from}->p{to}","ts":{},"args":{{"from":{from},"to":{to},"reason":"{reason}"}}}}"#,
+                    ts_us(at),
+                ));
+            }
+            TraceEvent::BarrierSync { arrived } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"t","pid":0,"tid":0,"cat":"barrier","name":"barrier-sync","ts":{},"args":{{"arrived":{arrived}}}}}"#,
+                    ts_us(at),
+                ));
+            }
+            TraceEvent::FaultPlanActivated { seed, events } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"cat":"fault","name":"fault-plan","ts":{},"args":{{"seed":{seed},"events":{events}}}}}"#,
+                    ts_us(at),
+                ));
+            }
+            // Starts are implied by the X events; run bounds add no
+            // information to the visual timeline.
+            TraceEvent::SamplingStart { .. }
+            | TraceEvent::ProductionStart { .. }
+            | TraceEvent::RunStart { .. }
+            | TraceEvent::RunEnd => {}
+        }
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampling(policy: usize) -> Phase {
+        Phase::Sampling { policy, position: policy, planned: 3 }
+    }
+
+    #[test]
+    fn null_sink_is_statically_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        const { assert!(RingBuffer::ENABLED) };
+        // And through the forwarding impl.
+        const { assert!(!<&mut NullSink as TraceSink>::ENABLED) };
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts() {
+        let mut ring = RingBuffer::new(2);
+        for i in 0..5u64 {
+            ring.record(Duration::from_nanos(i), TraceEvent::RunEnd);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let events = ring.into_events();
+        assert_eq!(events[0].at, Duration::from_nanos(3));
+        assert_eq!(events[1].at, Duration::from_nanos(4));
+    }
+
+    #[test]
+    fn transition_emits_end_switch_start_in_order() {
+        let mut ring = RingBuffer::new(16);
+        let before = sampling(0);
+        let after = Phase::Production { policy: 2, via_cutoff: false };
+        record_transition(
+            &mut ring,
+            Duration::from_micros(10),
+            before,
+            0.25,
+            Duration::from_micros(10),
+            false,
+            after,
+            false,
+        );
+        let events: Vec<TraceEvent> = ring.into_events().into_iter().map(|e| e.event).collect();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::SamplingEnd {
+                    policy: 0,
+                    overhead: 0.25,
+                    actual: Duration::from_micros(10),
+                    partial: false,
+                },
+                TraceEvent::PolicySwitch { from: 0, to: 2, reason: SwitchReason::MeasuredBest },
+                TraceEvent::ProductionStart { policy: 2, via_cutoff: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn switch_reasons_cover_the_transition_matrix() {
+        let prod = |p| Phase::Production { policy: p, via_cutoff: false };
+        let cut = Phase::Production { policy: 1, via_cutoff: true };
+        assert_eq!(switch_reason(sampling(0), prod(1), false), Some(SwitchReason::MeasuredBest));
+        assert_eq!(switch_reason(sampling(0), cut, false), Some(SwitchReason::EarlyCutoff));
+        assert_eq!(switch_reason(sampling(0), prod(0), true), Some(SwitchReason::WatchdogAbort));
+        assert_eq!(switch_reason(sampling(0), sampling(1), false), Some(SwitchReason::NextSample));
+        assert_eq!(switch_reason(prod(1), sampling(0), false), Some(SwitchReason::Resample));
+        assert_eq!(switch_reason(prod(1), prod(1), true), None);
+        assert_eq!(switch_reason(Phase::Idle, sampling(0), false), None);
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic_and_escapes() {
+        let mut ring = RingBuffer::new(16);
+        ring.record(
+            Duration::from_micros(5),
+            TraceEvent::SamplingEnd {
+                policy: 0,
+                overhead: 0.5,
+                actual: Duration::from_micros(5),
+                partial: false,
+            },
+        );
+        ring.record(
+            Duration::from_micros(5),
+            TraceEvent::PolicySwitch { from: 0, to: 1, reason: SwitchReason::NextSample },
+        );
+        let events = ring.into_events();
+        let a = chrome_trace_json("run \"x\"", &events);
+        let b = chrome_trace_json("run \"x\"", &events);
+        assert_eq!(a, b);
+        assert!(a.contains(r#"\"x\""#), "{a}");
+        assert!(a.contains(r#""ts":0.000,"dur":5.000"#), "{a}");
+        assert!(a.contains("next-sample"), "{a}");
+    }
+}

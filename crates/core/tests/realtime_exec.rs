@@ -1,0 +1,224 @@
+//! Integration tests for the realtime adaptive executor: lifecycle,
+//! `ExecutionReport::last_production_policy`, and trace-event ordering
+//! under a 2-policy toy workload.
+
+use dynfb_core::controller::ControllerConfig;
+use dynfb_core::realtime::{
+    AdaptiveExecutor, AdaptiveWorkload, ExecutorConfig, Instruments, ProfiledMutex,
+};
+use dynfb_core::trace::{RingBuffer, SwitchReason, TraceEvent, TracedEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Two-policy toy workload: version 0 takes 16 lock pairs per item,
+/// version 1 takes one — version 1 always has the lower overhead.
+struct Toy {
+    counter: ProfiledMutex<u64>,
+    applied: AtomicU64,
+}
+
+impl Toy {
+    fn new() -> Self {
+        Toy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) }
+    }
+}
+
+impl AdaptiveWorkload for Toy {
+    fn num_versions(&self) -> usize {
+        2
+    }
+    fn run_item(&self, version: usize, _item: usize, ins: &Instruments) {
+        match version {
+            0 => {
+                for _ in 0..16 {
+                    *self.counter.lock(ins) += 1;
+                }
+            }
+            _ => {
+                *self.counter.lock(ins) += 16;
+            }
+        }
+        self.applied.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn exec(workers: usize) -> AdaptiveExecutor {
+    AdaptiveExecutor::new(ExecutorConfig {
+        workers,
+        controller: ControllerConfig {
+            num_policies: 2,
+            target_sampling: Duration::from_micros(200),
+            target_production: Duration::from_millis(2),
+            ..ControllerConfig::default()
+        },
+        ..ExecutorConfig::default()
+    })
+}
+
+/// Full lifecycle: construct, run to completion, inspect the report.
+#[test]
+fn lifecycle_runs_to_completion_and_reports() {
+    let w = Toy::new();
+    let report = exec(3).run(&w, 10_000).expect("no panics");
+    assert_eq!(report.items_processed, 10_000);
+    assert_eq!(w.applied.load(Ordering::Relaxed), 10_000);
+    assert_eq!(w.counter.into_inner(), 10_000 * 16);
+    assert!(report.elapsed > Duration::ZERO);
+    assert!(report.counters.acquires >= 10_000, "{:?}", report.counters);
+    assert!(report.quarantined.is_empty());
+    assert_eq!(report.panics, 0);
+    // Interval timestamps in the phase trace are monotone.
+    for w in report.trace.windows(2) {
+        assert!(w[1].at >= w[0].at, "{:?}", report.trace);
+    }
+}
+
+/// `last_production_policy` is `None` until a production interval has
+/// completed, then names the policy of the most recent one.
+#[test]
+fn last_production_policy_reflects_the_trace() {
+    // A handful of items finishes long before the first sampling interval
+    // expires: no production phase can have completed.
+    let w = Toy::new();
+    let report = exec(2).run(&w, 10).expect("no panics");
+    assert_eq!(report.last_production_policy(), None, "{:?}", report.trace);
+
+    // A long run completes production intervals, and the toy workload's
+    // version 1 (16× fewer lock pairs) must hold the most recent one.
+    let w = Toy::new();
+    let report = exec(2).run(&w, 200_000).expect("no panics");
+    assert_eq!(report.last_production_policy(), Some(1), "{:?}", report.trace);
+    let last_production = report
+        .trace
+        .iter()
+        .rev()
+        .find(|r| r.phase.is_production())
+        .expect("production interval completed");
+    assert_eq!(Some(last_production.policy), report.last_production_policy());
+}
+
+/// Trace-event stream: bracketed by RunStart/RunEnd, monotone timestamps,
+/// interval Start/End pairs that nest correctly, End events agreeing 1:1
+/// with the report's phase records, and a barrier rendezvous (of at most
+/// `workers` workers) behind every completed interval.
+#[test]
+fn trace_events_are_ordered_and_consistent_with_the_report() {
+    let workers = 2;
+    let w = Toy::new();
+    let mut ring = RingBuffer::new(1 << 16);
+    let report = exec(workers).run_traced(&w, 150_000, &mut ring).expect("no panics");
+    assert_eq!(ring.dropped(), 0);
+    let events: Vec<TracedEvent> = ring.into_events();
+
+    // Bracketing and monotone wall-clock offsets.
+    assert!(
+        matches!(
+            events.first().map(|e| &e.event),
+            Some(TraceEvent::RunStart { policies: 2, workers: 2 })
+        ),
+        "{events:?}"
+    );
+    assert!(matches!(events.last().map(|e| &e.event), Some(TraceEvent::RunEnd)), "{events:?}");
+    for w in events.windows(2) {
+        assert!(w[1].at >= w[0].at, "{:?} then {:?}", w[0], w[1]);
+    }
+
+    // Every interval End closes the matching open Start (same phase kind
+    // and policy), and the first phase started is sampling.
+    let mut open: Option<(bool, usize)> = None;
+    let mut first_start = None;
+    for e in &events {
+        match e.event {
+            TraceEvent::SamplingStart { policy, .. } => {
+                assert_eq!(open, None, "nested interval start: {events:?}");
+                open = Some((true, policy));
+                first_start.get_or_insert((true, policy));
+            }
+            TraceEvent::ProductionStart { policy, .. } => {
+                assert_eq!(open, None, "nested interval start: {events:?}");
+                open = Some((false, policy));
+                first_start.get_or_insert((false, policy));
+            }
+            TraceEvent::SamplingEnd { policy, .. } => {
+                assert_eq!(open.take(), Some((true, policy)), "{events:?}");
+            }
+            TraceEvent::ProductionEnd { policy, .. } => {
+                assert_eq!(open.take(), Some((false, policy)), "{events:?}");
+            }
+            _ => {}
+        }
+    }
+    assert!(matches!(first_start, Some((true, _))), "a run begins by sampling: {first_start:?}");
+
+    // End events agree 1:1 with the report's phase records.
+    let ends: Vec<&TracedEvent> = events
+        .iter()
+        .filter(|e| {
+            matches!(e.event, TraceEvent::SamplingEnd { .. } | TraceEvent::ProductionEnd { .. })
+        })
+        .collect();
+    assert_eq!(ends.len(), report.trace.len(), "{events:?}\nvs {:?}", report.trace);
+    assert!(!ends.is_empty(), "long run must complete intervals");
+    for (e, r) in ends.iter().zip(&report.trace) {
+        assert_eq!(e.at, r.at);
+        match e.event {
+            TraceEvent::SamplingEnd { policy, overhead, actual, partial } => {
+                assert!(r.phase.is_sampling());
+                assert_eq!(policy, r.policy);
+                assert_eq!(overhead, r.overhead);
+                assert_eq!(actual, r.actual);
+                assert!(!partial);
+            }
+            TraceEvent::ProductionEnd { policy, overhead, actual, partial } => {
+                assert!(r.phase.is_production());
+                assert_eq!(policy, r.policy);
+                assert_eq!(overhead, r.overhead);
+                assert_eq!(actual, r.actual);
+                assert!(!partial);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Every completed interval was applied at a barrier rendezvous of
+    // between 1 and `workers` workers (exited workers deregister).
+    let syncs: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e.event {
+            TraceEvent::BarrierSync { arrived } => Some(arrived),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(syncs.len(), ends.len(), "{events:?}");
+    assert!(syncs.iter().all(|&a| a >= 1 && a <= workers), "{syncs:?}");
+}
+
+/// A quarantined version shows up in the trace as a quarantine switch.
+#[test]
+fn quarantine_emits_a_policy_switch_event() {
+    struct HalfBroken;
+    impl AdaptiveWorkload for HalfBroken {
+        fn num_versions(&self) -> usize {
+            2
+        }
+        fn run_item(&self, version: usize, _item: usize, _ins: &Instruments) {
+            assert_ne!(version, 0, "version 0 is broken");
+        }
+    }
+    // Keep the expected panics out of the test output.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut ring = RingBuffer::new(1 << 14);
+    let report = exec(2).run_traced(&HalfBroken, 2_000, &mut ring).expect("version 1 survives");
+    std::panic::set_hook(prev);
+    assert_eq!(report.items_processed, 2_000);
+    assert_eq!(report.quarantined, vec![0]);
+    let quarantine = ring.iter().find(|e| {
+        matches!(
+            e.event,
+            TraceEvent::PolicySwitch { from: 0, to: 1, reason: SwitchReason::Quarantine }
+        )
+    });
+    let events: Vec<&TracedEvent> = ring.iter().collect();
+    assert!(quarantine.is_some(), "{events:?}");
+}

@@ -208,6 +208,12 @@ impl FaultPlan {
         &self.events
     }
 
+    /// The seed the plan's jitter streams are derived from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Whether the plan injects nothing.
     #[must_use]
     pub fn is_empty(&self) -> bool {

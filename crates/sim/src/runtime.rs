@@ -33,6 +33,7 @@ use crate::process::{BarrierId, LockId, ProcCtx, Process, Step};
 use crate::stats::{MachineStats, ProcStats};
 use crate::time::SimTime;
 use dynfb_core::controller::{Controller, ControllerConfig, Phase};
+use dynfb_core::trace::{self, NullSink, TraceEvent, TraceSink};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -402,10 +403,15 @@ impl AppReport {
 }
 
 /// Shared per-run state (single-threaded simulation: `Rc<RefCell>`).
-struct Driver<'a> {
+struct Driver<'a, S: TraceSink> {
     app: Box<dyn SimApp + 'a>,
     plan: Vec<PlanEntry>,
     mode: RunMode,
+    num_procs: usize,
+    /// Trace collector. Events are stamped with *virtual* time, so for a
+    /// given app + config the event stream is byte-deterministic. The
+    /// default [`NullSink`] monomorphizes every emission away.
+    sink: S,
     active: Option<Active>,
     reports: Vec<SectionExecution>,
     /// Controllers persisted per section name across executions, so the
@@ -448,7 +454,7 @@ struct Active {
     records: Vec<SampleRecord>,
 }
 
-impl<'a> Driver<'a> {
+impl<'a, S: TraceSink> Driver<'a, S> {
     /// Initialize section `plan_idx` if not already active. `totals` are
     /// machine-wide stats at `now` (the baseline for the first interval's
     /// overhead measurement).
@@ -522,6 +528,13 @@ impl<'a> Driver<'a> {
                             }
                             _ => {
                                 let first = ctl.begin_section();
+                                if S::ENABLED {
+                                    trace::record_phase_start(
+                                        &mut self.sink,
+                                        now.as_duration(),
+                                        ctl.phase(),
+                                    );
+                                }
                                 (iters, first, Some(ctl), now, totals)
                             }
                         }
@@ -561,11 +574,13 @@ impl<'a> Driver<'a> {
             // fault injection can make non-monotone.
             let actual = now.saturating_since(active.interval_start);
             let sample = totals.since(&active.snapshot).overhead_sample();
+            let before = ctl.phase();
+            let overhead = sample.total_overhead();
             active.records.push(SampleRecord {
                 at: now,
-                phase: ctl.phase(),
+                phase: before,
                 version: ctl.current_policy(),
-                overhead: sample.total_overhead(),
+                overhead,
                 actual,
                 partial: false,
             });
@@ -573,6 +588,18 @@ impl<'a> Driver<'a> {
             active.version = transition.policy();
             active.interval_start = now;
             active.snapshot = totals;
+            if S::ENABLED {
+                trace::record_transition(
+                    &mut self.sink,
+                    now.as_duration(),
+                    before,
+                    overhead,
+                    actual,
+                    false,
+                    ctl.phase(),
+                    false,
+                );
+            }
         }
     }
 
@@ -588,16 +615,30 @@ impl<'a> Driver<'a> {
             if ctl.phase().is_sampling() {
                 let actual = now.saturating_since(active.interval_start);
                 let sample = totals.since(&active.snapshot).overhead_sample();
+                let before = ctl.phase();
+                let overhead = sample.total_overhead();
                 active.records.push(SampleRecord {
                     at: now,
-                    phase: ctl.phase(),
+                    phase: before,
                     version: ctl.current_policy(),
-                    overhead: sample.total_overhead(),
+                    overhead,
                     actual,
                     partial: true,
                 });
                 let transition = ctl.abort_to_production();
                 active.version = transition.policy();
+                if S::ENABLED {
+                    trace::record_transition(
+                        &mut self.sink,
+                        now.as_duration(),
+                        before,
+                        overhead,
+                        actual,
+                        true,
+                        ctl.phase(),
+                        true,
+                    );
+                }
             }
             active.interval_start = now;
             active.snapshot = totals;
@@ -612,6 +653,12 @@ impl<'a> Driver<'a> {
             return;
         }
         if self.active.as_ref().is_some_and(|a| a.switch_requested) {
+            if S::ENABLED && self.active.as_ref().is_some_and(|a| a.controller.is_some()) {
+                // Synchronous switching (§4.1): every processor is at the
+                // section barrier when the leader applies the transition.
+                let arrived = self.num_procs;
+                self.sink.record(now.as_duration(), TraceEvent::BarrierSync { arrived });
+            }
             if self.active.as_ref().is_some_and(|a| a.abort_requested) {
                 self.apply_abort(now, totals);
             } else {
@@ -638,14 +685,25 @@ impl<'a> Driver<'a> {
                     // Record the final, partial interval of the section.
                     if !actual.is_zero() {
                         let sample = totals.since(&active.snapshot).overhead_sample();
+                        let overhead = sample.total_overhead();
                         active.records.push(SampleRecord {
                             at: now,
                             phase: ctl.phase(),
                             version: ctl.current_policy(),
-                            overhead: sample.total_overhead(),
+                            overhead,
                             actual,
                             partial: true,
                         });
+                        if S::ENABLED {
+                            trace::record_interval_end(
+                                &mut self.sink,
+                                now.as_duration(),
+                                ctl.phase(),
+                                overhead,
+                                actual,
+                                true,
+                            );
+                        }
                     }
                     ctl.end_section();
                 }
@@ -694,8 +752,8 @@ enum AfterDrain {
     NextIteration { poll: bool },
 }
 
-struct AppProcess<'a> {
-    driver: Rc<RefCell<Driver<'a>>>,
+struct AppProcess<'a, S: TraceSink> {
+    driver: Rc<RefCell<Driver<'a, S>>>,
     proc_index: usize,
     pos: usize,
     state: PState,
@@ -705,7 +763,7 @@ struct AppProcess<'a> {
     instrumented_static: bool,
 }
 
-impl<'a> AppProcess<'a> {
+impl<'a, S: TraceSink> AppProcess<'a, S> {
     /// Take the next loop iteration (or initiate the section-ending
     /// rendezvous), returning the next step.
     fn parallel_step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
@@ -823,7 +881,7 @@ impl<'a> AppProcess<'a> {
     }
 }
 
-impl<'a> Process for AppProcess<'a> {
+impl<'a, S: TraceSink> Process for AppProcess<'a, S> {
     fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
         // Once any processor hit an unrecoverable error, everyone winds
         // down; run_app reports the recorded error instead of statistics.
@@ -899,7 +957,7 @@ impl<'a> Process for AppProcess<'a> {
 /// none implementing a statically requested policy), and any engine error
 /// (deadlock, lock misuse, event-limit overrun).
 pub fn run_app<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppReport, SimError> {
-    run_app_impl(app, config)
+    run_app_impl(app, config, NullSink)
 }
 
 /// Like [`run_app`], but borrows the application so the caller can inspect
@@ -909,12 +967,43 @@ pub fn run_app<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppRepo
 ///
 /// Same as [`run_app`].
 pub fn run_app_ref<A: SimApp>(app: &mut A, config: &RunConfig) -> Result<AppReport, SimError> {
-    run_app_impl(app, config)
+    run_app_impl(app, config, NullSink)
 }
 
-fn run_app_impl<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppReport, SimError> {
+/// Like [`run_app`], but records the adaptation timeline into `sink`.
+///
+/// Events are stamped with *virtual* simulation time, so for a given app +
+/// config the trace is fully deterministic: the same run always produces
+/// the same event stream, byte for byte, regardless of host timing or how
+/// many runs execute concurrently.
+///
+/// # Errors
+///
+/// Same as [`run_app`].
+pub fn run_app_traced<'a, A: SimApp + 'a, S: TraceSink>(
+    app: A,
+    config: &RunConfig,
+    sink: &mut S,
+) -> Result<AppReport, SimError> {
+    run_app_impl(app, config, sink)
+}
+
+fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink>(
+    app: A,
+    config: &RunConfig,
+    mut sink: S,
+) -> Result<AppReport, SimError> {
     if config.num_procs == 0 {
         return Err(SimError::NoProcessors);
+    }
+    if S::ENABLED && !config.faults.is_empty() {
+        sink.record(
+            Duration::ZERO,
+            TraceEvent::FaultPlanActivated {
+                seed: config.faults.seed(),
+                events: config.faults.events().len(),
+            },
+        );
     }
     let mut machine = Machine::try_new(config.machine)?;
     machine.set_fault_plan(config.faults.clone())?;
@@ -931,6 +1020,8 @@ fn run_app_impl<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppRep
         app: Box::new(app),
         plan,
         mode: config.mode.clone(),
+        num_procs: config.num_procs,
+        sink,
         active: None,
         reports: Vec::new(),
         controllers: std::collections::HashMap::new(),
