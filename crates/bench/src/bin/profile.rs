@@ -1,0 +1,69 @@
+//! Per-lock profiling binary: runs the chaos matrix under the metrics
+//! registry, prints the ranked attribution report (region × policy ×
+//! scenario → overhead breakdown), and cross-checks every cell against the
+//! machine-wide stats (the consistency oracle). Also profiles a fixed-seed
+//! Barnes-Hut run to exercise the compiler's region-label metadata, and
+//! exports JSON + Prometheus text per scenario.
+//!
+//! Usage: `cargo run --release -p dynfb-bench --bin profile -- \
+//!     [--seed N | N] [--jobs N] [--filter PAT[,PAT...]] [--quick]`
+//!
+//! Exits non-zero if any per-lock profile disagrees with the machine
+//! aggregates. Stdout and the exported files are byte-identical for every
+//! `--jobs` value (CI enforces this).
+
+use dynfb_bench::chaos::ChaosConfig;
+use dynfb_bench::engine::{parse_cli, Engine};
+use dynfb_bench::profile::{barnes_hut_profile, profile_report_with};
+use std::path::Path;
+
+const USAGE: &str = "usage: profile [--seed N | N] [--jobs N] [--filter PAT[,PAT...]] [--quick]
+
+  --seed N    scenario seed (default 42; a bare integer also works)
+  --jobs N    worker threads (default: all host threads)
+  --filter P  only scenarios whose name matches (substring or * wildcard)
+  --quick     reduced iteration count (CI-sized run)";
+
+fn main() {
+    let opts = parse_cli(std::env::args().skip(1), USAGE);
+    let mut cfg = ChaosConfig { seed: opts.seed.unwrap_or(42), ..ChaosConfig::default() };
+    if opts.quick {
+        cfg.iters = 1_500;
+    }
+    let engine = Engine::new(opts.jobs);
+    let report = profile_report_with(&cfg, &engine, opts.filter.as_ref());
+    print!("{}", report.text);
+
+    // A compiled app with real region labels, fixed seed: the same profile
+    // the golden tests pin down, at a bigger size unless --quick.
+    let bodies = if opts.quick { 96 } else { 256 };
+    let bh = barnes_hut_profile(bodies, cfg.procs, "original");
+    println!(
+        "barnes-hut ({bodies} bodies, {} procs, original): oracle {}",
+        cfg.procs,
+        if bh.consistent { "ok" } else { "MISMATCH" }
+    );
+
+    let dir = Path::new("target/profile");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("profile: cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    let mut exports = report.exports.clone();
+    exports.push(("barnes_hut.json".to_string(), bh.json.clone()));
+    exports.push(("barnes_hut.prom".to_string(), bh.prom.clone()));
+    for (name, contents) in &exports {
+        let path = dir.join(name);
+        match std::fs::write(&path, contents) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("profile: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if !report.consistent || !bh.consistent {
+        eprintln!("profile: MISMATCH between per-lock profiles and machine aggregates");
+        std::process::exit(1);
+    }
+}

@@ -34,8 +34,9 @@ use std::time::Duration;
 
 /// Updates per loop iteration (the batch the coarse version locks across).
 const UPDATES: usize = 16;
-/// Shared slots: every iteration lands on one of these locks.
-const SLOTS: usize = 4;
+/// Shared slots: every iteration lands on one of these locks. Public so
+/// the profile oracle can label the slots' machine lock ids.
+pub const SLOTS: usize = 4;
 /// Cost of one update's computation.
 const UPDATE_COST: Duration = Duration::from_micros(6);
 

@@ -10,5 +10,6 @@
 pub mod chaos;
 pub mod engine;
 pub mod experiments;
+pub mod profile;
 pub mod report;
 pub mod trace;

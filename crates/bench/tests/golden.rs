@@ -55,6 +55,18 @@ fn table_markdown_render_matches_golden() {
 }
 
 #[test]
+fn barnes_hut_profile_exports_match_golden() {
+    // A fixed-seed Barnes-Hut run (32 bodies, 4 procs, original policy)
+    // profiled under the metrics registry, with lock ids mapped through
+    // the compiler's region metadata. Everything is virtual-time
+    // deterministic, so both exports are byte-stable across hosts.
+    let p = dynfb_bench::profile::barnes_hut_profile(32, 4, "original");
+    assert!(p.consistent, "per-lock sums must equal machine aggregates");
+    check_golden("barnes_hut_profile.golden.prom", &p.prom);
+    check_golden("barnes_hut_profile.golden.json", &p.json);
+}
+
+#[test]
 fn bench_results_json_matches_golden() {
     // A tiny fixed-seed matrix: code sizes for all apps plus one serial
     // Barnes-Hut run. Everything in it is virtual-time deterministic, so

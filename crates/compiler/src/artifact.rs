@@ -117,6 +117,53 @@ pub struct VmCode {
     pub body_fn: usize,
 }
 
+/// Source-level critical-region provenance for one lock class in one code
+/// version: which default regions (named at lock placement, `"{method}#{k}"`)
+/// guard objects of that class after the policy's transformations ran.
+/// Coalesced regions list every constituent source region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Name of the class whose per-object lock the regions acquire.
+    pub class: String,
+    /// Source-region tags, in first-appearance order, deduplicated.
+    pub sources: Vec<String>,
+}
+
+/// Collect per-class region provenance from a statement list (one entry per
+/// lock class, sources unioned in first-appearance order).
+fn collect_regions(stmts: &[Stmt], classes: &[dynfb_lang::hir::Class], out: &mut Vec<RegionInfo>) {
+    for s in stmts {
+        match s {
+            Stmt::Critical { lock_obj, body, regions } => {
+                if let Ty::Object(cid) = lock_obj.ty {
+                    let class = &classes[cid.0].name;
+                    let entry = match out.iter_mut().find(|r| &r.class == class) {
+                        Some(e) => e,
+                        None => {
+                            out.push(RegionInfo { class: class.clone(), sources: Vec::new() });
+                            out.last_mut().expect("just pushed")
+                        }
+                    };
+                    for tag in regions {
+                        if !entry.sources.contains(tag) {
+                            entry.sources.push(tag.clone());
+                        }
+                    }
+                }
+                collect_regions(body, classes, out);
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_regions(then_branch, classes, out);
+                collect_regions(else_branch, classes, out);
+            }
+            Stmt::While { body, .. } | Stmt::CountedFor { body, .. } => {
+                collect_regions(body, classes, out);
+            }
+            _ => {}
+        }
+    }
+}
+
 /// One generated code version of a parallel section.
 #[derive(Debug, Clone)]
 pub struct VersionCode {
@@ -137,6 +184,9 @@ pub struct VersionCode {
     pub locals_ty: Vec<Ty>,
     /// Bytecode for the fast execution tier.
     pub vm: VmCode,
+    /// Per-lock-class source-region provenance of this version (one entry
+    /// per class with critical regions reachable from the loop body).
+    pub regions: Vec<RegionInfo>,
 }
 
 impl VersionCode {
@@ -347,7 +397,7 @@ pub fn compile(
             let mut module = lower_functions(funcs);
             let body_fn = module.funcs.len();
             module.funcs.push(lower_body("$body", body, &locals_ty));
-            VersionCode {
+            let mut vc = VersionCode {
                 name: String::new(),
                 functions: funcs.to_vec(),
                 var: *var,
@@ -356,7 +406,18 @@ pub fn compile(
                 body: body.clone(),
                 locals_ty,
                 vm: VmCode { module, body_fn },
+                regions: Vec::new(),
+            };
+            // Region provenance: every critical region reachable from the
+            // loop body, grouped by lock class. `reachable_functions` is
+            // index-sorted, so collection order is deterministic.
+            let mut regions = Vec::new();
+            collect_regions(&vc.body, &hir.classes, &mut regions);
+            for (_, f) in vc.reachable_functions() {
+                collect_regions(&f.body, &hir.classes, &mut regions);
             }
+            vc.regions = regions;
+            vc
         };
         let mut versions: Vec<VersionCode> = Vec::new();
         for (policy, set) in &policy_sets {
@@ -444,6 +505,44 @@ impl CompiledApp {
     #[must_use]
     pub fn globals(&self) -> &[Value] {
         &self.env.globals
+    }
+
+    /// Base index of this app's per-object lock pool in the machine's lock
+    /// table (`None` until `setup` has run). Object id `i`'s lock is machine
+    /// lock `base + i`.
+    #[must_use]
+    pub fn lock_pool_base(&self) -> Option<usize> {
+        self.lock_base.map(LockId::index)
+    }
+
+    /// Source-level label for each live heap object's lock under one
+    /// section version: `"{class}:{tag+tag+...}"` when that version has
+    /// critical regions on the object's class, or the bare class name
+    /// otherwise (e.g. the serial version, which holds no locks). Index in
+    /// the returned vector = object id = offset from
+    /// [`lock_pool_base`](Self::lock_pool_base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `section` is not a compiled parallel section.
+    #[must_use]
+    pub fn lock_region_labels(&self, section: &str, version: usize) -> Vec<String> {
+        let sc = &self.sections[section];
+        let vc = if version >= sc.versions.len() { &sc.serial } else { &sc.versions[version] };
+        self.env
+            .heap
+            .objects
+            .iter()
+            .map(|o| {
+                let class = &self.hir.classes[o.class].name;
+                match vc.regions.iter().find(|r| &r.class == class) {
+                    Some(r) if !r.sources.is_empty() => {
+                        format!("{class}:{}", r.sources.join("+"))
+                    }
+                    _ => class.clone(),
+                }
+            })
+            .collect()
     }
 
     /// Execute a nullary function outside the simulation (for test

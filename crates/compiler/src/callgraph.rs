@@ -139,7 +139,7 @@ fn collect_calls_stmt(s: &Stmt, out: &mut Vec<FuncId>) {
             }
         }
         Stmt::Expr(e) => collect_calls_expr(e, out),
-        Stmt::Critical { lock_obj, body } => {
+        Stmt::Critical { lock_obj, body, .. } => {
             collect_calls_expr(lock_obj, out);
             collect_calls_stmts(body, out);
         }

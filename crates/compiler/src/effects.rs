@@ -194,7 +194,7 @@ fn scan_stmt(s: &Stmt, e: &mut Effects) {
             }
         }
         Stmt::Expr(x) => scan_expr(x, e),
-        Stmt::Critical { lock_obj, body } => {
+        Stmt::Critical { lock_obj, body, .. } => {
             scan_expr(lock_obj, e);
             scan_stmts(body, e);
         }
@@ -282,7 +282,7 @@ pub fn visit_exprs_stmts(stmts: &[Stmt], f: &mut impl FnMut(&Expr)) {
             Stmt::Return(Some(v)) => visit_exprs(v, f),
             Stmt::Return(None) => {}
             Stmt::Expr(x) => visit_exprs(x, f),
-            Stmt::Critical { lock_obj, body } => {
+            Stmt::Critical { lock_obj, body, .. } => {
                 visit_exprs(lock_obj, f);
                 visit_exprs_stmts(body, f);
             }

@@ -432,7 +432,7 @@ impl<'a> Interp<'a> {
                 self.eval(e, frame)?;
                 Ok(Flow::Normal)
             }
-            Stmt::Critical { lock_obj, body } => {
+            Stmt::Critical { lock_obj, body, .. } => {
                 let o = self.eval(lock_obj, frame)?;
                 let Value::Obj(id) = o else {
                     return Err(RuntimeError::new("critical region on null/non-object"));

@@ -40,7 +40,7 @@ pub mod symbolic;
 pub mod syncopt;
 pub mod vm;
 
-pub use artifact::{compile, CompileError, CompileOptions, CompiledApp};
+pub use artifact::{compile, CompileError, CompileOptions, CompiledApp, RegionInfo};
 pub use interp::{CostModel, HostRegistry, Value};
 pub use syncopt::Policy;
 pub use vm::ExecTier;

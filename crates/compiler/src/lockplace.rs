@@ -14,15 +14,35 @@ use dynfb_lang::hir::{Expr, ExprKind, Function, Place, Stmt};
 /// of consecutive top-level `this.field = ...` assignments becomes one
 /// `Critical` region on `this`.
 ///
+/// Each inserted region is named `"{method}#{k}"` (`k` counting regions in
+/// source order within the method) — the source-level identity that the
+/// synchronization optimizer propagates through merge/hoist/lift, and that
+/// profiles use to attribute per-lock overhead back to code.
+///
 /// Returns true if any region was inserted.
 pub fn insert_default_regions(func: &mut Function) -> bool {
     let Some(class) = func.class else {
         return false;
     };
     let body = std::mem::take(&mut func.body);
+    let mut naming = Naming { base: func.name.clone(), next: 0 };
     let mut inserted = false;
-    func.body = wrap_runs(body, &Expr::this(class), &mut inserted);
+    func.body = wrap_runs(body, &Expr::this(class), &mut naming, &mut inserted);
     inserted
+}
+
+/// Source-order region-name allocator for one function.
+struct Naming {
+    base: String,
+    next: usize,
+}
+
+impl Naming {
+    fn tag(&mut self) -> String {
+        let tag = format!("{}#{}", self.base, self.next);
+        self.next += 1;
+        tag
+    }
 }
 
 fn is_this_field_write(s: &Stmt) -> bool {
@@ -33,21 +53,26 @@ fn is_this_field_write(s: &Stmt) -> bool {
     )
 }
 
-fn wrap_runs(stmts: Vec<Stmt>, lock: &Expr, inserted: &mut bool) -> Vec<Stmt> {
+fn wrap_runs(stmts: Vec<Stmt>, lock: &Expr, naming: &mut Naming, inserted: &mut bool) -> Vec<Stmt> {
     let mut out = Vec::new();
     let mut run: Vec<Stmt> = Vec::new();
-    let flush = |run: &mut Vec<Stmt>, out: &mut Vec<Stmt>, inserted: &mut bool| {
-        if !run.is_empty() {
-            *inserted = true;
-            out.push(Stmt::Critical { lock_obj: lock.clone(), body: std::mem::take(run) });
-        }
-    };
+    let flush =
+        |run: &mut Vec<Stmt>, out: &mut Vec<Stmt>, naming: &mut Naming, inserted: &mut bool| {
+            if !run.is_empty() {
+                *inserted = true;
+                out.push(Stmt::Critical {
+                    lock_obj: lock.clone(),
+                    body: std::mem::take(run),
+                    regions: vec![naming.tag()],
+                });
+            }
+        };
     for s in stmts {
         if is_this_field_write(&s) {
             run.push(s);
             continue;
         }
-        flush(&mut run, &mut out, inserted);
+        flush(&mut run, &mut out, naming, inserted);
         // Recurse into structured statements so updates nested in control
         // flow are protected too (such operations are not *parallelized* —
         // the commutativity analysis rejects them — but serial-section code
@@ -55,20 +80,23 @@ fn wrap_runs(stmts: Vec<Stmt>, lock: &Expr, inserted: &mut bool) -> Vec<Stmt> {
         let s = match s {
             Stmt::If { cond, then_branch, else_branch } => Stmt::If {
                 cond,
-                then_branch: wrap_runs(then_branch, lock, inserted),
-                else_branch: wrap_runs(else_branch, lock, inserted),
+                then_branch: wrap_runs(then_branch, lock, naming, inserted),
+                else_branch: wrap_runs(else_branch, lock, naming, inserted),
             },
             Stmt::While { cond, body } => {
-                Stmt::While { cond, body: wrap_runs(body, lock, inserted) }
+                Stmt::While { cond, body: wrap_runs(body, lock, naming, inserted) }
             }
-            Stmt::CountedFor { var, start, bound, body } => {
-                Stmt::CountedFor { var, start, bound, body: wrap_runs(body, lock, inserted) }
-            }
+            Stmt::CountedFor { var, start, bound, body } => Stmt::CountedFor {
+                var,
+                start,
+                bound,
+                body: wrap_runs(body, lock, naming, inserted),
+            },
             other => other,
         };
         out.push(s);
     }
-    flush(&mut run, &mut out, inserted);
+    flush(&mut run, &mut out, naming, inserted);
     out
 }
 

@@ -420,7 +420,7 @@ impl Lowerer {
                 self.expr_into(e, t);
                 self.release_to(m);
             }
-            Stmt::Critical { lock_obj, body } => {
+            Stmt::Critical { lock_obj, body, .. } => {
                 // The lock register stays pinned across the body so the
                 // release addresses the same object.
                 let pinned = self.temp();

@@ -206,3 +206,41 @@ fn non_commuting_program_is_rejected() {
         other => panic!("expected NotParallelizable, got {other}"),
     }
 }
+
+#[test]
+fn versions_carry_region_provenance_to_lock_labels() {
+    // Region provenance flows front-to-back: lock placement names the two
+    // default regions in `one_interaction` (`#0` guards phi, `#1` guards
+    // acc), syncopt's merge/hoist/lift preserve the tags, and the compiled
+    // artifact exposes them per version and per heap object.
+    let app = build();
+    let serial_idx = app.sections()["forces"].versions.len();
+    let forces = &app.sections()["forces"];
+    for v in &forces.versions {
+        assert_eq!(v.regions.len(), 1, "one lock class in `{}`", v.name);
+        let info = &v.regions[0];
+        assert_eq!(info.class, "body");
+        if v.name.split('+').any(|p| p == "original") {
+            assert_eq!(
+                info.sources,
+                vec!["one_interaction#0".to_string(), "one_interaction#1".to_string()]
+            );
+        } else {
+            // Merged/lifted versions must still name every constituent.
+            assert!(info.sources.contains(&"one_interaction#0".to_string()), "{info:?}");
+            assert!(info.sources.contains(&"one_interaction#1".to_string()), "{info:?}");
+        }
+    }
+    // The serial version holds no locks, so it reports no regions.
+    assert!(forces.serial.regions.is_empty());
+
+    // After a run the heap is populated and per-lock labels resolve.
+    let app = run_and_return(app, &RunConfig::fixed(2, "original"));
+    assert!(app.lock_pool_base().is_some());
+    let labels = app.lock_region_labels("forces", 0);
+    assert_eq!(labels.len(), 24);
+    assert!(labels.iter().all(|l| l.starts_with("body:one_interaction#0")), "{labels:?}");
+    // Under the serial version the label degrades to the bare class name.
+    let serial_labels = app.lock_region_labels("forces", serial_idx);
+    assert!(serial_labels.iter().all(|l| l == "body"), "{serial_labels:?}");
+}

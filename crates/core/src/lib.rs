@@ -34,6 +34,11 @@
 //!   [`trace::TraceSink`] event API emitted by both drivers, a zero-cost
 //!   [`trace::NullSink`], a bounded [`trace::RingBuffer`] collector, and a
 //!   Chrome trace-event / Perfetto JSON exporter.
+//! * [`metrics`] — per-lock profiling: a [`metrics::MetricsSink`] API
+//!   emitted by both drivers (zero-cost [`metrics::NoMetrics`] when
+//!   disabled), an accumulating [`metrics::MetricsRegistry`] with log2
+//!   histograms, an atomic [`metrics::LockTable`] for realtime workers,
+//!   and deterministic Prometheus-text / JSON exporters.
 //!
 //! ## Quick start
 //!
@@ -66,6 +71,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod controller;
+pub mod metrics;
 pub mod overhead;
 pub mod realtime;
 pub mod rng;
@@ -73,5 +79,6 @@ pub mod theory;
 pub mod trace;
 
 pub use controller::{Controller, ControllerConfig, Phase, PolicyId, Transition};
+pub use metrics::{LockMetrics, LockTable, Log2Histogram, MetricsRegistry, MetricsSink, NoMetrics};
 pub use overhead::OverheadSample;
 pub use trace::{NullSink, RingBuffer, TraceEvent, TraceSink, TracedEvent};

@@ -1,0 +1,778 @@
+//! Per-lock profiling and metrics (the attribution layer).
+//!
+//! The paper decomposes execution time into locking, waiting, and
+//! false-exclusion overhead — but only per machine. This module attributes
+//! those components to *individual locks*, so a profile can answer which
+//! critical region makes a policy win or lose:
+//!
+//! * **Zero cost when disabled**: drivers are generic over a
+//!   [`MetricsSink`]; the default [`NoMetrics`] has `const ENABLED = false`,
+//!   so every emission site (guarded by `if M::ENABLED`) monomorphizes away
+//!   — the unprofiled hot path is the same machine code as before this
+//!   module existed (the perf-smoke CI gate runs through it). This is the
+//!   same trick as [`TraceSink`](crate::trace::TraceSink).
+//! * **Direct accumulation**: metrics never route through the droppable
+//!   trace [`RingBuffer`](crate::trace::RingBuffer) — a saturated ring
+//!   cannot lose lock counts, so per-lock sums stay *exactly* equal to the
+//!   machine-wide aggregates (the consistency oracle in `dynfb-bench
+//!   profile` enforces this).
+//! * **Histograms** are fixed-bucket log2 ([`Log2Histogram`]): bucket 0
+//!   holds zero-duration observations, bucket `i >= 1` holds durations in
+//!   `[2^(i-1), 2^i)` nanoseconds, and the top bucket absorbs everything
+//!   longer. Fixed shape keeps recording allocation-free and exports
+//!   deterministic.
+//! * **Export**: [`prometheus_text`] renders the Prometheus text
+//!   exposition format; [`profile_json`] renders a stable JSON document.
+//!   Both are deterministic: identical registries produce identical bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets in a [`Log2Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Receives per-lock profiling events from a driver.
+///
+/// Drivers are generic over the sink, so [`NoMetrics`] compiles every call
+/// away (`ENABLED` is a `const`, letting emission sites skip even the
+/// arithmetic that produces the event's arguments).
+pub trait MetricsSink {
+    /// Statically false for sinks that discard everything; emission sites
+    /// guard recording (and its argument computation) behind this.
+    const ENABLED: bool = true;
+
+    /// A lock was acquired. `cost` is the modeled/charged acquire cost,
+    /// `waited` the time spent waiting for the holder (zero when
+    /// uncontended), and `failed_attempts` the number of unsuccessful spin
+    /// attempts made while waiting.
+    fn lock_acquired(
+        &mut self,
+        lock: usize,
+        cost: Duration,
+        waited: Duration,
+        failed_attempts: u64,
+    );
+
+    /// A lock was released. `cost` is the modeled/charged release cost and
+    /// `held` the time the lock was held (acquire completion to release
+    /// start).
+    fn lock_released(&mut self, lock: usize, cost: Duration, held: Duration);
+
+    /// Bump a named free-form counter by `delta`.
+    fn counter(&mut self, name: &'static str, delta: u64);
+}
+
+/// The disabled sink: discards everything at zero cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMetrics;
+
+impl MetricsSink for NoMetrics {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn lock_acquired(&mut self, _: usize, _: Duration, _: Duration, _: u64) {}
+
+    #[inline(always)]
+    fn lock_released(&mut self, _: usize, _: Duration, _: Duration) {}
+
+    #[inline(always)]
+    fn counter(&mut self, _: &'static str, _: u64) {}
+}
+
+impl<M: MetricsSink + ?Sized> MetricsSink for &mut M {
+    const ENABLED: bool = M::ENABLED;
+
+    #[inline]
+    fn lock_acquired(&mut self, lock: usize, cost: Duration, waited: Duration, failed: u64) {
+        (**self).lock_acquired(lock, cost, waited, failed);
+    }
+
+    #[inline]
+    fn lock_released(&mut self, lock: usize, cost: Duration, held: Duration) {
+        (**self).lock_released(lock, cost, held);
+    }
+
+    #[inline]
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        (**self).counter(name, delta);
+    }
+}
+
+/// A fixed-shape log2 histogram of durations in nanoseconds.
+///
+/// Bucket 0 counts zero-duration observations; bucket `i >= 1` counts
+/// observations in `[2^(i-1), 2^i)` ns; the top bucket absorbs everything
+/// from ~2.1 s up. Recording is allocation-free and the shape is identical
+/// for every histogram, which keeps exports deterministic and mergeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { counts: [0; HISTOGRAM_BUCKETS] }
+    }
+}
+
+impl Log2Histogram {
+    /// Bucket index a duration of `ns` nanoseconds falls into.
+    #[must_use]
+    pub fn bucket_index(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            (ns.ilog2() as usize + 1).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound (in ns) of bucket `i`; `None` for the
+    /// unbounded top bucket (Prometheus `+Inf`).
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> Option<u64> {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            None
+        } else {
+            Some((1u64 << i) - 1)
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[Self::bucket_index(ns)] = self.counts[Self::bucket_index(ns)].saturating_add(1);
+    }
+
+    /// Per-bucket counts, lowest bucket first.
+    #[must_use]
+    pub fn counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().fold(0u64, |a, &c| a.saturating_add(c))
+    }
+
+    /// Add every bucket of `other` into `self` (saturating).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+/// Accumulated profile of one lock.
+///
+/// All additions saturate (matching the stats-layer convention), so a
+/// pathological run degrades to pinned maxima instead of wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LockMetrics {
+    /// Successful acquisitions.
+    pub acquires: u64,
+    /// Acquisitions that had to wait (at least one failed spin attempt).
+    pub contended_acquires: u64,
+    /// Releases.
+    pub releases: u64,
+    /// Unsuccessful spin attempts while waiting.
+    pub failed_attempts: u64,
+    /// Time charged to lock operations themselves (acquire + release
+    /// costs) — the paper's *locking overhead* component.
+    pub locking: Duration,
+    /// Time spent waiting for the holder — the paper's *waiting overhead*
+    /// component.
+    pub waiting: Duration,
+    /// Time the lock was held (acquire completion to release start).
+    pub held: Duration,
+    /// Distribution of per-acquisition wait times.
+    pub wait_hist: Log2Histogram,
+    /// Distribution of per-acquisition hold times.
+    pub hold_hist: Log2Histogram,
+}
+
+impl LockMetrics {
+    /// True if nothing was ever recorded against this lock.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.acquires == 0 && self.releases == 0 && self.failed_attempts == 0
+    }
+
+    /// Locking + waiting: the time this lock charged beyond useful work.
+    #[must_use]
+    pub fn overhead(&self) -> Duration {
+        self.locking.saturating_add(self.waiting)
+    }
+
+    /// Add `other` into `self` (saturating).
+    pub fn merge(&mut self, other: &LockMetrics) {
+        self.acquires = self.acquires.saturating_add(other.acquires);
+        self.contended_acquires = self.contended_acquires.saturating_add(other.contended_acquires);
+        self.releases = self.releases.saturating_add(other.releases);
+        self.failed_attempts = self.failed_attempts.saturating_add(other.failed_attempts);
+        self.locking = self.locking.saturating_add(other.locking);
+        self.waiting = self.waiting.saturating_add(other.waiting);
+        self.held = self.held.saturating_add(other.held);
+        self.wait_hist.merge(&other.wait_hist);
+        self.hold_hist.merge(&other.hold_hist);
+    }
+}
+
+/// The enabled sink: accumulates per-lock metrics and named counters.
+///
+/// Lock slots are grown on demand (indexed by lock id), so a registry can
+/// profile a machine with a large lock pool while only paying for the
+/// locks actually touched. Counter iteration order is the `BTreeMap`'s
+/// (sorted by name), which keeps exports deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    locks: Vec<LockMetrics>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Per-lock metrics, indexed by lock id. Locks past the highest
+    /// recorded id are absent; untouched lower ids are all-zero.
+    #[must_use]
+    pub fn locks(&self) -> &[LockMetrics] {
+        &self.locks
+    }
+
+    /// Metrics for lock `id` (all-zero if never recorded).
+    #[must_use]
+    pub fn lock(&self, id: usize) -> LockMetrics {
+        self.locks.get(id).copied().unwrap_or_default()
+    }
+
+    /// Named counters in sorted name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&name, &v)| (name, v))
+    }
+
+    /// The value of counter `name` (zero if never bumped).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every lock's metrics — what the consistency oracle compares
+    /// against machine-wide aggregates.
+    #[must_use]
+    pub fn totals(&self) -> LockMetrics {
+        let mut total = LockMetrics::default();
+        for lock in &self.locks {
+            total.merge(lock);
+        }
+        total
+    }
+
+    fn slot(&mut self, id: usize) -> &mut LockMetrics {
+        if id >= self.locks.len() {
+            self.locks.resize(id + 1, LockMetrics::default());
+        }
+        &mut self.locks[id]
+    }
+}
+
+impl MetricsSink for MetricsRegistry {
+    fn lock_acquired(&mut self, lock: usize, cost: Duration, waited: Duration, failed: u64) {
+        let m = self.slot(lock);
+        m.acquires = m.acquires.saturating_add(1);
+        if failed > 0 || !waited.is_zero() {
+            m.contended_acquires = m.contended_acquires.saturating_add(1);
+        }
+        m.failed_attempts = m.failed_attempts.saturating_add(failed);
+        m.locking = m.locking.saturating_add(cost);
+        m.waiting = m.waiting.saturating_add(waited);
+        m.wait_hist.record(waited);
+    }
+
+    fn lock_released(&mut self, lock: usize, cost: Duration, held: Duration) {
+        let m = self.slot(lock);
+        m.releases = m.releases.saturating_add(1);
+        m.locking = m.locking.saturating_add(cost);
+        m.held = m.held.saturating_add(held);
+        m.hold_hist.record(held);
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        let v = self.counters.entry(name).or_insert(0);
+        *v = v.saturating_add(delta);
+    }
+}
+
+/// One shared lock slot updated by concurrent workers (realtime driver).
+///
+/// All stores are `Relaxed` saturating adds — per-lock profiling must
+/// never introduce synchronization beyond the lock being profiled.
+#[derive(Debug, Default)]
+pub struct AtomicLockCell {
+    acquires: AtomicU64,
+    contended_acquires: AtomicU64,
+    releases: AtomicU64,
+    failed_attempts: AtomicU64,
+    waiting_ns: AtomicU64,
+    held_ns: AtomicU64,
+}
+
+fn saturating_fetch_add(cell: &AtomicU64, delta: u64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = cur.saturating_add(delta);
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A fixed-size table of [`AtomicLockCell`]s shared by realtime workers.
+///
+/// Sized once at construction (the realtime driver knows its lock set up
+/// front); out-of-range ids are ignored rather than panicking — a profile
+/// must never crash the workload it observes.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    cells: Vec<AtomicLockCell>,
+}
+
+impl LockTable {
+    /// A table profiling locks `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        LockTable { cells: (0..n).map(|_| AtomicLockCell::default()).collect() }
+    }
+
+    /// Number of lock slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the table has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Record a successful acquisition of lock `id` after `waited` wall
+    /// time and `failed` unsuccessful try-lock attempts.
+    pub fn record_acquire(&self, id: usize, waited: Duration, failed: u64) {
+        let Some(c) = self.cells.get(id) else { return };
+        saturating_fetch_add(&c.acquires, 1);
+        if failed > 0 {
+            saturating_fetch_add(&c.contended_acquires, 1);
+        }
+        saturating_fetch_add(&c.failed_attempts, failed);
+        saturating_fetch_add(&c.waiting_ns, duration_ns(waited));
+    }
+
+    /// Record a release of lock `id` after holding it for `held`.
+    pub fn record_release(&self, id: usize, held: Duration) {
+        let Some(c) = self.cells.get(id) else { return };
+        saturating_fetch_add(&c.releases, 1);
+        saturating_fetch_add(&c.held_ns, duration_ns(held));
+    }
+
+    /// Snapshot every slot into plain [`LockMetrics`].
+    ///
+    /// Realtime profiles carry no modeled locking cost and no histograms
+    /// (`locking` is zero and both histograms empty): wall-clock wait and
+    /// hold times are measured directly, while per-operation cost is a
+    /// calibration-model quantity, not an observable.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<LockMetrics> {
+        self.cells
+            .iter()
+            .map(|c| LockMetrics {
+                acquires: c.acquires.load(Ordering::Relaxed),
+                contended_acquires: c.contended_acquires.load(Ordering::Relaxed),
+                releases: c.releases.load(Ordering::Relaxed),
+                failed_attempts: c.failed_attempts.load(Ordering::Relaxed),
+                locking: Duration::ZERO,
+                waiting: Duration::from_nanos(c.waiting_ns.load(Ordering::Relaxed)),
+                held: Duration::from_nanos(c.held_ns.load(Ordering::Relaxed)),
+                wait_hist: Log2Histogram::default(),
+                hold_hist: Log2Histogram::default(),
+            })
+            .collect()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a Prometheus label value (`\`, `"`, and newline).
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ns(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+/// Non-empty `(id, label, metrics)` rows of a registry, in lock-id order.
+fn labeled_rows<'r>(
+    registry: &'r MetricsRegistry,
+    label: &dyn Fn(usize) -> String,
+) -> Vec<(usize, String, &'r LockMetrics)> {
+    registry
+        .locks()
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| !m.is_empty())
+        .map(|(id, m)| (id, label(id), m))
+        .collect()
+}
+
+fn prom_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    rows: &[(usize, String, &LockMetrics)],
+    hist_of: impl Fn(&LockMetrics) -> &Log2Histogram,
+    sum_of: impl Fn(&LockMetrics) -> Duration,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (id, label, m) in rows {
+        let hist = hist_of(m);
+        let mut cumulative = 0u64;
+        for (i, &count) in hist.counts().iter().enumerate() {
+            cumulative = cumulative.saturating_add(count);
+            // Collapse empty leading/inner buckets except the first and
+            // last: one line per *distinct* cumulative value keeps the
+            // exposition compact without losing any information.
+            let boundary = i == 0 || i + 1 == HISTOGRAM_BUCKETS || count > 0;
+            if !boundary {
+                continue;
+            }
+            let le = Log2Histogram::bucket_upper_bound(i)
+                .map_or_else(|| "+Inf".to_string(), |b| b.to_string());
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{lock=\"{id}\",region=\"{}\",le=\"{le}\"}} {cumulative}",
+                prom_escape(label)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_sum{{lock=\"{id}\",region=\"{}\"}} {}",
+            prom_escape(label),
+            ns(sum_of(m))
+        );
+        let _ = writeln!(
+            out,
+            "{name}_count{{lock=\"{id}\",region=\"{}\"}} {}",
+            prom_escape(label),
+            hist.total()
+        );
+    }
+}
+
+/// One exported metric column: `(name, help, getter)`.
+type MetricColumn<T> = (&'static str, &'static str, fn(&LockMetrics) -> T);
+
+/// Render a registry in the Prometheus text exposition format.
+///
+/// `label` maps a lock id to its region label (e.g. from the compiler's
+/// region metadata); locks with no recorded activity are omitted. The
+/// output is deterministic: identical registries render identical bytes.
+#[must_use]
+pub fn prometheus_text(registry: &MetricsRegistry, label: impl Fn(usize) -> String) -> String {
+    let rows = labeled_rows(registry, &label);
+    let mut out = String::new();
+    let counters: [MetricColumn<u64>; 4] = [
+        ("dynfb_lock_acquires_total", "Successful lock acquisitions.", |m| m.acquires),
+        (
+            "dynfb_lock_contended_acquires_total",
+            "Acquisitions that had to wait for the holder.",
+            |m| m.contended_acquires,
+        ),
+        ("dynfb_lock_releases_total", "Lock releases.", |m| m.releases),
+        ("dynfb_lock_failed_attempts_total", "Unsuccessful spin attempts while waiting.", |m| {
+            m.failed_attempts
+        }),
+    ];
+    for (name, help, get) in counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (id, label, m) in &rows {
+            let _ = writeln!(
+                out,
+                "{name}{{lock=\"{id}\",region=\"{}\"}} {}",
+                prom_escape(label),
+                get(m)
+            );
+        }
+    }
+    let durations: [MetricColumn<Duration>; 3] = [
+        ("dynfb_lock_locking_ns_total", "Time charged to lock operations themselves (ns).", |m| {
+            m.locking
+        }),
+        ("dynfb_lock_waiting_ns_total", "Time spent waiting for the holder (ns).", |m| m.waiting),
+        ("dynfb_lock_held_ns_total", "Time the lock was held (ns).", |m| m.held),
+    ];
+    for (name, help, get) in durations {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (id, label, m) in &rows {
+            let _ = writeln!(
+                out,
+                "{name}{{lock=\"{id}\",region=\"{}\"}} {}",
+                prom_escape(label),
+                ns(get(m))
+            );
+        }
+    }
+    prom_histogram(
+        &mut out,
+        "dynfb_lock_wait_ns",
+        "Per-acquisition wait time (ns).",
+        &rows,
+        |m| &m.wait_hist,
+        |m| m.waiting,
+    );
+    prom_histogram(
+        &mut out,
+        "dynfb_lock_hold_ns",
+        "Per-acquisition hold time (ns).",
+        &rows,
+        |m| &m.hold_hist,
+        |m| m.held,
+    );
+    let _ = writeln!(out, "# HELP dynfb_counter Free-form named counters.");
+    let _ = writeln!(out, "# TYPE dynfb_counter counter");
+    for (name, value) in registry.counters() {
+        let _ = writeln!(out, "dynfb_counter{{name=\"{}\"}} {value}", prom_escape(name));
+    }
+    out
+}
+
+fn hist_json(h: &Log2Histogram) -> String {
+    let counts: Vec<String> = h.counts().iter().map(u64::to_string).collect();
+    format!("[{}]", counts.join(","))
+}
+
+/// Render the non-empty lock rows of a registry as a JSON array (one
+/// object per lock, lock-id order). Used as the `"locks"` value of
+/// [`profile_json`] and embeddable in larger documents.
+#[must_use]
+pub fn lock_rows_json(registry: &MetricsRegistry, label: impl Fn(usize) -> String) -> String {
+    let rows: Vec<String> = labeled_rows(registry, &label)
+        .into_iter()
+        .map(|(id, label, m)| {
+            format!(
+                concat!(
+                    "{{\"lock\":{},\"region\":\"{}\",\"acquires\":{},",
+                    "\"contendedAcquires\":{},\"releases\":{},\"failedAttempts\":{},",
+                    "\"lockingNs\":{},\"waitingNs\":{},\"heldNs\":{},",
+                    "\"waitHist\":{},\"holdHist\":{}}}"
+                ),
+                id,
+                json_escape(&label),
+                m.acquires,
+                m.contended_acquires,
+                m.releases,
+                m.failed_attempts,
+                ns(m.locking),
+                ns(m.waiting),
+                ns(m.held),
+                hist_json(&m.wait_hist),
+                hist_json(&m.hold_hist),
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// Render a registry as a stable JSON document: non-empty lock rows (with
+/// region labels and histograms) plus the named counters. Deterministic:
+/// identical registries render identical bytes.
+#[must_use]
+pub fn profile_json(registry: &MetricsRegistry, label: impl Fn(usize) -> String) -> String {
+    let counters: Vec<String> =
+        registry.counters().map(|(name, v)| format!("\"{}\":{v}", json_escape(name))).collect();
+    format!(
+        "{{\"locks\":{},\"counters\":{{{}}}}}\n",
+        lock_rows_json(registry, label),
+        counters.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_metrics_is_statically_disabled() {
+        const { assert!(!NoMetrics::ENABLED) };
+        const { assert!(MetricsRegistry::ENABLED) };
+        // And through the forwarding impl.
+        const { assert!(!<&mut NoMetrics as MetricsSink>::ENABLED) };
+    }
+
+    #[test]
+    fn log2_histogram_buckets_by_power_of_two() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(1023), 10);
+        assert_eq!(Log2Histogram::bucket_index(1024), 11);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Upper bounds tile the index function: the bound of bucket i is
+        // the largest ns still mapping to bucket i.
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let bound = Log2Histogram::bucket_upper_bound(i).unwrap();
+            assert_eq!(Log2Histogram::bucket_index(bound), i, "bucket {i}");
+            assert_eq!(Log2Histogram::bucket_index(bound + 1), i + 1, "bucket {i}");
+        }
+        assert_eq!(Log2Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn registry_accumulates_and_sums() {
+        let mut reg = MetricsRegistry::new();
+        reg.lock_acquired(2, Duration::from_nanos(100), Duration::ZERO, 0);
+        reg.lock_acquired(2, Duration::from_nanos(100), Duration::from_nanos(700), 3);
+        reg.lock_released(2, Duration::from_nanos(50), Duration::from_nanos(400));
+        reg.lock_acquired(0, Duration::from_nanos(100), Duration::ZERO, 0);
+        reg.counter("items", 5);
+        reg.counter("items", 2);
+
+        assert_eq!(reg.locks().len(), 3);
+        let m = reg.lock(2);
+        assert_eq!(m.acquires, 2);
+        assert_eq!(m.contended_acquires, 1);
+        assert_eq!(m.releases, 1);
+        assert_eq!(m.failed_attempts, 3);
+        assert_eq!(m.locking, Duration::from_nanos(250));
+        assert_eq!(m.waiting, Duration::from_nanos(700));
+        assert_eq!(m.held, Duration::from_nanos(400));
+        assert_eq!(m.wait_hist.total(), 2);
+        assert_eq!(m.hold_hist.total(), 1);
+        assert!(reg.lock(1).is_empty());
+        assert_eq!(reg.counter_value("items"), 7);
+
+        let totals = reg.totals();
+        assert_eq!(totals.acquires, 3);
+        assert_eq!(totals.failed_attempts, 3);
+        assert_eq!(totals.overhead(), Duration::from_nanos(1050));
+    }
+
+    #[test]
+    fn lock_table_snapshot_matches_recordings_and_ignores_out_of_range() {
+        let table = LockTable::new(2);
+        table.record_acquire(0, Duration::from_nanos(10), 2);
+        table.record_acquire(0, Duration::ZERO, 0);
+        table.record_release(0, Duration::from_nanos(30));
+        table.record_acquire(7, Duration::from_nanos(1), 1); // out of range: ignored
+        table.record_release(7, Duration::from_nanos(1));
+        let snap = table.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].acquires, 2);
+        assert_eq!(snap[0].contended_acquires, 1);
+        assert_eq!(snap[0].failed_attempts, 2);
+        assert_eq!(snap[0].waiting, Duration::from_nanos(10));
+        assert_eq!(snap[0].held, Duration::from_nanos(30));
+        assert_eq!(snap[0].releases, 1);
+        assert!(snap[1].is_empty());
+    }
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.lock_acquired(1, Duration::from_nanos(200), Duration::ZERO, 0);
+        reg.lock_acquired(1, Duration::from_nanos(200), Duration::from_nanos(900), 4);
+        reg.lock_released(1, Duration::from_nanos(200), Duration::from_nanos(6_000));
+        reg.counter("items", 16);
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_escapes_labels() {
+        let reg = sample_registry();
+        let label = |id: usize| format!("slot\"{id}\"");
+        let a = prometheus_text(&reg, label);
+        let b = prometheus_text(&reg, label);
+        assert_eq!(a, b);
+        assert!(a.contains(r#"dynfb_lock_acquires_total{lock="1",region="slot\"1\""} 2"#), "{a}");
+        assert!(a.contains(r#"dynfb_lock_failed_attempts_total{lock="1",region="slot\"1\""} 4"#));
+        assert!(a.contains(r#"le="+Inf"} 2"#), "{a}");
+        assert!(a.contains(r#"dynfb_counter{name="items"} 16"#), "{a}");
+        // Lock 0 was never touched: it must not appear.
+        assert!(!a.contains(r#"lock="0""#), "{a}");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let reg = sample_registry();
+        let text = prometheus_text(&reg, |id| format!("slot{id}"));
+        // Wait observations: one zero (bucket 0) and one 900 ns (bucket
+        // 10, le=1023). The le="0" line holds 1, the le="1023" line and
+        // +Inf hold the cumulative 2.
+        assert!(text.contains(r#"dynfb_lock_wait_ns_bucket{lock="1",region="slot1",le="0"} 1"#));
+        assert!(text.contains(r#"dynfb_lock_wait_ns_bucket{lock="1",region="slot1",le="1023"} 2"#));
+        assert!(text.contains(r#"dynfb_lock_wait_ns_sum{lock="1",region="slot1"} 900"#));
+        assert!(text.contains(r#"dynfb_lock_wait_ns_count{lock="1",region="slot1"} 2"#));
+    }
+
+    #[test]
+    fn profile_json_is_deterministic_and_structured() {
+        let reg = sample_registry();
+        let a = profile_json(&reg, |id| format!("slot{id}"));
+        let b = profile_json(&reg, |id| format!("slot{id}"));
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"locks\":["), "{a}");
+        assert!(a.contains(r#""lock":1,"region":"slot1","acquires":2"#), "{a}");
+        assert!(a.contains(r#""counters":{"items":16}"#), "{a}");
+        assert!(a.ends_with("}\n"), "{a}");
+    }
+
+    #[test]
+    fn saturating_adds_pin_at_max() {
+        let mut m = LockMetrics { acquires: u64::MAX - 1, ..LockMetrics::default() };
+        let other = LockMetrics { acquires: 5, ..LockMetrics::default() };
+        m.merge(&other);
+        assert_eq!(m.acquires, u64::MAX);
+
+        let table = LockTable::new(1);
+        table.record_acquire(0, Duration::from_nanos(u64::MAX), 0);
+        table.record_acquire(0, Duration::from_nanos(u64::MAX), 0);
+        assert_eq!(table.snapshot()[0].waiting, Duration::from_nanos(u64::MAX));
+    }
+}

@@ -55,9 +55,11 @@
 //! ```
 
 use crate::controller::{ConfigError, Controller, ControllerConfig, Phase, PolicyId};
+use crate::metrics::{LockMetrics, LockTable};
 use crate::overhead::{OverheadCounters, OverheadSample};
 use crate::trace::{self, NullSink, SwitchReason, TraceEvent, TraceSink};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, TryLockError};
@@ -249,9 +251,77 @@ impl<T> ProfiledMutex<T> {
         }
     }
 
+    /// Like [`lock`](ProfiledMutex::lock), additionally attributing the
+    /// acquisition to lock `id` of `table`: wall-clock wait time (measured
+    /// only when at least one attempt failed, matching the simulator's
+    /// zero-wait uncontended acquires) and, when the returned guard drops,
+    /// the wall-clock hold time. All table arithmetic saturates, so the
+    /// per-lock profile degrades to pinned maxima rather than wrapping.
+    pub fn lock_profiled<'a, 't>(
+        &'a self,
+        instruments: &Instruments,
+        table: &'t LockTable,
+        id: usize,
+    ) -> ProfiledGuard<'a, 't, T> {
+        let started = Instant::now();
+        let mut failed = 0u64;
+        loop {
+            let outcome = match self.inner.try_lock() {
+                Ok(guard) => Some(guard),
+                Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+                Err(TryLockError::WouldBlock) => None,
+            };
+            match outcome {
+                Some(inner) => {
+                    instruments.record_acquire();
+                    let waited = if failed > 0 { started.elapsed() } else { Duration::ZERO };
+                    table.record_acquire(id, waited, failed);
+                    return ProfiledGuard { inner, table, id, acquired_at: Instant::now() };
+                }
+                None => {
+                    instruments.record_failed_attempt();
+                    failed = failed.saturating_add(1);
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Guard returned by [`ProfiledMutex::lock_profiled`]: dereferences to the
+/// protected value and records the hold time into the lock table when
+/// dropped (measured to the start of the release, before the underlying
+/// mutex unlocks).
+#[derive(Debug)]
+pub struct ProfiledGuard<'a, 't, T> {
+    inner: MutexGuard<'a, T>,
+    table: &'t LockTable,
+    id: usize,
+    acquired_at: Instant,
+}
+
+impl<T> Deref for ProfiledGuard<'_, '_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for ProfiledGuard<'_, '_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for ProfiledGuard<'_, '_, T> {
+    fn drop(&mut self) {
+        self.table.record_release(self.id, self.acquired_at.elapsed());
     }
 }
 
@@ -380,6 +450,12 @@ pub struct ExecutionReport {
     pub quarantined: Vec<PolicyId>,
     /// Number of panics caught in version closures.
     pub panics: u64,
+    /// Per-lock profile snapshot, indexed by lock id — empty unless the run
+    /// went through [`AdaptiveExecutor::run_profiled`]. Wall-clock
+    /// quantities with saturating accounting: counts are exact (every
+    /// operation through [`ProfiledMutex::lock_profiled`] is recorded), but
+    /// durations are measured timestamps, not modeled costs.
+    pub lock_profile: Vec<LockMetrics>,
 }
 
 impl ExecutionReport {
@@ -574,7 +650,30 @@ impl AdaptiveExecutor {
         workload: &W,
         num_items: usize,
     ) -> Result<ExecutionReport, ExecError> {
-        self.run_impl(workload, num_items, NullSink)
+        self.run_impl(workload, num_items, NullSink, None)
+    }
+
+    /// Like [`run`](AdaptiveExecutor::run), but snapshots `table` into the
+    /// report's [`lock_profile`](ExecutionReport::lock_profile) when the
+    /// run completes.
+    ///
+    /// The workload must route its lock operations through
+    /// [`ProfiledMutex::lock_profiled`] with the *same* table for the
+    /// profile to be meaningful; when it does, per-lock acquire and
+    /// failed-attempt sums equal the aggregate
+    /// [`counters`](ExecutionReport::counters) exactly, and wall-clock wait
+    /// and hold totals are bounded by `elapsed × workers` (saturating).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](AdaptiveExecutor::run).
+    pub fn run_profiled<W: AdaptiveWorkload>(
+        &self,
+        workload: &W,
+        num_items: usize,
+        table: &LockTable,
+    ) -> Result<ExecutionReport, ExecError> {
+        self.run_impl(workload, num_items, NullSink, Some(table))
     }
 
     /// Like [`run`](AdaptiveExecutor::run), but records the adaptation
@@ -592,7 +691,7 @@ impl AdaptiveExecutor {
         num_items: usize,
         sink: &mut S,
     ) -> Result<ExecutionReport, ExecError> {
-        self.run_impl(workload, num_items, sink)
+        self.run_impl(workload, num_items, sink, None)
     }
 
     fn run_impl<W: AdaptiveWorkload, S: TraceSink + Send>(
@@ -600,6 +699,7 @@ impl AdaptiveExecutor {
         workload: &W,
         num_items: usize,
         mut sink: S,
+        table: Option<&LockTable>,
     ) -> Result<ExecutionReport, ExecError> {
         if workload.num_versions() != self.config.controller.num_policies {
             return Err(ExecError::VersionMismatch {
@@ -665,6 +765,7 @@ impl AdaptiveExecutor {
             counters: shared.instruments.snapshot(),
             quarantined: control.quarantine_log.clone(),
             panics: shared.panics.load(Ordering::Relaxed),
+            lock_profile: table.map(LockTable::snapshot).unwrap_or_default(),
         })
     }
 
@@ -887,6 +988,63 @@ mod tests {
         let report = exec(2).run(&w, 2_000).expect("no panics");
         // Every item acquires at least once.
         assert!(report.counters.acquires >= 2_000);
+    }
+
+    /// Two-lock workload whose every lock operation goes through the
+    /// profiled path, so per-lock sums must match the aggregate counters
+    /// exactly.
+    struct TwoLocks<'t> {
+        slots: [ProfiledMutex<u64>; 2],
+        table: &'t LockTable,
+    }
+
+    impl AdaptiveWorkload for TwoLocks<'_> {
+        fn num_versions(&self) -> usize {
+            2
+        }
+        fn run_item(&self, version: usize, item: usize, ins: &Instruments) {
+            // Version 0 hammers both slots; version 1 touches one.
+            let rounds = if version == 0 { 4 } else { 1 };
+            for r in 0..rounds {
+                let id = (item + r) % 2;
+                *self.slots[id].lock_profiled(ins, self.table, id) += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_run_attributes_all_lock_activity_within_bounds() {
+        let table = LockTable::new(2);
+        let w = TwoLocks { slots: [ProfiledMutex::new(0), ProfiledMutex::new(0)], table: &table };
+        let report = exec(3).run_profiled(&w, 4_000, &table).expect("no panics");
+        assert_eq!(report.items_processed, 4_000);
+        let profile = &report.lock_profile;
+        assert_eq!(profile.len(), 2);
+
+        // Counts are exact: every acquire and failed attempt went through
+        // the profiled path, so per-lock sums equal the aggregates.
+        let acquires: u64 = profile.iter().map(|m| m.acquires).sum();
+        let failed: u64 = profile.iter().map(|m| m.failed_attempts).sum();
+        let releases: u64 = profile.iter().map(|m| m.releases).sum();
+        assert_eq!(acquires, report.counters.acquires);
+        assert_eq!(failed, report.counters.failed_attempts);
+        assert_eq!(releases, acquires, "every guard dropped");
+        assert!(profile.iter().all(|m| !m.is_empty()), "both slots saw traffic");
+
+        // Durations are wall-clock measurements under saturating
+        // accounting: bounded by total worker time, not exact.
+        let budget = report.elapsed.saturating_mul(3).saturating_add(Duration::from_millis(50));
+        let waited: Duration = profile.iter().map(|m| m.waiting).sum();
+        let held: Duration = profile.iter().map(|m| m.held).sum();
+        assert!(waited <= budget, "waited {waited:?} > budget {budget:?}");
+        assert!(held <= budget, "held {held:?} > budget {budget:?}");
+    }
+
+    #[test]
+    fn unprofiled_run_reports_an_empty_lock_profile() {
+        let w = LockHeavy { counter: ProfiledMutex::new(0), applied: AtomicU64::new(0) };
+        let report = exec(2).run(&w, 500).expect("no panics");
+        assert!(report.lock_profile.is_empty());
     }
 
     #[test]

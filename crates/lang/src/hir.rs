@@ -280,6 +280,11 @@ pub enum Stmt {
         lock_obj: Expr,
         /// Protected statements.
         body: Vec<Stmt>,
+        /// Names of the source-level default regions this region descends
+        /// from (`"{function}#{k}"`, assigned at lock placement).
+        /// Coalescing transformations concatenate constituents, so a
+        /// merged/hoisted/lifted region keeps its full provenance.
+        regions: Vec<String>,
     },
 }
 
@@ -421,7 +426,7 @@ fn stmt_size(s: &Stmt) -> usize {
         }
         Stmt::Return(e) => 1 + e.as_ref().map_or(0, expr_size),
         Stmt::Expr(e) => expr_size(e),
-        Stmt::Critical { lock_obj, body } => 2 + expr_size(lock_obj) + body_size(body),
+        Stmt::Critical { lock_obj, body, .. } => 2 + expr_size(lock_obj) + body_size(body),
     }
 }
 

@@ -164,7 +164,7 @@ impl<'a> Printer<'a> {
                 let text = format!("{};", self.expr(e));
                 self.line(&text);
             }
-            Stmt::Critical { lock_obj, body } => {
+            Stmt::Critical { lock_obj, body, .. } => {
                 let text = format!("synchronized ({}) {{", self.expr(lock_obj));
                 self.line(&text);
                 self.indent += 1;

@@ -11,6 +11,7 @@ use crate::faults::{FaultPlan, FaultPlanError};
 use crate::process::{BarrierId, LockId, ProcCtx, ProcId, Process, Step};
 use crate::stats::{MachineStats, ProcStats};
 use crate::time::SimTime;
+use dynfb_core::metrics::{MetricsSink, NoMetrics};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
@@ -139,6 +140,9 @@ struct LockState {
     waiters: VecDeque<(ProcId, SimTime)>,
     acquires: u64,
     contended_acquires: u64,
+    /// When the current holder completed its acquire — only maintained
+    /// while a [`MetricsSink`] is attached (hold-time attribution).
+    held_since: SimTime,
     /// Touched since the last reset. Lock pools are sized for the worst
     /// case (one lock per possible object), so per-run reset walks only
     /// the dirty list instead of the whole pool.
@@ -317,7 +321,27 @@ impl Machine {
     /// or when the event limit is exceeded.
     pub fn run<'a>(
         &mut self,
+        processes: Vec<Box<dyn Process + 'a>>,
+    ) -> Result<MachineStats, SimError> {
+        self.run_metered(processes, &mut NoMetrics)
+    }
+
+    /// Run one process per processor, attributing lock activity to `metrics`.
+    ///
+    /// Every per-lock event is recorded at the same accounting site that
+    /// updates [`ProcStats`], with the same virtual-time quantities — so the
+    /// sum of per-lock metrics equals the machine aggregates *exactly* (the
+    /// consistency-oracle contract). With [`NoMetrics`] the emission sites
+    /// monomorphize away and this is [`run`](Machine::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on deadlock, lock misuse, unknown resources,
+    /// or when the event limit is exceeded.
+    pub fn run_metered<'a, M: MetricsSink>(
+        &mut self,
         mut processes: Vec<Box<dyn Process + 'a>>,
+        metrics: &mut M,
     ) -> Result<MachineStats, SimError> {
         // Split the borrow once so the event loop can address resources,
         // the persistent queue, and the fault plan independently.
@@ -418,6 +442,10 @@ impl Machine {
                         l.acquires += 1;
                         stats[p].acquires += 1;
                         stats[p].lock_time += cost;
+                        if M::ENABLED {
+                            l.held_since = t_eff + cost;
+                            metrics.lock_acquired(lock.0, cost, Duration::ZERO, 0);
+                        }
                         push(queue, &mut seq, t_eff + cost, p);
                     } else {
                         l.waiters.push_back((ProcId(p), t_eff));
@@ -437,6 +465,11 @@ impl Machine {
                         return Err(SimError::BadRelease { proc: ProcId(p), lock });
                     }
                     stats[p].lock_time += cost;
+                    if M::ENABLED {
+                        // Held from acquire completion to release *start*
+                        // (the release cost is locking, not holding).
+                        metrics.lock_released(lock.0, cost, t_eff.saturating_since(l.held_since));
+                    }
                     let released_at = t_eff + cost;
                     let free_at = released_at + extra;
                     l.holder = None;
@@ -464,6 +497,10 @@ impl Machine {
                         l.holder = Some(w);
                         l.acquires += 1;
                         l.contended_acquires += 1;
+                        if M::ENABLED {
+                            l.held_since = free_at + acq_cost;
+                            metrics.lock_acquired(lock.0, acq_cost, span, attempts);
+                        }
                         status[wi] = ProcStatus::Ready;
                         push(queue, &mut seq, free_at + acq_cost, wi);
                     }
@@ -732,5 +769,78 @@ mod tests {
             m.run(procs).unwrap()
         };
         assert_eq!(build(), build());
+    }
+
+    /// Build a contended multi-lock workload and return (stats, registry).
+    fn metered_contended_run() -> (MachineStats, dynfb_core::MetricsRegistry) {
+        let mut m = Machine::new(MachineConfig::default());
+        let a = m.add_lock();
+        let b = m.add_lock();
+        let procs: Vec<Box<dyn Process>> = (0..4)
+            .map(|i| {
+                let l = if i % 2 == 0 { a } else { b };
+                Box::new(Script::new(vec![
+                    Step::Compute(Duration::from_micros(10 * (i + 1))),
+                    Step::Acquire(l),
+                    Step::Compute(Duration::from_micros(200)),
+                    Step::Release(l),
+                    Step::Acquire(a),
+                    Step::Release(a),
+                    Step::Done,
+                ])) as Box<dyn Process>
+            })
+            .collect();
+        let mut reg = dynfb_core::MetricsRegistry::new();
+        let stats = m.run_metered(procs, &mut reg).unwrap();
+        (stats, reg)
+    }
+
+    #[test]
+    fn metered_per_lock_sums_equal_proc_stats_exactly() {
+        let (stats, reg) = metered_contended_run();
+        let totals = stats.totals();
+        let sums = reg.totals();
+        assert_eq!(sums.acquires, totals.acquires);
+        assert_eq!(sums.failed_attempts, totals.failed_attempts);
+        assert_eq!(sums.waiting, totals.wait_time);
+        assert_eq!(sums.locking, totals.lock_time);
+        assert_eq!(sums.acquires, sums.releases);
+        assert!(sums.contended_acquires > 0, "workload must contend");
+        // Hold time is metrics-only: every acquire observed a hold >= the
+        // 200us critical computation on the first round.
+        assert!(sums.held >= Duration::from_micros(200 * 4), "held {:?}", sums.held);
+    }
+
+    #[test]
+    fn metered_run_matches_unmetered_run() {
+        let (metered, _) = metered_contended_run();
+        let mut m = Machine::new(MachineConfig::default());
+        let a = m.add_lock();
+        let b = m.add_lock();
+        let procs: Vec<Box<dyn Process>> = (0..4)
+            .map(|i| {
+                let l = if i % 2 == 0 { a } else { b };
+                Box::new(Script::new(vec![
+                    Step::Compute(Duration::from_micros(10 * (i + 1))),
+                    Step::Acquire(l),
+                    Step::Compute(Duration::from_micros(200)),
+                    Step::Release(l),
+                    Step::Acquire(a),
+                    Step::Release(a),
+                    Step::Done,
+                ])) as Box<dyn Process>
+            })
+            .collect();
+        assert_eq!(m.run(procs).unwrap(), metered, "observation must not perturb the simulation");
+    }
+
+    #[test]
+    fn metered_attribution_is_per_lock() {
+        let (_, reg) = metered_contended_run();
+        // Lock 0 (`a`) sees the cross-traffic second round; lock 1 (`b`)
+        // only procs 1 and 3.
+        assert_eq!(reg.lock(0).acquires + reg.lock(1).acquires, reg.totals().acquires);
+        assert_eq!(reg.lock(1).acquires, 2);
+        assert_eq!(reg.lock(0).acquires, 6);
     }
 }

@@ -33,6 +33,7 @@ use crate::process::{BarrierId, LockId, ProcCtx, Process, Step};
 use crate::stats::{MachineStats, ProcStats};
 use crate::time::SimTime;
 use dynfb_core::controller::{Controller, ControllerConfig, Phase};
+use dynfb_core::metrics::{MetricsSink, NoMetrics};
 use dynfb_core::trace::{self, NullSink, TraceEvent, TraceSink};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -957,7 +958,7 @@ impl<'a, S: TraceSink> Process for AppProcess<'a, S> {
 /// none implementing a statically requested policy), and any engine error
 /// (deadlock, lock misuse, event-limit overrun).
 pub fn run_app<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppReport, SimError> {
-    run_app_impl(app, config, NullSink)
+    run_app_impl(app, config, NullSink, &mut NoMetrics)
 }
 
 /// Like [`run_app`], but borrows the application so the caller can inspect
@@ -967,7 +968,7 @@ pub fn run_app<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppRepo
 ///
 /// Same as [`run_app`].
 pub fn run_app_ref<A: SimApp>(app: &mut A, config: &RunConfig) -> Result<AppReport, SimError> {
-    run_app_impl(app, config, NullSink)
+    run_app_impl(app, config, NullSink, &mut NoMetrics)
 }
 
 /// Like [`run_app`], but records the adaptation timeline into `sink`.
@@ -985,13 +986,51 @@ pub fn run_app_traced<'a, A: SimApp + 'a, S: TraceSink>(
     config: &RunConfig,
     sink: &mut S,
 ) -> Result<AppReport, SimError> {
-    run_app_impl(app, config, sink)
+    run_app_impl(app, config, sink, &mut NoMetrics)
 }
 
-fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink>(
+/// Like [`run_app`], but attributes every lock event to `metrics`.
+///
+/// Metrics accumulate directly in the sink — they never pass through the
+/// (droppable) trace ring buffer — and are stamped with virtual-time
+/// quantities at the same accounting sites that update
+/// [`ProcStats`](crate::ProcStats), so for any completed run the per-lock
+/// sums equal the machine aggregates exactly and the resulting profile is
+/// byte-deterministic.
+///
+/// # Errors
+///
+/// Same as [`run_app`].
+pub fn run_app_metered<'a, A: SimApp + 'a, M: MetricsSink>(
+    app: A,
+    config: &RunConfig,
+    metrics: &mut M,
+) -> Result<AppReport, SimError> {
+    run_app_impl(app, config, NullSink, metrics)
+}
+
+/// Like [`run_app`], with both a trace sink and a metrics sink attached.
+///
+/// The two observation channels are independent: a saturated trace ring
+/// drops events, but per-lock metrics still accumulate exactly.
+///
+/// # Errors
+///
+/// Same as [`run_app`].
+pub fn run_app_observed<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
+    app: A,
+    config: &RunConfig,
+    sink: &mut S,
+    metrics: &mut M,
+) -> Result<AppReport, SimError> {
+    run_app_impl(app, config, sink, metrics)
+}
+
+fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
     app: A,
     config: &RunConfig,
     mut sink: S,
+    metrics: &mut M,
 ) -> Result<AppReport, SimError> {
     if config.num_procs == 0 {
         return Err(SimError::NoProcessors);
@@ -1043,7 +1082,7 @@ fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink>(
             }) as Box<dyn Process + '_>
         })
         .collect();
-    let result = machine.run(processes);
+    let result = machine.run_metered(processes, metrics);
     let driver = Rc::try_unwrap(driver)
         .unwrap_or_else(|_| unreachable!("all processes dropped"))
         .into_inner();

@@ -167,6 +167,21 @@ mod tests {
     }
 
     #[test]
+    fn waiting_proportion_of_an_empty_run_is_zero() {
+        // Zero elapsed time (an empty run) must not divide by zero — the
+        // proportion is defined as 0.0, not NaN.
+        let no_procs = MachineStats { procs: vec![], finished_at: SimTime::ZERO };
+        assert_eq!(no_procs.waiting_proportion(), 0.0);
+
+        let zero_elapsed = MachineStats {
+            procs: vec![ProcStats { wait_time: Duration::from_secs(1), ..Default::default() }],
+            finished_at: SimTime::ZERO,
+        };
+        assert_eq!(zero_elapsed.waiting_proportion(), 0.0);
+        assert!(zero_elapsed.waiting_proportion().is_finite());
+    }
+
+    #[test]
     fn accumulate_saturates_at_the_limits() {
         let mut a = ProcStats {
             compute: Duration::MAX,
