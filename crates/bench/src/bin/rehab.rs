@@ -1,0 +1,55 @@
+//! Rehabilitation harness: permanent quarantine vs exponential backoff
+//! under a surgically placed two-strike transient storm, reporting each
+//! mode's regret vs the best static policy.
+//!
+//! Usage: `cargo run --release -p dynfb-bench --bin rehab -- \
+//!     [--seed N | N] [--quick]`
+//!
+//! The storm plan is derived by deterministic replay and every simulation
+//! is a pure function of the configuration, so the report is byte-identical
+//! on every invocation (CI runs it twice and diffs).
+
+use dynfb_bench::rehab::{default_config, rehab_report};
+
+const USAGE: &str = "usage: rehab [--seed N | N] [--quick]
+
+  --seed N    storm/workload seed (default 42; a bare integer also works)
+  --quick     smaller workload for CI smoke runs";
+
+fn main() {
+    let mut cfg = default_config();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg.iters = 12_000,
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => match other.parse() {
+                Ok(seed) => cfg.seed = seed,
+                Err(_) => die(&format!("unknown argument `{other}`")),
+            },
+        }
+    }
+    let report = rehab_report(&cfg);
+    print!("{}", report.text);
+    if report.backoff_regret >= report.permanent_regret {
+        eprintln!(
+            "REGRESSION: backoff regret {} is not below permanent regret {}",
+            report.backoff_regret, report.permanent_regret
+        );
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2)
+}

@@ -186,6 +186,28 @@ fn from_onset(start: Duration) -> Window {
     Window::new(start, Duration::from_secs(3_600))
 }
 
+/// A plan with `count` transient frozen-clock windows of `width`, spaced
+/// `period` apart starting at `start`: the controller's timer freezes and
+/// thaws repeatedly, exercising the watchdog/health machinery without any
+/// single permanent fault. Shared with the rehabilitation harness
+/// (`crate::rehab`).
+#[must_use]
+pub fn freeze_cycles(
+    seed: u64,
+    start: Duration,
+    width: Duration,
+    period: Duration,
+    count: usize,
+) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    for k in 0..count {
+        let at = start + period * k as u32;
+        plan =
+            plan.with_event(Window::new(at, at + width), FaultKind::TimerDrift { ppm: -1_000_000 });
+    }
+    plan
+}
+
 /// The fault scenarios swept by the harness, in report order.
 #[must_use]
 pub fn scenarios(cfg: &ChaosConfig) -> Vec<Scenario> {
@@ -237,6 +259,53 @@ pub fn scenarios(cfg: &ChaosConfig) -> Vec<Scenario> {
                 },
             ),
             onset: Duration::ZERO,
+        },
+        Scenario {
+            // A processor dies early — while the very first sampling phase
+            // still holds locks constantly — so the interval measurement is
+            // poisoned and the driver must crash-fallback, recover the
+            // orphaned locks, and keep adapting with the survivors.
+            name: "crash-mid-sampling",
+            plan: FaultPlan::new(cfg.seed).with_event(
+                Window::new(Duration::from_micros(800), Duration::from_micros(801)),
+                FaultKind::ProcCrash { procs: Target::Only(vec![cfg.procs - 1]) },
+            ),
+            onset: Duration::from_micros(800),
+        },
+        Scenario {
+            // The chronically slow processor is also the one that dies:
+            // every barrier first waits on the straggler, then loses it
+            // outright at onset.
+            name: "crash-straggler",
+            plan: FaultPlan::new(cfg.seed)
+                .with_event(
+                    Window::always(),
+                    FaultKind::BarrierStraggler {
+                        procs: Target::Only(vec![0]),
+                        delay: Duration::from_micros(200),
+                    },
+                )
+                .with_event(
+                    Window::new(onset, onset + Duration::from_micros(1)),
+                    FaultKind::ProcCrash { procs: Target::Only(vec![0]) },
+                ),
+            onset,
+        },
+        Scenario {
+            // Repeated transient clock freezes: the fault clears and
+            // returns, so permanent quarantine over-reacts while backoff
+            // rehabilitation recovers between storms (the rehabilitation
+            // harness measures the regret gap; here the matrix pins down
+            // determinism and the oracles).
+            name: "storm-cycles",
+            plan: freeze_cycles(
+                cfg.seed,
+                onset,
+                Duration::from_millis(5),
+                Duration::from_millis(15),
+                3,
+            ),
+            onset,
         },
         Scenario {
             name: "random",

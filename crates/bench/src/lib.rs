@@ -11,5 +11,6 @@ pub mod chaos;
 pub mod engine;
 pub mod experiments;
 pub mod profile;
+pub mod rehab;
 pub mod report;
 pub mod trace;

@@ -14,6 +14,7 @@
 //! the real-thread executor ([`crate::realtime`]).
 
 use crate::overhead::OverheadSample;
+use crate::rng::mix64;
 use std::fmt;
 use std::time::Duration;
 
@@ -78,6 +79,41 @@ impl Default for EarlyCutoff {
     }
 }
 
+/// How quarantined policies may rejoin the rotation.
+///
+/// Permanent quarantine shrinks the live policy space monotonically: one
+/// transient storm can eject the long-run-best policy forever. The default
+/// is therefore [`Backoff`](RehabPolicy::Backoff): a quarantined policy is
+/// re-probed after a deterministic exponential backoff, and a clean probe
+/// restores it to rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RehabPolicy {
+    /// Quarantine is forever (the pre-rehabilitation behavior). Useful as a
+    /// baseline and for callers that treat any failure as disqualifying.
+    Permanent,
+    /// After `base × 2^(strikes-1)` *completed sampling phases* (clamped to
+    /// `max`, plus a deterministic seeded jitter of up to half the backoff),
+    /// the policy becomes eligible for a re-probe. Each additional failure
+    /// doubles the backoff; a clean probe restores the policy to rotation.
+    Backoff {
+        /// Backoff after the first quarantine, in completed sampling phases.
+        /// Must be non-zero.
+        base: u64,
+        /// Upper bound on the backoff (before jitter), in sampling phases.
+        max: u64,
+        /// Seed for the jitter stream. The jitter desynchronizes re-probes
+        /// of policies quarantined by the same storm, so they do not all
+        /// come up for probing in the same phase.
+        seed: u64,
+    },
+}
+
+impl Default for RehabPolicy {
+    fn default() -> Self {
+        RehabPolicy::Backoff { base: 2, max: 64, seed: 0 }
+    }
+}
+
 /// Configuration for a [`Controller`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ControllerConfig {
@@ -98,6 +134,8 @@ pub struct ControllerConfig {
     pub early_cutoff: Option<EarlyCutoff>,
     /// Order in which the sampling phase tries policies (§4.5).
     pub ordering: PolicyOrdering,
+    /// How quarantined policies may rejoin the rotation.
+    pub rehab: RehabPolicy,
 }
 
 impl Default for ControllerConfig {
@@ -108,6 +146,7 @@ impl Default for ControllerConfig {
             target_production: Duration::from_secs(10),
             early_cutoff: None,
             ordering: PolicyOrdering::InOrder,
+            rehab: RehabPolicy::default(),
         }
     }
 }
@@ -119,6 +158,8 @@ pub enum ConfigError {
     NoPolicies,
     /// A target interval was zero.
     ZeroInterval,
+    /// [`RehabPolicy::Backoff`] was configured with a zero `base`.
+    ZeroBackoff,
 }
 
 impl fmt::Display for ConfigError {
@@ -126,11 +167,120 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::NoPolicies => write!(f, "configuration has no policies"),
             ConfigError::ZeroInterval => write!(f, "target intervals must be non-zero"),
+            ConfigError::ZeroBackoff => write!(f, "rehabilitation backoff base must be non-zero"),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Error returned by the failure-reporting entry points
+/// ([`Controller::quarantine`], [`Controller::report_soft_failure`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineError {
+    /// The policy id does not exist in this controller. The controller's
+    /// state is unchanged (previously this silently no-opped).
+    OutOfRange {
+        /// The offending policy id.
+        policy: PolicyId,
+        /// Number of policies the controller was created with.
+        num_policies: usize,
+    },
+    /// The failure was recorded, but every policy is now quarantined. The
+    /// controller degrades to [`Controller::safest_policy`]; callers that
+    /// cannot tolerate running a quarantined policy must abort instead.
+    NoSurvivor,
+}
+
+impl fmt::Display for QuarantineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineError::OutOfRange { policy, num_policies } => {
+                write!(f, "policy {policy} is out of range (have {num_policies} policies)")
+            }
+            QuarantineError::NoSurvivor => write!(f, "every policy is quarantined"),
+        }
+    }
+}
+
+impl std::error::Error for QuarantineError {}
+
+/// A policy's current health tier in the quarantine state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthTier {
+    /// In rotation.
+    Healthy,
+    /// One soft failure on record; still in rotation, but the next failure
+    /// (soft or hard) quarantines.
+    Suspect,
+    /// Out of rotation, awaiting a re-probe (or permanently, under
+    /// [`RehabPolicy::Permanent`]).
+    Quarantined,
+}
+
+impl HealthTier {
+    /// Stable lowercase name used in traces and reports.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthTier::Healthy => "healthy",
+            HealthTier::Suspect => "suspect",
+            HealthTier::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// A health-tier transition, recorded by the controller and drained by the
+/// drivers (via [`Controller::drain_health_events`]) into the trace and
+/// metrics layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// A first soft failure put the policy on notice (still in rotation).
+    Suspected(PolicyId),
+    /// The policy left rotation. It becomes eligible for a re-probe once
+    /// [`Controller::sampling_phases`] reaches `until_phase` (`u64::MAX`
+    /// under [`RehabPolicy::Permanent`]).
+    Quarantined {
+        /// The quarantined policy.
+        policy: PolicyId,
+        /// Consecutive failures recorded against it (the backoff exponent).
+        strikes: u32,
+        /// Completed-sampling-phase count at which a probe may run.
+        until_phase: u64,
+    },
+    /// A quarantined policy's backoff elapsed; the next sampling phase
+    /// re-probes it (appended after the healthy policies).
+    Probing(PolicyId),
+    /// A clean probe restored the policy to rotation.
+    Rehabilitated(PolicyId),
+    /// A usable sample cleared a suspect policy back to healthy.
+    Cleared(PolicyId),
+}
+
+impl HealthEvent {
+    /// The policy whose health changed.
+    #[must_use]
+    pub fn policy(&self) -> PolicyId {
+        match *self {
+            HealthEvent::Suspected(p)
+            | HealthEvent::Probing(p)
+            | HealthEvent::Rehabilitated(p)
+            | HealthEvent::Cleared(p) => p,
+            HealthEvent::Quarantined { policy, .. } => policy,
+        }
+    }
+
+    /// Stable lowercase name of the state the policy moved into.
+    #[must_use]
+    pub fn state(&self) -> &'static str {
+        match self {
+            HealthEvent::Suspected(_) => "suspect",
+            HealthEvent::Quarantined { .. } => "quarantined",
+            HealthEvent::Probing(_) => "probing",
+            HealthEvent::Rehabilitated(_) | HealthEvent::Cleared(_) => "healthy",
+        }
+    }
+}
 
 /// The current phase of the dynamic feedback state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,15 +359,41 @@ pub struct Controller {
     measurements: Vec<Option<f64>>,
     /// Most recent overhead ever measured per policy (across phases).
     history: Vec<Option<f64>>,
-    /// Policies removed from rotation after a fault (panicking version,
-    /// sampling interval that never completes). Quarantined policies are
-    /// never sampled or selected again for the lifetime of the controller.
-    quarantined: Vec<bool>,
+    /// Per-policy health tier. Quarantined policies carry the sampling-phase
+    /// count at which their backoff elapses and a re-probe may run
+    /// (`u64::MAX` under [`RehabPolicy::Permanent`]).
+    health: Vec<Health>,
+    /// Consecutive failures recorded against each policy (the backoff
+    /// exponent). Never reset, so a policy that keeps failing after each
+    /// rehabilitation backs off further every time.
+    strikes: Vec<u32>,
+    /// The quarantined policy (if any) being re-probed in the current
+    /// sampling phase. At most one per phase — the probe budget — so
+    /// rehabilitation can never starve sampling of the healthy policies.
+    probe: Option<PolicyId>,
+    /// Health transitions since the last [`Controller::drain_health_events`].
+    health_log: Vec<HealthEvent>,
     /// Number of completed sampling phases.
     sampling_phases: u64,
     /// Number of completed production phases.
     production_phases: u64,
 }
+
+/// Internal health state (the public projection is [`HealthTier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Healthy,
+    Suspect,
+    Quarantined {
+        /// Completed-sampling-phase count at which a probe may run.
+        release_at: u64,
+    },
+}
+
+/// Health events are bounded so an undrained log (e.g. a driver running
+/// with tracing disabled) cannot grow without limit; the newest events are
+/// dropped past this point.
+const HEALTH_LOG_CAP: usize = 4096;
 
 impl Controller {
     /// Create a controller.
@@ -235,14 +411,19 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError::NoPolicies`] if `num_policies == 0` and
-    /// [`ConfigError::ZeroInterval`] if either target interval is zero.
+    /// Returns [`ConfigError::NoPolicies`] if `num_policies == 0`,
+    /// [`ConfigError::ZeroInterval`] if either target interval is zero, and
+    /// [`ConfigError::ZeroBackoff`] if the rehabilitation backoff base is
+    /// zero.
     pub fn try_new(config: ControllerConfig) -> Result<Self, ConfigError> {
         if config.num_policies == 0 {
             return Err(ConfigError::NoPolicies);
         }
         if config.target_sampling.is_zero() || config.target_production.is_zero() {
             return Err(ConfigError::ZeroInterval);
+        }
+        if matches!(config.rehab, RehabPolicy::Backoff { base: 0, .. }) {
+            return Err(ConfigError::ZeroBackoff);
         }
         let n = config.num_policies;
         Ok(Controller {
@@ -251,7 +432,10 @@ impl Controller {
             order: Vec::new(),
             measurements: vec![None; n],
             history: vec![None; n],
-            quarantined: vec![false; n],
+            health: vec![Health::Healthy; n],
+            strikes: vec![0; n],
+            probe: None,
+            health_log: Vec::new(),
             sampling_phases: 0,
             production_phases: 0,
         })
@@ -356,6 +540,23 @@ impl Controller {
                     self.measurements[policy] = Some(overhead);
                     self.history[policy] = Some(overhead);
 
+                    // A usable measurement is a clean bill of health: a
+                    // probed quarantined policy is rehabilitated, a suspect
+                    // one cleared. (An unusable sample proves nothing either
+                    // way — the policy keeps its tier and, if quarantined,
+                    // stays probe-eligible for the next phase.)
+                    match self.health[policy] {
+                        Health::Quarantined { .. } if self.probe == Some(policy) => {
+                            self.health[policy] = Health::Healthy;
+                            self.log_health(HealthEvent::Rehabilitated(policy));
+                        }
+                        Health::Suspect => {
+                            self.health[policy] = Health::Healthy;
+                            self.log_health(HealthEvent::Cleared(policy));
+                        }
+                        _ => {}
+                    }
+
                     if let Some(cut) = self.config.early_cutoff {
                         if self.cutoff_applies(policy, position, previous, &sample, &cut) {
                             return self.enter_production(policy, true);
@@ -364,10 +565,12 @@ impl Controller {
                 }
 
                 // Advance to the next plannable (non-quarantined) policy.
+                // The phase's probe is exempt: it is quarantined by
+                // definition until its sample proves otherwise.
                 let mut next_position = position + 1;
                 while next_position < planned {
                     let next = self.order[next_position];
-                    if !self.is_quarantined(next) {
+                    if !self.is_quarantined(next) || self.probe == Some(next) {
                         self.phase =
                             Phase::Sampling { policy: next, position: next_position, planned };
                         return Transition::Sample(next);
@@ -398,6 +601,10 @@ impl Controller {
     }
 
     fn start_sampling_phase(&mut self) {
+        self.probe = self.due_probe();
+        if let Some(p) = self.probe {
+            self.log_health(HealthEvent::Probing(p));
+        }
         self.order = self.sampling_order();
         self.measurements = vec![None; self.config.num_policies];
         // With every policy quarantined there is nothing left to measure;
@@ -406,6 +613,16 @@ impl Controller {
         let first = self.order.first().copied().unwrap_or_else(|| self.safest_policy());
         self.phase =
             Phase::Sampling { policy: first, position: 0, planned: self.order.len().max(1) };
+    }
+
+    /// The quarantined policy (if any) whose backoff has elapsed and which
+    /// the next sampling phase should re-probe. The budget is one probe per
+    /// phase; ties go to the lowest policy id for determinism.
+    fn due_probe(&self) -> Option<PolicyId> {
+        (0..self.config.num_policies).find(|&p| {
+            matches!(self.health[p],
+                Health::Quarantined { release_at } if self.sampling_phases >= release_at)
+        })
     }
 
     fn sampling_order(&self) -> Vec<PolicyId> {
@@ -441,6 +658,11 @@ impl Controller {
                     }
                 });
             }
+        }
+        // The probe rides along at the end of the order: a still-broken
+        // policy under re-probe can never delay measuring the healthy ones.
+        if let Some(p) = self.probe {
+            order.push(p);
         }
         order
     }
@@ -506,50 +728,162 @@ impl Controller {
     /// policy 0 if everything is quarantined.
     #[must_use]
     pub fn safest_policy(&self) -> PolicyId {
-        self.quarantined.iter().position(|&q| !q).unwrap_or(0)
+        self.health.iter().position(|h| !matches!(h, Health::Quarantined { .. })).unwrap_or(0)
     }
 
-    /// Whether a policy has been [quarantined](Controller::quarantine).
-    /// Out-of-range ids are reported as quarantined (never runnable).
+    /// Whether a policy is currently [quarantined](Controller::quarantine)
+    /// (out of rotation). Out-of-range ids are reported as quarantined
+    /// (never runnable).
     #[must_use]
     pub fn is_quarantined(&self, policy: PolicyId) -> bool {
-        self.quarantined.get(policy).copied().unwrap_or(true)
+        self.health(policy) == HealthTier::Quarantined
+    }
+
+    /// Current health tier of a policy. Out-of-range ids are reported as
+    /// [`HealthTier::Quarantined`] (never runnable).
+    #[must_use]
+    pub fn health(&self, policy: PolicyId) -> HealthTier {
+        match self.health.get(policy) {
+            Some(Health::Healthy) => HealthTier::Healthy,
+            Some(Health::Suspect) => HealthTier::Suspect,
+            Some(Health::Quarantined { .. }) | None => HealthTier::Quarantined,
+        }
+    }
+
+    /// Consecutive failures recorded against a policy (the rehabilitation
+    /// backoff exponent). Out-of-range ids report zero.
+    #[must_use]
+    pub fn strikes(&self, policy: PolicyId) -> u32 {
+        self.strikes.get(policy).copied().unwrap_or(0)
+    }
+
+    /// The quarantined policy the current sampling phase is re-probing, if
+    /// any. While a probe is in flight the policy is still formally
+    /// quarantined (`is_quarantined` returns true) — only a clean sample
+    /// rehabilitates it — yet it may legitimately be the current policy.
+    #[must_use]
+    pub fn probing(&self) -> Option<PolicyId> {
+        self.probe
     }
 
     /// Number of policies still in rotation (not quarantined).
     #[must_use]
     pub fn runnable_policies(&self) -> usize {
-        self.quarantined.iter().filter(|&&q| !q).count()
+        self.health.iter().filter(|h| !matches!(h, Health::Quarantined { .. })).count()
     }
 
-    /// Remove a policy from rotation permanently — used when a version
-    /// panics, or when its sampling interval never completes. Its
-    /// measurements and history are discarded (they may be poisoned by
-    /// whatever broke it).
+    /// Drain the health transitions recorded since the last drain, for
+    /// drivers to forward into the trace and metrics layers.
+    pub fn drain_health_events(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.health_log)
+    }
+
+    /// Report a *hard* failure of a policy (a panicking version, a crashed
+    /// worker): the policy is quarantined immediately, skipping the suspect
+    /// tier. Its measurements and history are discarded (they may be
+    /// poisoned by whatever broke it). Under [`RehabPolicy::Backoff`] the
+    /// policy is re-probed after `base × 2^(strikes-1)` completed sampling
+    /// phases (plus seeded jitter); under [`RehabPolicy::Permanent`] it
+    /// never returns.
     ///
     /// Returns the policy the runtime should execute next: if the
     /// quarantined policy was the one executing, the controller restarts a
     /// sampling phase over the survivors (re-sampling, since the environment
     /// evidently changed); otherwise the current policy is unaffected.
-    /// Returns `None` when no runnable policy remains — the caller must
-    /// abort the computation, there is nothing left to degrade to.
-    pub fn quarantine(&mut self, policy: PolicyId) -> Option<PolicyId> {
-        if let Some(slot) = self.quarantined.get_mut(policy) {
-            *slot = true;
-            self.measurements[policy] = None;
-            self.history[policy] = None;
+    ///
+    /// # Errors
+    ///
+    /// [`QuarantineError::OutOfRange`] if the policy id does not exist (the
+    /// controller is unchanged), and [`QuarantineError::NoSurvivor`] when
+    /// the failure was recorded but no runnable policy remains — the
+    /// controller degrades to [`Controller::safest_policy`], and callers
+    /// that cannot tolerate running a quarantined policy must abort.
+    pub fn quarantine(&mut self, policy: PolicyId) -> Result<PolicyId, QuarantineError> {
+        self.check_policy(policy)?;
+        self.fail(policy, true);
+        self.after_failure(policy)
+    }
+
+    /// Report a *soft* failure of a policy (a deadline-missed interval, a
+    /// watchdog-aborted sampling phase): a healthy policy becomes suspect
+    /// (still in rotation, on notice); a suspect or quarantined one is
+    /// escalated exactly like [`Controller::quarantine`].
+    ///
+    /// Returns the policy the runtime should execute next (see
+    /// [`Controller::quarantine`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Controller::quarantine`].
+    pub fn report_soft_failure(&mut self, policy: PolicyId) -> Result<PolicyId, QuarantineError> {
+        self.check_policy(policy)?;
+        self.fail(policy, false);
+        self.after_failure(policy)
+    }
+
+    fn check_policy(&self, policy: PolicyId) -> Result<(), QuarantineError> {
+        if policy >= self.config.num_policies {
+            return Err(QuarantineError::OutOfRange {
+                policy,
+                num_policies: self.config.num_policies,
+            });
         }
+        Ok(())
+    }
+
+    /// Record a failure against `policy`, escalating its health tier. A
+    /// hard failure (or any failure of a non-healthy policy) quarantines;
+    /// a soft failure of a healthy policy only marks it suspect.
+    fn fail(&mut self, policy: PolicyId, hard: bool) {
+        if !hard && self.health[policy] == Health::Healthy {
+            self.health[policy] = Health::Suspect;
+            self.log_health(HealthEvent::Suspected(policy));
+            return;
+        }
+        self.strikes[policy] = self.strikes[policy].saturating_add(1);
+        let release_at = match self.config.rehab {
+            RehabPolicy::Permanent => u64::MAX,
+            RehabPolicy::Backoff { base, max, seed } => {
+                let exponent = (self.strikes[policy] - 1).min(32);
+                let backoff = base.saturating_mul(1u64 << exponent).min(max.max(base));
+                let jitter = mix64(&[seed, policy as u64, u64::from(self.strikes[policy])])
+                    % (backoff / 2 + 1);
+                self.sampling_phases.saturating_add(backoff).saturating_add(jitter)
+            }
+        };
+        self.health[policy] = Health::Quarantined { release_at };
+        // Whatever broke the policy may have poisoned its numbers.
+        self.measurements[policy] = None;
+        self.history[policy] = None;
+        self.log_health(HealthEvent::Quarantined {
+            policy,
+            strikes: self.strikes[policy],
+            until_phase: release_at,
+        });
+        if self.probe == Some(policy) {
+            // A failed probe leaves the phase; its backoff just doubled.
+            self.probe = None;
+        }
+    }
+
+    fn after_failure(&mut self, policy: PolicyId) -> Result<PolicyId, QuarantineError> {
         if self.runnable_policies() == 0 {
-            return None;
+            return Err(QuarantineError::NoSurvivor);
         }
         match self.phase {
-            Phase::Idle => Some(self.safest_policy()),
+            Phase::Idle => Ok(self.safest_policy()),
             Phase::Sampling { policy: current, .. } | Phase::Production { policy: current, .. } => {
-                if current == policy {
+                if current == policy && self.is_quarantined(policy) {
                     self.start_sampling_phase();
                 }
-                Some(self.current_policy())
+                Ok(self.current_policy())
             }
+        }
+    }
+
+    fn log_health(&mut self, event: HealthEvent) {
+        if self.health_log.len() < HEALTH_LOG_CAP {
+            self.health_log.push(event);
         }
     }
 
@@ -597,6 +931,9 @@ mod tests {
         assert_eq!(Controller::try_new(cfg(0)).unwrap_err(), ConfigError::NoPolicies);
         let bad = ControllerConfig { target_sampling: Duration::ZERO, ..cfg(2) };
         assert_eq!(Controller::try_new(bad).unwrap_err(), ConfigError::ZeroInterval);
+        let bad =
+            ControllerConfig { rehab: RehabPolicy::Backoff { base: 0, max: 8, seed: 0 }, ..cfg(2) };
+        assert_eq!(Controller::try_new(bad).unwrap_err(), ConfigError::ZeroBackoff);
     }
 
     #[test]
@@ -777,11 +1114,12 @@ mod tests {
     }
 
     #[test]
-    fn quarantined_policy_is_never_sampled_again() {
-        let mut ctl = Controller::new(cfg(3));
+    fn permanently_quarantined_policy_is_never_sampled_again() {
+        let config = ControllerConfig { rehab: RehabPolicy::Permanent, ..cfg(3) };
+        let mut ctl = Controller::new(config);
         ctl.begin_section();
         let next = ctl.quarantine(1);
-        assert_eq!(next, Some(0), "policy 0 was executing and survives");
+        assert_eq!(next, Ok(0), "policy 0 was executing and survives");
         ctl.complete_interval(sample(0.4));
         // Sampling skips 1 entirely and goes to 2.
         assert_eq!(ctl.current_policy(), 2);
@@ -803,7 +1141,7 @@ mod tests {
         assert!(ctl.phase().is_production());
         // The production winner dies: re-sample among survivors.
         let next = ctl.quarantine(1);
-        assert_eq!(next, Some(ctl.current_policy()));
+        assert_eq!(next, Ok(ctl.current_policy()));
         assert!(ctl.phase().is_sampling());
         assert!(!ctl.is_quarantined(0) && !ctl.is_quarantined(2));
     }
@@ -812,9 +1150,175 @@ mod tests {
     fn quarantining_everything_reports_no_survivor() {
         let mut ctl = Controller::new(cfg(2));
         ctl.begin_section();
-        assert_eq!(ctl.quarantine(0), Some(1));
-        assert_eq!(ctl.quarantine(1), None);
+        assert_eq!(ctl.quarantine(0), Ok(1));
+        assert_eq!(ctl.quarantine(1), Err(QuarantineError::NoSurvivor));
         assert_eq!(ctl.runnable_policies(), 0);
+        // Degraded mode still names a policy to run.
+        assert_eq!(ctl.safest_policy(), 0);
+    }
+
+    #[test]
+    fn out_of_range_quarantine_is_a_typed_error() {
+        let mut ctl = Controller::new(cfg(3));
+        ctl.begin_section();
+        assert_eq!(
+            ctl.quarantine(7),
+            Err(QuarantineError::OutOfRange { policy: 7, num_policies: 3 })
+        );
+        assert_eq!(
+            ctl.report_soft_failure(3),
+            Err(QuarantineError::OutOfRange { policy: 3, num_policies: 3 })
+        );
+        // The controller is untouched: nothing was quarantined.
+        assert_eq!(ctl.runnable_policies(), 3);
+        assert!(ctl.drain_health_events().is_empty());
+    }
+
+    #[test]
+    fn soft_failure_suspects_then_quarantines() {
+        let mut ctl = Controller::new(cfg(3));
+        ctl.begin_section();
+        // First soft failure: on notice, but still in rotation.
+        assert_eq!(ctl.report_soft_failure(1), Ok(ctl.current_policy()));
+        assert_eq!(ctl.health(1), HealthTier::Suspect);
+        assert!(!ctl.is_quarantined(1));
+        // Second soft failure escalates to quarantine.
+        ctl.report_soft_failure(1).unwrap();
+        assert_eq!(ctl.health(1), HealthTier::Quarantined);
+        assert_eq!(ctl.strikes(1), 1);
+        let states: Vec<&str> = ctl.drain_health_events().iter().map(|e| e.state()).collect();
+        assert_eq!(states, vec!["suspect", "quarantined"]);
+    }
+
+    #[test]
+    fn clean_sample_clears_a_suspect_policy() {
+        let mut ctl = Controller::new(cfg(2));
+        ctl.begin_section();
+        ctl.report_soft_failure(1).unwrap();
+        assert_eq!(ctl.health(1), HealthTier::Suspect);
+        // Suspects are still sampled; a usable measurement clears them.
+        ctl.complete_interval(sample(0.3));
+        assert_eq!(ctl.current_policy(), 1);
+        ctl.complete_interval(sample(0.2));
+        assert_eq!(ctl.health(1), HealthTier::Healthy);
+        assert!(ctl.drain_health_events().contains(&HealthEvent::Cleared(1)));
+    }
+
+    /// Drives one full cycle (finish sampling, then the production interval)
+    /// and returns the first transition of the next sampling phase.
+    fn cycle(ctl: &mut Controller) -> Transition {
+        loop {
+            if ctl.phase().is_production() {
+                return ctl.complete_interval(sample(0.2));
+            }
+            ctl.complete_interval(sample(0.2));
+        }
+    }
+
+    #[test]
+    fn backoff_probe_rehabilitates_a_quarantined_policy() {
+        let config =
+            ControllerConfig { rehab: RehabPolicy::Backoff { base: 1, max: 8, seed: 0 }, ..cfg(3) };
+        let mut ctl = Controller::new(config);
+        ctl.begin_section();
+        ctl.quarantine(1).unwrap();
+        // strikes = 1 → backoff = 1 phase, jitter ∈ {0} (backoff/2 + 1 = 1):
+        // the policy is probe-eligible once one sampling phase completes.
+        cycle(&mut ctl);
+        // This sampling phase probes policy 1 after the healthy policies.
+        let Phase::Sampling { planned, .. } = ctl.phase() else {
+            panic!("expected sampling");
+        };
+        assert_eq!(planned, 3, "two healthy policies plus the probe");
+        ctl.complete_interval(sample(0.4));
+        ctl.complete_interval(sample(0.4));
+        assert_eq!(ctl.current_policy(), 1, "probe rides last in the order");
+        assert!(ctl.is_quarantined(1), "still quarantined until the probe completes");
+        // A clean probe restores it — and its measurement can even win.
+        let t = ctl.complete_interval(sample(0.1));
+        assert_eq!(ctl.health(1), HealthTier::Healthy);
+        assert_eq!(t, Transition::Produce { policy: 1, via_cutoff: false });
+        let events = ctl.drain_health_events();
+        assert!(events.contains(&HealthEvent::Probing(1)));
+        assert!(events.contains(&HealthEvent::Rehabilitated(1)));
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_backoff() {
+        let config =
+            ControllerConfig { rehab: RehabPolicy::Backoff { base: 1, max: 8, seed: 0 }, ..cfg(2) };
+        let mut ctl = Controller::new(config);
+        ctl.begin_section();
+        ctl.quarantine(1).unwrap();
+        cycle(&mut ctl);
+        // Probe of policy 1 is planned this phase; it fails again.
+        ctl.quarantine(1).unwrap();
+        assert_eq!(ctl.strikes(1), 2);
+        let until = ctl
+            .drain_health_events()
+            .iter()
+            .find_map(|e| match *e {
+                HealthEvent::Quarantined { policy: 1, until_phase, strikes: 2 } => {
+                    Some(until_phase)
+                }
+                _ => None,
+            })
+            .expect("second quarantine recorded");
+        // Backoff doubled: at least 2 phases out (plus jitter), counted
+        // from the 1 already-completed phase.
+        assert!(until >= ctl.sampling_phases() + 2, "until={until}");
+    }
+
+    #[test]
+    fn probe_budget_is_one_per_phase() {
+        let config =
+            ControllerConfig { rehab: RehabPolicy::Backoff { base: 1, max: 8, seed: 0 }, ..cfg(4) };
+        let mut ctl = Controller::new(config);
+        ctl.begin_section();
+        ctl.quarantine(1).unwrap();
+        ctl.quarantine(2).unwrap();
+        cycle(&mut ctl);
+        // Both are overdue by now, but a sampling phase probes at most one.
+        let Phase::Sampling { planned, .. } = ctl.phase() else {
+            panic!("expected sampling");
+        };
+        assert_eq!(planned, 3, "2 healthy policies + exactly 1 probe");
+    }
+
+    #[test]
+    fn all_quarantined_recovers_via_probes() {
+        let config =
+            ControllerConfig { rehab: RehabPolicy::Backoff { base: 1, max: 8, seed: 0 }, ..cfg(2) };
+        let mut ctl = Controller::new(config);
+        ctl.begin_section();
+        assert_eq!(ctl.quarantine(0), Ok(1));
+        assert_eq!(ctl.quarantine(1), Err(QuarantineError::NoSurvivor));
+        // Degraded: the runtime keeps driving the safest policy; once a
+        // phase completes, probes begin and the rotation heals.
+        for _ in 0..8 {
+            if ctl.runnable_policies() > 0 {
+                break;
+            }
+            ctl.complete_interval(sample(0.2));
+        }
+        assert!(ctl.runnable_policies() > 0, "a probe should have rehabilitated a policy");
+    }
+
+    #[test]
+    fn backoff_release_is_deterministic() {
+        let config = ControllerConfig {
+            rehab: RehabPolicy::Backoff { base: 4, max: 64, seed: 7 },
+            ..cfg(3)
+        };
+        let run = |mut ctl: Controller| -> Vec<HealthEvent> {
+            ctl.begin_section();
+            ctl.quarantine(2).unwrap();
+            ctl.quarantine(1).unwrap();
+            ctl.drain_health_events()
+        };
+        let a = run(Controller::new(config.clone()));
+        let b = run(Controller::new(config));
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -843,7 +1347,7 @@ mod tests {
         let config = ControllerConfig { ordering: PolicyOrdering::ExtremesFirst, ..cfg(4) };
         let mut ctl = Controller::new(config);
         ctl.begin_section();
-        ctl.quarantine(3);
+        ctl.quarantine(3).unwrap();
         ctl.end_section();
         // Most aggressive *survivor* (2) first, then least aggressive (0).
         assert_eq!(ctl.begin_section(), 2);

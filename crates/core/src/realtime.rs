@@ -54,7 +54,9 @@
 //! assert!(report.items_processed == 10_000);
 //! ```
 
-use crate::controller::{ConfigError, Controller, ControllerConfig, Phase, PolicyId};
+use crate::controller::{
+    ConfigError, Controller, ControllerConfig, HealthEvent, Phase, PolicyId, QuarantineError,
+};
 use crate::metrics::{LockMetrics, LockTable};
 use crate::overhead::{OverheadCounters, OverheadSample};
 use crate::trace::{self, NullSink, SwitchReason, TraceEvent, TraceSink};
@@ -357,6 +359,13 @@ pub struct ExecutorConfig {
     pub costs: InstrumentCosts,
     /// Check the timer every `poll_every` items (1 = every item).
     pub poll_every: usize,
+    /// When `Some(k)`, a sampling interval whose measured length exceeds
+    /// `k ×` the target sampling interval counts as a *deadline miss* and is
+    /// reported to the controller's health machine as a soft failure of the
+    /// sampled version (suspect on first miss, quarantine on repeat).
+    /// `None` (the default) disables the mapping — wall-clock intervals
+    /// overshoot routinely on loaded machines, so this is opt-in.
+    pub deadline_miss_factor: Option<u32>,
 }
 
 impl Default for ExecutorConfig {
@@ -366,6 +375,7 @@ impl Default for ExecutorConfig {
             controller: ControllerConfig::default(),
             costs: InstrumentCosts::default(),
             poll_every: 1,
+            deadline_miss_factor: None,
         }
     }
 }
@@ -446,8 +456,12 @@ pub struct ExecutionReport {
     pub trace: Vec<PhaseRecord>,
     /// Final instrumentation counters.
     pub counters: OverheadCounters,
-    /// Versions quarantined after panicking, in quarantine order.
+    /// Versions quarantined after panicking, in quarantine order. A version
+    /// that is rehabilitated and fails again appears once per quarantine.
     pub quarantined: Vec<PolicyId>,
+    /// Versions restored to rotation by a clean backoff probe, in
+    /// rehabilitation order.
+    pub rehabilitated: Vec<PolicyId>,
     /// Number of panics caught in version closures.
     pub panics: u64,
     /// Per-lock profile snapshot, indexed by lock id — empty unless the run
@@ -589,6 +603,7 @@ struct ControlState<S: TraceSink> {
     snapshot: OverheadCounters,
     trace: Vec<PhaseRecord>,
     quarantine_log: Vec<PolicyId>,
+    rehab_log: Vec<PolicyId>,
     /// Trace collector, guarded by the control lock so events are recorded
     /// in a single total order with monotone wall-clock offsets.
     sink: S,
@@ -738,6 +753,7 @@ impl AdaptiveExecutor {
                 snapshot: OverheadCounters::default(),
                 trace: Vec::new(),
                 quarantine_log: Vec::new(),
+                rehab_log: Vec::new(),
                 sink,
             }),
             costs: self.config.costs,
@@ -764,6 +780,7 @@ impl AdaptiveExecutor {
             trace: control.trace.clone(),
             counters: shared.instruments.snapshot(),
             quarantined: control.quarantine_log.clone(),
+            rehabilitated: control.rehab_log.clone(),
             panics: shared.panics.load(Ordering::Relaxed),
             lock_profile: table.map(LockTable::snapshot).unwrap_or_default(),
         })
@@ -825,27 +842,37 @@ impl AdaptiveExecutor {
         }
     }
 
-    /// A version closure panicked: quarantine it, restart the measurement
-    /// interval among the survivors, or abort the run when none remain.
+    /// A version closure panicked: quarantine it (a hard failure in the
+    /// health machine), restart the measurement interval among the
+    /// survivors, or abort the run when none remain.
     fn quarantine_version<S: TraceSink>(&self, shared: &Shared<S>, policy: PolicyId) {
         let survivor = {
             let mut control = lock(&shared.control);
-            if control.controller.is_quarantined(policy) {
+            let current = match control.controller.phase() {
+                Phase::Idle => None,
+                Phase::Sampling { policy, .. } | Phase::Production { policy, .. } => Some(policy),
+            };
+            if control.controller.is_quarantined(policy) && current != Some(policy) {
                 // Another worker already handled this version; retry under
-                // whatever policy is now current.
+                // whatever policy is now current. (A quarantined version
+                // that is *current* is a backoff probe whose panic must be
+                // escalated, not skipped — skipping would retry the broken
+                // probe forever.)
                 return;
             }
             control.quarantine_log.push(policy);
             let survivor = control.controller.quarantine(policy);
-            if survivor.is_some() {
+            if survivor.is_ok() {
                 // The interrupted interval's measurements are poisoned;
                 // restart interval bookkeeping from here.
                 control.interval_start = Instant::now();
                 control.snapshot = shared.instruments.snapshot();
             }
+            let health = control.controller.drain_health_events();
             if S::ENABLED {
-                if let Some(next) = survivor {
-                    let at = control.run_start.elapsed();
+                let at = control.run_start.elapsed();
+                trace::record_health_events(&mut control.sink, at, &health);
+                if let Ok(next) = survivor {
                     control.sink.record(
                         at,
                         TraceEvent::PolicySwitch {
@@ -859,8 +886,8 @@ impl AdaptiveExecutor {
             survivor
         };
         match survivor {
-            Some(next) => shared.policy.store(next, Ordering::Release),
-            None => {
+            Ok(next) => shared.policy.store(next, Ordering::Release),
+            Err(_) => {
                 shared.aborted.store(true, Ordering::Release);
                 // Release any workers parked at the gate; lock order matters:
                 // the gate leader takes gate-state before control, so the
@@ -888,14 +915,45 @@ impl AdaptiveExecutor {
             let overhead = sample.total_overhead();
             control.trace.push(PhaseRecord { at, phase, policy, overhead, actual });
             let transition = control.controller.complete_interval(sample);
-            shared.policy.store(transition.policy(), Ordering::Release);
+            let mut next = transition.policy();
+            // A sampling interval that ran far past its deadline is evidence
+            // against the sampled version (it may be wedged rather than
+            // merely slow): feed it to the health machine as a soft failure.
+            let missed = phase.is_sampling()
+                && self.config.deadline_miss_factor.is_some_and(|k| {
+                    actual > control.controller.config().target_sampling.saturating_mul(k)
+                });
+            if missed {
+                next = match control.controller.report_soft_failure(policy) {
+                    Ok(p) => p,
+                    // Every version is quarantined: degrade to the safest
+                    // one rather than wedging (soft failures still make
+                    // progress, unlike panics).
+                    Err(QuarantineError::NoSurvivor) => control.controller.safest_policy(),
+                    Err(QuarantineError::OutOfRange { .. }) => next,
+                };
+            }
+            shared.policy.store(next, Ordering::Release);
             control.interval_start = now;
             control.snapshot = counters;
             shared.switch_flag.store(false, Ordering::Release);
+            let health = control.controller.drain_health_events();
+            for ev in &health {
+                if let HealthEvent::Rehabilitated(p) = ev {
+                    control.rehab_log.push(*p);
+                }
+            }
             if S::ENABLED {
                 control.sink.record(at, TraceEvent::BarrierSync { arrived: active });
+                trace::record_health_events(&mut control.sink, at, &health);
                 let after = control.controller.phase();
-                trace::record_transition(
+                // A switch into a policy that just earned its way back from
+                // quarantine is labeled with the rehabilitation reason.
+                let reason = health
+                    .iter()
+                    .any(|e| matches!(e, HealthEvent::Rehabilitated(p) if *p == next))
+                    .then_some(SwitchReason::Rehabilitated);
+                trace::record_transition_with(
                     &mut control.sink,
                     at,
                     phase,
@@ -904,6 +962,7 @@ impl AdaptiveExecutor {
                     false,
                     after,
                     false,
+                    reason,
                 );
             }
         });
@@ -953,6 +1012,7 @@ mod tests {
             },
             costs: InstrumentCosts::default(),
             poll_every: 1,
+            deadline_miss_factor: None,
         })
     }
 
@@ -1259,13 +1319,57 @@ mod fault_tests {
             let report = exec(3, 2).run(&w, 4_000).expect("version 1 survives");
             assert_eq!(report.items_processed, 4_000);
             assert_eq!(w.ok_items.load(Ordering::Relaxed), 4_000);
-            assert_eq!(report.quarantined, vec![0]);
+            // Version 0 is quarantined; under backoff rehabilitation a probe
+            // may retry (and re-quarantine) it, but never version 1.
+            assert!(!report.quarantined.is_empty());
+            assert!(report.quarantined.iter().all(|&p| p == 0), "{:?}", report.quarantined);
+            assert!(report.rehabilitated.iter().all(|&p| p == 0));
             assert!(report.panics >= 1);
             // Any production phase after the quarantine must use version 1.
             if let Some(last) = report.last_production_policy() {
                 assert_eq!(last, 1);
             }
         });
+    }
+
+    /// Version 0 sleeps far past any sampling deadline; version 1 is fast.
+    struct Sluggish;
+    impl AdaptiveWorkload for Sluggish {
+        fn num_versions(&self) -> usize {
+            2
+        }
+        fn run_item(&self, version: usize, _item: usize, _ins: &Instruments) {
+            if version == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_missed_intervals_feed_the_health_machine() {
+        let exec = AdaptiveExecutor::new(ExecutorConfig {
+            workers: 2,
+            controller: ControllerConfig {
+                num_policies: 2,
+                target_sampling: Duration::from_micros(200),
+                target_production: Duration::from_millis(1),
+                ..ControllerConfig::default()
+            },
+            deadline_miss_factor: Some(4),
+            ..ExecutorConfig::default()
+        });
+        let mut ring = crate::trace::RingBuffer::new(4096);
+        let report = exec.run_traced(&Sluggish, 2_000, &mut ring).expect("completes");
+        assert_eq!(report.items_processed, 2_000);
+        // Version 0 blows every 800µs deadline by sleeping 5ms per item, so
+        // the health machine must have at least put it on notice.
+        let flagged = ring.iter().any(|e| {
+            matches!(
+                e.event,
+                TraceEvent::PolicyHealth { policy: 0, state: "suspect" | "quarantined" }
+            )
+        });
+        assert!(flagged, "slow version never flagged by the deadline-miss mapping");
     }
 
     #[test]

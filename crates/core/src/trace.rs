@@ -44,6 +44,12 @@ pub enum SwitchReason {
     /// The running version was quarantined (e.g. it panicked) and a
     /// survivor took over.
     Quarantine,
+    /// A processor crash interrupted the interval; the controller fell back
+    /// without trusting the poisoned measurement.
+    CrashFallback,
+    /// The switch runs a policy that just earned its way back from
+    /// quarantine (a clean backoff probe).
+    Rehabilitated,
 }
 
 impl SwitchReason {
@@ -57,6 +63,8 @@ impl SwitchReason {
             SwitchReason::NextSample => "next-sample",
             SwitchReason::Resample => "resample",
             SwitchReason::Quarantine => "quarantine",
+            SwitchReason::CrashFallback => "crash-fallback",
+            SwitchReason::Rehabilitated => "rehabilitated",
         }
     }
 }
@@ -141,6 +149,15 @@ pub enum TraceEvent {
         /// Number of workers that arrived at the barrier.
         arrived: usize,
     },
+    /// A policy's health tier changed (the quarantine/rehabilitation state
+    /// machine; see `dynfb_core::controller::HealthEvent`).
+    PolicyHealth {
+        /// Policy whose health changed.
+        policy: usize,
+        /// New tier: `"suspect"`, `"quarantined"`, `"probing"` or
+        /// `"healthy"`.
+        state: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -157,6 +174,7 @@ impl TraceEvent {
             TraceEvent::ProductionEnd { .. } => "production-end",
             TraceEvent::PolicySwitch { .. } => "policy-switch",
             TraceEvent::BarrierSync { .. } => "barrier-sync",
+            TraceEvent::PolicyHealth { .. } => "policy-health",
         }
     }
 }
@@ -358,15 +376,59 @@ pub fn record_transition<S: TraceSink>(
     after: Phase,
     watchdog_abort: bool,
 ) {
+    record_transition_with(
+        sink,
+        at,
+        before,
+        overhead,
+        actual,
+        partial,
+        after,
+        watchdog_abort,
+        None,
+    );
+}
+
+/// [`record_transition`] with an explicit [`SwitchReason`] override, for
+/// switches whose cause the phase pair cannot express (a crash fallback, a
+/// rehabilitated policy re-entering rotation).
+#[allow(clippy::too_many_arguments)]
+pub fn record_transition_with<S: TraceSink>(
+    sink: &mut S,
+    at: Duration,
+    before: Phase,
+    overhead: f64,
+    actual: Duration,
+    partial: bool,
+    after: Phase,
+    watchdog_abort: bool,
+    reason_override: Option<SwitchReason>,
+) {
     if !S::ENABLED {
         return;
     }
     record_interval_end(sink, at, before, overhead, actual, partial);
-    if let Some(reason) = switch_reason(before, after, watchdog_abort) {
+    if let Some(reason) = reason_override.or_else(|| switch_reason(before, after, watchdog_abort)) {
         let (from, to) = (policy_of(before), policy_of(after));
         sink.record(at, TraceEvent::PolicySwitch { from, to, reason });
     }
     record_phase_start(sink, at, after);
+}
+
+/// Record drained controller health events (see
+/// `dynfb_core::controller::Controller::drain_health_events`) as
+/// [`TraceEvent::PolicyHealth`] instants.
+pub fn record_health_events<S: TraceSink>(
+    sink: &mut S,
+    at: Duration,
+    events: &[crate::controller::HealthEvent],
+) {
+    if !S::ENABLED {
+        return;
+    }
+    for ev in events {
+        sink.record(at, TraceEvent::PolicyHealth { policy: ev.policy(), state: ev.state() });
+    }
 }
 
 fn policy_of(phase: Phase) -> usize {
@@ -445,6 +507,12 @@ pub fn chrome_trace_json<'e>(
             TraceEvent::FaultPlanActivated { seed, events } => {
                 rows.push(format!(
                     r#"{{"ph":"i","s":"g","pid":0,"tid":0,"cat":"fault","name":"fault-plan","ts":{},"args":{{"seed":{seed},"events":{events}}}}}"#,
+                    ts_us(at),
+                ));
+            }
+            TraceEvent::PolicyHealth { policy, state } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"cat":"health","name":"health p{policy}={state}","ts":{},"args":{{"policy":{policy},"state":"{state}"}}}}"#,
                     ts_us(at),
                 ));
             }
@@ -533,6 +601,41 @@ mod tests {
         assert_eq!(switch_reason(prod(1), sampling(0), false), Some(SwitchReason::Resample));
         assert_eq!(switch_reason(prod(1), prod(1), true), None);
         assert_eq!(switch_reason(Phase::Idle, sampling(0), false), None);
+    }
+
+    #[test]
+    fn reason_overrides_and_health_events_render() {
+        use crate::controller::HealthEvent;
+        let mut ring = RingBuffer::new(16);
+        record_transition_with(
+            &mut ring,
+            Duration::from_micros(1),
+            sampling(0),
+            0.1,
+            Duration::from_micros(1),
+            true,
+            Phase::Production { policy: 1, via_cutoff: false },
+            false,
+            Some(SwitchReason::CrashFallback),
+        );
+        record_health_events(
+            &mut ring,
+            Duration::from_micros(2),
+            &[
+                HealthEvent::Quarantined { policy: 1, strikes: 1, until_phase: 3 },
+                HealthEvent::Rehabilitated(2),
+            ],
+        );
+        let events: Vec<&TraceEvent> = ring.iter().map(|e| &e.event).collect();
+        assert!(events.contains(&&TraceEvent::PolicySwitch {
+            from: 0,
+            to: 1,
+            reason: SwitchReason::CrashFallback,
+        }));
+        assert!(events.contains(&&TraceEvent::PolicyHealth { policy: 1, state: "quarantined" }));
+        let json = chrome_trace_json("x", ring.iter());
+        assert!(json.contains("crash-fallback"), "{json}");
+        assert!(json.contains("health p2=healthy"), "{json}");
     }
 
     #[test]

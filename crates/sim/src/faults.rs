@@ -140,6 +140,26 @@ pub enum FaultKind {
         /// Extra delay before the barrier arrival registers.
         delay: Duration,
     },
+    /// Crash-stop failure: the targeted processors permanently stop
+    /// executing at the window's *start* instant — possibly while holding a
+    /// lock. The machine observes the death at the processor's next
+    /// scheduling point at or after that instant, recovers any orphaned
+    /// locks with a deterministic abort-and-release protocol, and shrinks
+    /// every barrier's rendezvous size so survivors are not stranded.
+    /// (The window's end is ignored: crash-stop is forever.)
+    ProcCrash {
+        /// Processors affected.
+        procs: Target,
+    },
+    /// Transient hang: the targeted processors execute nothing while the
+    /// window is active (an OS preemption, a page-fault storm), resuming
+    /// exactly where they left off at the window's end. Stalled time is
+    /// charged to no account — a hung processor executes no application
+    /// code — but everyone waiting on its locks or barriers feels it.
+    ProcStall {
+        /// Processors affected.
+        procs: Target,
+    },
 }
 
 /// A [`FaultKind`] active during a [`Window`].
@@ -172,6 +192,10 @@ impl std::error::Error for FaultPlanError {}
 const MAX_FACTOR: f64 = 1e6;
 /// Largest accepted extra hold / jitter / straggler delay.
 const MAX_EXTRA: Duration = Duration::from_secs(10);
+/// Latest accepted crash onset (window start of a [`FaultKind::ProcCrash`]).
+/// A crash scheduled beyond any plausible run horizon is almost certainly a
+/// unit mistake, and would silently never fire.
+const MAX_ONSET: Duration = Duration::from_secs(3600);
 
 /// A deterministic, seeded set of environment perturbations.
 ///
@@ -276,6 +300,31 @@ impl FaultPlan {
                     check_target(i, "barrier straggler", procs)?;
                     check_extra(i, "straggler delay", *delay)?;
                 }
+                FaultKind::ProcCrash { procs } => {
+                    check_target(i, "crash", procs)?;
+                    if e.window.start > SimTime::ZERO + MAX_ONSET {
+                        return err(
+                            i,
+                            format!(
+                                "crash onset {} is beyond the {MAX_ONSET:?} sanity bound",
+                                e.window.start
+                            ),
+                        );
+                    }
+                }
+                FaultKind::ProcStall { procs } => {
+                    check_target(i, "stall", procs)?;
+                    let len = e.window.end.saturating_since(e.window.start);
+                    if len > MAX_EXTRA {
+                        return err(
+                            i,
+                            format!(
+                                "stall window length {len:?} exceeds the \
+                                 {MAX_EXTRA:?} sanity bound"
+                            ),
+                        );
+                    }
+                }
             }
         }
         Ok(())
@@ -339,6 +388,38 @@ impl FaultPlan {
         delay
     }
 
+    /// The instant `proc` crash-stops, if any [`FaultKind::ProcCrash`]
+    /// targets it: the earliest matching window's start. Pure in
+    /// (plan, proc) — the machine observes the death at the processor's
+    /// next scheduling point at or after this instant.
+    #[must_use]
+    pub fn crash_at(&self, proc: usize) -> Option<SimTime> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                FaultKind::ProcCrash { procs } if procs.matches(proc) => Some(e.window.start),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// If `proc` is stalled at `t`, the instant it resumes: the latest end
+    /// among all active [`FaultKind::ProcStall`] windows (strictly after
+    /// `t`, since windows are half-open). `None` when the processor is
+    /// free to run.
+    #[must_use]
+    pub fn stall_until(&self, proc: usize, t: SimTime) -> Option<SimTime> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                FaultKind::ProcStall { procs } if procs.matches(proc) && e.window.contains(t) => {
+                    Some(e.window.end)
+                }
+                _ => None,
+            })
+            .max()
+    }
+
     /// The virtual time a timer read observes: `real` distorted by every
     /// active drift and jitter fault. Pure in (plan, proc, read ordinal,
     /// real time); with drift or jitter the result may be *non-monotone*
@@ -378,7 +459,8 @@ impl FaultPlan {
         for _ in 0..profile.events {
             let a = g.gen_range(0, horizon_ns - 1);
             let b = g.gen_range(a + 1, horizon_ns);
-            let window = Window { start: SimTime::from_nanos(a), end: SimTime::from_nanos(b + 1) };
+            let mut window =
+                Window { start: SimTime::from_nanos(a), end: SimTime::from_nanos(b + 1) };
             let target = |g: &mut SplitMix64, n: usize| {
                 if n == 0 || g.chance(0.3) {
                     Target::All
@@ -390,7 +472,16 @@ impl FaultPlan {
                     Target::Only(set)
                 }
             };
-            let kind = match g.gen_index(5) {
+            // Crash-stop a *single* processor: a random plan that kills the
+            // whole machine at once tells us nothing about recovery.
+            let one_proc = |g: &mut SplitMix64| {
+                if profile.procs == 0 {
+                    Target::All
+                } else {
+                    Target::Only(vec![g.gen_index(profile.procs)])
+                }
+            };
+            let kind = match g.gen_index(7) {
                 0 => FaultKind::Slowdown {
                     procs: target(&mut g, profile.procs),
                     factor: g.gen_f64(2.0, 10.0),
@@ -402,10 +493,30 @@ impl FaultPlan {
                 },
                 2 => FaultKind::TimerDrift { ppm: g.gen_range_i64(-500_000, 500_001) },
                 3 => FaultKind::TimerJitter { max: Duration::from_nanos(g.gen_range(1, 50_000)) },
-                _ => FaultKind::BarrierStraggler {
+                4 => FaultKind::BarrierStraggler {
                     procs: target(&mut g, profile.procs),
                     delay: Duration::from_nanos(g.gen_range(1, 200_000)),
                 },
+                5 => {
+                    // Keep the onset within the validation bound even for
+                    // horizons longer than MAX_ONSET.
+                    let onset_cap = u64::try_from(MAX_ONSET.as_nanos()).unwrap_or(u64::MAX);
+                    let start = a.min(onset_cap);
+                    window = Window {
+                        start: SimTime::from_nanos(start),
+                        end: SimTime::from_nanos(b.max(start) + 1),
+                    };
+                    FaultKind::ProcCrash { procs: one_proc(&mut g) }
+                }
+                _ => {
+                    // Clamp the stall to the MAX_EXTRA validation bound.
+                    let stall_cap = u64::try_from(MAX_EXTRA.as_nanos()).unwrap_or(u64::MAX);
+                    window = Window {
+                        start: SimTime::from_nanos(a),
+                        end: SimTime::from_nanos((b + 1).min(a.saturating_add(stall_cap))),
+                    };
+                    FaultKind::ProcStall { procs: one_proc(&mut g) }
+                }
             };
             plan.push(window, kind);
         }
@@ -564,6 +675,8 @@ mod tests {
         });
         bad(FaultKind::TimerDrift { ppm: 2_000_000 });
         bad(FaultKind::BarrierStraggler { procs: Target::All, delay: Duration::from_secs(11) });
+        bad(FaultKind::ProcCrash { procs: Target::Only(vec![]) });
+        bad(FaultKind::ProcStall { procs: Target::Only(vec![]) });
         // Empty window.
         let e = FaultPlan::new(0)
             .with_event(Window::new(us(5), us(5)), FaultKind::TimerDrift { ppm: 0 })
@@ -571,6 +684,104 @@ mod tests {
             .unwrap_err();
         assert!(e.reason.contains("empty window"), "{e}");
         assert_eq!(e.event, 0);
+    }
+
+    #[test]
+    fn crash_onset_beyond_the_bound_is_rejected() {
+        let e = FaultPlan::new(0)
+            .with_event(
+                Window::new(Duration::from_secs(3601), Duration::from_secs(3602)),
+                FaultKind::ProcCrash { procs: Target::All },
+            )
+            .validate()
+            .unwrap_err();
+        assert!(e.reason.contains("crash onset"), "{e}");
+        assert_eq!(e.event, 0);
+        // At the bound is still fine.
+        FaultPlan::new(0)
+            .with_event(
+                Window::new(Duration::from_secs(3600), Duration::from_secs(3601)),
+                FaultKind::ProcCrash { procs: Target::All },
+            )
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn overlong_stall_window_is_rejected() {
+        let e = FaultPlan::new(0)
+            .with_event(Window::always(), FaultKind::ProcStall { procs: Target::All })
+            .validate()
+            .unwrap_err();
+        assert!(e.reason.contains("stall window length"), "{e}");
+        let e = FaultPlan::new(0)
+            .with_event(
+                Window::new(us(0), Duration::from_secs(11)),
+                FaultKind::ProcStall { procs: Target::All },
+            )
+            .validate()
+            .unwrap_err();
+        assert!(e.reason.contains("stall window length"), "{e}");
+        // A stall of exactly the bound passes.
+        FaultPlan::new(0)
+            .with_event(
+                Window::new(us(0), Duration::from_secs(10)),
+                FaultKind::ProcStall { procs: Target::All },
+            )
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn crash_at_is_the_earliest_matching_onset() {
+        let p = FaultPlan::new(0)
+            .with_event(
+                Window::new(us(50), us(60)),
+                FaultKind::ProcCrash { procs: Target::Only(vec![1]) },
+            )
+            .with_event(
+                Window::new(us(20), us(30)),
+                FaultKind::ProcCrash { procs: Target::Only(vec![1, 2]) },
+            );
+        assert_eq!(p.crash_at(1), Some(at(20)));
+        assert_eq!(p.crash_at(2), Some(at(20)));
+        assert_eq!(p.crash_at(0), None);
+        assert_eq!(FaultPlan::default().crash_at(0), None);
+    }
+
+    #[test]
+    fn stall_until_is_the_latest_active_window_end() {
+        let p = FaultPlan::new(0)
+            .with_event(
+                Window::new(us(10), us(40)),
+                FaultKind::ProcStall { procs: Target::Only(vec![3]) },
+            )
+            .with_event(Window::new(us(30), us(90)), FaultKind::ProcStall { procs: Target::All });
+        assert_eq!(p.stall_until(3, at(5)), None, "before any window");
+        assert_eq!(p.stall_until(3, at(15)), Some(at(40)), "only the first is active");
+        assert_eq!(p.stall_until(3, at(35)), Some(at(90)), "overlap resolves to the later end");
+        assert_eq!(p.stall_until(0, at(35)), Some(at(90)), "All matches every proc");
+        assert_eq!(p.stall_until(3, at(90)), None, "half-open: free at the end instant");
+    }
+
+    #[test]
+    fn random_plans_cover_the_failure_kinds() {
+        // Across a modest seed sweep the generator must produce both new
+        // kinds (each arm is 1-in-7 per event).
+        let profile = ChaosProfile::default();
+        let mut saw_crash = false;
+        let mut saw_stall = false;
+        for seed in 0..64 {
+            for e in FaultPlan::random(seed, &profile).events() {
+                match &e.kind {
+                    FaultKind::ProcCrash { .. } => saw_crash = true,
+                    FaultKind::ProcStall { .. } => saw_stall = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_crash, "no ProcCrash generated in 64 seeds");
+        assert!(saw_stall, "no ProcStall generated in 64 seeds");
     }
 
     #[test]

@@ -134,6 +134,85 @@ fn scale(d: Duration, factor: f64) -> Duration {
     Duration::from_nanos(ns as u64)
 }
 
+/// Grant a freed lock to its first waiter (if any) at `free_at`, accounting
+/// the waiter's spinning as waiting overhead (§4.3 — failed attempts ×
+/// cost). Shared by the normal release path and crashed-holder recovery so
+/// both account identically — including the metrics emission the
+/// consistency oracles check.
+#[allow(clippy::too_many_arguments)]
+fn grant_next_waiter<M: MetricsSink>(
+    l: &mut LockState,
+    lock_idx: usize,
+    free_at: SimTime,
+    config: &MachineConfig,
+    faults: &FaultPlan,
+    stats: &mut [ProcStats],
+    status: &mut [ProcStatus],
+    queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: &mut u64,
+    metrics: &mut M,
+) {
+    let Some((w, since)) = l.waiters.pop_front() else { return };
+    let span = free_at - since;
+    let attempt = config.lock_attempt_cost;
+    let attempts = if attempt.is_zero() {
+        1
+    } else {
+        let a = span.as_nanos() / attempt.as_nanos();
+        u64::try_from(a).unwrap_or(u64::MAX).max(1)
+    };
+    let acq_cost = scale(config.lock_acquire_cost, faults.lock_cost_factor(lock_idx, free_at));
+    let wi = w.0;
+    stats[wi].wait_time += span;
+    stats[wi].failed_attempts += attempts;
+    stats[wi].acquires += 1;
+    stats[wi].lock_time += acq_cost;
+    l.holder = Some(w);
+    l.acquires += 1;
+    l.contended_acquires += 1;
+    if M::ENABLED {
+        l.held_since = free_at + acq_cost;
+        metrics.lock_acquired(lock_idx, acq_cost, span, attempts);
+    }
+    status[wi] = ProcStatus::Ready;
+    queue.push(Reverse(((free_at + acq_cost).as_nanos(), *seq, wi)));
+    *seq += 1;
+}
+
+/// Release a completed barrier: schedule every arrived processor at the
+/// release instant and pick the leader. `leader` is the completing arriver
+/// in the normal path; crash-driven releases (`None`) elect the latest
+/// arrival (ties to the higher processor id, matching the normal path
+/// where the last arriver leads). The release never precedes `at_least`,
+/// so a crash-driven release cannot schedule events in the past.
+#[allow(clippy::too_many_arguments)]
+fn release_barrier(
+    b: &mut BarrierState,
+    at_least: SimTime,
+    barrier_cost: Duration,
+    stats: &mut [ProcStats],
+    status: &mut [ProcStatus],
+    leader_flag: &mut [bool],
+    queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+    seq: &mut u64,
+    leader: Option<usize>,
+) {
+    let latest = b.arrived.iter().map(|&(_, at)| at).max().unwrap_or(at_least);
+    let release = latest.max(at_least) + barrier_cost;
+    let lead =
+        leader.or_else(|| b.arrived.iter().max_by_key(|&&(w, at)| (at, w.0)).map(|&(w, _)| w.0));
+    if let Some(lead) = lead {
+        leader_flag[lead] = true;
+    }
+    for &(w, at) in b.arrived.iter().rev() {
+        stats[w.0].barrier_wait += release - at;
+        status[w.0] = ProcStatus::Ready;
+        queue.push(Reverse((release.as_nanos(), *seq, w.0)));
+        *seq += 1;
+    }
+    b.arrived.clear();
+}
+
 #[derive(Debug, Default)]
 struct LockState {
     holder: Option<ProcId>,
@@ -151,6 +230,9 @@ struct LockState {
 
 #[derive(Debug)]
 struct BarrierState {
+    /// Configured rendezvous size, restored at the start of every run.
+    size: usize,
+    /// Live rendezvous size: shrinks when a participant crash-stops.
     participants: usize,
     arrived: Vec<(ProcId, SimTime)>,
 }
@@ -210,6 +292,10 @@ enum ProcStatus {
     Ready,
     Blocked,
     Finished,
+    /// Crash-stopped by a [`FaultKind::ProcCrash`] fault; never runs again.
+    ///
+    /// [`FaultKind::ProcCrash`]: crate::faults::FaultKind::ProcCrash
+    Dead,
 }
 
 impl Machine {
@@ -290,7 +376,7 @@ impl Machine {
     /// Panics if `participants == 0`.
     pub fn add_barrier(&mut self, participants: usize) -> BarrierId {
         assert!(participants > 0, "barrier needs at least one participant");
-        self.barriers.push(BarrierState { participants, arrived: Vec::new() });
+        self.barriers.push(BarrierState { size: participants, participants, arrived: Vec::new() });
         BarrierId(self.barriers.len() - 1)
     }
 
@@ -353,6 +439,9 @@ impl Machine {
         let mut seq: u64 = 0;
         let mut events: u64 = 0;
         let mut done = 0usize;
+        let mut dead = 0usize;
+        // Crash instants are pure per-proc functions of the plan.
+        let crash_at: Vec<Option<SimTime>> = (0..n).map(|p| faults.crash_at(p)).collect();
 
         // Reset resource state so a machine can be reused across runs.
         // Only locks the previous run touched need resetting; the rest of
@@ -367,6 +456,7 @@ impl Machine {
         }
         dirty_locks.clear();
         for b in barriers.iter_mut() {
+            b.participants = b.size;
             b.arrived.clear();
         }
         queue.clear();
@@ -392,6 +482,84 @@ impl Machine {
             }
             let now = SimTime::from_nanos(t_ns);
             debug_assert_eq!(status[p], ProcStatus::Ready);
+
+            // Crash-stop faults take effect at the processor's next
+            // scheduling point at or after the crash instant (a blocked
+            // processor cannot observe its own death until it is granted
+            // the resource it waits on and runs again).
+            if crash_at[p].is_some_and(|c| now >= c) {
+                stats[p].crashed_at = Some(now);
+                status[p] = ProcStatus::Dead;
+                dead += 1;
+                if M::ENABLED {
+                    metrics.counter("sim_proc_crashes", 1);
+                }
+                // Abort-and-release: recover every lock orphaned by the
+                // dead holder. The release costs nothing (nobody executes
+                // it) and is granted to the first waiter immediately, with
+                // the exact accounting of a normal release — so the
+                // per-lock metrics oracles (releases == acquires, summed
+                // locking/waiting times) still balance.
+                for &li in dirty_locks.iter() {
+                    let l = &mut locks[li];
+                    if l.holder != Some(ProcId(p)) {
+                        continue;
+                    }
+                    stats[p].recovered_locks += 1;
+                    if M::ENABLED {
+                        metrics.lock_released(
+                            li,
+                            Duration::ZERO,
+                            now.saturating_since(l.held_since),
+                        );
+                        metrics.counter("sim_locks_recovered", 1);
+                    }
+                    l.holder = None;
+                    grant_next_waiter(
+                        l,
+                        li,
+                        now,
+                        config,
+                        faults,
+                        &mut stats,
+                        &mut status,
+                        queue,
+                        &mut seq,
+                        metrics,
+                    );
+                }
+                // Dead processors drop out of every barrier: the rendezvous
+                // size shrinks so survivors are not stranded waiting for an
+                // arrival that will never come. (Contract: every processor
+                // of a run participates in every barrier, which is how the
+                // runtime drives its section/switch rendezvous.)
+                for b in barriers.iter_mut() {
+                    b.participants = b.participants.saturating_sub(1);
+                    if !b.arrived.is_empty() && b.arrived.len() >= b.participants {
+                        release_barrier(
+                            b,
+                            now,
+                            config.barrier_cost,
+                            &mut stats,
+                            &mut status,
+                            &mut leader_flag,
+                            queue,
+                            &mut seq,
+                            None,
+                        );
+                    }
+                }
+                continue;
+            }
+
+            // Stall faults hang the processor: defer this scheduling point
+            // to the end of the stall window. Stalled time is charged to no
+            // account — a hung processor executes nothing — but lock
+            // waiters and barrier peers feel the delay.
+            if let Some(resume) = faults.stall_until(p, now) {
+                push(queue, &mut seq, resume, p);
+                continue;
+            }
 
             let mut ctx = ProcCtx {
                 now,
@@ -473,37 +641,18 @@ impl Machine {
                     let released_at = t_eff + cost;
                     let free_at = released_at + extra;
                     l.holder = None;
-                    if let Some((w, since)) = l.waiters.pop_front() {
-                        // Grant to the first waiter: account its spinning as
-                        // waiting overhead (§4.3 — failed attempts × cost).
-                        let span = free_at - since;
-                        let attempt = config.lock_attempt_cost;
-                        let attempts = if attempt.is_zero() {
-                            1
-                        } else {
-                            let a = span.as_nanos() / attempt.as_nanos();
-                            u64::try_from(a).unwrap_or(u64::MAX).max(1)
-                        };
-                        let acq_cost = scale(
-                            config.lock_acquire_cost,
-                            faults.lock_cost_factor(lock.0, free_at),
-                        );
-                        let wi = w.0;
-                        stats[wi].wait_time += span;
-                        stats[wi].failed_attempts += attempts;
-                        stats[wi].acquires += 1;
-                        stats[wi].lock_time += acq_cost;
-                        let l = locks.get_mut(lock.0).ok_or(SimError::UnknownResource)?;
-                        l.holder = Some(w);
-                        l.acquires += 1;
-                        l.contended_acquires += 1;
-                        if M::ENABLED {
-                            l.held_since = free_at + acq_cost;
-                            metrics.lock_acquired(lock.0, acq_cost, span, attempts);
-                        }
-                        status[wi] = ProcStatus::Ready;
-                        push(queue, &mut seq, free_at + acq_cost, wi);
-                    }
+                    grant_next_waiter(
+                        l,
+                        lock.0,
+                        free_at,
+                        config,
+                        faults,
+                        &mut stats,
+                        &mut status,
+                        queue,
+                        &mut seq,
+                        metrics,
+                    );
                     push(queue, &mut seq, released_at, p);
                 }
                 Step::Barrier(barrier) => {
@@ -511,22 +660,24 @@ impl Machine {
                     let arrival = t_eff + faults.barrier_delay(p, t_eff);
                     let b = barriers.get_mut(barrier.0).ok_or(SimError::UnknownResource)?;
                     b.arrived.push((ProcId(p), arrival));
-                    if b.arrived.len() == b.participants {
+                    if b.arrived.len() >= b.participants {
                         // Release after the *latest* arrival (a delayed
                         // straggler can arrive later than the last
-                        // processor to reach the barrier).
-                        let latest = b.arrived.iter().map(|&(_, at)| at).max().unwrap_or(arrival);
-                        let release = latest + config.barrier_cost;
-                        // The last arriver is the leader and is scheduled
-                        // first at the release instant, so it can perform
-                        // switch bookkeeping before the others resume.
-                        leader_flag[p] = true;
-                        for &(w, at) in b.arrived.iter().rev() {
-                            stats[w.0].barrier_wait += release - at;
-                            status[w.0] = ProcStatus::Ready;
-                            push(queue, &mut seq, release, w.0);
-                        }
-                        b.arrived.clear();
+                        // processor to reach the barrier). The last arriver
+                        // is the leader and is scheduled first at the
+                        // release instant, so it can perform switch
+                        // bookkeeping before the others resume.
+                        release_barrier(
+                            b,
+                            t_eff,
+                            config.barrier_cost,
+                            &mut stats,
+                            &mut status,
+                            &mut leader_flag,
+                            queue,
+                            &mut seq,
+                            Some(p),
+                        );
                     } else {
                         status[p] = ProcStatus::Blocked;
                     }
@@ -539,14 +690,23 @@ impl Machine {
             }
         }
 
-        if done != n {
-            let blocked: Vec<ProcId> =
-                (0..n).filter(|&i| status[i] != ProcStatus::Finished).map(ProcId).collect();
-            let at = stats.iter().filter_map(|s| s.done_at).max().unwrap_or(SimTime::ZERO);
+        if done + dead != n {
+            let blocked: Vec<ProcId> = (0..n)
+                .filter(|&i| !matches!(status[i], ProcStatus::Finished | ProcStatus::Dead))
+                .map(ProcId)
+                .collect();
+            let at = stats
+                .iter()
+                .filter_map(|s| s.done_at.or(s.crashed_at))
+                .max()
+                .unwrap_or(SimTime::ZERO);
             return Err(SimError::Deadlock { at, blocked });
         }
 
-        let finished_at = stats.iter().filter_map(|s| s.done_at).max().unwrap_or(SimTime::ZERO);
+        // A run "finishes" when the last processor stops executing — by
+        // completing its process or by crash-stopping.
+        let finished_at =
+            stats.iter().filter_map(|s| s.done_at.or(s.crashed_at)).max().unwrap_or(SimTime::ZERO);
         Ok(MachineStats { procs: stats, finished_at })
     }
 }
@@ -842,5 +1002,243 @@ mod tests {
         assert_eq!(reg.lock(0).acquires + reg.lock(1).acquires, reg.totals().acquires);
         assert_eq!(reg.lock(1).acquires, 2);
         assert_eq!(reg.lock(0).acquires, 6);
+    }
+}
+
+#[cfg(test)]
+mod crash_tests {
+    use super::*;
+    use crate::faults::{FaultKind, FaultPlan, Target, Window};
+
+    struct Script(std::vec::IntoIter<Step>);
+
+    impl Script {
+        fn new(steps: Vec<Step>) -> Self {
+            Script(steps.into_iter())
+        }
+    }
+
+    impl Process for Script {
+        fn step(&mut self, _ctx: &mut ProcCtx<'_>) -> Step {
+            self.0.next().unwrap_or(Step::Done)
+        }
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn crash(procs: Vec<usize>, at_ms: u64) -> FaultPlan {
+        FaultPlan::new(7).with_event(
+            Window::new(ms(at_ms), ms(at_ms + 1)),
+            FaultKind::ProcCrash { procs: Target::Only(procs) },
+        )
+    }
+
+    #[test]
+    fn crashed_proc_stops_and_the_run_still_completes() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_fault_plan(crash(vec![0], 5)).unwrap();
+        // Proc 0 would compute 3×4ms; it dies at its second scheduling
+        // point (t=4ms ≥ … no: crash at 5ms, so after the 4ms step it pops
+        // at 4ms < 5ms, computes again, pops at 8ms ≥ 5ms and dies).
+        let p0 = Script::new(vec![
+            Step::Compute(ms(4)),
+            Step::Compute(ms(4)),
+            Step::Compute(ms(4)),
+            Step::Done,
+        ]);
+        let p1 = Script::new(vec![Step::Compute(ms(20)), Step::Done]);
+        let stats = m.run(vec![Box::new(p0), Box::new(p1)]).unwrap();
+        assert_eq!(stats.procs[0].crashed_at, Some(SimTime::ZERO + ms(8)));
+        assert_eq!(stats.procs[0].done_at, None);
+        assert_eq!(stats.procs[0].compute, ms(8), "work before death is charged");
+        assert_eq!(stats.procs[1].done_at, Some(SimTime::ZERO + ms(20)));
+        assert_eq!(stats.crashed_procs(), vec![0]);
+        assert_eq!(stats.live_procs(), 1);
+        assert_eq!(stats.finished_at, SimTime::ZERO + ms(20));
+    }
+
+    #[test]
+    fn all_procs_crashing_ends_the_run_without_deadlock() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_fault_plan(crash(vec![0, 1], 1)).unwrap();
+        let mk = || Script::new(vec![Step::Compute(ms(5)), Step::Compute(ms(5)), Step::Done]);
+        let stats = m.run(vec![Box::new(mk()), Box::new(mk())]).unwrap();
+        assert_eq!(stats.live_procs(), 0);
+        assert_eq!(stats.finished_at, SimTime::ZERO + ms(5));
+    }
+
+    #[test]
+    fn orphaned_lock_is_recovered_and_granted_to_waiters() {
+        let mut m = Machine::new(MachineConfig::default());
+        let l = m.add_lock();
+        m.set_fault_plan(crash(vec![0], 2)).unwrap();
+        // Proc 0 takes the lock and dies mid-critical-section; proc 1 must
+        // still get the lock and finish (no deadlock on the orphan).
+        let p0 = Script::new(vec![
+            Step::Acquire(l),
+            Step::Compute(ms(10)),
+            Step::Release(l),
+            Step::Done,
+        ]);
+        let p1 = Script::new(vec![Step::Acquire(l), Step::Release(l), Step::Done]);
+        let stats = m.run(vec![Box::new(p0), Box::new(p1)]).unwrap();
+        assert_eq!(stats.procs[0].recovered_locks, 1);
+        assert!(stats.procs[0].crashed_at.is_some());
+        assert_eq!(stats.procs[1].acquires, 1);
+        assert!(stats.procs[1].done_at.is_some(), "waiter must complete");
+        assert_eq!(stats.recovered_locks(), 1);
+        // The waiter's spin until the recovery instant is accounted.
+        assert!(stats.procs[1].wait_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn recovery_keeps_the_metrics_oracle_balanced() {
+        let run = |metered: bool| {
+            let mut m = Machine::new(MachineConfig::default());
+            let l = m.add_lock();
+            m.set_fault_plan(crash(vec![0], 2)).unwrap();
+            let p0 = Script::new(vec![
+                Step::Acquire(l),
+                Step::Compute(ms(10)),
+                Step::Release(l),
+                Step::Done,
+            ]);
+            let p1 = Script::new(vec![Step::Acquire(l), Step::Release(l), Step::Done]);
+            let procs: Vec<Box<dyn Process>> = vec![Box::new(p0), Box::new(p1)];
+            let mut reg = dynfb_core::MetricsRegistry::new();
+            let stats = if metered {
+                m.run_metered(procs, &mut reg).unwrap()
+            } else {
+                m.run(procs).unwrap()
+            };
+            (stats, reg)
+        };
+        let (stats, reg) = run(true);
+        let totals = stats.totals();
+        let sums = reg.totals();
+        assert_eq!(sums.acquires, totals.acquires);
+        assert_eq!(sums.releases, sums.acquires, "recovery emits the missing release");
+        assert_eq!(sums.locking, totals.lock_time);
+        assert_eq!(sums.waiting, totals.wait_time);
+        assert_eq!(reg.counter_value("sim_proc_crashes"), 1);
+        assert_eq!(reg.counter_value("sim_locks_recovered"), 1);
+        // Observation must not perturb the simulation, crashes included.
+        let (unmetered, _) = run(false);
+        assert_eq!(unmetered, stats);
+    }
+
+    #[test]
+    fn dead_proc_shrinks_the_barrier_rendezvous() {
+        let mut m = Machine::new(MachineConfig::default());
+        let b = m.add_barrier(3);
+        m.set_fault_plan(crash(vec![2], 1)).unwrap();
+        // Proc 2 dies before reaching the barrier; procs 0 and 1 must not
+        // be stranded. (Its first compute gives it a scheduling point at
+        // 2ms, past the 1ms crash instant, where the death is observed.)
+        let mk =
+            |work: u64| Script::new(vec![Step::Compute(ms(work)), Step::Barrier(b), Step::Done]);
+        let slow = Script::new(vec![
+            Step::Compute(ms(2)),
+            Step::Compute(ms(50)),
+            Step::Barrier(b),
+            Step::Done,
+        ]);
+        let stats = m.run(vec![Box::new(mk(2)), Box::new(mk(3)), Box::new(slow)]).unwrap();
+        assert!(stats.procs[0].done_at.is_some());
+        assert!(stats.procs[1].done_at.is_some());
+        assert_eq!(stats.crashed_procs(), vec![2]);
+        // Survivors released at ~3ms + barrier cost, not 50ms.
+        assert!(stats.procs[0].done_at.unwrap() < SimTime::ZERO + ms(10));
+    }
+
+    #[test]
+    fn crash_after_others_arrived_releases_the_barrier() {
+        let mut m = Machine::new(MachineConfig::default());
+        let b = m.add_barrier(2);
+        m.set_fault_plan(crash(vec![1], 10)).unwrap();
+        // Proc 0 arrives at 1ms and parks; proc 1 computes past its crash
+        // instant and dies at 20ms — the shrink must release proc 0 then.
+        let p0 = Script::new(vec![Step::Compute(ms(1)), Step::Barrier(b), Step::Done]);
+        let p1 = Script::new(vec![Step::Compute(ms(20)), Step::Barrier(b), Step::Done]);
+        let stats = m.run(vec![Box::new(p0), Box::new(p1)]).unwrap();
+        let done = stats.procs[0].done_at.expect("survivor completes");
+        assert_eq!(done, SimTime::ZERO + ms(20) + m.config().barrier_cost);
+        assert!(stats.procs[0].barrier_wait >= ms(19) - m.config().barrier_cost);
+    }
+
+    #[test]
+    fn stall_defers_execution_without_charging_time() {
+        let mut m = Machine::new(MachineConfig::default());
+        let plan = FaultPlan::new(3).with_event(
+            Window::new(ms(2), ms(9)),
+            FaultKind::ProcStall { procs: Target::Only(vec![0]) },
+        );
+        m.set_fault_plan(plan).unwrap();
+        let p = Script::new(vec![Step::Compute(ms(2)), Step::Compute(ms(1)), Step::Done]);
+        let stats = m.run(vec![Box::new(p)]).unwrap();
+        // First compute ends at 2ms, inside the stall window: the second
+        // scheduling point defers to 9ms, then computes 1ms.
+        assert_eq!(stats.procs[0].done_at, Some(SimTime::ZERO + ms(10)));
+        assert_eq!(stats.procs[0].compute, ms(3), "stalled time is not charged");
+    }
+
+    #[test]
+    fn stalled_holder_delays_waiters_but_everyone_finishes() {
+        let mut m = Machine::new(MachineConfig::default());
+        let l = m.add_lock();
+        let plan = FaultPlan::new(3).with_event(
+            Window::new(ms(1), ms(8)),
+            FaultKind::ProcStall { procs: Target::Only(vec![0]) },
+        );
+        m.set_fault_plan(plan).unwrap();
+        let p0 =
+            Script::new(vec![Step::Acquire(l), Step::Compute(ms(2)), Step::Release(l), Step::Done]);
+        let p1 = Script::new(vec![Step::Acquire(l), Step::Release(l), Step::Done]);
+        let stats = m.run(vec![Box::new(p0), Box::new(p1)]).unwrap();
+        assert!(stats.procs[0].done_at.is_some());
+        assert!(stats.procs[1].done_at.is_some());
+        // The waiter's wait spans the holder's stall.
+        assert!(stats.procs[1].wait_time >= ms(8), "waited {:?}", stats.procs[1].wait_time);
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic() {
+        let build = || {
+            let mut m = Machine::new(MachineConfig::default());
+            let l = m.add_lock();
+            let b = m.add_barrier(4);
+            m.set_fault_plan(crash(vec![1], 3)).unwrap();
+            let procs: Vec<Box<dyn Process>> = (0..4)
+                .map(|i| {
+                    Box::new(Script::new(vec![
+                        Step::Compute(Duration::from_micros(500 * (i + 1))),
+                        Step::Acquire(l),
+                        Step::Compute(ms(2)),
+                        Step::Release(l),
+                        Step::Barrier(b),
+                        Step::Done,
+                    ])) as Box<dyn Process>
+                })
+                .collect();
+            m.run(procs).unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn machine_reuse_restores_barrier_size_after_a_crash_run() {
+        let mut m = Machine::new(MachineConfig::default());
+        let b = m.add_barrier(2);
+        m.set_fault_plan(crash(vec![1], 1)).unwrap();
+        let mk = || Script::new(vec![Step::Compute(ms(5)), Step::Barrier(b), Step::Done]);
+        let first = m.run(vec![Box::new(mk()), Box::new(mk())]).unwrap();
+        assert_eq!(first.live_procs(), 1);
+        // Second run without faults: both procs must be required again.
+        m.set_fault_plan(FaultPlan::default()).unwrap();
+        let second = m.run(vec![Box::new(mk()), Box::new(mk())]).unwrap();
+        assert_eq!(second.live_procs(), 2);
+        assert!(second.procs.iter().all(|p| p.done_at.is_some()));
     }
 }

@@ -105,6 +105,20 @@ impl<'a> ProcCtx<'a> {
         self.faults.observed_time(self.proc.0, read_no, real)
     }
 
+    /// Observe the machine timer *without* charging a read or consuming a
+    /// read ordinal: the value the next [`read_timer`](Self::read_timer)
+    /// at this instant would return. The driver anchors interval starts
+    /// with this — the generated code's stored timer read lives on the
+    /// same (possibly drifting) clock as its later polls, so comparing an
+    /// observed poll against a fault-immune start would mis-age every
+    /// interval once a transient drift window has shifted the clock.
+    #[must_use]
+    pub fn peek_timer(&self) -> SimTime {
+        let real = self.now + self.pending_compute + self.pending_timer;
+        let read_no = self.prior_timer_reads + self.timer_reads + 1;
+        self.faults.observed_time(self.proc.0, read_no, real)
+    }
+
     /// Charge additional computation time that occurs before the step this
     /// call returns (e.g. bookkeeping the generated code performs inline).
     pub fn charge(&mut self, d: Duration) {

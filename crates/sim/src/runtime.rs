@@ -32,9 +32,10 @@ use crate::machine::{Machine, SimError};
 use crate::process::{BarrierId, LockId, ProcCtx, Process, Step};
 use crate::stats::{MachineStats, ProcStats};
 use crate::time::SimTime;
-use dynfb_core::controller::{Controller, ControllerConfig, Phase};
+use dynfb_core::controller::{Controller, ControllerConfig, HealthEvent, Phase};
 use dynfb_core::metrics::{MetricsSink, NoMetrics};
-use dynfb_core::trace::{self, NullSink, TraceEvent, TraceSink};
+use dynfb_core::overhead::OverheadSample;
+use dynfb_core::trace::{self, NullSink, SwitchReason, TraceEvent, TraceSink};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -319,6 +320,11 @@ pub struct SampleRecord {
     /// True if the section ended before the interval reached its target
     /// (the record is a partial interval).
     pub partial: bool,
+    /// True if a processor crash-stopped during the interval. The measured
+    /// overhead is still reported here for post-mortems, but the controller
+    /// discarded it (a dying processor's forced lock releases and vanished
+    /// work distort the measurement) and fell back instead of trusting it.
+    pub poisoned: bool,
 }
 
 /// The record of one execution of one section.
@@ -426,6 +432,37 @@ struct Driver<'a, S: TraceSink> {
     /// First unrecoverable runtime error. Once set, every processor winds
     /// down at its next step and [`run_app`] returns this error.
     error: Option<SimError>,
+    /// Run-wide tally of health-machine activity, published as named
+    /// metrics counters when the run completes.
+    counts: HealthCounts,
+}
+
+/// Counters for the failure-domain layer, accumulated across all sections
+/// and controllers of a run. Only non-zero counters are published, so
+/// healthy runs keep byte-identical profiles.
+#[derive(Debug, Default, Clone, Copy)]
+struct HealthCounts {
+    suspected: u64,
+    quarantined: u64,
+    rehabilitated: u64,
+    cleared: u64,
+    probed: u64,
+    crash_fallbacks: u64,
+    watchdog_soft_failures: u64,
+}
+
+impl HealthCounts {
+    fn tally(&mut self, events: &[HealthEvent]) {
+        for ev in events {
+            match ev {
+                HealthEvent::Suspected(_) => self.suspected += 1,
+                HealthEvent::Quarantined { .. } => self.quarantined += 1,
+                HealthEvent::Probing(_) => self.probed += 1,
+                HealthEvent::Rehabilitated(_) => self.rehabilitated += 1,
+                HealthEvent::Cleared(_) => self.cleared += 1,
+            }
+        }
+    }
 }
 
 /// A controller saved between executions of one section, together with the
@@ -445,7 +482,18 @@ struct Active {
     version: usize,
     controller: Option<Controller>,
     interval_start: SimTime,
+    /// The interval start on the *observed* (fault-distorted) clock.
+    /// Expiry detection compares observed poll timestamps against this —
+    /// both ends on the same clock, exactly as the generated code's stored
+    /// timer read would — while `interval_start` stays fault-immune for
+    /// the watchdog and the records. Mixing the clocks would mis-age every
+    /// interval once a transient drift window has shifted the observed
+    /// clock away from simulation time.
+    interval_start_observed: SimTime,
     snapshot: ProcStats,
+    /// Number of crash-stopped processors when the interval started; a
+    /// higher count at interval end means the measurement is poisoned.
+    crashed_snapshot: usize,
     switch_requested: bool,
     /// The pending switch is a watchdog abort, not a normal transition.
     abort_requested: bool,
@@ -469,7 +517,9 @@ impl<'a, S: TraceSink> Driver<'a, S> {
         &mut self,
         plan_idx: usize,
         now: SimTime,
+        observed: SimTime,
         totals: ProcStats,
+        crashed: usize,
     ) -> Result<(), SimError> {
         let stale = match &self.active {
             Some(a) => a.plan_idx != plan_idx || a.section_over,
@@ -484,7 +534,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
         );
         let entry = self.plan[plan_idx].clone();
         let init = match entry.kind {
-            SectionKind::Serial => (0, 0, None, now, totals),
+            SectionKind::Serial => (0, 0, None, now, observed, totals),
             SectionKind::Parallel => {
                 let iters = self.app.begin_parallel(&entry.name);
                 let versions = self.app.versions(&entry.name);
@@ -500,7 +550,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                 available: versions,
                             });
                         };
-                        (iters, v, None, now, totals)
+                        (iters, v, None, now, observed, totals)
                     }
                     RunMode::Dynamic(cfg) | RunMode::DynamicAsync(cfg) => {
                         let saved = self.controllers.remove(&entry.name);
@@ -521,29 +571,48 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                 // (other sections) is excluded from the
                                 // interval's measurement.
                                 let version = ctl.current_policy();
-                                let backdated = SimTime::from_nanos(
-                                    now.as_nanos().saturating_sub(elapsed.as_nanos() as u64),
-                                );
+                                let backdate = |t: SimTime| {
+                                    SimTime::from_nanos(
+                                        t.as_nanos().saturating_sub(elapsed.as_nanos() as u64),
+                                    )
+                                };
                                 let rebased = totals.since(&carried);
-                                (iters, version, Some(ctl), backdated, rebased)
+                                (
+                                    iters,
+                                    version,
+                                    Some(ctl),
+                                    backdate(now),
+                                    backdate(observed),
+                                    rebased,
+                                )
                             }
                             _ => {
                                 let first = ctl.begin_section();
+                                // Starting a sampling phase may schedule a
+                                // rehabilitation probe.
+                                let health = ctl.drain_health_events();
+                                self.counts.tally(&health);
                                 if S::ENABLED {
+                                    trace::record_health_events(
+                                        &mut self.sink,
+                                        now.as_duration(),
+                                        &health,
+                                    );
                                     trace::record_phase_start(
                                         &mut self.sink,
                                         now.as_duration(),
                                         ctl.phase(),
                                     );
                                 }
-                                (iters, first, Some(ctl), now, totals)
+                                (iters, first, Some(ctl), now, observed, totals)
                             }
                         }
                     }
                 }
             }
         };
-        let (total_iters, version, controller, interval_start, snapshot) = init;
+        let (total_iters, version, controller, interval_start, interval_start_observed, snapshot) =
+            init;
         self.active = Some(Active {
             plan_idx,
             kind: entry.kind,
@@ -552,7 +621,9 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             version,
             controller,
             interval_start,
+            interval_start_observed,
             snapshot,
+            crashed_snapshot: crashed,
             switch_requested: false,
             abort_requested: false,
             finishing: entry.kind == SectionKind::Serial,
@@ -566,7 +637,13 @@ impl<'a, S: TraceSink> Driver<'a, S> {
     /// Complete the current interval: measure, record, and ask the
     /// controller for the next policy. Shared by the synchronous (barrier
     /// leader) and asynchronous (detecting processor) switch paths.
-    fn apply_transition(&mut self, now: SimTime, totals: ProcStats) {
+    fn apply_transition(
+        &mut self,
+        now: SimTime,
+        observed: SimTime,
+        totals: ProcStats,
+        crashed: usize,
+    ) {
         let Some(active) = self.active.as_mut() else {
             return;
         };
@@ -577,6 +654,13 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             let sample = totals.since(&active.snapshot).overhead_sample();
             let before = ctl.phase();
             let overhead = sample.total_overhead();
+            // A processor that crash-stopped mid-interval poisons the
+            // measurement: its in-flight work vanished and its held locks
+            // were force-released at zero cost. Report the raw number for
+            // post-mortems but feed the controller an unusable sample, so
+            // the interval records nothing (crash fallback) rather than a
+            // deceptively low overhead.
+            let poisoned = crashed > active.crashed_snapshot;
             active.records.push(SampleRecord {
                 at: now,
                 phase: before,
@@ -584,13 +668,34 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                 overhead,
                 actual,
                 partial: false,
+                poisoned,
             });
-            let transition = ctl.complete_interval(sample);
-            active.version = transition.policy();
+            let fed = if poisoned { OverheadSample::default() } else { sample };
+            let transition = ctl.complete_interval(fed);
+            let next = transition.policy();
+            active.version = next;
             active.interval_start = now;
+            active.interval_start_observed = observed;
             active.snapshot = totals;
+            active.crashed_snapshot = crashed;
+            let health = ctl.drain_health_events();
+            self.counts.tally(&health);
+            if poisoned {
+                self.counts.crash_fallbacks += 1;
+            }
             if S::ENABLED {
-                trace::record_transition(
+                trace::record_health_events(&mut self.sink, now.as_duration(), &health);
+                let reason = if poisoned {
+                    Some(SwitchReason::CrashFallback)
+                } else if health
+                    .iter()
+                    .any(|e| matches!(e, HealthEvent::Rehabilitated(p) if *p == next))
+                {
+                    Some(SwitchReason::Rehabilitated)
+                } else {
+                    None
+                };
+                trace::record_transition_with(
                     &mut self.sink,
                     now.as_duration(),
                     before,
@@ -599,6 +704,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                     false,
                     ctl.phase(),
                     false,
+                    reason,
                 );
             }
         }
@@ -608,7 +714,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
     /// completed (a timer fault starved expiry detection). Record it as
     /// partial and force the controller into production with the best
     /// measurement so far.
-    fn apply_abort(&mut self, now: SimTime, totals: ProcStats) {
+    fn apply_abort(&mut self, now: SimTime, observed: SimTime, totals: ProcStats, crashed: usize) {
         let Some(active) = self.active.as_mut() else {
             return;
         };
@@ -617,18 +723,32 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                 let actual = now.saturating_since(active.interval_start);
                 let sample = totals.since(&active.snapshot).overhead_sample();
                 let before = ctl.phase();
+                let stuck = ctl.current_policy();
                 let overhead = sample.total_overhead();
                 active.records.push(SampleRecord {
                     at: now,
                     phase: before,
-                    version: ctl.current_policy(),
+                    version: stuck,
                     overhead,
                     actual,
                     partial: true,
+                    poisoned: crashed > active.crashed_snapshot,
                 });
                 let transition = ctl.abort_to_production();
                 active.version = transition.policy();
+                // A watchdog abort is a soft failure of the policy whose
+                // interval never completed: first offense marks it suspect,
+                // repeat offenses quarantine it (with backoff
+                // rehabilitation under the default RehabPolicy). With no
+                // survivor left the controller degrades internally; the
+                // simulation keeps running the safest fallback.
+                self.counts.watchdog_soft_failures += 1;
+                active.version =
+                    ctl.report_soft_failure(stuck).unwrap_or_else(|_| ctl.safest_policy());
+                let health = ctl.drain_health_events();
+                self.counts.tally(&health);
                 if S::ENABLED {
+                    trace::record_health_events(&mut self.sink, now.as_duration(), &health);
                     trace::record_transition(
                         &mut self.sink,
                         now.as_duration(),
@@ -642,28 +762,39 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                 }
             }
             active.interval_start = now;
+            active.interval_start_observed = observed;
             active.snapshot = totals;
+            active.crashed_snapshot = crashed;
         }
     }
 
     /// Leader maintenance at a barrier: apply a pending switch and/or
-    /// finalize the section. `totals` are machine-wide stats at `now`.
-    fn leader_maintenance(&mut self, now: SimTime, totals: ProcStats) {
+    /// finalize the section. `totals` are machine-wide stats at `now`;
+    /// `observed` is the same instant on the observed (fault-distorted)
+    /// clock, anchoring the next interval for expiry detection.
+    fn leader_maintenance(
+        &mut self,
+        now: SimTime,
+        observed: SimTime,
+        totals: ProcStats,
+        crashed: usize,
+    ) {
         let over = self.active.as_ref().is_none_or(|a| a.section_over);
         if over {
             return;
         }
         if self.active.as_ref().is_some_and(|a| a.switch_requested) {
             if S::ENABLED && self.active.as_ref().is_some_and(|a| a.controller.is_some()) {
-                // Synchronous switching (§4.1): every processor is at the
-                // section barrier when the leader applies the transition.
-                let arrived = self.num_procs;
+                // Synchronous switching (§4.1): every *live* processor is at
+                // the section barrier when the leader applies the transition
+                // (crash-stopped ones dropped out of the rendezvous).
+                let arrived = self.num_procs - crashed;
                 self.sink.record(now.as_duration(), TraceEvent::BarrierSync { arrived });
             }
             if self.active.as_ref().is_some_and(|a| a.abort_requested) {
-                self.apply_abort(now, totals);
+                self.apply_abort(now, observed, totals, crashed);
             } else {
-                self.apply_transition(now, totals);
+                self.apply_transition(now, observed, totals, crashed);
             }
             if let Some(active) = self.active.as_mut() {
                 active.switch_requested = false;
@@ -694,6 +825,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                             overhead,
                             actual,
                             partial: true,
+                            poisoned: crashed > active.crashed_snapshot,
                         });
                         if S::ENABLED {
                             trace::record_interval_end(
@@ -764,13 +896,22 @@ struct AppProcess<'a, S: TraceSink> {
     instrumented_static: bool,
 }
 
+/// Number of processors that have crash-stopped so far, as visible to a
+/// running process. Monotone in simulation time, so snapshot comparisons
+/// detect "a crash happened during this interval".
+fn crashed_count(ctx: &ProcCtx<'_>) -> usize {
+    ctx.all_stats().iter().filter(|p| p.crashed_at.is_some()).count()
+}
+
 impl<'a, S: TraceSink> AppProcess<'a, S> {
     /// Take the next loop iteration (or initiate the section-ending
     /// rendezvous), returning the next step.
     fn parallel_step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
         let totals = ctx.total_stats();
+        let crashed = crashed_count(ctx);
         let mut driver = self.driver.borrow_mut();
-        if let Err(e) = driver.ensure_active(self.pos, ctx.now(), totals) {
+        if let Err(e) = driver.ensure_active(self.pos, ctx.now(), ctx.peek_timer(), totals, crashed)
+        {
             driver.error.get_or_insert(e);
             self.state = PState::Finished;
             return Step::Done;
@@ -843,6 +984,7 @@ impl<'a, S: TraceSink> AppProcess<'a, S> {
         let t = ctx.read_timer();
         let now = ctx.now();
         let totals = ctx.total_stats();
+        let crashed = crashed_count(ctx);
         let mut driver = self.driver.borrow_mut();
         let asynchronous = matches!(driver.mode, RunMode::DynamicAsync(_));
         let watchdog = driver.sampling_watchdog;
@@ -851,7 +993,7 @@ impl<'a, S: TraceSink> AppProcess<'a, S> {
         if let Some(active) = driver.active.as_ref() {
             if let Some(ctl) = active.controller.as_ref() {
                 let target = ctl.target_interval();
-                expired = t.saturating_since(active.interval_start) >= target;
+                expired = t.saturating_since(active.interval_start_observed) >= target;
                 stuck = !expired
                     && ctl.phase().is_sampling()
                     && watchdog
@@ -864,13 +1006,13 @@ impl<'a, S: TraceSink> AppProcess<'a, S> {
                 // rendezvous; the other processors observe the new version
                 // at their next iteration. Timestamped with the observed
                 // time, as the generated code would.
-                driver.apply_transition(t, totals);
+                driver.apply_transition(t, t, totals, crashed);
             } else if let Some(active) = driver.active.as_mut() {
                 active.switch_requested = true;
             }
         } else if stuck {
             if asynchronous {
-                driver.apply_abort(now, totals);
+                driver.apply_abort(now, t, totals, crashed);
             } else if let Some(active) = driver.active.as_mut() {
                 active.switch_requested = true;
                 active.abort_requested = true;
@@ -897,7 +1039,13 @@ impl<'a, S: TraceSink> Process for AppProcess<'a, S> {
             PState::AfterBarrier => {
                 if ctx.is_barrier_leader() {
                     let totals = ctx.total_stats();
-                    self.driver.borrow_mut().leader_maintenance(ctx.now(), totals);
+                    let crashed = crashed_count(ctx);
+                    self.driver.borrow_mut().leader_maintenance(
+                        ctx.now(),
+                        ctx.peek_timer(),
+                        totals,
+                        crashed,
+                    );
                 }
                 // Decide whether the section continues or is over.
                 let driver = self.driver.borrow();
@@ -922,8 +1070,15 @@ impl<'a, S: TraceSink> Process for AppProcess<'a, S> {
                 match kind {
                     SectionKind::Serial => {
                         let totals = ctx.total_stats();
+                        let crashed = crashed_count(ctx);
                         let mut driver = self.driver.borrow_mut();
-                        if let Err(e) = driver.ensure_active(self.pos, ctx.now(), totals) {
+                        if let Err(e) = driver.ensure_active(
+                            self.pos,
+                            ctx.now(),
+                            ctx.peek_timer(),
+                            totals,
+                            crashed,
+                        ) {
                             driver.error.get_or_insert(e);
                             self.state = PState::Finished;
                             return Step::Done;
@@ -1067,6 +1222,7 @@ fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
         span_intervals: config.span_intervals,
         sampling_watchdog: config.sampling_watchdog,
         error: None,
+        counts: HealthCounts::default(),
     }));
     let processes: Vec<Box<dyn Process + '_>> = (0..config.num_procs)
         .map(|p| {
@@ -1093,6 +1249,25 @@ fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
         return Err(err);
     }
     let stats = result?;
+    // Publish the failure-domain counters. Only non-zero values are
+    // emitted, so a healthy run's profile is byte-identical to one produced
+    // before the failure layer existed.
+    let hc = driver.counts;
+    for (name, value) in [
+        ("policy_suspected", hc.suspected),
+        ("policy_quarantined", hc.quarantined),
+        ("policy_probed", hc.probed),
+        ("policy_rehabilitated", hc.rehabilitated),
+        ("policy_cleared", hc.cleared),
+        ("switch_crash_fallbacks", hc.crash_fallbacks),
+        ("watchdog_soft_failures", hc.watchdog_soft_failures),
+        ("procs_crashed", stats.crashed_procs().len() as u64),
+        ("locks_recovered", stats.recovered_locks()),
+    ] {
+        if value > 0 {
+            metrics.counter(name, value);
+        }
+    }
     Ok(AppReport { app: name, stats, sections: driver.reports })
 }
 
@@ -1568,6 +1743,79 @@ mod fault_tests {
         let b = run_app(Mini, &cfg).expect("runs");
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.sections, b.sections);
+    }
+
+    fn crash_proc3_at(onset: Duration) -> FaultPlan {
+        FaultPlan::new(5).with_event(
+            Window::new(onset, onset + Duration::from_micros(1)),
+            FaultKind::ProcCrash { procs: Target::Only(vec![3]) },
+        )
+    }
+
+    #[test]
+    fn proc_crash_mid_sampling_poisons_the_interval_and_the_run_completes() {
+        use dynfb_core::metrics::MetricsRegistry;
+        let cfg =
+            RunConfig::dynamic(4, ctl()).with_faults(crash_proc3_at(Duration::from_micros(300)));
+        let mut metrics = MetricsRegistry::new();
+        let report = run_app_metered(Mini, &cfg, &mut metrics).expect("completes despite crash");
+        let work = report.section("work").next().unwrap();
+        // The survivors finish every iteration.
+        assert_eq!(work.iterations, 600);
+        assert_eq!(report.stats.crashed_procs(), vec![3]);
+        assert_eq!(report.stats.live_procs(), 3);
+        // The interval in flight when proc 3 died is recorded but marked
+        // poisoned: its measurement was discarded, not trusted.
+        assert!(work.records.iter().any(|r| r.poisoned), "{:?}", work.records);
+        // The failure-domain counters made it into the metrics sink.
+        assert_eq!(metrics.counter_value("procs_crashed"), 1);
+        assert!(metrics.counter_value("switch_crash_fallbacks") >= 1);
+    }
+
+    #[test]
+    fn crash_fallback_switch_reason_is_traced() {
+        use dynfb_core::trace::{RingBuffer, SwitchReason};
+        let cfg =
+            RunConfig::dynamic(4, ctl()).with_faults(crash_proc3_at(Duration::from_micros(300)));
+        let mut ring = RingBuffer::new(8192);
+        run_app_traced(Mini, &cfg, &mut ring).expect("runs");
+        assert!(
+            ring.iter().any(|e| matches!(
+                e.event,
+                TraceEvent::PolicySwitch { reason: SwitchReason::CrashFallback, .. }
+            )),
+            "no crash-fallback switch in the trace"
+        );
+    }
+
+    #[test]
+    fn crashed_dynamic_runs_are_deterministic() {
+        let cfg =
+            RunConfig::dynamic(4, ctl()).with_faults(crash_proc3_at(Duration::from_micros(250)));
+        let a = run_app(Mini, &cfg).expect("runs");
+        let b = run_app(Mini, &cfg).expect("runs");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.sections, b.sections);
+    }
+
+    #[test]
+    fn watchdog_abort_marks_the_stuck_policy_suspect() {
+        use dynfb_core::trace::RingBuffer;
+        // A frozen clock starves the sampling interval, so the watchdog
+        // fires against the policy under measurement and its soft failure
+        // reaches the health machine.
+        let cfg = RunConfig::dynamic(4, ctl()).with_faults(frozen_clock()).with_watchdog(3);
+        let mut ring = RingBuffer::new(8192);
+        let report = run_app_traced(Mini, &cfg, &mut ring).expect("runs");
+        assert_eq!(report.section("work").next().unwrap().iterations, 600);
+        let states: Vec<&str> = ring
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::PolicyHealth { state, .. } => Some(state),
+                _ => None,
+            })
+            .collect();
+        assert!(states.contains(&"suspect"), "health timeline: {states:?}");
     }
 
     #[test]

@@ -27,8 +27,15 @@ pub struct ProcStats {
     pub failed_attempts: u64,
     /// Timer reads.
     pub timer_reads: u64,
+    /// Locks recovered from this processor after it crash-stopped while
+    /// holding them (the abort-and-release protocol).
+    pub recovered_locks: u64,
     /// Virtual time when the processor's process finished (if it did).
     pub done_at: Option<SimTime>,
+    /// Virtual time when the processor crash-stopped under a
+    /// [`ProcCrash`](crate::faults::FaultKind::ProcCrash) fault, if it did.
+    /// Mutually exclusive with `done_at`.
+    pub crashed_at: Option<SimTime>,
 }
 
 impl ProcStats {
@@ -57,6 +64,7 @@ impl ProcStats {
         self.acquires = self.acquires.saturating_add(other.acquires);
         self.failed_attempts = self.failed_attempts.saturating_add(other.failed_attempts);
         self.timer_reads = self.timer_reads.saturating_add(other.timer_reads);
+        self.recovered_locks = self.recovered_locks.saturating_add(other.recovered_locks);
     }
 
     /// Componentwise difference (`self` is a later snapshot than `earlier`).
@@ -71,7 +79,9 @@ impl ProcStats {
             acquires: self.acquires - earlier.acquires,
             failed_attempts: self.failed_attempts - earlier.failed_attempts,
             timer_reads: self.timer_reads - earlier.timer_reads,
+            recovered_locks: self.recovered_locks - earlier.recovered_locks,
             done_at: self.done_at,
+            crashed_at: self.crashed_at,
         }
     }
 
@@ -113,6 +123,24 @@ impl MachineStats {
     #[must_use]
     pub fn elapsed(&self) -> Duration {
         self.finished_at - SimTime::ZERO
+    }
+
+    /// Indices of processors that crash-stopped during the run.
+    #[must_use]
+    pub fn crashed_procs(&self) -> Vec<usize> {
+        (0..self.procs.len()).filter(|&i| self.procs[i].crashed_at.is_some()).collect()
+    }
+
+    /// Number of processors that survived to the end of the run.
+    #[must_use]
+    pub fn live_procs(&self) -> usize {
+        self.procs.iter().filter(|p| p.crashed_at.is_none()).count()
+    }
+
+    /// Total locks recovered from crashed holders across the run.
+    #[must_use]
+    pub fn recovered_locks(&self) -> u64 {
+        self.totals().recovered_locks
     }
 
     /// Waiting proportion as defined for Figure 7 of the paper: total time
