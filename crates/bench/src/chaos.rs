@@ -24,7 +24,8 @@
 
 use crate::engine::{Engine, Filter};
 use crate::report::Table;
-use dynfb_core::controller::ControllerConfig;
+use dynfb_core::controller::{ControllerConfig, ResampleTrigger};
+use dynfb_core::detector::DetectorConfig;
 use dynfb_sim::{
     run_app, AppReport, ChaosProfile, FaultKind, FaultPlan, LockId, Machine, MachineConfig, OpSink,
     PlanEntry, RunConfig, SampleRecord, SimApp, Target, Window,
@@ -169,6 +170,25 @@ pub fn chaos_controller() -> ControllerConfig {
     }
 }
 
+/// Controller for event-driven runs: the same cadence as
+/// [`chaos_controller`], but production ends early when the CUSUM chart
+/// over the per-slice waiting proportion alarms. `max_quiescence` equals
+/// the fixed production target, so a stationary environment behaves
+/// exactly like the fixed-interval controller; `min_spacing` of 2 demands
+/// two consecutive post-threshold observations before acting, filtering
+/// single-slice noise spikes.
+#[must_use]
+pub fn event_controller() -> ControllerConfig {
+    ControllerConfig {
+        trigger: ResampleTrigger::EventDriven {
+            detector: DetectorConfig::default_cusum(),
+            min_spacing: 2,
+            max_quiescence: Duration::from_millis(20),
+        },
+        ..chaos_controller()
+    }
+}
+
 /// One named fault scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -204,6 +224,32 @@ pub fn freeze_cycles(
         let at = start + period * k as u32;
         plan =
             plan.with_event(Window::new(at, at + width), FaultKind::TimerDrift { ppm: -1_000_000 });
+    }
+    plan
+}
+
+/// A plan with `count` transient contention-storm windows of `width`,
+/// spaced `period` apart starting at `start`: the best policy flips to
+/// coarse locking inside every window and back outside it.
+#[must_use]
+pub fn contention_cycles(
+    seed: u64,
+    start: Duration,
+    width: Duration,
+    period: Duration,
+    count: usize,
+) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    for k in 0..count {
+        let at = start + period * k as u32;
+        plan = plan.with_event(
+            Window::new(at, at + width),
+            FaultKind::ContentionStorm {
+                locks: Target::All,
+                cost_factor: 20.0,
+                extra_hold: Duration::from_micros(10),
+            },
+        );
     }
     plan
 }
@@ -262,14 +308,28 @@ pub fn scenarios(cfg: &ChaosConfig) -> Vec<Scenario> {
         },
         Scenario {
             // A processor dies early — while the very first sampling phase
-            // still holds locks constantly — so the interval measurement is
-            // poisoned and the driver must crash-fallback, recover the
-            // orphaned locks, and keep adapting with the survivors.
+            // still holds locks constantly — at the same instant a
+            // contention storm switches on. The crash poisons the in-flight
+            // interval (crash-fallback, orphaned-lock recovery), so the
+            // controller commits to the winner of its *pre-storm* samples
+            // and the fixed-interval trigger sits out a full production
+            // interval under the wrong policy; the change-point chart sees
+            // production waiting diverge from the sampled baseline
+            // immediately.
             name: "crash-mid-sampling",
-            plan: FaultPlan::new(cfg.seed).with_event(
-                Window::new(Duration::from_micros(800), Duration::from_micros(801)),
-                FaultKind::ProcCrash { procs: Target::Only(vec![cfg.procs - 1]) },
-            ),
+            plan: FaultPlan::new(cfg.seed)
+                .with_event(
+                    Window::new(Duration::from_micros(800), Duration::from_micros(801)),
+                    FaultKind::ProcCrash { procs: Target::Only(vec![cfg.procs - 1]) },
+                )
+                .with_event(
+                    from_onset(Duration::from_micros(800)),
+                    FaultKind::ContentionStorm {
+                        locks: Target::All,
+                        cost_factor: 20.0,
+                        extra_hold: Duration::from_micros(10),
+                    },
+                ),
             onset: Duration::from_micros(800),
         },
         Scenario {
@@ -292,18 +352,21 @@ pub fn scenarios(cfg: &ChaosConfig) -> Vec<Scenario> {
             onset,
         },
         Scenario {
-            // Repeated transient clock freezes: the fault clears and
-            // returns, so permanent quarantine over-reacts while backoff
-            // rehabilitation recovers between storms (the rehabilitation
-            // harness measures the regret gap; here the matrix pins down
-            // determinism and the oracles).
+            // Repeated transient contention storms: each 10 ms window
+            // flips the best policy to `aggressive` and each gap flips it
+            // back, out of phase with the 20 ms fixed production interval
+            // — periodic resampling keeps committing to the policy of the
+            // environment it just left. The two-sided change-point chart
+            // catches both edges. (The transient *clock-freeze*
+            // counterpart of this scenario lives in the rehabilitation
+            // harness, built on [`freeze_cycles`].)
             name: "storm-cycles",
-            plan: freeze_cycles(
+            plan: contention_cycles(
                 cfg.seed,
                 onset,
-                Duration::from_millis(5),
-                Duration::from_millis(15),
-                3,
+                Duration::from_millis(10),
+                Duration::from_millis(30),
+                2,
             ),
             onset,
         },
@@ -358,6 +421,10 @@ pub struct ScenarioOutcome {
     pub dynamic: ModeOutcome,
     /// How the dynamic run adapted.
     pub adaptation: Adaptation,
+    /// The event-driven (change-point triggered) outcome.
+    pub event_driven: ModeOutcome,
+    /// How the event-driven run adapted.
+    pub event_adaptation: Adaptation,
 }
 
 impl ScenarioOutcome {
@@ -421,6 +488,9 @@ pub enum ChaosMode {
     Static(usize),
     /// Dynamic feedback with the chaos controller and watchdog.
     Dynamic,
+    /// Dynamic feedback with the event-driven resampling trigger
+    /// ([`event_controller`]) and the same watchdog.
+    EventDriven,
 }
 
 impl ChaosMode {
@@ -429,7 +499,7 @@ impl ChaosMode {
     pub fn all() -> Vec<ChaosMode> {
         (0..VERSIONS.len())
             .map(ChaosMode::Static)
-            .chain(std::iter::once(ChaosMode::Dynamic))
+            .chain([ChaosMode::Dynamic, ChaosMode::EventDriven])
             .collect()
     }
 
@@ -439,6 +509,7 @@ impl ChaosMode {
         match self {
             ChaosMode::Static(i) => VERSIONS[*i],
             ChaosMode::Dynamic => "dynamic",
+            ChaosMode::EventDriven => "event-driven",
         }
     }
 }
@@ -465,7 +536,9 @@ pub fn run_mode(cfg: &ChaosConfig, scenario: &Scenario, mode: ChaosMode) -> Chao
     let report = run_app(ChaosApp::new(cfg.iters), &run).expect("chaos run");
     let adaptation = match mode {
         ChaosMode::Static(_) => None,
-        ChaosMode::Dynamic => Some(analyze_adaptation(&report, scenario.onset)),
+        ChaosMode::Dynamic | ChaosMode::EventDriven => {
+            Some(analyze_adaptation(&report, scenario.onset))
+        }
     };
     ChaosJobResult { outcome: mode_outcome(mode.name(), &report), adaptation }
 }
@@ -480,6 +553,9 @@ pub fn mode_run_config(cfg: &ChaosConfig, scenario: &Scenario, mode: ChaosMode) 
             RunConfig::fixed(cfg.procs, VERSIONS[i]).with_faults(scenario.plan.clone())
         }
         ChaosMode::Dynamic => RunConfig::dynamic(cfg.procs, chaos_controller())
+            .with_faults(scenario.plan.clone())
+            .with_watchdog(8),
+        ChaosMode::EventDriven => RunConfig::dynamic(cfg.procs, event_controller())
             .with_faults(scenario.plan.clone())
             .with_watchdog(8),
     };
@@ -498,12 +574,18 @@ pub fn assemble(scenario: &Scenario, results: Vec<ChaosJobResult>) -> ScenarioOu
     let mut statics = Vec::new();
     let mut dynamic = None;
     let mut adaptation = None;
+    let mut event_driven = None;
+    let mut event_adaptation = None;
     for (mode, r) in ChaosMode::all().into_iter().zip(results) {
         match mode {
             ChaosMode::Static(_) => statics.push(r.outcome),
             ChaosMode::Dynamic => {
                 dynamic = Some(r.outcome);
                 adaptation = r.adaptation;
+            }
+            ChaosMode::EventDriven => {
+                event_driven = Some(r.outcome);
+                event_adaptation = r.adaptation;
             }
         }
     }
@@ -512,6 +594,8 @@ pub fn assemble(scenario: &Scenario, results: Vec<ChaosJobResult>) -> ScenarioOu
         statics,
         dynamic: dynamic.expect("dynamic mode ran"),
         adaptation: adaptation.expect("dynamic mode analyzed"),
+        event_driven: event_driven.expect("event-driven mode ran"),
+        event_adaptation: event_adaptation.expect("event-driven mode analyzed"),
     }
 }
 
@@ -538,7 +622,7 @@ fn render(cfg: &ChaosConfig, out: &ScenarioOutcome) -> String {
         ),
         &["mode", "elapsed (us)", "waiting (us)", "regret vs oracle (us)"],
     );
-    for m in out.statics.iter().chain(std::iter::once(&out.dynamic)) {
+    for m in out.statics.iter().chain([&out.dynamic, &out.event_driven]) {
         t.row(vec![
             m.mode.clone(),
             micros(m.elapsed),
@@ -548,20 +632,21 @@ fn render(cfg: &ChaosConfig, out: &ScenarioOutcome) -> String {
     }
     let oracle = out.oracle();
     t.note(format!("oracle (best static): {} at {} us", oracle.mode, micros(oracle.elapsed)));
-    let a = &out.adaptation;
-    let latency = match (a.latency, out.scenario.onset) {
-        (Some(l), _) => format!(
-            "adapted {} us after onset (t={} us)",
-            micros(l),
-            out.scenario.onset.as_micros()
-        ),
-        (None, o) if o > Duration::ZERO => "did not switch after onset".to_string(),
-        _ => "no onset; latency n/a".to_string(),
-    };
-    t.note(format!(
-        "dynamic: {} production switch(es), settled on {}; {}",
-        a.switches, a.settled, latency
-    ));
+    for (label, a) in [("dynamic", &out.adaptation), ("event-driven", &out.event_adaptation)] {
+        let latency = match (a.latency, out.scenario.onset) {
+            (Some(l), _) => format!(
+                "adapted {} us after onset (t={} us)",
+                micros(l),
+                out.scenario.onset.as_micros()
+            ),
+            (None, o) if o > Duration::ZERO => "did not switch after onset".to_string(),
+            _ => "no onset; latency n/a".to_string(),
+        };
+        t.note(format!(
+            "{label}: {} production switch(es), settled on {}; {}",
+            a.switches, a.settled, latency
+        ));
+    }
     t.to_console()
 }
 
@@ -597,7 +682,7 @@ pub fn chaos_report_with(cfg: &ChaosConfig, engine: &Engine, filter: Option<&Fil
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "chaos harness: {} scenarios x {{{}, dynamic}} (seed {})\n",
+        "chaos harness: {} scenarios x {{{}, dynamic, event-driven}} (seed {})\n",
         selected.len(),
         VERSIONS.join(", "),
         cfg.seed

@@ -78,7 +78,9 @@ pub fn run_mode_metered(cfg: &ChaosConfig, scenario: &Scenario, mode: ChaosMode)
         run_app_metered(ChaosApp::new(cfg.iters), &run, &mut registry).expect("metered chaos run");
     let adaptation = match mode {
         ChaosMode::Static(_) => None,
-        ChaosMode::Dynamic => Some(chaos::analyze_adaptation(&report, scenario.onset)),
+        ChaosMode::Dynamic | ChaosMode::EventDriven => {
+            Some(chaos::analyze_adaptation(&report, scenario.onset))
+        }
     };
     MeteredMode {
         result: ChaosJobResult { outcome: chaos::mode_outcome(mode.name(), &report), adaptation },

@@ -1,8 +1,17 @@
 //! Acceptance tests for the chaos harness: a mid-run fault flips the best
-//! policy, and dynamic feedback re-converges within a bounded number of
-//! production intervals and beats every static version.
+//! policy, dynamic feedback re-converges within a bounded number of
+//! production intervals and beats every static version, and the
+//! event-driven resampling trigger strictly dominates the fixed-interval
+//! one on every abrupt-shift scenario.
+//!
+//! The report snapshot regenerates with `UPDATE_GOLDEN=1 cargo test -p
+//! dynfb-bench --test chaos` after an intentional change.
 
-use dynfb_bench::chaos::{chaos_controller, run_scenario, scenarios, ChaosConfig};
+use dynfb_bench::chaos::{
+    chaos_controller, chaos_report_with, run_scenario, scenarios, ChaosConfig,
+};
+use dynfb_bench::engine::Engine;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn scenario_outcome(cfg: &ChaosConfig, name: &str) -> dynfb_bench::chaos::ScenarioOutcome {
@@ -57,4 +66,86 @@ fn frozen_clock_degrades_gracefully() {
         frozen.dynamic.elapsed,
         frozen.oracle().elapsed
     );
+}
+
+/// The abrupt-shift scenarios: the environment changes step-wise, so the
+/// change-point chart has an edge to detect.
+const ABRUPT_SHIFT: [&str; 3] = ["lock-storm", "crash-mid-sampling", "storm-cycles"];
+
+#[test]
+fn event_driven_strictly_dominates_fixed_on_abrupt_shifts() {
+    let cfg = ChaosConfig::default();
+    for name in ABRUPT_SHIFT {
+        let out = scenario_outcome(&cfg, name);
+        // Strictly lower adaptation latency: production switches to a new
+        // policy sooner after onset (a fixed trigger that never switched
+        // at all is dominated by any switch).
+        let event = out.event_adaptation.latency.unwrap_or_else(|| {
+            panic!("{name}: event-driven must adapt after onset");
+        });
+        // A fixed trigger that never adapted is dominated by definition.
+        if let Some(fixed) = out.adaptation.latency {
+            assert!(
+                event < fixed,
+                "{name}: event-driven latency {event:?} not strictly below fixed {fixed:?}"
+            );
+        }
+        // Strictly lower regret vs the oracle over the whole run.
+        let event_regret = out.regret_micros(&out.event_driven);
+        let fixed_regret = out.regret_micros(&out.dynamic);
+        assert!(
+            event_regret < fixed_regret,
+            "{name}: event-driven regret {event_regret} not strictly below fixed {fixed_regret}"
+        );
+    }
+}
+
+#[test]
+fn event_driven_is_never_slower_on_stationary_scenarios() {
+    // On scenarios with no post-onset shift in the waiting signal the
+    // detector stays quiet, `max_quiescence` reproduces the fixed
+    // production interval, and the two modes simulate identically — the
+    // event-driven trigger costs nothing when the workload is stationary.
+    let cfg = ChaosConfig::default();
+    for name in ["baseline", "timer-jitter", "frozen-clock", "barrier-straggler", "slowdown"] {
+        let out = scenario_outcome(&cfg, name);
+        assert!(
+            out.event_driven.elapsed <= out.dynamic.elapsed,
+            "{name}: event-driven {:?} slower than fixed {:?}",
+            out.event_driven.elapsed,
+            out.dynamic.elapsed
+        );
+    }
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden copy; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn chaos_report_matches_golden_and_any_worker_count() {
+    // The full scenario × mode matrix — including the event-driven column
+    // and its adaptation notes — renders byte-identically for any engine
+    // worker count, and matches the committed snapshot.
+    let cfg = ChaosConfig::default();
+    let serial = chaos_report_with(&cfg, &Engine::new(1), None);
+    let parallel = chaos_report_with(&cfg, &Engine::new(4), None);
+    assert_eq!(serial, parallel, "report must not depend on --jobs");
+    check_golden("chaos_report.golden", &serial);
 }

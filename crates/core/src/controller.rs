@@ -13,6 +13,7 @@
 //! the same logic drive both the discrete-event simulator (`dynfb-sim`) and
 //! the real-thread executor ([`crate::realtime`]).
 
+use crate::detector::{Detector, DetectorConfig, DetectorSnapshot};
 use crate::overhead::OverheadSample;
 use crate::rng::mix64;
 use std::fmt;
@@ -114,6 +115,47 @@ impl Default for RehabPolicy {
     }
 }
 
+/// When a production interval ends and resampling begins.
+///
+/// The paper resamples on a fixed schedule: every production interval lasts
+/// [`ControllerConfig::target_production`] and then the controller samples
+/// again (§4.4). [`EventDriven`](ResampleTrigger::EventDriven) makes the
+/// trigger itself feedback-driven: the driver feeds the controller a cheap
+/// per-slice waiting-proportion signal during production (via
+/// [`Controller::observe_production_signal`]), and a change-point alarm
+/// ends the interval early — while `max_quiescence` preserves the paper's
+/// fixed-interval behavior as a fallback bound for changes the detector
+/// misses, and `min_spacing` keeps a noisy chart from collapsing production
+/// into back-to-back resampling.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ResampleTrigger {
+    /// Resample after every `target_production` of production time (the
+    /// paper's behavior, and the default).
+    #[default]
+    FixedInterval,
+    /// Resample when a change-point detector alarms on the production
+    /// waiting-proportion signal, or after `max_quiescence` at the latest.
+    EventDriven {
+        /// The change-point detector watching the production signal. It is
+        /// re-armed at each production entry with the waiting proportion
+        /// the sampling phase measured for the chosen policy.
+        detector: DetectorConfig,
+        /// Minimum number of signal observations a production phase must
+        /// consume before an alarm may end it. Early observations still
+        /// feed the chart (alarms are level-triggered and kept), but the
+        /// phase cannot be cut shorter than this many signal slices —
+        /// the guard against alarm storms re-sampling in a tight loop.
+        min_spacing: u32,
+        /// Upper bound on a production interval: with no alarm, the
+        /// interval ends after this long exactly as a fixed interval
+        /// would. Setting this equal to `target_production` makes the
+        /// trigger transition-for-transition identical to
+        /// [`FixedInterval`](ResampleTrigger::FixedInterval) whenever the
+        /// detector stays quiet. Must be non-zero.
+        max_quiescence: Duration,
+    },
+}
+
 /// Configuration for a [`Controller`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ControllerConfig {
@@ -136,6 +178,9 @@ pub struct ControllerConfig {
     pub ordering: PolicyOrdering,
     /// How quarantined policies may rejoin the rotation.
     pub rehab: RehabPolicy,
+    /// When production ends and resampling begins (fixed interval, or
+    /// event-driven with a change-point detector).
+    pub trigger: ResampleTrigger,
 }
 
 impl Default for ControllerConfig {
@@ -147,6 +192,7 @@ impl Default for ControllerConfig {
             early_cutoff: None,
             ordering: PolicyOrdering::InOrder,
             rehab: RehabPolicy::default(),
+            trigger: ResampleTrigger::default(),
         }
     }
 }
@@ -160,6 +206,10 @@ pub enum ConfigError {
     ZeroInterval,
     /// [`RehabPolicy::Backoff`] was configured with a zero `base`.
     ZeroBackoff,
+    /// [`ResampleTrigger::EventDriven`] was configured with degenerate
+    /// detector parameters (non-finite, or non-positive where the chart
+    /// math requires positive).
+    BadDetector,
 }
 
 impl fmt::Display for ConfigError {
@@ -168,6 +218,9 @@ impl fmt::Display for ConfigError {
             ConfigError::NoPolicies => write!(f, "configuration has no policies"),
             ConfigError::ZeroInterval => write!(f, "target intervals must be non-zero"),
             ConfigError::ZeroBackoff => write!(f, "rehabilitation backoff base must be non-zero"),
+            ConfigError::BadDetector => {
+                write!(f, "event-driven trigger has degenerate detector parameters")
+            }
         }
     }
 }
@@ -377,6 +430,24 @@ pub struct Controller {
     sampling_phases: u64,
     /// Number of completed production phases.
     production_phases: u64,
+    /// Waiting proportion measured per policy in the current sampling phase
+    /// (the change-point detector's baseline for the policy that wins).
+    waiting: Vec<Option<f64>>,
+    /// Change-point detector over the production waiting-proportion signal
+    /// (`Some` iff the trigger is [`ResampleTrigger::EventDriven`]).
+    detector: Option<Detector>,
+    /// Signal observations consumed by the current production phase (the
+    /// `min_spacing` guard counts these).
+    signals_this_phase: u32,
+    /// A detector alarm ended (or is about to end) the current production
+    /// interval; cleared when the next phase starts. Drivers read this via
+    /// [`Controller::alarm_pending`] to label the switch as a change-point.
+    alarm_pending: bool,
+    /// Time already consumed out of the current production interval's
+    /// budget by the aborted interval that led here (see
+    /// [`Controller::abort_to_production_carrying`]); deducted from
+    /// [`Controller::target_interval`].
+    production_debt: Duration,
 }
 
 /// Internal health state (the public projection is [`HealthTier`]).
@@ -425,6 +496,18 @@ impl Controller {
         if matches!(config.rehab, RehabPolicy::Backoff { base: 0, .. }) {
             return Err(ConfigError::ZeroBackoff);
         }
+        let detector = match config.trigger {
+            ResampleTrigger::FixedInterval => None,
+            ResampleTrigger::EventDriven { detector, max_quiescence, .. } => {
+                if max_quiescence.is_zero() {
+                    return Err(ConfigError::ZeroInterval);
+                }
+                if !detector.is_valid() {
+                    return Err(ConfigError::BadDetector);
+                }
+                Some(Detector::new(detector))
+            }
+        };
         let n = config.num_policies;
         Ok(Controller {
             config,
@@ -438,6 +521,11 @@ impl Controller {
             health_log: Vec::new(),
             sampling_phases: 0,
             production_phases: 0,
+            waiting: vec![None; n],
+            detector,
+            signals_this_phase: 0,
+            alarm_pending: false,
+            production_debt: Duration::ZERO,
         })
     }
 
@@ -469,6 +557,21 @@ impl Controller {
 
     /// Target duration of the current interval (sampling or production).
     ///
+    /// This is the *effective* target the driver's timer math should
+    /// compare elapsed time against, not always the configured one:
+    ///
+    /// * under [`ResampleTrigger::EventDriven`] a production interval is
+    ///   bounded by `max_quiescence`, not `target_production`;
+    /// * a production phase entered via
+    ///   [`Controller::abort_to_production_carrying`] has part of its
+    ///   budget already consumed by the aborted interval's overrun, which
+    ///   is deducted here (clamped to at least one sampling interval, so
+    ///   a huge overrun cannot produce a degenerate zero-length target).
+    ///   Returning the configured target instead would push every
+    ///   post-abort cycle late: the driver's expiry comparison and the
+    ///   trace end-stamps would disagree about where the interval should
+    ///   have ended.
+    ///
     /// # Panics
     ///
     /// Panics if no section is active.
@@ -477,7 +580,19 @@ impl Controller {
         match self.phase {
             Phase::Idle => panic!("no active section: call begin_section first"),
             Phase::Sampling { .. } => self.config.target_sampling,
-            Phase::Production { .. } => self.config.target_production,
+            Phase::Production { .. } => self
+                .production_target()
+                .saturating_sub(self.production_debt)
+                .max(self.config.target_sampling),
+        }
+    }
+
+    /// The configured bound on a production interval: `target_production`,
+    /// or `max_quiescence` under [`ResampleTrigger::EventDriven`].
+    fn production_target(&self) -> Duration {
+        match self.config.trigger {
+            ResampleTrigger::FixedInterval => self.config.target_production,
+            ResampleTrigger::EventDriven { max_quiescence, .. } => max_quiescence,
         }
     }
 
@@ -539,6 +654,9 @@ impl Controller {
                     let previous = self.history[policy];
                     self.measurements[policy] = Some(overhead);
                     self.history[policy] = Some(overhead);
+                    // The waiting proportion doubles as the change-point
+                    // detector's baseline if this policy wins the phase.
+                    self.waiting[policy] = Some(sample.waiting_fraction());
 
                     // A usable measurement is a clean bill of health: a
                     // probed quarantined policy is rehabilitated, a suspect
@@ -607,6 +725,10 @@ impl Controller {
         }
         self.order = self.sampling_order();
         self.measurements = vec![None; self.config.num_policies];
+        self.waiting = vec![None; self.config.num_policies];
+        self.signals_this_phase = 0;
+        self.alarm_pending = false;
+        self.production_debt = Duration::ZERO;
         // With every policy quarantined there is nothing left to measure;
         // degrade to the safest policy so the runtime still has something
         // runnable (callers that care check `runnable_policies`).
@@ -897,11 +1019,30 @@ impl Controller {
     ///
     /// Panics if no section is active.
     pub fn abort_to_production(&mut self) -> Transition {
+        self.abort_to_production_carrying(Duration::ZERO)
+    }
+
+    /// Like [`Controller::abort_to_production`], additionally carrying the
+    /// aborted interval's *overrun* — the time it ran past its target
+    /// before the watchdog fired — into the production interval that
+    /// follows. The overrun is deducted from the production target
+    /// reported by [`Controller::target_interval`], so the cycle keeps the
+    /// configured cadence: without the deduction every post-abort cycle
+    /// runs late by the overrun, and the driver's expiry math disagrees
+    /// with the trace end-stamps. The effective target never drops below
+    /// one sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no section is active.
+    pub fn abort_to_production_carrying(&mut self, overrun: Duration) -> Transition {
         match self.phase {
             Phase::Idle => panic!("no active section: call begin_section first"),
             Phase::Sampling { .. } => {
                 let best = self.best_measured();
-                self.enter_production(best, false)
+                let t = self.enter_production(best, false);
+                self.production_debt = overrun;
+                t
             }
             Phase::Production { policy, via_cutoff } => Transition::Produce { policy, via_cutoff },
         }
@@ -910,7 +1051,78 @@ impl Controller {
     fn enter_production(&mut self, policy: PolicyId, via_cutoff: bool) -> Transition {
         self.sampling_phases += 1;
         self.phase = Phase::Production { policy, via_cutoff };
+        self.signals_this_phase = 0;
+        self.alarm_pending = false;
+        self.production_debt = Duration::ZERO;
+        if let Some(d) = self.detector.as_mut() {
+            // Anchor the chart to the waiting proportion sampling measured
+            // for the chosen policy: the question production answers is
+            // "is the environment still the one we selected this policy
+            // in?". With nothing usable measured (degraded entry, watchdog
+            // abort) the first production observation anchors instead.
+            d.arm(self.waiting.get(policy).copied().flatten());
+        }
         Transition::Produce { policy, via_cutoff }
+    }
+
+    /// Feed one production-signal observation — the waiting proportion of
+    /// the latest slice of production time, one slice per
+    /// [`ControllerConfig::target_sampling`] of production by convention —
+    /// into the change-point detector.
+    ///
+    /// Returns `true` when the detector is in alarm *and* the alarm is
+    /// actionable (at least `min_spacing` observations consumed this
+    /// phase): the driver should end the production interval early through
+    /// its normal [`Controller::complete_interval`] path, labelling the
+    /// switch [`crate::trace::SwitchReason::ChangePoint`]. The alarm stays
+    /// latched (see [`Controller::alarm_pending`]) until the next phase
+    /// starts, so a driver that defers the switch to a barrier does not
+    /// lose it.
+    ///
+    /// Outside a production phase, or under
+    /// [`ResampleTrigger::FixedInterval`], this is a no-op returning
+    /// `false` — drivers may call it unconditionally.
+    pub fn observe_production_signal(&mut self, waiting_fraction: f64) -> bool {
+        if !self.phase.is_production() {
+            return false;
+        }
+        let min_spacing = match self.config.trigger {
+            ResampleTrigger::FixedInterval => return false,
+            ResampleTrigger::EventDriven { min_spacing, .. } => min_spacing,
+        };
+        let Some(d) = self.detector.as_mut() else {
+            return false;
+        };
+        let alarm = d.observe(waiting_fraction);
+        self.signals_this_phase = self.signals_this_phase.saturating_add(1);
+        if alarm && self.signals_this_phase >= min_spacing {
+            self.alarm_pending = true;
+        }
+        self.alarm_pending
+    }
+
+    /// Whether a change-point alarm is latched against the current
+    /// production interval. Cleared when the next phase starts; drivers
+    /// read it (before completing the interval) to label the transition
+    /// and count `resample_alarms`.
+    #[must_use]
+    pub fn alarm_pending(&self) -> bool {
+        self.alarm_pending
+    }
+
+    /// Whether this controller resamples event-driven
+    /// ([`ResampleTrigger::EventDriven`]).
+    #[must_use]
+    pub fn event_driven(&self) -> bool {
+        matches!(self.config.trigger, ResampleTrigger::EventDriven { .. })
+    }
+
+    /// Point-in-time view of the change-point detector (`None` under
+    /// [`ResampleTrigger::FixedInterval`]) — reported in traces alongside
+    /// an alarm.
+    #[must_use]
+    pub fn detector_snapshot(&self) -> Option<DetectorSnapshot> {
+        self.detector.as_ref().map(Detector::snapshot)
     }
 }
 
@@ -1340,6 +1552,144 @@ mod tests {
         ctl.begin_section();
         let t = ctl.abort_to_production();
         assert_eq!(t.policy(), 0);
+    }
+
+    fn event_cfg(n: usize) -> ControllerConfig {
+        ControllerConfig {
+            trigger: ResampleTrigger::EventDriven {
+                detector: DetectorConfig::Cusum { drift: 0.05, threshold: 0.2 },
+                min_spacing: 2,
+                max_quiescence: Duration::from_secs(10),
+            },
+            ..cfg(n)
+        }
+    }
+
+    /// Sample with an explicit waiting fraction (execution 10 ms).
+    fn waiting_sample(waiting_frac: f64) -> OverheadSample {
+        let exec = Duration::from_millis(10);
+        OverheadSample::new(Duration::ZERO, exec.mul_f64(waiting_frac), exec)
+    }
+
+    #[test]
+    fn rejects_degenerate_event_triggers() {
+        let bad = ControllerConfig {
+            trigger: ResampleTrigger::EventDriven {
+                detector: DetectorConfig::Cusum { drift: 0.05, threshold: 0.0 },
+                min_spacing: 1,
+                max_quiescence: Duration::from_secs(1),
+            },
+            ..cfg(2)
+        };
+        assert_eq!(Controller::try_new(bad).unwrap_err(), ConfigError::BadDetector);
+        let bad = ControllerConfig {
+            trigger: ResampleTrigger::EventDriven {
+                detector: DetectorConfig::default_cusum(),
+                min_spacing: 1,
+                max_quiescence: Duration::ZERO,
+            },
+            ..cfg(2)
+        };
+        assert_eq!(Controller::try_new(bad).unwrap_err(), ConfigError::ZeroInterval);
+    }
+
+    #[test]
+    fn event_driven_production_target_is_the_quiescence_bound() {
+        let config = ControllerConfig {
+            trigger: ResampleTrigger::EventDriven {
+                detector: DetectorConfig::default_cusum(),
+                min_spacing: 2,
+                max_quiescence: Duration::from_secs(3),
+            },
+            ..cfg(2)
+        };
+        let mut ctl = Controller::new(config);
+        ctl.begin_section();
+        assert_eq!(ctl.target_interval(), ctl.config().target_sampling);
+        ctl.complete_interval(sample(0.3));
+        ctl.complete_interval(sample(0.1));
+        assert!(ctl.phase().is_production());
+        assert_eq!(ctl.target_interval(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn production_signal_alarm_respects_min_spacing_and_latches() {
+        let mut ctl = Controller::new(event_cfg(2));
+        ctl.begin_section();
+        // Both policies show ~10% waiting; policy 1 wins.
+        ctl.complete_interval(waiting_sample(0.10));
+        ctl.complete_interval(waiting_sample(0.08));
+        assert!(ctl.phase().is_production());
+        // A massive shift on the very first observation is held back by
+        // min_spacing = 2, then fires on the second.
+        assert!(!ctl.observe_production_signal(0.9));
+        assert!(!ctl.alarm_pending());
+        assert!(ctl.observe_production_signal(0.9));
+        assert!(ctl.alarm_pending());
+        // Completing the interval clears the latch with the phase.
+        ctl.complete_interval(waiting_sample(0.9));
+        assert!(!ctl.alarm_pending());
+        assert!(ctl.phase().is_sampling());
+    }
+
+    #[test]
+    fn quiet_signal_never_alarms() {
+        let mut ctl = Controller::new(event_cfg(2));
+        ctl.begin_section();
+        ctl.complete_interval(waiting_sample(0.10));
+        ctl.complete_interval(waiting_sample(0.08));
+        for _ in 0..1_000 {
+            assert!(!ctl.observe_production_signal(0.08));
+        }
+        assert!(!ctl.alarm_pending());
+    }
+
+    #[test]
+    fn signals_are_ignored_under_fixed_interval_and_outside_production() {
+        let mut fixed = Controller::new(cfg(2));
+        fixed.begin_section();
+        assert!(!fixed.observe_production_signal(0.9));
+        let mut event = Controller::new(event_cfg(2));
+        event.begin_section();
+        // Still sampling: signals are a no-op.
+        assert!(!event.observe_production_signal(0.9));
+        assert!(!event.alarm_pending());
+    }
+
+    #[test]
+    fn abort_overrun_shortens_the_effective_production_target() {
+        let mut ctl = Controller::new(cfg(2));
+        ctl.begin_section();
+        ctl.complete_interval(sample(0.2));
+        // The second sampling interval wedges and overruns by 3 s before
+        // the watchdog fires: the production budget already lost that time.
+        let overrun = Duration::from_secs(3);
+        ctl.abort_to_production_carrying(overrun);
+        assert!(ctl.phase().is_production());
+        let configured = ctl.config().target_production;
+        assert_eq!(
+            ctl.target_interval(),
+            configured - overrun,
+            "effective target must deduct the aborted interval's overrun"
+        );
+        // The debt belongs to this interval only.
+        ctl.complete_interval(sample(0.2));
+        while !ctl.phase().is_production() {
+            ctl.complete_interval(sample(0.2));
+        }
+        assert_eq!(ctl.target_interval(), configured);
+    }
+
+    #[test]
+    fn abort_overrun_never_degenerates_the_target() {
+        let mut ctl = Controller::new(cfg(2));
+        ctl.begin_section();
+        ctl.abort_to_production_carrying(Duration::from_secs(3_600));
+        assert_eq!(
+            ctl.target_interval(),
+            ctl.config().target_sampling,
+            "a huge overrun clamps to one sampling interval, not zero"
+        );
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Change-point detectors for event-driven resampling.
+//!
+//! The paper resamples on a fixed production interval (§4.4): after
+//! `target_production` time the controller throws the measurements away and
+//! samples every policy again, whether or not anything changed. The
+//! event-driven extension instead watches a cheap per-interval signal — the
+//! *waiting proportion* of each slice of production time, already computed
+//! by both drivers from their lock instrumentation — and ends the
+//! production interval early the moment the signal shifts away from the
+//! level the sampling phase measured. Two classic sequential detectors are
+//! provided:
+//!
+//! * **CUSUM** ([`DetectorConfig::Cusum`]) — a two-sided cumulative-sum
+//!   chart. Each observation `x` accumulates its excursion beyond an
+//!   allowance `drift` on either side of the baseline `b`:
+//!   `s⁺ ← max(0, s⁺ + (x − b − drift))` and
+//!   `s⁻ ← max(0, s⁻ + (b − x − drift))`, alarming when either sum exceeds
+//!   `threshold`. Small persistent shifts integrate up to an alarm; noise
+//!   below `drift` never accumulates.
+//! * **EWMA** ([`DetectorConfig::Ewma`]) — an exponentially weighted
+//!   moving-average chart. The smoothed level `z ← α·x + (1−α)·z` follows
+//!   the signal with memory `1/α`, alarming when `|z − b|` leaves the
+//!   `band` around the baseline. Faster on large steps, blinder to shifts
+//!   smaller than the band.
+//!
+//! Both are plain deterministic arithmetic over `f64` — no clocks, no
+//! allocation, no randomness — so detector state is byte-identical across
+//! reruns of the same observation sequence (`tests/detector_props.rs`
+//! enforces this, along with never-alarm-on-constant, bounded detection
+//! delay, and monotonicity of the alarm time in the step size).
+//!
+//! The [`crate::controller::Controller`] owns one [`Detector`] when
+//! configured with
+//! [`ResampleTrigger::EventDriven`](crate::controller::ResampleTrigger);
+//! it re-arms the detector at each production entry with the waiting
+//! proportion the sampling phase measured for the chosen policy, so the
+//! question the chart answers is "is production still behaving the way
+//! sampling predicted?".
+
+/// Selects and parameterizes a change-point detector.
+///
+/// The signal is a proportion in `[0, 1]` (the waiting fraction of a slice
+/// of production time), so thresholds and bands are absolute fractions:
+/// a `threshold` of `0.25` means a quarter-interval's worth of accumulated
+/// excess waiting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorConfig {
+    /// Two-sided cumulative-sum chart.
+    Cusum {
+        /// Allowance (slack) per observation: deviations from the baseline
+        /// smaller than this never accumulate. Must be finite and `>= 0`.
+        drift: f64,
+        /// Alarm when either cumulative sum exceeds this. Must be finite
+        /// and `> 0`.
+        threshold: f64,
+    },
+    /// Exponentially weighted moving-average chart.
+    Ewma {
+        /// Smoothing factor in `(0, 1]`: the weight of the newest
+        /// observation (`1` reduces to a Shewhart chart on the raw signal).
+        alpha: f64,
+        /// Alarm when the smoothed level leaves this band around the
+        /// baseline. Must be finite and `> 0`.
+        band: f64,
+    },
+}
+
+impl DetectorConfig {
+    /// Default CUSUM tuning for a waiting-proportion signal: tolerate
+    /// ±0.05 of noise per observation, alarm once a quarter-interval of
+    /// excess waiting has accumulated.
+    #[must_use]
+    pub fn default_cusum() -> Self {
+        DetectorConfig::Cusum { drift: 0.05, threshold: 0.25 }
+    }
+
+    /// Default EWMA tuning: quarter-weight on the newest observation,
+    /// alarm when the smoothed level drifts 0.15 from the baseline.
+    #[must_use]
+    pub fn default_ewma() -> Self {
+        DetectorConfig::Ewma { alpha: 0.25, band: 0.15 }
+    }
+
+    /// Whether the parameters are usable (finite, and positive where the
+    /// math requires it). [`crate::controller::Controller::try_new`]
+    /// rejects configurations for which this is false.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            DetectorConfig::Cusum { drift, threshold } => {
+                drift.is_finite() && drift >= 0.0 && threshold.is_finite() && threshold > 0.0
+            }
+            DetectorConfig::Ewma { alpha, band } => {
+                alpha.is_finite() && alpha > 0.0 && alpha <= 1.0 && band.is_finite() && band > 0.0
+            }
+        }
+    }
+
+    /// Stable lowercase name used in traces and reports.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DetectorConfig::Cusum { .. } => "cusum",
+            DetectorConfig::Ewma { .. } => "ewma",
+        }
+    }
+}
+
+/// A point-in-time view of a detector, reported alongside a change-point
+/// alarm (trace events, driver counters) so post-mortems can see how far
+/// past the threshold the chart was and how long it watched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorSnapshot {
+    /// Current chart statistic: the larger cumulative sum (CUSUM) or the
+    /// absolute deviation of the smoothed level from the baseline (EWMA).
+    pub score: f64,
+    /// The alarm threshold the statistic is compared against.
+    pub threshold: f64,
+    /// Baseline the chart is anchored to (`NaN` before the first
+    /// observation of an un-referenced chart).
+    pub baseline: f64,
+    /// Observations consumed since the last [`Detector::arm`].
+    pub observations: u64,
+}
+
+/// Deterministic sequential change-point detector state. See the
+/// [module docs](self) for the charts and their parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detector {
+    config: DetectorConfig,
+    /// Baseline level the chart tests against; `None` until armed with a
+    /// reference or fed a first observation.
+    baseline: Option<f64>,
+    /// CUSUM upper/lower cumulative sums (zero for EWMA).
+    pos: f64,
+    neg: f64,
+    /// EWMA smoothed level (`None` until the first observation).
+    level: Option<f64>,
+    observations: u64,
+}
+
+impl Detector {
+    /// Create a detector with no baseline: the first observation anchors
+    /// the chart.
+    #[must_use]
+    pub fn new(config: DetectorConfig) -> Self {
+        Detector { config, baseline: None, pos: 0.0, neg: 0.0, level: None, observations: 0 }
+    }
+
+    /// The configuration this detector runs.
+    #[must_use]
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Reset the chart for a new watch, anchored to `reference` — the
+    /// waiting proportion the sampling phase measured for the policy now
+    /// entering production. With `None` (nothing usable was measured) the
+    /// first production observation anchors the chart instead.
+    pub fn arm(&mut self, reference: Option<f64>) {
+        self.baseline = reference.filter(|r| r.is_finite());
+        self.pos = 0.0;
+        self.neg = 0.0;
+        self.level = self.baseline;
+        self.observations = 0;
+    }
+
+    /// Feed one observation (a proportion; clamped to `[0, 1]`, non-finite
+    /// values ignored) and report whether the chart is in alarm.
+    ///
+    /// The alarm is level-triggered: once the statistic exceeds the
+    /// threshold it stays in alarm until the next [`Detector::arm`], so a
+    /// caller that defers acting on an alarm (e.g. the controller's
+    /// `min_spacing` guard) does not lose it.
+    pub fn observe(&mut self, x: f64) -> bool {
+        if !x.is_finite() {
+            return self.in_alarm();
+        }
+        let x = x.clamp(0.0, 1.0);
+        self.observations += 1;
+        let b = *self.baseline.get_or_insert(x);
+        match self.config {
+            DetectorConfig::Cusum { drift, .. } => {
+                self.pos = (self.pos + (x - b - drift)).max(0.0);
+                self.neg = (self.neg + (b - x - drift)).max(0.0);
+            }
+            DetectorConfig::Ewma { alpha, .. } => {
+                let z = match self.level {
+                    Some(z) => alpha * x + (1.0 - alpha) * z,
+                    None => x,
+                };
+                self.level = Some(z);
+            }
+        }
+        self.in_alarm()
+    }
+
+    /// Whether the chart statistic currently exceeds the threshold.
+    #[must_use]
+    pub fn in_alarm(&self) -> bool {
+        self.snapshot().score > self.snapshot_threshold()
+    }
+
+    /// Point-in-time view of the chart, for traces and reports.
+    #[must_use]
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        let score = match self.config {
+            DetectorConfig::Cusum { .. } => self.pos.max(self.neg),
+            DetectorConfig::Ewma { .. } => match (self.level, self.baseline) {
+                (Some(z), Some(b)) => (z - b).abs(),
+                _ => 0.0,
+            },
+        };
+        DetectorSnapshot {
+            score,
+            threshold: self.snapshot_threshold(),
+            baseline: self.baseline.unwrap_or(f64::NAN),
+            observations: self.observations,
+        }
+    }
+
+    fn snapshot_threshold(&self) -> f64 {
+        match self.config {
+            DetectorConfig::Cusum { threshold, .. } => threshold,
+            DetectorConfig::Ewma { band, .. } => band,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cusum_ignores_constant_signal() {
+        let mut d = Detector::new(DetectorConfig::Cusum { drift: 0.01, threshold: 0.2 });
+        for _ in 0..10_000 {
+            assert!(!d.observe(0.3));
+        }
+        assert_eq!(d.snapshot().score, 0.0);
+    }
+
+    #[test]
+    fn ewma_ignores_constant_signal() {
+        let mut d = Detector::new(DetectorConfig::Ewma { alpha: 0.25, band: 0.1 });
+        for _ in 0..10_000 {
+            assert!(!d.observe(0.3));
+        }
+    }
+
+    #[test]
+    fn cusum_alarms_on_a_step_within_the_predicted_delay() {
+        let (drift, threshold) = (0.05, 0.25);
+        let mut d = Detector::new(DetectorConfig::Cusum { drift, threshold });
+        for _ in 0..50 {
+            assert!(!d.observe(0.1));
+        }
+        // Step of +0.3: each observation accumulates 0.3 - drift = 0.25,
+        // so the chart must alarm within ceil(threshold / 0.25) + 1 = 2.
+        let mut fired = None;
+        for k in 0..10 {
+            if d.observe(0.4) {
+                fired = Some(k);
+                break;
+            }
+        }
+        assert!(fired.is_some_and(|k| k <= 1), "fired = {fired:?}");
+    }
+
+    #[test]
+    fn cusum_is_two_sided() {
+        let mut d = Detector::new(DetectorConfig::Cusum { drift: 0.02, threshold: 0.1 });
+        for _ in 0..10 {
+            d.observe(0.5);
+        }
+        // A *drop* in the signal must alarm too.
+        let mut fired = false;
+        for _ in 0..5 {
+            fired |= d.observe(0.1);
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn ewma_alarms_on_a_large_step() {
+        let mut d = Detector::new(DetectorConfig::Ewma { alpha: 0.5, band: 0.1 });
+        for _ in 0..20 {
+            assert!(!d.observe(0.2));
+        }
+        // Step to 0.8: z moves half the remaining gap per observation, so
+        // |z - b| exceeds 0.1 on the first post-step observation (0.3).
+        assert!(d.observe(0.8));
+    }
+
+    #[test]
+    fn alarm_is_level_triggered_until_rearm() {
+        let mut d = Detector::new(DetectorConfig::Cusum { drift: 0.0, threshold: 0.05 });
+        d.observe(0.1);
+        assert!(d.observe(0.9));
+        // Signal returns to baseline; the latched excursion keeps alarming.
+        assert!(d.observe(0.1));
+        assert!(d.in_alarm());
+        d.arm(Some(0.1));
+        assert!(!d.in_alarm());
+        assert_eq!(d.snapshot().observations, 0);
+    }
+
+    #[test]
+    fn arm_with_reference_anchors_the_baseline() {
+        let mut d = Detector::new(DetectorConfig::Cusum { drift: 0.05, threshold: 0.3 });
+        d.arm(Some(0.1));
+        // First observations already deviate from the sampled reference:
+        // the chart accumulates immediately instead of re-anchoring.
+        assert!(!d.observe(0.4));
+        assert!(d.observe(0.4), "0.25 excess per observation crosses 0.3 on the second");
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut d = Detector::new(DetectorConfig::Cusum { drift: 0.05, threshold: 0.2 });
+        d.observe(0.2);
+        let before = d.snapshot();
+        assert!(!d.observe(f64::NAN));
+        assert!(!d.observe(f64::INFINITY));
+        assert_eq!(d.snapshot(), before);
+        d.arm(Some(f64::NAN));
+        assert!(d.snapshot().baseline.is_nan(), "non-finite reference is dropped");
+        d.observe(0.3);
+        assert_eq!(d.snapshot().baseline, 0.3, "first observation re-anchors");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        assert!(DetectorConfig::default_cusum().is_valid());
+        assert!(DetectorConfig::default_ewma().is_valid());
+        assert!(!DetectorConfig::Cusum { drift: -0.1, threshold: 0.2 }.is_valid());
+        assert!(!DetectorConfig::Cusum { drift: 0.0, threshold: 0.0 }.is_valid());
+        assert!(!DetectorConfig::Cusum { drift: f64::NAN, threshold: 0.2 }.is_valid());
+        assert!(!DetectorConfig::Ewma { alpha: 0.0, band: 0.1 }.is_valid());
+        assert!(!DetectorConfig::Ewma { alpha: 1.5, band: 0.1 }.is_valid());
+        assert!(!DetectorConfig::Ewma { alpha: 0.5, band: 0.0 }.is_valid());
+    }
+}

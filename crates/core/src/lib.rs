@@ -22,6 +22,11 @@
 //!   (either the discrete-event simulator in `dynfb-sim` or the real-thread
 //!   executor in [`realtime`]) and never reads clocks itself, which makes it
 //!   deterministic and directly testable.
+//! * [`detector`] — CUSUM and EWMA change-point detectors over the
+//!   per-interval waiting proportion, powering the event-driven resampling
+//!   trigger ([`controller::ResampleTrigger::EventDriven`]): production
+//!   ends early when the signal shifts, instead of waiting out the fixed
+//!   interval.
 //! * [`theory`] — the worst-case optimality analysis of §5: bounded-decay
 //!   overhead evolution, work integrals, the ε-optimality feasible region for
 //!   the production interval (Equation 7) and the optimal production interval
@@ -71,6 +76,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod controller;
+pub mod detector;
 pub mod metrics;
 pub mod overhead;
 pub mod realtime;
@@ -78,7 +84,8 @@ pub mod rng;
 pub mod theory;
 pub mod trace;
 
-pub use controller::{Controller, ControllerConfig, Phase, PolicyId, Transition};
+pub use controller::{Controller, ControllerConfig, Phase, PolicyId, ResampleTrigger, Transition};
+pub use detector::{Detector, DetectorConfig, DetectorSnapshot};
 pub use metrics::{LockMetrics, LockTable, Log2Histogram, MetricsRegistry, MetricsSink, NoMetrics};
 pub use overhead::OverheadSample;
 pub use trace::{NullSink, RingBuffer, TraceEvent, TraceSink, TracedEvent};

@@ -464,6 +464,14 @@ pub struct ExecutionReport {
     pub rehabilitated: Vec<PolicyId>,
     /// Number of panics caught in version closures.
     pub panics: u64,
+    /// Production intervals ended early by a change-point alarm. Always
+    /// zero under [`ResampleTrigger::FixedInterval`].
+    ///
+    /// [`ResampleTrigger::FixedInterval`]: crate::controller::ResampleTrigger::FixedInterval
+    pub resample_alarms: u64,
+    /// Production intervals that ran to the quiescence bound without an
+    /// alarm (event-driven trigger only).
+    pub resample_quiescent: u64,
     /// Per-lock profile snapshot, indexed by lock id — empty unless the run
     /// went through [`AdaptiveExecutor::run_profiled`]. Wall-clock
     /// quantities with saturating accounting: counts are exact (every
@@ -601,6 +609,16 @@ struct ControlState<S: TraceSink> {
     interval_start: Instant,
     run_start: Instant,
     snapshot: OverheadCounters,
+    /// Anchor of the current detector-signal window (event-driven trigger):
+    /// one waiting-proportion observation per `target_sampling` of
+    /// production time.
+    signal_at: Instant,
+    /// Instrumentation counters at `signal_at`.
+    signal_snapshot: OverheadCounters,
+    /// Production intervals ended early by a change-point alarm.
+    alarms: u64,
+    /// Production intervals that reached the quiescence bound un-alarmed.
+    quiescent: u64,
     trace: Vec<PhaseRecord>,
     quarantine_log: Vec<PolicyId>,
     rehab_log: Vec<PolicyId>,
@@ -751,6 +769,10 @@ impl AdaptiveExecutor {
                 interval_start: now,
                 run_start: now,
                 snapshot: OverheadCounters::default(),
+                signal_at: now,
+                signal_snapshot: OverheadCounters::default(),
+                alarms: 0,
+                quiescent: 0,
                 trace: Vec::new(),
                 quarantine_log: Vec::new(),
                 rehab_log: Vec::new(),
@@ -782,6 +804,8 @@ impl AdaptiveExecutor {
             quarantined: control.quarantine_log.clone(),
             rehabilitated: control.rehab_log.clone(),
             panics: shared.panics.load(Ordering::Relaxed),
+            resample_alarms: control.alarms,
+            resample_quiescent: control.quiescent,
             lock_profile: table.map(LockTable::snapshot).unwrap_or_default(),
         })
     }
@@ -832,8 +856,34 @@ impl AdaptiveExecutor {
                 since_poll = 0;
                 // Potential switch point: poll the timer (§4.1).
                 let expired = {
-                    let control = lock(&shared.control);
-                    control.interval_start.elapsed() >= control.controller.target_interval()
+                    let mut control = lock(&shared.control);
+                    let mut fire =
+                        control.interval_start.elapsed() >= control.controller.target_interval();
+                    // Event-driven trigger: once per `target_sampling` of
+                    // production time, feed the detector the waiting
+                    // proportion of the slice since the last signal. An
+                    // alarm forces a switch exactly as expiry would.
+                    if !fire
+                        && control.controller.phase().is_production()
+                        && control.controller.event_driven()
+                    {
+                        let since_signal = control.signal_at.elapsed();
+                        if since_signal >= control.controller.config().target_sampling {
+                            let counters = shared.instruments.snapshot();
+                            let delta = counters.since(&control.signal_snapshot);
+                            let sample = shared.costs.interval_sample(
+                                delta,
+                                since_signal,
+                                self.config.workers,
+                            );
+                            control.signal_at = Instant::now();
+                            control.signal_snapshot = counters;
+                            fire = control
+                                .controller
+                                .observe_production_signal(sample.waiting_fraction());
+                        }
+                    }
+                    fire
                 };
                 if expired && shared.gate.request_switch() {
                     shared.switch_flag.store(true, Ordering::Release);
@@ -867,6 +917,8 @@ impl AdaptiveExecutor {
                 // restart interval bookkeeping from here.
                 control.interval_start = Instant::now();
                 control.snapshot = shared.instruments.snapshot();
+                control.signal_at = control.interval_start;
+                control.signal_snapshot = control.snapshot;
             }
             let health = control.controller.drain_health_events();
             if S::ENABLED {
@@ -914,6 +966,18 @@ impl AdaptiveExecutor {
             let at = now - control.run_start;
             let overhead = sample.total_overhead();
             control.trace.push(PhaseRecord { at, phase, policy, overhead, actual });
+            // Event-driven bookkeeping must be read before the transition
+            // resets the controller's per-phase detector state.
+            let ending_production = phase.is_production();
+            let alarmed = ending_production && control.controller.alarm_pending();
+            let quiescent = ending_production && control.controller.event_driven() && !alarmed;
+            let chart = if alarmed { control.controller.detector_snapshot() } else { None };
+            if alarmed {
+                control.alarms += 1;
+            }
+            if quiescent {
+                control.quiescent += 1;
+            }
             let transition = control.controller.complete_interval(sample);
             let mut next = transition.policy();
             // A sampling interval that ran far past its deadline is evidence
@@ -936,6 +1000,8 @@ impl AdaptiveExecutor {
             shared.policy.store(next, Ordering::Release);
             control.interval_start = now;
             control.snapshot = counters;
+            control.signal_at = now;
+            control.signal_snapshot = counters;
             shared.switch_flag.store(false, Ordering::Release);
             let health = control.controller.drain_health_events();
             for ev in &health {
@@ -946,13 +1012,30 @@ impl AdaptiveExecutor {
             if S::ENABLED {
                 control.sink.record(at, TraceEvent::BarrierSync { arrived: active });
                 trace::record_health_events(&mut control.sink, at, &health);
+                if let Some(snap) = chart {
+                    control.sink.record(
+                        at,
+                        TraceEvent::ChangePointAlarm {
+                            policy,
+                            score: snap.score,
+                            threshold: snap.threshold,
+                            observations: snap.observations,
+                        },
+                    );
+                }
                 let after = control.controller.phase();
-                // A switch into a policy that just earned its way back from
-                // quarantine is labeled with the rehabilitation reason.
-                let reason = health
-                    .iter()
-                    .any(|e| matches!(e, HealthEvent::Rehabilitated(p) if *p == next))
-                    .then_some(SwitchReason::Rehabilitated);
+                // A change-point alarm is why this production interval
+                // ended early; otherwise a switch into a policy that just
+                // earned its way back from quarantine is labeled with the
+                // rehabilitation reason.
+                let reason = if alarmed {
+                    Some(SwitchReason::ChangePoint)
+                } else {
+                    health
+                        .iter()
+                        .any(|e| matches!(e, HealthEvent::Rehabilitated(p) if *p == next))
+                        .then_some(SwitchReason::Rehabilitated)
+                };
                 trace::record_transition_with(
                     &mut control.sink,
                     at,

@@ -50,6 +50,10 @@ pub enum SwitchReason {
     /// The switch runs a policy that just earned its way back from
     /// quarantine (a clean backoff probe).
     Rehabilitated,
+    /// A change-point detector alarmed on the production waiting signal
+    /// and ended the production interval early (event-driven resampling;
+    /// see `dynfb_core::controller::ResampleTrigger::EventDriven`).
+    ChangePoint,
 }
 
 impl SwitchReason {
@@ -65,6 +69,7 @@ impl SwitchReason {
             SwitchReason::Quarantine => "quarantine",
             SwitchReason::CrashFallback => "crash-fallback",
             SwitchReason::Rehabilitated => "rehabilitated",
+            SwitchReason::ChangePoint => "change-point",
         }
     }
 }
@@ -158,6 +163,22 @@ pub enum TraceEvent {
         /// `"healthy"`.
         state: &'static str,
     },
+    /// A change-point detector alarmed during production: the waiting
+    /// signal left the level the sampling phase measured, and the driver
+    /// is ending the production interval early (the matching
+    /// [`TraceEvent::PolicySwitch`] carries
+    /// [`SwitchReason::ChangePoint`]). Records the chart state at alarm
+    /// time for post-mortems.
+    ChangePointAlarm {
+        /// Policy that was producing when the chart alarmed.
+        policy: usize,
+        /// Chart statistic at alarm time.
+        score: f64,
+        /// Alarm threshold the statistic exceeded.
+        threshold: f64,
+        /// Signal observations the chart consumed this production phase.
+        observations: u64,
+    },
 }
 
 impl TraceEvent {
@@ -175,6 +196,7 @@ impl TraceEvent {
             TraceEvent::PolicySwitch { .. } => "policy-switch",
             TraceEvent::BarrierSync { .. } => "barrier-sync",
             TraceEvent::PolicyHealth { .. } => "policy-health",
+            TraceEvent::ChangePointAlarm { .. } => "change-point-alarm",
         }
     }
 }
@@ -513,6 +535,12 @@ pub fn chrome_trace_json<'e>(
             TraceEvent::PolicyHealth { policy, state } => {
                 rows.push(format!(
                     r#"{{"ph":"i","s":"g","pid":0,"tid":0,"cat":"health","name":"health p{policy}={state}","ts":{},"args":{{"policy":{policy},"state":"{state}"}}}}"#,
+                    ts_us(at),
+                ));
+            }
+            TraceEvent::ChangePointAlarm { policy, score, threshold, observations } => {
+                rows.push(format!(
+                    r#"{{"ph":"i","s":"g","pid":0,"tid":0,"cat":"alarm","name":"change-point p{policy}","ts":{},"args":{{"policy":{policy},"score":{score:.6},"threshold":{threshold:.6},"observations":{observations}}}}}"#,
                     ts_us(at),
                 ));
             }

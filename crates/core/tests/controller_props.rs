@@ -7,8 +7,9 @@
 //! fixed seeds below.
 
 use dynfb_core::controller::{
-    Controller, ControllerConfig, EarlyCutoff, Phase, PolicyOrdering, Transition,
+    Controller, ControllerConfig, EarlyCutoff, Phase, PolicyOrdering, ResampleTrigger, Transition,
 };
+use dynfb_core::detector::DetectorConfig;
 use dynfb_core::overhead::OverheadSample;
 use dynfb_core::rng::SplitMix64;
 use std::time::Duration;
@@ -206,4 +207,124 @@ fn hostile_sample_streams_never_wedge_the_controller() {
             }
         }
     }
+}
+
+/// Differential test for the event-driven trigger: with `max_quiescence`
+/// equal to the fixed production interval, a controller under
+/// `ResampleTrigger::EventDriven` is transition-for-transition identical
+/// to one under `FixedInterval` on any sample sequence — including
+/// mid-stream quarantines, watchdog aborts, and arbitrary production
+/// signals fed to both. Detector signals only matter through the *driver*
+/// acting on the returned alarm; the state machine itself never diverges.
+#[test]
+fn event_driven_at_production_quiescence_matches_fixed_interval() {
+    let mut g = SplitMix64::new(0xC0_11_7A_06);
+    for _ in 0..CASES {
+        let n = g.gen_index(4) + 2;
+        let steps = g.gen_index(39) + 1;
+        let base = ControllerConfig { num_policies: n, ..ControllerConfig::default() };
+        let event = ControllerConfig {
+            trigger: ResampleTrigger::EventDriven {
+                detector: if g.chance(0.5) {
+                    DetectorConfig::default_cusum()
+                } else {
+                    DetectorConfig::default_ewma()
+                },
+                min_spacing: g.gen_index(4) as u32,
+                max_quiescence: base.target_production,
+            },
+            ..base.clone()
+        };
+        let mut fixed = Controller::new(base);
+        let mut ev = Controller::new(event);
+        fixed.begin_section();
+        ev.begin_section();
+        for _ in 0..steps {
+            assert_eq!(fixed.phase(), ev.phase());
+            assert_eq!(fixed.current_policy(), ev.current_policy());
+            assert_eq!(fixed.target_interval(), ev.target_interval());
+            // Arbitrary signals: a no-op for the fixed trigger, alarm
+            // bookkeeping only for the event-driven one.
+            if g.chance(0.3) {
+                let w = g.next_f64();
+                assert!(!fixed.observe_production_signal(w));
+                ev.observe_production_signal(w);
+            }
+            if fixed.runnable_policies() > 1 && g.chance(0.1) {
+                let victim = g.gen_index(n);
+                assert_eq!(fixed.quarantine(victim).ok(), ev.quarantine(victim).ok());
+                continue;
+            }
+            if g.chance(0.1) {
+                let overrun = Duration::from_millis(g.gen_index(30) as u64);
+                assert_eq!(
+                    fixed.abort_to_production_carrying(overrun),
+                    ev.abort_to_production_carrying(overrun)
+                );
+                continue;
+            }
+            let s = sample(g.next_f64());
+            assert_eq!(fixed.complete_interval(s), ev.complete_interval(s));
+        }
+        assert_eq!(fixed.phase(), ev.phase());
+        assert_eq!(fixed.sampling_phases(), ev.sampling_phases());
+        assert_eq!(fixed.production_phases(), ev.production_phases());
+    }
+}
+
+/// A latched alarm never advances `Phase` by itself, and goes stale the
+/// moment the phase moves on: signals observed during the following
+/// sampling phase — including a rehabilitation probe — or after a
+/// quarantine drained the producing policy are no-ops, so one change-point
+/// can only ever end one production interval.
+#[test]
+fn stale_alarms_never_double_advance_the_phase() {
+    let trigger = ResampleTrigger::EventDriven {
+        detector: DetectorConfig::Cusum { drift: 0.0, threshold: 0.05 },
+        min_spacing: 1,
+        max_quiescence: Duration::from_millis(100),
+    };
+    let cfg = ControllerConfig { num_policies: 3, trigger, ..ControllerConfig::default() };
+
+    // Alarm, then complete the production interval: the stale alarm must
+    // not advance or re-trigger anything in the next sampling phase.
+    let mut ctl = Controller::new(cfg.clone());
+    ctl.begin_section();
+    for o in [0.1, 0.2, 0.3] {
+        ctl.complete_interval(sample(o));
+    }
+    assert!(ctl.phase().is_production());
+    while !ctl.observe_production_signal(0.9) {}
+    let in_alarm = ctl.phase();
+    assert!(ctl.observe_production_signal(0.9), "alarm stays latched");
+    assert_eq!(ctl.phase(), in_alarm, "alarms never advance the phase themselves");
+    let productions = ctl.production_phases();
+    ctl.complete_interval(sample(0.1));
+    assert!(ctl.phase().is_sampling());
+    assert_eq!(ctl.production_phases(), productions + 1, "one alarm, one transition");
+    assert!(!ctl.alarm_pending(), "transition clears the alarm");
+    let resampling = ctl.phase();
+    for _ in 0..10 {
+        assert!(!ctl.observe_production_signal(0.9), "signals are no-ops while sampling");
+    }
+    assert_eq!(ctl.phase(), resampling);
+
+    // Alarm, then quarantine the producing policy: the quarantine restarts
+    // sampling and drains the alarm with it.
+    let mut ctl = Controller::new(cfg);
+    ctl.begin_section();
+    for o in [0.1, 0.2, 0.3] {
+        ctl.complete_interval(sample(o));
+    }
+    assert!(ctl.phase().is_production());
+    while !ctl.observe_production_signal(0.9) {}
+    let producing = ctl.current_policy();
+    ctl.quarantine(producing).expect("survivors remain");
+    assert!(ctl.phase().is_sampling(), "quarantine of the producer restarts sampling");
+    assert!(!ctl.alarm_pending(), "restart drains the pending alarm");
+    let draining = ctl.phase();
+    for _ in 0..10 {
+        assert!(!ctl.observe_production_signal(0.9));
+    }
+    assert_eq!(ctl.phase(), draining, "stale alarm cannot double-advance the drained phase");
 }

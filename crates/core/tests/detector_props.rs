@@ -1,0 +1,156 @@
+//! Property-based tests for the change-point detectors: a constant signal
+//! never alarms, a step of sufficient magnitude always alarms within the
+//! chart's predicted delay, the alarm time is monotone in the step size,
+//! and detector state is identical across reruns of the same sequence.
+//!
+//! Inputs are generated with the repository's own deterministic PRNG
+//! (`dynfb_core::rng::SplitMix64`), so every failure reproduces from the
+//! fixed seeds below. The case count defaults to 128 and can be pinned via
+//! the `PROPTEST_CASES` environment variable (CI sets it explicitly so the
+//! job's runtime stays bounded).
+
+use dynfb_core::detector::{Detector, DetectorConfig};
+use dynfb_core::rng::SplitMix64;
+
+fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(128)
+}
+
+/// A random valid configuration, CUSUM or EWMA with equal probability.
+fn arbitrary_config(g: &mut SplitMix64) -> DetectorConfig {
+    if g.chance(0.5) {
+        DetectorConfig::Cusum { drift: g.gen_f64(0.0, 0.2), threshold: g.gen_f64(0.05, 0.5) }
+    } else {
+        DetectorConfig::Ewma { alpha: g.gen_f64(0.05, 1.0), band: g.gen_f64(0.05, 0.5) }
+    }
+}
+
+/// Observations after a step of size `delta` within which the chart must
+/// alarm, from the charts' own recurrences: CUSUM accumulates
+/// `delta - drift` per observation; the EWMA level reaches
+/// `delta * (1 - (1-alpha)^k)` after `k` observations.
+fn predicted_delay(config: DetectorConfig, delta: f64) -> u32 {
+    match config {
+        DetectorConfig::Cusum { drift, threshold } => {
+            let per_obs = delta - drift;
+            assert!(per_obs > 0.0, "step must exceed the allowance");
+            (threshold / per_obs).ceil() as u32 + 1
+        }
+        DetectorConfig::Ewma { alpha, band } => {
+            assert!(delta > band, "step must exceed the band");
+            let mut level = 0.0;
+            let mut k = 0u32;
+            while level <= band {
+                level = alpha * delta + (1.0 - alpha) * level;
+                k += 1;
+                assert!(k < 10_000, "EWMA must converge past the band");
+            }
+            k + 1
+        }
+    }
+}
+
+/// Observations after a step until the chart first alarms (`None` if it
+/// never does within `limit`).
+fn alarm_time(config: DetectorConfig, base: f64, delta: f64, limit: u32) -> Option<u32> {
+    let mut d = Detector::new(config);
+    d.arm(Some(base));
+    for _ in 0..50 {
+        assert!(!d.observe(base), "no alarm before the step");
+    }
+    (1..=limit).find(|_| d.observe(base + delta))
+}
+
+/// A constant signal at the armed baseline never alarms, for any valid
+/// configuration — whether the baseline comes from a reference or from the
+/// first observation.
+#[test]
+fn constant_signal_never_alarms() {
+    let mut g = SplitMix64::new(0xDE_7E_C7_01);
+    for _ in 0..cases() {
+        let config = arbitrary_config(&mut g);
+        let level = g.next_f64();
+        let mut d = Detector::new(config);
+        d.arm(g.chance(0.5).then_some(level));
+        for i in 0..500 {
+            assert!(!d.observe(level), "alarm at obs {i} on constant {level} under {config:?}");
+        }
+        assert!(!d.in_alarm());
+    }
+}
+
+/// A step of magnitude comfortably above the chart's tolerance always
+/// alarms, and within the delay predicted by the chart's own recurrence.
+#[test]
+fn step_above_threshold_alarms_within_the_predicted_delay() {
+    let mut g = SplitMix64::new(0xDE_7E_C7_02);
+    for _ in 0..cases() {
+        let config = arbitrary_config(&mut g);
+        let tolerance = match config {
+            DetectorConfig::Cusum { drift, .. } => drift,
+            DetectorConfig::Ewma { band, .. } => band,
+        };
+        // Step lands strictly past the tolerance, and stays inside [0, 1]
+        // so clamping cannot shrink it.
+        let base = g.gen_f64(0.0, 0.3);
+        let delta = g.gen_f64(tolerance + 0.05, 0.7 - tolerance.min(0.2));
+        let k = predicted_delay(config, delta);
+        let fired = alarm_time(config, base, delta, k);
+        assert!(
+            fired.is_some(),
+            "no alarm within {k} observations of a {delta:.3} step under {config:?}"
+        );
+    }
+}
+
+/// The alarm time never increases with the step size: a larger shift is
+/// detected at least as fast, for both charts.
+#[test]
+fn alarm_time_is_monotone_in_step_size() {
+    let mut g = SplitMix64::new(0xDE_7E_C7_03);
+    for _ in 0..cases() {
+        let config = arbitrary_config(&mut g);
+        let tolerance = match config {
+            DetectorConfig::Cusum { drift, .. } => drift,
+            DetectorConfig::Ewma { band, .. } => band,
+        };
+        let base = g.gen_f64(0.0, 0.2);
+        let small = g.gen_f64(tolerance + 0.05, 0.5);
+        let large = small + g.gen_f64(0.01, 0.75 - small);
+        let limit = predicted_delay(config, small);
+        let t_small = alarm_time(config, base, small, limit).expect("small step alarms");
+        let t_large = alarm_time(config, base, large, limit).expect("large step alarms");
+        assert!(
+            t_large <= t_small,
+            "step {large:.3} fired at {t_large} but {small:.3} at {t_small} under {config:?}"
+        );
+    }
+}
+
+/// Determinism: replaying the same observation/arm sequence from the same
+/// seed leaves two independently constructed detectors in identical states
+/// at every step — the property that makes simulator runs reproducible.
+#[test]
+fn state_is_identical_across_reruns_with_the_same_seed() {
+    const SEED: u64 = 0xDE_7E_C7_04;
+    for case in 0..cases().min(32) {
+        let mut g1 = SplitMix64::new(SEED ^ case);
+        let mut g2 = SplitMix64::new(SEED ^ case);
+        let run = |g: &mut SplitMix64| {
+            let mut d = Detector::new(arbitrary_config(g));
+            let mut alarms = Vec::new();
+            for _ in 0..200 {
+                if g.chance(0.05) {
+                    d.arm(g.chance(0.5).then(|| g.next_f64()));
+                }
+                alarms.push(d.observe(g.next_f64()));
+            }
+            (d, alarms)
+        };
+        let (d1, a1) = run(&mut g1);
+        let (d2, a2) = run(&mut g2);
+        assert_eq!(d1, d2, "detector state diverged across reruns");
+        assert_eq!(d1.snapshot(), d2.snapshot());
+        assert_eq!(a1, a2, "alarm sequence diverged across reruns");
+    }
+}

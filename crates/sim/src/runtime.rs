@@ -449,6 +449,12 @@ struct HealthCounts {
     probed: u64,
     crash_fallbacks: u64,
     watchdog_soft_failures: u64,
+    /// Production intervals ended early by a change-point alarm
+    /// (event-driven trigger only).
+    resample_alarms: u64,
+    /// Production intervals that ran to the quiescence bound with no alarm
+    /// (event-driven trigger only).
+    resample_quiescent: u64,
 }
 
 impl HealthCounts {
@@ -491,6 +497,13 @@ struct Active {
     /// clock away from simulation time.
     interval_start_observed: SimTime,
     snapshot: ProcStats,
+    /// Observed-clock anchor of the current detector-signal window
+    /// (event-driven trigger): one waiting-proportion observation is fed
+    /// to the controller per `target_sampling` of observed production time.
+    signal_at: SimTime,
+    /// Machine-wide stats at `signal_at`, the baseline for the window's
+    /// waiting proportion.
+    signal_snapshot: ProcStats,
     /// Number of crash-stopped processors when the interval started; a
     /// higher count at interval end means the measurement is poisoned.
     crashed_snapshot: usize,
@@ -623,6 +636,8 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             interval_start,
             interval_start_observed,
             snapshot,
+            signal_at: interval_start_observed,
+            signal_snapshot: snapshot,
             crashed_snapshot: crashed,
             switch_requested: false,
             abort_requested: false,
@@ -670,6 +685,12 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                 partial: false,
                 poisoned,
             });
+            // Event-driven bookkeeping must be read before the transition
+            // resets the controller's per-phase detector state.
+            let ending_production = before.is_production();
+            let alarmed = ending_production && ctl.alarm_pending();
+            let quiescent = ending_production && ctl.event_driven() && !alarmed;
+            let chart = if alarmed { ctl.detector_snapshot() } else { None };
             let fed = if poisoned { OverheadSample::default() } else { sample };
             let transition = ctl.complete_interval(fed);
             let next = transition.policy();
@@ -677,16 +698,37 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             active.interval_start = now;
             active.interval_start_observed = observed;
             active.snapshot = totals;
+            active.signal_at = observed;
+            active.signal_snapshot = totals;
             active.crashed_snapshot = crashed;
             let health = ctl.drain_health_events();
             self.counts.tally(&health);
             if poisoned {
                 self.counts.crash_fallbacks += 1;
             }
+            if alarmed {
+                self.counts.resample_alarms += 1;
+            }
+            if quiescent {
+                self.counts.resample_quiescent += 1;
+            }
             if S::ENABLED {
                 trace::record_health_events(&mut self.sink, now.as_duration(), &health);
+                if let Some(snap) = chart {
+                    self.sink.record(
+                        now.as_duration(),
+                        TraceEvent::ChangePointAlarm {
+                            policy: active.records.last().map_or(0, |r| r.version),
+                            score: snap.score,
+                            threshold: snap.threshold,
+                            observations: snap.observations,
+                        },
+                    );
+                }
                 let reason = if poisoned {
                     Some(SwitchReason::CrashFallback)
+                } else if alarmed {
+                    Some(SwitchReason::ChangePoint)
                 } else if health
                     .iter()
                     .any(|e| matches!(e, HealthEvent::Rehabilitated(p) if *p == next))
@@ -734,7 +776,12 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                     partial: true,
                     poisoned: crashed > active.crashed_snapshot,
                 });
-                let transition = ctl.abort_to_production();
+                // The stuck interval overran its target; deduct the overrun
+                // from the next production interval so the cycle keeps the
+                // configured cadence and the driver's timer math agrees
+                // with `target_interval`.
+                let overrun = actual.saturating_sub(ctl.target_interval());
+                let transition = ctl.abort_to_production_carrying(overrun);
                 active.version = transition.policy();
                 // A watchdog abort is a soft failure of the policy whose
                 // interval never completed: first offense marks it suspect,
@@ -764,6 +811,8 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             active.interval_start = now;
             active.interval_start_observed = observed;
             active.snapshot = totals;
+            active.signal_at = observed;
+            active.signal_snapshot = totals;
             active.crashed_snapshot = crashed;
         }
     }
@@ -990,14 +1039,31 @@ impl<'a, S: TraceSink> AppProcess<'a, S> {
         let watchdog = driver.sampling_watchdog;
         let mut expired = false;
         let mut stuck = false;
-        if let Some(active) = driver.active.as_ref() {
-            if let Some(ctl) = active.controller.as_ref() {
+        if let Some(active) = driver.active.as_mut() {
+            if let Some(ctl) = active.controller.as_mut() {
                 let target = ctl.target_interval();
                 expired = t.saturating_since(active.interval_start_observed) >= target;
                 stuck = !expired
                     && ctl.phase().is_sampling()
                     && watchdog
                         .is_some_and(|k| now.saturating_since(active.interval_start) > target * k);
+                // Event-driven trigger: once per `target_sampling` of
+                // observed production time, feed the detector the waiting
+                // proportion of the slice since the last signal. An alarm
+                // ends the production interval exactly as expiry would —
+                // the quiescence bound above stays the fallback.
+                if !expired
+                    && ctl.phase().is_production()
+                    && ctl.event_driven()
+                    && t.saturating_since(active.signal_at) >= ctl.config().target_sampling
+                {
+                    let slice = totals.since(&active.signal_snapshot).overhead_sample();
+                    active.signal_at = t;
+                    active.signal_snapshot = totals;
+                    if ctl.observe_production_signal(slice.waiting_fraction()) {
+                        expired = true;
+                    }
+                }
             }
         }
         if expired {
@@ -1261,6 +1327,8 @@ fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
         ("policy_cleared", hc.cleared),
         ("switch_crash_fallbacks", hc.crash_fallbacks),
         ("watchdog_soft_failures", hc.watchdog_soft_failures),
+        ("resample_alarms", hc.resample_alarms),
+        ("resample_quiescent", hc.resample_quiescent),
         ("procs_crashed", stats.crashed_procs().len() as u64),
         ("locks_recovered", stats.recovered_locks()),
     ] {
