@@ -1,19 +1,22 @@
-//! VM-tier throughput microbenchmark and perf gate.
+//! Execution-tier throughput microbenchmark and perf gate.
 //!
-//! Runs barnes-hut under both execution tiers — the register-based
-//! bytecode VM and the tree-walking oracle — on identical `RunConfig`s,
-//! measures host wall time (best of N repeats), and reports simulated
-//! operations per host second. Because both tiers emit bit-identical step
-//! sequences (asserted here on every run), the simulated work is the same
-//! numerator for both, so the throughput ratio is exactly the host-time
-//! ratio.
+//! Runs barnes-hut under the execution tiers — the tree-walking oracle,
+//! the register-based bytecode VM, and the fused-closure native tier — on
+//! identical `RunConfig`s, measures host wall time (best of N repeats),
+//! and reports simulated operations per host second. Because all tiers
+//! emit bit-identical step sequences (asserted here on every run), the
+//! simulated work is the same numerator throughout, so each throughput
+//! ratio is exactly the host-time ratio.
 //!
 //! Usage: `cargo run --release -p dynfb-bench --bin vm_throughput -- \
-//!     [--procs N] [--bodies N] [--steps N] [--repeats N] [--min-ratio R]`
+//!     [--tier T] [--procs N] [--bodies N] [--steps N] [--repeats N] \
+//!     [--min-ratio R] [--min-native-ratio R]`
 //!
-//! Exits nonzero when the VM's throughput is below `--min-ratio` (default
-//! 2.0) times the tree-walker's — the CI perf smoke gate. Host timings are
-//! scratch, never canonical: they go to the git-ignored
+//! Exits nonzero when the VM is below `--min-ratio` (default 2.0) times
+//! the tree-walker, or the native tier below `--min-native-ratio`
+//! (default 10.0) — the CI perf smoke gates. Gates only apply to measured
+//! tiers; `--tier` restricts the run to one tier (no gates, no ratios).
+//! Host timings are scratch, never canonical: they go to the git-ignored
 //! `BENCH_TIMINGS.json` (overwriting it, like the experiments runner
 //! does), keeping `BENCH_RESULTS.json` byte-stable by construction.
 
@@ -22,25 +25,37 @@ use dynfb_compiler::ExecTier;
 use dynfb_sim::{run_app_ref, AppReport, RunConfig};
 use std::time::{Duration, Instant};
 
-const USAGE: &str =
-    "usage: vm_throughput [--procs N] [--bodies N] [--steps N] [--repeats N] [--min-ratio R]
+const USAGE: &str = "usage: vm_throughput [--tier T] [--procs N] [--bodies N] [--steps N] \
+[--repeats N] [--min-ratio R] [--min-native-ratio R]
 
-  --procs N      simulated processors (default: 8)
-  --bodies N     barnes-hut bodies (default: 256)
-  --steps N      barnes-hut time steps (default: 2)
-  --repeats N    host-timing repeats, best-of (default: 3)
-  --min-ratio R  fail unless vm/tree throughput >= R (default: 2.0)";
+  --tier T             measure one tier only: tree | vm | native (default: all)
+  --procs N            simulated processors (default: 8)
+  --bodies N           barnes-hut bodies (default: 256)
+  --steps N            barnes-hut time steps (default: 2)
+  --repeats N          host-timing repeats, best-of (default: 3)
+  --min-ratio R        fail unless vm/tree throughput >= R (default: 2.0)
+  --min-native-ratio R fail unless native/tree throughput >= R (default: 10.0)";
 
 struct Opts {
+    tier: Option<ExecTier>,
     procs: usize,
     bodies: usize,
     steps: usize,
     repeats: usize,
     min_ratio: f64,
+    min_native_ratio: f64,
 }
 
 fn parse_opts() -> Opts {
-    let mut opts = Opts { procs: 8, bodies: 256, steps: 2, repeats: 3, min_ratio: 2.0 };
+    let mut opts = Opts {
+        tier: None,
+        procs: 8,
+        bodies: 256,
+        steps: 2,
+        repeats: 3,
+        min_ratio: 2.0,
+        min_native_ratio: 10.0,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |what: &str| -> String {
@@ -54,6 +69,15 @@ fn parse_opts() -> Opts {
             std::process::exit(2);
         };
         match flag.as_str() {
+            "--tier" => {
+                let v = value("tree|vm|native");
+                opts.tier = Some(match v.as_str() {
+                    "tree" => ExecTier::Tree,
+                    "vm" => ExecTier::Vm,
+                    "native" => ExecTier::Native,
+                    _ => bad(&v),
+                });
+            }
             "--procs" => {
                 let v = value("a count");
                 opts.procs = v.parse().unwrap_or_else(|_| bad(&v));
@@ -74,6 +98,10 @@ fn parse_opts() -> Opts {
                 let v = value("a ratio");
                 opts.min_ratio = v.parse().unwrap_or_else(|_| bad(&v));
             }
+            "--min-native-ratio" => {
+                let v = value("a ratio");
+                opts.min_native_ratio = v.parse().unwrap_or_else(|_| bad(&v));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -86,6 +114,14 @@ fn parse_opts() -> Opts {
     }
     opts.repeats = opts.repeats.max(1);
     opts
+}
+
+fn tier_name(tier: ExecTier) -> &'static str {
+    match tier {
+        ExecTier::Tree => "tree",
+        ExecTier::Vm => "vm",
+        ExecTier::Native => "native",
+    }
 }
 
 /// Best-of-N host time for one tier, plus the (tier-independent) report
@@ -112,67 +148,116 @@ fn main() {
     let opts = parse_opts();
     let cfg = RunConfig::fixed(opts.procs, "original");
 
-    let (vm_time, vm_report) = measure(&opts, ExecTier::Vm, &cfg);
-    let (tree_time, tree_report) = measure(&opts, ExecTier::TreeWalker, &cfg);
+    let tiers: Vec<ExecTier> = match opts.tier {
+        Some(t) => vec![t],
+        None => vec![ExecTier::Tree, ExecTier::Vm, ExecTier::Native],
+    };
+    let runs: Vec<(ExecTier, Duration, AppReport)> = tiers
+        .iter()
+        .map(|&t| {
+            let (time, report) = measure(&opts, t, &cfg);
+            (t, time, report)
+        })
+        .collect();
 
-    // The determinism contract, enforced on the real workload: both tiers
-    // must have produced the same simulation.
-    assert_eq!(vm_report.stats, tree_report.stats, "tier reports diverged (stats)");
-    assert_eq!(vm_report.sections, tree_report.sections, "tier reports diverged (sections)");
+    // The determinism contract, enforced on the real workload: every
+    // measured tier must have produced the same simulation.
+    let (_, _, reference) = &runs[0];
+    for (t, _, report) in &runs[1..] {
+        assert_eq!(
+            report.stats,
+            reference.stats,
+            "tier reports diverged (stats, {} vs {})",
+            tier_name(*t),
+            tier_name(runs[0].0)
+        );
+        assert_eq!(
+            report.sections,
+            reference.sections,
+            "tier reports diverged (sections, {} vs {})",
+            tier_name(*t),
+            tier_name(runs[0].0)
+        );
+    }
 
-    // Simulated work ≈ charged node costs; identical for both tiers, so
-    // any ops proxy cancels in the ratio. Use charged compute nanos.
-    let sim_ns = vm_report.stats.totals().compute.as_nanos();
+    // Simulated work ≈ charged node costs; identical across tiers, so any
+    // ops proxy cancels in the ratios. Use charged compute nanos.
+    let sim_ns = reference.stats.totals().compute.as_nanos();
     let ops_per_sec = |host: Duration| sim_ns as f64 / 1e3 / host.as_secs_f64();
-    let vm_tp = ops_per_sec(vm_time);
-    let tree_tp = ops_per_sec(tree_time);
-    let ratio = tree_time.as_secs_f64() / vm_time.as_secs_f64();
+    let time_of = |tier: ExecTier| runs.iter().find(|(t, ..)| *t == tier).map(|(_, d, _)| *d);
 
     println!(
         "barnes-hut: {} bodies, {} steps, {} procs, policy original, best of {}",
         opts.bodies, opts.steps, opts.procs, opts.repeats
     );
     println!("  simulated compute: {:.3} ms", sim_ns as f64 / 1e6);
-    println!("  vm:          {:>9.1} ms host, {vm_tp:>12.0} sim-ops/s", ms(vm_time));
-    println!("  tree-walker: {:>9.1} ms host, {tree_tp:>12.0} sim-ops/s", ms(tree_time));
-    println!("  speedup: {ratio:.2}x (gate: >= {:.2}x)", opts.min_ratio);
+    println!("  {:<12} {:>12} {:>16} {:>10}", "tier", "host ms", "sim-ops/host-s", "vs tree");
+    let tree_time = time_of(ExecTier::Tree);
+    for (t, time, _) in &runs {
+        let vs = match tree_time {
+            Some(tree) => format!("{:.2}x", tree.as_secs_f64() / time.as_secs_f64()),
+            None => "-".to_string(),
+        };
+        println!(
+            "  {:<12} {:>12.1} {:>16.0} {:>10}",
+            tier_name(*t),
+            ms(*time),
+            ops_per_sec(*time),
+            vs
+        );
+    }
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"vm_throughput\",\n",
-            "  \"app\": \"barnes-hut\",\n",
-            "  \"bodies\": {},\n",
-            "  \"steps\": {},\n",
-            "  \"procs\": {},\n",
-            "  \"policy\": \"original\",\n",
-            "  \"repeats\": {},\n",
-            "  \"simulated_compute_ns\": {},\n",
-            "  \"vm_host_seconds\": {:.6},\n",
-            "  \"vm_sim_ops_per_host_second\": {:.0},\n",
-            "  \"tree_host_seconds\": {:.6},\n",
-            "  \"tree_sim_ops_per_host_second\": {:.0},\n",
-            "  \"speedup\": {:.3},\n",
-            "  \"min_ratio\": {:.3}\n",
-            "}}\n"
-        ),
-        opts.bodies,
-        opts.steps,
-        opts.procs,
-        opts.repeats,
-        sim_ns,
-        vm_time.as_secs_f64(),
-        vm_tp,
-        tree_time.as_secs_f64(),
-        tree_tp,
-        ratio,
-        opts.min_ratio,
-    );
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"vm_throughput\",\n  \"app\": \"barnes-hut\",\n");
+    json.push_str(&format!("  \"bodies\": {},\n", opts.bodies));
+    json.push_str(&format!("  \"steps\": {},\n", opts.steps));
+    json.push_str(&format!("  \"procs\": {},\n", opts.procs));
+    json.push_str("  \"policy\": \"original\",\n");
+    json.push_str(&format!("  \"repeats\": {},\n", opts.repeats));
+    json.push_str(&format!("  \"simulated_compute_ns\": {sim_ns},\n"));
+    for (t, time, _) in &runs {
+        let name = tier_name(*t);
+        json.push_str(&format!("  \"{name}_host_seconds\": {:.6},\n", time.as_secs_f64()));
+        json.push_str(&format!(
+            "  \"{name}_sim_ops_per_host_second\": {:.0},\n",
+            ops_per_sec(*time)
+        ));
+    }
+    let ratio_to_tree = |tier: ExecTier| -> Option<f64> {
+        Some(tree_time?.as_secs_f64() / time_of(tier)?.as_secs_f64())
+    };
+    let vm_ratio = ratio_to_tree(ExecTier::Vm);
+    let native_ratio = ratio_to_tree(ExecTier::Native);
+    if let Some(r) = vm_ratio {
+        json.push_str(&format!("  \"vm_speedup\": {r:.3},\n"));
+    }
+    if let Some(r) = native_ratio {
+        json.push_str(&format!("  \"native_speedup\": {r:.3},\n"));
+    }
+    json.push_str(&format!("  \"min_ratio\": {:.3},\n", opts.min_ratio));
+    json.push_str(&format!("  \"min_native_ratio\": {:.3}\n}}\n", opts.min_native_ratio));
     std::fs::write("BENCH_TIMINGS.json", &json).expect("write timings json");
     println!("Wrote BENCH_TIMINGS.json ({} bytes)", json.len());
 
-    if ratio < opts.min_ratio {
-        eprintln!("FAIL: vm speedup {ratio:.2}x is below the {:.2}x gate", opts.min_ratio);
+    let mut failed = false;
+    if let Some(r) = vm_ratio {
+        println!("  vm gate: {r:.2}x (>= {:.2}x required)", opts.min_ratio);
+        if r < opts.min_ratio {
+            eprintln!("FAIL: vm speedup {r:.2}x is below the {:.2}x gate", opts.min_ratio);
+            failed = true;
+        }
+    }
+    if let Some(r) = native_ratio {
+        println!("  native gate: {r:.2}x (>= {:.2}x required)", opts.min_native_ratio);
+        if r < opts.min_native_ratio {
+            eprintln!(
+                "FAIL: native speedup {r:.2}x is below the {:.2}x gate",
+                opts.min_native_ratio
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -25,12 +25,14 @@ use crate::commutativity::{analyze_extent, CommutativityReport};
 use crate::effects::EffectsMap;
 use crate::interp::{CostModel, Heap, HostRegistry, Interp, ProgramEnv, Value};
 use crate::lockplace::insert_default_regions;
+use crate::native::{compile_native, NativeExec, NativeModule};
 use crate::syncopt::{optimize, FnSet, Policy};
 use crate::vm::{lower_body, lower_functions, ExecTier, Vm, VmModule};
 use dynfb_lang::hir::{body_size, Expr, Function, Hir, LocalId, Stmt, Ty};
 use dynfb_sim::{LockId, Machine, OpSink, PlanEntry, SectionKind, SimApp};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Bytes per HIR node for the code-size metric (Table 1 analog).
 const NODE_BYTES: usize = 8;
@@ -115,6 +117,10 @@ pub struct VmCode {
     pub module: VmModule,
     /// Index of the iteration-body pseudo-function in `module`.
     pub body_fn: usize,
+    /// `module` compiled to fused closures (the native tier; same
+    /// function indices). Shared, because version code is cloneable but
+    /// the fused closures are immutable once built.
+    pub native: Arc<NativeModule>,
 }
 
 /// Source-level critical-region provenance for one lock class in one code
@@ -287,6 +293,9 @@ pub struct CompiledApp {
     serial_funcs: Vec<Function>,
     /// `serial_funcs` lowered to bytecode (the VM tier of serial sections).
     vm_serial: VmModule,
+    /// `vm_serial` compiled to fused closures (the native tier of serial
+    /// sections).
+    native_serial: Arc<NativeModule>,
     sections: HashMap<String, SectionCode>,
     env: ProgramEnv,
     cost: CostModel,
@@ -296,9 +305,10 @@ pub struct CompiledApp {
     /// Per-section (start, count) of the active parallel execution.
     active: HashMap<String, (i64, usize)>,
     hir: Hir,
-    /// Which tier executes compiled code (the bytecode VM by default).
+    /// Which tier executes compiled code (the native tier by default).
     tier: ExecTier,
-    /// Register-stack scratch reused by the VM across runs and iterations.
+    /// Register-stack scratch shared by the VM and native tiers, reused
+    /// across runs and iterations.
     vm_regs: Vec<Value>,
 }
 
@@ -386,6 +396,7 @@ pub fn compile(
     }
 
     // Assemble section codes with version deduplication.
+    let cost = options.cost;
     let mut sections = HashMap::new();
     for (name, func) in &parallel_sections {
         let extract = |funcs: &[Function]| -> VersionCode {
@@ -397,6 +408,7 @@ pub fn compile(
             let mut module = lower_functions(funcs);
             let body_fn = module.funcs.len();
             module.funcs.push(lower_body("$body", body, &locals_ty));
+            let native = compile_native(&module, &cost);
             let mut vc = VersionCode {
                 name: String::new(),
                 functions: funcs.to_vec(),
@@ -405,7 +417,7 @@ pub fn compile(
                 bound: bound.clone(),
                 body: body.clone(),
                 locals_ty,
-                vm: VmCode { module, body_fn },
+                vm: VmCode { module, body_fn, native },
                 regions: Vec::new(),
             };
             // Region provenance: every critical region reachable from the
@@ -444,10 +456,13 @@ pub fn compile(
     }
 
     let globals = hir.globals.iter().map(|g| Value::default_for(&g.ty)).collect();
+    let vm_serial = lower_functions(&hir.functions);
+    let native_serial = compile_native(&vm_serial, &cost);
     Ok(CompiledApp {
         name: options.name,
         plan: options.plan,
-        vm_serial: lower_functions(&hir.functions),
+        vm_serial,
+        native_serial,
         serial_funcs: hir.functions.clone(),
         sections,
         env: ProgramEnv {
@@ -481,10 +496,10 @@ impl CompiledApp {
         self.tier
     }
 
-    /// Select the execution tier: the bytecode VM (default) or the
-    /// tree-walking oracle. Both emit bit-identical step sequences, so
-    /// switching tiers never changes simulation results — only how fast
-    /// the host produces them.
+    /// Select the execution tier: fused native closures (default), the
+    /// bytecode VM, or the tree-walking oracle. All three emit
+    /// bit-identical step sequences, so switching tiers never changes
+    /// simulation results — only how fast the host produces them.
     pub fn set_exec_tier(&mut self, tier: ExecTier) {
         self.tier = tier;
     }
@@ -657,6 +672,7 @@ impl SimApp for CompiledApp {
             env,
             serial_funcs,
             vm_serial,
+            native_serial,
             vm_regs,
             cost,
             fuel,
@@ -664,25 +680,37 @@ impl SimApp for CompiledApp {
             tier,
             ..
         } = self;
-        let result =
-            match tier {
-                ExecTier::Vm => Vm {
-                    env,
-                    module: vm_serial,
-                    cost: *cost,
-                    sink: ops,
-                    lock_base,
-                    lock_capacity: *max_objects,
-                    fuel: *fuel,
-                    regs: vm_regs,
-                }
-                .call(func.0, None, &[]),
-                ExecTier::TreeWalker => {
-                    Self::interp(env, serial_funcs, *cost, *fuel, lock_base, *max_objects, ops)
-                        .call(func.0, None, vec![])
-                }
-            };
-        result.map(|_| ()).unwrap_or_else(|e| panic!("serial section `{section}` failed: {e}"));
+        let result = match tier {
+            ExecTier::Native => NativeExec {
+                env,
+                module: native_serial,
+                sink: ops,
+                lock_base,
+                lock_capacity: *max_objects,
+                fuel: *fuel,
+                regs: vm_regs,
+            }
+            .call(func.0, None, &[])
+            .map(|_| ()),
+            ExecTier::Vm => Vm {
+                env,
+                module: vm_serial,
+                cost: *cost,
+                sink: ops,
+                lock_base,
+                lock_capacity: *max_objects,
+                fuel: *fuel,
+                regs: vm_regs,
+            }
+            .call(func.0, None, &[])
+            .map(|_| ()),
+            ExecTier::Tree => {
+                Self::interp(env, serial_funcs, *cost, *fuel, lock_base, *max_objects, ops)
+                    .call(func.0, None, vec![])
+                    .map(|_| ())
+            }
+        };
+        result.unwrap_or_else(|e| panic!("serial section `{section}` failed: {e}"));
     }
 
     fn begin_parallel(&mut self, section: &str) -> usize {
@@ -720,6 +748,16 @@ impl SimApp for CompiledApp {
         let vc = if version == sc.versions.len() { &sc.serial } else { &sc.versions[version] };
         let value = start + iter as i64;
         let result = match tier {
+            ExecTier::Native => NativeExec {
+                env,
+                module: &vc.vm.native,
+                sink: ops,
+                lock_base,
+                lock_capacity: *max_objects,
+                fuel: *fuel,
+                regs: vm_regs,
+            }
+            .exec_iteration(vc.vm.body_fn, vc.var.0, value),
             ExecTier::Vm => Vm {
                 env,
                 module: &vc.vm.module,
@@ -731,7 +769,7 @@ impl SimApp for CompiledApp {
                 regs: vm_regs,
             }
             .exec_iteration(vc.vm.body_fn, vc.var.0, value),
-            ExecTier::TreeWalker => {
+            ExecTier::Tree => {
                 let mut locals: Vec<Value> = vc.locals_ty.iter().map(Value::default_for).collect();
                 locals[vc.var.0] = Value::Int(value);
                 let mut interp = Interp {

@@ -49,6 +49,7 @@ impl Value {
     /// # Errors
     ///
     /// Returns a type error for non-integers.
+    #[inline]
     pub fn as_int(self) -> Result<i64, RuntimeError> {
         match self {
             Value::Int(v) => Ok(v),
@@ -61,6 +62,7 @@ impl Value {
     /// # Errors
     ///
     /// Returns a type error for non-floats.
+    #[inline]
     pub fn as_double(self) -> Result<f64, RuntimeError> {
         match self {
             Value::Double(v) => Ok(v),
@@ -288,11 +290,15 @@ enum Flow {
 
 impl<'a> Interp<'a> {
     fn charge(&mut self) -> Result<(), RuntimeError> {
-        self.sink.compute(self.cost.node);
+        // Fuel is checked *before* charging: an exhausted run's sink holds
+        // exactly one node cost per unit of fuel actually consumed. The
+        // batched tiers bisect their block debits at the same boundary, so
+        // all tiers agree on the partial sink contents at exhaustion.
         if self.fuel == 0 {
             return Err(RuntimeError::new("evaluation fuel exhausted (runaway loop?)"));
         }
         self.fuel -= 1;
+        self.sink.compute(self.cost.node);
         Ok(())
     }
 
@@ -558,6 +564,7 @@ impl<'a> Interp<'a> {
 /// Apply a binary operator to two values. Shared by the tree-walker and
 /// the bytecode VM so both tiers have identical numeric semantics and
 /// error messages.
+#[inline]
 pub(crate) fn binary_op(op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
     use Value::{Bool, Double, Int};
     Ok(match (op, l, r) {

@@ -47,21 +47,28 @@ use dynfb_sim::{LockId, OpSink};
 
 /// Which execution tier a [`CompiledApp`](crate::artifact::CompiledApp)
 /// uses to run compiled code.
+///
+/// All three tiers emit bit-identical step sequences into the [`OpSink`],
+/// so switching tiers never changes simulation results — only how fast the
+/// host produces them. The slower tiers are kept as differential oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecTier {
-    /// The register-based bytecode VM — the fast path and the default.
-    #[default]
+    /// The tree-walking interpreter — the semantic reference oracle.
+    Tree,
+    /// The register-based bytecode VM — dispatches one `Insn` at a time.
     Vm,
-    /// The tree-walking interpreter — the reference oracle, kept for
-    /// differential testing via `run_app_ref`.
-    TreeWalker,
+    /// The closure-fusion native tier ([`crate::native`]) — each basic
+    /// block compiled to a single fused Rust closure. The fast path and
+    /// the default.
+    #[default]
+    Native,
 }
 
 /// Register index within a frame. Locals first, temporaries above.
 pub type Reg = u16;
 
 /// Sentinel register meaning "no receiver" in [`Insn::Call`].
-const NO_REG: Reg = Reg::MAX;
+pub(crate) const NO_REG: Reg = Reg::MAX;
 
 /// One bytecode instruction.
 ///
@@ -646,12 +653,18 @@ impl Vm<'_> {
     }
 
     fn charge(&mut self, n: u32) -> Result<(), RuntimeError> {
-        self.sink.compute_batch(self.cost.node, n);
-        let n = u64::from(n);
-        if n > self.fuel {
+        let need = u64::from(n);
+        if need > self.fuel {
+            // Bisect the block's debit at the fuel boundary: charge the
+            // sink only for the fuel actually consumed, exactly as the
+            // tree-walker's per-node accounting would.
+            let used = u32::try_from(self.fuel).expect("fuel < n <= u32::MAX");
+            self.sink.compute_batch(self.cost.node, used);
+            self.fuel = 0;
             return Err(RuntimeError::new("evaluation fuel exhausted (runaway loop?)"));
         }
-        self.fuel -= n;
+        self.fuel -= need;
+        self.sink.compute_batch(self.cost.node, n);
         Ok(())
     }
 

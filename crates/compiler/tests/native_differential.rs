@@ -1,23 +1,27 @@
-//! Differential fuzz: the bytecode VM versus the tree-walking oracle.
+//! Differential fuzz: the fused-closure native tier versus the bytecode
+//! VM versus the tree-walking oracle.
 //!
-//! Two layers:
+//! The native tier's block-local optimizer (copy/constant propagation,
+//! dead-store elimination, charge folding) rewrites the register file
+//! aggressively, so this suite checks the full determinism contract on
+//! all three tiers at once:
 //!
 //! 1. **Function level** — seeded random programs (loops, conditionals,
 //!    heap traffic, method and extern calls, occasional runtime errors)
-//!    executed by both tiers, with and without compiler-inserted critical
+//!    executed by every tier, with and without compiler-inserted critical
 //!    regions. Return value, final heap, globals, error messages, and the
 //!    exact `OpSink` step sequence must match.
 //! 2. **Application level** — the end-to-end n-body app executed under
 //!    seeded random `RunConfig`s (static/instrumented/dynamic/async modes,
-//!    watchdogs, fault plans) once per tier. Machine statistics, overhead
-//!    samples, policy-switch traces, section records, final heap, and
-//!    globals must match.
+//!    watchdogs, fault plans) once per tier. Machine statistics, section
+//!    records, final heap, and globals must match.
 
 use dynfb_compiler::artifact::{compile, CompileOptions, CompiledApp};
 use dynfb_compiler::interp::{
     CostModel, Heap, HostRegistry, Interp, ProgramEnv, RuntimeError, Value,
 };
 use dynfb_compiler::lockplace::insert_default_regions;
+use dynfb_compiler::native::{compile_native, NativeExec};
 use dynfb_compiler::vm::{lower_functions, ExecTier, Vm};
 use dynfb_core::controller::ControllerConfig;
 use dynfb_core::rng::SplitMix64;
@@ -57,15 +61,16 @@ const PRELUDE: &str = "
 ";
 
 /// Append 3–8 random statements drawn from templates that exercise every
-/// instruction class, including low-probability error paths (division by
-/// a value that may be zero, a method call on a possibly-null receiver).
+/// instruction class — including patterns the native optimizer folds
+/// (constant conditions, copy chains, dead accumulator writes) and
+/// low-probability error paths.
 fn gen_program(rng: &mut SplitMix64) -> String {
     let mut src = String::from(PRELUDE);
     let n_stmts = 3 + rng.gen_index(6);
     for _ in 0..n_stmts {
         let k = 1 + rng.gen_range_i64(0, 9);
         let m = 2 + rng.gen_range_i64(0, 12);
-        let stmt = match rng.gen_index(10) {
+        let stmt = match rng.gen_index(12) {
             0 => format!("acc = acc + {k};\n"),
             1 => format!(
                 "for (int i = 0; i < {m}; i++) {{ acc += i * {k}; cells[i % 4].bump(i); }}\n"
@@ -78,8 +83,12 @@ fn gen_program(rng: &mut SplitMix64) -> String {
             5 => format!("acc = acc + c.get() + cells[{}].get();\n", rng.gen_index(4)),
             6 => format!("gi = gi + acc % {k}; c.bump(gi);\n"),
             7 => format!("x = -x + {k} * 0.5; acc = acc + cells.length;\n"),
+            // Constant-foldable condition and a dead local write: the
+            // native tier folds/deletes these, the other tiers run them.
+            8 => format!("j = {k}; if ({k} > 0) {{ acc = acc + j; }} j = 0;\n"),
+            9 => "j = acc; acc = j + j; j = 0;\n".to_string(),
             // Errors iff `acc % {m}` happens to be zero here.
-            8 => format!("acc = {k} + acc / (acc % {m});\n"),
+            10 => format!("acc = {k} + acc / (acc % {m});\n"),
             // Errors iff the guard happens to hold.
             _ => format!("if (acc > {}) {{ acc = nullc.get(); }}\n", 40 + k * 7),
         };
@@ -119,25 +128,59 @@ struct TierOutcome {
     heap: Heap,
 }
 
-fn run_tree(
+fn run_tier(
     hir: &dynfb_lang::hir::Hir,
     funcs: &[Function],
     func: usize,
     base: LockId,
     arg: i64,
+    fuel: u64,
+    tier: ExecTier,
 ) -> TierOutcome {
     let mut env = fresh_env(hir);
     let mut sink = OpSink::default();
-    let result = Interp {
-        env: &mut env,
-        funcs,
-        cost: CostModel::default(),
-        sink: &mut sink,
-        lock_base: base,
-        lock_capacity: 1024,
-        fuel: 10_000_000,
-    }
-    .call(func, None, vec![Value::Int(arg)]);
+    let result = match tier {
+        ExecTier::Tree => Interp {
+            env: &mut env,
+            funcs,
+            cost: CostModel::default(),
+            sink: &mut sink,
+            lock_base: base,
+            lock_capacity: 1024,
+            fuel,
+        }
+        .call(func, None, vec![Value::Int(arg)]),
+        ExecTier::Vm => {
+            let module = lower_functions(funcs);
+            let mut regs = Vec::new();
+            Vm {
+                env: &mut env,
+                module: &module,
+                cost: CostModel::default(),
+                sink: &mut sink,
+                lock_base: base,
+                lock_capacity: 1024,
+                fuel,
+                regs: &mut regs,
+            }
+            .call(func, None, &[Value::Int(arg)])
+        }
+        ExecTier::Native => {
+            let module = lower_functions(funcs);
+            let native = compile_native(&module, &CostModel::default());
+            let mut regs = Vec::new();
+            NativeExec {
+                env: &mut env,
+                module: &native,
+                sink: &mut sink,
+                lock_base: base,
+                lock_capacity: 1024,
+                fuel,
+                regs: &mut regs,
+            }
+            .call(func, None, &[Value::Int(arg)])
+        }
+    };
     TierOutcome {
         result,
         steps: sink.into_steps().into_iter().collect(),
@@ -146,64 +189,40 @@ fn run_tree(
     }
 }
 
-fn run_vm(
-    hir: &dynfb_lang::hir::Hir,
-    funcs: &[Function],
-    func: usize,
-    base: LockId,
-    arg: i64,
-) -> TierOutcome {
-    let module = lower_functions(funcs);
-    let mut env = fresh_env(hir);
-    let mut sink = OpSink::default();
-    let mut regs = Vec::new();
-    let result = Vm {
-        env: &mut env,
-        module: &module,
-        cost: CostModel::default(),
-        sink: &mut sink,
-        lock_base: base,
-        lock_capacity: 1024,
-        fuel: 10_000_000,
-        regs: &mut regs,
-    }
-    .call(func, None, &[Value::Int(arg)]);
-    TierOutcome {
-        result,
-        steps: sink.into_steps().into_iter().collect(),
-        globals: env.globals,
-        heap: env.heap,
-    }
-}
-
-fn assert_tiers_agree(tree: &TierOutcome, vm: &TierOutcome, label: &str) -> bool {
-    match (&tree.result, &vm.result) {
-        (Ok(tv), Ok(vv)) => {
-            assert_eq!(tv, vv, "{label}: return value");
-            assert_eq!(tree.steps, vm.steps, "{label}: step sequence");
-            assert_eq!(tree.globals, vm.globals, "{label}: globals");
-            assert_eq!(tree.heap.arrays, vm.heap.arrays, "{label}: arrays");
-            assert_eq!(tree.heap.objects.len(), vm.heap.objects.len(), "{label}: object count");
-            for (a, b) in tree.heap.objects.iter().zip(&vm.heap.objects) {
+/// Assert the native tier agrees with the oracle outcome. Returns `true`
+/// on the success path, `false` on a (matching) error path.
+fn assert_agrees(oracle: &TierOutcome, native: &TierOutcome, label: &str) -> bool {
+    match (&oracle.result, &native.result) {
+        (Ok(ov), Ok(nv)) => {
+            assert_eq!(ov, nv, "{label}: return value");
+            assert_eq!(oracle.steps, native.steps, "{label}: step sequence");
+            assert_eq!(oracle.globals, native.globals, "{label}: globals");
+            assert_eq!(oracle.heap.arrays, native.heap.arrays, "{label}: arrays");
+            assert_eq!(
+                oracle.heap.objects.len(),
+                native.heap.objects.len(),
+                "{label}: object count"
+            );
+            for (a, b) in oracle.heap.objects.iter().zip(&native.heap.objects) {
                 assert_eq!(a.class, b.class, "{label}: object class");
                 assert_eq!(a.fields, b.fields, "{label}: object fields");
             }
             true
         }
-        (Err(te), Err(ve)) => {
+        (Err(oe), Err(ne)) => {
             // On an error path the tiers agree on the diagnosis; partial
             // sink contents legitimately differ (batched vs per-node
             // charging) and the runtime discards them.
-            assert_eq!(te.message, ve.message, "{label}: error message");
+            assert_eq!(oe.message, ne.message, "{label}: error message");
             false
         }
-        (t, v) => panic!("{label}: tier disagreement — tree: {t:?}, vm: {v:?}"),
+        (o, v) => panic!("{label}: tier disagreement — oracle: {o:?}, native: {v:?}"),
     }
 }
 
 #[test]
-fn random_programs_agree_across_tiers() {
-    let mut rng = SplitMix64::new(0x5EED_0B1E);
+fn random_programs_agree_across_all_three_tiers() {
+    let mut rng = SplitMix64::new(0xD1FF_F00D);
     let base = lock_base(1024);
     let mut oks = 0usize;
     let mut errs = 0usize;
@@ -215,11 +234,14 @@ fn random_programs_agree_across_tiers() {
         });
         let func = hir.function_named("test").expect("driver").0;
         let arg = rng.gen_range_i64(0, 48);
+        let fuel = 10_000_000;
 
         // Plain program, as the front end produced it.
-        let tree = run_tree(&hir, &hir.functions, func, base, arg);
-        let vm = run_vm(&hir, &hir.functions, func, base, arg);
-        let ok = assert_tiers_agree(&tree, &vm, &format!("case {case} (plain)"));
+        let tree = run_tier(&hir, &hir.functions, func, base, arg, fuel, ExecTier::Tree);
+        let vm = run_tier(&hir, &hir.functions, func, base, arg, fuel, ExecTier::Vm);
+        let native = run_tier(&hir, &hir.functions, func, base, arg, fuel, ExecTier::Native);
+        assert_agrees(&tree, &vm, &format!("case {case} (plain, vm)"));
+        let ok = assert_agrees(&tree, &native, &format!("case {case} (plain, native)"));
         if ok {
             oks += 1;
         } else {
@@ -235,9 +257,11 @@ fn random_programs_agree_across_tiers() {
                 insert_default_regions(f);
             }
         }
-        let tree = run_tree(&hir, &locked, func, base, arg);
-        let vm = run_vm(&hir, &locked, func, base, arg);
-        assert_tiers_agree(&tree, &vm, &format!("case {case} (locked)"));
+        let tree = run_tier(&hir, &locked, func, base, arg, fuel, ExecTier::Tree);
+        let vm = run_tier(&hir, &locked, func, base, arg, fuel, ExecTier::Vm);
+        let native = run_tier(&hir, &locked, func, base, arg, fuel, ExecTier::Native);
+        assert_agrees(&tree, &vm, &format!("case {case} (locked, vm)"));
+        assert_agrees(&tree, &native, &format!("case {case} (locked, native)"));
         locked_steps +=
             tree.steps.iter().filter(|s| matches!(s, Step::Acquire(_) | Step::Release(_))).count();
     }
@@ -246,6 +270,36 @@ fn random_programs_agree_across_tiers() {
     assert!(oks >= 20, "too few successful cases ({oks})");
     assert!(errs >= 3, "too few error cases ({errs})");
     assert!(locked_steps > 100, "lock placement produced too little lock traffic");
+}
+
+/// Tight random fuel budgets land the exhaustion point inside batched
+/// charge prologues at many different offsets; the boundary (consumed
+/// fuel, partial sink up to the boundary, error message) must bisect to
+/// exactly the per-node tiers' behavior.
+#[test]
+fn random_fuel_budgets_bisect_identically() {
+    let mut rng = SplitMix64::new(0xF0E1_BEEF);
+    let base = lock_base(1024);
+    let mut exhausted = 0usize;
+    for case in 0..40 {
+        let src = gen_program(&mut rng);
+        let hir = dynfb_lang::compile_source(&src).unwrap_or_else(|e| {
+            panic!("case {case}: generator emitted invalid source: {e}\n{src}")
+        });
+        let func = hir.function_named("test").expect("driver").0;
+        let arg = rng.gen_range_i64(0, 48);
+        let fuel = rng.gen_range_i64(1, 400) as u64;
+
+        let tree = run_tier(&hir, &hir.functions, func, base, arg, fuel, ExecTier::Tree);
+        let vm = run_tier(&hir, &hir.functions, func, base, arg, fuel, ExecTier::Vm);
+        let native = run_tier(&hir, &hir.functions, func, base, arg, fuel, ExecTier::Native);
+        assert_agrees(&tree, &vm, &format!("case {case} (fuel {fuel}, vm)"));
+        assert_agrees(&tree, &native, &format!("case {case} (fuel {fuel}, native)"));
+        if tree.result.is_err() {
+            exhausted += 1;
+        }
+    }
+    assert!(exhausted >= 10, "too few fuel-exhausted cases ({exhausted})");
 }
 
 // ---------------------------------------------------------------------------
@@ -357,52 +411,35 @@ fn random_config(rng: &mut SplitMix64) -> RunConfig {
 }
 
 #[test]
-fn compiled_app_agrees_across_tiers_on_seeded_random_configs() {
-    let mut rng = SplitMix64::new(0xB17E_C0DE);
+fn compiled_app_agrees_across_all_tiers_on_seeded_random_configs() {
+    let mut rng = SplitMix64::new(0x3A71_4E00);
     for case in 0..16 {
         let cfg = random_config(&mut rng);
-        let mut fast = build_nbody(ExecTier::Vm);
-        let fast_report = run_app_ref(&mut fast, &cfg)
-            .unwrap_or_else(|e| panic!("case {case}: vm tier failed: {e} ({cfg:?})"));
+        let mut native = build_nbody(ExecTier::Native);
+        let native_report = run_app_ref(&mut native, &cfg)
+            .unwrap_or_else(|e| panic!("case {case}: native tier failed: {e} ({cfg:?})"));
         let mut oracle = build_nbody(ExecTier::Tree);
         let oracle_report = run_app_ref(&mut oracle, &cfg)
             .unwrap_or_else(|e| panic!("case {case}: oracle tier failed: {e} ({cfg:?})"));
 
         // Identical machine statistics imply identical overhead samples
         // and timings; section records carry the policy-switch traces.
-        assert_eq!(fast_report.stats, oracle_report.stats, "case {case}: stats ({cfg:?})");
+        assert_eq!(native_report.stats, oracle_report.stats, "case {case}: stats ({cfg:?})");
         assert_eq!(
-            fast_report.sections, oracle_report.sections,
+            native_report.sections, oracle_report.sections,
             "case {case}: section records ({cfg:?})"
         );
 
         // The program state the two tiers computed must be identical too.
-        assert_eq!(fast.globals(), oracle.globals(), "case {case}: globals");
-        assert_eq!(fast.heap().arrays, oracle.heap().arrays, "case {case}: arrays");
+        assert_eq!(native.globals(), oracle.globals(), "case {case}: globals");
+        assert_eq!(native.heap().arrays, oracle.heap().arrays, "case {case}: arrays");
         assert_eq!(
-            fast.heap().objects.len(),
+            native.heap().objects.len(),
             oracle.heap().objects.len(),
             "case {case}: object count"
         );
-        for (a, b) in fast.heap().objects.iter().zip(&oracle.heap().objects) {
+        for (a, b) in native.heap().objects.iter().zip(&oracle.heap().objects) {
             assert_eq!(a.fields, b.fields, "case {case}: object fields");
         }
     }
-}
-
-#[test]
-fn tier_switch_round_trips() {
-    let mut app = build_nbody(ExecTier::Vm);
-    assert_eq!(app.exec_tier(), ExecTier::Vm);
-    app.set_exec_tier(ExecTier::Tree);
-    assert_eq!(app.exec_tier(), ExecTier::Tree);
-    let cfg = RunConfig::fixed(4, "original");
-    let a = run_app_ref(&mut app, &cfg).unwrap();
-    app.set_exec_tier(ExecTier::Vm);
-    let b = run_app_ref(&mut app, &cfg).unwrap();
-    // Switching tiers between runs of the *same* app instance does not
-    // change simulation results (state carries over identically: the
-    // second run re-runs init on the already-populated heap either way).
-    assert_eq!(a.stats, b.stats);
-    assert_eq!(a.sections, b.sections);
 }
