@@ -1,0 +1,142 @@
+// Plasma: particle-in-cell charge deposition onto a shared mesh.
+//
+// Not one of the paper's three benchmarks — a synthetic workload built to
+// exercise the *parameterized* policy family (bounded-K budgets and
+// per-class hybrids) end to end. It has exactly two lock classes with
+// opposite characters:
+//
+// * `cell` (class 0) — shared mesh accumulators: movers land on cells
+//   pseudo-randomly, so cell locks are genuinely contended. The three
+//   deposit methods form a size ladder (tiny `deposit`, larger `absorb`)
+//   plus a recursion-obstructed `relax`, so different bounded-K budgets
+//   synchronize different subsets of them coarsely.
+// * `mover` (class 1) — per-iteration particles: uncontended, with the
+//   same tiny-merge (`note`) and cyclic (`swirl`) structure in miniature.
+//
+// The recursive helpers (`settle`, `wobble`) make `relax`/`swirl` reach a
+// cycle, so every bounded rule refuses to coarsen them while the
+// aggressive rule does — which is exactly what lets per-class hybrid
+// policies (aggressive on one class, bounded on the other) produce code
+// distinct from both classic endpoints.
+
+extern double urand();
+extern int iparam(int);
+extern int ifloor(double);
+
+class cell {
+    double charge;
+    double current;
+    double heat;
+    int hits;
+
+    double settle(double v, int depth) {
+        if (depth == 0) {
+            return v * 0.5;
+        }
+        return this.settle(v * 0.5, depth - 1) + v * 0.25;
+    }
+
+    // Two tiny update groups: merges under even a small bounded-K budget.
+    void deposit(double v) {
+        this.charge += v;
+        double sep = v * 0.0 + 1.0;
+        this.hits += ifloor(sep);
+    }
+
+    // Larger update groups: merges only under a roomier budget.
+    void absorb(double v) {
+        double a = v * 0.25;
+        double b = v * 0.125;
+        this.current += a;
+        this.charge += b;
+        this.heat += a * b;
+        double sep = v * 0.0 + 1.0;
+        this.hits += ifloor(sep);
+        this.current += sep * 0.5;
+        this.heat += sep * 0.25;
+        this.charge += sep * 0.125;
+    }
+
+    // A recursive call between the groups: the region reaches a cycle, so
+    // only the aggressive rule synchronizes it coarsely.
+    void relax(double v) {
+        this.heat += this.settle(v, 3);
+        this.charge += v * 0.5;
+    }
+}
+
+class mover {
+    double path;
+    double drift;
+    int bounces;
+
+    double wobble(double t, int depth) {
+        if (depth == 0) {
+            return t;
+        }
+        return this.wobble(t * 0.9, depth - 1) * 0.5 + t * 0.125;
+    }
+
+    void note(double v) {
+        this.path += v;
+        double sep = v * 0.0 + 1.0;
+        this.bounces += ifloor(sep);
+    }
+
+    void swirl(double v) {
+        this.drift += this.wobble(v, 2);
+        this.path += v * 0.25;
+    }
+}
+
+cell[] mesh;
+mover[] movers;
+int ncells;
+int nmovers;
+int nsteps;
+
+void init() {
+    ncells = iparam(0);
+    nmovers = iparam(1);
+    nsteps = iparam(2);
+    mesh = new cell[ncells];
+    for (int i = 0; i < ncells; i++) {
+        cell c = new cell();
+        c.charge = 0.0;
+        mesh[i] = c;
+    }
+    movers = new mover[nmovers];
+    for (int m = 0; m < nmovers; m++) {
+        mover p = new mover();
+        p.path = 0.0;
+        movers[m] = p;
+    }
+}
+
+void advance() {
+    for (int m = 0; m < nmovers; m++) {
+        mover p = movers[m];
+        for (int s = 0; s < nsteps; s++) {
+            double u = urand();
+            int ix = ifloor(u * ncells);
+            if (ix >= ncells) {
+                ix = ncells - 1;
+            }
+            cell c = mesh[ix];
+            c.deposit(u);
+            c.absorb(u * 0.5);
+            c.relax(u * 0.25);
+            p.note(u);
+            p.swirl(u * 0.5);
+        }
+    }
+}
+
+// Serial fold: decay the accumulated charge back into the field.
+void collect() {
+    for (int i = 0; i < ncells; i++) {
+        cell c = mesh[i];
+        c.charge = c.charge * 0.5;
+        c.heat = c.heat * 0.5;
+    }
+}

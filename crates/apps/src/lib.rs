@@ -13,6 +13,13 @@
 //! * [`string_app()`](string_app()) — seismic inversion between two oil wells (§6.3;
 //!   reconstructed by analogy, the paper text being truncated there).
 //!
+//! Plus one synthetic workload outside the paper's evaluation:
+//!
+//! * [`plasma()`](plasma()) — particle-in-cell deposition with two lock
+//!   classes, built to differentiate the *parameterized* policy family
+//!   (bounded-K budgets, per-class hybrids) for the representative-set
+//!   selection harness.
+//!
 //! Each constructor returns a [`dynfb_compiler::CompiledApp`], which runs
 //! on the simulated multiprocessor via `dynfb_sim::run_app` under any
 //! static policy or under dynamic feedback.
@@ -25,10 +32,12 @@ use std::time::Duration;
 
 pub mod barnes_hut;
 pub mod host;
+pub mod plasma;
 pub mod string_app;
 pub mod water;
 
 pub use barnes_hut::{barnes_hut, BarnesHutConfig};
+pub use plasma::{plasma, plasma_with_policies, PlasmaConfig};
 pub use string_app::{string_app, StringConfig};
 pub use water::{water, WaterConfig};
 

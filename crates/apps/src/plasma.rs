@@ -1,0 +1,172 @@
+//! Plasma: particle-in-cell deposition with two lock classes.
+//!
+//! A synthetic workload (not from the paper) built for the parameterized
+//! policy family: its shared `cell` mesh (lock class 0) and per-particle
+//! `mover` objects (lock class 1) carry a ladder of critical-region sizes
+//! plus per-class recursion obstructions, so bounded-K budgets and
+//! per-class hybrid policies each compile to genuinely distinct code. The
+//! representative-set harness (`dynfb-bench`'s `repset`) measures and
+//! prunes the family on this application.
+
+use crate::host::{standard_host, HostConfig};
+use dynfb_compiler::artifact::{compile, CompileOptions, CompiledApp};
+use dynfb_compiler::syncopt::Policy;
+use dynfb_sim::PlanEntry;
+
+/// The Plasma source program.
+pub const SOURCE: &str = include_str!("../programs/plasma.ol");
+
+/// Number of lock classes in the program (`cell`, `mover`) — the argument
+/// for [`Policy::family`].
+pub const LOCK_CLASSES: usize = 2;
+
+/// Configuration of a Plasma instance.
+#[derive(Debug, Clone)]
+pub struct PlasmaConfig {
+    /// Mesh cells (shared accumulators; lock class 0).
+    pub cells: usize,
+    /// Movers (per-iteration particles; lock class 1).
+    pub movers: usize,
+    /// Deposition steps per mover per advance.
+    pub steps: usize,
+    /// Iterations (each: parallel advance + serial collect).
+    pub iterations: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl Default for PlasmaConfig {
+    fn default() -> Self {
+        PlasmaConfig { cells: 24, movers: 64, steps: 8, iterations: 2, seed: 42 }
+    }
+}
+
+impl PlasmaConfig {
+    /// The execution plan.
+    #[must_use]
+    pub fn plan(&self) -> Vec<PlanEntry> {
+        let mut plan = vec![PlanEntry::serial("init")];
+        for _ in 0..self.iterations {
+            plan.push(PlanEntry::parallel("advance"));
+            plan.push(PlanEntry::serial("collect"));
+        }
+        plan
+    }
+}
+
+/// Compile a Plasma instance multi-versioned over `policies` (the classic
+/// triple with [`plasma`]; pass [`Policy::family`]`(LOCK_CLASSES)` for the
+/// full parameterized family, or a pruned representative subset).
+///
+/// # Panics
+///
+/// Panics if the bundled program fails to compile (a bug, covered by
+/// tests).
+#[must_use]
+pub fn plasma_with_policies(config: &PlasmaConfig, policies: Vec<Policy>) -> CompiledApp {
+    let hir = dynfb_lang::compile_source(SOURCE).unwrap_or_else(|e| panic!("plasma.ol: {e}"));
+    let host = standard_host(&HostConfig {
+        seed: config.seed,
+        iparams: vec![config.cells as i64, config.movers as i64, config.steps as i64],
+        ..HostConfig::default()
+    });
+    let options = CompileOptions::new("plasma", config.plan()).with_policies(policies);
+    compile(hir, options, host).unwrap_or_else(|e| panic!("plasma.ol: {e}"))
+}
+
+/// Compile a Plasma instance with the classic policy triple.
+///
+/// # Panics
+///
+/// Panics if the bundled program fails to compile.
+#[must_use]
+pub fn plasma(config: &PlasmaConfig) -> CompiledApp {
+    plasma_with_policies(config, Policy::ALL.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_fixed;
+    use dynfb_sim::run_app;
+
+    fn small() -> PlasmaConfig {
+        PlasmaConfig { cells: 12, movers: 24, steps: 4, iterations: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn classic_triple_compiles_distinct_versions() {
+        let app = plasma(&small());
+        let s = &app.sections()["advance"];
+        let names: Vec<&str> = s.versions.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["original", "bounded", "aggressive"], "{names:?}");
+    }
+
+    #[test]
+    fn family_produces_many_distinct_versions() {
+        let family = Policy::family(LOCK_CLASSES);
+        assert!(family.len() >= 10, "family of {} policies", family.len());
+        let app = plasma_with_policies(&small(), family);
+        let s = &app.sections()["advance"];
+        // Deduplication by fingerprint may share code between adjacent K
+        // budgets, but the ladder must keep well more versions distinct
+        // than the classic triple.
+        assert!(s.versions.len() >= 5, "only {} distinct versions", s.versions.len());
+        // Per-class hybrids sit strictly between bounded and aggressive:
+        // each must produce code distinct from both endpoints.
+        let find = |policy: &str| {
+            s.versions
+                .iter()
+                .position(|v| v.name.split('+').any(|p| p == policy))
+                .unwrap_or_else(|| panic!("{policy} missing"))
+        };
+        let (b, a) = (find("bounded"), find("aggressive"));
+        for hybrid in ["hybrid1", "hybrid2"] {
+            let h = find(hybrid);
+            assert_ne!(h, b, "{hybrid} deduplicated into bounded");
+            assert_ne!(h, a, "{hybrid} deduplicated into aggressive");
+        }
+    }
+
+    #[test]
+    fn both_lock_classes_are_exercised() {
+        let mut app = plasma(&small());
+        dynfb_sim::run_app_ref(&mut app, &run_fixed(4, "original")).unwrap();
+        assert!(app.lock_pool_base().is_some(), "setup assigns the lock pool");
+        let classes: std::collections::BTreeSet<usize> =
+            app.heap().objects.iter().map(|o| o.class).collect();
+        assert_eq!(classes.len(), LOCK_CLASSES, "lock classes seen: {classes:?}");
+    }
+
+    #[test]
+    fn policies_order_acquire_counts() {
+        let acquires = |policy: &str| {
+            run_app(plasma(&small()), &run_fixed(4, policy)).unwrap().stats.totals().acquires
+        };
+        let (o, b, a) = (acquires("original"), acquires("bounded"), acquires("aggressive"));
+        assert!(o > b, "bounded must merge: {o} vs {b}");
+        assert!(b > a, "aggressive must coarsen past bounded: {b} vs {a}");
+    }
+
+    #[test]
+    fn results_identical_across_family_members() {
+        let charge_sum = |policy: &str| -> f64 {
+            let mut app = plasma_with_policies(&small(), Policy::family(LOCK_CLASSES));
+            dynfb_sim::run_app_ref(&mut app, &run_fixed(4, policy)).unwrap();
+            app.heap()
+                .objects
+                .iter()
+                .filter(|o| o.class == 0)
+                .map(|o| match o.fields[0] {
+                    dynfb_compiler::interp::Value::Double(v) => v,
+                    _ => f64::NAN,
+                })
+                .sum()
+        };
+        let serial = charge_sum("serial");
+        assert!(serial.is_finite());
+        for p in Policy::family(LOCK_CLASSES) {
+            assert_eq!(serial, charge_sum(&p.name()), "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Representative-set selection for the parameterized policy family.
+//!
+//! Measures the full [`Policy::family`] of synchronization policies on the
+//! plasma workload under a matrix of fault scenarios, clusters the
+//! per-version overhead vectors with seeded k-medoids, recompiles with
+//! only the representative subset, and verifies the pruned build's total
+//! dynamic-feedback time stays within the gate factor of the full family.
+//!
+//! Usage: `cargo run --release -p dynfb-bench --bin repset -- \
+//!     [--jobs N] [--quick] [--procs N] [--seed N] [--representatives N]`
+//!
+//! Prints the deterministic report (byte-identical for any `--jobs` value
+//! and across reruns — CI diffs exactly this) and writes `repset.json` and
+//! `selection.txt` to `target/repset/`. Exits nonzero when the pruned
+//! build misses the gate.
+//!
+//! [`Policy::family`]: dynfb_compiler::syncopt::Policy::family
+
+use dynfb_bench::engine::Engine;
+use dynfb_bench::repset::{repset_report_with, RepSetBenchConfig};
+
+const USAGE: &str = "usage: repset [--jobs N] [--quick] [--procs N] [--seed N] \
+[--representatives N]
+
+  --jobs N            parallel worker threads (default: 1; output is
+                      byte-identical for every value)
+  --quick             smaller instance (the test/CI configuration)
+  --procs N           simulated processors (default: 8)
+  --seed N            fault-plan and clustering seed (default: 42)
+  --representatives N representative-set size cap (default: 4)";
+
+fn main() {
+    let mut cfg = RepSetBenchConfig::default();
+    let mut jobs = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs {what}\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        let bad = |v: &str| -> ! {
+            eprintln!("invalid value `{v}` for {flag}\n{USAGE}");
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--jobs" => {
+                let v = value("a count");
+                jobs = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--quick" => cfg = RepSetBenchConfig { app: RepSetBenchConfig::quick().app, ..cfg },
+            "--procs" => {
+                let v = value("a count");
+                cfg.procs = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--seed" => {
+                let v = value("a seed");
+                cfg.seed = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--representatives" => {
+                let v = value("a count");
+                cfg.representatives = v.parse().unwrap_or_else(|_| bad(&v));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = repset_report_with(&cfg, &Engine::new(jobs.max(1)));
+    println!("{}", report.text);
+
+    let dir = std::path::Path::new("target/repset");
+    std::fs::create_dir_all(dir).expect("create target/repset");
+    std::fs::write(dir.join("repset.json"), &report.json).expect("write repset.json");
+    std::fs::write(dir.join("selection.txt"), &report.selection_table)
+        .expect("write selection.txt");
+    println!(
+        "Wrote target/repset/repset.json ({} bytes) and selection.txt ({} bytes)",
+        report.json.len(),
+        report.selection_table.len()
+    );
+
+    if !report.gate_passed {
+        eprintln!("FAIL: pruned build exceeded {:.2}x the full family's total time", {
+            cfg.gate_factor
+        });
+        std::process::exit(1);
+    }
+}

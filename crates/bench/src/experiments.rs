@@ -1057,7 +1057,12 @@ roughly what factor, and where the crossovers fall — not absolute\n\
 DASH-era numbers. Regenerate with\n\
 `cargo run --release -p dynfb-bench --bin experiments`\n\
 (add `--jobs N` to fan runs out over N threads — the output is\n\
-byte-identical for every N).\n";
+byte-identical for every N). Beyond-the-paper harnesses live in\n\
+their own binaries with the same determinism contract: `chaos`\n\
+(fault-scenario regret), `rehab` (quarantine rehabilitation),\n\
+`trace`/`profile` (observability oracles), and `repset`\n\
+(parameterized policy family pruned to a representative subset by\n\
+seeded k-medoids; selection table + JSON in `target/repset/`).\n";
 
 /// Render the Markdown report for the selected experiments. Pure function
 /// of the (deterministic) store contents.

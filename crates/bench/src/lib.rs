@@ -13,4 +13,5 @@ pub mod experiments;
 pub mod profile;
 pub mod rehab;
 pub mod report;
+pub mod repset;
 pub mod trace;

@@ -1,0 +1,72 @@
+//! Representative-set harness contracts: the report (text + JSON) is
+//! byte-identical for every engine worker count and rerun-stable for a
+//! fixed seed, the selection table matches its golden copy, and the
+//! pruning meets the acceptance bar (≤4 representatives from a family of
+//! ≥10 policies, pruned build within the gate factor of the full family).
+
+use dynfb_bench::engine::Engine;
+use dynfb_bench::repset::{repset_report, repset_report_with, RepSetBenchConfig};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden copy; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn report_is_byte_identical_across_worker_counts_and_reruns() {
+    let cfg = RepSetBenchConfig::quick();
+    let serial = repset_report(&cfg);
+    for jobs in [2, 4] {
+        let parallel = repset_report_with(&cfg, &Engine::new(jobs));
+        assert_eq!(serial.text, parallel.text, "report text diverged at {jobs} workers");
+        assert_eq!(serial.json, parallel.json, "JSON diverged at {jobs} workers");
+        assert_eq!(serial.selection, parallel.selection, "selection diverged at {jobs} workers");
+    }
+    // Rerun-stability: the same seed reproduces the selection bit for bit.
+    let rerun = repset_report(&cfg);
+    assert_eq!(serial.text, rerun.text);
+    assert_eq!(serial.json, rerun.json);
+    assert!(
+        serial.selection.total_distance.to_bits() == rerun.selection.total_distance.to_bits(),
+        "clustering distance not bitwise stable"
+    );
+}
+
+#[test]
+fn selection_table_matches_golden() {
+    let report = repset_report(&RepSetBenchConfig::quick());
+    check_golden("repset_selection.golden", &report.selection_table);
+}
+
+#[test]
+fn pruning_meets_the_acceptance_bar() {
+    let cfg = RepSetBenchConfig::quick();
+    let report = repset_report(&cfg);
+    assert!(cfg.family().len() >= 10, "family has only {} policies", cfg.family().len());
+    assert!(
+        report.selection.medoids.len() <= 4,
+        "selected {} representatives",
+        report.selection.medoids.len()
+    );
+    assert!(report.gate_passed, "pruned build missed the gate:\n{}", report.text);
+}

@@ -52,6 +52,11 @@ pub struct CompileOptions {
     pub cost: CostModel,
     /// Evaluation fuel per serial section / loop iteration.
     pub fuel: u64,
+    /// The policy family to multi-version, in sampling order (duplicates
+    /// are dropped, structural duplicates share a version). Defaults to
+    /// the paper's classic triple; a representative subset selected by
+    /// `dynfb_core::repset` can be passed instead.
+    pub policies: Vec<Policy>,
 }
 
 impl CompileOptions {
@@ -64,7 +69,15 @@ impl CompileOptions {
             max_objects: 1 << 16,
             cost: CostModel::default(),
             fuel: 1 << 32,
+            policies: Policy::ALL.to_vec(),
         }
+    }
+
+    /// Builder-style: replace the policy family to multi-version.
+    #[must_use]
+    pub fn with_policies(mut self, policies: Vec<Policy>) -> Self {
+        self.policies = policies;
+        self
     }
 }
 
@@ -85,6 +98,8 @@ pub enum CompileError {
     },
     /// An `extern` has no registered host implementation.
     MissingHostFn(String),
+    /// The compile options named no policies to multi-version.
+    NoPolicies,
 }
 
 impl fmt::Display for CompileError {
@@ -101,6 +116,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::MissingHostFn(name) => {
                 write!(f, "extern `{name}` has no host implementation")
+            }
+            CompileError::NoPolicies => {
+                write!(f, "compile options must name at least one policy")
             }
         }
     }
@@ -136,11 +154,20 @@ pub struct RegionInfo {
 }
 
 /// Collect per-class region provenance from a statement list (one entry per
-/// lock class, sources unioned in first-appearance order).
-fn collect_regions(stmts: &[Stmt], classes: &[dynfb_lang::hir::Class], out: &mut Vec<RegionInfo>) {
+/// lock class, sources unioned in first-appearance order). Returns the
+/// number of critical statements visited, which `compile` asserts against
+/// [`syncopt::count_regions`] — the two walkers must agree on what a
+/// region is, or per-region metrics would silently mis-attribute.
+fn collect_regions(
+    stmts: &[Stmt],
+    classes: &[dynfb_lang::hir::Class],
+    out: &mut Vec<RegionInfo>,
+) -> usize {
+    let mut visited = 0;
     for s in stmts {
         match s {
             Stmt::Critical { lock_obj, body, regions } => {
+                visited += 1;
                 if let Ty::Object(cid) = lock_obj.ty {
                     let class = &classes[cid.0].name;
                     let entry = match out.iter_mut().find(|r| &r.class == class) {
@@ -156,18 +183,19 @@ fn collect_regions(stmts: &[Stmt], classes: &[dynfb_lang::hir::Class], out: &mut
                         }
                     }
                 }
-                collect_regions(body, classes, out);
+                visited += collect_regions(body, classes, out);
             }
             Stmt::If { then_branch, else_branch, .. } => {
-                collect_regions(then_branch, classes, out);
-                collect_regions(else_branch, classes, out);
+                visited += collect_regions(then_branch, classes, out);
+                visited += collect_regions(else_branch, classes, out);
             }
             Stmt::While { body, .. } | Stmt::CountedFor { body, .. } => {
-                collect_regions(body, classes, out);
+                visited += collect_regions(body, classes, out);
             }
             _ => {}
         }
     }
+    visited
 }
 
 /// One generated code version of a parallel section.
@@ -386,10 +414,20 @@ pub fn compile(
         }
     }
 
-    // Policy builds.
+    // Policy builds: one optimized function set per distinct policy, in
+    // the order the options list them (sampling order).
+    let mut policies: Vec<Policy> = Vec::new();
+    for p in &options.policies {
+        if !policies.contains(p) {
+            policies.push(*p);
+        }
+    }
+    if policies.is_empty() {
+        return Err(CompileError::NoPolicies);
+    }
     let section_fn_idxs: Vec<usize> = parallel_sections.iter().map(|(_, f)| *f).collect();
     let mut policy_sets: Vec<(Policy, FnSet)> = Vec::new();
-    for policy in Policy::ALL {
+    for &policy in &policies {
         let mut set = FnSet::new(locked.clone());
         optimize(&mut set, policy, &section_fn_idxs);
         policy_sets.push((policy, set));
@@ -424,17 +462,28 @@ pub fn compile(
             // loop body, grouped by lock class. `reachable_functions` is
             // index-sorted, so collection order is deterministic.
             let mut regions = Vec::new();
-            collect_regions(&vc.body, &hir.classes, &mut regions);
+            let mut visited = collect_regions(&vc.body, &hir.classes, &mut regions);
+            let mut counted = crate::syncopt::count_regions(&vc.body);
             for (_, f) in vc.reachable_functions() {
-                collect_regions(&f.body, &hir.classes, &mut regions);
+                visited += collect_regions(&f.body, &hir.classes, &mut regions);
+                counted += crate::syncopt::count_regions(&f.body);
             }
+            // The provenance walker and `syncopt::count_regions` traverse
+            // independently; if a new statement form reaches only one of
+            // them, per-region metrics would silently drop regions.
+            assert_eq!(
+                visited, counted,
+                "region provenance walker disagrees with count_regions \
+                 (section `{}`): {visited} visited vs {counted} counted",
+                f.name
+            );
             vc.regions = regions;
             vc
         };
         let mut versions: Vec<VersionCode> = Vec::new();
         for (policy, set) in &policy_sets {
             let mut vc = extract(&set.functions);
-            vc.name = policy.name().to_string();
+            vc.name = policy.name();
             let fp = vc.fingerprint();
             if let Some(existing) = versions.iter_mut().find(|v| v.fingerprint() == fp) {
                 existing.name = format!("{}+{}", existing.name, policy.name());
@@ -585,7 +634,25 @@ impl CompiledApp {
         interp.call(func.0, None, vec![]).unwrap_or_else(|e| panic!("`{name}` failed: {e}"));
     }
 
-    /// The Table 1 code-size report for this application.
+    /// Per-section, per-version code sizes `(section, version, bytes)`,
+    /// sections in name order — the code-size axis for arbitrary policy
+    /// families (the classic-triple view is [`code_sizes`](Self::code_sizes)).
+    #[must_use]
+    pub fn version_code_sizes(&self) -> Vec<(String, String, usize)> {
+        let mut names: Vec<&String> = self.sections.keys().collect();
+        names.sort();
+        let mut out = Vec::new();
+        for name in names {
+            let s = &self.sections[name];
+            for v in &s.versions {
+                out.push((s.name.clone(), v.name.clone(), v.size_bytes()));
+            }
+        }
+        out
+    }
+
+    /// The Table 1 code-size report for this application. Requires a build
+    /// whose policy family includes the classic triple (the default).
     #[must_use]
     pub fn code_sizes(&self) -> CodeSizeReport {
         let serial: usize =

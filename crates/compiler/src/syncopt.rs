@@ -17,7 +17,8 @@
 //!   automatically generated *unsynchronized clone* of the method (and,
 //!   transitively, of its callees).
 //!
-//! The three *policies* differ in when the transformations apply:
+//! The *policies* differ in when the transformations apply. The paper's
+//! fixed triple:
 //!
 //! * [`Policy::Original`] — never; keep the default placement.
 //! * [`Policy::Bounded`] — only if the new critical region contains no
@@ -25,35 +26,86 @@
 //!   hence the severity of any false exclusion).
 //! * [`Policy::Aggressive`] — always.
 //!
+//! plus a parameterized family interpolating between them:
+//!
+//! * [`Policy::BoundedK`] — the Bounded rule *and* a static size budget:
+//!   the candidate region (its statements plus every function reachable
+//!   from them) must be at most `k` HIR nodes. Small `k` stops the merge
+//!   cascade early; `k = ∞` degenerates to Bounded.
+//! * [`Policy::Hybrid`] — a per-lock-class mix: classes whose bit is set
+//!   in the mask get the Aggressive rule, every other class the Bounded
+//!   rule. The lock class of a candidate region is the static class of its
+//!   lock object, the same provenance `Stmt::Critical.regions` carries to
+//!   the profile layer.
+//!
 //! By construction the transformations never nest critical regions, so the
 //! generated code cannot deadlock on object locks.
 
-use dynfb_lang::hir::{Expr, ExprKind, Function, Stmt};
+use dynfb_lang::hir::{body_size, Expr, ExprKind, Function, Stmt, Ty};
 use std::collections::HashMap;
 
 /// A synchronization optimization policy.
+///
+/// Variant order is least → most aggressive, and the derived `Ord` agrees
+/// (`BoundedK` sorts by `k`, `Hybrid` by mask — more aggressive classes
+/// compare greater for the masks the generated family uses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Policy {
     /// Never apply the transformations (default lock placement).
     Original,
+    /// Apply only when the new region contains no call-graph cycles *and*
+    /// is at most `k` HIR nodes (statements plus reachable callees).
+    BoundedK(u32),
     /// Apply only when the new region contains no call-graph cycles.
     Bounded,
+    /// Per-lock-class mix: Aggressive for classes in the mask, Bounded
+    /// otherwise.
+    Hybrid {
+        /// Bit `c` set ⇒ lock class `c` (by `ClassId` index) uses the
+        /// Aggressive rule. Classes beyond bit 63 fall back to Bounded.
+        aggressive_classes: u64,
+    },
     /// Always apply.
     Aggressive,
 }
 
 impl Policy {
-    /// All policies, least to most aggressive.
+    /// The paper's classic triple, least to most aggressive.
     pub const ALL: [Policy; 3] = [Policy::Original, Policy::Bounded, Policy::Aggressive];
 
     /// Lower-case policy name (matches the runtime's policy strings).
+    /// Classic names are unchanged; the family adds `bounded{k}` and
+    /// `hybrid{mask}`.
     #[must_use]
-    pub fn name(self) -> &'static str {
+    pub fn name(self) -> String {
         match self {
-            Policy::Original => "original",
-            Policy::Bounded => "bounded",
-            Policy::Aggressive => "aggressive",
+            Policy::Original => "original".to_string(),
+            Policy::Bounded => "bounded".to_string(),
+            Policy::Aggressive => "aggressive".to_string(),
+            Policy::BoundedK(k) => format!("bounded{k}"),
+            Policy::Hybrid { aggressive_classes } => format!("hybrid{aggressive_classes}"),
         }
+    }
+
+    /// The standard parameterized family for a program with `num_classes`
+    /// lock classes: the classic triple, six size budgets, and every
+    /// non-degenerate per-class hybrid (mask 0 ≡ Bounded and the full mask
+    /// ≡ Aggressive are omitted; hybrids are only generated for 2–6
+    /// classes to keep the family bounded). Ordered least → most
+    /// aggressive, with Original first — the runtime treats policy 0 as
+    /// the safe fallback.
+    #[must_use]
+    pub fn family(num_classes: usize) -> Vec<Policy> {
+        let mut out = vec![Policy::Original];
+        out.extend([4u32, 8, 16, 32, 64, 128].map(Policy::BoundedK));
+        out.push(Policy::Bounded);
+        if (2..=6).contains(&num_classes) {
+            for mask in 1..(1u64 << num_classes) - 1 {
+                out.push(Policy::Hybrid { aggressive_classes: mask });
+            }
+        }
+        out.push(Policy::Aggressive);
+        out
     }
 }
 
@@ -280,18 +332,72 @@ fn absorbable(s: &Stmt, synced: &[bool]) -> bool {
     }
 }
 
-/// Is forming a region over these statements acceptable under the policy?
-/// (Bounded: the region must contain no call-graph cycles.)
-fn region_ok(policy: Policy, stmts: &[Stmt], facts: &Facts) -> bool {
+/// Static lock class of a lock-object expression (its declared object
+/// type), the key the [`Policy::Hybrid`] mask is indexed by.
+fn lock_class(lock: &Expr) -> Option<usize> {
+    match lock.ty {
+        Ty::Object(cid) => Some(cid.0),
+        _ => None,
+    }
+}
+
+/// Static size proxy (HIR nodes) for the dynamic extent of a candidate
+/// region: the statements themselves plus every function transitively
+/// reachable from them — what [`Policy::BoundedK`]'s budget is checked
+/// against.
+fn region_size(stmts: &[Stmt], funcs: &[Function]) -> usize {
+    let mut total = body_size(stmts);
+    let mut calls = Vec::new();
+    crate::callgraph::collect_calls_stmts(stmts, &mut calls);
+    let mut seen = vec![false; funcs.len()];
+    let mut stack: Vec<usize> = calls.iter().map(|f| f.0).collect();
+    while let Some(f) = stack.pop() {
+        if f >= funcs.len() || seen[f] {
+            continue;
+        }
+        seen[f] = true;
+        total += body_size(&funcs[f].body);
+        let mut inner = Vec::new();
+        crate::callgraph::collect_calls_stmts(&funcs[f].body, &mut inner);
+        stack.extend(inner.iter().map(|c| c.0));
+    }
+    total
+}
+
+/// The policy decision on a candidate region, given the facts that matter:
+/// its lock class, whether it is free of call-graph cycles, and its static
+/// size (computed lazily — only [`Policy::BoundedK`] reads it).
+fn policy_allows(
+    policy: Policy,
+    class: Option<usize>,
+    no_cycles: bool,
+    size: impl FnOnce() -> usize,
+) -> bool {
     match policy {
         Policy::Original => false,
         Policy::Aggressive => true,
-        Policy::Bounded => {
-            let mut calls = Vec::new();
-            crate::callgraph::collect_calls_stmts(stmts, &mut calls);
-            calls.iter().all(|f| !facts.reaches_cycle.get(f.0).copied().unwrap_or(true))
-        }
+        Policy::Bounded => no_cycles,
+        Policy::BoundedK(k) => no_cycles && size() <= k as usize,
+        Policy::Hybrid { aggressive_classes } => match class {
+            Some(c) if c < 64 && aggressive_classes >> c & 1 == 1 => true,
+            _ => no_cycles,
+        },
     }
+}
+
+/// Is forming a region over these statements, locking an object of
+/// `class`, acceptable under the policy?
+fn region_ok(
+    policy: Policy,
+    class: Option<usize>,
+    stmts: &[Stmt],
+    facts: &Facts,
+    funcs: &[Function],
+) -> bool {
+    let mut calls = Vec::new();
+    crate::callgraph::collect_calls_stmts(stmts, &mut calls);
+    let no_cycles = calls.iter().all(|f| !facts.reaches_cycle.get(f.0).copied().unwrap_or(true));
+    policy_allows(policy, class, no_cycles, || region_size(stmts, funcs))
 }
 
 /// Locals referenced by an expression.
@@ -445,8 +551,16 @@ impl<'a> Rewriter<'a> {
         if !lock_stable(obj, &[]) {
             return s; // receiver expression must be evaluable twice
         }
-        if self.policy == Policy::Bounded && self.facts.reaches_cycle[fi] {
-            return s; // region would contain a call-graph cycle
+        // The lifted region dynamically contains the callee (via its
+        // unsynchronized clone), so the cycle fact and size proxy come
+        // from the original call statement — callee and transitives
+        // included.
+        let no_cycles = !self.facts.reaches_cycle[fi];
+        let allowed = policy_allows(self.policy, lock_class(obj), no_cycles, || {
+            region_size(std::slice::from_ref(&s), &self.set.functions)
+        });
+        if !allowed {
+            return s;
         }
         // The lifted region absorbs every source region reachable from the
         // callee (its synchronization moves, stripped, to this call site).
@@ -547,7 +661,7 @@ impl<'a> Rewriter<'a> {
             _ => unreachable!(),
         };
         let region = vec![hoisted_loop];
-        if !region_ok(self.policy, &region, self.facts) {
+        if !region_ok(self.policy, lock_class(&lock), &region, self.facts, &self.set.functions) {
             return s;
         }
         self.changed = true;
@@ -582,7 +696,14 @@ impl<'a> Rewriter<'a> {
                     c.extend(body.iter().cloned());
                     c
                 };
-                if region_ok(self.policy, &candidate, self.facts) {
+                let candidate_ok = region_ok(
+                    self.policy,
+                    lock_class(&lock_obj),
+                    &candidate,
+                    self.facts,
+                    &self.set.functions,
+                );
+                if candidate_ok {
                     let Stmt::Critical { lock_obj: l0, regions: mut merged, .. } =
                         out[k - 1].clone()
                     else {
@@ -876,6 +997,114 @@ mod tests {
         let (_h2, mut free) = prepared(src);
         optimize(&mut free, Policy::Aggressive, &[]);
         assert!(matches!(free.functions[work.0].body[0], Stmt::Critical { .. }));
+    }
+
+    #[test]
+    fn family_is_large_ordered_and_uniquely_named() {
+        let family = Policy::family(2);
+        assert!(family.len() >= 10, "family of {} policies", family.len());
+        assert_eq!(family[0], Policy::Original, "policy 0 must be the safe fallback");
+        assert_eq!(*family.last().unwrap(), Policy::Aggressive);
+        for p in Policy::ALL {
+            assert!(family.contains(&p), "classic {p:?} missing");
+        }
+        let mut names: Vec<String> = family.iter().map(|p| p.name()).collect();
+        let mut sorted = family.clone();
+        sorted.sort();
+        assert_eq!(sorted, family, "family must be ordered least to most aggressive");
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), family.len(), "policy names must be unique");
+        // No hybrids without at least two classes; bounded at ≥ 10 total.
+        assert!(Policy::family(1).len() >= 8);
+        assert!(Policy::family(3).len() > Policy::family(2).len());
+    }
+
+    #[test]
+    fn bounded_k_region_counts_are_monotone_in_k() {
+        // Four acyclic update regions separated by extern calls: Bounded
+        // merges them all, tiny budgets stop the cascade earlier, and
+        // region counts never increase as K grows.
+        let src = "
+            extern double f(double);
+            class c { double a; double b; double p; double q;
+                void m(double v) {
+                    this.a += v;
+                    double t = f(this.p);
+                    this.b += t;
+                    double u = f(t);
+                    this.p += u;
+                    double w = f(u);
+                    this.q += w;
+                } }";
+        let (hir, base) = prepared(src);
+        let m = hir.method_named(dynfb_lang::hir::ClassId(0), "m").unwrap();
+        assert_eq!(count_regions(&base.functions[m.0].body), 4);
+        let count_for = |policy: Policy| -> usize {
+            let (_, mut set) = prepared(src);
+            optimize(&mut set, policy, &[]);
+            count_regions(&set.functions[m.0].body)
+        };
+        let ks = [4u32, 8, 16, 32, 64, 128];
+        let counts: Vec<usize> = ks.iter().map(|&k| count_for(Policy::BoundedK(k))).collect();
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0], "region count must not grow with K: {counts:?}");
+        }
+        assert_eq!(counts[0], 4, "K=4 is below any merged region's size");
+        assert_eq!(*counts.last().unwrap(), count_for(Policy::Bounded), "large K ≡ Bounded");
+        assert_eq!(count_for(Policy::Bounded), 1);
+        // At least one intermediate K must genuinely sit between the
+        // extremes, or the family adds nothing.
+        assert!(counts.iter().any(|&c| c > 1 && c < 4), "{counts:?}");
+    }
+
+    /// Two lock classes with a cycle-bearing merge candidate each: `acc`
+    /// (bit 0) and `mol` (bit 1). Bounded refuses both, Aggressive takes
+    /// both, hybrids split by class.
+    const TWO_CLASSES: &str = "
+        extern double term(double);
+        class acc { double total; double aux;
+            double spin(double x, int d) {
+                if (d == 0) { return term(x); }
+                return this.spin(x * 0.5, d - 1);
+            }
+            void add(double v) {
+                this.total += v;
+                double t = this.spin(v, 2);
+                this.aux += t;
+            } }
+        class mol { double a; double b;
+            double chain(double x, int d) {
+                if (d == 0) { return term(x); }
+                return term(x) + this.chain(x * 0.5, d - 1);
+            }
+            void relax(double v) {
+                this.a += v;
+                double t = this.chain(v, 3);
+                this.b += t;
+            } }";
+
+    #[test]
+    fn hybrid_applies_aggressive_rule_per_lock_class() {
+        let (hir, _) = prepared(TWO_CLASSES);
+        let acc_add = hir.method_named(hir.class_named("acc").unwrap(), "add").unwrap();
+        let mol_relax = hir.method_named(hir.class_named("mol").unwrap(), "relax").unwrap();
+        let counts = |policy: Policy| -> (usize, usize) {
+            let (_, mut set) = prepared(TWO_CLASSES);
+            optimize(&mut set, policy, &[]);
+            (
+                count_regions(&set.functions[acc_add.0].body),
+                count_regions(&set.functions[mol_relax.0].body),
+            )
+        };
+        // The recursive call between the two update regions blocks the
+        // Bounded merge in both classes; Aggressive merges both.
+        assert_eq!(counts(Policy::Bounded), (2, 2));
+        assert_eq!(counts(Policy::Aggressive), (1, 1));
+        // acc is ClassId 0, mol is ClassId 1 (declaration order).
+        assert_eq!(counts(Policy::Hybrid { aggressive_classes: 0b01 }), (1, 2));
+        assert_eq!(counts(Policy::Hybrid { aggressive_classes: 0b10 }), (2, 1));
+        assert_eq!(counts(Policy::Hybrid { aggressive_classes: 0b11 }), (1, 1));
     }
 
     #[test]

@@ -244,3 +244,70 @@ fn versions_carry_region_provenance_to_lock_labels() {
     let serial_labels = app.lock_region_labels("forces", serial_idx);
     assert!(serial_labels.iter().all(|l| l == "body"), "{serial_labels:?}");
 }
+
+#[test]
+fn region_counts_agree_with_distinct_lock_labels() {
+    // `compile` asserts internally that the provenance walker and
+    // `syncopt::count_regions` visit the same statements; this test pins
+    // the same contract on the public surface, across the whole policy
+    // family: the critical-statement count, the provenance tags, and the
+    // per-object labels must tell one consistent story per version.
+    use dynfb_compiler::syncopt::{count_regions, Policy};
+    let hir = dynfb_lang::compile_source(NBODY_SRC).expect("front end");
+    let plan = vec![PlanEntry::serial("init"), PlanEntry::parallel("forces")];
+    let mut options = CompileOptions::new("nbody", plan).with_policies(Policy::family(1));
+    options.max_objects = 64;
+    let app = compile(hir, options, host()).expect("compiles");
+
+    let forces = &app.sections()["forces"];
+    assert!(forces.versions.len() >= 3, "family should split into several versions");
+    let per_version: Vec<(String, usize, usize)> = forces
+        .versions
+        .iter()
+        .map(|v| {
+            let mut counted = count_regions(&v.body);
+            for (_, f) in v.reachable_functions() {
+                counted += count_regions(&f.body);
+            }
+            let tags: usize = v.regions.iter().map(|r| r.sources.len()).sum();
+            (v.name.clone(), counted, tags)
+        })
+        .collect();
+    for (name, counted, tags) in &per_version {
+        if name.split('+').any(|p| p == "original") {
+            // Untransformed code: every critical statement carries exactly
+            // one distinct source tag, so the walkers agree exactly.
+            assert_eq!(counted, tags, "version `{name}`");
+        }
+        // Coalescing merges critical statements but never drops their
+        // tags; removal drops statement and tags together. So the tag
+        // count bounds the statement count, and they hit zero together.
+        assert!(counted <= tags, "version `{name}`: {counted} regions > {tags} tags");
+        assert_eq!(*counted == 0, *tags == 0, "version `{name}`");
+    }
+
+    // After a run, the per-object labels must reproduce each version's
+    // provenance verbatim: one distinct `class:tags` label per class with
+    // regions, with the tag list equal to that class's recorded sources.
+    let app = run_and_return(app, &RunConfig::fixed(2, "original"));
+    let forces = &app.sections()["forces"];
+    for (vi, v) in forces.versions.iter().enumerate() {
+        let labels = app.lock_region_labels("forces", vi);
+        let distinct: std::collections::BTreeSet<&String> = labels.iter().collect();
+        let labelled_classes = v.regions.iter().filter(|r| !r.sources.is_empty()).count();
+        assert_eq!(
+            distinct.iter().filter(|l| l.contains(':')).count(),
+            labelled_classes,
+            "version `{}`: labels {distinct:?} vs regions {:?}",
+            v.name,
+            v.regions
+        );
+        for label in &distinct {
+            let Some((class, tags)) = label.split_once(':') else { continue };
+            let info = v.regions.iter().find(|r| r.class == class).unwrap_or_else(|| {
+                panic!("label `{label}` names class `{class}` with no provenance")
+            });
+            assert_eq!(tags, info.sources.join("+"), "version `{}`", v.name);
+        }
+    }
+}

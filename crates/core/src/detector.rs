@@ -157,8 +157,16 @@ impl Detector {
     /// waiting proportion the sampling phase measured for the policy now
     /// entering production. With `None` (nothing usable was measured) the
     /// first production observation anchors the chart instead.
+    ///
+    /// The reference is sanitized the same way [`Detector::observe`]
+    /// sanitizes observations: non-finite values (possible when a winner's
+    /// measurement slice saw zero elapsed time) are dropped so the first
+    /// observation re-anchors, and finite values are clamped to `[0, 1]`.
+    /// Without the clamp an out-of-range baseline would sit permanently
+    /// outside the clamped observation range and latch a spurious alarm
+    /// until the next re-arm.
     pub fn arm(&mut self, reference: Option<f64>) {
-        self.baseline = reference.filter(|r| r.is_finite());
+        self.baseline = reference.filter(|r| r.is_finite()).map(|r| r.clamp(0.0, 1.0));
         self.pos = 0.0;
         self.neg = 0.0;
         self.level = self.baseline;
@@ -327,6 +335,29 @@ mod tests {
         assert!(d.snapshot().baseline.is_nan(), "non-finite reference is dropped");
         d.observe(0.3);
         assert_eq!(d.snapshot().baseline, 0.3, "first observation re-anchors");
+    }
+
+    #[test]
+    fn arm_clamps_out_of_range_references() {
+        // A finite reference outside [0, 1] (e.g. a wild overhead estimate
+        // from a near-zero measurement slice) is clamped, not trusted: the
+        // chart must settle on an in-range constant signal rather than
+        // integrate the impossible gap forever.
+        let mut d = Detector::new(DetectorConfig::Cusum { drift: 0.05, threshold: 0.2 });
+        d.arm(Some(1e9));
+        assert_eq!(d.snapshot().baseline, 1.0);
+        d.arm(Some(-4.0));
+        assert_eq!(d.snapshot().baseline, 0.0);
+        for _ in 0..50 {
+            assert!(!d.observe(0.0), "clamped reference matches the signal");
+        }
+        // EWMA: the clamped baseline bounds the score by the true gap.
+        let mut e = Detector::new(DetectorConfig::Ewma { alpha: 0.5, band: 0.1 });
+        e.arm(Some(f64::MAX));
+        for _ in 0..100 {
+            e.observe(0.95);
+        }
+        assert!(e.snapshot().score <= 0.05 + 1e-12, "{:?}", e.snapshot());
     }
 
     #[test]

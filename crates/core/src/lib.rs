@@ -39,6 +39,11 @@
 //!   [`trace::TraceSink`] event API emitted by both drivers, a zero-cost
 //!   [`trace::NullSink`], a bounded [`trace::RingBuffer`] collector, and a
 //!   Chrome trace-event / Perfetto JSON exporter.
+//! * [`repset`] — offline representative-set selection for parameterized
+//!   policy families: deterministic seeded k-medoids over per-policy
+//!   measured-overhead vectors, plus a pruning report through the §5
+//!   sampling-cost model (sampling cost is linear in the version count,
+//!   so pruning 12 → 4 versions cuts sampling overhead 3x).
 //! * [`metrics`] — per-lock profiling: a [`metrics::MetricsSink`] API
 //!   emitted by both drivers (zero-cost [`metrics::NoMetrics`] when
 //!   disabled), an accumulating [`metrics::MetricsRegistry`] with log2
@@ -80,6 +85,7 @@ pub mod detector;
 pub mod metrics;
 pub mod overhead;
 pub mod realtime;
+pub mod repset;
 pub mod rng;
 pub mod theory;
 pub mod trace;

@@ -1,0 +1,382 @@
+//! Offline representative-set selection for policy families.
+//!
+//! The paper multi-versions three policies; a parameterized family
+//! (bounded-K budgets, per-class hybrids) widens the search space but
+//! makes sampling every member prohibitive: the sampling phase costs
+//! `S·N` per cycle ([`Analysis::sampling_total`]), linear in the number
+//! of versions, and code size grows the same way. The fix, following
+//! "Finding representative sets of optimizations for adaptive
+//! multiversioning applications", is offline pruning: measure each
+//! policy's overhead under a matrix of environments, cluster the
+//! resulting vectors, and multi-version only one representative per
+//! cluster — policies that behave alike under every probed environment
+//! are interchangeable at runtime.
+//!
+//! [`select_representatives`] implements the clustering as seeded
+//! k-medoids (PAM-style alternation) on the in-repo [`SplitMix64`] PRNG:
+//!
+//! * the first medoid is drawn from the seeded generator, the rest by
+//!   farthest-point traversal (deterministic, lowest-index tie-breaks);
+//! * assignment and medoid-update steps alternate to a fixpoint (or
+//!   [`RepSetConfig::max_rounds`]);
+//! * every floating-point reduction runs in a fixed order, so for a fixed
+//!   seed the selection is **byte-deterministic** — rerun-stable and
+//!   independent of how the caller parallelized the measurements.
+//!
+//! [`pruning_report`] quantifies what the pruning buys through the §5
+//! model: sampling cost `S·N` before and after, and the shift in the
+//! optimal production interval `P_opt` (Equation 9).
+
+use crate::rng::SplitMix64;
+use crate::theory::{Analysis, TheoryError};
+use std::fmt;
+
+/// Fork label decoupling the medoid-initialization stream from any other
+/// consumer of the same master seed ("REPSET" in ASCII).
+const REPSET_STREAM: u64 = 0x5245_5053_4554;
+
+/// One policy's measured overhead vector: one cell per probed
+/// environment dimension (e.g. scenario × lock class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyVector {
+    /// Policy (or deduplicated version) name.
+    pub name: String,
+    /// Measured overhead cells, all vectors in the same cell order.
+    pub cells: Vec<f64>,
+}
+
+/// Errors from [`select_representatives`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepSetError {
+    /// No vectors were supplied.
+    Empty,
+    /// A vector's dimension differs from the first vector's.
+    DimensionMismatch {
+        /// The offending vector's name.
+        name: String,
+        /// Dimension of the first vector.
+        expected: usize,
+        /// Dimension of the offending vector.
+        got: usize,
+    },
+    /// `representatives` was zero.
+    ZeroRepresentatives,
+}
+
+impl fmt::Display for RepSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepSetError::Empty => write!(f, "no policy vectors to cluster"),
+            RepSetError::DimensionMismatch { name, expected, got } => {
+                write!(f, "vector `{name}` has {got} cells, expected {expected}")
+            }
+            RepSetError::ZeroRepresentatives => {
+                write!(f, "must select at least one representative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepSetError {}
+
+/// Selection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepSetConfig {
+    /// Upper bound on the representative-set size (clamped to the number
+    /// of vectors).
+    pub representatives: usize,
+    /// PRNG seed for medoid initialization.
+    pub seed: u64,
+    /// Upper bound on assignment/update rounds (the alternation almost
+    /// always fixpoints far earlier).
+    pub max_rounds: usize,
+}
+
+impl Default for RepSetConfig {
+    fn default() -> Self {
+        RepSetConfig { representatives: 4, seed: 42, max_rounds: 64 }
+    }
+}
+
+/// The clustering outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Indices (into the input) of the chosen representatives, ascending.
+    pub medoids: Vec<usize>,
+    /// For each input vector, the position in [`medoids`](Self::medoids)
+    /// of its cluster's representative.
+    pub assignment: Vec<usize>,
+    /// Sum of distances from every vector to its representative.
+    pub total_distance: f64,
+    /// Alternation rounds until the fixpoint (or the round cap).
+    pub rounds: usize,
+}
+
+/// Euclidean distance between two equal-length cell vectors.
+#[must_use]
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Cluster `vectors` into at most `cfg.representatives` groups and return
+/// the medoid of each — the representative subset to multi-version.
+///
+/// Deterministic: a fixed `(vectors, cfg)` input produces a bitwise
+/// identical [`Selection`] on every run.
+///
+/// # Errors
+///
+/// Returns a [`RepSetError`] when the input is empty, dimensions are
+/// inconsistent, or `cfg.representatives` is zero.
+pub fn select_representatives(
+    vectors: &[PolicyVector],
+    cfg: &RepSetConfig,
+) -> Result<Selection, RepSetError> {
+    let n = vectors.len();
+    if n == 0 {
+        return Err(RepSetError::Empty);
+    }
+    if cfg.representatives == 0 {
+        return Err(RepSetError::ZeroRepresentatives);
+    }
+    let dim = vectors[0].cells.len();
+    for v in vectors {
+        if v.cells.len() != dim {
+            return Err(RepSetError::DimensionMismatch {
+                name: v.name.clone(),
+                expected: dim,
+                got: v.cells.len(),
+            });
+        }
+    }
+    let k = cfg.representatives.min(n);
+    let d = |i: usize, j: usize| distance(&vectors[i].cells, &vectors[j].cells);
+
+    // Initialization: seeded first medoid, then farthest-point. Ties break
+    // to the lowest index, so the only nondeterminism source is the seed.
+    let mut rng = SplitMix64::new(cfg.seed).fork(REPSET_STREAM);
+    let mut medoids: Vec<usize> = vec![rng.gen_index(n)];
+    while medoids.len() < k {
+        let mut best = None::<(f64, usize)>;
+        for i in 0..n {
+            if medoids.contains(&i) {
+                continue;
+            }
+            let nearest = medoids.iter().map(|&m| d(i, m)).fold(f64::INFINITY, f64::min);
+            if best.is_none_or(|(b, _)| nearest > b) {
+                best = Some((nearest, i));
+            }
+        }
+        match best {
+            Some((_, i)) => medoids.push(i),
+            None => break, // fewer distinct points than k
+        }
+    }
+
+    // PAM-style alternation to a fixpoint.
+    let assign = |medoids: &[usize]| -> Vec<usize> {
+        (0..n)
+            .map(|i| {
+                let mut best = (f64::INFINITY, 0usize);
+                for (pos, &m) in medoids.iter().enumerate() {
+                    let dist = d(i, m);
+                    if dist < best.0 {
+                        best = (dist, pos);
+                    }
+                }
+                best.1
+            })
+            .collect()
+    };
+    let mut assignment = assign(&medoids);
+    let mut rounds = 0;
+    for _ in 0..cfg.max_rounds {
+        rounds += 1;
+        let mut next = medoids.clone();
+        for (pos, slot) in next.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == pos).collect();
+            // New medoid: the member minimizing total intra-cluster
+            // distance; ties break to the lowest index.
+            let mut best = None::<(f64, usize)>;
+            for &cand in &members {
+                let total: f64 = members.iter().map(|&m| d(cand, m)).sum();
+                if best.is_none_or(|(b, _)| total < b) {
+                    best = Some((total, cand));
+                }
+            }
+            if let Some((_, cand)) = best {
+                *slot = cand;
+            }
+        }
+        let next_assignment = assign(&next);
+        let stable = next == medoids && next_assignment == assignment;
+        medoids = next;
+        assignment = next_assignment;
+        if stable {
+            break;
+        }
+    }
+
+    // Canonical order: medoids ascending, assignment re-pointed.
+    let mut order: Vec<usize> = (0..medoids.len()).collect();
+    order.sort_by_key(|&pos| medoids[pos]);
+    let sorted: Vec<usize> = order.iter().map(|&pos| medoids[pos]).collect();
+    let remap: Vec<usize> = {
+        let mut r = vec![0; medoids.len()];
+        for (new_pos, &old_pos) in order.iter().enumerate() {
+            r[old_pos] = new_pos;
+        }
+        r
+    };
+    let assignment: Vec<usize> = assignment.into_iter().map(|pos| remap[pos]).collect();
+    let total_distance = (0..n).map(|i| d(i, sorted[assignment[i]])).sum();
+    Ok(Selection { medoids: sorted, assignment, total_distance, rounds })
+}
+
+/// What pruning the family buys, through the §5 sampling-cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruningReport {
+    /// Family size before pruning.
+    pub full_policies: usize,
+    /// Representative-set size.
+    pub selected_policies: usize,
+    /// Sampling cost `S·N` per cycle for the full family.
+    pub sampling_full: f64,
+    /// Sampling cost `S·N` per cycle for the representative set.
+    pub sampling_selected: f64,
+    /// `sampling_full / sampling_selected` — the overhead reduction
+    /// factor (linear in the version count: 12 → 4 gives 3).
+    pub sampling_ratio: f64,
+    /// Optimal production interval (Equation 9) for the full family.
+    pub p_opt_full: f64,
+    /// Optimal production interval for the representative set — shorter,
+    /// so the pruned build also *adapts faster* at equal guarantees.
+    pub p_opt_selected: f64,
+}
+
+/// Evaluate a pruning `full → selected` under the §5 model with
+/// per-policy sampling interval `sampling` (seconds) and decay rate
+/// `decay`.
+///
+/// # Errors
+///
+/// Returns a [`TheoryError`] when a parameter is out of range.
+pub fn pruning_report(
+    sampling: f64,
+    decay: f64,
+    full: usize,
+    selected: usize,
+) -> Result<PruningReport, TheoryError> {
+    let a_full = Analysis::new(sampling, full, decay)?;
+    let a_sel = Analysis::new(sampling, selected, decay)?;
+    Ok(PruningReport {
+        full_policies: full,
+        selected_policies: selected,
+        sampling_full: a_full.sampling_total(),
+        sampling_selected: a_sel.sampling_total(),
+        sampling_ratio: a_full.sampling_total() / a_sel.sampling_total(),
+        p_opt_full: a_full.optimal_production_interval(),
+        p_opt_selected: a_sel.optimal_production_interval(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(data: &[(&str, &[f64])]) -> Vec<PolicyVector> {
+        data.iter()
+            .map(|(name, cells)| PolicyVector { name: (*name).to_string(), cells: cells.to_vec() })
+            .collect()
+    }
+
+    fn three_clusters() -> Vec<PolicyVector> {
+        vecs(&[
+            ("a0", &[0.01, 0.02]),
+            ("a1", &[0.02, 0.01]),
+            ("b0", &[0.90, 0.10]),
+            ("b1", &[0.92, 0.12]),
+            ("c0", &[0.10, 0.95]),
+            ("c1", &[0.11, 0.93]),
+        ])
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let cfg = RepSetConfig::default();
+        assert_eq!(select_representatives(&[], &cfg), Err(RepSetError::Empty));
+        assert!(matches!(
+            select_representatives(&vecs(&[("a", &[1.0]), ("b", &[1.0, 2.0])]), &cfg),
+            Err(RepSetError::DimensionMismatch { .. })
+        ));
+        assert_eq!(
+            select_representatives(
+                &vecs(&[("a", &[1.0])]),
+                &RepSetConfig { representatives: 0, ..cfg }
+            ),
+            Err(RepSetError::ZeroRepresentatives)
+        );
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let vectors = three_clusters();
+        let cfg = RepSetConfig { representatives: 3, ..RepSetConfig::default() };
+        let sel = select_representatives(&vectors, &cfg).unwrap();
+        assert_eq!(sel.medoids.len(), 3);
+        // Each pair lands in the same cluster, pairs in different ones.
+        for pair in [(0, 1), (2, 3), (4, 5)] {
+            assert_eq!(sel.assignment[pair.0], sel.assignment[pair.1], "{sel:?}");
+        }
+        assert_ne!(sel.assignment[0], sel.assignment[2]);
+        assert_ne!(sel.assignment[0], sel.assignment[4]);
+        assert_ne!(sel.assignment[2], sel.assignment[4]);
+        // Medoids represent their own clusters.
+        for (pos, &m) in sel.medoids.iter().enumerate() {
+            assert_eq!(sel.assignment[m], pos);
+        }
+    }
+
+    #[test]
+    fn k_at_least_n_gives_every_point_its_own_medoid() {
+        let vectors = three_clusters();
+        let cfg = RepSetConfig { representatives: 99, ..RepSetConfig::default() };
+        let sel = select_representatives(&vectors, &cfg).unwrap();
+        assert_eq!(sel.medoids, vec![0, 1, 2, 3, 4, 5]);
+        assert!(sel.total_distance == 0.0);
+    }
+
+    #[test]
+    fn selection_is_bitwise_rerun_stable() {
+        let vectors = three_clusters();
+        for seed in [0, 1, 42, 0xDEAD_BEEF] {
+            let cfg = RepSetConfig { representatives: 2, seed, max_rounds: 64 };
+            let a = select_representatives(&vectors, &cfg).unwrap();
+            let b = select_representatives(&vectors, &cfg).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+            assert!(a.total_distance.to_bits() == b.total_distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn medoids_are_sorted_and_assignment_in_range() {
+        let vectors = three_clusters();
+        let cfg = RepSetConfig { representatives: 2, ..RepSetConfig::default() };
+        let sel = select_representatives(&vectors, &cfg).unwrap();
+        assert!(sel.medoids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sel.assignment.len(), vectors.len());
+        assert!(sel.assignment.iter().all(|&a| a < sel.medoids.len()));
+    }
+
+    #[test]
+    fn pruning_report_is_linear_in_version_count() {
+        let r = pruning_report(0.01, 0.065, 12, 4).unwrap();
+        assert!((r.sampling_ratio - 3.0).abs() < 1e-12, "{r:?}");
+        assert!((r.sampling_full - 0.12).abs() < 1e-12);
+        assert!((r.sampling_selected - 0.04).abs() < 1e-12);
+        // Cheaper sampling ⇒ shorter optimal production interval: the
+        // pruned build resamples (and adapts) more often at no extra cost.
+        assert!(r.p_opt_selected < r.p_opt_full, "{r:?}");
+        assert!(pruning_report(0.0, 0.065, 12, 4).is_err());
+    }
+}

@@ -127,6 +127,59 @@ fn alarm_time_is_monotone_in_step_size() {
     }
 }
 
+/// Regression: arming with a degenerate reference — NaN or ±∞ (possible
+/// when a winner's measurement slice saw zero elapsed time), or a finite
+/// value outside `[0, 1]` — must not poison the latch. `arm` sanitizes the
+/// reference the same way `observe` sanitizes observations, so an in-range
+/// constant signal settles without a permanent alarm.
+#[test]
+fn degenerate_arm_reference_does_not_poison_the_latch() {
+    let mut g = SplitMix64::new(0xDE_7E_C7_05);
+    let degenerate =
+        [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e300, -1e300, 7.5, -3.0, 1.0001, -0.0001];
+    for _ in 0..cases() {
+        let config = arbitrary_config(&mut g);
+        let level = g.next_f64();
+        for reference in degenerate {
+            let mut d = Detector::new(config);
+            d.arm(Some(reference));
+            // Non-finite references are dropped (first observation anchors,
+            // so the constant signal never alarms); out-of-range finite
+            // references clamp to the nearest proportion, so the chart may
+            // alarm on the genuine gap but must settle once re-armed
+            // in-range — never latch forever on a healthy signal.
+            for _ in 0..500 {
+                d.observe(level);
+            }
+            if !reference.is_finite() {
+                assert!(
+                    !d.in_alarm(),
+                    "non-finite reference {reference} latched an alarm on \
+                     constant {level} under {config:?}"
+                );
+            }
+            let snap = d.snapshot();
+            assert!(
+                snap.score.is_finite() && snap.baseline.is_finite(),
+                "reference {reference} left non-finite chart state {snap:?} under {config:?}"
+            );
+            assert!(
+                (0.0..=1.0).contains(&snap.baseline),
+                "reference {reference} left out-of-range baseline {} under {config:?}",
+                snap.baseline
+            );
+            // Re-arming in range always recovers the chart.
+            d.arm(Some(level));
+            for i in 0..100 {
+                assert!(
+                    !d.observe(level),
+                    "alarm at obs {i} after re-arm, reference {reference} under {config:?}"
+                );
+            }
+        }
+    }
+}
+
 /// Determinism: replaying the same observation/arm sequence from the same
 /// seed leaves two independently constructed detectors in identical states
 /// at every step — the property that makes simulator runs reproducible.
