@@ -1,0 +1,56 @@
+//! Decision-journal analysis binary: replays every adaptive chaos cell
+//! under the decision flight recorder, renders a human-readable causal
+//! timeline per controller decision ("switched original→aggressive
+//! (measured-best): …"), and cross-checks the journal record-for-record
+//! against the independently collected trace oracle. Exports one NDJSON
+//! journal per cell for downstream tooling.
+//!
+//! Usage: `cargo run --release -p dynfb-bench --bin explain -- \
+//!     [--seed N | N] [--jobs N] [--filter PAT[,PAT...]] [--quick]`
+//!
+//! Exits non-zero if any cell's journal disagrees with its trace. Stdout
+//! and the exported NDJSON are byte-identical for every `--jobs` value
+//! (CI enforces this).
+
+use dynfb_bench::chaos::ChaosConfig;
+use dynfb_bench::engine::{parse_cli, Engine};
+use dynfb_bench::explain::explain_report_with;
+use std::path::Path;
+
+const USAGE: &str = "usage: explain [--seed N | N] [--jobs N] [--filter PAT[,PAT...]] [--quick]
+
+  --seed N    scenario seed (default 42; a bare integer also works)
+  --jobs N    worker threads (default: all host threads)
+  --filter P  only scenarios whose name matches (substring or * wildcard)
+  --quick     reduced iteration count (CI-sized run)";
+
+fn main() {
+    let opts = parse_cli(std::env::args().skip(1), USAGE);
+    let mut cfg = ChaosConfig { seed: opts.seed.unwrap_or(42), ..ChaosConfig::default() };
+    if opts.quick {
+        cfg.iters = 1_500;
+    }
+    let engine = Engine::new(opts.jobs);
+    let report = explain_report_with(&cfg, &engine, opts.filter.as_ref());
+    print!("{}", report.text);
+
+    let dir = Path::new("target/explain");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("explain: cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    for (name, ndjson) in &report.exports {
+        let path = dir.join(name);
+        match std::fs::write(&path, ndjson) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("explain: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if !report.consistent {
+        eprintln!("explain: MISMATCH between decision journal and trace oracle");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Live telemetry endpoint over a realtime adaptive run.
+//!
+//! Runs a lock-heavy multi-version workload on the [`AdaptiveExecutor`]
+//! with the decision flight recorder attached, and serves the telemetry
+//! HTTP endpoints while it executes:
+//!
+//! * `GET /metrics`   — Prometheus text exposition (per-lock profile with
+//!   wait/hold quantiles, loss counters when non-zero),
+//! * `GET /snapshot`  — stable JSON: current policy, detector snapshot,
+//!   policy-health counts,
+//! * `GET /decisions` — NDJSON tail of the decision journal
+//!   (`?limit=N` caps the tail).
+//!
+//! Usage: `cargo run --release -p dynfb-bench --bin serve -- \
+//!     [--port N] [--workers N] [--items N] [--rounds N]`
+//!
+//! The workload runs `rounds` adaptive executions back to back (0 = run
+//! until interrupted), republishing the cumulative lock profile after each
+//! round; the server shuts down cleanly when the last round completes.
+
+use dynfb_core::controller::ControllerConfig;
+use dynfb_core::metrics::{LockTable, MetricsRegistry};
+use dynfb_core::realtime::{
+    AdaptiveExecutor, AdaptiveWorkload, ExecutorConfig, Instruments, ProfiledMutex,
+};
+use dynfb_core::serve::{serve, SharedJournal, SharedTelemetry};
+use dynfb_core::trace::NullSink;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const USAGE: &str = "usage: serve [--port N] [--workers N] [--items N] [--rounds N]
+
+  --port N     TCP port to bind on 127.0.0.1 (default 9898; 0 = ephemeral)
+  --workers N  executor worker threads (default 4)
+  --items N    items per adaptive round (default 200000)
+  --rounds N   rounds to run before exiting (default 8; 0 = until killed)";
+
+/// Region labels for the workload's two locks, exported on every metric.
+const REGIONS: [&str; 2] = ["serve:hot_slot", "serve:cold_slot"];
+
+/// A two-version workload: version 0 takes the hot lock once per step of a
+/// 16-step item, version 1 batches the whole item under one acquisition.
+struct Contended<'t> {
+    slots: [ProfiledMutex<u64>; 2],
+    table: &'t LockTable,
+}
+
+impl AdaptiveWorkload for Contended<'_> {
+    fn num_versions(&self) -> usize {
+        2
+    }
+
+    fn run_item(&self, version: usize, item: usize, ins: &Instruments) {
+        let id = item % 2;
+        match version {
+            0 => {
+                for _ in 0..16 {
+                    *self.slots[id].lock_profiled(ins, self.table, id) += 1;
+                }
+            }
+            _ => {
+                *self.slots[id].lock_profiled(ins, self.table, id) += 16;
+            }
+        }
+    }
+}
+
+struct Opts {
+    port: u16,
+    workers: usize,
+    items: usize,
+    rounds: usize,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts { port: 9898, workers: 4, items: 200_000, rounds: 8 };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().and_then(|v| v.parse::<usize>().ok()).unwrap_or_else(|| {
+                eprintln!("serve: {name} needs a number\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--port" => opts.port = take("--port") as u16,
+            "--workers" => opts.workers = take("--workers").max(1),
+            "--items" => opts.items = take("--items").max(1),
+            "--rounds" => opts.rounds = take("--rounds"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("serve: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    let telemetry = SharedTelemetry::new(
+        SharedJournal::new(4096),
+        REGIONS.iter().map(|r| r.to_string()).collect(),
+    );
+    let listener = match TcpListener::bind(("127.0.0.1", opts.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind 127.0.0.1:{}: {e}", opts.port);
+            std::process::exit(2);
+        }
+    };
+    let addr = listener.local_addr().expect("bound listener has an address");
+    println!("serving http://{addr}/metrics /snapshot /decisions");
+
+    let shutdown = AtomicBool::new(false);
+    let exec = AdaptiveExecutor::new(ExecutorConfig {
+        workers: opts.workers,
+        controller: ControllerConfig {
+            num_policies: 2,
+            target_sampling: Duration::from_micros(500),
+            target_production: Duration::from_millis(5),
+            ..ControllerConfig::default()
+        },
+        ..ExecutorConfig::default()
+    });
+
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve(listener, &telemetry, &shutdown));
+
+        let table = LockTable::new(REGIONS.len());
+        let workload =
+            Contended { slots: [ProfiledMutex::new(0), ProfiledMutex::new(0)], table: &table };
+        let mut journal = telemetry.journal();
+        let mut round = 0usize;
+        loop {
+            round += 1;
+            match exec.run_flight_recorded(
+                &workload,
+                opts.items,
+                &mut NullSink,
+                &mut journal,
+                &table,
+            ) {
+                Ok(report) => {
+                    telemetry.publish_registry(MetricsRegistry::from_lock_rows(table.snapshot()));
+                    println!(
+                        "round {round}: {} items in {:?}, settled on version {}",
+                        report.items_processed,
+                        report.elapsed,
+                        report
+                            .last_production_policy()
+                            .map_or_else(|| "-".to_string(), |p| p.to_string()),
+                    );
+                }
+                Err(e) => {
+                    eprintln!("serve: round {round} failed: {e}");
+                    shutdown.store(true, Ordering::Release);
+                    break;
+                }
+            }
+            if opts.rounds != 0 && round >= opts.rounds {
+                shutdown.store(true, Ordering::Release);
+                break;
+            }
+        }
+        if let Err(e) = server.join().expect("server thread") {
+            eprintln!("serve: server error: {e}");
+            std::process::exit(2);
+        }
+    });
+}

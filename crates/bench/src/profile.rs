@@ -130,6 +130,15 @@ fn micros(d: Duration) -> String {
     format!("{}", d.as_micros())
 }
 
+/// Render a histogram's p50/p95/p99 estimates as one table cell, `-` when
+/// the histogram recorded nothing.
+fn quantile_cell(h: &dynfb_core::metrics::Log2Histogram) -> String {
+    match h.summary_quantiles() {
+        Some((p50, p95, p99)) => format!("{p50}/{p95}/{p99}"),
+        None => "-".to_string(),
+    }
+}
+
 /// Render one scenario's oracle table: per mode, per quantity, the
 /// registry's per-lock sum against the machine aggregate.
 fn oracle_table(cfg: &ChaosConfig, scenario: &Scenario, cells: &[MeteredMode]) -> (String, bool) {
@@ -210,6 +219,7 @@ fn attribution_table(cfg: &ChaosConfig, scenario: &Scenario, cells: &[MeteredMod
             "waiting (us)",
             "held (us)",
             "overhead (us)",
+            "wait p50/p95/p99 (ns)",
             "share",
         ],
     );
@@ -225,6 +235,7 @@ fn attribution_table(cfg: &ChaosConfig, scenario: &Scenario, cells: &[MeteredMod
             micros(r.m.waiting),
             micros(r.m.held),
             micros(r.m.overhead()),
+            quantile_cell(&r.m.wait_hist),
             format!("{:.1}%", r.share * 100.0),
         ]);
     }

@@ -1,0 +1,81 @@
+//! End-to-end oracle for the decision flight recorder: on every adaptive
+//! chaos cell the journal must agree with the independently collected
+//! trace record-for-record, nothing may be dropped, and the whole explain
+//! report — timelines and NDJSON exports — must be byte-identical across
+//! reruns and engine worker counts (the journal is virtual-time stamped).
+
+use dynfb_bench::chaos::{scenarios, ChaosConfig, ChaosMode};
+use dynfb_bench::engine::Engine;
+use dynfb_bench::explain::{cross_check, explain_report_with, run_explained};
+use dynfb_core::journal::decision_ndjson;
+
+fn cfg() -> ChaosConfig {
+    ChaosConfig { seed: 11, iters: 900, procs: 4 }
+}
+
+#[test]
+fn journal_agrees_with_the_trace_oracle_on_every_cell() {
+    let cfg = cfg();
+    let report = explain_report_with(&cfg, &Engine::new(1), None);
+    assert!(report.consistent, "{}", report.text);
+    // One NDJSON export per (scenario, adaptive mode) cell, each a full
+    // journal: every line is one JSON decision record.
+    assert_eq!(report.exports.len(), 2 * scenarios(&cfg).len());
+    for (name, ndjson) in &report.exports {
+        assert!(name.ends_with(".ndjson"), "{name}");
+        assert!(!ndjson.is_empty(), "{name}: adaptive cells decide at least once");
+        for line in ndjson.lines() {
+            assert!(line.starts_with("{\"seq\":"), "{name}: {line}");
+            assert!(line.ends_with('}'), "{name}: {line}");
+        }
+    }
+}
+
+#[test]
+fn report_and_exports_are_byte_identical_across_worker_counts() {
+    let cfg = cfg();
+    let serial = explain_report_with(&cfg, &Engine::new(1), None);
+    let parallel = explain_report_with(&cfg, &Engine::new(4), None);
+    assert_eq!(serial.text, parallel.text);
+    assert_eq!(serial.exports, parallel.exports);
+    assert_eq!(serial.consistent, parallel.consistent);
+}
+
+#[test]
+fn journal_is_byte_identical_across_reruns() {
+    // The simulator stamps records with virtual time, so replaying the
+    // same cell twice must journal the exact same decision stream. The
+    // comparison runs on the rendered NDJSON — the bytes CI diffs — which
+    // also sidesteps NaN != NaN on unseeded detector baselines (rendered
+    // as a stable `null`).
+    let cfg = cfg();
+    for scenario in scenarios(&cfg) {
+        for mode in [ChaosMode::Dynamic, ChaosMode::EventDriven] {
+            let first = run_explained(&cfg, &scenario, mode);
+            let second = run_explained(&cfg, &scenario, mode);
+            assert_eq!(
+                decision_ndjson(&first.records),
+                decision_ndjson(&second.records),
+                "{} / {:?}",
+                scenario.name,
+                mode
+            );
+            assert_eq!(first.events, second.events, "{} / {:?}", scenario.name, mode);
+            assert_eq!(first.journal_dropped, 0, "{} / {:?}", scenario.name, mode);
+            assert_eq!(first.trace_dropped, 0, "{} / {:?}", scenario.name, mode);
+        }
+    }
+}
+
+#[test]
+fn adaptive_cells_journal_at_least_one_switch() {
+    // Dynamic-feedback cells by construction alternate sampling and
+    // production, so an empty journal would mean the wiring is dead.
+    let cfg = cfg();
+    for scenario in scenarios(&cfg) {
+        let cell = run_explained(&cfg, &scenario, ChaosMode::Dynamic);
+        assert!(!cell.records.is_empty(), "{}: empty journal", scenario.name);
+        let errors = cross_check(&cell.records, &cell.events);
+        assert!(errors.is_empty(), "{}: {errors:?}", scenario.name);
+    }
+}

@@ -75,6 +75,12 @@ fn saturated_trace_ring_does_not_lose_lock_metrics() {
     let metered_report =
         run_app_metered(ChaosApp::new(cfg.iters), &run, &mut metered).expect("metered run");
 
+    // The drops themselves are accounted: the observed run publishes the
+    // exact drop total as a loss counter, which is the one difference a
+    // saturated ring is allowed to make.
+    assert_eq!(observed.counter_value("trace_dropped"), ring.dropped());
+    assert_eq!(metered.counter_value("trace_dropped"), 0);
+    dynfb_core::metrics::MetricsSink::counter(&mut metered, "trace_dropped", ring.dropped());
     assert_eq!(observed, metered, "the saturated ring changed the profile");
     assert_eq!(observed_report.stats, metered_report.stats);
     let totals = observed_report.stats.totals();

@@ -47,8 +47,19 @@
 //! * [`metrics`] — per-lock profiling: a [`metrics::MetricsSink`] API
 //!   emitted by both drivers (zero-cost [`metrics::NoMetrics`] when
 //!   disabled), an accumulating [`metrics::MetricsRegistry`] with log2
-//!   histograms, an atomic [`metrics::LockTable`] for realtime workers,
-//!   and deterministic Prometheus-text / JSON exporters.
+//!   histograms (and p50/p95/p99 quantile estimates derived from them),
+//!   an atomic [`metrics::LockTable`] for realtime workers, and
+//!   deterministic Prometheus-text / JSON exporters.
+//! * [`journal`] — the decision flight recorder: every controller decision
+//!   (sampling winner, early cut-off, watchdog abort, change-point alarm,
+//!   quarantine transition, crash fallback) captured as a
+//!   [`journal::DecisionRecord`] with its full evidence snapshot — the
+//!   measured overhead vector with [`theory`]-derived confidences, the
+//!   detector chart state, and per-policy health — behind a zero-cost
+//!   [`journal::JournalSink`].
+//! * [`serve`] — a dependency-free blocking HTTP exporter serving
+//!   `GET /metrics` (Prometheus text), `GET /snapshot` (stable JSON) and
+//!   `GET /decisions` (NDJSON journal tail) for live realtime runs.
 //!
 //! ## Quick start
 //!
@@ -82,16 +93,22 @@
 
 pub mod controller;
 pub mod detector;
+pub mod journal;
 pub mod metrics;
 pub mod overhead;
 pub mod realtime;
 pub mod repset;
 pub mod rng;
+pub mod serve;
 pub mod theory;
 pub mod trace;
 
 pub use controller::{Controller, ControllerConfig, Phase, PolicyId, ResampleTrigger, Transition};
 pub use detector::{Detector, DetectorConfig, DetectorSnapshot};
+pub use journal::{
+    DecisionKind, DecisionRecord, Evidence, EvidenceTracker, JournalBuffer, JournalSink,
+    NullJournal, PolicyEvidence,
+};
 pub use metrics::{LockMetrics, LockTable, Log2Histogram, MetricsRegistry, MetricsSink, NoMetrics};
 pub use overhead::OverheadSample;
 pub use trace::{NullSink, RingBuffer, TraceEvent, TraceSink, TracedEvent};

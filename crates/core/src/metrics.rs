@@ -163,6 +163,49 @@ impl Log2Histogram {
             *a = a.saturating_add(*b);
         }
     }
+
+    /// Estimated `q`-quantile in nanoseconds (`0 < q <= 1`), or `None` for
+    /// an empty histogram.
+    ///
+    /// The estimate walks the cumulative counts to the bucket containing
+    /// the target rank and interpolates linearly within it — the standard
+    /// histogram-quantile estimator, here over log2 buckets (so the
+    /// estimate's relative error is bounded by the bucket width, at most
+    /// 2x). Deterministic: a pure function of the counts.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative = cumulative.saturating_add(count);
+            if rank <= cumulative {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                // The top bucket is unbounded; cap the interpolation at
+                // twice its lower bound (one more doubling), keeping the
+                // estimator total and deterministic.
+                let upper = Self::bucket_upper_bound(i).unwrap_or_else(|| lower.saturating_mul(2));
+                let frac = (rank - before) as f64 / count as f64;
+                let est = lower as f64 + frac * (upper.saturating_sub(lower)) as f64;
+                return Some(est.round() as u64);
+            }
+        }
+        None
+    }
+
+    /// The (p50, p95, p99) quantile estimates, or `None` when empty.
+    #[must_use]
+    pub fn summary_quantiles(&self) -> Option<(u64, u64, u64)> {
+        Some((self.quantile(0.50)?, self.quantile(0.95)?, self.quantile(0.99)?))
+    }
 }
 
 /// Accumulated profile of one lock.
@@ -237,6 +280,13 @@ impl MetricsRegistry {
     #[must_use]
     pub fn new() -> Self {
         MetricsRegistry::default()
+    }
+
+    /// A registry seeded from externally accumulated per-lock rows (e.g. a
+    /// realtime [`LockTable::snapshot`]), indexed by lock id.
+    #[must_use]
+    pub fn from_lock_rows(rows: Vec<LockMetrics>) -> Self {
+        MetricsRegistry { locks: rows, counters: BTreeMap::new() }
     }
 
     /// Per-lock metrics, indexed by lock id. Locks past the highest
@@ -503,6 +553,33 @@ fn prom_histogram(
     }
 }
 
+fn prom_quantiles(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    rows: &[(usize, String, &LockMetrics)],
+    hist_of: impl Fn(&LockMetrics) -> &Log2Histogram,
+) {
+    // Realtime lock tables carry no histograms; skip the family entirely
+    // when no row has observations rather than emitting an empty header.
+    if rows.iter().all(|(_, _, m)| hist_of(m).total() == 0) {
+        return;
+    }
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (id, label, m) in rows {
+        let hist = hist_of(m);
+        let Some((p50, p95, p99)) = hist.summary_quantiles() else { continue };
+        for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+            let _ = writeln!(
+                out,
+                "{name}{{lock=\"{id}\",region=\"{}\",quantile=\"{q}\"}} {v}",
+                prom_escape(label)
+            );
+        }
+    }
+}
+
 /// One exported metric column: `(name, help, getter)`.
 type MetricColumn<T> = (&'static str, &'static str, fn(&LockMetrics) -> T);
 
@@ -574,6 +651,20 @@ pub fn prometheus_text(registry: &MetricsRegistry, label: impl Fn(usize) -> Stri
         |m| &m.hold_hist,
         |m| m.held,
     );
+    prom_quantiles(
+        &mut out,
+        "dynfb_lock_wait_quantile_ns",
+        "Estimated per-acquisition wait-time quantiles (ns), from the log2 histogram.",
+        &rows,
+        |m| &m.wait_hist,
+    );
+    prom_quantiles(
+        &mut out,
+        "dynfb_lock_hold_quantile_ns",
+        "Estimated per-acquisition hold-time quantiles (ns), from the log2 histogram.",
+        &rows,
+        |m| &m.hold_hist,
+    );
     let _ = writeln!(out, "# HELP dynfb_counter Free-form named counters.");
     let _ = writeln!(out, "# TYPE dynfb_counter counter");
     for (name, value) in registry.counters() {
@@ -585,6 +676,13 @@ pub fn prometheus_text(registry: &MetricsRegistry, label: impl Fn(usize) -> Stri
 fn hist_json(h: &Log2Histogram) -> String {
     let counts: Vec<String> = h.counts().iter().map(u64::to_string).collect();
     format!("[{}]", counts.join(","))
+}
+
+fn quantiles_json(h: &Log2Histogram) -> String {
+    match h.summary_quantiles() {
+        Some((p50, p95, p99)) => format!("{{\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}"),
+        None => "null".to_string(),
+    }
 }
 
 /// Render the non-empty lock rows of a registry as a JSON array (one
@@ -600,7 +698,8 @@ pub fn lock_rows_json(registry: &MetricsRegistry, label: impl Fn(usize) -> Strin
                     "{{\"lock\":{},\"region\":\"{}\",\"acquires\":{},",
                     "\"contendedAcquires\":{},\"releases\":{},\"failedAttempts\":{},",
                     "\"lockingNs\":{},\"waitingNs\":{},\"heldNs\":{},",
-                    "\"waitHist\":{},\"holdHist\":{}}}"
+                    "\"waitHist\":{},\"holdHist\":{},",
+                    "\"waitQuantilesNs\":{},\"holdQuantilesNs\":{}}}"
                 ),
                 id,
                 json_escape(&label),
@@ -613,6 +712,8 @@ pub fn lock_rows_json(registry: &MetricsRegistry, label: impl Fn(usize) -> Strin
                 ns(m.held),
                 hist_json(&m.wait_hist),
                 hist_json(&m.hold_hist),
+                quantiles_json(&m.wait_hist),
+                quantiles_json(&m.hold_hist),
             )
         })
         .collect();
@@ -761,6 +862,156 @@ mod tests {
         assert!(a.contains(r#""lock":1,"region":"slot1","acquires":2"#), "{a}");
         assert!(a.contains(r#""counters":{"items":16}"#), "{a}");
         assert!(a.ends_with("}\n"), "{a}");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Log2Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary_quantiles(), None);
+        // 100 observations of ~100 ns (bucket 7: [64, 127]).
+        for _ in 0..100 {
+            h.record(Duration::from_nanos(100));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((64..=127).contains(&p50), "{p50}");
+        // Quantiles are monotone in q.
+        let (p50, p95, p99) = h.summary_quantiles().unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        // A heavy tail pulls p99 into the tail bucket but not p50.
+        for _ in 0..2 {
+            h.record(Duration::from_micros(100)); // bucket 18
+        }
+        let (p50b, _, p99b) = h.summary_quantiles().unwrap();
+        assert!((64..=127).contains(&p50b), "{p50b}");
+        assert!(p99b > 127, "{p99b}");
+        // All-zero observations estimate zero.
+        let mut z = Log2Histogram::default();
+        z.record(Duration::ZERO);
+        assert_eq!(z.summary_quantiles(), Some((0, 0, 0)));
+        // The unbounded top bucket still yields a finite estimate.
+        let mut top = Log2Histogram::default();
+        top.record(Duration::from_secs(10));
+        assert!(top.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn exporters_emit_quantiles() {
+        let reg = sample_registry();
+        let text = prometheus_text(&reg, |id| format!("slot{id}"));
+        assert!(
+            text.contains(r#"dynfb_lock_wait_quantile_ns{lock="1",region="slot1",quantile="0.5"}"#),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE dynfb_lock_wait_quantile_ns gauge"), "{text}");
+        let json = profile_json(&reg, |id| format!("slot{id}"));
+        assert!(json.contains(r#""waitQuantilesNs":{"p50":"#), "{json}");
+        assert!(json.contains(r#""holdQuantilesNs":{"p50":"#), "{json}");
+        // A registry whose histograms are all empty (e.g. a realtime
+        // LockTable snapshot) omits the quantile families entirely but
+        // renders null quantiles in JSON.
+        let mut empty_hists = MetricsRegistry::new();
+        let mut row = LockMetrics { acquires: 1, ..LockMetrics::default() };
+        row.waiting = Duration::from_nanos(5);
+        empty_hists.locks = vec![row];
+        let text = prometheus_text(&empty_hists, |_| "r".to_string());
+        assert!(!text.contains("quantile"), "{text}");
+        let json = profile_json(&empty_hists, |_| "r".to_string());
+        assert!(json.contains(r#""waitQuantilesNs":null"#), "{json}");
+    }
+
+    /// Prometheus text-exposition conformance: valid metric names, label
+    /// escaping of hostile region labels (the compiler's `"class:tag+tag"`
+    /// labels can in principle carry any bytes), and HELP/TYPE ordering.
+    /// Pinned as a unit test so the live `/metrics` endpoint can't serve
+    /// malformed text.
+    #[test]
+    fn prometheus_exposition_conformance() {
+        fn valid_metric_name(name: &str) -> bool {
+            let mut chars = name.chars();
+            let first =
+                chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+            first && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+
+        let mut reg = sample_registry();
+        reg.lock_acquired(2, Duration::from_nanos(10), Duration::from_nanos(3), 1);
+        reg.lock_released(2, Duration::from_nanos(10), Duration::from_nanos(9));
+        reg.counter("with\"quote", 1);
+        // Region labels containing every character the format must escape.
+        let label = |id: usize| format!("cons:shared+tree\"\\\n{id}");
+        let text = prometheus_text(&reg, label);
+
+        let mut seen_help: Vec<&str> = Vec::new();
+        let mut seen_type: Vec<&str> = Vec::new();
+        let mut seen_sample_families: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(valid_metric_name(name), "bad HELP name {name:?}");
+                assert!(!seen_help.contains(&name), "duplicate HELP for {name}");
+                // HELP must precede the family's TYPE and samples.
+                assert!(!seen_type.contains(&name), "TYPE before HELP for {name}");
+                assert!(!seen_sample_families.contains(&name), "samples before HELP for {name}");
+                seen_help.push(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                assert!(matches!(kind, "counter" | "gauge" | "histogram"), "bad TYPE {kind}");
+                assert!(seen_help.last() == Some(&name), "TYPE not adjacent to HELP for {name}");
+                seen_type.push(name);
+            } else {
+                // A sample line: name{labels} value.
+                let brace =
+                    line.find('{').unwrap_or_else(|| panic!("unlabeled sample line {line:?}"));
+                let name = &line[..brace];
+                assert!(valid_metric_name(name), "bad sample name {name:?}");
+                // The sample's family (histogram samples append _bucket /
+                // _sum / _count to the family name) must have been typed.
+                let family = seen_type
+                    .iter()
+                    .find(|f| {
+                        name == **f
+                            || name
+                                .strip_prefix(**f)
+                                .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count"))
+                    })
+                    .unwrap_or_else(|| panic!("sample {name} has no preceding TYPE"));
+                seen_sample_families.push(family);
+                // Raw newlines inside a sample line are impossible by
+                // construction (lines() split); check quotes and
+                // backslashes are escaped within label values.
+                let labels = &line[brace + 1..line.rfind('}').unwrap()];
+                let mut bytes = labels.bytes().peekable();
+                let mut in_value = false;
+                while let Some(b) = bytes.next() {
+                    match b {
+                        b'"' => in_value = !in_value,
+                        b'\\' if in_value => {
+                            let next = bytes.next().expect("dangling backslash");
+                            assert!(
+                                matches!(next, b'\\' | b'"' | b'n'),
+                                "bad escape \\{} in {line:?}",
+                                next as char
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(!in_value, "unterminated label value in {line:?}");
+                let value = line[line.rfind('}').unwrap() + 1..].trim();
+                assert!(
+                    value.parse::<f64>().is_ok() || value == "+Inf",
+                    "bad sample value {value:?}"
+                );
+            }
+        }
+        // Every family that was HELPed was also TYPEd.
+        assert_eq!(seen_help, seen_type);
+        // The hostile label survived, escaped.
+        assert!(text.contains(r#"cons:shared+tree\"\\\n"#), "{text}");
     }
 
     #[test]

@@ -57,6 +57,9 @@
 use crate::controller::{
     ConfigError, Controller, ControllerConfig, HealthEvent, Phase, PolicyId, QuarantineError,
 };
+use crate::journal::{
+    self, DecisionKind, DecisionRecord, EvidenceTracker, JournalSink, NullJournal,
+};
 use crate::metrics::{LockMetrics, LockTable};
 use crate::overhead::{OverheadCounters, OverheadSample};
 use crate::trace::{self, NullSink, SwitchReason, TraceEvent, TraceSink};
@@ -590,7 +593,7 @@ impl SwitchGate {
 }
 
 /// Shared executor state.
-struct Shared<S: TraceSink> {
+struct Shared<S: TraceSink, J: JournalSink> {
     next_item: AtomicUsize,
     num_items: usize,
     policy: AtomicUsize,
@@ -600,11 +603,11 @@ struct Shared<S: TraceSink> {
     panics: AtomicU64,
     gate: SwitchGate,
     instruments: Instruments,
-    control: Mutex<ControlState<S>>,
+    control: Mutex<ControlState<S, J>>,
     costs: InstrumentCosts,
 }
 
-struct ControlState<S: TraceSink> {
+struct ControlState<S: TraceSink, J: JournalSink> {
     controller: Controller,
     interval_start: Instant,
     run_start: Instant,
@@ -625,6 +628,11 @@ struct ControlState<S: TraceSink> {
     /// Trace collector, guarded by the control lock so events are recorded
     /// in a single total order with monotone wall-clock offsets.
     sink: S,
+    /// Decision flight recorder, guarded by the same lock for the same
+    /// total-order guarantee. [`NullJournal`] monomorphizes it away.
+    journal: J,
+    /// Per-policy measurement ages backing each record's evidence snapshot.
+    evidence: EvidenceTracker,
 }
 
 /// Executes [`AdaptiveWorkload`]s with dynamic feedback on a thread pool.
@@ -683,7 +691,7 @@ impl AdaptiveExecutor {
         workload: &W,
         num_items: usize,
     ) -> Result<ExecutionReport, ExecError> {
-        self.run_impl(workload, num_items, NullSink, None)
+        self.run_impl(workload, num_items, NullSink, NullJournal, None)
     }
 
     /// Like [`run`](AdaptiveExecutor::run), but snapshots `table` into the
@@ -706,7 +714,7 @@ impl AdaptiveExecutor {
         num_items: usize,
         table: &LockTable,
     ) -> Result<ExecutionReport, ExecError> {
-        self.run_impl(workload, num_items, NullSink, Some(table))
+        self.run_impl(workload, num_items, NullSink, NullJournal, Some(table))
     }
 
     /// Like [`run`](AdaptiveExecutor::run), but records the adaptation
@@ -724,14 +732,59 @@ impl AdaptiveExecutor {
         num_items: usize,
         sink: &mut S,
     ) -> Result<ExecutionReport, ExecError> {
-        self.run_impl(workload, num_items, sink, None)
+        self.run_impl(workload, num_items, sink, NullJournal, None)
     }
 
-    fn run_impl<W: AdaptiveWorkload, S: TraceSink + Send>(
+    /// Like [`run`](AdaptiveExecutor::run), but records every controller
+    /// decision — switches, change-point alarms, health transitions,
+    /// quarantines — with its full evidence snapshot into `journal`,
+    /// stamped with wall-clock offsets from the start of the run. Pass a
+    /// [`crate::journal::JournalBuffer`] (or a
+    /// [`crate::serve::SharedJournal`] for live telemetry export);
+    /// [`run`](AdaptiveExecutor::run) itself uses a [`NullJournal`], which
+    /// monomorphizes all journaling away.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](AdaptiveExecutor::run).
+    pub fn run_journaled<W: AdaptiveWorkload, J: JournalSink + Send>(
+        &self,
+        workload: &W,
+        num_items: usize,
+        journal: &mut J,
+    ) -> Result<ExecutionReport, ExecError> {
+        self.run_impl(workload, num_items, NullSink, journal, None)
+    }
+
+    /// The full flight-recorder configuration: adaptation timeline into
+    /// `sink`, decision journal into `journal`, per-lock profile from
+    /// `table` — all three observation channels at once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](AdaptiveExecutor::run).
+    pub fn run_flight_recorded<W, S, J>(
+        &self,
+        workload: &W,
+        num_items: usize,
+        sink: &mut S,
+        journal: &mut J,
+        table: &LockTable,
+    ) -> Result<ExecutionReport, ExecError>
+    where
+        W: AdaptiveWorkload,
+        S: TraceSink + Send,
+        J: JournalSink + Send,
+    {
+        self.run_impl(workload, num_items, sink, journal, Some(table))
+    }
+
+    fn run_impl<W: AdaptiveWorkload, S: TraceSink + Send, J: JournalSink + Send>(
         &self,
         workload: &W,
         num_items: usize,
         mut sink: S,
+        journal: J,
         table: Option<&LockTable>,
     ) -> Result<ExecutionReport, ExecError> {
         if workload.num_versions() != self.config.controller.num_policies {
@@ -777,6 +830,8 @@ impl AdaptiveExecutor {
                 quarantine_log: Vec::new(),
                 rehab_log: Vec::new(),
                 sink,
+                journal,
+                evidence: EvidenceTracker::new(self.config.controller.num_policies),
             }),
             costs: self.config.costs,
         };
@@ -810,7 +865,11 @@ impl AdaptiveExecutor {
         })
     }
 
-    fn worker_loop<W: AdaptiveWorkload, S: TraceSink>(&self, shared: &Shared<S>, workload: &W) {
+    fn worker_loop<W: AdaptiveWorkload, S: TraceSink, J: JournalSink>(
+        &self,
+        shared: &Shared<S, J>,
+        workload: &W,
+    ) {
         let mut since_poll = 0usize;
         loop {
             if shared.aborted.load(Ordering::Acquire) {
@@ -895,7 +954,11 @@ impl AdaptiveExecutor {
     /// A version closure panicked: quarantine it (a hard failure in the
     /// health machine), restart the measurement interval among the
     /// survivors, or abort the run when none remain.
-    fn quarantine_version<S: TraceSink>(&self, shared: &Shared<S>, policy: PolicyId) {
+    fn quarantine_version<S: TraceSink, J: JournalSink>(
+        &self,
+        shared: &Shared<S, J>,
+        policy: PolicyId,
+    ) {
         let survivor = {
             let mut control = lock(&shared.control);
             let current = match control.controller.phase() {
@@ -921,18 +984,37 @@ impl AdaptiveExecutor {
                 control.signal_snapshot = control.snapshot;
             }
             let health = control.controller.drain_health_events();
-            if S::ENABLED {
+            if S::ENABLED || J::ENABLED {
                 let at = control.run_start.elapsed();
-                trace::record_health_events(&mut control.sink, at, &health);
-                if let Ok(next) = survivor {
-                    control.sink.record(
-                        at,
-                        TraceEvent::PolicySwitch {
-                            from: policy,
-                            to: next,
-                            reason: SwitchReason::Quarantine,
-                        },
-                    );
+                if S::ENABLED {
+                    trace::record_health_events(&mut control.sink, at, &health);
+                    if let Ok(next) = survivor {
+                        control.sink.record(
+                            at,
+                            TraceEvent::PolicySwitch {
+                                from: policy,
+                                to: next,
+                                reason: SwitchReason::Quarantine,
+                            },
+                        );
+                    }
+                }
+                if J::ENABLED {
+                    let ev =
+                        control.evidence.evidence(&control.controller, at, None, Duration::ZERO);
+                    journal::record_health(&mut control.journal, at, &health, &ev);
+                    if let Ok(next) = survivor {
+                        control.journal.record(DecisionRecord {
+                            seq: 0,
+                            at,
+                            kind: DecisionKind::Switch {
+                                from: policy,
+                                to: next,
+                                reason: SwitchReason::Quarantine,
+                            },
+                            evidence: ev,
+                        });
+                    }
                 }
             }
             survivor
@@ -949,7 +1031,7 @@ impl AdaptiveExecutor {
         }
     }
 
-    fn rendezvous<S: TraceSink>(&self, shared: &Shared<S>) {
+    fn rendezvous<S: TraceSink, J: JournalSink>(&self, shared: &Shared<S, J>) {
         shared.gate.arrive_and_wait(|active| {
             let mut control = lock(&shared.control);
             let now = Instant::now();
@@ -1009,20 +1091,7 @@ impl AdaptiveExecutor {
                     control.rehab_log.push(*p);
                 }
             }
-            if S::ENABLED {
-                control.sink.record(at, TraceEvent::BarrierSync { arrived: active });
-                trace::record_health_events(&mut control.sink, at, &health);
-                if let Some(snap) = chart {
-                    control.sink.record(
-                        at,
-                        TraceEvent::ChangePointAlarm {
-                            policy,
-                            score: snap.score,
-                            threshold: snap.threshold,
-                            observations: snap.observations,
-                        },
-                    );
-                }
+            if S::ENABLED || J::ENABLED {
                 let after = control.controller.phase();
                 // A change-point alarm is why this production interval
                 // ended early; otherwise a switch into a policy that just
@@ -1036,17 +1105,50 @@ impl AdaptiveExecutor {
                         .any(|e| matches!(e, HealthEvent::Rehabilitated(p) if *p == next))
                         .then_some(SwitchReason::Rehabilitated)
                 };
-                trace::record_transition_with(
-                    &mut control.sink,
-                    at,
-                    phase,
-                    overhead,
-                    actual,
-                    false,
-                    after,
-                    false,
-                    reason,
-                );
+                if S::ENABLED {
+                    control.sink.record(at, TraceEvent::BarrierSync { arrived: active });
+                    trace::record_health_events(&mut control.sink, at, &health);
+                    if let Some(snap) = chart {
+                        control.sink.record(
+                            at,
+                            TraceEvent::ChangePointAlarm {
+                                policy,
+                                score: snap.score,
+                                threshold: snap.threshold,
+                                observations: snap.observations,
+                            },
+                        );
+                    }
+                    trace::record_transition_with(
+                        &mut control.sink,
+                        at,
+                        phase,
+                        overhead,
+                        actual,
+                        false,
+                        after,
+                        false,
+                        reason,
+                    );
+                }
+                if J::ENABLED {
+                    control.evidence.note_measurement(policy, at);
+                    let ev =
+                        control.evidence.evidence(&control.controller, at, Some(overhead), actual);
+                    journal::record_health(&mut control.journal, at, &health, &ev);
+                    if chart.is_some() {
+                        journal::record_alarm(&mut control.journal, at, policy, ev.clone());
+                    }
+                    journal::record_switch(
+                        &mut control.journal,
+                        at,
+                        phase,
+                        after,
+                        false,
+                        reason,
+                        ev,
+                    );
+                }
             }
         });
     }

@@ -1,0 +1,500 @@
+//! Minimal dependency-free HTTP telemetry exporter.
+//!
+//! A tiny blocking HTTP/1.1 server over [`std::net::TcpListener`] exposing
+//! the observability layers of a live run:
+//!
+//! * `GET /metrics` — the [`crate::metrics::prometheus_text`] exposition of
+//!   the current [`MetricsRegistry`] (per-lock counters, histograms and
+//!   quantile estimates).
+//! * `GET /snapshot` — a stable JSON summary of the controller's latest
+//!   decision: current policy, per-policy evidence, health-tier counts,
+//!   detector chart state, and journal loss counters.
+//! * `GET /decisions` — the decision-journal tail as NDJSON (one
+//!   [`crate::journal::DecisionRecord`] per line; `?limit=N` bounds the
+//!   tail, default 256).
+//!
+//! The request handling is factored as the pure function [`respond`] over a
+//! [`TelemetryProvider`], so every route is unit-testable without sockets;
+//! [`serve`] is the accept loop. [`SharedTelemetry`] is the ready-made
+//! provider for the realtime driver: a [`SharedJournal`] (an
+//! `Arc<Mutex<JournalBuffer>>` that *is* a [`JournalSink`], so the executor
+//! writes decisions into the same buffer the server reads) plus a shared
+//! [`MetricsRegistry`].
+
+use crate::journal::{decision_ndjson, DecisionKind, DecisionRecord, JournalBuffer, JournalSink};
+use crate::metrics::{prometheus_text, MetricsRegistry};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default number of journal records returned by `GET /decisions`.
+pub const DEFAULT_DECISIONS_LIMIT: usize = 256;
+
+/// Supplies the three telemetry documents to the HTTP layer.
+pub trait TelemetryProvider {
+    /// The Prometheus text exposition for `GET /metrics`.
+    fn metrics_text(&self) -> String;
+    /// The stable JSON document for `GET /snapshot`.
+    fn snapshot_json(&self) -> String;
+    /// The NDJSON journal tail (newest `limit` records, oldest first) for
+    /// `GET /decisions`.
+    fn decisions_ndjson(&self, limit: usize) -> String;
+}
+
+/// A rendered HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200 or 404).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Serialize as an HTTP/1.1 response with `Connection: close`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            _ => "Error",
+        };
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            self.body
+        )
+        .into_bytes()
+    }
+}
+
+/// Route a request path (with optional query string) to its telemetry
+/// document. Pure: all side effects live in the provider.
+pub fn respond<P: TelemetryProvider + ?Sized>(provider: &P, path: &str) -> HttpResponse {
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, Some(q)),
+        None => (path, None),
+    };
+    match route {
+        "/metrics" => HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: provider.metrics_text(),
+        },
+        "/snapshot" => HttpResponse {
+            status: 200,
+            content_type: "application/json",
+            body: provider.snapshot_json(),
+        },
+        "/decisions" => {
+            let limit = query
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("limit="))
+                        .and_then(|v| v.parse::<usize>().ok())
+                })
+                .unwrap_or(DEFAULT_DECISIONS_LIMIT)
+                .max(1);
+            HttpResponse {
+                status: 200,
+                content_type: "application/x-ndjson",
+                body: provider.decisions_ndjson(limit),
+            }
+        }
+        _ => HttpResponse {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("no such route {route}; try /metrics, /snapshot or /decisions\n"),
+        },
+    }
+}
+
+/// A journal buffer shared between a driver (writing) and the telemetry
+/// server (reading). Cloning shares the underlying buffer.
+///
+/// Implements [`JournalSink`], so it plugs directly into the journaled
+/// executor entry points; the mutex is only contended when a scrape
+/// overlaps a decision, and decisions are rare (interval boundaries).
+#[derive(Debug, Clone, Default)]
+pub struct SharedJournal(Arc<Mutex<JournalBuffer>>);
+
+impl SharedJournal {
+    /// A shared journal holding at most `capacity` records.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SharedJournal(Arc::new(Mutex::new(JournalBuffer::new(capacity))))
+    }
+
+    /// Run `f` over the underlying buffer.
+    pub fn with<R>(&self, f: impl FnOnce(&JournalBuffer) -> R) -> R {
+        f(&self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}
+
+impl JournalSink for SharedJournal {
+    fn record(&mut self, record: DecisionRecord) {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).record(record);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.with(JournalBuffer::dropped)
+    }
+}
+
+/// The ready-made [`TelemetryProvider`] for a live realtime run: a shared
+/// journal, a shared metrics registry (refreshed by the driver, e.g. from a
+/// [`crate::metrics::LockTable`] snapshot), and per-lock region labels.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTelemetry {
+    journal: SharedJournal,
+    registry: Arc<Mutex<MetricsRegistry>>,
+    labels: Arc<Vec<String>>,
+}
+
+impl SharedTelemetry {
+    /// A provider over `journal` with region `labels` (indexed by lock id;
+    /// missing entries render as `lock<id>`).
+    #[must_use]
+    pub fn new(journal: SharedJournal, labels: Vec<String>) -> Self {
+        SharedTelemetry {
+            journal,
+            registry: Arc::new(Mutex::new(MetricsRegistry::new())),
+            labels: Arc::new(labels),
+        }
+    }
+
+    /// The shared journal (hand a clone to the driver as its sink).
+    #[must_use]
+    pub fn journal(&self) -> SharedJournal {
+        self.journal.clone()
+    }
+
+    /// Replace the published registry (e.g. with a fresh lock-table
+    /// snapshot folded together with driver counters).
+    pub fn publish_registry(&self, registry: MetricsRegistry) {
+        *self.registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = registry;
+    }
+
+    fn label_of(&self, id: usize) -> String {
+        self.labels.get(id).cloned().unwrap_or_else(|| format!("lock{id}"))
+    }
+}
+
+/// Build the `/snapshot` JSON from a journal buffer: the latest decision's
+/// evidence (current policy from the latest switch, per-policy rows,
+/// detector state, health-tier counts) plus the journal loss counters.
+/// Stable field order; deterministic for a given buffer.
+#[must_use]
+pub fn snapshot_json_from(journal: &JournalBuffer) -> String {
+    let current_policy = journal.iter().rev().find_map(|r| match r.kind {
+        DecisionKind::Switch { to, .. } => Some(to),
+        _ => None,
+    });
+    let latest = journal.latest();
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"policy\":");
+    match current_policy {
+        Some(p) => {
+            let _ = write!(out, "{p}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"decisions\":{},\"buffered\":{},\"dropped\":{}",
+        journal.total_recorded(),
+        journal.len(),
+        journal.dropped()
+    );
+    let (mut healthy, mut suspect, mut quarantined) = (0usize, 0usize, 0usize);
+    if let Some(rec) = latest {
+        for p in &rec.evidence.policies {
+            match p.health {
+                "suspect" => suspect += 1,
+                "quarantined" => quarantined += 1,
+                _ => healthy += 1,
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        ",\"health\":{{\"healthy\":{healthy},\"suspect\":{suspect},\"quarantined\":{quarantined}}}"
+    );
+    out.push_str(",\"policies\":[");
+    if let Some(rec) = latest {
+        for (i, p) in rec.evidence.policies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"policy\":{},\"overhead\":", p.policy);
+            match p.overhead {
+                Some(v) if v.is_finite() => {
+                    let _ = write!(out, "{v:.6}");
+                }
+                _ => out.push_str("null"),
+            }
+            let _ =
+                write!(out, ",\"confidence\":{:.6},\"health\":\"{}\"}}", p.confidence, p.health);
+        }
+    }
+    out.push_str("],\"detector\":");
+    match latest.and_then(|r| r.evidence.detector.as_ref()) {
+        Some(d) => {
+            let baseline = if d.baseline.is_finite() {
+                format!("{:.6}", d.baseline)
+            } else {
+                "null".to_string()
+            };
+            let _ = write!(
+                out,
+                "{{\"score\":{:.6},\"threshold\":{:.6},\"baseline\":{baseline},\"observations\":{}}}",
+                d.score, d.threshold, d.observations
+            );
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+impl TelemetryProvider for SharedTelemetry {
+    fn metrics_text(&self) -> String {
+        let mut registry =
+            self.registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        // Journal losses ride along as free-form counters (nonzero-only,
+        // matching the sim driver's convention).
+        let dropped = self.journal.with(JournalBuffer::dropped);
+        if dropped > 0 {
+            use crate::metrics::MetricsSink as _;
+            registry.counter("journal_dropped", dropped);
+        }
+        prometheus_text(&registry, |id| self.label_of(id))
+    }
+
+    fn snapshot_json(&self) -> String {
+        self.journal.with(snapshot_json_from)
+    }
+
+    fn decisions_ndjson(&self, limit: usize) -> String {
+        self.journal.with(|j| decision_ndjson(j.tail(limit).iter()))
+    }
+}
+
+fn handle_connection<P: TelemetryProvider + ?Sized>(
+    mut stream: TcpStream,
+    provider: &P,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 4096];
+    let mut filled = 0usize;
+    // Read until the request line is complete (first CRLF); anything after
+    // it (headers) is irrelevant to routing.
+    loop {
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(2).any(|w| w == b"\r\n") || filled == buf.len() {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..filled]);
+    let line = request.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or("/"));
+    let response = if method == "GET" {
+        respond(provider, path)
+    } else {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: "only GET is supported\n".to_string(),
+        }
+    };
+    stream.write_all(&response.to_bytes())?;
+    stream.flush()
+}
+
+/// Serve telemetry over `listener` until `shutdown` becomes true.
+///
+/// Blocking, single-threaded, connection-per-request: the right shape for
+/// a scrape endpoint (Prometheus polls at multi-second intervals). The
+/// listener is polled in non-blocking mode so shutdown is honored within
+/// ~50 ms. Per-connection I/O errors are swallowed — a malformed scrape
+/// must never take down the workload being observed.
+pub fn serve<P: TelemetryProvider + ?Sized>(
+    listener: TcpListener,
+    provider: &P,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                // Switch the accepted stream back to blocking for the
+                // request/response exchange.
+                let _ = stream.set_nonblocking(false);
+                let _ = handle_connection(stream, provider);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorSnapshot;
+    use crate::journal::{Evidence, PolicyEvidence};
+    use crate::metrics::MetricsSink as _;
+    use crate::trace::SwitchReason;
+
+    fn seeded_telemetry() -> SharedTelemetry {
+        let telemetry =
+            SharedTelemetry::new(SharedJournal::new(64), vec!["cons:shared".to_string()]);
+        let mut journal = telemetry.journal();
+        let evidence = Evidence {
+            policies: vec![
+                PolicyEvidence {
+                    policy: 0,
+                    overhead: Some(0.4),
+                    confidence: 0.9,
+                    health: "healthy",
+                },
+                PolicyEvidence {
+                    policy: 1,
+                    overhead: Some(0.1),
+                    confidence: 1.0,
+                    health: "suspect",
+                },
+            ],
+            detector: Some(DetectorSnapshot {
+                score: 0.1,
+                threshold: 0.25,
+                baseline: 0.3,
+                observations: 5,
+            }),
+            interval_overhead: Some(0.1),
+            interval: Duration::from_millis(1),
+        };
+        journal.record(DecisionRecord {
+            seq: 0,
+            at: Duration::from_millis(3),
+            kind: DecisionKind::Switch { from: 0, to: 1, reason: SwitchReason::MeasuredBest },
+            evidence,
+        });
+        let mut registry = MetricsRegistry::new();
+        registry.lock_acquired(0, Duration::from_nanos(10), Duration::from_nanos(90), 1);
+        registry.lock_released(0, Duration::from_nanos(10), Duration::from_nanos(40));
+        telemetry.publish_registry(registry);
+        telemetry
+    }
+
+    #[test]
+    fn routes_serve_their_documents() {
+        let telemetry = seeded_telemetry();
+        let metrics = respond(&telemetry, "/metrics");
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.content_type.starts_with("text/plain"));
+        assert!(metrics.body.contains("dynfb_lock_acquires_total"), "{}", metrics.body);
+        assert!(metrics.body.contains("region=\"cons:shared\""), "{}", metrics.body);
+
+        let snapshot = respond(&telemetry, "/snapshot");
+        assert_eq!(snapshot.status, 200);
+        assert_eq!(snapshot.content_type, "application/json");
+        assert!(snapshot.body.contains("\"policy\":1"), "{}", snapshot.body);
+        assert!(
+            snapshot.body.contains("\"health\":{\"healthy\":1,\"suspect\":1,\"quarantined\":0}"),
+            "{}",
+            snapshot.body
+        );
+        assert!(snapshot.body.contains("\"score\":0.100000"), "{}", snapshot.body);
+
+        let decisions = respond(&telemetry, "/decisions?limit=10");
+        assert_eq!(decisions.status, 200);
+        assert_eq!(decisions.content_type, "application/x-ndjson");
+        assert!(decisions.body.contains("\"reason\":\"measured-best\""), "{}", decisions.body);
+
+        let missing = respond(&telemetry, "/nope");
+        assert_eq!(missing.status, 404);
+    }
+
+    #[test]
+    fn empty_journal_snapshot_is_valid() {
+        let telemetry = SharedTelemetry::new(SharedJournal::new(4), vec![]);
+        let snapshot = respond(&telemetry, "/snapshot");
+        assert!(snapshot.body.starts_with("{\"policy\":null"), "{}", snapshot.body);
+        assert!(snapshot.body.contains("\"detector\":null"), "{}", snapshot.body);
+        let decisions = respond(&telemetry, "/decisions");
+        assert_eq!(decisions.body, "");
+    }
+
+    #[test]
+    fn journal_losses_surface_in_metrics() {
+        let telemetry = SharedTelemetry::new(SharedJournal::new(1), vec![]);
+        let mut journal = telemetry.journal();
+        for i in 0..3 {
+            journal.record(DecisionRecord {
+                seq: 0,
+                at: Duration::from_nanos(i),
+                kind: DecisionKind::Alarm { policy: 0 },
+                evidence: Evidence::default(),
+            });
+        }
+        let metrics = respond(&telemetry, "/metrics");
+        assert!(
+            metrics.body.contains("dynfb_counter{name=\"journal_dropped\"} 2"),
+            "{}",
+            metrics.body
+        );
+    }
+
+    #[test]
+    fn tcp_roundtrip_serves_all_routes() {
+        let telemetry = seeded_telemetry();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = {
+            let telemetry = telemetry.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve(listener, &telemetry, &shutdown))
+        };
+        for (path, must_contain) in [
+            ("/metrics", "dynfb_lock_acquires_total"),
+            ("/snapshot", "\"policy\":1"),
+            ("/decisions", "\"kind\":\"switch\""),
+        ] {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+            let mut body = String::new();
+            stream.read_to_string(&mut body).unwrap();
+            assert!(body.starts_with("HTTP/1.1 200 OK\r\n"), "{path}: {body}");
+            assert!(body.contains(must_contain), "{path}: {body}");
+            // Content-Length matches the actual body.
+            let (head, payload) = body.split_once("\r\n\r\n").unwrap();
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(len, payload.len(), "{path}");
+        }
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().unwrap().unwrap();
+    }
+}

@@ -223,6 +223,13 @@ pub trait TraceSink {
 
     /// Record one event at offset `at` from the start of the run.
     fn record(&mut self, at: Duration, event: TraceEvent);
+
+    /// Events lost to capacity limits so far (0 for unbounded sinks).
+    /// Drivers export this nonzero-only as the `trace_dropped` counter so
+    /// ring-buffer truncation is never silent.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// The disabled sink: discards everything at zero cost.
@@ -242,6 +249,11 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     #[inline]
     fn record(&mut self, at: Duration, event: TraceEvent) {
         (**self).record(at, event);
+    }
+
+    #[inline]
+    fn dropped(&self) -> u64 {
+        (**self).dropped()
     }
 }
 
@@ -299,6 +311,10 @@ impl TraceSink for RingBuffer {
             self.dropped += 1;
         }
         self.events.push_back(TracedEvent { at, event });
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -585,6 +601,23 @@ mod tests {
         let events = ring.into_events();
         assert_eq!(events[0].at, Duration::from_nanos(3));
         assert_eq!(events[1].at, Duration::from_nanos(4));
+    }
+
+    #[test]
+    fn saturated_one_slot_ring_reports_exact_drop_totals() {
+        // The loss counter must be exact even in the degenerate one-slot
+        // configuration, where every record past the first evicts: this is
+        // what the drivers export (nonzero-only) as `trace_dropped`.
+        let mut ring = RingBuffer::new(1);
+        for i in 0..9u64 {
+            ring.record(Duration::from_nanos(i), TraceEvent::RunEnd);
+        }
+        assert_eq!(ring.len(), 1);
+        assert_eq!(TraceSink::dropped(&ring), 8);
+        // The null sink (and the forwarding impl) report zero losses.
+        assert_eq!(TraceSink::dropped(&NullSink), 0);
+        let mut null = NullSink;
+        assert_eq!(TraceSink::dropped(&&mut null), 0);
     }
 
     #[test]

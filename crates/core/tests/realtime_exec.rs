@@ -193,6 +193,58 @@ fn trace_events_are_ordered_and_consistent_with_the_report() {
     assert!(syncs.iter().all(|&a| a >= 1 && a <= workers), "{syncs:?}");
 }
 
+/// The realtime journal mirrors the trace: every journaled switch lines
+/// up with a `PolicySwitch` trace event (same order, policies, reason,
+/// timestamp), and `strip_wall_clock` quarantines the one nondeterministic
+/// field — the wall-clock offset — from the NDJSON rendering.
+#[test]
+fn journal_mirrors_the_trace_and_wall_clock_strips_cleanly() {
+    use dynfb_core::journal::{
+        decision_ndjson, strip_wall_clock, DecisionKind, JournalBuffer, JournalSink,
+    };
+
+    let w = Toy::new();
+    let mut ring = RingBuffer::new(1 << 16);
+    let mut journal = JournalBuffer::new(1 << 16);
+    let table = dynfb_core::metrics::LockTable::new(1);
+    exec(2).run_flight_recorded(&w, 150_000, &mut ring, &mut journal, &table).expect("no panics");
+    assert_eq!(journal.dropped(), 0);
+    assert_eq!(ring.dropped(), 0);
+
+    let records = journal.into_records();
+    assert!(!records.is_empty(), "a long adaptive run must decide");
+
+    // Journal switches agree 1:1 with trace PolicySwitch events.
+    let switches: Vec<_> =
+        records.iter().filter(|r| matches!(r.kind, DecisionKind::Switch { .. })).collect();
+    let traced: Vec<&TracedEvent> =
+        ring.iter().filter(|e| matches!(e.event, TraceEvent::PolicySwitch { .. })).collect();
+    assert_eq!(switches.len(), traced.len());
+    for (rec, ev) in switches.iter().zip(&traced) {
+        assert_eq!(rec.at, ev.at);
+        let DecisionKind::Switch { from, to, reason } = rec.kind else { unreachable!() };
+        assert_eq!(
+            ev.event,
+            TraceEvent::PolicySwitch { from, to, reason },
+            "journal {rec:?} disagrees with trace {ev:?}"
+        );
+    }
+    // Evidence snapshots carry one entry per policy version.
+    for rec in &records {
+        assert_eq!(rec.evidence.policies.len(), 2, "{rec:?}");
+    }
+
+    // Wall-clock offsets are the only nondeterministic field; stripping
+    // them zeroes every `at_ns` and leaves the rest of the bytes intact.
+    let ndjson = decision_ndjson(&records);
+    let stripped = strip_wall_clock(&ndjson);
+    assert_eq!(stripped.lines().count(), records.len());
+    for line in stripped.lines() {
+        assert!(line.contains("\"at_ns\":0,"), "{line}");
+    }
+    assert_eq!(stripped, strip_wall_clock(&stripped), "stripping is idempotent");
+}
+
 /// A quarantined version shows up in the trace as a quarantine switch.
 #[test]
 fn quarantine_emits_a_policy_switch_event() {
@@ -205,11 +257,17 @@ fn quarantine_emits_a_policy_switch_event() {
             assert_ne!(version, 0, "version 0 is broken");
         }
     }
+    use dynfb_core::journal::{DecisionKind, JournalBuffer};
+
     // Keep the expected panics out of the test output.
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let mut ring = RingBuffer::new(1 << 14);
-    let report = exec(2).run_traced(&HalfBroken, 2_000, &mut ring).expect("version 1 survives");
+    let mut journal = JournalBuffer::new(1 << 14);
+    let table = dynfb_core::metrics::LockTable::new(1);
+    let report = exec(2)
+        .run_flight_recorded(&HalfBroken, 2_000, &mut ring, &mut journal, &table)
+        .expect("version 1 survives");
     std::panic::set_hook(prev);
     assert_eq!(report.items_processed, 2_000);
     assert_eq!(report.quarantined, vec![0]);
@@ -221,4 +279,12 @@ fn quarantine_emits_a_policy_switch_event() {
     });
     let events: Vec<&TracedEvent> = ring.iter().collect();
     assert!(quarantine.is_some(), "{events:?}");
+    // The journal records the same decision, with the quarantined policy's
+    // health in the evidence snapshot.
+    let journaled = journal.iter().find(|r| {
+        matches!(r.kind, DecisionKind::Switch { from: 0, to: 1, reason: SwitchReason::Quarantine })
+    });
+    let journaled = journaled.unwrap_or_else(|| panic!("no quarantine decision journaled"));
+    let broken = journaled.evidence.policies.iter().find(|p| p.policy == 0);
+    assert_eq!(broken.map(|p| p.health), Some("quarantined"), "{journaled:?}");
 }

@@ -33,6 +33,7 @@ use crate::process::{BarrierId, LockId, ProcCtx, Process, Step};
 use crate::stats::{MachineStats, ProcStats};
 use crate::time::SimTime;
 use dynfb_core::controller::{Controller, ControllerConfig, HealthEvent, Phase};
+use dynfb_core::journal::{self, EvidenceTracker, JournalSink, NullJournal};
 use dynfb_core::metrics::{MetricsSink, NoMetrics};
 use dynfb_core::overhead::OverheadSample;
 use dynfb_core::trace::{self, NullSink, SwitchReason, TraceEvent, TraceSink};
@@ -410,7 +411,7 @@ impl AppReport {
 }
 
 /// Shared per-run state (single-threaded simulation: `Rc<RefCell>`).
-struct Driver<'a, S: TraceSink> {
+struct Driver<'a, S: TraceSink, J: JournalSink> {
     app: Box<dyn SimApp + 'a>,
     plan: Vec<PlanEntry>,
     mode: RunMode,
@@ -419,6 +420,10 @@ struct Driver<'a, S: TraceSink> {
     /// given app + config the event stream is byte-deterministic. The
     /// default [`NullSink`] monomorphizes every emission away.
     sink: S,
+    /// Decision flight recorder. Records are stamped with virtual time and
+    /// carry the full evidence snapshot behind each controller decision;
+    /// the default [`NullJournal`] monomorphizes every emission away.
+    journal: J,
     active: Option<Active>,
     reports: Vec<SectionExecution>,
     /// Controllers persisted per section name across executions, so the
@@ -477,6 +482,9 @@ struct SavedController {
     controller: Controller,
     /// `(elapsed, accumulated stats)` of the interrupted interval.
     carry: Option<(Duration, ProcStats)>,
+    /// Measurement-age tracker for journal evidence (`None` when the
+    /// journal is disabled).
+    evidence: Option<EvidenceTracker>,
 }
 
 /// State of the section currently executing.
@@ -514,9 +522,12 @@ struct Active {
     section_over: bool,
     start: SimTime,
     records: Vec<SampleRecord>,
+    /// Measurement-age tracker for journal evidence; `Some` exactly when
+    /// the journal is enabled and the section runs a controller.
+    evidence: Option<EvidenceTracker>,
 }
 
-impl<'a, S: TraceSink> Driver<'a, S> {
+impl<'a, S: TraceSink, J: JournalSink> Driver<'a, S, J> {
     /// Initialize section `plan_idx` if not already active. `totals` are
     /// machine-wide stats at `now` (the baseline for the first interval's
     /// overhead measurement).
@@ -547,7 +558,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
         );
         let entry = self.plan[plan_idx].clone();
         let init = match entry.kind {
-            SectionKind::Serial => (0, 0, None, now, observed, totals),
+            SectionKind::Serial => (0, 0, None, now, observed, totals, None),
             SectionKind::Parallel => {
                 let iters = self.app.begin_parallel(&entry.name);
                 let versions = self.app.versions(&entry.name);
@@ -563,16 +574,21 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                 available: versions,
                             });
                         };
-                        (iters, v, None, now, observed, totals)
+                        (iters, v, None, now, observed, totals, None)
                     }
                     RunMode::Dynamic(cfg) | RunMode::DynamicAsync(cfg) => {
                         let saved = self.controllers.remove(&entry.name);
-                        let (mut ctl, carry) = match saved {
-                            Some(s) => (s.controller, s.carry),
+                        let (mut ctl, carry, tracker) = match saved {
+                            Some(s) => (s.controller, s.carry, s.evidence),
                             None => {
                                 let mut cfg = cfg.clone();
                                 cfg.num_policies = versions.len();
-                                (Controller::new(cfg), None)
+                                let tracker = if J::ENABLED {
+                                    Some(EvidenceTracker::new(versions.len()))
+                                } else {
+                                    None
+                                };
+                                (Controller::new(cfg), None, tracker)
                             }
                         };
                         match (self.span_intervals, carry) {
@@ -597,6 +613,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                     backdate(now),
                                     backdate(observed),
                                     rebased,
+                                    tracker,
                                 )
                             }
                             _ => {
@@ -617,15 +634,38 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                                         ctl.phase(),
                                     );
                                 }
-                                (iters, first, Some(ctl), now, observed, totals)
+                                if J::ENABLED {
+                                    if let Some(tr) = tracker.as_ref() {
+                                        let ev = tr.evidence(
+                                            &ctl,
+                                            now.as_duration(),
+                                            None,
+                                            Duration::ZERO,
+                                        );
+                                        journal::record_health(
+                                            &mut self.journal,
+                                            now.as_duration(),
+                                            &health,
+                                            &ev,
+                                        );
+                                    }
+                                }
+                                (iters, first, Some(ctl), now, observed, totals, tracker)
                             }
                         }
                     }
                 }
             }
         };
-        let (total_iters, version, controller, interval_start, interval_start_observed, snapshot) =
-            init;
+        let (
+            total_iters,
+            version,
+            controller,
+            interval_start,
+            interval_start_observed,
+            snapshot,
+            evidence,
+        ) = init;
         self.active = Some(Active {
             plan_idx,
             kind: entry.kind,
@@ -645,6 +685,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             section_over: false,
             start: now,
             records: Vec::new(),
+            evidence,
         });
         Ok(())
     }
@@ -676,10 +717,11 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             // the interval records nothing (crash fallback) rather than a
             // deceptively low overhead.
             let poisoned = crashed > active.crashed_snapshot;
+            let finished = ctl.current_policy();
             active.records.push(SampleRecord {
                 at: now,
                 phase: before,
-                version: ctl.current_policy(),
+                version: finished,
                 overhead,
                 actual,
                 partial: false,
@@ -712,19 +754,7 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             if quiescent {
                 self.counts.resample_quiescent += 1;
             }
-            if S::ENABLED {
-                trace::record_health_events(&mut self.sink, now.as_duration(), &health);
-                if let Some(snap) = chart {
-                    self.sink.record(
-                        now.as_duration(),
-                        TraceEvent::ChangePointAlarm {
-                            policy: active.records.last().map_or(0, |r| r.version),
-                            score: snap.score,
-                            threshold: snap.threshold,
-                            observations: snap.observations,
-                        },
-                    );
-                }
+            if S::ENABLED || J::ENABLED {
                 let reason = if poisoned {
                     Some(SwitchReason::CrashFallback)
                 } else if alarmed {
@@ -737,17 +767,57 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                 } else {
                     None
                 };
-                trace::record_transition_with(
-                    &mut self.sink,
-                    now.as_duration(),
-                    before,
-                    overhead,
-                    actual,
-                    false,
-                    ctl.phase(),
-                    false,
-                    reason,
-                );
+                if S::ENABLED {
+                    trace::record_health_events(&mut self.sink, now.as_duration(), &health);
+                    if let Some(snap) = chart {
+                        self.sink.record(
+                            now.as_duration(),
+                            TraceEvent::ChangePointAlarm {
+                                policy: active.records.last().map_or(0, |r| r.version),
+                                score: snap.score,
+                                threshold: snap.threshold,
+                                observations: snap.observations,
+                            },
+                        );
+                    }
+                    trace::record_transition_with(
+                        &mut self.sink,
+                        now.as_duration(),
+                        before,
+                        overhead,
+                        actual,
+                        false,
+                        ctl.phase(),
+                        false,
+                        reason,
+                    );
+                }
+                if J::ENABLED {
+                    if let Some(tr) = active.evidence.as_mut() {
+                        if !poisoned {
+                            tr.note_measurement(finished, now.as_duration());
+                        }
+                        let ev = tr.evidence(ctl, now.as_duration(), Some(overhead), actual);
+                        journal::record_health(&mut self.journal, now.as_duration(), &health, &ev);
+                        if chart.is_some() {
+                            journal::record_alarm(
+                                &mut self.journal,
+                                now.as_duration(),
+                                finished,
+                                ev.clone(),
+                            );
+                        }
+                        journal::record_switch(
+                            &mut self.journal,
+                            now.as_duration(),
+                            before,
+                            ctl.phase(),
+                            false,
+                            reason,
+                            ev,
+                        );
+                    }
+                }
             }
         }
     }
@@ -806,6 +876,21 @@ impl<'a, S: TraceSink> Driver<'a, S> {
                         ctl.phase(),
                         true,
                     );
+                }
+                if J::ENABLED {
+                    if let Some(tr) = active.evidence.as_mut() {
+                        let ev = tr.evidence(ctl, now.as_duration(), Some(overhead), actual);
+                        journal::record_health(&mut self.journal, now.as_duration(), &health, &ev);
+                        journal::record_switch(
+                            &mut self.journal,
+                            now.as_duration(),
+                            before,
+                            ctl.phase(),
+                            true,
+                            None,
+                            ev,
+                        );
+                    }
                 }
             }
             active.interval_start = now;
@@ -905,7 +990,8 @@ impl<'a, S: TraceSink> Driver<'a, S> {
             // Persist the controller (and its policy history) for the next
             // execution of this section.
             if let Some(controller) = active.controller.take() {
-                self.controllers.insert(name, SavedController { controller, carry });
+                let evidence = active.evidence.take();
+                self.controllers.insert(name, SavedController { controller, carry, evidence });
             }
         }
     }
@@ -934,8 +1020,8 @@ enum AfterDrain {
     NextIteration { poll: bool },
 }
 
-struct AppProcess<'a, S: TraceSink> {
-    driver: Rc<RefCell<Driver<'a, S>>>,
+struct AppProcess<'a, S: TraceSink, J: JournalSink> {
+    driver: Rc<RefCell<Driver<'a, S, J>>>,
     proc_index: usize,
     pos: usize,
     state: PState,
@@ -952,7 +1038,7 @@ fn crashed_count(ctx: &ProcCtx<'_>) -> usize {
     ctx.all_stats().iter().filter(|p| p.crashed_at.is_some()).count()
 }
 
-impl<'a, S: TraceSink> AppProcess<'a, S> {
+impl<'a, S: TraceSink, J: JournalSink> AppProcess<'a, S, J> {
     /// Take the next loop iteration (or initiate the section-ending
     /// rendezvous), returning the next step.
     fn parallel_step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
@@ -1090,7 +1176,7 @@ impl<'a, S: TraceSink> AppProcess<'a, S> {
     }
 }
 
-impl<'a, S: TraceSink> Process for AppProcess<'a, S> {
+impl<'a, S: TraceSink, J: JournalSink> Process for AppProcess<'a, S, J> {
     fn step(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
         // Once any processor hit an unrecoverable error, everyone winds
         // down; run_app reports the recorded error instead of statistics.
@@ -1179,7 +1265,7 @@ impl<'a, S: TraceSink> Process for AppProcess<'a, S> {
 /// none implementing a statically requested policy), and any engine error
 /// (deadlock, lock misuse, event-limit overrun).
 pub fn run_app<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppReport, SimError> {
-    run_app_impl(app, config, NullSink, &mut NoMetrics)
+    run_app_impl(app, config, NullSink, NullJournal, &mut NoMetrics)
 }
 
 /// Like [`run_app`], but borrows the application so the caller can inspect
@@ -1189,7 +1275,7 @@ pub fn run_app<'a, A: SimApp + 'a>(app: A, config: &RunConfig) -> Result<AppRepo
 ///
 /// Same as [`run_app`].
 pub fn run_app_ref<A: SimApp>(app: &mut A, config: &RunConfig) -> Result<AppReport, SimError> {
-    run_app_impl(app, config, NullSink, &mut NoMetrics)
+    run_app_impl(app, config, NullSink, NullJournal, &mut NoMetrics)
 }
 
 /// Like [`run_app`], but records the adaptation timeline into `sink`.
@@ -1207,7 +1293,7 @@ pub fn run_app_traced<'a, A: SimApp + 'a, S: TraceSink>(
     config: &RunConfig,
     sink: &mut S,
 ) -> Result<AppReport, SimError> {
-    run_app_impl(app, config, sink, &mut NoMetrics)
+    run_app_impl(app, config, sink, NullJournal, &mut NoMetrics)
 }
 
 /// Like [`run_app`], but attributes every lock event to `metrics`.
@@ -1227,7 +1313,7 @@ pub fn run_app_metered<'a, A: SimApp + 'a, M: MetricsSink>(
     config: &RunConfig,
     metrics: &mut M,
 ) -> Result<AppReport, SimError> {
-    run_app_impl(app, config, NullSink, metrics)
+    run_app_impl(app, config, NullSink, NullJournal, metrics)
 }
 
 /// Like [`run_app`], with both a trace sink and a metrics sink attached.
@@ -1244,13 +1330,52 @@ pub fn run_app_observed<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
     sink: &mut S,
     metrics: &mut M,
 ) -> Result<AppReport, SimError> {
-    run_app_impl(app, config, sink, metrics)
+    run_app_impl(app, config, sink, NullJournal, metrics)
 }
 
-fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
+/// Like [`run_app`], but records every controller decision — switches,
+/// change-point alarms, policy-health transitions — with its full evidence
+/// snapshot into `journal`.
+///
+/// Records are stamped with *virtual* simulation time, so for a given app +
+/// config the journal is fully deterministic: the same run always yields
+/// the same decision stream, byte for byte, regardless of host timing or
+/// worker count.
+///
+/// # Errors
+///
+/// Same as [`run_app`].
+pub fn run_app_journaled<'a, A: SimApp + 'a, J: JournalSink>(
+    app: A,
+    config: &RunConfig,
+    journal: &mut J,
+) -> Result<AppReport, SimError> {
+    run_app_impl(app, config, NullSink, journal, &mut NoMetrics)
+}
+
+/// Like [`run_app`], with trace sink, decision journal, and metrics sink
+/// all attached — the full flight-recorder configuration used by the
+/// `explain` replay harness to cross-check journal records against the
+/// trace oracle.
+///
+/// # Errors
+///
+/// Same as [`run_app`].
+pub fn run_app_flight_recorded<'a, A: SimApp + 'a, S: TraceSink, J: JournalSink, M: MetricsSink>(
+    app: A,
+    config: &RunConfig,
+    sink: &mut S,
+    journal: &mut J,
+    metrics: &mut M,
+) -> Result<AppReport, SimError> {
+    run_app_impl(app, config, sink, journal, metrics)
+}
+
+fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, J: JournalSink, M: MetricsSink>(
     app: A,
     config: &RunConfig,
     mut sink: S,
+    journal: J,
     metrics: &mut M,
 ) -> Result<AppReport, SimError> {
     if config.num_procs == 0 {
@@ -1282,6 +1407,7 @@ fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
         mode: config.mode.clone(),
         num_procs: config.num_procs,
         sink,
+        journal,
         active: None,
         reports: Vec::new(),
         controllers: std::collections::HashMap::new(),
@@ -1319,6 +1445,8 @@ fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
     // emitted, so a healthy run's profile is byte-identical to one produced
     // before the failure layer existed.
     let hc = driver.counts;
+    let trace_dropped = driver.sink.dropped();
+    let journal_dropped = driver.journal.dropped();
     for (name, value) in [
         ("policy_suspected", hc.suspected),
         ("policy_quarantined", hc.quarantined),
@@ -1331,6 +1459,8 @@ fn run_app_impl<'a, A: SimApp + 'a, S: TraceSink, M: MetricsSink>(
         ("resample_quiescent", hc.resample_quiescent),
         ("procs_crashed", stats.crashed_procs().len() as u64),
         ("locks_recovered", stats.recovered_locks()),
+        ("trace_dropped", trace_dropped),
+        ("journal_dropped", journal_dropped),
     ] {
         if value > 0 {
             metrics.counter(name, value);
